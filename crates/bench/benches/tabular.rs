@@ -1,0 +1,64 @@
+//! Micro-benchmarks for the table substrate: predicate filtering, hash vs. sort group-by
+//! aggregation, and the left join that attaches features — the operators every candidate query
+//! executes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use feataug_datagen::{tmall, GenConfig};
+use feataug_tabular::groupby::{group_by_aggregate, group_by_aggregate_sorted};
+use feataug_tabular::join::left_join;
+use feataug_tabular::{AggFunc, Predicate};
+
+fn bench_tabular(c: &mut Criterion) {
+    let ds = tmall::generate(&GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 });
+    let relevant = &ds.relevant;
+    let train = &ds.train;
+    let keys: Vec<&str> = ds.key_columns.iter().map(|s| s.as_str()).collect();
+
+    let predicate = Predicate::and(vec![
+        Predicate::eq("department", "Electronics"),
+        Predicate::ge("timestamp", feataug_datagen::tmall::RECENT_CUTOFF),
+    ]);
+
+    c.bench_function("tabular/filter_predicate", |b| {
+        b.iter(|| black_box(relevant.filter(&predicate).unwrap().num_rows()))
+    });
+
+    c.bench_function("tabular/groupby_hash_avg", |b| {
+        b.iter(|| {
+            black_box(
+                group_by_aggregate(relevant, &keys, AggFunc::Avg, "pprice", "f")
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
+    });
+
+    c.bench_function("tabular/groupby_sort_avg", |b| {
+        b.iter(|| {
+            black_box(
+                group_by_aggregate_sorted(relevant, &keys, AggFunc::Avg, "pprice", "f")
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
+    });
+
+    c.bench_function("tabular/groupby_hash_entropy", |b| {
+        b.iter(|| {
+            black_box(
+                group_by_aggregate(relevant, &keys, AggFunc::Entropy, "pprice", "f")
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
+    });
+
+    let features = group_by_aggregate(relevant, &keys, AggFunc::Avg, "pprice", "f").unwrap();
+    c.bench_function("tabular/left_join_features", |b| {
+        b.iter(|| black_box(left_join(train, &features, &keys, &keys).unwrap().num_rows()))
+    });
+}
+
+criterion_group!(benches, bench_tabular);
+criterion_main!(benches);

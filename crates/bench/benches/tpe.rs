@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the HPO substrate: suggestion cost of TPE vs. random search, with and
+//! without observations, on a FeatAug-shaped mixed search space.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use feataug_hpo::{Optimizer, Param, ParamValue, RandomSearch, SearchSpace, Tpe, TpeConfig};
+
+/// A search space shaped like a typical FeatAug query pool: one aggregation-function dimension,
+/// one aggregation-attribute dimension, one categorical predicate, two range bounds, two
+/// group-by flags.
+fn query_like_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        Param::categorical("agg_func", 15),
+        Param::categorical("agg_column", 6),
+        Param::optional_categorical("department__eq", 5),
+        Param::optional_float("timestamp__low", 0.0, 1000.0),
+        Param::optional_float("timestamp__high", 0.0, 1000.0),
+        Param::categorical("key_a", 2),
+        Param::categorical("key_b", 2),
+    ])
+}
+
+fn synthetic_loss(config: &[ParamValue]) -> f64 {
+    let agg = config[0].as_cat().unwrap_or(0) as f64;
+    let low = config[3].as_f64().unwrap_or(500.0);
+    (agg - 4.0).abs() / 15.0 + (low - 700.0).abs() / 1000.0
+}
+
+fn bench_tpe(c: &mut Criterion) {
+    let space = query_like_space();
+
+    c.bench_function("hpo/random_suggest", |b| {
+        let mut rs = RandomSearch::new(space.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(rs.suggest(&mut rng)))
+    });
+
+    c.bench_function("hpo/tpe_suggest_cold", |b| {
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        // Below n_startup the suggestion is a uniform sample.
+        b.iter(|| black_box(tpe.suggest(&mut rng)))
+    });
+
+    c.bench_function("hpo/tpe_suggest_with_50_observations", |b| {
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let cfg = space.sample(&mut rng);
+            let loss = synthetic_loss(&cfg);
+            tpe.observe(cfg, loss);
+        }
+        b.iter(|| black_box(tpe.suggest(&mut rng)))
+    });
+
+    c.bench_function("hpo/tpe_full_loop_40_iters", |b| {
+        b.iter(|| {
+            let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..40 {
+                let cfg = tpe.suggest(&mut rng);
+                let loss = synthetic_loss(&cfg);
+                tpe.observe(cfg, loss);
+            }
+            black_box(tpe.best().map(|(_, l)| l))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tpe);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 5 — ablation of the two Query Template Identification optimisations.
+//!
+//! (a) Running time of the QTI component without any optimisation (real model evaluation of
+//!     every beam node), with only the low-cost proxy (Opt1), and with proxy + promising-template
+//!     prediction (Opt1 + Opt2).
+//! (b)–(e) Downstream performance of FeatAug when its QTI component uses each variant.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin fig5_qti_opts`
+//! (restrict with `FEATAUG_MODELS` / `FEATAUG_DATASETS` for a quicker pass).
+
+use feataug::evaluation::FeatureEvaluator;
+use feataug::template_id::{TemplateIdConfig, TemplateIdentifier};
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{feataug_config, FeatAugVariant};
+use feataug_bench::report::{format_metric, format_secs, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_ml::ModelKind;
+use feataug_tabular::AggFunc;
+
+/// The three QTI variants of the figure: (use_proxy, use_predictor).
+const VARIANTS: [(&str, bool, bool); 3] = [
+    ("QTI w/o Opt1,2", false, false),
+    ("QTI w/o Opt2", true, false),
+    ("QTI with All Opts", true, true),
+];
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(&[ModelKind::Linear, ModelKind::GradientBoosting]);
+    let seed = base_seed();
+    let budget = feature_budget();
+
+    // ---- (a) QTI running time ------------------------------------------------------------
+    print_title("Figure 5(a): Query Template Identification time by optimisation level");
+    print_header(&["Dataset", VARIANTS[0].0, VARIANTS[1].0, VARIANTS[2].0, "# nodes (all opts)"]);
+    for name in &datasets {
+        let ds = build_task(name);
+        let evaluator = FeatureEvaluator::new(&ds.task, ModelKind::Linear, seed);
+        let agg_funcs =
+            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min];
+        let mut cells = vec![name.clone()];
+        let mut last_nodes = 0usize;
+        for (_, use_proxy, use_predictor) in VARIANTS {
+            let cfg = TemplateIdConfig {
+                use_proxy,
+                use_predictor,
+                seed,
+                ..TemplateIdConfig::fast()
+            };
+            let identifier =
+                TemplateIdentifier::new(&ds.task, &evaluator, agg_funcs.clone(), cfg);
+            let (_, elapsed, nodes) = identifier.identify();
+            cells.push(format_secs(elapsed));
+            last_nodes = nodes;
+        }
+        cells.push(last_nodes.to_string());
+        print_row(&cells);
+    }
+
+    // ---- (b)-(e) downstream quality per dataset / model -----------------------------------
+    for name in &datasets {
+        print_title(&format!("Figure 5(b-e): downstream performance on {name}"));
+        let ds = build_task(name);
+        let mut header = vec!["Model".to_string()];
+        for (label, _, _) in VARIANTS {
+            header.push(label.to_string());
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for model in &models {
+            let mut cells = vec![model.to_string()];
+            for (_, use_proxy, use_predictor) in VARIANTS {
+                let mut cfg = feataug_config(*model, FeatAugVariant::Full, budget, seed);
+                cfg.template_id.use_proxy = use_proxy;
+                cfg.template_id.use_predictor = use_predictor;
+                let result = feataug::FeatAug::new(cfg).augment(&ds.task);
+                let eval = feataug::evaluation::evaluate_table(
+                    &result.augmented_train,
+                    &ds.task.label_column,
+                    &ds.task.key_columns,
+                    ds.task.task,
+                    *model,
+                    seed,
+                );
+                cells.push(format_metric(&eval));
+            }
+            print_row(&cells);
+        }
+    }
+}

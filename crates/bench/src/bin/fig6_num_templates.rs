@@ -1,0 +1,54 @@
+//! Figure 6 — downstream performance as the number of query templates grows (1..8), on the four
+//! one-to-many datasets and every downstream model.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin fig6_num_templates`
+//! (restrict with `FEATAUG_MODELS` / `FEATAUG_DATASETS` for a quicker pass).
+
+use feataug::evaluation::evaluate_table;
+use feataug::FeatAug;
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{feataug_config, FeatAugVariant};
+use feataug_bench::report::{format_metric, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, models_from_env};
+use feataug_ml::ModelKind;
+
+/// The template counts swept by the figure.
+const TEMPLATE_COUNTS: [usize; 5] = [1, 2, 4, 6, 8];
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(ModelKind::all());
+    let seed = base_seed();
+
+    for name in &datasets {
+        print_title(&format!("Figure 6: performance vs. number of query templates on {name}"));
+        let ds = build_task(name);
+        let mut header = vec!["Model".to_string()];
+        for n in TEMPLATE_COUNTS {
+            header.push(format!("{n} templates"));
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for model in &models {
+            let mut cells = vec![model.to_string()];
+            for n in TEMPLATE_COUNTS {
+                // Keep the per-template budget fixed (the paper selects 5 queries per template);
+                // the total number of features therefore grows with the template count.
+                let mut cfg = feataug_config(*model, FeatAugVariant::Full, n * 3, seed);
+                cfg = cfg.with_n_templates(n);
+                let result = FeatAug::new(cfg).augment(&ds.task);
+                let eval = evaluate_table(
+                    &result.augmented_train,
+                    &ds.task.label_column,
+                    &ds.task.key_columns,
+                    ds.task.task,
+                    *model,
+                    seed,
+                );
+                cells.push(format_metric(&eval));
+            }
+            print_row(&cells);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 7 — running time of FeatAug as the number of columns in the relevant table grows
+//! (the "Student-Wide" construction: the Student relevant table is duplicated horizontally),
+//! split into QTI time, warm-up time and query-generation time.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin fig7_scale_cols`
+
+use feataug::FeatAug;
+use feataug_bench::datasets::{build_task, to_aug_task};
+use feataug_bench::methods::{feataug_config, FeatAugVariant};
+use feataug_bench::report::{format_secs, print_header, print_row, print_title};
+use feataug_bench::{base_seed, feature_budget, models_from_env};
+use feataug_datagen::widen_relevant;
+use feataug_ml::ModelKind;
+
+/// Column counts swept (the paper sweeps 20..100 on Student-Wide).
+const COLS: [usize; 5] = [20, 40, 60, 80, 100];
+
+fn main() {
+    let models = models_from_env(&[ModelKind::Linear, ModelKind::GradientBoosting]);
+    let seed = base_seed();
+    let budget = feature_budget();
+    let base = build_task("student");
+
+    for model in &models {
+        print_title(&format!(
+            "Figure 7: running time vs. #columns in R (Student-Wide), model = {model}"
+        ));
+        print_header(&["# cols", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+        for cols in COLS {
+            let widened = widen_relevant(&base.synthetic, cols);
+            let task = to_aug_task(&widened);
+            let cfg = feataug_config(*model, FeatAugVariant::Full, budget, seed);
+            let result = FeatAug::new(cfg).augment(&task);
+            print_row(&[
+                widened.relevant.num_columns().to_string(),
+                format_secs(result.timing.qti),
+                format_secs(result.timing.warmup),
+                format_secs(result.timing.generate),
+                format_secs(result.timing.total()),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 8 — running time of FeatAug as the number of rows in the training table D grows,
+//! split into QTI time, warm-up time and query-generation time, on the four one-to-many
+//! datasets.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin fig8_scale_rows_d`
+//! (defaults to the LR model; set `FEATAUG_MODELS` to sweep more).
+
+use feataug::FeatAug;
+use feataug_bench::datasets::{dataset_scale, to_aug_task};
+use feataug_bench::methods::{feataug_config, FeatAugVariant};
+use feataug_bench::report::{format_secs, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_datagen::{generate_by_name, DatasetScale};
+use feataug_ml::ModelKind;
+
+/// Fractions of the configured training-table size swept by the figure.
+const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(&[ModelKind::Linear]);
+    let seed = base_seed();
+    let budget = feature_budget();
+    let gen_cfg = dataset_scale();
+
+    for name in &datasets {
+        let full = generate_by_name(name, &gen_cfg).expect("known dataset");
+        for model in &models {
+            print_title(&format!(
+                "Figure 8: running time vs. #rows in D on {name}, model = {model}"
+            ));
+            print_header(&["# rows in D", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+            for frac in FRACTIONS {
+                let rows = ((full.train.num_rows() as f64) * frac).round().max(50.0) as usize;
+                let scaled = DatasetScale::train_rows(rows).apply(&full);
+                let task = to_aug_task(&scaled);
+                let cfg = feataug_config(*model, FeatAugVariant::Full, budget, seed);
+                let result = FeatAug::new(cfg).augment(&task);
+                print_row(&[
+                    rows.to_string(),
+                    format_secs(result.timing.qti),
+                    format_secs(result.timing.warmup),
+                    format_secs(result.timing.generate),
+                    format_secs(result.timing.total()),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 9 — running time of FeatAug as the number of rows in the relevant table R grows,
+//! split into QTI time, warm-up time and query-generation time (the paper shows Student and
+//! Merchant).
+//!
+//! Run: `cargo run --release -p feataug-bench --bin fig9_scale_rows_r`
+//! (defaults to the LR model; set `FEATAUG_MODELS` to sweep more).
+
+use feataug::FeatAug;
+use feataug_bench::datasets::{dataset_scale, to_aug_task};
+use feataug_bench::methods::{feataug_config, FeatAugVariant};
+use feataug_bench::report::{format_secs, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_datagen::{generate_by_name, DatasetScale};
+use feataug_ml::ModelKind;
+
+/// Fractions of the configured relevant-table size swept by the figure.
+const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+fn main() {
+    let datasets = datasets_from_env(&["student", "merchant"]);
+    let models = models_from_env(&[ModelKind::Linear]);
+    let seed = base_seed();
+    let budget = feature_budget();
+    let gen_cfg = dataset_scale();
+
+    for name in &datasets {
+        let full = generate_by_name(name, &gen_cfg).expect("known dataset");
+        for model in &models {
+            print_title(&format!(
+                "Figure 9: running time vs. #rows in R on {name}, model = {model}"
+            ));
+            print_header(&["# rows in R", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+            for frac in FRACTIONS {
+                let rows = ((full.relevant.num_rows() as f64) * frac).round().max(100.0) as usize;
+                let scaled = DatasetScale::relevant_rows(rows).apply(&full);
+                let task = to_aug_task(&scaled);
+                let cfg = feataug_config(*model, FeatAugVariant::Full, budget, seed);
+                let result = FeatAug::new(cfg).augment(&task);
+                print_row(&[
+                    scaled.relevant.num_rows().to_string(),
+                    format_secs(result.timing.qti),
+                    format_secs(result.timing.warmup),
+                    format_secs(result.timing.generate),
+                    format_secs(result.timing.total()),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Table II — detailed information of the query templates for the one-to-many datasets:
+//! aggregation-function set F, number of aggregation attributes (# of A), number of candidate
+//! predicate attributes (# of attr), group-by keys K, and the number of query templates
+//! 2^|attr| (# of T).
+//!
+//! Run: `cargo run --release -p feataug-bench --bin table2_templates`
+
+use feataug_bench::datasets::build_task;
+use feataug_bench::report::{print_header, print_row, print_title};
+use feataug_tabular::AggFunc;
+
+fn main() {
+    print_title("Table II: query-template information (one-to-many datasets)");
+    let funcs: Vec<&str> = AggFunc::all().iter().map(|f| f.name()).collect();
+    println!("F (all datasets): {}\n", funcs.join(", "));
+
+    print_header(&["Dataset", "# of A", "# of attr", "K", "# of T"]);
+    for name in feataug_datagen::one_to_many_names() {
+        let ds = build_task(name);
+        let stats = ds.synthetic.stats();
+        print_row(&[
+            name.to_string(),
+            stats.n_agg_columns.to_string(),
+            stats.n_predicate_attrs.to_string(),
+            ds.synthetic.key_columns.join(", "),
+            format!("2^{} = {}", stats.n_predicate_attrs, stats.n_query_templates()),
+        ]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Table III — overall performance of FeatAug against the baselines on the four one-to-many
+//! datasets, for each downstream model (LR, XGB, RF, DeepFM).
+//!
+//! Run: `cargo run --release -p feataug-bench --bin table3_overall`
+//!
+//! Environment knobs: `FEATAUG_SCALE`, `FEATAUG_FEATURES`, `FEATAUG_MODELS`, `FEATAUG_DATASETS`.
+
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{run_method, Method};
+use feataug_bench::report::{format_metric, metric_header, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_ml::{Metric, ModelKind};
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(ModelKind::all());
+    let budget = feature_budget();
+    let seed = base_seed();
+
+    print_title("Table III: overall performance on one-to-many datasets");
+    println!(
+        "(feature budget = {budget} per method; paper used 40. Metric per dataset follows the paper.)\n"
+    );
+
+    for model in &models {
+        println!("\n**Model: {model}**\n");
+        let mut header: Vec<String> = vec!["Method".to_string()];
+        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        for (name, ds) in &tasks {
+            let metric = Metric::for_task(ds.task.task);
+            header.push(format!("{name} ({})", metric_header(metric)));
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for method in Method::table3_methods() {
+            let mut cells = vec![method.name()];
+            for (_, ds) in &tasks {
+                if method.classification_only() && !ds.task.task.is_classification() {
+                    cells.push("-".to_string());
+                    continue;
+                }
+                let outcome = run_method(&ds.task, method, *model, budget, seed);
+                cells.push(format_metric(&outcome.result));
+            }
+            print_row(&cells);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Table VI — performance on the single-table / one-to-one datasets (Covtype, Household) with
+//! the additional ARDA and AutoFeature baselines, for LR / XGB / RF (the paper omits DeepFM here
+//! because these are multi-class tasks).
+//!
+//! Run: `cargo run --release -p feataug-bench --bin table6_one_to_one`
+
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{run_method, Method};
+use feataug_bench::report::{format_metric, metric_header, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_ml::{Metric, ModelKind};
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_one_names());
+    let models = models_from_env(&[
+        ModelKind::Linear,
+        ModelKind::GradientBoosting,
+        ModelKind::RandomForest,
+    ]);
+    let budget = feature_budget();
+    let seed = base_seed();
+
+    print_title("Table VI: performance on single-table / one-to-one datasets");
+    for model in &models {
+        println!("\n**Model: {model}**\n");
+        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let mut header: Vec<String> = vec!["Method".to_string()];
+        for (name, ds) in &tasks {
+            let metric = Metric::for_task(ds.task.task);
+            header.push(format!("{name} ({})", metric_header(metric)));
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for method in Method::table6_methods() {
+            let mut cells = vec![method.name()];
+            for (_, ds) in &tasks {
+                if method.classification_only() && !ds.task.task.is_classification() {
+                    cells.push("-".to_string());
+                    continue;
+                }
+                let outcome = run_method(&ds.task, method, *model, budget, seed);
+                cells.push(format_metric(&outcome.result));
+            }
+            print_row(&cells);
+        }
+    }
+}

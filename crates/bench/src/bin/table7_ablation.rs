@@ -1,0 +1,47 @@
+//! Table VII — ablation study of FeatAug: without Query Template Identification ("NoQTI"),
+//! without the warm-up phase ("NoWU"), and the full system, on the four one-to-many datasets and
+//! every downstream model.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin table7_ablation`
+
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{run_method, FeatAugVariant, Method};
+use feataug_bench::report::{format_metric, metric_header, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_ml::{Metric, ModelKind};
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(ModelKind::all());
+    let budget = feature_budget();
+    let seed = base_seed();
+
+    print_title("Table VII: ablation study of FeatAug (NoQTI / NoWU / Full)");
+    let variants = [
+        ("FeatAug (NoQTI)", FeatAugVariant::NoQti),
+        ("FeatAug (NoWU)", FeatAugVariant::NoWu),
+        ("FeatAug (Full)", FeatAugVariant::Full),
+    ];
+
+    for model in &models {
+        println!("\n**Model: {model}**\n");
+        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let mut header: Vec<String> = vec!["Variant".to_string()];
+        for (name, ds) in &tasks {
+            let metric = Metric::for_task(ds.task.task);
+            header.push(format!("{name} ({})", metric_header(metric)));
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for (label, variant) in &variants {
+            let mut cells = vec![label.to_string()];
+            for (_, ds) in &tasks {
+                let outcome =
+                    run_method(&ds.task, Method::FeatAug(*variant), *model, budget, seed);
+                cells.push(format_metric(&outcome.result));
+            }
+            print_row(&cells);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Table VIII — sensitivity of FeatAug to the low-cost proxy: Spearman correlation ("SC"),
+//! mutual information ("MI") and the logistic/linear-model proxy ("LR"), on the four one-to-many
+//! datasets and every downstream model.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin table8_proxy`
+
+use feataug::proxy::LowCostProxy;
+use feataug_bench::datasets::build_task;
+use feataug_bench::methods::{run_method, FeatAugVariant, Method};
+use feataug_bench::report::{format_metric, metric_header, print_header, print_row, print_title};
+use feataug_bench::{base_seed, datasets_from_env, feature_budget, models_from_env};
+use feataug_ml::{Metric, ModelKind};
+
+fn main() {
+    let datasets = datasets_from_env(feataug_datagen::one_to_many_names());
+    let models = models_from_env(ModelKind::all());
+    let budget = feature_budget();
+    let seed = base_seed();
+
+    print_title("Table VIII: FeatAug performance by low-cost proxy (SC / MI / LR)");
+    for model in &models {
+        println!("\n**Model: {model}**\n");
+        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let mut header: Vec<String> = vec!["Dataset / Metric".to_string()];
+        for proxy in LowCostProxy::all() {
+            header.push(proxy.name().to_string());
+        }
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_header(&header_refs);
+
+        for (name, ds) in &tasks {
+            let metric = Metric::for_task(ds.task.task);
+            let mut cells = vec![format!("{name} ({})", metric_header(metric))];
+            for proxy in LowCostProxy::all() {
+                let outcome = run_method(
+                    &ds.task,
+                    Method::FeatAug(FeatAugVariant::WithProxy(*proxy)),
+                    *model,
+                    budget,
+                    seed,
+                );
+                cells.push(format_metric(&outcome.result));
+            }
+            print_row(&cells);
+        }
+    }
+}

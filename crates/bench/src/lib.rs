@@ -1,0 +1,76 @@
+//! # feataug-bench
+//!
+//! The experiment harness that regenerates every table and figure of the FeatAug paper's
+//! evaluation section. Each `src/bin/*.rs` binary corresponds to one table or figure (see
+//! `DESIGN.md` for the full index); this library holds the shared machinery:
+//!
+//! * [`datasets`] — building the paper's six evaluation datasets at a configurable scale,
+//! * [`methods`] — running FeatAug, its ablations and every baseline under a common protocol,
+//! * [`report`] — printing paper-style result rows.
+//!
+//! Scale knobs are read from environment variables so the same binaries serve both a quick
+//! smoke run and a longer, closer-to-the-paper run:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FEATAUG_SCALE` | `tiny` / `small` / `full` dataset scale | `small` |
+//! | `FEATAUG_SEED`  | base RNG seed | `42` |
+//! | `FEATAUG_FEATURES` | feature budget per method | `12` |
+
+pub mod datasets;
+pub mod methods;
+pub mod report;
+
+pub use datasets::{build_task, dataset_scale, ExperimentDataset};
+pub use methods::{run_method, FeatAugVariant, Method};
+pub use report::{format_metric, print_header, print_row};
+
+/// The feature budget each augmentation method receives (paper: 40; scaled down by default so
+/// the harness runs on a laptop — override with `FEATAUG_FEATURES`).
+pub fn feature_budget() -> usize {
+    std::env::var("FEATAUG_FEATURES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// Base RNG seed for all experiments (`FEATAUG_SEED`, default 42).
+pub fn base_seed() -> u64 {
+    std::env::var("FEATAUG_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// The downstream models to evaluate, read from `FEATAUG_MODELS` (comma-separated paper names,
+/// e.g. `LR,XGB`), falling back to `default`.
+pub fn models_from_env(default: &[feataug_ml::ModelKind]) -> Vec<feataug_ml::ModelKind> {
+    match std::env::var("FEATAUG_MODELS") {
+        Ok(list) => {
+            let parsed: Vec<_> = list
+                .split(',')
+                .filter_map(|s| feataug_ml::ModelKind::parse(s.trim()))
+                .collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// The datasets to evaluate, read from `FEATAUG_DATASETS` (comma-separated names), falling back
+/// to `default`.
+pub fn datasets_from_env(default: &[&str]) -> Vec<String> {
+    match std::env::var("FEATAUG_DATASETS") {
+        Ok(list) => {
+            let parsed: Vec<String> =
+                list.split(',').map(|s| s.trim().to_lowercase()).filter(|s| !s.is_empty()).collect();
+            if parsed.is_empty() {
+                default.iter().map(|s| s.to_string()).collect()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.iter().map(|s| s.to_string()).collect(),
+    }
+}

@@ -1,0 +1,321 @@
+//! Running FeatAug, its ablations and every baseline under a common evaluation protocol.
+
+use feataug::baselines::{
+    arda_augment, autofeature_augment, featuretools_augment, random_augment, AutoFeatureStrategy,
+};
+use feataug::evaluation::evaluate_table;
+use feataug::pipeline::{FeatAug, FeatAugConfig, PipelineTiming};
+use feataug::problem::AugTask;
+use feataug::proxy::LowCostProxy;
+use feataug_featuretools::DfsConfig;
+use feataug_fsel::{ScoreSelector, ScoringMethod, WrapperDirection, WrapperSelector};
+use feataug_ml::{EvalResult, ModelKind};
+use feataug_tabular::{AggFunc, Table};
+
+/// Which FeatAug configuration to run (the paper's ablation rows and proxy variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatAugVariant {
+    /// Full system (QTI + warm-up).
+    Full,
+    /// Without Query Template Identification ("NoQTI").
+    NoQti,
+    /// Without the warm-up phase ("NoWU").
+    NoWu,
+    /// Full system with an alternative low-cost proxy (Table VIII).
+    WithProxy(LowCostProxy),
+}
+
+/// An augmentation method evaluated by the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// No augmentation (the bare training table) — not in the paper's tables, but a useful
+    /// reference row.
+    Base,
+    /// Featuretools without a selector ("FT").
+    Featuretools,
+    /// Featuretools + linear-importance selector ("FT+LR").
+    FtLr,
+    /// Featuretools + GBDT-importance selector ("FT+GBDT").
+    FtGbdt,
+    /// Featuretools + mutual-information selector ("FT+MI").
+    FtMi,
+    /// Featuretools + chi-square selector ("FT+Chi2", classification only).
+    FtChi2,
+    /// Featuretools + Gini selector ("FT+Gini", classification only).
+    FtGini,
+    /// Featuretools + forward selection ("FT+Forward").
+    FtForward,
+    /// Featuretools + backward elimination ("FT+Backward").
+    FtBackward,
+    /// Random templates + random queries ("Random").
+    Random,
+    /// ARDA-style random-injection selection (one-to-one tables).
+    Arda,
+    /// AutoFeature with a multi-armed bandit ("AutoFeat-MAB").
+    AutoFeatMab,
+    /// AutoFeature with an ε-greedy value learner ("AutoFeat-DQN").
+    AutoFeatDqn,
+    /// FeatAug (full system or an ablation variant).
+    FeatAug(FeatAugVariant),
+}
+
+impl Method {
+    /// The methods of Table III (one-to-many datasets), in paper row order.
+    pub fn table3_methods() -> Vec<Method> {
+        vec![
+            Method::Featuretools,
+            Method::FtLr,
+            Method::FtGbdt,
+            Method::FtMi,
+            Method::FtChi2,
+            Method::FtGini,
+            Method::FtForward,
+            Method::FtBackward,
+            Method::Random,
+            Method::FeatAug(FeatAugVariant::Full),
+        ]
+    }
+
+    /// The methods of Table VI (one-to-one / single-table datasets), in paper row order.
+    pub fn table6_methods() -> Vec<Method> {
+        vec![
+            Method::Featuretools,
+            Method::FtLr,
+            Method::FtGbdt,
+            Method::FtMi,
+            Method::FtChi2,
+            Method::FtGini,
+            Method::Arda,
+            Method::AutoFeatMab,
+            Method::AutoFeatDqn,
+            Method::Random,
+            Method::FeatAug(FeatAugVariant::Full),
+        ]
+    }
+
+    /// Paper-style row label.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Base => "NoAug".to_string(),
+            Method::Featuretools => "FT".to_string(),
+            Method::FtLr => "FT+LR".to_string(),
+            Method::FtGbdt => "FT+GBDT".to_string(),
+            Method::FtMi => "FT+MI".to_string(),
+            Method::FtChi2 => "FT+Chi2".to_string(),
+            Method::FtGini => "FT+Gini".to_string(),
+            Method::FtForward => "FT+Forward".to_string(),
+            Method::FtBackward => "FT+Backward".to_string(),
+            Method::Random => "Random".to_string(),
+            Method::Arda => "ARDA".to_string(),
+            Method::AutoFeatMab => "AutoFeat-MAB".to_string(),
+            Method::AutoFeatDqn => "AutoFeat-DQN".to_string(),
+            Method::FeatAug(FeatAugVariant::Full) => "FeatAug".to_string(),
+            Method::FeatAug(FeatAugVariant::NoQti) => "FeatAug(NoQTI)".to_string(),
+            Method::FeatAug(FeatAugVariant::NoWu) => "FeatAug(NoWU)".to_string(),
+            Method::FeatAug(FeatAugVariant::WithProxy(p)) => format!("FeatAug[{}]", p.name()),
+        }
+    }
+
+    /// True for methods that only apply to classification tasks (the paper leaves their
+    /// regression cells blank).
+    pub fn classification_only(&self) -> bool {
+        matches!(self, Method::FtChi2 | Method::FtGini)
+    }
+}
+
+/// The DFS configuration shared by all Featuretools-based baselines: a representative subset of
+/// the aggregation functions, so the candidate pool stays laptop-sized.
+pub fn dfs_config() -> DfsConfig {
+    DfsConfig {
+        agg_funcs: vec![
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::Max,
+            AggFunc::Min,
+            AggFunc::Std,
+            AggFunc::Median,
+            AggFunc::CountDistinct,
+        ],
+        ..DfsConfig::default()
+    }
+}
+
+/// The FeatAug configuration used by the experiment harness: the `fast` profile scaled to the
+/// requested feature budget.
+pub fn feataug_config(model: ModelKind, variant: FeatAugVariant, n_features: usize, seed: u64) -> FeatAugConfig {
+    let queries_per_template = 3usize;
+    let n_templates = (n_features / queries_per_template).clamp(1, 8);
+    let mut cfg = FeatAugConfig::fast(model)
+        .with_seed(seed)
+        .with_n_templates(n_templates);
+    cfg.queries_per_template = queries_per_template;
+    // A slightly larger search budget than the `fast` test profile, so the harness's result
+    // shape is stable while remaining laptop-friendly.
+    cfg.sqlgen.warmup_iters = 40;
+    cfg.sqlgen.warmup_top_k = 8;
+    cfg.sqlgen.search_iters = 15;
+    cfg.template_id.pool_samples = 16;
+    match variant {
+        FeatAugVariant::Full => {}
+        FeatAugVariant::NoQti => cfg = cfg.with_qti(false),
+        FeatAugVariant::NoWu => cfg = cfg.with_warmup(false),
+        FeatAugVariant::WithProxy(p) => cfg = cfg.with_proxy(p),
+    }
+    cfg
+}
+
+/// The outcome of one (dataset, method, model) cell: the augmented table's test metric plus the
+/// pipeline timing when the method was FeatAug.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Test-split evaluation of the augmented table.
+    pub result: EvalResult,
+    /// The augmented training table the method produced.
+    pub n_features_added: usize,
+    /// FeatAug-only: wall-clock breakdown of the pipeline.
+    pub timing: Option<PipelineTiming>,
+}
+
+/// Produce the augmented training table for one method.
+pub fn augment_with(
+    task: &AugTask,
+    method: Method,
+    model: ModelKind,
+    n_features: usize,
+    seed: u64,
+) -> (Table, Option<PipelineTiming>) {
+    let dfs = dfs_config();
+    match method {
+        Method::Base => (task.train.clone(), None),
+        Method::Featuretools => (featuretools_augment(task, n_features, None, &dfs), None),
+        Method::FtLr => {
+            let sel = ScoreSelector::new(ScoringMethod::LinearImportance);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtGbdt => {
+            let sel = ScoreSelector::new(ScoringMethod::GbdtImportance);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtMi => {
+            let sel = ScoreSelector::new(ScoringMethod::MutualInformation);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtChi2 => {
+            let sel = ScoreSelector::new(ScoringMethod::ChiSquare);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtGini => {
+            let sel = ScoreSelector::new(ScoringMethod::Gini);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtForward => {
+            // Wrapper selectors re-train a model per candidate; the cheap linear model keeps the
+            // harness tractable (documented in EXPERIMENTS.md).
+            let sel = WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::FtBackward => {
+            let sel = WrapperSelector::new(WrapperDirection::Backward, ModelKind::Linear);
+            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+        }
+        Method::Random => {
+            let queries_per_template = 3usize;
+            let n_templates = (n_features / queries_per_template).max(1);
+            (
+                random_augment(task, &dfs.agg_funcs, n_templates, queries_per_template, seed),
+                None,
+            )
+        }
+        Method::Arda => (arda_augment(task, n_features, model, seed), None),
+        Method::AutoFeatMab => (
+            autofeature_augment(task, n_features, ModelKind::Linear, AutoFeatureStrategy::Mab, seed),
+            None,
+        ),
+        Method::AutoFeatDqn => (
+            autofeature_augment(task, n_features, ModelKind::Linear, AutoFeatureStrategy::Dqn, seed),
+            None,
+        ),
+        Method::FeatAug(variant) => {
+            let cfg = feataug_config(model, variant, n_features, seed);
+            let result = FeatAug::new(cfg).augment(task);
+            (result.augmented_train, Some(result.timing))
+        }
+    }
+}
+
+/// Run one (dataset, method, model) cell: augment, then evaluate on the held-out test split.
+pub fn run_method(
+    task: &AugTask,
+    method: Method,
+    model: ModelKind,
+    n_features: usize,
+    seed: u64,
+) -> MethodOutcome {
+    let (augmented, timing) = augment_with(task, method, model, n_features, seed);
+    let result = evaluate_table(
+        &augmented,
+        &task.label_column,
+        &task.key_columns,
+        task.task,
+        model,
+        seed,
+    );
+    MethodOutcome {
+        result,
+        n_features_added: augmented.num_columns().saturating_sub(task.train.num_columns()),
+        timing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_task_with;
+    use feataug_datagen::GenConfig;
+
+    #[test]
+    fn every_table3_method_runs_on_a_tiny_dataset() {
+        let ds = build_task_with("tmall", &GenConfig::tiny());
+        for method in Method::table3_methods() {
+            if matches!(method, Method::FtForward | Method::FtBackward) {
+                continue; // wrapper selectors are exercised in their own unit tests; skip here for speed
+            }
+            let outcome = run_method(&ds.task, method, ModelKind::Linear, 4, 1);
+            assert!(
+                outcome.result.value.is_finite(),
+                "{} produced a non-finite metric",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn feataug_variants_produce_timings() {
+        let ds = build_task_with("instacart", &GenConfig::tiny());
+        let outcome = run_method(
+            &ds.task,
+            Method::FeatAug(FeatAugVariant::Full),
+            ModelKind::Linear,
+            4,
+            1,
+        );
+        assert!(outcome.timing.is_some());
+        assert!(outcome.n_features_added > 0);
+    }
+
+    #[test]
+    fn method_names_match_paper_labels() {
+        assert_eq!(Method::Featuretools.name(), "FT");
+        assert_eq!(Method::FtChi2.name(), "FT+Chi2");
+        assert_eq!(Method::FeatAug(FeatAugVariant::NoQti).name(), "FeatAug(NoQTI)");
+        assert_eq!(
+            Method::FeatAug(FeatAugVariant::WithProxy(LowCostProxy::Spearman)).name(),
+            "FeatAug[SC]"
+        );
+        assert!(Method::FtGini.classification_only());
+        assert!(!Method::Random.classification_only());
+        assert_eq!(Method::table3_methods().len(), 10);
+        assert_eq!(Method::table6_methods().len(), 11);
+    }
+}

@@ -1,0 +1,57 @@
+//! Printing paper-style result tables.
+
+use feataug_ml::{EvalResult, Metric};
+
+/// Format a metric value the way the paper's tables do (four decimals; an arrow in the header
+/// indicates the direction).
+pub fn format_metric(result: &EvalResult) -> String {
+    format!("{:.4}", result.value)
+}
+
+/// The header suffix for a metric ("AUC ↑", "RMSE ↓", ...).
+pub fn metric_header(metric: Metric) -> String {
+    if metric.higher_is_better() {
+        format!("{} ↑", metric.name())
+    } else {
+        format!("{} ↓", metric.name())
+    }
+}
+
+/// Print a markdown-style table header.
+pub fn print_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Print one markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a section title in the style the experiment binaries use.
+pub fn print_title(title: &str) {
+    println!("\n### {title}\n");
+}
+
+/// Format a duration in seconds with two decimals.
+pub fn format_secs(d: std::time::Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_formatting() {
+        let r = EvalResult::from_value(Metric::Auc, 0.61234);
+        assert_eq!(format_metric(&r), "0.6123");
+        assert_eq!(metric_header(Metric::Auc), "AUC ↑");
+        assert_eq!(metric_header(Metric::Rmse), "RMSE ↓");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_secs(std::time::Duration::from_millis(1500)), "1.50s");
+    }
+}

@@ -1,0 +1,182 @@
+//! Instacart-style reorder-prediction dataset (binary classification, one-to-many).
+//!
+//! Mirrors the paper's Instacart dataset: the training table holds users with a "will this user
+//! buy the target product (bananas) next order" label; the relevant table holds their historical
+//! order lines (product, department, aisle, order hour, days since prior order, reordered flag).
+//!
+//! **Planted signal**: the label is driven mostly by *how many produce-department items the user
+//! bought during morning hours* — `COUNT(*) WHERE department = 'produce' AND order_hour BETWEEN
+//! 7 AND 11 GROUP BY user_id` — plus a weak overall basket-size effect and noise.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use feataug_tabular::{Column, Table};
+
+use crate::spec::{GenConfig, SyntheticDataset, TaskKind};
+use crate::util::{add_noise_columns, normal, sigmoid, zscore};
+
+/// Departments; `produce` carries the planted signal.
+pub const DEPARTMENTS: [&str; 6] =
+    ["produce", "dairy", "snacks", "beverages", "frozen", "household"];
+/// Aisles (uninformative).
+pub const AISLES: [&str; 6] = ["a1", "a2", "a3", "a4", "a5", "a6"];
+
+/// Morning-hour window carrying the signal (inclusive bounds).
+pub const MORNING_START: i64 = 7;
+/// Upper bound of the signal window.
+pub const MORNING_END: i64 = 11;
+
+/// Generate the Instacart-style dataset.
+pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1257);
+    let n = cfg.n_entities;
+
+    let mut user_ids = Vec::with_capacity(n);
+    let mut n_prior_orders = Vec::with_capacity(n);
+    let mut avg_basket = Vec::with_capacity(n);
+
+    let mut r_user = Vec::new();
+    let mut r_product: Vec<String> = Vec::new();
+    let mut r_dept: Vec<&str> = Vec::new();
+    let mut r_aisle: Vec<&str> = Vec::new();
+    let mut r_hour = Vec::new();
+    let mut r_days_prior = Vec::new();
+    let mut r_reordered = Vec::new();
+    let mut r_cart_pos = Vec::new();
+
+    let mut morning_produce = Vec::with_capacity(n);
+    let mut basket_sizes = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let user = format!("u{i}");
+        let produce_affinity = normal(&mut rng);
+        let morning_shopper = normal(&mut rng);
+        let lines = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>())).round().max(1.0) as usize;
+
+        let mut signal_count = 0.0;
+        for line in 0..lines {
+            let p_produce = sigmoid(0.7 * produce_affinity - 0.5);
+            let dept = if rng.gen::<f64>() < p_produce {
+                "produce"
+            } else {
+                DEPARTMENTS[1 + rng.gen_range(0..DEPARTMENTS.len() - 1)]
+            };
+            let morning = rng.gen::<f64>() < sigmoid(0.8 * morning_shopper);
+            let hour: i64 = if morning {
+                rng.gen_range(MORNING_START..=MORNING_END)
+            } else {
+                // afternoon / evening hours
+                rng.gen_range(12..23)
+            };
+            if dept == "produce" && (MORNING_START..=MORNING_END).contains(&hour) {
+                signal_count += 1.0;
+            }
+            let product = format!("p{}", rng.gen_range(0..50));
+            let aisle = AISLES[rng.gen_range(0..AISLES.len())];
+            let days_prior = rng.gen_range(0.0..30.0);
+            let reordered = rng.gen_bool(0.4 + 0.1 * sigmoid(produce_affinity));
+            let cart_pos = (line % 20) as i64 + 1;
+
+            r_user.push(user.clone());
+            r_product.push(product);
+            r_dept.push(dept);
+            r_aisle.push(aisle);
+            r_hour.push(hour);
+            r_days_prior.push(days_prior);
+            r_reordered.push(reordered);
+            r_cart_pos.push(cart_pos);
+        }
+
+        morning_produce.push(signal_count);
+        basket_sizes.push(lines as f64);
+        user_ids.push(user);
+        n_prior_orders.push(rng.gen_range(3..40i64));
+        avg_basket.push(lines as f64 / 3.0 + rng.gen_range(0.0..2.0));
+    }
+
+    zscore(&mut morning_produce);
+    let mut basket_z = basket_sizes.clone();
+    zscore(&mut basket_z);
+    let labels: Vec<i64> = (0..n)
+        .map(|i| {
+            let logit =
+                1.7 * morning_produce[i] + 0.3 * basket_z[i] + 0.5 * normal(&mut rng) - 0.1;
+            (rng.gen::<f64>() < sigmoid(logit)) as i64
+        })
+        .collect();
+
+    let mut train = Table::new("users");
+    train.add_column("user_id", Column::from_strings(&user_ids)).unwrap();
+    train.add_column("n_prior_orders", Column::from_i64s(&n_prior_orders)).unwrap();
+    train.add_column("avg_basket", Column::from_f64s(&avg_basket)).unwrap();
+    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+
+    let mut relevant = Table::new("order_history");
+    relevant.add_column("user_id", Column::from_strings(&r_user)).unwrap();
+    relevant.add_column("product", Column::from_strings(&r_product)).unwrap();
+    relevant.add_column("department", Column::from_strs(&r_dept)).unwrap();
+    relevant.add_column("aisle", Column::from_strs(&r_aisle)).unwrap();
+    relevant.add_column("order_hour", Column::from_i64s(&r_hour)).unwrap();
+    relevant.add_column("days_since_prior", Column::from_f64s(&r_days_prior)).unwrap();
+    relevant.add_column("reordered", Column::from_bools(&r_reordered)).unwrap();
+    relevant.add_column("cart_position", Column::from_i64s(&r_cart_pos)).unwrap();
+    add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
+
+    SyntheticDataset {
+        name: "instacart",
+        train,
+        relevant,
+        key_columns: vec!["user_id".into()],
+        label_column: "label".into(),
+        agg_columns: vec![
+            "days_since_prior".into(),
+            "cart_position".into(),
+            "order_hour".into(),
+        ],
+        predicate_attrs: vec![
+            "department".into(),
+            "order_hour".into(),
+            "aisle".into(),
+            "reordered".into(),
+            "days_since_prior".into(),
+            "cart_position".into(),
+        ],
+        task: TaskKind::Binary,
+        signal_description:
+            "label ≈ f(COUNT(*) WHERE department='produce' AND 7<=order_hour<=11)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = GenConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.relevant, b.relevant);
+        assert_eq!(a.train.num_rows(), cfg.n_entities);
+        assert_eq!(a.key_columns, vec!["user_id".to_string()]);
+        assert!(a.relevant.column("department").is_ok());
+    }
+
+    #[test]
+    fn label_balance_reasonable() {
+        let ds = generate(&GenConfig::small());
+        let labels = ds.train.column("label").unwrap().numeric_values();
+        let rate = labels.iter().sum::<f64>() / labels.len() as f64;
+        assert!(rate > 0.15 && rate < 0.85, "positive rate = {rate}");
+    }
+
+    #[test]
+    fn order_hours_are_valid() {
+        let ds = generate(&GenConfig::tiny());
+        let hours = ds.relevant.column("order_hour").unwrap().numeric_values();
+        assert!(hours.iter().all(|&h| (0.0..24.0).contains(&h)));
+    }
+}

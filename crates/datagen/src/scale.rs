@@ -1,0 +1,190 @@
+//! Scaling utilities for the paper's scalability experiments (Figures 7–9).
+//!
+//! * [`widen_relevant`] duplicates the relevant table horizontally — the paper builds
+//!   "Student-Wide" this way to sweep the number of columns (Figure 7).
+//! * [`DatasetScale`] bundles the row/column knobs a scalability sweep varies, producing a
+//!   scaled copy of a [`SyntheticDataset`].
+
+use feataug_tabular::{Column, Table};
+
+use crate::spec::SyntheticDataset;
+
+/// Horizontally widen the relevant table of `dataset` until it has at least `target_cols`
+/// columns, by duplicating non-key columns with suffixed names (`price__w1`, `price__w2`, …).
+/// The duplicated columns are also appended to `predicate_attrs` so the Query Template
+/// Identification search space really grows, matching the paper's Student-Wide construction.
+pub fn widen_relevant(dataset: &SyntheticDataset, target_cols: usize) -> SyntheticDataset {
+    let mut out = dataset.clone();
+    let base_cols: Vec<String> = dataset
+        .relevant
+        .column_names()
+        .into_iter()
+        .filter(|c| !dataset.key_columns.iter().any(|k| k == c))
+        .map(|s| s.to_string())
+        .collect();
+    if base_cols.is_empty() {
+        return out;
+    }
+    let mut wave = 1usize;
+    while out.relevant.num_columns() < target_cols {
+        for col_name in &base_cols {
+            if out.relevant.num_columns() >= target_cols {
+                break;
+            }
+            let new_name = format!("{col_name}__w{wave}");
+            let col = dataset.relevant.column(col_name).expect("base column exists").clone();
+            out.relevant.add_column(new_name.clone(), col).expect("fresh widened column");
+            if dataset.predicate_attrs.iter().any(|p| p == col_name) {
+                out.predicate_attrs.push(new_name.clone());
+            }
+            if dataset.agg_columns.iter().any(|a| a == col_name) {
+                out.agg_columns.push(new_name);
+            }
+        }
+        wave += 1;
+    }
+    out
+}
+
+/// Take the first `n` rows of a table (no shuffle — generators already randomise row order
+/// within entities, and truncation keeps the one-to-many relationship intact for the kept keys).
+fn truncate_rows(table: &Table, n: usize) -> Table {
+    table.head(n)
+}
+
+/// A scaling recipe for the scalability figures.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetScale {
+    /// Keep only this many training rows (None = all).
+    pub train_rows: Option<usize>,
+    /// Keep only this many relevant rows (None = all).
+    pub relevant_rows: Option<usize>,
+    /// Widen the relevant table to this many columns (None = unchanged).
+    pub relevant_cols: Option<usize>,
+}
+
+impl DatasetScale {
+    /// Identity scale.
+    pub fn identity() -> Self {
+        DatasetScale { train_rows: None, relevant_rows: None, relevant_cols: None }
+    }
+
+    /// Scale only the training-table rows (Figure 8 sweeps).
+    pub fn train_rows(n: usize) -> Self {
+        DatasetScale { train_rows: Some(n), relevant_rows: None, relevant_cols: None }
+    }
+
+    /// Scale only the relevant-table rows (Figure 9 sweeps).
+    pub fn relevant_rows(n: usize) -> Self {
+        DatasetScale { train_rows: None, relevant_rows: Some(n), relevant_cols: None }
+    }
+
+    /// Scale only the relevant-table column count (Figure 7 sweeps).
+    pub fn relevant_cols(n: usize) -> Self {
+        DatasetScale { train_rows: None, relevant_rows: None, relevant_cols: Some(n) }
+    }
+
+    /// Apply the scale to a dataset, returning a scaled copy.
+    pub fn apply(&self, dataset: &SyntheticDataset) -> SyntheticDataset {
+        let mut out = dataset.clone();
+        if let Some(cols) = self.relevant_cols {
+            out = widen_relevant(&out, cols);
+        }
+        if let Some(rows) = self.train_rows {
+            out.train = truncate_rows(&out.train, rows);
+            // Keep only relevant rows whose keys survive, by filtering on key membership.
+            out.relevant = filter_relevant_to_train(&out);
+        }
+        if let Some(rows) = self.relevant_rows {
+            out.relevant = truncate_rows(&out.relevant, rows);
+        }
+        out
+    }
+}
+
+/// Keep only relevant-table rows whose composite key appears in the (possibly truncated)
+/// training table.
+fn filter_relevant_to_train(dataset: &SyntheticDataset) -> Table {
+    use std::collections::HashSet;
+    let keys: Vec<&str> = dataset.key_columns.iter().map(|s| s.as_str()).collect();
+    let mut keep_keys: HashSet<String> = HashSet::new();
+    for row in 0..dataset.train.num_rows() {
+        let composite: Vec<String> = keys
+            .iter()
+            .map(|k| dataset.train.value(row, k).expect("key exists").to_string())
+            .collect();
+        keep_keys.insert(composite.join("\u{1f}"));
+    }
+    let mut keep_rows = Vec::new();
+    for row in 0..dataset.relevant.num_rows() {
+        let composite: Vec<String> = keys
+            .iter()
+            .map(|k| dataset.relevant.value(row, k).expect("key exists").to_string())
+            .collect();
+        if keep_keys.contains(&composite.join("\u{1f}")) {
+            keep_rows.push(row);
+        }
+    }
+    dataset.relevant.take(&keep_rows)
+}
+
+/// Add `n` constant integer columns to a table — a cheap way to pad width when a benchmark only
+/// cares about column *count*, not content.
+pub fn pad_constant_columns(table: &mut Table, n: usize) {
+    let rows = table.num_rows();
+    for i in 0..n {
+        table
+            .add_column(format!("pad_{i}"), Column::from_i64s(&vec![0; rows]))
+            .expect("fresh pad column");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GenConfig;
+    use crate::tmall;
+
+    #[test]
+    fn widen_reaches_target_and_extends_attrs() {
+        let ds = tmall::generate(&GenConfig::tiny());
+        let before_cols = ds.relevant.num_columns();
+        let wide = widen_relevant(&ds, before_cols + 10);
+        assert!(wide.relevant.num_columns() >= before_cols + 10);
+        assert!(wide.predicate_attrs.len() > ds.predicate_attrs.len());
+        assert_eq!(wide.relevant.num_rows(), ds.relevant.num_rows());
+    }
+
+    #[test]
+    fn train_row_scaling_filters_relevant_rows() {
+        let ds = tmall::generate(&GenConfig::tiny());
+        let scaled = DatasetScale::train_rows(30).apply(&ds);
+        assert_eq!(scaled.train.num_rows(), 30);
+        assert!(scaled.relevant.num_rows() < ds.relevant.num_rows());
+        assert!(scaled.relevant.num_rows() > 0);
+    }
+
+    #[test]
+    fn relevant_row_scaling_truncates() {
+        let ds = tmall::generate(&GenConfig::tiny());
+        let scaled = DatasetScale::relevant_rows(50).apply(&ds);
+        assert_eq!(scaled.relevant.num_rows(), 50);
+        assert_eq!(scaled.train.num_rows(), ds.train.num_rows());
+    }
+
+    #[test]
+    fn identity_scale_is_noop() {
+        let ds = tmall::generate(&GenConfig::tiny());
+        let scaled = DatasetScale::identity().apply(&ds);
+        assert_eq!(scaled.train.num_rows(), ds.train.num_rows());
+        assert_eq!(scaled.relevant.num_columns(), ds.relevant.num_columns());
+    }
+
+    #[test]
+    fn pad_constant_columns_adds_width() {
+        let mut ds = tmall::generate(&GenConfig::tiny());
+        let before = ds.relevant.num_columns();
+        pad_constant_columns(&mut ds.relevant, 5);
+        assert_eq!(ds.relevant.num_columns(), before + 5);
+    }
+}

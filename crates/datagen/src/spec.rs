@@ -1,0 +1,187 @@
+//! Dataset containers, generation configuration and summary statistics.
+
+use feataug_tabular::Table;
+
+/// The learning task of a synthetic dataset (mirrors `feataug_ml::Task` without taking the
+/// dependency — the datagen crate only depends on the table substrate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Binary classification, evaluated with AUC.
+    Binary,
+    /// Multi-class classification with `n_classes`, evaluated with macro-F1.
+    MultiClass(usize),
+    /// Regression, evaluated with RMSE.
+    Regression,
+}
+
+impl TaskKind {
+    /// Paper-style metric name for this task.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            TaskKind::Binary => "AUC",
+            TaskKind::MultiClass(_) => "F1",
+            TaskKind::Regression => "RMSE",
+        }
+    }
+}
+
+/// Knobs shared by every generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of entities (rows of the training table `D`).
+    pub n_entities: usize,
+    /// Average number of relevant-table rows per entity (the one-to-many fan-out).
+    pub fanout: usize,
+    /// Number of additional uninformative columns appended to the relevant table.
+    pub n_noise_cols: usize,
+    /// RNG seed; every generated value derives deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { n_entities: 2000, fanout: 20, n_noise_cols: 2, seed: 42 }
+    }
+}
+
+impl GenConfig {
+    /// A very small configuration for unit tests.
+    pub fn tiny() -> Self {
+        GenConfig { n_entities: 120, fanout: 6, n_noise_cols: 1, seed: 7 }
+    }
+
+    /// A small configuration for integration tests and quick examples.
+    pub fn small() -> Self {
+        GenConfig { n_entities: 600, fanout: 10, n_noise_cols: 2, seed: 42 }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style entity-count override.
+    pub fn with_entities(mut self, n: usize) -> Self {
+        self.n_entities = n;
+        self
+    }
+
+    /// Builder-style fan-out override.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+}
+
+/// A generated dataset: the training table, the relevant table and the metadata FeatAug needs.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Dataset name (paper name, lowercase).
+    pub name: &'static str,
+    /// Training table `D`: entity key column(s), base features, and a `label` column.
+    pub train: Table,
+    /// Relevant table `R` with a foreign key into `D`.
+    pub relevant: Table,
+    /// Foreign-key / group-by column names shared by `D` and `R` (paper's `K`).
+    pub key_columns: Vec<String>,
+    /// Name of the label column in `train`.
+    pub label_column: String,
+    /// Columns of `R` that are sensible aggregation targets (paper's `A`).
+    pub agg_columns: Vec<String>,
+    /// Columns of `R` offered as candidate predicate attributes (paper's `attr`).
+    pub predicate_attrs: Vec<String>,
+    /// The learning task.
+    pub task: TaskKind,
+    /// Human-readable description of the planted signal (documented in DESIGN.md).
+    pub signal_description: &'static str,
+}
+
+impl SyntheticDataset {
+    /// Names of the base feature columns of `D` (everything except keys and the label).
+    pub fn base_feature_columns(&self) -> Vec<String> {
+        self.train
+            .column_names()
+            .into_iter()
+            .filter(|c| *c != self.label_column && !self.key_columns.iter().any(|k| k == c))
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Summary statistics in the shape of the paper's Table I / Table IV rows.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name,
+            n_tables: 2,
+            relevant_rows: self.relevant.num_rows(),
+            train_rows: self.train.num_rows(),
+            n_relevant_cols: self.relevant.num_columns(),
+            n_agg_columns: self.agg_columns.len(),
+            n_predicate_attrs: self.predicate_attrs.len(),
+            task: self.task,
+        }
+    }
+}
+
+/// Summary statistics of a generated dataset (paper Tables I, II, IV, V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Number of tables (training + relevant).
+    pub n_tables: usize,
+    /// Rows in the relevant table `R`.
+    pub relevant_rows: usize,
+    /// Rows in the training table `D`.
+    pub train_rows: usize,
+    /// Columns in the relevant table.
+    pub n_relevant_cols: usize,
+    /// Number of aggregation attributes (paper's "# of A").
+    pub n_agg_columns: usize,
+    /// Number of candidate predicate attributes (paper's "# of attr").
+    pub n_predicate_attrs: usize,
+    /// Learning task.
+    pub task: TaskKind,
+}
+
+impl DatasetStats {
+    /// Number of query templates `2^|attr|` (paper Table II's "# of T").
+    pub fn n_query_templates(&self) -> f64 {
+        2f64.powi(self.n_predicate_attrs as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let cfg = GenConfig::default().with_seed(9).with_entities(50).with_fanout(3);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.n_entities, 50);
+        assert_eq!(cfg.fanout, 3);
+    }
+
+    #[test]
+    fn task_metric_names() {
+        assert_eq!(TaskKind::Binary.metric_name(), "AUC");
+        assert_eq!(TaskKind::MultiClass(4).metric_name(), "F1");
+        assert_eq!(TaskKind::Regression.metric_name(), "RMSE");
+    }
+
+    #[test]
+    fn template_count_is_power_of_two() {
+        let stats = DatasetStats {
+            name: "x",
+            n_tables: 2,
+            relevant_rows: 10,
+            train_rows: 5,
+            n_relevant_cols: 8,
+            n_agg_columns: 3,
+            n_predicate_attrs: 5,
+            task: TaskKind::Binary,
+        };
+        assert_eq!(stats.n_query_templates(), 32.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Student-performance dataset (binary classification, one-to-many, time-series flavoured).
+//!
+//! Mirrors the paper's Student dataset (Kaggle "Predict Student Performance from Game Play"):
+//! the training table holds game sessions with a "will the player answer the question correctly"
+//! label; the relevant table holds the raw event stream of each session (event name, room,
+//! level, elapsed time, hover duration, coordinates).
+//!
+//! **Planted signal**: the label depends mostly on *how much time the player spent on notebook
+//! events in the late levels* — `SUM(hover_duration) WHERE event_name = 'notebook_click' AND
+//! level >= 10 GROUP BY session_id` — with a weak total-activity component and noise.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use feataug_tabular::{Column, Table};
+
+use crate::spec::{GenConfig, SyntheticDataset, TaskKind};
+use crate::util::{add_noise_columns, normal, sigmoid, zscore};
+
+/// Event vocabulary; `notebook_click` carries the planted signal.
+pub const EVENTS: [&str; 6] =
+    ["navigate_click", "notebook_click", "person_click", "cutscene_click", "map_hover", "checkpoint"];
+/// Rooms (uninformative).
+pub const ROOMS: [&str; 5] = ["tunic", "kohlcenter", "capitol", "library", "basement"];
+
+/// Level threshold above which notebook time is informative.
+pub const SIGNAL_LEVEL: i64 = 10;
+
+/// Generate the Student-style dataset.
+pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57d7);
+    let n = cfg.n_entities;
+
+    let mut session_ids = Vec::with_capacity(n);
+    let mut level_groups: Vec<&str> = Vec::with_capacity(n);
+    let mut question_ids = Vec::with_capacity(n);
+
+    let mut r_session = Vec::new();
+    let mut r_event: Vec<&str> = Vec::new();
+    let mut r_room: Vec<&str> = Vec::new();
+    let mut r_level = Vec::new();
+    let mut r_elapsed = Vec::new();
+    let mut r_hover = Vec::new();
+    let mut r_x = Vec::new();
+    let mut r_y = Vec::new();
+
+    let mut signal = Vec::with_capacity(n);
+    let mut activity = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let session = format!("s{i}");
+        let diligence = normal(&mut rng); // how much the player uses the notebook late-game
+        let events = (cfg.fanout as f64 * (0.6 + 0.8 * rng.gen::<f64>())).round().max(2.0) as usize;
+
+        let mut notebook_late_time = 0.0;
+        let mut elapsed = 0.0;
+        for _ in 0..events {
+            let level = rng.gen_range(1..=22i64);
+            let p_notebook = sigmoid(0.7 * diligence - 0.8);
+            let event = if rng.gen::<f64>() < p_notebook {
+                "notebook_click"
+            } else {
+                EVENTS[if rng.gen_bool(0.5) { 0 } else { 2 + rng.gen_range(0..EVENTS.len() - 2) }]
+            };
+            // Only the *conditional mean* of notebook hovers in the late levels expresses the
+            // player's diligence; every other hover duration is wide noise over the same range,
+            // so the unconditional SUM/AVG of hover_duration stays mostly uninformative.
+            let hover = if event == "notebook_click" && level >= SIGNAL_LEVEL {
+                (2.0 + 0.9 * diligence).max(0.1) * rng.gen_range(0.85..1.15)
+            } else {
+                rng.gen_range(0.0..4.0)
+            };
+            elapsed += rng.gen_range(0.2..5.0);
+            if event == "notebook_click" && level >= SIGNAL_LEVEL {
+                notebook_late_time += hover;
+            }
+            r_session.push(session.clone());
+            r_event.push(event);
+            r_room.push(ROOMS[rng.gen_range(0..ROOMS.len())]);
+            r_level.push(level);
+            r_elapsed.push(elapsed);
+            r_hover.push(hover);
+            r_x.push(rng.gen_range(-400.0..400.0));
+            r_y.push(rng.gen_range(-300.0..300.0));
+        }
+
+        signal.push(notebook_late_time);
+        activity.push(events as f64);
+        session_ids.push(session);
+        level_groups.push(["0-4", "5-12", "13-22"][i % 3]);
+        question_ids.push((i % 18) as i64 + 1);
+    }
+
+    zscore(&mut signal);
+    let mut activity_z = activity.clone();
+    zscore(&mut activity_z);
+    let labels: Vec<i64> = (0..n)
+        .map(|i| {
+            let logit = 1.6 * signal[i] + 0.3 * activity_z[i] + 0.5 * normal(&mut rng) + 0.1;
+            (rng.gen::<f64>() < sigmoid(logit)) as i64
+        })
+        .collect();
+
+    let mut train = Table::new("sessions");
+    train.add_column("session_id", Column::from_strings(&session_ids)).unwrap();
+    train.add_column("level_group", Column::from_strs(&level_groups)).unwrap();
+    train.add_column("question_id", Column::from_i64s(&question_ids)).unwrap();
+    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+
+    let mut relevant = Table::new("game_events");
+    relevant.add_column("session_id", Column::from_strings(&r_session)).unwrap();
+    relevant.add_column("event_name", Column::from_strs(&r_event)).unwrap();
+    relevant.add_column("room", Column::from_strs(&r_room)).unwrap();
+    relevant.add_column("level", Column::from_i64s(&r_level)).unwrap();
+    relevant.add_column("elapsed_time", Column::from_f64s(&r_elapsed)).unwrap();
+    relevant.add_column("hover_duration", Column::from_f64s(&r_hover)).unwrap();
+    relevant.add_column("screen_x", Column::from_f64s(&r_x)).unwrap();
+    relevant.add_column("screen_y", Column::from_f64s(&r_y)).unwrap();
+    add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
+
+    SyntheticDataset {
+        name: "student",
+        train,
+        relevant,
+        key_columns: vec!["session_id".into()],
+        label_column: "label".into(),
+        agg_columns: vec![
+            "hover_duration".into(),
+            "elapsed_time".into(),
+            "screen_x".into(),
+            "screen_y".into(),
+        ],
+        predicate_attrs: vec![
+            "event_name".into(),
+            "level".into(),
+            "room".into(),
+            "elapsed_time".into(),
+        ],
+        task: TaskKind::Binary,
+        signal_description:
+            "label ≈ f(SUM(hover_duration) WHERE event_name='notebook_click' AND level>=10)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = GenConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.relevant.num_rows(), b.relevant.num_rows());
+        assert_eq!(a.train.num_rows(), cfg.n_entities);
+        assert_eq!(a.name, "student");
+    }
+
+    #[test]
+    fn levels_in_range_and_labels_balanced() {
+        let ds = generate(&GenConfig::small());
+        let levels = ds.relevant.column("level").unwrap().numeric_values();
+        assert!(levels.iter().all(|&l| (1.0..=22.0).contains(&l)));
+        let labels = ds.train.column("label").unwrap().numeric_values();
+        let rate = labels.iter().sum::<f64>() / labels.len() as f64;
+        assert!(rate > 0.15 && rate < 0.9, "rate {rate}");
+    }
+
+    #[test]
+    fn base_features_exclude_key_and_label() {
+        let ds = generate(&GenConfig::tiny());
+        let base = ds.base_feature_columns();
+        assert!(base.contains(&"level_group".to_string()));
+        assert!(!base.contains(&"session_id".to_string()));
+        assert!(!base.contains(&"label".to_string()));
+    }
+}

@@ -1,0 +1,293 @@
+//! Tmall-style repeat-buyer dataset (binary classification, one-to-many).
+//!
+//! Mirrors the paper's Tmall dataset: the training table holds (user, merchant) pairs with a
+//! small demographic profile and a "will this user buy from this merchant again" label; the
+//! relevant table holds their interaction logs (product price, department, brand, action type,
+//! timestamp).
+//!
+//! **Planted signal**: the label is driven mostly by the user's *average spend on Electronics in
+//! the most recent 30 days* — i.e. by `AVG(pprice) WHERE department = 'Electronics' AND
+//! timestamp >= recent_cutoff GROUP BY user_id, merchant_id` — plus a weaker unconditional
+//! activity signal and noise. A predicate-free aggregation (Featuretools) can only capture the
+//! weaker components.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use feataug_tabular::{Column, Table};
+
+use crate::spec::{GenConfig, SyntheticDataset, TaskKind};
+use crate::util::{add_noise_columns, normal, sigmoid, zscore};
+
+/// Departments appearing in the logs; Electronics carries the planted signal.
+pub const DEPARTMENTS: [&str; 5] = ["Electronics", "Home", "Clothing", "Food", "Toys"];
+/// Brand vocabulary (uninformative).
+pub const BRANDS: [&str; 8] = ["b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"];
+/// User action types (weakly informative via purchase counts).
+pub const ACTIONS: [&str; 3] = ["click", "cart", "purchase"];
+
+/// Start of the simulated log window (epoch seconds, ~Aug 2022).
+pub const WINDOW_START: i64 = 1_660_000_000;
+/// Length of the simulated window in seconds (365 days).
+pub const WINDOW_LEN: i64 = 365 * 24 * 3600;
+/// The "recent" cutoff carrying the signal: the last 30 days of the window.
+pub const RECENT_CUTOFF: i64 = WINDOW_START + WINDOW_LEN - 30 * 24 * 3600;
+
+/// Generate the Tmall-style dataset.
+pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7a11);
+    let n = cfg.n_entities;
+    let n_merchants = (n / 20).max(5);
+
+    // Training-table columns.
+    let mut user_ids = Vec::with_capacity(n);
+    let mut merchant_ids = Vec::with_capacity(n);
+    let mut ages = Vec::with_capacity(n);
+    let mut genders: Vec<&str> = Vec::with_capacity(n);
+
+    // Relevant-table columns.
+    let mut r_user = Vec::new();
+    let mut r_merchant = Vec::new();
+    let mut r_price = Vec::new();
+    let mut r_qty = Vec::new();
+    let mut r_dept: Vec<&str> = Vec::new();
+    let mut r_brand: Vec<&str> = Vec::new();
+    let mut r_action: Vec<&str> = Vec::new();
+    let mut r_ts = Vec::new();
+
+    // Per-entity planted signal components.
+    let mut recent_elec_avg = Vec::with_capacity(n);
+    let mut total_logs = Vec::with_capacity(n);
+    let mut age_effect = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let user = format!("u{i}");
+        let merchant = format!("m{}", i % n_merchants);
+        let age = rng.gen_range(18..70);
+        let gender = if rng.gen_bool(0.5) { "F" } else { "M" };
+
+        // Latent traits.
+        let electronics_affinity = normal(&mut rng);
+        let recency_bias = normal(&mut rng);
+        let activity = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>())).round().max(1.0) as usize;
+
+        let mut elec_recent_sum = 0.0;
+        let mut elec_recent_cnt = 0usize;
+        for _ in 0..activity {
+            // Department choice: Electronics more likely for high-affinity users.
+            let p_elec = sigmoid(0.6 * electronics_affinity - 0.6);
+            let dept = if rng.gen::<f64>() < p_elec {
+                "Electronics"
+            } else {
+                DEPARTMENTS[1 + rng.gen_range(0..DEPARTMENTS.len() - 1)]
+            };
+            // Timestamp: recent rows more likely for high recency-bias users.
+            let recent = rng.gen::<f64>() < sigmoid(0.8 * recency_bias);
+            let ts = if recent {
+                RECENT_CUTOFF + rng.gen_range(0..(WINDOW_START + WINDOW_LEN - RECENT_CUTOFF))
+            } else {
+                WINDOW_START + rng.gen_range(0..(RECENT_CUTOFF - WINDOW_START))
+            };
+            // Price: only the *conditional mean* of recent Electronics purchases carries the
+            // user's latent affinity. All prices are drawn from wide, overlapping ranges, so
+            // predicate-free aggregates (unconditional AVG / MAX / SUM) see mostly noise: the
+            // informative subset is ~5% of the rows and its values sit inside the global range.
+            let price = if dept == "Electronics" && ts >= RECENT_CUTOFF {
+                // Mean shifts with affinity (≈ 60..220 for affinity in ±1.5), tight noise.
+                (120.0 + 55.0 * electronics_affinity) * rng.gen_range(0.85..1.15)
+            } else {
+                // Background rows: wide multiplicative noise around department-level bases that
+                // covers the same numeric range as the informative subset.
+                let base = match dept {
+                    "Electronics" => 120.0,
+                    "Home" => 60.0,
+                    "Clothing" => 40.0,
+                    "Food" => 15.0,
+                    _ => 25.0,
+                };
+                base * rng.gen_range(0.3..2.8)
+            }
+            .max(1.0);
+            let qty = rng.gen_range(1..5i64);
+            let action = ACTIONS[rng.gen_range(0..ACTIONS.len())];
+            let brand = BRANDS[rng.gen_range(0..BRANDS.len())];
+
+            if dept == "Electronics" && ts >= RECENT_CUTOFF {
+                elec_recent_sum += price;
+                elec_recent_cnt += 1;
+            }
+
+            r_user.push(user.clone());
+            r_merchant.push(merchant.clone());
+            r_price.push(price);
+            r_qty.push(qty);
+            r_dept.push(dept);
+            r_brand.push(brand);
+            r_action.push(action);
+            r_ts.push(ts);
+        }
+
+        recent_elec_avg.push(if elec_recent_cnt > 0 {
+            elec_recent_sum / elec_recent_cnt as f64
+        } else {
+            0.0
+        });
+        total_logs.push(activity as f64);
+        age_effect.push((age as f64 - 44.0) / 26.0);
+
+        user_ids.push(user);
+        merchant_ids.push(merchant);
+        ages.push(age as i64);
+        genders.push(gender);
+    }
+
+    // Label: strong predicate-aware component + weak unconditional component + noise.
+    zscore(&mut recent_elec_avg);
+    zscore(&mut total_logs);
+    let labels: Vec<i64> = (0..n)
+        .map(|i| {
+            let logit = 1.8 * recent_elec_avg[i]
+                + 0.35 * total_logs[i]
+                + 0.2 * age_effect[i]
+                + 0.5 * normal(&mut rng)
+                - 0.2;
+            (rng.gen::<f64>() < sigmoid(logit)) as i64
+        })
+        .collect();
+
+    let mut train = Table::new("user_info");
+    train.add_column("user_id", Column::from_strings(&user_ids)).unwrap();
+    train.add_column("merchant_id", Column::from_strings(&merchant_ids)).unwrap();
+    train.add_column("age", Column::from_i64s(&ages)).unwrap();
+    train.add_column("gender", Column::from_strs(&genders)).unwrap();
+    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+
+    let mut relevant = Table::new("user_logs");
+    relevant.add_column("user_id", Column::from_strings(&r_user)).unwrap();
+    relevant.add_column("merchant_id", Column::from_strings(&r_merchant)).unwrap();
+    relevant.add_column("pprice", Column::from_f64s(&r_price)).unwrap();
+    relevant.add_column("quantity", Column::from_i64s(&r_qty)).unwrap();
+    relevant.add_column("department", Column::from_strs(&r_dept)).unwrap();
+    relevant.add_column("brand", Column::from_strs(&r_brand)).unwrap();
+    relevant.add_column("action", Column::from_strs(&r_action)).unwrap();
+    relevant.add_column("timestamp", Column::from_datetimes(&r_ts)).unwrap();
+    add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
+
+    SyntheticDataset {
+        name: "tmall",
+        train,
+        relevant,
+        key_columns: vec!["user_id".into(), "merchant_id".into()],
+        label_column: "label".into(),
+        agg_columns: vec!["pprice".into(), "quantity".into()],
+        predicate_attrs: vec![
+            "department".into(),
+            "timestamp".into(),
+            "action".into(),
+            "brand".into(),
+            "quantity".into(),
+        ],
+        task: TaskKind::Binary,
+        signal_description:
+            "label ≈ f(AVG(pprice) WHERE department='Electronics' AND timestamp>=recent_cutoff)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_tabular::groupby::group_by_aggregate;
+    use feataug_tabular::{AggFunc, Predicate};
+
+    #[test]
+    fn shapes_and_schema() {
+        let cfg = GenConfig::tiny();
+        let ds = generate(&cfg);
+        assert_eq!(ds.train.num_rows(), cfg.n_entities);
+        assert!(ds.relevant.num_rows() >= cfg.n_entities); // at least one log per entity
+        assert!(ds.train.column("label").is_ok());
+        for key in &ds.key_columns {
+            assert!(ds.train.column(key).is_ok());
+            assert!(ds.relevant.column(key).is_ok());
+        }
+        for a in &ds.agg_columns {
+            assert!(ds.relevant.column(a).is_ok());
+        }
+        for p in &ds.predicate_attrs {
+            assert!(ds.relevant.column(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&GenConfig::tiny());
+        let b = generate(&GenConfig::tiny());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.relevant, b.relevant);
+        let c = generate(&GenConfig::tiny().with_seed(123));
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn labels_are_not_degenerate() {
+        let ds = generate(&GenConfig::small());
+        let labels = ds.train.column("label").unwrap().numeric_values();
+        let rate = labels.iter().sum::<f64>() / labels.len() as f64;
+        assert!(rate > 0.1 && rate < 0.9, "positive rate = {rate}");
+    }
+
+    #[test]
+    fn predicate_restricted_aggregate_is_informative() {
+        // The planted feature (recent Electronics average price) should correlate with the label
+        // more strongly than the unrestricted average price.
+        let ds = generate(&GenConfig::small());
+        let labels = ds.train.column("label").unwrap().numeric_values();
+
+        let restricted = ds
+            .relevant
+            .filter(&Predicate::and(vec![
+                Predicate::eq("department", "Electronics"),
+                Predicate::ge("timestamp", RECENT_CUTOFF),
+            ]))
+            .unwrap();
+        let keys: Vec<&str> = ds.key_columns.iter().map(|s| s.as_str()).collect();
+        let planted =
+            group_by_aggregate(&restricted, &keys, AggFunc::Avg, "pprice", "f").unwrap();
+        let unrestricted =
+            group_by_aggregate(&ds.relevant, &keys, AggFunc::Avg, "pprice", "f").unwrap();
+
+        let attach = |feats: &feataug_tabular::Table| -> Vec<f64> {
+            let joined =
+                feataug_tabular::join::left_join(&ds.train, feats, &keys, &keys).unwrap();
+            joined
+                .column("f")
+                .unwrap()
+                .to_f64_vec()
+                .into_iter()
+                .map(|v| v.unwrap_or(0.0))
+                .collect()
+        };
+        let corr = |x: &[f64]| {
+            let n = x.len() as f64;
+            let mx = x.iter().sum::<f64>() / n;
+            let my = labels.iter().sum::<f64>() / n;
+            let mut sxy = 0.0;
+            let mut sxx = 0.0;
+            let mut syy = 0.0;
+            for (a, b) in x.iter().zip(&labels) {
+                sxy += (a - mx) * (b - my);
+                sxx += (a - mx) * (a - mx);
+                syy += (b - my) * (b - my);
+            }
+            (sxy / (sxx.sqrt() * syy.sqrt() + 1e-12)).abs()
+        };
+        let planted_corr = corr(&attach(&planted));
+        let plain_corr = corr(&attach(&unrestricted));
+        assert!(
+            planted_corr > plain_corr,
+            "planted {planted_corr} should beat unrestricted {plain_corr}"
+        );
+        assert!(planted_corr > 0.2, "planted signal too weak: {planted_corr}");
+    }
+}

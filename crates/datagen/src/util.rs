@@ -1,0 +1,101 @@
+//! Shared helpers for the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use feataug_tabular::{Column, Table};
+
+/// Numerically stable sigmoid.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Append `n` uninformative columns (alternating float noise and low-cardinality categoricals)
+/// to a table. Names are `noise_0`, `noise_1`, ….
+pub(crate) fn add_noise_columns(table: &mut Table, n: usize, rng: &mut StdRng) {
+    let rows = table.num_rows();
+    for c in 0..n {
+        let name = format!("noise_{c}");
+        if c % 2 == 0 {
+            let vals: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            table.add_column(name, Column::from_f64s(&vals)).expect("fresh noise column");
+        } else {
+            let choices = ["n0", "n1", "n2", "n3"];
+            let vals: Vec<&str> =
+                (0..rows).map(|_| choices[rng.gen_range(0..choices.len())]).collect();
+            table.add_column(name, Column::from_strs(&vals)).expect("fresh noise column");
+        }
+    }
+}
+
+/// Z-score normalise a vector in place (no-op for constant vectors).
+pub(crate) fn zscore(values: &mut [f64]) {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std > 1e-12 {
+        for v in values.iter_mut() {
+            *v = (*v - mean) / std;
+        }
+    } else {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..5000).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_columns_are_added_with_unique_names() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut t = Table::new("t");
+        t.add_column("k", Column::from_i64s(&[1, 2, 3])).unwrap();
+        add_noise_columns(&mut t, 3, &mut rng);
+        assert_eq!(t.num_columns(), 4);
+        assert!(t.column("noise_0").is_ok());
+        assert!(t.column("noise_2").is_ok());
+    }
+
+    #[test]
+    fn zscore_normalises() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        zscore(&mut v);
+        let mean: f64 = v.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        let mut constant = vec![5.0, 5.0];
+        zscore(&mut constant);
+        assert_eq!(constant, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Converting tables into ML datasets.
+//!
+//! The downstream models consume dense `f64` matrices, so an (augmented) training table has to
+//! be encoded: numeric columns pass through, booleans become 0/1, datetimes their epoch seconds,
+//! categorical columns are ordinal-encoded by dictionary code (or one-hot when the cardinality
+//! is small), and NULLs become NaN for the model's imputation to handle.
+
+use feataug_ml::{Dataset, Matrix, Task};
+use feataug_tabular::{Column, DataType, Table};
+
+/// Maximum cardinality for which categorical columns are one-hot encoded; larger dictionaries
+/// fall back to ordinal codes.
+pub const ONE_HOT_MAX: usize = 8;
+
+/// Encode a training table into a [`Dataset`].
+///
+/// * `label_column` becomes `y` (NaN labels are mapped to 0).
+/// * `exclude` columns (typically the key columns) are dropped.
+/// * Everything else becomes one or more feature columns.
+pub fn table_to_dataset(
+    table: &Table,
+    label_column: &str,
+    exclude: &[String],
+    task: Task,
+) -> Dataset {
+    let labels: Vec<f64> = table
+        .column(label_column)
+        .expect("label column exists")
+        .to_f64_vec()
+        .into_iter()
+        .map(|v| v.unwrap_or(0.0))
+        .collect();
+
+    let mut feature_names: Vec<String> = Vec::new();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+
+    for field in table.schema().fields() {
+        if field.name == label_column || exclude.iter().any(|e| *e == field.name) {
+            continue;
+        }
+        let col = table.column(&field.name).expect("schema-consistent");
+        match (&field.dtype, col) {
+            (DataType::Categorical, Column::Cat(cat)) if cat.cardinality() <= ONE_HOT_MAX => {
+                // One-hot encode small categoricals.
+                for (code, value) in cat.dictionary().iter().enumerate() {
+                    feature_names.push(format!("{}={}", field.name, value));
+                    columns.push(
+                        cat.codes()
+                            .iter()
+                            .map(|c| match c {
+                                Some(x) if *x as usize == code => 1.0,
+                                Some(_) => 0.0,
+                                None => f64::NAN,
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            _ => {
+                feature_names.push(field.name.clone());
+                columns.push(
+                    col.to_f64_vec().into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+                );
+            }
+        }
+    }
+
+    let rows = table.num_rows();
+    let cols = columns.len();
+    let mut data = vec![0.0; rows * cols];
+    for (j, column) in columns.iter().enumerate() {
+        for (i, v) in column.iter().enumerate() {
+            data[i * cols + j] = *v;
+        }
+    }
+    Dataset::new(Matrix::new(data, rows, cols), labels, feature_names, task)
+}
+
+/// Extract a single feature column of an augmented table as an `f64` vector aligned with the
+/// table's rows (NULL → NaN). This is what the search loop hands to the low-cost proxies.
+pub fn feature_vector(table: &Table, feature_column: &str) -> Vec<f64> {
+    table
+        .column(feature_column)
+        .expect("feature column exists")
+        .to_f64_vec()
+        .into_iter()
+        .map(|v| v.unwrap_or(f64::NAN))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_tabular::Column;
+
+    fn table() -> Table {
+        let mut t = Table::new("t");
+        t.add_column("user", Column::from_strs(&["u1", "u2", "u3"])).unwrap();
+        t.add_column("age", Column::from_i64s(&[30, 40, 50])).unwrap();
+        t.add_column("gender", Column::from_strs(&["F", "M", "F"])).unwrap();
+        t.add_column("feat", Column::from_opt_f64s(&[Some(1.5), None, Some(3.0)])).unwrap();
+        t.add_column("label", Column::from_i64s(&[1, 0, 1])).unwrap();
+        t
+    }
+
+    #[test]
+    fn encodes_numeric_onehot_and_labels() {
+        let ds = table_to_dataset(
+            &table(),
+            "label",
+            &["user".to_string()],
+            Task::BinaryClassification,
+        );
+        assert_eq!(ds.len(), 3);
+        // age + gender one-hot (2) + feat = 4 features.
+        assert_eq!(ds.n_features(), 4);
+        assert_eq!(ds.y, vec![1.0, 0.0, 1.0]);
+        assert!(ds.feature_names.contains(&"gender=F".to_string()));
+        assert!(ds.feature_names.contains(&"gender=M".to_string()));
+        // NULL feature value becomes NaN.
+        let feat_idx = ds.feature_names.iter().position(|n| n == "feat").unwrap();
+        assert!(ds.x.get(1, feat_idx).is_nan());
+        assert_eq!(ds.x.get(0, feat_idx), 1.5);
+    }
+
+    #[test]
+    fn high_cardinality_categorical_is_ordinal() {
+        let mut t = Table::new("t");
+        let values: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
+        t.add_column("big", Column::from_strings(&values)).unwrap();
+        t.add_column("label", Column::from_i64s(&(0..20).map(|i| i % 2).collect::<Vec<_>>()))
+            .unwrap();
+        let ds = table_to_dataset(&t, "label", &[], Task::BinaryClassification);
+        assert_eq!(ds.n_features(), 1);
+        assert_eq!(ds.x.get(5, 0), 5.0); // ordinal code
+    }
+
+    #[test]
+    fn feature_vector_maps_null_to_nan() {
+        let v = feature_vector(&table(), "feat");
+        assert_eq!(v.len(), 3);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 3.0);
+    }
+}

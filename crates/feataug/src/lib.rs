@@ -1,0 +1,62 @@
+//! # feataug
+//!
+//! A Rust reproduction of **FeatAug** (Qi, Zheng, Wang — ICDE 2024): automatic feature
+//! augmentation from one-to-many relationship tables via predicate-aware SQL query generation.
+//!
+//! Given a training table `D`, a relevant table `R` with a foreign key into `D`, and a
+//! downstream ML model, FeatAug searches for group-by aggregation queries *with predicates*
+//!
+//! ```sql
+//! SELECT k, agg(a) AS feature FROM R
+//! WHERE pred(p1) AND ... AND pred(pw)
+//! GROUP BY k
+//! ```
+//!
+//! whose result, left-joined onto `D`, most improves the model's validation performance.
+//!
+//! The crate is organised around the paper's two components:
+//!
+//! * [`generation`] — **SQL Query Generation** (paper Section V): the query pool of a fixed
+//!   [`template::QueryTemplate`] is encoded as a hyperparameter space ([`query::QueryCodec`])
+//!   and searched with TPE, warm-started from a low-cost proxy ([`proxy::LowCostProxy`]).
+//! * [`template_id`] — **Query Template Identification** (paper Section VI): beam search over
+//!   attribute combinations for the `WHERE` clause, accelerated by the proxy (Optimization 1)
+//!   and a learned template-performance predictor (Optimization 2).
+//!
+//! [`pipeline::FeatAug`] glues the two together into the end-to-end system evaluated in the
+//! paper, and [`baselines`] contains the comparison methods (Featuretools + selectors, Random,
+//! ARDA-style, AutoFeature-style).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use feataug::pipeline::{FeatAug, FeatAugConfig};
+//! use feataug::problem::AugTask;
+//! use feataug_ml::{ModelKind, Task};
+//!
+//! # fn get_tables() -> (feataug_tabular::Table, feataug_tabular::Table) { unimplemented!() }
+//! let (train, relevant) = get_tables();
+//! let task = AugTask::new(train, relevant, vec!["user_id".into()], "label", Task::BinaryClassification)
+//!     .with_agg_columns(vec!["pprice".into()])
+//!     .with_predicate_attrs(vec!["department".into(), "timestamp".into()]);
+//! let result = FeatAug::new(FeatAugConfig::fast(ModelKind::Linear)).augment(&task);
+//! println!("augmented table has {} columns", result.augmented_train.num_columns());
+//! ```
+
+pub mod baselines;
+pub mod encoding;
+pub mod evaluation;
+pub mod generation;
+pub mod multi;
+pub mod pipeline;
+pub mod problem;
+pub mod proxy;
+pub mod query;
+pub mod template;
+pub mod template_id;
+
+pub use pipeline::{FeatAug, FeatAugConfig, FeatAugResult};
+pub use problem::AugTask;
+pub use proxy::LowCostProxy;
+pub use query::{PredicateQuery, QueryCodec};
+pub use template::QueryTemplate;

@@ -1,0 +1,152 @@
+//! The feature-augmentation problem instance (paper Section III).
+
+use feataug_ml::Task;
+use feataug_tabular::Table;
+
+/// A feature-augmentation task: the training table `D`, the relevant table `R`, the foreign-key
+/// columns linking them, the label, the downstream learning task, and the attribute sets
+/// FeatAug may use for aggregation (`A`) and predicates (`attr`).
+#[derive(Debug, Clone)]
+pub struct AugTask {
+    /// Training table `D` (contains the key columns and the label column).
+    pub train: Table,
+    /// Relevant table `R` (contains the key columns and the candidate feature attributes).
+    pub relevant: Table,
+    /// Foreign-key / group-by columns shared by `D` and `R` (paper's `K`).
+    pub key_columns: Vec<String>,
+    /// Name of the label column in `train`.
+    pub label_column: String,
+    /// Downstream learning task.
+    pub task: Task,
+    /// Attributes of `R` that may be aggregated (paper's `A`). Defaults to every numeric
+    /// non-key column of `R` when left empty.
+    pub agg_columns: Vec<String>,
+    /// Attributes of `R` offered as candidate predicate attributes (paper's `attr`). Defaults to
+    /// every non-key column of `R` when left empty.
+    pub predicate_attrs: Vec<String>,
+}
+
+impl AugTask {
+    /// Build a task; `agg_columns` / `predicate_attrs` start empty and are resolved to their
+    /// defaults by [`AugTask::resolved_agg_columns`] / [`AugTask::resolved_predicate_attrs`].
+    pub fn new(
+        train: Table,
+        relevant: Table,
+        key_columns: Vec<String>,
+        label_column: impl Into<String>,
+        task: Task,
+    ) -> Self {
+        AugTask {
+            train,
+            relevant,
+            key_columns,
+            label_column: label_column.into(),
+            task,
+            agg_columns: Vec::new(),
+            predicate_attrs: Vec::new(),
+        }
+    }
+
+    /// Builder-style setter for the aggregation attribute set `A`.
+    pub fn with_agg_columns(mut self, cols: Vec<String>) -> Self {
+        self.agg_columns = cols;
+        self
+    }
+
+    /// Builder-style setter for the candidate predicate attribute set `attr`.
+    pub fn with_predicate_attrs(mut self, attrs: Vec<String>) -> Self {
+        self.predicate_attrs = attrs;
+        self
+    }
+
+    /// Key columns as `&str` slices (convenience for the tabular API).
+    pub fn keys(&self) -> Vec<&str> {
+        self.key_columns.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// The aggregation attributes to use: the configured set, or every numeric-like non-key
+    /// column of `R`.
+    pub fn resolved_agg_columns(&self) -> Vec<String> {
+        if !self.agg_columns.is_empty() {
+            return self.agg_columns.clone();
+        }
+        self.relevant
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| {
+                f.dtype.is_numeric_like() && !self.key_columns.iter().any(|k| *k == f.name)
+            })
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// The candidate predicate attributes to use: the configured set, or every non-key column of
+    /// `R`.
+    pub fn resolved_predicate_attrs(&self) -> Vec<String> {
+        if !self.predicate_attrs.is_empty() {
+            return self.predicate_attrs.clone();
+        }
+        self.relevant
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| !self.key_columns.iter().any(|k| *k == f.name))
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// The label vector of the training table, as `f64`.
+    pub fn labels(&self) -> Vec<f64> {
+        self.train
+            .column(&self.label_column)
+            .expect("label column exists")
+            .to_f64_vec()
+            .into_iter()
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_tabular::Column;
+
+    fn toy_task() -> AugTask {
+        let mut train = Table::new("d");
+        train.add_column("k", Column::from_strs(&["a", "b"])).unwrap();
+        train.add_column("age", Column::from_i64s(&[30, 40])).unwrap();
+        train.add_column("label", Column::from_i64s(&[1, 0])).unwrap();
+        let mut relevant = Table::new("r");
+        relevant.add_column("k", Column::from_strs(&["a", "a", "b"])).unwrap();
+        relevant.add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
+        relevant.add_column("dept", Column::from_strs(&["e", "h", "e"])).unwrap();
+        AugTask::new(train, relevant, vec!["k".into()], "label", Task::BinaryClassification)
+    }
+
+    #[test]
+    fn resolved_defaults_exclude_keys() {
+        let task = toy_task();
+        assert_eq!(task.resolved_agg_columns(), vec!["x".to_string()]);
+        assert_eq!(
+            task.resolved_predicate_attrs(),
+            vec!["x".to_string(), "dept".to_string()]
+        );
+    }
+
+    #[test]
+    fn builders_override_defaults() {
+        let task = toy_task()
+            .with_agg_columns(vec!["x".into()])
+            .with_predicate_attrs(vec!["dept".into()]);
+        assert_eq!(task.resolved_predicate_attrs(), vec!["dept".to_string()]);
+        assert_eq!(task.keys(), vec!["k"]);
+    }
+
+    #[test]
+    fn labels_extracted_as_f64() {
+        let task = toy_task();
+        assert_eq!(task.labels(), vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Low-cost proxies for feature effectiveness.
+//!
+//! Training the downstream model for every candidate query is expensive; the warm-up phase of
+//! SQL Query Generation and the Query Template Identification component instead score candidate
+//! features with a cheap statistic (paper Section V-C, Section VI-C Optimization 1, and the
+//! proxy comparison in Table VIII: Spearman correlation, mutual information, or a logistic /
+//! linear model).
+
+use feataug_fsel::{mutual_information, spearman};
+use feataug_ml::linear::{LinearConfig, LinearRegression, LogisticRegression};
+use feataug_ml::model::Model;
+use feataug_ml::{Dataset, Matrix, Metric, Task};
+
+/// The low-cost proxy used to pre-score candidate features / query templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowCostProxy {
+    /// Mutual information between the feature and the label (paper default, "MI").
+    MutualInformation,
+    /// Absolute Spearman rank correlation ("SC").
+    Spearman,
+    /// Validation performance of a single-feature linear / logistic model ("LR").
+    LinearModel,
+}
+
+impl LowCostProxy {
+    /// Every proxy, in the order of the paper's Table VIII columns.
+    pub fn all() -> &'static [LowCostProxy] {
+        &[LowCostProxy::Spearman, LowCostProxy::MutualInformation, LowCostProxy::LinearModel]
+    }
+
+    /// Paper-style short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LowCostProxy::MutualInformation => "MI",
+            LowCostProxy::Spearman => "SC",
+            LowCostProxy::LinearModel => "LR",
+        }
+    }
+
+    /// Score a candidate feature vector against the labels; **higher is better**.
+    ///
+    /// `feature` may contain NaN for rows whose key had no matching relevant rows; the proxies
+    /// handle that (MI treats missingness as its own bin, SC ranks missing values neutrally, the
+    /// linear proxy imputes).
+    pub fn score(&self, feature: &[f64], labels: &[f64], task: Task) -> f64 {
+        let classification = task.is_classification();
+        match self {
+            LowCostProxy::MutualInformation => {
+                mutual_information(feature, labels, classification)
+            }
+            LowCostProxy::Spearman => spearman(feature, labels).abs(),
+            LowCostProxy::LinearModel => {
+                let rows: Vec<Vec<f64>> = feature.iter().map(|&v| vec![v]).collect();
+                let data = Dataset::new(
+                    Matrix::from_rows(&rows),
+                    labels.to_vec(),
+                    vec!["candidate".to_string()],
+                    task,
+                );
+                let (train, valid) = data.split2(0.7, 13);
+                if train.is_empty() || valid.is_empty() {
+                    return 0.0;
+                }
+                let metric = Metric::for_task(task);
+                let preds = match task {
+                    Task::Regression => {
+                        let mut m = LinearRegression::new(LinearConfig::default());
+                        m.fit(&train);
+                        m.predict(&valid.x)
+                    }
+                    _ => {
+                        let mut m = LogisticRegression::new(LinearConfig::default());
+                        m.fit(&train);
+                        m.predict(&valid.x)
+                    }
+                };
+                let value = metric.compute(&valid.y, &preds);
+                // Convert to "higher is better".
+                if metric.higher_is_better() {
+                    value
+                } else {
+                    -value
+                }
+            }
+        }
+    }
+
+    /// The proxy value as a loss (lower is better) so it can drive the minimising optimizer.
+    pub fn loss(&self, feature: &[f64], labels: &[f64], task: Task) -> f64 {
+        -self.score(feature, labels, task)
+    }
+}
+
+impl std::fmt::Display for LowCostProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary_labels(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 2) as f64).collect()
+    }
+
+    #[test]
+    fn proxies_prefer_informative_features() {
+        let labels = binary_labels(200);
+        let informative: Vec<f64> = labels.iter().map(|&y| y * 3.0 + 0.1).collect();
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 37) % 23) as f64).collect();
+        for proxy in LowCostProxy::all() {
+            let s_info = proxy.score(&informative, &labels, Task::BinaryClassification);
+            let s_noise = proxy.score(&noise, &labels, Task::BinaryClassification);
+            assert!(
+                s_info > s_noise,
+                "{proxy} scored informative {s_info} <= noise {s_noise}"
+            );
+        }
+    }
+
+    #[test]
+    fn proxies_work_for_regression() {
+        let y: Vec<f64> = (0..150).map(|i| i as f64 * 0.5).collect();
+        let informative: Vec<f64> = y.iter().map(|v| v * 2.0 + 1.0).collect();
+        let noise: Vec<f64> = (0..150).map(|i| ((i * 31) % 17) as f64).collect();
+        for proxy in LowCostProxy::all() {
+            let s_info = proxy.score(&informative, &y, Task::Regression);
+            let s_noise = proxy.score(&noise, &y, Task::Regression);
+            assert!(s_info > s_noise, "{proxy}: {s_info} vs {s_noise}");
+        }
+    }
+
+    #[test]
+    fn proxy_handles_nan_features() {
+        let labels = binary_labels(100);
+        let feature: Vec<f64> =
+            labels.iter().map(|&y| if y > 0.5 { 1.0 } else { f64::NAN }).collect();
+        for proxy in LowCostProxy::all() {
+            let s = proxy.score(&feature, &labels, Task::BinaryClassification);
+            assert!(s.is_finite(), "{proxy} produced a non-finite score");
+        }
+    }
+
+    #[test]
+    fn loss_is_negated_score() {
+        let labels = binary_labels(60);
+        let feature: Vec<f64> = labels.iter().map(|&y| y + 0.5).collect();
+        let p = LowCostProxy::MutualInformation;
+        assert_eq!(
+            p.loss(&feature, &labels, Task::BinaryClassification),
+            -p.score(&feature, &labels, Task::BinaryClassification)
+        );
+    }
+
+    #[test]
+    fn names_match_table_viii() {
+        assert_eq!(LowCostProxy::MutualInformation.name(), "MI");
+        assert_eq!(LowCostProxy::Spearman.name(), "SC");
+        assert_eq!(LowCostProxy::LinearModel.name(), "LR");
+        assert_eq!(LowCostProxy::all().len(), 3);
+    }
+}

@@ -1,0 +1,420 @@
+//! Predicate-aware SQL queries, and the encoding of a query pool as a hyperparameter space.
+//!
+//! [`QueryCodec`] implements the paper's mapping from a query template's pool `Q_T` to a vector
+//! space `V` (Section V-A): one dimension for the aggregation function, one for the aggregated
+//! attribute, one dimension per categorical predicate attribute (its equality constant, or
+//! "none"), two per numerical/datetime predicate attribute (range bounds, each optional), and —
+//! when the foreign key has several attributes — one binary dimension per key attribute for the
+//! group-by subset `k ⊆ K`. [`QueryCodec::decode`] turns a configuration sampled by the
+//! optimizer back into an executable [`PredicateQuery`].
+
+use feataug_hpo::{Config, Param, SearchSpace};
+use feataug_tabular::groupby::group_by_aggregate;
+use feataug_tabular::join::left_join;
+use feataug_tabular::{AggFunc, DataType, Predicate, Table, Value};
+
+use crate::template::QueryTemplate;
+
+/// Maximum number of distinct values enumerated per categorical predicate attribute.
+pub const MAX_CATEGORY_VALUES: usize = 24;
+
+/// A concrete predicate-aware SQL query (one point of a query pool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateQuery {
+    /// Aggregation function.
+    pub agg: AggFunc,
+    /// Aggregated attribute.
+    pub agg_column: String,
+    /// The `WHERE` clause (conjunction of equality / range predicates; `Predicate::True` when
+    /// empty).
+    pub predicate: Predicate,
+    /// Group-by key columns (a non-empty subset of the template's `K`).
+    pub group_keys: Vec<String>,
+}
+
+impl PredicateQuery {
+    /// A short, unique-ish column name for the generated feature, derived from the query text.
+    pub fn feature_name(&self) -> String {
+        let sql = self.to_sql("R");
+        // FNV-1a over the SQL text keeps names stable across runs without a hashing dependency.
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in sql.as_bytes() {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        format!("{}_{}_{:08x}", self.agg.name().to_lowercase(), self.agg_column, hash as u32)
+    }
+
+    /// Render the query as SQL text.
+    pub fn to_sql(&self, relevant_name: &str) -> String {
+        let keys = self.group_keys.join(", ");
+        let where_clause = if self.predicate.is_trivial() {
+            String::new()
+        } else {
+            format!(" WHERE {}", self.predicate)
+        };
+        format!(
+            "SELECT {keys}, {agg}({col}) AS feature FROM {relevant_name}{where_clause} GROUP BY {keys}",
+            agg = self.agg.name(),
+            col = self.agg_column,
+        )
+    }
+
+    /// Execute the query against the relevant table, producing a per-key feature table whose
+    /// feature column is named by [`PredicateQuery::feature_name`].
+    pub fn execute(&self, relevant: &Table) -> feataug_tabular::Result<Table> {
+        let filtered = if self.predicate.is_trivial() {
+            relevant.clone()
+        } else {
+            relevant.filter(&self.predicate)?
+        };
+        let keys: Vec<&str> = self.group_keys.iter().map(|s| s.as_str()).collect();
+        let name = self.feature_name();
+        group_by_aggregate(&filtered, &keys, self.agg, &self.agg_column, &name)
+    }
+
+    /// Execute the query and left-join the feature onto the training table (paper
+    /// Definition 3's augmented training table). Returns the augmented table and the feature
+    /// column's name.
+    pub fn augment(
+        &self,
+        train: &Table,
+        relevant: &Table,
+    ) -> feataug_tabular::Result<(Table, String)> {
+        let features = self.execute(relevant)?;
+        let keys: Vec<&str> = self.group_keys.iter().map(|s| s.as_str()).collect();
+        let augmented = left_join(train, &features, &keys, &keys)?;
+        Ok((augmented, self.feature_name()))
+    }
+}
+
+/// How one search-space dimension maps back onto the query.
+#[derive(Debug, Clone)]
+enum DimRole {
+    AggFunc,
+    AggColumn,
+    /// Equality predicate on a categorical attribute; the vector holds the attribute's
+    /// enumerated values.
+    CategoryEq { attr: String, values: Vec<Value> },
+    /// Lower bound of a range predicate on a numeric / datetime attribute.
+    RangeLow { attr: String, is_datetime: bool },
+    /// Upper bound of a range predicate.
+    RangeHigh { attr: String, is_datetime: bool },
+    /// Group-by key inclusion flag.
+    KeyFlag { key: String },
+}
+
+/// The encoder/decoder between a query template's pool and a hyperparameter [`SearchSpace`].
+#[derive(Debug, Clone)]
+pub struct QueryCodec {
+    template: QueryTemplate,
+    space: SearchSpace,
+    roles: Vec<DimRole>,
+}
+
+impl QueryCodec {
+    /// Build the codec for `template` by inspecting the relevant table's column domains.
+    ///
+    /// * categorical / boolean predicate attributes → one optional categorical dimension over
+    ///   their (capped) distinct values,
+    /// * numeric / datetime predicate attributes → two optional float dimensions (range bounds),
+    /// * multi-attribute foreign keys → one binary dimension per key attribute.
+    pub fn build(template: &QueryTemplate, relevant: &Table) -> feataug_tabular::Result<Self> {
+        let mut params = Vec::new();
+        let mut roles = Vec::new();
+
+        params.push(Param::categorical("agg_func", template.agg_funcs.len().max(1)));
+        roles.push(DimRole::AggFunc);
+        params.push(Param::categorical("agg_column", template.agg_columns.len().max(1)));
+        roles.push(DimRole::AggColumn);
+
+        for attr in &template.predicate_attrs {
+            let column = relevant.column(attr)?;
+            match column.dtype() {
+                DataType::Categorical | DataType::Bool => {
+                    let values = column.distinct_values(MAX_CATEGORY_VALUES);
+                    if values.is_empty() {
+                        continue;
+                    }
+                    params.push(Param::optional_categorical(
+                        format!("{attr}__eq"),
+                        values.len(),
+                    ));
+                    roles.push(DimRole::CategoryEq { attr: attr.clone(), values });
+                }
+                DataType::Int | DataType::Float | DataType::DateTime => {
+                    let Some((low, high)) = column.numeric_range() else { continue };
+                    let is_datetime = column.dtype() == DataType::DateTime;
+                    params.push(Param::optional_float(format!("{attr}__low"), low, high));
+                    roles.push(DimRole::RangeLow { attr: attr.clone(), is_datetime });
+                    params.push(Param::optional_float(format!("{attr}__high"), low, high));
+                    roles.push(DimRole::RangeHigh { attr: attr.clone(), is_datetime });
+                }
+            }
+        }
+
+        if template.key_columns.len() > 1 {
+            for key in &template.key_columns {
+                params.push(Param::categorical(format!("{key}__groupby"), 2));
+                roles.push(DimRole::KeyFlag { key: key.clone() });
+            }
+        }
+
+        Ok(QueryCodec { template: template.clone(), space: SearchSpace::new(params), roles })
+    }
+
+    /// The hyperparameter space representing the query pool.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The template this codec was built for.
+    pub fn template(&self) -> &QueryTemplate {
+        &self.template
+    }
+
+    /// Decode an optimizer configuration into an executable query.
+    pub fn decode(&self, config: &Config) -> PredicateQuery {
+        assert_eq!(config.len(), self.roles.len(), "config does not match codec");
+        let mut agg = *self.template.agg_funcs.first().unwrap_or(&AggFunc::Count);
+        let mut agg_column =
+            self.template.agg_columns.first().cloned().unwrap_or_default();
+        let mut predicates: Vec<Predicate> = Vec::new();
+        // attr -> (low, high) accumulated across the two range dimensions.
+        let mut ranges: Vec<(String, Option<f64>, Option<f64>, bool)> = Vec::new();
+        let mut selected_keys: Vec<String> = Vec::new();
+
+        for (value, role) in config.iter().zip(&self.roles) {
+            match role {
+                DimRole::AggFunc => {
+                    if let Some(i) = value.as_cat() {
+                        if let Some(f) = self.template.agg_funcs.get(i) {
+                            agg = *f;
+                        }
+                    }
+                }
+                DimRole::AggColumn => {
+                    if let Some(i) = value.as_cat() {
+                        if let Some(c) = self.template.agg_columns.get(i) {
+                            agg_column = c.clone();
+                        }
+                    }
+                }
+                DimRole::CategoryEq { attr, values } => {
+                    if let Some(i) = value.as_cat() {
+                        if let Some(v) = values.get(i) {
+                            predicates.push(Predicate::Eq {
+                                column: attr.clone(),
+                                value: v.clone(),
+                            });
+                        }
+                    }
+                }
+                DimRole::RangeLow { attr, is_datetime } => {
+                    let entry = ranges.iter_mut().find(|(a, _, _, _)| a == attr);
+                    let low = value.as_f64();
+                    match entry {
+                        Some(e) => e.1 = low,
+                        None => ranges.push((attr.clone(), low, None, *is_datetime)),
+                    }
+                }
+                DimRole::RangeHigh { attr, is_datetime } => {
+                    let high = value.as_f64();
+                    match ranges.iter_mut().find(|(a, _, _, _)| a == attr) {
+                        Some(e) => e.2 = high,
+                        None => ranges.push((attr.clone(), None, high, *is_datetime)),
+                    }
+                }
+                DimRole::KeyFlag { key } => {
+                    if value.as_cat() == Some(1) {
+                        selected_keys.push(key.clone());
+                    }
+                }
+            }
+        }
+
+        for (attr, low, high, is_datetime) in ranges {
+            if low.is_none() && high.is_none() {
+                continue;
+            }
+            // Ensure low <= high when both are present.
+            let (low, high) = match (low, high) {
+                (Some(l), Some(h)) if l > h => (Some(h), Some(l)),
+                other => other,
+            };
+            let to_value = |v: f64| {
+                if is_datetime {
+                    Value::DateTime(v.round() as i64)
+                } else {
+                    Value::Float(v)
+                }
+            };
+            predicates.push(Predicate::Range {
+                column: attr,
+                low: low.map(to_value),
+                high: high.map(to_value),
+            });
+        }
+
+        // Group-by keys: the selected subset, defaulting to the full foreign key when the subset
+        // is empty or the key is single-attribute.
+        let group_keys = if selected_keys.is_empty() {
+            self.template.key_columns.clone()
+        } else {
+            selected_keys
+        };
+
+        PredicateQuery {
+            agg,
+            agg_column,
+            predicate: Predicate::and(predicates),
+            group_keys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_hpo::ParamValue;
+    use feataug_tabular::Column;
+
+    fn relevant() -> Table {
+        let mut t = Table::new("logs");
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"])).unwrap();
+        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
+        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"])).unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
+        t
+    }
+
+    fn template() -> QueryTemplate {
+        QueryTemplate::new(
+            vec![AggFunc::Sum, AggFunc::Avg],
+            vec!["pprice".into()],
+            vec!["department".into(), "ts".into()],
+            vec!["cname".into(), "mid".into()],
+        )
+    }
+
+    #[test]
+    fn codec_space_shape_matches_paper_vector() {
+        let codec = QueryCodec::build(&template(), &relevant()).unwrap();
+        // agg + agg_col + department(1 cat) + ts(2 range) + 2 key flags = 7 dimensions.
+        assert_eq!(codec.space().len(), 7);
+    }
+
+    #[test]
+    fn decode_produces_valid_query_and_execution_works() {
+        let codec = QueryCodec::build(&template(), &relevant()).unwrap();
+        let config: Config = vec![
+            ParamValue::Cat(1),          // AVG
+            ParamValue::Cat(0),          // pprice
+            ParamValue::Cat(0),          // department = 'E'
+            ParamValue::Float(150.0),    // ts >= 150
+            ParamValue::Null,            // no upper bound
+            ParamValue::Cat(1),          // group by cname
+            ParamValue::Cat(0),          // not by mid
+        ];
+        let query = codec.decode(&config);
+        assert_eq!(query.agg, AggFunc::Avg);
+        assert_eq!(query.agg_column, "pprice");
+        assert_eq!(query.group_keys, vec!["cname".to_string()]);
+        let sql = query.to_sql("logs");
+        assert!(sql.contains("department = 'E'"));
+        assert!(sql.contains("ts >= 150"));
+
+        let out = query.execute(&relevant()).unwrap();
+        // Only rows 2,3 match (ts>=150 & dept=E), both cname=b -> single group.
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, &query.feature_name()).unwrap(), Value::Float(35.0));
+    }
+
+    #[test]
+    fn decode_swaps_inverted_bounds_and_defaults_keys() {
+        let codec = QueryCodec::build(&template(), &relevant()).unwrap();
+        let config: Config = vec![
+            ParamValue::Cat(0),
+            ParamValue::Cat(0),
+            ParamValue::Null,
+            ParamValue::Float(390.0), // low > high: must be swapped
+            ParamValue::Float(110.0),
+            ParamValue::Cat(0), // no key selected -> default to full key
+            ParamValue::Cat(0),
+        ];
+        let query = codec.decode(&config);
+        assert_eq!(query.group_keys, vec!["cname".to_string(), "mid".to_string()]);
+        match &query.predicate {
+            Predicate::Range { low, high, .. } => {
+                assert!(low.as_ref().unwrap().as_f64().unwrap() <= high.as_ref().unwrap().as_f64().unwrap());
+            }
+            other => panic!("expected a range predicate, got {other:?}"),
+        }
+        assert!(query.execute(&relevant()).is_ok());
+    }
+
+    #[test]
+    fn trivial_predicate_query_matches_plain_groupby() {
+        let codec = QueryCodec::build(&template(), &relevant()).unwrap();
+        let config: Config = vec![
+            ParamValue::Cat(0), // SUM
+            ParamValue::Cat(0),
+            ParamValue::Null,
+            ParamValue::Null,
+            ParamValue::Null,
+            ParamValue::Cat(1),
+            ParamValue::Cat(1),
+        ];
+        let query = codec.decode(&config);
+        assert!(query.predicate.is_trivial());
+        let out = query.execute(&relevant()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn augment_attaches_feature_to_training_table() {
+        let mut train = Table::new("users");
+        train.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
+        train.add_column("mid", Column::from_strs(&["m1", "m2", "m9"])).unwrap();
+        train.add_column("label", Column::from_i64s(&[0, 1, 0])).unwrap();
+
+        let query = PredicateQuery {
+            agg: AggFunc::Sum,
+            agg_column: "pprice".into(),
+            predicate: Predicate::eq("department", "E"),
+            group_keys: vec!["cname".into(), "mid".into()],
+        };
+        let (augmented, feature) = query.augment(&train, &relevant()).unwrap();
+        assert_eq!(augmented.num_rows(), 3);
+        assert_eq!(augmented.value(0, &feature).unwrap(), Value::Float(10.0));
+        assert_eq!(augmented.value(1, &feature).unwrap(), Value::Float(70.0));
+        assert_eq!(augmented.value(2, &feature).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn random_configs_always_decode_and_execute() {
+        use rand::SeedableRng;
+        let codec = QueryCodec::build(&template(), &relevant()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let config = codec.space().sample(&mut rng);
+            let query = codec.decode(&config);
+            assert!(!query.group_keys.is_empty());
+            assert!(query.execute(&relevant()).is_ok());
+        }
+    }
+
+    #[test]
+    fn feature_names_differ_for_different_queries() {
+        let q1 = PredicateQuery {
+            agg: AggFunc::Sum,
+            agg_column: "pprice".into(),
+            predicate: Predicate::eq("department", "E"),
+            group_keys: vec!["cname".into()],
+        };
+        let q2 = PredicateQuery { predicate: Predicate::eq("department", "H"), ..q1.clone() };
+        assert_ne!(q1.feature_name(), q2.feature_name());
+        assert_eq!(q1.feature_name(), q1.feature_name());
+    }
+}

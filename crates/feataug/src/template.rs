@@ -1,0 +1,124 @@
+//! Query templates (paper Definition 1).
+//!
+//! A query template `T = (F, A, P, K)` fixes the aggregation-function set, the aggregatable
+//! attributes, the attribute combination forming the `WHERE` clause, and the foreign-key
+//! attributes. Each template spans a *query pool* — the set of concrete predicate-aware SQL
+//! queries obtainable by instantiating the template (Definition 2); the pool is what the SQL
+//! Query Generation component searches.
+
+use feataug_tabular::AggFunc;
+
+/// A query template `T = (F, A, P, K)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTemplate {
+    /// Aggregation function set `F`.
+    pub agg_funcs: Vec<AggFunc>,
+    /// Aggregatable attributes `A`.
+    pub agg_columns: Vec<String>,
+    /// The fixed attribute combination `P` forming the `WHERE` clause.
+    pub predicate_attrs: Vec<String>,
+    /// Foreign-key attributes `K` (group-by keys).
+    pub key_columns: Vec<String>,
+}
+
+impl QueryTemplate {
+    /// Build a template.
+    pub fn new(
+        agg_funcs: Vec<AggFunc>,
+        agg_columns: Vec<String>,
+        predicate_attrs: Vec<String>,
+        key_columns: Vec<String>,
+    ) -> Self {
+        QueryTemplate { agg_funcs, agg_columns, predicate_attrs, key_columns }
+    }
+
+    /// A template with an empty `WHERE`-clause attribute set — the degenerate, Featuretools-like
+    /// template whose pool contains only predicate-free queries.
+    pub fn without_predicates(
+        agg_funcs: Vec<AggFunc>,
+        agg_columns: Vec<String>,
+        key_columns: Vec<String>,
+    ) -> Self {
+        QueryTemplate { agg_funcs, agg_columns, predicate_attrs: Vec::new(), key_columns }
+    }
+
+    /// One-hot encode the template's predicate-attribute combination against a universe of
+    /// candidate attributes (paper Section VI-C "Encoding Query Templates"). Attributes of the
+    /// template that are missing from the universe are ignored.
+    pub fn encode_against(&self, universe: &[String]) -> Vec<f64> {
+        universe
+            .iter()
+            .map(|attr| if self.predicate_attrs.iter().any(|p| p == attr) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Number of predicate attributes (the template's depth in the QTI search tree).
+    pub fn depth(&self) -> usize {
+        self.predicate_attrs.len()
+    }
+
+    /// A short human-readable label, e.g. `{department, timestamp}`.
+    pub fn label(&self) -> String {
+        format!("{{{}}}", self.predicate_attrs.join(", "))
+    }
+}
+
+impl std::fmt::Display for QueryTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T(F=[{}], A=[{}], P=[{}], K=[{}])",
+            self.agg_funcs.iter().map(|a| a.name()).collect::<Vec<_>>().join(","),
+            self.agg_columns.join(","),
+            self.predicate_attrs.join(","),
+            self.key_columns.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> QueryTemplate {
+        QueryTemplate::new(
+            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Max],
+            vec!["pprice".into()],
+            vec!["department".into(), "timestamp".into()],
+            vec!["cname".into()],
+        )
+    }
+
+    #[test]
+    fn encode_against_universe() {
+        let t = template();
+        let universe = vec![
+            "department".to_string(),
+            "brand".to_string(),
+            "timestamp".to_string(),
+            "action".to_string(),
+        ];
+        assert_eq!(t.encode_against(&universe), vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn without_predicates_has_empty_p() {
+        let t = QueryTemplate::without_predicates(
+            vec![AggFunc::Sum],
+            vec!["x".into()],
+            vec!["k".into()],
+        );
+        assert!(t.predicate_attrs.is_empty());
+        assert_eq!(t.encode_against(&["a".to_string()]), vec![0.0]);
+    }
+
+    #[test]
+    fn display_and_label() {
+        let t = template();
+        assert_eq!(t.label(), "{department, timestamp}");
+        let s = t.to_string();
+        assert!(s.contains("SUM"));
+        assert!(s.contains("P=[department,timestamp]"));
+    }
+}

@@ -1,0 +1,424 @@
+//! The Query Template Identification component (paper Section VI).
+//!
+//! When the user cannot supply the predicate-attribute combination `P`, FeatAug searches the
+//! space of attribute combinations itself. The space of subsets of `attr` is explored as a tree
+//! (layer `d` holds the combinations of `d` attributes) with **beam search**: only the top-β
+//! nodes of each layer are expanded. Two optimisations make this practical:
+//!
+//! * **Optimization 1 — low-cost proxy**: a node's effectiveness is estimated by the best proxy
+//!   score (mutual information by default) over a small sample of its query pool instead of by
+//!   training the downstream model.
+//! * **Optimization 2 — promising-template prediction**: a regression model over one-hot
+//!   template encodings, trained on the nodes evaluated so far, predicts which children are
+//!   worth evaluating; only the predicted top-β children are scored per layer.
+//!
+//! The component returns the `n` templates with the highest observed effectiveness; the SQL
+//! Query Generation component then searches each of their pools.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use feataug_ml::linear::{LinearConfig, LinearRegression};
+use feataug_ml::model::Model;
+use feataug_ml::{Dataset, Matrix, Task};
+use feataug_tabular::AggFunc;
+
+use crate::encoding::feature_vector;
+use crate::evaluation::FeatureEvaluator;
+use crate::problem::AugTask;
+use crate::proxy::LowCostProxy;
+use crate::query::QueryCodec;
+use crate::template::QueryTemplate;
+
+/// Configuration of the Query Template Identification component.
+#[derive(Debug, Clone)]
+pub struct TemplateIdConfig {
+    /// Beam width β: number of nodes expanded per layer.
+    pub beam_width: usize,
+    /// Maximum number of attributes in a template's `WHERE` combination (tree depth).
+    pub max_depth: usize,
+    /// Number of promising templates to return.
+    pub n_templates: usize,
+    /// Number of random queries sampled from a node's pool to estimate its effectiveness.
+    pub pool_samples: usize,
+    /// The low-cost proxy used when [`TemplateIdConfig::use_proxy`] is true.
+    pub proxy: LowCostProxy,
+    /// Optimization 1: score nodes with the proxy instead of the real model.
+    pub use_proxy: bool,
+    /// Optimization 2: prune children with the learned performance predictor.
+    pub use_predictor: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TemplateIdConfig {
+    fn default() -> Self {
+        TemplateIdConfig {
+            beam_width: 2,
+            max_depth: 4,
+            n_templates: 8,
+            pool_samples: 24,
+            proxy: LowCostProxy::MutualInformation,
+            use_proxy: true,
+            use_predictor: true,
+            seed: 42,
+        }
+    }
+}
+
+impl TemplateIdConfig {
+    /// A smaller configuration for tests and quick examples.
+    pub fn fast() -> Self {
+        TemplateIdConfig {
+            beam_width: 2,
+            max_depth: 3,
+            n_templates: 4,
+            pool_samples: 10,
+            ..TemplateIdConfig::default()
+        }
+    }
+}
+
+/// A template together with its estimated effectiveness (higher is better).
+#[derive(Debug, Clone)]
+pub struct ScoredTemplate {
+    /// The query template (its `P` is the node's attribute combination).
+    pub template: QueryTemplate,
+    /// Estimated effectiveness: proxy score, or negated real validation loss.
+    pub effectiveness: f64,
+}
+
+/// The Query Template Identification component.
+pub struct TemplateIdentifier<'a> {
+    task: &'a AugTask,
+    evaluator: &'a FeatureEvaluator,
+    agg_funcs: Vec<AggFunc>,
+    cfg: TemplateIdConfig,
+}
+
+impl<'a> TemplateIdentifier<'a> {
+    /// Build an identifier. `agg_funcs` is the aggregation-function set `F` shared by every
+    /// candidate template.
+    pub fn new(
+        task: &'a AugTask,
+        evaluator: &'a FeatureEvaluator,
+        agg_funcs: Vec<AggFunc>,
+        cfg: TemplateIdConfig,
+    ) -> Self {
+        TemplateIdentifier { task, evaluator, agg_funcs, cfg }
+    }
+
+    /// Build the template whose `WHERE` combination is `attrs`.
+    pub fn make_template(&self, attrs: &[String]) -> QueryTemplate {
+        QueryTemplate::new(
+            self.agg_funcs.clone(),
+            self.task.resolved_agg_columns(),
+            attrs.to_vec(),
+            self.task.key_columns.clone(),
+        )
+    }
+
+    /// Estimate the effectiveness of one attribute combination by sampling its query pool.
+    /// Higher is better.
+    pub fn node_effectiveness(&self, attrs: &[String], rng: &mut StdRng) -> f64 {
+        let template = self.make_template(attrs);
+        let Ok(codec) = QueryCodec::build(&template, &self.task.relevant) else {
+            return f64::NEG_INFINITY;
+        };
+        let labels = self.task.labels();
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..self.cfg.pool_samples.max(1) {
+            let config = codec.space().sample(rng);
+            let query = codec.decode(&config);
+            let Ok((augmented, name)) = query.augment(&self.task.train, &self.task.relevant)
+            else {
+                continue;
+            };
+            let feature = feature_vector(&augmented, &name);
+            if feature.iter().all(|v| !v.is_finite()) {
+                continue;
+            }
+            let score = if self.cfg.use_proxy {
+                self.cfg.proxy.score(&feature, &labels, self.evaluator.task())
+            } else {
+                -self.evaluator.loss_with_feature(&name, &feature)
+            };
+            if score > best {
+                best = score;
+            }
+        }
+        best
+    }
+
+    /// Run the identification and return the top templates (sorted by descending effectiveness)
+    /// plus the wall-clock time spent, and the number of nodes actually evaluated.
+    pub fn identify(&self) -> (Vec<ScoredTemplate>, Duration, usize) {
+        let start = Instant::now();
+        let attrs = self.task.resolved_predicate_attrs();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // All evaluated nodes: (attribute combination, effectiveness).
+        let mut evaluated: Vec<(Vec<String>, f64)> = Vec::new();
+        let mut evaluated_count = 0usize;
+
+        // ---- Layer 1: single-attribute nodes are always fully evaluated (they also form the
+        // initial training set of the predictor). -----------------------------------------
+        let mut layer: Vec<(Vec<String>, f64)> = Vec::new();
+        for attr in &attrs {
+            let combo = vec![attr.clone()];
+            let score = self.node_effectiveness(&combo, &mut rng);
+            evaluated_count += 1;
+            layer.push((combo.clone(), score));
+            evaluated.push((combo, score));
+        }
+        layer.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut beam: Vec<(Vec<String>, f64)> =
+            layer.iter().take(self.cfg.beam_width).cloned().collect();
+
+        // ---- Deeper layers ---------------------------------------------------------------
+        for _depth in 2..=self.cfg.max_depth.max(1) {
+            if beam.is_empty() {
+                break;
+            }
+            // Candidate children: each beam node extended by one unused attribute, deduplicated
+            // by their attribute set.
+            let mut children: Vec<Vec<String>> = Vec::new();
+            for (combo, _) in &beam {
+                for attr in &attrs {
+                    if combo.contains(attr) {
+                        continue;
+                    }
+                    let mut child = combo.clone();
+                    child.push(attr.clone());
+                    let mut sorted = child.clone();
+                    sorted.sort();
+                    if !children.iter().any(|c| {
+                        let mut cs = c.clone();
+                        cs.sort();
+                        cs == sorted
+                    }) {
+                        children.push(child);
+                    }
+                }
+            }
+            if children.is_empty() {
+                break;
+            }
+
+            // Optimization 2: keep only the predicted top-β children for real evaluation.
+            let to_evaluate: Vec<Vec<String>> = if self.cfg.use_predictor && evaluated.len() >= 2
+            {
+                let predictor = self.train_predictor(&attrs, &evaluated);
+                let mut scored: Vec<(Vec<String>, f64)> = children
+                    .into_iter()
+                    .map(|c| {
+                        let enc = self.make_template(&c).encode_against(&attrs);
+                        let pred = predictor
+                            .as_ref()
+                            .map(|p| p.predict(&Matrix::from_rows(&[enc]))[0])
+                            .unwrap_or(0.0);
+                        (c, pred)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                scored.into_iter().take(self.cfg.beam_width).map(|(c, _)| c).collect()
+            } else {
+                children
+            };
+
+            // Evaluate the surviving children and form the next beam.
+            let mut next_layer: Vec<(Vec<String>, f64)> = Vec::new();
+            for combo in to_evaluate {
+                let score = self.node_effectiveness(&combo, &mut rng);
+                evaluated_count += 1;
+                next_layer.push((combo.clone(), score));
+                evaluated.push((combo, score));
+            }
+            next_layer.sort_by(|a, b| b.1.total_cmp(&a.1));
+            beam = next_layer.into_iter().take(self.cfg.beam_width).collect();
+        }
+
+        // ---- Pick the best templates over everything evaluated ----------------------------
+        evaluated.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let templates: Vec<ScoredTemplate> = evaluated
+            .into_iter()
+            .take(self.cfg.n_templates)
+            .map(|(combo, effectiveness)| ScoredTemplate {
+                template: self.make_template(&combo),
+                effectiveness,
+            })
+            .collect();
+        (templates, start.elapsed(), evaluated_count)
+    }
+
+    /// Exhaustively evaluate every non-empty subset of `attr` (the brute-force baseline of the
+    /// paper's cost analysis). Only feasible for small attribute sets; used by the Figure 5
+    /// ablation and by tests.
+    pub fn brute_force(&self) -> (Vec<ScoredTemplate>, Duration, usize) {
+        let start = Instant::now();
+        let attrs = self.task.resolved_predicate_attrs();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let n = attrs.len().min(16);
+        let mut evaluated: Vec<(Vec<String>, f64)> = Vec::new();
+        for mask in 1u32..(1u32 << n) {
+            if (mask.count_ones() as usize) > self.cfg.max_depth {
+                continue;
+            }
+            let combo: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| attrs[i].clone())
+                .collect();
+            let score = self.node_effectiveness(&combo, &mut rng);
+            evaluated.push((combo, score));
+        }
+        let count = evaluated.len();
+        evaluated.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let templates = evaluated
+            .into_iter()
+            .take(self.cfg.n_templates)
+            .map(|(combo, effectiveness)| ScoredTemplate {
+                template: self.make_template(&combo),
+                effectiveness,
+            })
+            .collect();
+        (templates, start.elapsed(), count)
+    }
+
+    /// Train the template-performance predictor on the nodes evaluated so far
+    /// (one-hot template encoding → effectiveness).
+    fn train_predictor(
+        &self,
+        universe: &[String],
+        evaluated: &[(Vec<String>, f64)],
+    ) -> Option<LinearRegression> {
+        let usable: Vec<&(Vec<String>, f64)> =
+            evaluated.iter().filter(|(_, s)| s.is_finite()).collect();
+        if usable.len() < 2 {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = usable
+            .iter()
+            .map(|(combo, _)| self.make_template(combo).encode_against(universe))
+            .collect();
+        let targets: Vec<f64> = usable.iter().map(|(_, s)| *s).collect();
+        let names: Vec<String> = universe.to_vec();
+        let data = Dataset::new(Matrix::from_rows(&rows), targets, names, Task::Regression);
+        let mut model = LinearRegression::new(LinearConfig {
+            epochs: 150,
+            learning_rate: 0.1,
+            l2: 1e-3,
+            standardize: false,
+        });
+        model.fit(&data);
+        Some(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_datagen::{tmall, GenConfig};
+    use feataug_ml::ModelKind;
+
+    fn tmall_task() -> AugTask {
+        let ds = tmall::generate(&GenConfig { n_entities: 200, fanout: 8, n_noise_cols: 1, seed: 5 });
+        AugTask::new(
+            ds.train,
+            ds.relevant,
+            ds.key_columns,
+            ds.label_column,
+            Task::BinaryClassification,
+        )
+        .with_agg_columns(ds.agg_columns)
+        .with_predicate_attrs(ds.predicate_attrs)
+    }
+
+    fn identifier<'a>(
+        task: &'a AugTask,
+        evaluator: &'a FeatureEvaluator,
+        cfg: TemplateIdConfig,
+    ) -> TemplateIdentifier<'a> {
+        TemplateIdentifier::new(
+            task,
+            evaluator,
+            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count],
+            cfg,
+        )
+    }
+
+    #[test]
+    fn identify_returns_ranked_templates_within_attr_universe() {
+        let task = tmall_task();
+        let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
+        let ident = identifier(&task, &evaluator, TemplateIdConfig::fast());
+        let (templates, elapsed, evaluated) = ident.identify();
+        assert!(!templates.is_empty());
+        assert!(templates.len() <= TemplateIdConfig::fast().n_templates);
+        assert!(evaluated > 0);
+        assert!(elapsed > Duration::from_nanos(0));
+        // Sorted by descending effectiveness, and every P is a subset of attr.
+        let attrs = task.resolved_predicate_attrs();
+        for w in templates.windows(2) {
+            assert!(w[0].effectiveness >= w[1].effectiveness);
+        }
+        for t in &templates {
+            for p in &t.template.predicate_attrs {
+                assert!(attrs.contains(p), "unknown attribute {p}");
+            }
+            assert!(t.template.depth() <= TemplateIdConfig::fast().max_depth);
+        }
+    }
+
+    #[test]
+    fn predictor_pruning_evaluates_fewer_nodes() {
+        let task = tmall_task();
+        let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
+
+        let with_pred = identifier(&task, &evaluator, TemplateIdConfig::fast());
+        let (_, _, n_with) = with_pred.identify();
+
+        let cfg = TemplateIdConfig { use_predictor: false, ..TemplateIdConfig::fast() };
+        let without_pred = identifier(&task, &evaluator, cfg);
+        let (_, _, n_without) = without_pred.identify();
+
+        assert!(
+            n_with <= n_without,
+            "predictor pruning should not evaluate more nodes ({n_with} vs {n_without})"
+        );
+    }
+
+    #[test]
+    fn top_template_contains_a_signal_attribute() {
+        // The planted Tmall signal lives behind department + timestamp predicates; the top
+        // templates should pick at least one of those attributes ahead of pure noise columns.
+        let task = tmall_task();
+        let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
+        let ident = identifier(
+            &task,
+            &evaluator,
+            TemplateIdConfig { pool_samples: 30, ..TemplateIdConfig::fast() },
+        );
+        let (templates, _, _) = ident.identify();
+        let best = &templates[0].template;
+        assert!(
+            best.predicate_attrs.iter().any(|a| a == "department" || a == "timestamp"),
+            "best template {best} should involve a signal attribute"
+        );
+    }
+
+    #[test]
+    fn brute_force_covers_all_bounded_subsets() {
+        let task = tmall_task().with_predicate_attrs(vec![
+            "department".into(),
+            "timestamp".into(),
+            "action".into(),
+        ]);
+        let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
+        let cfg = TemplateIdConfig { max_depth: 3, pool_samples: 5, ..TemplateIdConfig::fast() };
+        let ident = identifier(&task, &evaluator, cfg);
+        let (_, _, count) = ident.brute_force();
+        assert_eq!(count, 7); // 2^3 - 1 subsets
+    }
+}

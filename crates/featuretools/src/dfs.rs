@@ -1,0 +1,222 @@
+//! Deep Feature Synthesis: enumerate and materialise predicate-free aggregation features.
+
+use feataug_tabular::groupby::group_by_aggregate_multi;
+use feataug_tabular::join::left_join;
+use feataug_tabular::{AggFunc, DataType, Table};
+
+/// Configuration of the DFS enumeration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Aggregation functions to apply (defaults to the paper's full 15-function set).
+    pub agg_funcs: Vec<AggFunc>,
+    /// Upper bound on the number of generated features (`None` = all combinations).
+    pub max_features: Option<usize>,
+    /// Skip numeric aggregations (everything except COUNT / COUNT_DISTINCT / MODE / ENTROPY) on
+    /// categorical columns. Featuretools makes the same distinction between numeric and
+    /// categorical primitives.
+    pub respect_types: bool,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { agg_funcs: AggFunc::all().to_vec(), max_features: None, respect_types: true }
+    }
+}
+
+/// One DFS feature: `agg(column)` grouped by the foreign key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfsFeature {
+    /// Aggregation function.
+    pub agg: AggFunc,
+    /// Aggregated column of the relevant table.
+    pub column: String,
+    /// Output column name, e.g. `SUM(pprice)`.
+    pub name: String,
+}
+
+impl DfsFeature {
+    /// Build a feature and derive its display name.
+    pub fn new(agg: AggFunc, column: impl Into<String>) -> DfsFeature {
+        let column = column.into();
+        let name = format!("{}({})", agg.name(), column);
+        DfsFeature { agg, column, name }
+    }
+
+    /// The SQL text of the query this feature corresponds to (for reports / debugging).
+    pub fn to_sql(&self, relevant: &str, keys: &[&str]) -> String {
+        format!(
+            "SELECT {k}, {agg}({col}) AS \"{name}\" FROM {relevant} GROUP BY {k}",
+            k = keys.join(", "),
+            agg = self.agg.name(),
+            col = self.column,
+            name = self.name,
+        )
+    }
+}
+
+/// True when `agg` is meaningful on a categorical column (frequency-style aggregations).
+fn agg_applies_to_categorical(agg: AggFunc) -> bool {
+    matches!(
+        agg,
+        AggFunc::Count | AggFunc::CountDistinct | AggFunc::Mode | AggFunc::Entropy
+    )
+}
+
+/// Enumerate every DFS feature over `agg_columns` of the relevant table.
+///
+/// The enumeration order is deterministic: aggregation functions in paper order, columns in the
+/// given order — so `max_features` truncation is reproducible.
+pub fn enumerate_features(
+    relevant: &Table,
+    agg_columns: &[&str],
+    cfg: &DfsConfig,
+) -> Vec<DfsFeature> {
+    let mut out = Vec::new();
+    for &col in agg_columns {
+        let dtype = relevant.dtype(col).ok();
+        for &agg in &cfg.agg_funcs {
+            if cfg.respect_types {
+                if let Some(DataType::Categorical) = dtype {
+                    if !agg_applies_to_categorical(agg) {
+                        continue;
+                    }
+                }
+            }
+            out.push(DfsFeature::new(agg, col));
+            if let Some(max) = cfg.max_features {
+                if out.len() >= max {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Materialise `features` into a per-key feature table
+/// (`key columns` + one column per feature), computed in a single pass over the relevant table.
+pub fn materialize_features(
+    relevant: &Table,
+    keys: &[&str],
+    features: &[DfsFeature],
+) -> feataug_tabular::Result<Table> {
+    let specs: Vec<(AggFunc, &str, &str)> = features
+        .iter()
+        .map(|f| (f.agg, f.column.as_str(), f.name.as_str()))
+        .collect();
+    group_by_aggregate_multi(relevant, keys, &specs)
+}
+
+/// Full DFS: enumerate features, materialise them, and left-join them onto the training table.
+/// Returns the augmented training table and the list of generated features.
+pub fn synthesize(
+    train: &Table,
+    relevant: &Table,
+    keys: &[&str],
+    agg_columns: &[&str],
+    cfg: &DfsConfig,
+) -> feataug_tabular::Result<(Table, Vec<DfsFeature>)> {
+    let features = enumerate_features(relevant, agg_columns, cfg);
+    if features.is_empty() {
+        return Ok((train.clone(), features));
+    }
+    let feature_table = materialize_features(relevant, keys, &features)?;
+    let augmented = left_join(train, &feature_table, keys, keys)?;
+    Ok((augmented, features))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_datagen::{tmall, GenConfig};
+    use feataug_tabular::{Column, Value};
+
+    fn toy() -> (Table, Table) {
+        let mut train = Table::new("train");
+        train.add_column("k", Column::from_strs(&["a", "b", "c"])).unwrap();
+        train.add_column("label", Column::from_i64s(&[1, 0, 1])).unwrap();
+        let mut relevant = Table::new("rel");
+        relevant.add_column("k", Column::from_strs(&["a", "a", "b"])).unwrap();
+        relevant.add_column("x", Column::from_f64s(&[1.0, 3.0, 10.0])).unwrap();
+        relevant.add_column("cat", Column::from_strs(&["p", "q", "p"])).unwrap();
+        (train, relevant)
+    }
+
+    #[test]
+    fn enumerate_respects_types_and_order() {
+        let (_, relevant) = toy();
+        let cfg = DfsConfig::default();
+        let feats = enumerate_features(&relevant, &["x", "cat"], &cfg);
+        // x gets all 15 functions; cat only the 4 frequency-style ones.
+        assert_eq!(feats.len(), 15 + 4);
+        assert_eq!(feats[0].name, "SUM(x)");
+        assert!(feats.iter().any(|f| f.name == "COUNT_DISTINCT(cat)"));
+        assert!(!feats.iter().any(|f| f.name == "AVG(cat)"));
+    }
+
+    #[test]
+    fn enumerate_without_type_respect_includes_everything() {
+        let (_, relevant) = toy();
+        let cfg = DfsConfig { respect_types: false, ..DfsConfig::default() };
+        let feats = enumerate_features(&relevant, &["x", "cat"], &cfg);
+        assert_eq!(feats.len(), 30);
+    }
+
+    #[test]
+    fn max_features_truncates_deterministically() {
+        let (_, relevant) = toy();
+        let cfg = DfsConfig { max_features: Some(7), ..DfsConfig::default() };
+        let feats = enumerate_features(&relevant, &["x"], &cfg);
+        assert_eq!(feats.len(), 7);
+        assert_eq!(feats[0].name, "SUM(x)");
+    }
+
+    #[test]
+    fn synthesize_attaches_features_with_nulls_for_unmatched() {
+        let (train, relevant) = toy();
+        let cfg = DfsConfig {
+            agg_funcs: vec![AggFunc::Sum, AggFunc::Count],
+            ..DfsConfig::default()
+        };
+        let (augmented, feats) = synthesize(&train, &relevant, &["k"], &["x"], &cfg).unwrap();
+        assert_eq!(feats.len(), 2);
+        assert_eq!(augmented.num_rows(), 3);
+        assert_eq!(augmented.value(0, "SUM(x)").unwrap(), Value::Float(4.0));
+        assert_eq!(augmented.value(1, "SUM(x)").unwrap(), Value::Float(10.0));
+        // "c" has no relevant rows -> NULL.
+        assert_eq!(augmented.value(2, "SUM(x)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn to_sql_renders_query() {
+        let f = DfsFeature::new(AggFunc::Avg, "pprice");
+        let sql = f.to_sql("user_logs", &["cname"]);
+        assert_eq!(
+            sql,
+            "SELECT cname, AVG(pprice) AS \"AVG(pprice)\" FROM user_logs GROUP BY cname"
+        );
+    }
+
+    #[test]
+    fn works_on_generated_dataset() {
+        let ds = tmall::generate(&GenConfig::tiny());
+        let keys: Vec<&str> = ds.key_columns.iter().map(|s| s.as_str()).collect();
+        let aggs: Vec<&str> = ds.agg_columns.iter().map(|s| s.as_str()).collect();
+        let cfg = DfsConfig {
+            agg_funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count],
+            ..DfsConfig::default()
+        };
+        let (augmented, feats) = synthesize(&ds.train, &ds.relevant, &keys, &aggs, &cfg).unwrap();
+        assert_eq!(augmented.num_rows(), ds.train.num_rows());
+        assert_eq!(augmented.num_columns(), ds.train.num_columns() + feats.len());
+    }
+
+    #[test]
+    fn empty_feature_list_returns_training_table() {
+        let (train, relevant) = toy();
+        let cfg = DfsConfig { agg_funcs: vec![], ..DfsConfig::default() };
+        let (augmented, feats) = synthesize(&train, &relevant, &["k"], &["x"], &cfg).unwrap();
+        assert!(feats.is_empty());
+        assert_eq!(augmented, train);
+    }
+}

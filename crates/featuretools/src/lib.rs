@@ -1,0 +1,21 @@
+//! # feataug-featuretools
+//!
+//! A Deep Feature Synthesis (DFS) baseline in the style of Featuretools (Kanter &
+//! Veeramachaneni, DSAA 2015) — the system the FeatAug paper compares against.
+//!
+//! Featuretools augments a training table by materialising **every** predicate-free group-by
+//! aggregation query over the relevant table:
+//!
+//! ```sql
+//! SELECT k, agg(a) AS feature FROM R GROUP BY k
+//! ```
+//!
+//! for each aggregation function `agg` and each aggregatable attribute `a`. No `WHERE` clause is
+//! ever considered, and no feature selection happens during generation — which is precisely the
+//! limitation FeatAug addresses. This crate provides the enumeration
+//! ([`enumerate_features`]), the materialisation ([`synthesize`], [`materialize_features`]) and
+//! the bookkeeping the comparison experiments need.
+
+pub mod dfs;
+
+pub use dfs::{enumerate_features, materialize_features, synthesize, DfsConfig, DfsFeature};

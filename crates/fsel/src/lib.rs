@@ -1,0 +1,20 @@
+//! # feataug-fsel
+//!
+//! Feature scoring and selection.
+//!
+//! Two roles in the FeatAug reproduction:
+//!
+//! 1. **Baselines** — the paper compares against Featuretools combined with seven feature
+//!    selectors (LR importance, GBDT importance, mutual information, chi-square, Gini index,
+//!    forward selection, backward elimination). [`selector::FeatureSelector`] and its
+//!    implementations provide those.
+//! 2. **Low-cost proxies** — FeatAug's warm-up phase and its Query Template Identification
+//!    component score candidate features with cheap statistics instead of training the full
+//!    model. [`scoring::mutual_information`], [`scoring::spearman`] and friends provide the
+//!    proxies compared in the paper's Table VIII (SC / MI / LR).
+
+pub mod scoring;
+pub mod selector;
+
+pub use scoring::{chi_square, gini_score, mutual_information, pearson, spearman};
+pub use selector::{FeatureSelector, ScoreSelector, ScoringMethod, WrapperDirection, WrapperSelector};

@@ -1,0 +1,324 @@
+//! Cheap feature-vs-label dependency scores.
+//!
+//! Every score accepts a raw feature vector (possibly containing NaN for missing values) and the
+//! label vector, and returns a scalar where **larger means more dependent / more useful**.
+//! Continuous inputs are discretised into quantile bins; missing values get their own bin, so a
+//! feature that is "missing exactly for the negative class" still scores as informative.
+
+/// Number of quantile bins used when discretising continuous values.
+const DEFAULT_BINS: usize = 10;
+
+/// Discretise values into at most `bins` quantile bins; NaN maps to an extra "missing" bin
+/// (index `bins`). Returns (bin index per row, number of bins actually used + 1 for missing).
+fn discretize(values: &[f64], bins: usize) -> (Vec<usize>, usize) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return (vec![0; values.len()], 1);
+    }
+    let mut sorted = finite.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.dedup();
+    // Use the distinct values directly when there are few of them (categorical codes, counts).
+    let thresholds: Vec<f64> = if sorted.len() <= bins {
+        sorted.clone()
+    } else {
+        (1..bins)
+            .map(|i| {
+                let pos = i as f64 / bins as f64 * (sorted.len() - 1) as f64;
+                sorted[pos.round() as usize]
+            })
+            .collect()
+    };
+    let assign = |v: f64| -> usize {
+        match thresholds.binary_search_by(|t| t.total_cmp(&v)) {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    };
+    let n_value_bins = thresholds.len() + 1;
+    let out: Vec<usize> = values
+        .iter()
+        .map(|&v| if v.is_finite() { assign(v).min(n_value_bins - 1) } else { n_value_bins })
+        .collect();
+    (out, n_value_bins + 1)
+}
+
+/// Discretise labels: classification labels map to their class index, regression targets to
+/// quantile bins.
+fn discretize_labels(labels: &[f64], classification: bool) -> (Vec<usize>, usize) {
+    if classification {
+        let classes: Vec<usize> = labels.iter().map(|&y| y.round().max(0.0) as usize).collect();
+        let n = classes.iter().copied().max().unwrap_or(0) + 1;
+        (classes, n)
+    } else {
+        discretize(labels, DEFAULT_BINS)
+    }
+}
+
+/// Build a contingency table between two discrete assignments.
+fn contingency(a: &[usize], na: usize, b: &[usize], nb: usize) -> Vec<Vec<f64>> {
+    let mut table = vec![vec![0.0; nb]; na];
+    for (&i, &j) in a.iter().zip(b) {
+        table[i][j] += 1.0;
+    }
+    table
+}
+
+/// Mutual information (in nats) between a feature and the labels.
+///
+/// `classification` controls how the labels are discretised. This is the low-cost proxy the
+/// paper uses by default (Section V-C and Section VI-C Optimization 1).
+pub fn mutual_information(feature: &[f64], labels: &[f64], classification: bool) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    if feature.is_empty() {
+        return 0.0;
+    }
+    let (fx, nx) = discretize(feature, DEFAULT_BINS);
+    let (fy, ny) = discretize_labels(labels, classification);
+    let table = contingency(&fx, nx, &fy, ny);
+    let n = feature.len() as f64;
+    let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<f64> =
+        (0..ny).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let mut mi = 0.0;
+    for i in 0..nx {
+        for j in 0..ny {
+            let joint = table[i][j] / n;
+            if joint > 0.0 {
+                let px = row_sums[i] / n;
+                let py = col_sums[j] / n;
+                mi += joint * (joint / (px * py)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Pearson chi-square statistic between a (binned) feature and class labels.
+/// Only meaningful for classification.
+pub fn chi_square(feature: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    if feature.is_empty() {
+        return 0.0;
+    }
+    let (fx, nx) = discretize(feature, DEFAULT_BINS);
+    let (fy, ny) = discretize_labels(labels, true);
+    let table = contingency(&fx, nx, &fy, ny);
+    let n = feature.len() as f64;
+    let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..ny).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let mut chi2 = 0.0;
+    for i in 0..nx {
+        for j in 0..ny {
+            let expected = row_sums[i] * col_sums[j] / n;
+            if expected > 0.0 {
+                let diff = table[i][j] - expected;
+                chi2 += diff * diff / expected;
+            }
+        }
+    }
+    chi2
+}
+
+/// Gini-impurity reduction of the class labels achieved by splitting on the binned feature
+/// (a filter-style analogue of a one-level decision tree). Larger is better; classification only.
+pub fn gini_score(feature: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    if feature.is_empty() {
+        return 0.0;
+    }
+    let (fx, nx) = discretize(feature, DEFAULT_BINS);
+    let (fy, ny) = discretize_labels(labels, true);
+    let n = feature.len() as f64;
+
+    let gini = |counts: &[f64]| -> f64 {
+        let total: f64 = counts.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    };
+
+    // Overall label impurity.
+    let mut overall = vec![0.0; ny];
+    for &y in &fy {
+        overall[y] += 1.0;
+    }
+    let base = gini(&overall);
+
+    // Weighted impurity within feature bins.
+    let table = contingency(&fx, nx, &fy, ny);
+    let mut weighted = 0.0;
+    for row in &table {
+        let total: f64 = row.iter().sum();
+        weighted += total / n * gini(row);
+    }
+    (base - weighted).max(0.0)
+}
+
+/// Ranks with mid-rank tie handling.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient (absolute values are used as scores by callers).
+/// Non-finite feature entries are treated as the feature's mean.
+pub fn pearson(feature: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    let n = feature.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let finite: Vec<f64> = feature.iter().copied().filter(|v| v.is_finite()).collect();
+    let fill = if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 };
+    let x: Vec<f64> = feature.iter().map(|&v| if v.is_finite() { v } else { fill }).collect();
+
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = labels.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = labels[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 1e-300 || syy <= 1e-300 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation between the rank transforms.
+/// This is the "SC" proxy of the paper's Table VIII.
+pub fn spearman(feature: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(feature.len(), labels.len());
+    if feature.len() < 2 {
+        return 0.0;
+    }
+    // Missing feature values are ranked as the mean of the finite values (neutral position).
+    let finite: Vec<f64> = feature.iter().copied().filter(|v| v.is_finite()).collect();
+    let fill = if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 };
+    let x: Vec<f64> = feature.iter().map(|&v| if v.is_finite() { v } else { fill }).collect();
+    pearson(&ranks(&x), &ranks(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monotone_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn mi_higher_for_dependent_feature() {
+        let labels: Vec<f64> = (0..200).map(|i| (i % 2) as f64).collect();
+        let informative: Vec<f64> = labels.iter().map(|&y| y * 10.0 + 1.0).collect();
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 37) % 19) as f64).collect();
+        let mi_info = mutual_information(&informative, &labels, true);
+        let mi_noise = mutual_information(&noise, &labels, true);
+        assert!(mi_info > mi_noise);
+        assert!(mi_info > 0.5); // close to ln(2) for a perfectly predictive binary feature
+        assert!(mi_noise < 0.1);
+    }
+
+    #[test]
+    fn mi_nonnegative_and_zero_for_constant() {
+        let labels: Vec<f64> = (0..100).map(|i| (i % 3) as f64).collect();
+        let constant = vec![5.0; 100];
+        let mi = mutual_information(&constant, &labels, true);
+        assert!(mi.abs() < 1e-9);
+        assert!(mutual_information(&[], &[], true) == 0.0);
+    }
+
+    #[test]
+    fn mi_detects_missingness_pattern() {
+        // Feature is NaN exactly when the label is 0 — missingness itself is informative.
+        let labels: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let feature: Vec<f64> =
+            labels.iter().map(|&y| if y > 0.5 { 1.0 } else { f64::NAN }).collect();
+        assert!(mutual_information(&feature, &labels, true) > 0.5);
+    }
+
+    #[test]
+    fn mi_regression_mode_detects_dependence() {
+        let (x, y) = monotone_data(200);
+        let mi = mutual_information(&x, &y, false);
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 31) % 17) as f64).collect();
+        assert!(mi > mutual_information(&noise, &y, false));
+    }
+
+    #[test]
+    fn chi_square_identifies_association() {
+        let labels: Vec<f64> = (0..300).map(|i| (i % 2) as f64).collect();
+        let informative: Vec<f64> = labels.iter().map(|&y| y * 3.0).collect();
+        let noise: Vec<f64> = (0..300).map(|i| ((i * 7) % 5) as f64).collect();
+        assert!(chi_square(&informative, &labels) > chi_square(&noise, &labels));
+        // A perfectly associated binary feature on n samples has chi2 = n.
+        assert!((chi_square(&informative, &labels) - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gini_score_bounds_and_ordering() {
+        let labels: Vec<f64> = (0..200).map(|i| (i % 2) as f64).collect();
+        let informative: Vec<f64> = labels.clone();
+        let noise = vec![1.0; 200];
+        let g_info = gini_score(&informative, &labels);
+        let g_noise = gini_score(&noise, &labels);
+        assert!(g_info > g_noise);
+        assert!((g_info - 0.5).abs() < 1e-9); // perfect split of a balanced binary label
+        assert!(g_noise.abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone_is_one() {
+        let (x, y) = monotone_data(50);
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-9);
+        let y_rev: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((spearman(&x, &y_rev) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_nonlinear_monotone() {
+        let x: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-9);
+        // Pearson on the same data is below 1 (nonlinear), Spearman captures the monotonicity.
+        assert!(pearson(&x, &y) < 0.99);
+    }
+
+    #[test]
+    fn pearson_zero_for_constant_inputs() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_with_missing_values_is_finite() {
+        let x = vec![1.0, f64::NAN, 3.0, 4.0, f64::NAN];
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = spearman(&x, &y);
+        assert!(s.is_finite());
+        assert!(s > 0.0);
+    }
+}

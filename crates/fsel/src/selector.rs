@@ -1,0 +1,330 @@
+//! Feature selectors: the "FT + X selector" baselines of the paper.
+//!
+//! Each selector takes a [`Dataset`] whose columns are candidate features and returns the
+//! indices of the `k` features it keeps. Filter selectors ([`ScoreSelector`]) rank features by a
+//! cheap statistic or by a model's importances; wrapper selectors ([`WrapperSelector`])
+//! greedily add (forward) or remove (backward) features by re-training the downstream model.
+
+use feataug_ml::dataset::{Dataset, Task};
+use feataug_ml::forest::{ForestConfig, RandomForest};
+use feataug_ml::gbdt::{GbdtConfig, GradientBoosting};
+use feataug_ml::linear::{LinearConfig, LinearRegression, LogisticRegression};
+use feataug_ml::model::{evaluate, Model, ModelKind};
+
+use crate::scoring::{chi_square, gini_score, mutual_information, spearman};
+
+/// Chooses `k` feature columns out of a dataset.
+pub trait FeatureSelector {
+    /// Return the column indices of the selected features (at most `k`, best first).
+    fn select(&self, data: &Dataset, k: usize) -> Vec<usize>;
+
+    /// Human-readable name (paper table row label).
+    fn name(&self) -> String;
+}
+
+/// The filter scoring methods supported by [`ScoreSelector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringMethod {
+    /// Mutual information between feature and label.
+    MutualInformation,
+    /// Chi-square statistic (classification only).
+    ChiSquare,
+    /// Gini-impurity reduction (classification only).
+    Gini,
+    /// Absolute Spearman rank correlation.
+    Spearman,
+    /// Absolute weights of a fitted linear model ("LR selector").
+    LinearImportance,
+    /// Split-gain importances of a fitted gradient-boosting model ("GBDT selector").
+    GbdtImportance,
+    /// Split-gain importances of a fitted random forest.
+    ForestImportance,
+}
+
+impl ScoringMethod {
+    /// Paper-style label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoringMethod::MutualInformation => "MI",
+            ScoringMethod::ChiSquare => "Chi2",
+            ScoringMethod::Gini => "Gini",
+            ScoringMethod::Spearman => "SC",
+            ScoringMethod::LinearImportance => "LR",
+            ScoringMethod::GbdtImportance => "GBDT",
+            ScoringMethod::ForestImportance => "RF",
+        }
+    }
+
+    /// True when the method only applies to classification tasks (paper: Chi2 and Gini rows are
+    /// blank for the regression dataset).
+    pub fn classification_only(&self) -> bool {
+        matches!(self, ScoringMethod::ChiSquare | ScoringMethod::Gini)
+    }
+}
+
+/// A filter selector: scores every feature independently and keeps the top `k`.
+#[derive(Debug, Clone)]
+pub struct ScoreSelector {
+    method: ScoringMethod,
+}
+
+impl ScoreSelector {
+    /// New selector with the given scoring method.
+    pub fn new(method: ScoringMethod) -> Self {
+        ScoreSelector { method }
+    }
+
+    /// Score every feature column of `data` (larger = keep).
+    pub fn scores(&self, data: &Dataset) -> Vec<f64> {
+        let classification = data.task.is_classification();
+        match self.method {
+            ScoringMethod::MutualInformation => (0..data.n_features())
+                .map(|j| mutual_information(&data.x.column(j), &data.y, classification))
+                .collect(),
+            ScoringMethod::ChiSquare => (0..data.n_features())
+                .map(|j| chi_square(&data.x.column(j), &data.y))
+                .collect(),
+            ScoringMethod::Gini => (0..data.n_features())
+                .map(|j| gini_score(&data.x.column(j), &data.y))
+                .collect(),
+            ScoringMethod::Spearman => (0..data.n_features())
+                .map(|j| spearman(&data.x.column(j), &data.y).abs())
+                .collect(),
+            ScoringMethod::LinearImportance => match data.task {
+                Task::Regression => {
+                    let mut m = LinearRegression::new(LinearConfig::default());
+                    m.fit(data);
+                    m.feature_importances()
+                }
+                _ => {
+                    let mut m = LogisticRegression::new(LinearConfig::default());
+                    m.fit(data);
+                    m.feature_importances()
+                }
+            },
+            ScoringMethod::GbdtImportance => {
+                let mut m = GradientBoosting::new(GbdtConfig::default());
+                m.fit(data);
+                m.feature_importances()
+            }
+            ScoringMethod::ForestImportance => {
+                let mut m = RandomForest::new(ForestConfig::default());
+                m.fit(data);
+                m.feature_importances()
+            }
+        }
+    }
+}
+
+impl FeatureSelector for ScoreSelector {
+    fn select(&self, data: &Dataset, k: usize) -> Vec<usize> {
+        let scores = self.scores(data);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        order.truncate(k);
+        order
+    }
+
+    fn name(&self) -> String {
+        format!("FT+{}", self.method.name())
+    }
+}
+
+/// Search direction of a wrapper selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrapperDirection {
+    /// Start empty, greedily add the feature that improves validation performance most.
+    Forward,
+    /// Start with all features, greedily remove the feature whose removal helps most.
+    Backward,
+}
+
+/// A wrapper selector that re-trains the downstream model at every step
+/// (the paper's "FT + Forward / Backward selector").
+#[derive(Debug, Clone)]
+pub struct WrapperSelector {
+    direction: WrapperDirection,
+    model: ModelKind,
+    /// Train fraction of the internal split used to score feature subsets.
+    train_fraction: f64,
+    /// Seed of the internal split.
+    seed: u64,
+}
+
+impl WrapperSelector {
+    /// New wrapper selector using `model` as the evaluation model.
+    pub fn new(direction: WrapperDirection, model: ModelKind) -> Self {
+        WrapperSelector { direction, model, train_fraction: 0.7, seed: 17 }
+    }
+
+    fn score_subset(&self, data: &Dataset, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let names: Vec<String> =
+            subset.iter().map(|&j| data.feature_names[j].clone()).collect();
+        let rows: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| subset.iter().map(|&j| data.x.get(i, j)).collect())
+            .collect();
+        let sub = Dataset::new(
+            feataug_ml::dataset::Matrix::from_rows(&rows),
+            data.y.clone(),
+            names,
+            data.task,
+        );
+        let (train, valid) = sub.split2(self.train_fraction, self.seed);
+        // evaluate() returns a loss view where lower is better; negate to get "higher is better".
+        -evaluate(self.model, &train, &valid).loss
+    }
+}
+
+impl FeatureSelector for WrapperSelector {
+    fn select(&self, data: &Dataset, k: usize) -> Vec<usize> {
+        let total = data.n_features();
+        let k = k.min(total);
+        match self.direction {
+            WrapperDirection::Forward => {
+                let mut selected: Vec<usize> = Vec::new();
+                let mut remaining: Vec<usize> = (0..total).collect();
+                while selected.len() < k && !remaining.is_empty() {
+                    let mut best: Option<(f64, usize)> = None;
+                    for (pos, &cand) in remaining.iter().enumerate() {
+                        let mut trial = selected.clone();
+                        trial.push(cand);
+                        let score = self.score_subset(data, &trial);
+                        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                            best = Some((score, pos));
+                        }
+                    }
+                    let (_, pos) = best.expect("remaining is non-empty");
+                    selected.push(remaining.remove(pos));
+                }
+                selected
+            }
+            WrapperDirection::Backward => {
+                let mut selected: Vec<usize> = (0..total).collect();
+                while selected.len() > k {
+                    let mut best: Option<(f64, usize)> = None;
+                    for pos in 0..selected.len() {
+                        let mut trial = selected.clone();
+                        trial.remove(pos);
+                        let score = self.score_subset(data, &trial);
+                        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                            best = Some((score, pos));
+                        }
+                    }
+                    let (_, pos) = best.expect("selected is non-empty");
+                    selected.remove(pos);
+                }
+                selected
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        match self.direction {
+            WrapperDirection::Forward => "FT+Forward".to_string(),
+            WrapperDirection::Backward => "FT+Backward".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_ml::dataset::Matrix;
+
+    /// 4 features: col 0 and 1 predict the label, col 2 and 3 are noise.
+    fn dataset(n: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let signal = (i % 10) as f64;
+            let label = if signal > 4.5 { 1.0 } else { 0.0 };
+            let rows_i = vec![
+                signal,
+                label * 2.0 + (i % 3) as f64 * 0.01,
+                ((i * 17) % 7) as f64,
+                ((i * 29) % 11) as f64,
+            ];
+            rows.push(rows_i);
+            y.push(label);
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["signal".into(), "leak".into(), "noise1".into(), "noise2".into()],
+            Task::BinaryClassification,
+        )
+    }
+
+    #[test]
+    fn filter_selectors_prefer_informative_features() {
+        let data = dataset(300);
+        for method in [
+            ScoringMethod::MutualInformation,
+            ScoringMethod::ChiSquare,
+            ScoringMethod::Gini,
+            ScoringMethod::Spearman,
+            ScoringMethod::LinearImportance,
+            ScoringMethod::GbdtImportance,
+        ] {
+            let sel = ScoreSelector::new(method);
+            let chosen = sel.select(&data, 2);
+            assert_eq!(chosen.len(), 2, "{method:?}");
+            assert!(
+                chosen.contains(&0) || chosen.contains(&1),
+                "{method:?} picked {chosen:?}, expected an informative column"
+            );
+            assert!(
+                !(chosen.contains(&2) && chosen.contains(&3)),
+                "{method:?} picked only noise columns"
+            );
+        }
+    }
+
+    #[test]
+    fn score_selector_scores_have_one_entry_per_feature() {
+        let data = dataset(100);
+        let sel = ScoreSelector::new(ScoringMethod::MutualInformation);
+        assert_eq!(sel.scores(&data).len(), 4);
+    }
+
+    #[test]
+    fn selecting_more_than_available_returns_all() {
+        let data = dataset(50);
+        let sel = ScoreSelector::new(ScoringMethod::Spearman);
+        let chosen = sel.select(&data, 100);
+        assert_eq!(chosen.len(), 4);
+    }
+
+    #[test]
+    fn forward_selector_finds_signal() {
+        let data = dataset(200);
+        let sel = WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear);
+        let chosen = sel.select(&data, 1);
+        assert_eq!(chosen.len(), 1);
+        assert!(chosen[0] == 0 || chosen[0] == 1, "forward picked {chosen:?}");
+    }
+
+    #[test]
+    fn backward_selector_drops_noise() {
+        let data = dataset(200);
+        let sel = WrapperSelector::new(WrapperDirection::Backward, ModelKind::Linear);
+        let chosen = sel.select(&data, 2);
+        assert_eq!(chosen.len(), 2);
+        assert!(chosen.contains(&0) || chosen.contains(&1), "backward kept {chosen:?}");
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(ScoreSelector::new(ScoringMethod::MutualInformation).name(), "FT+MI");
+        assert_eq!(ScoreSelector::new(ScoringMethod::ChiSquare).name(), "FT+Chi2");
+        assert_eq!(
+            WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear).name(),
+            "FT+Forward"
+        );
+        assert!(ScoringMethod::ChiSquare.classification_only());
+        assert!(!ScoringMethod::MutualInformation.classification_only());
+    }
+}

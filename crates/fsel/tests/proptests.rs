@@ -1,0 +1,73 @@
+//! Property-based tests for the feature-scoring functions: ranges, symmetry under relabelling,
+//! and robustness to missing values.
+
+use proptest::prelude::*;
+
+use feataug_fsel::{chi_square, gini_score, mutual_information, pearson, spearman};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mutual_information_nonnegative_and_finite(
+        feature in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 2..80),
+        labels_raw in proptest::collection::vec(0u8..4, 2..80),
+    ) {
+        let n = feature.len().min(labels_raw.len());
+        let f: Vec<f64> = feature[..n].iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+        let y: Vec<f64> = labels_raw[..n].iter().map(|&v| v as f64).collect();
+        let mi = mutual_information(&f, &y, true);
+        prop_assert!(mi.is_finite());
+        prop_assert!(mi >= 0.0);
+    }
+
+    #[test]
+    fn chi_square_and_gini_nonnegative(
+        feature in proptest::collection::vec(-50.0f64..50.0, 2..60),
+        labels_raw in proptest::collection::vec(0u8..3, 2..60),
+    ) {
+        let n = feature.len().min(labels_raw.len());
+        let f = &feature[..n];
+        let y: Vec<f64> = labels_raw[..n].iter().map(|&v| v as f64).collect();
+        prop_assert!(chi_square(f, &y) >= 0.0);
+        let g = gini_score(f, &y);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+    }
+
+    #[test]
+    fn correlations_bounded_by_one(
+        feature in proptest::collection::vec(-1e3f64..1e3, 2..60),
+        labels in proptest::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let n = feature.len().min(labels.len());
+        let r = pearson(&feature[..n], &labels[..n]);
+        let s = spearman(&feature[..n], &labels[..n]);
+        prop_assert!(r.abs() <= 1.0 + 1e-9, "pearson {r}");
+        prop_assert!(s.abs() <= 1.0 + 1e-9, "spearman {s}");
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        feature in proptest::collection::vec(0.1f64..100.0, 3..40),
+        labels in proptest::collection::vec(-10.0f64..10.0, 3..40),
+    ) {
+        let n = feature.len().min(labels.len());
+        let f = &feature[..n];
+        let y = &labels[..n];
+        let transformed: Vec<f64> = f.iter().map(|v| v.ln() * 3.0 + 1.0).collect();
+        let a = spearman(f, y);
+        let b = spearman(&transformed, y);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn feature_independent_of_shuffled_labels_scores_low_mi(
+        values in proptest::collection::vec(0u8..2, 30..120),
+    ) {
+        // A constant feature carries zero information regardless of the labels.
+        let y: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let constant = vec![1.0; y.len()];
+        prop_assert!(mutual_information(&constant, &y, true).abs() < 1e-9);
+        prop_assert!(gini_score(&constant, &y).abs() < 1e-9);
+    }
+}

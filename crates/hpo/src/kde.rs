@@ -1,0 +1,192 @@
+//! One-dimensional kernel density estimation — the surrogate model inside TPE.
+//!
+//! TPE models the "good" and "bad" observation groups separately; for continuous dimensions each
+//! group is summarised by a Gaussian KDE, for categorical dimensions by a smoothed frequency
+//! table. Both support sampling and density queries.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Gaussian kernel density estimator over bounded support `[low, high]`.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    points: Vec<f64>,
+    bandwidth: f64,
+    low: f64,
+    high: f64,
+}
+
+impl GaussianKde {
+    /// Fit a KDE to observed points (clamped to `[low, high]`). When there are no points the
+    /// estimator falls back to a uniform density over the support.
+    pub fn fit(points: &[f64], low: f64, high: f64) -> GaussianKde {
+        let span = (high - low).max(1e-12);
+        let clamped: Vec<f64> = points.iter().map(|p| p.clamp(low, high)).collect();
+        let bandwidth = if clamped.len() < 2 {
+            span * 0.25
+        } else {
+            // Scott's rule, floored to a fraction of the support so the density never collapses.
+            let n = clamped.len() as f64;
+            let mean = clamped.iter().sum::<f64>() / n;
+            let std =
+                (clamped.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
+            (1.06 * std * n.powf(-0.2)).max(span * 0.05)
+        };
+        GaussianKde { points: clamped, bandwidth, low, high }
+    }
+
+    /// The fitted bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Probability density at `x` (uniform density when no points were observed).
+    pub fn pdf(&self, x: f64) -> f64 {
+        let span = (self.high - self.low).max(1e-12);
+        if self.points.is_empty() {
+            return 1.0 / span;
+        }
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * self.bandwidth);
+        let mut total = 0.0;
+        for &p in &self.points {
+            let z = (x - p) / self.bandwidth;
+            total += norm * (-0.5 * z * z).exp();
+        }
+        // Mix with a uniform floor so the ratio P_good/P_bad stays finite everywhere.
+        let kde = total / self.points.len() as f64;
+        0.95 * kde + 0.05 / span
+    }
+
+    /// Sample a point: pick a kernel centre uniformly, add Gaussian noise, clamp to the support.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        if self.points.is_empty() {
+            return rng.gen_range(self.low..=self.high.max(self.low + 1e-12));
+        }
+        let centre = self.points[rng.gen_range(0..self.points.len())];
+        // Box-Muller normal sample.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (centre + z * self.bandwidth).clamp(self.low, self.high)
+    }
+}
+
+/// Smoothed categorical distribution over `n` choices (optionally plus a Null pseudo-choice).
+#[derive(Debug, Clone)]
+pub struct CategoricalDensity {
+    probs: Vec<f64>,
+}
+
+impl CategoricalDensity {
+    /// Fit from observed choice indices over a domain of `n` choices, with additive (Laplace)
+    /// smoothing `alpha`.
+    pub fn fit(observations: &[usize], n: usize, alpha: f64) -> CategoricalDensity {
+        let mut counts = vec![alpha; n.max(1)];
+        for &o in observations {
+            if o < counts.len() {
+                counts[o] += 1.0;
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        CategoricalDensity { probs: counts.iter().map(|c| c / total).collect() }
+    }
+
+    /// Probability of choice `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.probs.get(i).copied().unwrap_or(1e-12)
+    }
+
+    /// Number of choices.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when the density has no choices.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Sample a choice index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if r <= acc {
+                return i;
+            }
+        }
+        self.probs.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn kde_density_peaks_near_data() {
+        let kde = GaussianKde::fit(&[2.0, 2.1, 1.9, 2.05], 0.0, 10.0);
+        assert!(kde.pdf(2.0) > kde.pdf(8.0));
+        assert!(kde.pdf(2.0) > 0.0);
+    }
+
+    #[test]
+    fn kde_empty_is_uniform() {
+        let kde = GaussianKde::fit(&[], 0.0, 10.0);
+        assert!((kde.pdf(1.0) - kde.pdf(9.0)).abs() < 1e-12);
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = kde.sample(&mut rng);
+            assert!((0.0..=10.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn kde_samples_stay_in_bounds_and_cluster() {
+        let kde = GaussianKde::fit(&[5.0, 5.2, 4.8], 0.0, 10.0);
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..300).map(|_| kde.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|s| (0.0..=10.0).contains(s)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn kde_single_point_has_positive_bandwidth() {
+        let kde = GaussianKde::fit(&[3.0], 0.0, 10.0);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.pdf(3.0) > kde.pdf(9.0));
+    }
+
+    #[test]
+    fn categorical_density_tracks_frequencies() {
+        let d = CategoricalDensity::fit(&[0, 0, 0, 1], 3, 0.5);
+        assert!(d.pmf(0) > d.pmf(1));
+        assert!(d.pmf(1) > d.pmf(2));
+        assert!((d.pmf(0) + d.pmf(1) + d.pmf(2) - 1.0).abs() < 1e-12);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn categorical_sampling_respects_distribution() {
+        let d = CategoricalDensity::fit(&[1, 1, 1, 1, 1, 1, 1, 1, 0], 2, 0.1);
+        let mut rng = rng();
+        let ones = (0..500).filter(|_| d.sample(&mut rng) == 1).count();
+        assert!(ones > 300, "expected mostly 1s, got {ones}");
+    }
+
+    #[test]
+    fn categorical_empty_observations_is_uniform() {
+        let d = CategoricalDensity::fit(&[], 4, 1.0);
+        for i in 0..4 {
+            assert!((d.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # feataug-hpo
+//!
+//! A small hyperparameter-optimization substrate: search-space definitions, random search and a
+//! Tree-structured Parzen Estimator (TPE) with per-dimension kernel-density surrogates and
+//! warm-start support.
+//!
+//! FeatAug (Section V of the paper) maps every candidate predicate-aware SQL query to a vector
+//! of "hyperparameters" — the aggregation function, the aggregated attribute, the predicate
+//! constants and the group-by key subset — and then searches that space with TPE. The
+//! warm-up phase seeds the surrogate with observations collected on a cheap proxy objective
+//! (mutual information), which is exactly what [`tpe::Tpe::warm_start`] provides.
+//!
+//! ```
+//! use feataug_hpo::{SearchSpace, Param, Optimizer, Tpe, TpeConfig};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::new(vec![
+//!     Param::categorical("agg", 3),
+//!     Param::float("threshold", 0.0, 10.0),
+//! ]);
+//! let mut tpe = Tpe::new(space, TpeConfig::default());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! for _ in 0..20 {
+//!     let config = tpe.suggest(&mut rng);
+//!     let loss = config[1].as_f64().unwrap_or(5.0); // pretend smaller threshold = better
+//!     tpe.observe(config, loss);
+//! }
+//! assert!(tpe.best().unwrap().1 <= 5.0);
+//! ```
+
+pub mod kde;
+pub mod random;
+pub mod space;
+pub mod tpe;
+
+pub use random::RandomSearch;
+pub use space::{Config, Domain, Param, ParamValue, SearchSpace};
+pub use tpe::{Tpe, TpeConfig, Trial};
+
+use rand::rngs::StdRng;
+
+/// A sequential black-box optimizer over a [`SearchSpace`], minimising a loss.
+pub trait Optimizer {
+    /// Propose the next configuration to evaluate.
+    fn suggest(&mut self, rng: &mut StdRng) -> Config;
+    /// Report the observed loss of a configuration.
+    fn observe(&mut self, config: Config, loss: f64);
+    /// The best (configuration, loss) observed so far.
+    fn best(&self) -> Option<(&Config, f64)>;
+    /// Number of observations recorded so far.
+    fn n_observations(&self) -> usize;
+}

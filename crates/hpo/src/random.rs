@@ -1,0 +1,96 @@
+//! Random search — the simplest baseline optimizer (paper's "Random" baseline).
+
+use rand::rngs::StdRng;
+
+use crate::space::{Config, SearchSpace};
+use crate::Optimizer;
+
+/// Uniform random search over a [`SearchSpace`].
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: SearchSpace,
+    history: Vec<(Config, f64)>,
+}
+
+impl RandomSearch {
+    /// New random-search optimizer.
+    pub fn new(space: SearchSpace) -> Self {
+        RandomSearch { space, history: Vec::new() }
+    }
+
+    /// The underlying search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// All observations so far.
+    pub fn history(&self) -> &[(Config, f64)] {
+        &self.history
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn suggest(&mut self, rng: &mut StdRng) -> Config {
+        self.space.sample(rng)
+    }
+
+    fn observe(&mut self, config: Config, loss: f64) {
+        self.history.push((config, loss));
+    }
+
+    fn best(&self) -> Option<(&Config, f64)> {
+        self.history
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, l)| (c, *l))
+    }
+
+    fn n_observations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_search_tracks_best() {
+        let space = SearchSpace::new(vec![Param::float("x", 0.0, 1.0)]);
+        let mut rs = RandomSearch::new(space);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = rs.suggest(&mut rng);
+            let loss = c[0].as_f64().unwrap();
+            rs.observe(c, loss);
+        }
+        assert_eq!(rs.n_observations(), 50);
+        let (best_cfg, best_loss) = rs.best().unwrap();
+        assert!(best_loss < 0.1, "after 50 uniform draws the min should be small");
+        assert_eq!(best_cfg[0].as_f64().unwrap(), best_loss);
+        assert_eq!(rs.history().len(), 50);
+    }
+
+    #[test]
+    fn best_is_none_before_observations() {
+        let space = SearchSpace::new(vec![Param::categorical("a", 2)]);
+        let rs = RandomSearch::new(space);
+        assert!(rs.best().is_none());
+    }
+
+    #[test]
+    fn suggestions_are_valid_configs() {
+        let space = SearchSpace::new(vec![
+            Param::categorical("a", 4),
+            Param::optional_float("b", -1.0, 1.0),
+        ]);
+        let mut rs = RandomSearch::new(space.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let c = rs.suggest(&mut rng);
+            assert!(space.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Search-space definitions: parameters, domains and configurations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The domain of one search dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// A categorical choice among `n` alternatives (encoded as indices `0..n`).
+    Categorical {
+        /// Number of alternatives.
+        n: usize,
+    },
+    /// A bounded continuous value.
+    Float {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+    /// A bounded integer value.
+    Int {
+        /// Inclusive lower bound.
+        low: i64,
+        /// Inclusive upper bound.
+        high: i64,
+    },
+}
+
+/// One named search dimension. When `optional` is true the dimension may also take the value
+/// [`ParamValue::Null`] — FeatAug uses this to express "no predicate on this attribute".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Dimension name (for reporting).
+    pub name: String,
+    /// Value domain.
+    pub domain: Domain,
+    /// Whether [`ParamValue::Null`] is allowed.
+    pub optional: bool,
+}
+
+impl Param {
+    /// Required categorical parameter with `n` choices.
+    pub fn categorical(name: impl Into<String>, n: usize) -> Param {
+        Param { name: name.into(), domain: Domain::Categorical { n }, optional: false }
+    }
+
+    /// Optional categorical parameter (may be Null).
+    pub fn optional_categorical(name: impl Into<String>, n: usize) -> Param {
+        Param { name: name.into(), domain: Domain::Categorical { n }, optional: true }
+    }
+
+    /// Required float parameter in `[low, high]`.
+    pub fn float(name: impl Into<String>, low: f64, high: f64) -> Param {
+        Param { name: name.into(), domain: Domain::Float { low, high }, optional: false }
+    }
+
+    /// Optional float parameter in `[low, high]` (may be Null).
+    pub fn optional_float(name: impl Into<String>, low: f64, high: f64) -> Param {
+        Param { name: name.into(), domain: Domain::Float { low, high }, optional: true }
+    }
+
+    /// Required integer parameter in `[low, high]`.
+    pub fn int(name: impl Into<String>, low: i64, high: i64) -> Param {
+        Param { name: name.into(), domain: Domain::Int { low, high }, optional: false }
+    }
+
+    /// Optional integer parameter in `[low, high]` (may be Null).
+    pub fn optional_int(name: impl Into<String>, low: i64, high: i64) -> Param {
+        Param { name: name.into(), domain: Domain::Int { low, high }, optional: true }
+    }
+
+    /// Sample a value uniformly from the domain (Null with probability 1/(n+1) for optional
+    /// categorical dimensions, 0.3 for optional numeric dimensions).
+    pub fn sample(&self, rng: &mut StdRng) -> ParamValue {
+        if self.optional {
+            let p_null = match self.domain {
+                Domain::Categorical { n } => 1.0 / (n as f64 + 1.0),
+                _ => 0.3,
+            };
+            if rng.gen::<f64>() < p_null {
+                return ParamValue::Null;
+            }
+        }
+        match self.domain {
+            Domain::Categorical { n } => ParamValue::Cat(rng.gen_range(0..n.max(1))),
+            Domain::Float { low, high } => {
+                if low >= high {
+                    ParamValue::Float(low)
+                } else {
+                    ParamValue::Float(rng.gen_range(low..=high))
+                }
+            }
+            Domain::Int { low, high } => {
+                if low >= high {
+                    ParamValue::Int(low)
+                } else {
+                    ParamValue::Int(rng.gen_range(low..=high))
+                }
+            }
+        }
+    }
+
+    /// True when `value` lies inside this parameter's domain.
+    pub fn contains(&self, value: &ParamValue) -> bool {
+        match (value, &self.domain) {
+            (ParamValue::Null, _) => self.optional,
+            (ParamValue::Cat(c), Domain::Categorical { n }) => c < n,
+            (ParamValue::Float(f), Domain::Float { low, high }) => *f >= *low && *f <= *high,
+            (ParamValue::Int(i), Domain::Int { low, high }) => *i >= *low && *i <= *high,
+            _ => false,
+        }
+    }
+}
+
+/// The value of one dimension in a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Absent value (used for "no predicate on this attribute").
+    Null,
+    /// Categorical choice index.
+    Cat(usize),
+    /// Continuous value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+}
+
+impl ParamValue {
+    /// True when this is [`ParamValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, ParamValue::Null)
+    }
+
+    /// Numeric view (categorical indices and ints map to f64).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Null => None,
+            ParamValue::Cat(c) => Some(*c as f64),
+            ParamValue::Float(f) => Some(*f),
+            ParamValue::Int(i) => Some(*i as f64),
+        }
+    }
+
+    /// Categorical index view.
+    pub fn as_cat(&self) -> Option<usize> {
+        match self {
+            ParamValue::Cat(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// A full assignment of one value per search dimension.
+pub type Config = Vec<ParamValue>;
+
+/// An ordered collection of [`Param`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    params: Vec<Param>,
+}
+
+impl SearchSpace {
+    /// Build a space from parameters.
+    pub fn new(params: Vec<Param>) -> Self {
+        SearchSpace { params }
+    }
+
+    /// The dimensions of the space.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Sample a configuration uniformly at random.
+    pub fn sample(&self, rng: &mut StdRng) -> Config {
+        self.params.iter().map(|p| p.sample(rng)).collect()
+    }
+
+    /// True when every value of `config` lies in the corresponding dimension's domain.
+    pub fn contains(&self, config: &Config) -> bool {
+        config.len() == self.params.len()
+            && self.params.iter().zip(config).all(|(p, v)| p.contains(v))
+    }
+
+    /// A rough size of the discrete search space: the product of categorical cardinalities and
+    /// integer range widths (continuous dimensions count as 100 "steps"), saturating at
+    /// `f64::MAX`. Used only for reporting (paper Table II's "# of T"-style statistics).
+    pub fn approx_cardinality(&self) -> f64 {
+        let mut total = 1.0f64;
+        for p in &self.params {
+            let card = match p.domain {
+                Domain::Categorical { n } => n as f64,
+                Domain::Int { low, high } => (high - low + 1) as f64,
+                Domain::Float { .. } => 100.0,
+            };
+            let card = if p.optional { card + 1.0 } else { card };
+            total *= card;
+            if !total.is_finite() {
+                return f64::MAX;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            Param::categorical("agg", 5),
+            Param::optional_categorical("dept", 3),
+            Param::optional_float("ts_low", 0.0, 100.0),
+            Param::int("count", 1, 10),
+        ])
+    }
+
+    #[test]
+    fn sample_stays_in_domain() {
+        let s = space();
+        let mut rng = rng();
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!(s.contains(&c));
+        }
+    }
+
+    #[test]
+    fn optional_dimensions_sometimes_sample_null() {
+        let s = space();
+        let mut rng = rng();
+        let mut saw_null = false;
+        let mut saw_value = false;
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            if c[1].is_null() {
+                saw_null = true;
+            } else {
+                saw_value = true;
+            }
+        }
+        assert!(saw_null && saw_value);
+    }
+
+    #[test]
+    fn required_dimensions_never_null() {
+        let s = space();
+        let mut rng = rng();
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!(!c[0].is_null());
+            assert!(!c[3].is_null());
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_domain_values() {
+        let s = space();
+        assert!(!s.contains(&vec![
+            ParamValue::Cat(99),
+            ParamValue::Null,
+            ParamValue::Null,
+            ParamValue::Int(5)
+        ]));
+        assert!(!s.contains(&vec![ParamValue::Cat(0)])); // wrong length
+        assert!(!s.contains(&vec![
+            ParamValue::Null, // not optional
+            ParamValue::Null,
+            ParamValue::Null,
+            ParamValue::Int(5)
+        ]));
+        assert!(!s.contains(&vec![
+            ParamValue::Cat(0),
+            ParamValue::Cat(0),
+            ParamValue::Float(500.0), // out of range
+            ParamValue::Int(5)
+        ]));
+    }
+
+    #[test]
+    fn param_value_views() {
+        assert_eq!(ParamValue::Cat(3).as_f64(), Some(3.0));
+        assert_eq!(ParamValue::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(ParamValue::Int(-2).as_f64(), Some(-2.0));
+        assert_eq!(ParamValue::Null.as_f64(), None);
+        assert_eq!(ParamValue::Cat(3).as_cat(), Some(3));
+        assert_eq!(ParamValue::Float(1.0).as_cat(), None);
+        assert!(ParamValue::Null.is_null());
+    }
+
+    #[test]
+    fn degenerate_domains_sample_their_only_value() {
+        let p = Param::float("x", 5.0, 5.0);
+        let mut rng = rng();
+        assert_eq!(p.sample(&mut rng), ParamValue::Float(5.0));
+        let p = Param::int("y", 3, 3);
+        assert_eq!(p.sample(&mut rng), ParamValue::Int(3));
+    }
+
+    #[test]
+    fn approx_cardinality_multiplies_domains() {
+        let s = SearchSpace::new(vec![
+            Param::categorical("a", 5),
+            Param::optional_categorical("b", 3),
+            Param::int("c", 1, 10),
+        ]);
+        assert_eq!(s.approx_cardinality(), 5.0 * 4.0 * 10.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the HPO substrate: suggestions stay inside the search space, the
+//! best-tracking is consistent, and the TPE split never degenerates.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use feataug_hpo::{Optimizer, Param, RandomSearch, SearchSpace, Tpe, TpeConfig};
+
+/// Build a mixed search space from small cardinalities supplied by proptest.
+fn space(n_cat: usize, with_optional: bool, int_hi: i64) -> SearchSpace {
+    let mut params = vec![
+        Param::categorical("cat", n_cat.max(1)),
+        Param::float("x", -1.0, 1.0),
+        Param::int("k", 0, int_hi.max(0)),
+    ];
+    if with_optional {
+        params.push(Param::optional_categorical("opt_cat", n_cat.max(1)));
+        params.push(Param::optional_float("opt_x", 0.0, 10.0));
+    }
+    SearchSpace::new(params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tpe_suggestions_always_valid(
+        seed in 0u64..10_000,
+        n_cat in 1usize..8,
+        with_optional in proptest::bool::ANY,
+        int_hi in 0i64..50,
+        iters in 5usize..40,
+    ) {
+        let s = space(n_cat, with_optional, int_hi);
+        let mut tpe = Tpe::new(s.clone(), TpeConfig { n_startup: 5, ..TpeConfig::default() });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..iters {
+            let cfg = tpe.suggest(&mut rng);
+            prop_assert!(s.contains(&cfg), "iteration {i}: {cfg:?} outside the space");
+            let loss = cfg[1].as_f64().unwrap_or(0.0).abs() + (i % 3) as f64 * 0.1;
+            tpe.observe(cfg, loss);
+        }
+        prop_assert_eq!(tpe.n_observations(), iters);
+    }
+
+    #[test]
+    fn best_is_monotone_nonincreasing(
+        seed in 0u64..10_000,
+        losses in proptest::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let s = space(3, false, 5);
+        let mut rs = RandomSearch::new(s.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut best_so_far = f64::INFINITY;
+        for loss in losses {
+            let cfg = rs.suggest(&mut rng);
+            rs.observe(cfg, loss);
+            let (_, best) = rs.best().unwrap();
+            prop_assert!(best <= best_so_far + 1e-12);
+            prop_assert!(best <= loss + 1e-12);
+            best_so_far = best;
+        }
+    }
+
+    #[test]
+    fn warm_start_counts_as_observations(
+        seed in 0u64..10_000,
+        n_warm in 1usize..30,
+    ) {
+        let s = space(4, true, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let warm: Vec<_> = (0..n_warm)
+            .map(|i| (s.sample(&mut rng), i as f64))
+            .collect();
+        let mut tpe = Tpe::new(s.clone(), TpeConfig::default());
+        tpe.warm_start(warm);
+        prop_assert_eq!(tpe.n_observations(), n_warm);
+        // The best warm observation has loss 0.
+        prop_assert_eq!(tpe.best().unwrap().1, 0.0);
+        // And the next suggestion is still valid.
+        let cfg = tpe.suggest(&mut rng);
+        prop_assert!(s.contains(&cfg));
+    }
+
+    #[test]
+    fn uniform_sampling_covers_categorical_domain(
+        seed in 0u64..10_000,
+        n_cat in 2usize..6,
+    ) {
+        let s = SearchSpace::new(vec![Param::categorical("c", n_cat)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut seen = vec![false; n_cat];
+        for _ in 0..200 {
+            let cfg = s.sample(&mut rng);
+            seen[cfg[0].as_cat().unwrap()] = true;
+        }
+        prop_assert!(seen.into_iter().all(|b| b), "200 samples should hit every category");
+    }
+}

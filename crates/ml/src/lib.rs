@@ -1,0 +1,28 @@
+//! # feataug-ml
+//!
+//! Downstream machine-learning models and metrics for the FeatAug reproduction.
+//!
+//! The FeatAug search loop treats the model as a black box: it trains a model on an augmented
+//! training split and reads back a single validation metric. This crate provides the model
+//! families used in the paper's evaluation —
+//!
+//! * [`linear::LogisticRegression`] / [`linear::LinearRegression`] ("LR"),
+//! * [`forest::RandomForest`] ("RF"),
+//! * [`gbdt::GradientBoosting`] (an XGBoost-style second-order boosted-tree model, "XGB"),
+//! * [`fm::DeepFm`] (a factorization machine with a small MLP head, "DeepFM"),
+//!
+//! plus the metrics (AUC, macro-F1, RMSE, log-loss, accuracy), a [`dataset::Dataset`]
+//! container with deterministic train/validation/test splitting, and the [`evaluate`] entry
+//! point the feature-search code calls.
+
+pub mod dataset;
+pub mod fm;
+pub mod forest;
+pub mod gbdt;
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod tree;
+
+pub use dataset::{Dataset, Matrix, Task};
+pub use model::{evaluate, EvalResult, Metric, Model, ModelKind};

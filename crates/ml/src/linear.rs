@@ -1,0 +1,385 @@
+//! Linear models: logistic regression (binary and one-vs-rest multi-class) and ordinary linear
+//! regression, trained with full-batch gradient descent and L2 regularisation.
+//!
+//! These correspond to the paper's "LR" downstream model (scikit-learn `LogisticRegression` /
+//! `LinearRegression`).
+
+use crate::dataset::{Dataset, Matrix, Task};
+use crate::metrics::sigmoid;
+use crate::model::Model;
+
+/// Training hyperparameters shared by the linear models.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// Learning rate of gradient descent.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Standardise features before fitting (recommended).
+    pub standardize: bool,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig { learning_rate: 0.1, epochs: 200, l2: 1e-4, standardize: true }
+    }
+}
+
+/// Internal single binary logistic model (weights + bias) on standardised features.
+#[derive(Debug, Clone, Default)]
+struct BinaryLogit {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl BinaryLogit {
+    fn fit(x: &Matrix, y: &[f64], cfg: &LinearConfig) -> Self {
+        let n = x.rows().max(1);
+        let d = x.cols();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..cfg.epochs {
+            let mut grad_w = vec![0.0; d];
+            let mut grad_b = 0.0;
+            for i in 0..x.rows() {
+                let row = x.row(i);
+                let z = b + row.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>();
+                let err = sigmoid(z) - y[i];
+                for j in 0..d {
+                    grad_w[j] += err * row[j];
+                }
+                grad_b += err;
+            }
+            for j in 0..d {
+                w[j] -= cfg.learning_rate * (grad_w[j] / n as f64 + cfg.l2 * w[j]);
+            }
+            b -= cfg.learning_rate * grad_b / n as f64;
+        }
+        BinaryLogit { weights: w, bias: b }
+    }
+
+    fn decision(&self, row: &[f64]) -> f64 {
+        self.bias + row.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>()
+    }
+}
+
+/// Logistic regression: binary or one-vs-rest multi-class.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    cfg: LinearConfig,
+    task: Task,
+    models: Vec<BinaryLogit>,
+    scaler: Vec<(f64, f64)>,
+    fitted: bool,
+}
+
+impl LogisticRegression {
+    /// New model with the given configuration.
+    pub fn new(cfg: LinearConfig) -> Self {
+        LogisticRegression {
+            cfg,
+            task: Task::BinaryClassification,
+            models: Vec::new(),
+            scaler: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Per-feature absolute weight, averaged over the one-vs-rest models — used by the
+    /// "FT + LR selector" baseline as a feature-importance score.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        if self.models.is_empty() {
+            return Vec::new();
+        }
+        let d = self.models[0].weights.len();
+        let mut imp = vec![0.0; d];
+        for m in &self.models {
+            for j in 0..d {
+                imp[j] += m.weights[j].abs();
+            }
+        }
+        for v in &mut imp {
+            *v /= self.models.len() as f64;
+        }
+        imp
+    }
+
+    /// Standardise a prediction-time matrix with the training statistics; non-finite cells
+    /// (e.g. NULL features of unmatched left-join rows) map to the training mean.
+    fn standardized(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                let raw = out.get(i, j);
+                let v = if self.scaler.is_empty() {
+                    if raw.is_finite() {
+                        raw
+                    } else {
+                        0.0
+                    }
+                } else {
+                    let (mean, std) = self.scaler[j];
+                    if raw.is_finite() {
+                        (raw - mean) / std
+                    } else {
+                        0.0
+                    }
+                };
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new(LinearConfig::default())
+    }
+}
+
+impl Model for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) {
+        self.task = data.task;
+        let mut train = data.clone();
+        train.impute_mean();
+        self.scaler = if self.cfg.standardize { train.standardize() } else { Vec::new() };
+
+        self.models.clear();
+        match data.task {
+            Task::Regression => {
+                // Treat as binary on the sign of the centred target; callers should use
+                // LinearRegression for regression tasks, but keep this total.
+                let mean = train.y.iter().sum::<f64>() / train.len().max(1) as f64;
+                let y: Vec<f64> =
+                    train.y.iter().map(|&v| if v > mean { 1.0 } else { 0.0 }).collect();
+                self.models.push(BinaryLogit::fit(&train.x, &y, &self.cfg));
+            }
+            Task::BinaryClassification => {
+                self.models.push(BinaryLogit::fit(&train.x, &train.y, &self.cfg));
+            }
+            Task::MultiClassification { n_classes } => {
+                for c in 0..n_classes {
+                    let y: Vec<f64> = train
+                        .y
+                        .iter()
+                        .map(|&v| if (v.round() as usize) == c { 1.0 } else { 0.0 })
+                        .collect();
+                    self.models.push(BinaryLogit::fit(&train.x, &y, &self.cfg));
+                }
+            }
+        }
+        self.fitted = true;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "predict called before fit");
+        let x = self.standardized(x);
+        match self.task {
+            Task::MultiClassification { .. } => (0..x.rows())
+                .map(|i| {
+                    let row = x.row(i);
+                    let (best, _) = self
+                        .models
+                        .iter()
+                        .enumerate()
+                        .map(|(c, m)| (c, m.decision(row)))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("at least one class");
+                    best as f64
+                })
+                .collect(),
+            _ => (0..x.rows()).map(|i| sigmoid(self.models[0].decision(x.row(i)))).collect(),
+        }
+    }
+}
+
+/// Ordinary least-squares linear regression trained by gradient descent with L2.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    cfg: LinearConfig,
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Vec<(f64, f64)>,
+    /// Mean of the training target, used to centre the target during fitting.
+    y_mean: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// New model with the given configuration.
+    pub fn new(cfg: LinearConfig) -> Self {
+        LinearRegression {
+            cfg,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: Vec::new(),
+            y_mean: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Absolute coefficient per feature.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        self.weights.iter().map(|w| w.abs()).collect()
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new(LinearConfig::default())
+    }
+}
+
+impl Model for LinearRegression {
+    fn fit(&mut self, data: &Dataset) {
+        let mut train = data.clone();
+        train.impute_mean();
+        self.scaler = if self.cfg.standardize { train.standardize() } else { Vec::new() };
+        self.y_mean = train.y.iter().sum::<f64>() / train.len().max(1) as f64;
+        let y: Vec<f64> = train.y.iter().map(|v| v - self.y_mean).collect();
+
+        let n = train.len().max(1);
+        let d = train.n_features();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..self.cfg.epochs {
+            let mut grad_w = vec![0.0; d];
+            let mut grad_b = 0.0;
+            for i in 0..train.len() {
+                let row = train.x.row(i);
+                let pred = b + row.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>();
+                let err = pred - y[i];
+                for j in 0..d {
+                    grad_w[j] += err * row[j];
+                }
+                grad_b += err;
+            }
+            for j in 0..d {
+                w[j] -= self.cfg.learning_rate * (grad_w[j] / n as f64 + self.cfg.l2 * w[j]);
+            }
+            b -= self.cfg.learning_rate * grad_b / n as f64;
+        }
+        self.weights = w;
+        self.bias = b;
+        self.fitted = true;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "predict called before fit");
+        let mut out = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let mut z = self.bias + self.y_mean;
+            for j in 0..x.cols() {
+                let v = if self.scaler.is_empty() {
+                    x.get(i, j)
+                } else {
+                    let (mean, std) = self.scaler[j];
+                    (x.get(i, j) - mean) / std
+                };
+                let v = if v.is_finite() { v } else { 0.0 };
+                z += self.weights[j] * v;
+            }
+            out.push(z);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, auc, rmse};
+
+    fn separable_binary(n: usize) -> Dataset {
+        // y = 1 iff x0 + x1 > 0, with a margin.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 / n as f64) * 4.0 - 2.0;
+            let b = ((i * 7 % n) as f64 / n as f64) * 4.0 - 2.0;
+            rows.push(vec![a, b]);
+            y.push(if a + b > 0.0 { 1.0 } else { 0.0 });
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["a".into(), "b".into()],
+            Task::BinaryClassification,
+        )
+    }
+
+    #[test]
+    fn logistic_learns_separable_data() {
+        let data = separable_binary(200);
+        let mut model = LogisticRegression::default();
+        model.fit(&data);
+        let probs = model.predict(&data.x);
+        assert!(auc(&data.y, &probs) > 0.95, "AUC = {}", auc(&data.y, &probs));
+    }
+
+    #[test]
+    fn logistic_multiclass_one_vs_rest() {
+        // Three linearly-separated blobs along x0.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            rows.push(vec![c as f64 * 10.0 + (i % 5) as f64 * 0.1, 1.0]);
+            y.push(c as f64);
+        }
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["x".into(), "one".into()],
+            Task::MultiClassification { n_classes: 3 },
+        );
+        let mut model = LogisticRegression::default();
+        model.fit(&data);
+        let preds = model.predict(&data.x);
+        assert!(accuracy(&data.y, &preds) > 0.9);
+    }
+
+    #[test]
+    fn logistic_importances_track_informative_features() {
+        let data = separable_binary(200).with_feature("noise", &vec![0.0; 200]);
+        let mut model = LogisticRegression::default();
+        model.fit(&data);
+        let imp = model.feature_importances();
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0] > imp[2]);
+        assert!(imp[1] > imp[2]);
+    }
+
+    #[test]
+    fn linear_regression_recovers_line() {
+        // y = 3x - 2 with no noise.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0).collect();
+        let data = Dataset::new(Matrix::from_rows(&rows), y.clone(), vec!["x".into()], Task::Regression);
+        let mut model = LinearRegression::default();
+        model.fit(&data);
+        let preds = model.predict(&data.x);
+        assert!(rmse(&y, &preds) < 0.2, "rmse = {}", rmse(&y, &preds));
+    }
+
+    #[test]
+    fn linear_regression_handles_nan_inputs() {
+        let rows = vec![vec![1.0], vec![f64::NAN], vec![3.0], vec![4.0]];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let data = Dataset::new(Matrix::from_rows(&rows), y, vec!["x".into()], Task::Regression);
+        let mut model = LinearRegression::default();
+        model.fit(&data);
+        let preds = model.predict(&data.x);
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict called before fit")]
+    fn predict_before_fit_panics() {
+        let model = LogisticRegression::default();
+        let _ = model.predict(&Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,212 @@
+//! Evaluation metrics: AUC, macro-F1, RMSE, log-loss and accuracy.
+
+/// Area under the ROC curve for binary classification.
+///
+/// `scores` are arbitrary real-valued rankings (higher = more positive); `labels` are 0/1.
+/// Ties are handled with the standard mid-rank correction. Returns 0.5 when either class is
+/// absent (an uninformative classifier).
+pub fn auc(labels: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank the scores (average ranks over ties), then use the Mann-Whitney U statistic.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // ranks are 1-based; average rank of the tie block [i, j]
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        labels.iter().zip(&ranks).filter(|(l, _)| **l > 0.5).map(|(_, r)| *r).sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Root mean squared error for regression.
+pub fn rmse(labels: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(labels.len(), predictions.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = labels
+        .iter()
+        .zip(predictions)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / labels.len() as f64;
+    mse.sqrt()
+}
+
+/// Binary log-loss (cross entropy) with probability clipping.
+pub fn log_loss(labels: &[f64], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    labels
+        .iter()
+        .zip(probabilities)
+        .map(|(y, p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// Classification accuracy over hard class predictions.
+pub fn accuracy(labels: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(labels.len(), predictions.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct =
+        labels.iter().zip(predictions).filter(|(y, p)| (**y - **p).abs() < 0.5).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Macro-averaged F1 score over integer class labels `0..n_classes`.
+///
+/// Classes absent from the labels contribute an F1 of 0 only if they were predicted
+/// (scikit-learn's behaviour of averaging over the union of observed label/prediction classes).
+pub fn f1_macro(labels: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(labels.len(), predictions.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let to_class = |v: f64| v.round().max(0.0) as usize;
+    let mut classes: Vec<usize> =
+        labels.iter().chain(predictions.iter()).map(|&v| to_class(v)).collect();
+    classes.sort_unstable();
+    classes.dedup();
+
+    let mut f1_sum = 0.0;
+    for &c in &classes {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (&y, &p) in labels.iter().zip(predictions) {
+            let y_is = to_class(y) == c;
+            let p_is = to_class(p) == c;
+            match (y_is, p_is) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        f1_sum += f1;
+    }
+    f1_sum / classes.len() as f64
+}
+
+/// Numerically-stable sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&labels, &[0.1, 0.2, 0.8, 0.9]) - 1.0).abs() < EPS);
+        assert!((auc(&labels, &[0.9, 0.8, 0.2, 0.1]) - 0.0).abs() < EPS);
+    }
+
+    #[test]
+    fn auc_with_ties_and_known_value() {
+        // pos {0.8, 0.4}, neg {0.4, 0.2}:
+        // wins = (0.8>0.4) + (0.8>0.2) + (0.4 vs 0.4 tie = 0.5) + (0.4>0.2) = 3.5 of 4 pairs.
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let scores = [0.8, 0.4, 0.4, 0.2];
+        assert!((auc(&labels, &scores) - 3.5 / 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.3, 0.4]), 0.5);
+        assert_eq!(auc(&[0.0, 0.0], &[0.3, 0.4]), 0.5);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let labels = [0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let scores = [0.1, 0.7, 0.3, 0.9, 0.6, 0.2];
+        let scaled: Vec<f64> = scores.iter().map(|s| s * 100.0 + 5.0).collect();
+        assert!((auc(&labels, &scores) - auc(&labels, &scaled)).abs() < EPS);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 5.0]) - (4.0f64 / 3.0).sqrt()).abs() < EPS);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        let perfect = log_loss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(perfect < 1e-9);
+        let bad = log_loss(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(bad > 10.0);
+        let half = log_loss(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((half - 0.5f64.ln().abs()).abs() < EPS);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]) - 2.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn f1_macro_perfect_is_one() {
+        let y = [0.0, 1.0, 2.0, 0.0, 1.0, 2.0];
+        assert!((f1_macro(&y, &y) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn f1_macro_known_value() {
+        // Binary case: TP=1, FP=1, FN=1, TN=1 for class 1 -> F1=0.5; class 0 symmetric -> macro 0.5
+        let y = [1.0, 1.0, 0.0, 0.0];
+        let p = [1.0, 0.0, 1.0, 0.0];
+        assert!((f1_macro(&y, &p) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < EPS);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < EPS);
+    }
+}

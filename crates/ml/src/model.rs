@@ -1,0 +1,258 @@
+//! The [`Model`] trait, model-kind selection and the [`evaluate`] entry point used by the
+//! feature-search algorithms.
+
+use crate::dataset::{Dataset, Matrix, Task};
+use crate::fm::{DeepFm, DeepFmConfig};
+use crate::forest::{ForestConfig, RandomForest};
+use crate::gbdt::{GbdtConfig, GradientBoosting};
+use crate::linear::{LinearConfig, LinearRegression, LogisticRegression};
+use crate::metrics::{auc, f1_macro, rmse};
+
+/// A trainable downstream model.
+///
+/// `predict` returns, per row:
+/// * the positive-class probability for binary classification,
+/// * the predicted class index for multi-class classification,
+/// * the predicted value for regression.
+pub trait Model {
+    /// Fit the model on a training dataset.
+    fn fit(&mut self, data: &Dataset);
+    /// Predict on a feature matrix (see trait docs for the meaning per task).
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+}
+
+/// The downstream model families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Logistic regression (classification) / linear regression (regression). Paper: "LR".
+    Linear,
+    /// Gradient-boosted trees with a second-order objective. Paper: "XGB".
+    GradientBoosting,
+    /// Random forest. Paper: "RF".
+    RandomForest,
+    /// Factorization machine + MLP. Paper: "DeepFM".
+    DeepFm,
+}
+
+impl ModelKind {
+    /// Every model kind, in the order the paper's tables list them.
+    pub fn all() -> &'static [ModelKind] {
+        &[ModelKind::Linear, ModelKind::GradientBoosting, ModelKind::RandomForest, ModelKind::DeepFm]
+    }
+
+    /// Paper-style short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Linear => "LR",
+            ModelKind::GradientBoosting => "XGB",
+            ModelKind::RandomForest => "RF",
+            ModelKind::DeepFm => "DeepFM",
+        }
+    }
+
+    /// Parse a paper-style short name (case-insensitive).
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "LR" | "LINEAR" => Some(ModelKind::Linear),
+            "XGB" | "GBDT" => Some(ModelKind::GradientBoosting),
+            "RF" => Some(ModelKind::RandomForest),
+            "DEEPFM" | "FM" => Some(ModelKind::DeepFm),
+            _ => None,
+        }
+    }
+
+    /// Instantiate an unfitted model of this kind for the given task, with default
+    /// hyperparameters tuned for the small synthetic datasets of this reproduction.
+    pub fn build(&self, task: Task) -> Box<dyn Model> {
+        match (self, task) {
+            (ModelKind::Linear, Task::Regression) => {
+                Box::new(LinearRegression::new(LinearConfig::default()))
+            }
+            (ModelKind::Linear, _) => Box::new(LogisticRegression::new(LinearConfig::default())),
+            (ModelKind::GradientBoosting, _) => {
+                Box::new(GradientBoosting::new(GbdtConfig::default()))
+            }
+            (ModelKind::RandomForest, _) => Box::new(RandomForest::new(ForestConfig::default())),
+            (ModelKind::DeepFm, _) => Box::new(DeepFm::new(DeepFmConfig::default())),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The evaluation metric reported for a dataset (paper Section VII-A5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Area under the ROC curve (binary classification; higher is better).
+    Auc,
+    /// Macro-averaged F1 (multi-class classification; higher is better).
+    F1Macro,
+    /// Root mean squared error (regression; lower is better).
+    Rmse,
+}
+
+impl Metric {
+    /// The conventional metric for a task: AUC for binary, macro-F1 for multi-class, RMSE for
+    /// regression.
+    pub fn for_task(task: Task) -> Metric {
+        match task {
+            Task::BinaryClassification => Metric::Auc,
+            Task::MultiClassification { .. } => Metric::F1Macro,
+            Task::Regression => Metric::Rmse,
+        }
+    }
+
+    /// True when larger metric values are better.
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, Metric::Rmse)
+    }
+
+    /// Paper-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Auc => "AUC",
+            Metric::F1Macro => "F1",
+            Metric::Rmse => "RMSE",
+        }
+    }
+
+    /// Compute the metric from labels and predictions.
+    pub fn compute(&self, labels: &[f64], predictions: &[f64]) -> f64 {
+        match self {
+            Metric::Auc => auc(labels, predictions),
+            Metric::F1Macro => f1_macro(labels, predictions),
+            Metric::Rmse => rmse(labels, predictions),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The result of training on a train split and evaluating on a validation split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// The metric that was computed.
+    pub metric: Metric,
+    /// The metric value (AUC / F1 / RMSE).
+    pub value: f64,
+    /// A loss view of the value (negated when higher is better), so that search code can always
+    /// minimise.
+    pub loss: f64,
+}
+
+impl EvalResult {
+    /// Wrap a metric value into an [`EvalResult`].
+    pub fn from_value(metric: Metric, value: f64) -> EvalResult {
+        let loss = if metric.higher_is_better() { -value } else { value };
+        EvalResult { metric, value, loss }
+    }
+}
+
+/// Train `kind` on `train` and evaluate on `valid` with the task's conventional metric.
+///
+/// This is the oracle `L(A(D_train), D_valid)` of the paper's Problem 1: FeatAug's search loop
+/// calls it once per candidate query.
+pub fn evaluate(kind: ModelKind, train: &Dataset, valid: &Dataset) -> EvalResult {
+    let metric = Metric::for_task(train.task);
+    if train.is_empty() || valid.is_empty() {
+        // Degenerate splits: return the metric's "uninformative" value.
+        let value = match metric {
+            Metric::Auc => 0.5,
+            Metric::F1Macro => 0.0,
+            Metric::Rmse => f64::INFINITY,
+        };
+        return EvalResult::from_value(metric, value);
+    }
+    let mut model = kind.build(train.task);
+    model.fit(train);
+    let preds = model.predict(&valid.x);
+    EvalResult::from_value(metric, metric.compute(&valid.y, &preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Matrix;
+
+    fn binary_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 10) as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 10) > 4) as u8 as f64).collect();
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["a".into(), "b".into()],
+            Task::BinaryClassification,
+        )
+    }
+
+    #[test]
+    fn model_kind_parse_and_name() {
+        for kind in ModelKind::all() {
+            assert_eq!(ModelKind::parse(kind.name()), Some(*kind));
+        }
+        assert_eq!(ModelKind::parse("xgb"), Some(ModelKind::GradientBoosting));
+        assert_eq!(ModelKind::parse("???"), None);
+        assert_eq!(ModelKind::all().len(), 4);
+    }
+
+    #[test]
+    fn metric_for_task_and_direction() {
+        assert_eq!(Metric::for_task(Task::BinaryClassification), Metric::Auc);
+        assert_eq!(Metric::for_task(Task::Regression), Metric::Rmse);
+        assert_eq!(Metric::for_task(Task::MultiClassification { n_classes: 3 }), Metric::F1Macro);
+        assert!(Metric::Auc.higher_is_better());
+        assert!(!Metric::Rmse.higher_is_better());
+    }
+
+    #[test]
+    fn eval_result_loss_sign() {
+        let r = EvalResult::from_value(Metric::Auc, 0.8);
+        assert_eq!(r.loss, -0.8);
+        let r = EvalResult::from_value(Metric::Rmse, 2.0);
+        assert_eq!(r.loss, 2.0);
+    }
+
+    #[test]
+    fn evaluate_every_model_kind_on_binary_task() {
+        let data = binary_dataset(200);
+        let (train, valid) = data.split2(0.7, 3);
+        for kind in ModelKind::all() {
+            let result = evaluate(*kind, &train, &valid);
+            assert_eq!(result.metric, Metric::Auc);
+            assert!(
+                result.value > 0.8,
+                "{} should separate an easy dataset, got {}",
+                kind,
+                result.value
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_regression_uses_rmse() {
+        let rows: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let data = Dataset::new(Matrix::from_rows(&rows), y, vec!["x".into()], Task::Regression);
+        let (train, valid) = data.split2(0.7, 3);
+        let result = evaluate(ModelKind::Linear, &train, &valid);
+        assert_eq!(result.metric, Metric::Rmse);
+        assert!(result.value < 1.0);
+        assert_eq!(result.loss, result.value);
+    }
+
+    #[test]
+    fn evaluate_empty_split_is_uninformative() {
+        let data = binary_dataset(10);
+        let empty = data.take(&[]);
+        let r = evaluate(ModelKind::Linear, &data, &empty);
+        assert_eq!(r.value, 0.5);
+    }
+}

@@ -1,0 +1,430 @@
+//! CART decision trees.
+//!
+//! A single tree implementation serves three callers:
+//!
+//! * [`crate::forest::RandomForest`] — classification (gini) and regression (variance) trees with
+//!   per-split random feature subsampling,
+//! * [`crate::gbdt::GradientBoosting`] — second-order regression trees fitted to
+//!   gradient/hessian statistics (XGBoost-style leaf weights `-G / (H + λ)`),
+//! * the "FT + GBDT selector" baseline — via accumulated split-gain feature importances.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::dataset::Matrix;
+
+/// What the tree optimises at each split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitCriterion {
+    /// Variance reduction on a real-valued target (regression / boosting residuals).
+    Variance,
+    /// Gini impurity reduction on integer class labels.
+    Gini {
+        /// Number of classes.
+        n_classes: usize,
+    },
+}
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features examined at each split (`None` = all features).
+    pub max_features: Option<usize>,
+    /// Number of candidate thresholds per feature (quantile-based).
+    pub n_thresholds: usize,
+    /// L2 regularisation on leaf weights (used by the second-order fit).
+    pub lambda: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+            n_thresholds: 16,
+            lambda: 1.0,
+        }
+    }
+}
+
+/// A tree node: either an internal split or a leaf.
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf { value: f64, class_probs: Vec<f64> },
+}
+
+/// A fitted CART tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    cfg: TreeConfig,
+    criterion: SplitCriterion,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+/// Per-example statistics handed to the growing procedure.
+struct GrowTarget<'a> {
+    /// Regression target or class label.
+    y: &'a [f64],
+    /// Optional gradient/hessian pairs for second-order fitting.
+    grad_hess: Option<(&'a [f64], &'a [f64])>,
+}
+
+impl DecisionTree {
+    /// Create an unfitted tree.
+    pub fn new(criterion: SplitCriterion, cfg: TreeConfig) -> Self {
+        DecisionTree { cfg, criterion, nodes: Vec::new(), importances: Vec::new() }
+    }
+
+    /// Fit on a plain target (class labels for [`SplitCriterion::Gini`], real targets for
+    /// [`SplitCriterion::Variance`]). `rng` drives the per-split feature subsampling.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64], rng: &mut StdRng) {
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.importances = vec![0.0; x.cols()];
+        self.nodes.clear();
+        let target = GrowTarget { y, grad_hess: None };
+        self.grow(x, &target, indices, 0, rng);
+    }
+
+    /// Fit a second-order regression tree to gradients/hessians (XGBoost-style). Leaf values are
+    /// `-G / (H + λ)`; split gain is the standard second-order gain.
+    pub fn fit_grad_hess(
+        &mut self,
+        x: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        rng: &mut StdRng,
+    ) {
+        assert_eq!(grad.len(), hess.len());
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.importances = vec![0.0; x.cols()];
+        self.nodes.clear();
+        let target = GrowTarget { y: grad, grad_hess: Some((grad, hess)) };
+        self.grow(x, &target, indices, 0, rng);
+    }
+
+    /// Predicted value per row: leaf mean (regression), leaf weight (boosting) or majority class
+    /// (classification).
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Per-class probabilities (classification trees only).
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<Vec<f64>> {
+        (0..x.rows()).map(|i| self.leaf_of(x.row(i)).1.clone()).collect()
+    }
+
+    /// Accumulated split-gain importance per feature (unnormalised).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.leaf_of(row).0
+    }
+
+    fn leaf_of(&self, row: &[f64]) -> (f64, &Vec<f64>) {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value, class_probs } => return (*value, class_probs),
+                Node::Split { feature, threshold, left, right } => {
+                    let v = row[*feature];
+                    // Missing values follow the left branch.
+                    idx = if !v.is_finite() || v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn leaf_value(&self, target: &GrowTarget<'_>, indices: &[usize]) -> (f64, Vec<f64>) {
+        match (&self.criterion, target.grad_hess) {
+            (_, Some((grad, hess))) => {
+                let g: f64 = indices.iter().map(|&i| grad[i]).sum();
+                let h: f64 = indices.iter().map(|&i| hess[i]).sum();
+                (-g / (h + self.cfg.lambda), Vec::new())
+            }
+            (SplitCriterion::Variance, None) => {
+                let mean = indices.iter().map(|&i| target.y[i]).sum::<f64>()
+                    / indices.len().max(1) as f64;
+                (mean, Vec::new())
+            }
+            (SplitCriterion::Gini { n_classes }, None) => {
+                let mut counts = vec![0.0; *n_classes];
+                for &i in indices {
+                    let c = (target.y[i].round() as usize).min(n_classes - 1);
+                    counts[c] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                let probs: Vec<f64> = counts.iter().map(|c| c / total.max(1.0)).collect();
+                let majority = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(c, _)| c as f64)
+                    .unwrap_or(0.0);
+                (majority, probs)
+            }
+        }
+    }
+
+    /// Impurity of a set of rows under the configured criterion (lower is purer). For the
+    /// second-order fit this is the negative gain term `-G² / (H + λ)`.
+    fn impurity(&self, target: &GrowTarget<'_>, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        match (&self.criterion, target.grad_hess) {
+            (_, Some((grad, hess))) => {
+                let g: f64 = indices.iter().map(|&i| grad[i]).sum();
+                let h: f64 = indices.iter().map(|&i| hess[i]).sum();
+                -(g * g) / (h + self.cfg.lambda)
+            }
+            (SplitCriterion::Variance, None) => {
+                let n = indices.len() as f64;
+                let mean = indices.iter().map(|&i| target.y[i]).sum::<f64>() / n;
+                indices.iter().map(|&i| (target.y[i] - mean).powi(2)).sum::<f64>()
+            }
+            (SplitCriterion::Gini { n_classes }, None) => {
+                let mut counts = vec![0.0; *n_classes];
+                for &i in indices {
+                    let c = (target.y[i].round() as usize).min(n_classes - 1);
+                    counts[c] += 1.0;
+                }
+                let n: f64 = counts.iter().sum();
+                let gini = 1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>();
+                gini * n
+            }
+        }
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        target: &GrowTarget<'_>,
+        indices: Vec<usize>,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let make_leaf = |tree: &mut DecisionTree, indices: &[usize]| -> usize {
+            let (value, class_probs) = tree.leaf_value(target, indices);
+            tree.nodes.push(Node::Leaf { value, class_probs });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= self.cfg.max_depth
+            || indices.len() < self.cfg.min_samples_split
+            || indices.len() < 2 * self.cfg.min_samples_leaf
+        {
+            return make_leaf(self, &indices);
+        }
+
+        let parent_impurity = self.impurity(target, &indices);
+
+        // Candidate features: all, or a random subset of `max_features`.
+        let mut features: Vec<usize> = (0..x.cols()).collect();
+        if let Some(k) = self.cfg.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(x.cols()));
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &features {
+            // Quantile-based candidate thresholds over the finite values of this feature.
+            let mut vals: Vec<f64> =
+                indices.iter().map(|&i| x.get(i, f)).filter(|v| v.is_finite()).collect();
+            if vals.len() < 2 {
+                continue;
+            }
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() as f64 / (self.cfg.n_thresholds + 1) as f64).max(1.0);
+            let mut thresholds: Vec<f64> = Vec::new();
+            let mut pos = step;
+            while (pos as usize) < vals.len() {
+                let a = vals[pos as usize - 1];
+                let b = vals[pos as usize];
+                thresholds.push((a + b) / 2.0);
+                pos += step;
+            }
+            if thresholds.is_empty() {
+                thresholds.push((vals[0] + vals[vals.len() - 1]) / 2.0);
+            }
+
+            for &t in &thresholds {
+                let (mut left, mut right) = (Vec::new(), Vec::new());
+                for &i in &indices {
+                    let v = x.get(i, f);
+                    if !v.is_finite() || v <= t {
+                        left.push(i);
+                    } else {
+                        right.push(i);
+                    }
+                }
+                if left.len() < self.cfg.min_samples_leaf
+                    || right.len() < self.cfg.min_samples_leaf
+                {
+                    continue;
+                }
+                let gain = parent_impurity
+                    - self.impurity(target, &left)
+                    - self.impurity(target, &right);
+                if gain > 1e-12 && best.as_ref().map(|(g, _, _)| gain > *g).unwrap_or(true) {
+                    best = Some((gain, f, t));
+                }
+            }
+        }
+
+        match best {
+            None => make_leaf(self, &indices),
+            Some((gain, feature, threshold)) => {
+                self.importances[feature] += gain;
+                let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+                for &i in &indices {
+                    let v = x.get(i, feature);
+                    if !v.is_finite() || v <= threshold {
+                        left_idx.push(i);
+                    } else {
+                        right_idx.push(i);
+                    }
+                }
+                // Reserve the split node position, then grow children.
+                self.nodes.push(Node::Leaf { value: 0.0, class_probs: Vec::new() });
+                let node_idx = self.nodes.len() - 1;
+                let left = self.grow(x, target, left_idx, depth + 1, rng);
+                let right = self.grow(x, target, right_idx, depth + 1, rng);
+                self.nodes[node_idx] = Node::Split { feature, threshold, left, right };
+                node_idx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        // A non-linear pattern a linear model cannot fit: y = (x0 > 0.5) XOR (x1 > 0.5).
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 20) as f64 / 20.0;
+            let b = ((i / 20) % 10) as f64 / 10.0;
+            rows.push(vec![a, b]);
+            y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut tree = DecisionTree::new(SplitCriterion::Variance, TreeConfig::default());
+        tree.fit(&x, &y, &mut rng());
+        let preds = tree.predict(&x);
+        assert!((preds[0] - 1.0).abs() < 0.3);
+        assert!((preds[99] - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn classification_tree_solves_xor() {
+        let (x, y) = xor_data();
+        let mut tree =
+            DecisionTree::new(SplitCriterion::Gini { n_classes: 2 }, TreeConfig::default());
+        tree.fit(&x, &y, &mut rng());
+        let preds = tree.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, y)| (**p - **y).abs() < 0.5).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn predict_proba_sums_to_one() {
+        let (x, y) = xor_data();
+        let mut tree =
+            DecisionTree::new(SplitCriterion::Gini { n_classes: 2 }, TreeConfig::default());
+        tree.fit(&x, &y, &mut rng());
+        for p in tree.predict_proba(&x) {
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grad_hess_tree_moves_towards_negative_gradient() {
+        // Gradients all +1 on the left half, -1 on the right half; hessians 1.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let grad: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { -1.0 }).collect();
+        let hess = vec![1.0; 100];
+        let mut tree = DecisionTree::new(SplitCriterion::Variance, TreeConfig::default());
+        tree.fit_grad_hess(&x, &grad, &hess, &mut rng());
+        let preds = tree.predict(&x);
+        // Leaf weight = -G/(H+1): left ≈ -50/51, right ≈ +50/51.
+        assert!(preds[0] < -0.5);
+        assert!(preds[99] > 0.5);
+    }
+
+    #[test]
+    fn importances_prefer_informative_feature() {
+        let (x, y) = xor_data();
+        // Add a constant noise feature as column 2.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..x.rows() {
+            let mut r = x.row(i).to_vec();
+            r.push(0.0);
+            rows.push(r);
+        }
+        let x2 = Matrix::from_rows(&rows);
+        let mut tree =
+            DecisionTree::new(SplitCriterion::Gini { n_classes: 2 }, TreeConfig::default());
+        tree.fit(&x2, &y, &mut rng());
+        let imp = tree.feature_importances();
+        assert!(imp[0] > 0.0);
+        assert!(imp[1] > 0.0);
+        assert_eq!(imp[2], 0.0);
+    }
+
+    #[test]
+    fn missing_values_go_left_without_panicking() {
+        let rows = vec![vec![1.0], vec![2.0], vec![f64::NAN], vec![4.0]];
+        let x = Matrix::from_rows(&rows);
+        let y = vec![1.0, 1.0, 5.0, 5.0];
+        let mut tree = DecisionTree::new(SplitCriterion::Variance, TreeConfig::default());
+        tree.fit(&x, &y, &mut rng());
+        let preds = tree.predict(&x);
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn max_depth_zero_yields_single_leaf() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let mut tree = DecisionTree::new(SplitCriterion::Variance, cfg);
+        tree.fit(&x, &y, &mut rng());
+        let preds = tree.predict(&x);
+        let first = preds[0];
+        assert!(preds.iter().all(|&p| (p - first).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the ML substrate: metric ranges, split invariants and prediction
+//! shape/ranges for every model family.
+
+use proptest::prelude::*;
+
+use feataug_ml::dataset::{Dataset, Matrix, Task};
+use feataug_ml::metrics::{accuracy, auc, f1_macro, log_loss, rmse};
+use feataug_ml::{evaluate, Metric, ModelKind};
+
+fn dataset_from(rows: &[(f64, f64)], labels: &[f64], task: Task) -> Dataset {
+    let matrix_rows: Vec<Vec<f64>> = rows.iter().map(|(a, b)| vec![*a, *b]).collect();
+    Dataset::new(
+        Matrix::from_rows(&matrix_rows),
+        labels.to_vec(),
+        vec!["a".into(), "b".into()],
+        task,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn auc_bounded_and_antisymmetric(
+        scores in proptest::collection::vec(-10.0f64..10.0, 4..60),
+        labels_raw in proptest::collection::vec(0u8..2, 4..60),
+    ) {
+        let n = scores.len().min(labels_raw.len());
+        let y: Vec<f64> = labels_raw[..n].iter().map(|&v| v as f64).collect();
+        let s = &scores[..n];
+        let a = auc(&y, s);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Negating the scores flips the AUC around 0.5.
+        let neg: Vec<f64> = s.iter().map(|v| -v).collect();
+        let b = auc(&y, &neg);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_ranges(
+        preds in proptest::collection::vec(0.0f64..1.0, 2..50),
+        labels_raw in proptest::collection::vec(0u8..2, 2..50),
+    ) {
+        let n = preds.len().min(labels_raw.len());
+        let y: Vec<f64> = labels_raw[..n].iter().map(|&v| v as f64).collect();
+        let p = &preds[..n];
+        prop_assert!((0.0..=1.0).contains(&accuracy(&y, p)));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f1_macro(&y, &y)));
+        prop_assert!(rmse(&y, p) >= 0.0);
+        prop_assert!(log_loss(&y, p) >= 0.0);
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_rows(
+        n in 10usize..200,
+        train_frac in 0.1f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let rows: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, (i * 3 % 7) as f64)).collect();
+        let labels: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let data = dataset_from(&rows, &labels, Task::BinaryClassification);
+        let (train, valid, test) = data.split3(train_frac, (1.0 - train_frac) / 2.0, seed);
+        prop_assert_eq!(train.len() + valid.len() + test.len(), n);
+        prop_assert_eq!(train.n_features(), 2);
+    }
+
+    #[test]
+    fn binary_models_emit_probabilities(
+        seed in 0u64..100,
+        n in 40usize..120,
+    ) {
+        let rows: Vec<(f64, f64)> = (0..n)
+            .map(|i| (((i + seed as usize) % 10) as f64, (i % 4) as f64))
+            .collect();
+        let labels: Vec<f64> = rows.iter().map(|(a, _)| if *a > 4.5 { 1.0 } else { 0.0 }).collect();
+        let data = dataset_from(&rows, &labels, Task::BinaryClassification);
+        let (train, valid) = data.split2(0.7, seed);
+        for kind in [ModelKind::Linear, ModelKind::GradientBoosting, ModelKind::RandomForest] {
+            let result = evaluate(kind, &train, &valid);
+            prop_assert_eq!(result.metric, Metric::Auc);
+            prop_assert!((0.0..=1.0).contains(&result.value), "{kind}: {}", result.value);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The fifteen aggregation functions used by FeatAug's query templates (paper Table II):
+//! `SUM, MIN, MAX, COUNT, AVG, COUNT DISTINCT, VAR, VAR_SAMPLE, STD, STD_SAMPLE, ENTROPY,
+//! KURTOSIS, MODE, MAD, MEDIAN`.
+//!
+//! Each function consumes the non-null numeric values of the aggregated column within one group
+//! (categorical columns contribute their dictionary codes, which is sufficient for the
+//! frequency-based functions `COUNT`, `COUNT DISTINCT`, `MODE` and `ENTROPY`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An aggregation function applied to the values of one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Number of non-null values.
+    Count,
+    /// Arithmetic mean.
+    Avg,
+    /// Number of distinct non-null values.
+    CountDistinct,
+    /// Population variance.
+    Var,
+    /// Sample variance (n − 1 denominator).
+    VarSample,
+    /// Population standard deviation.
+    Std,
+    /// Sample standard deviation.
+    StdSample,
+    /// Shannon entropy (nats) of the empirical value distribution.
+    Entropy,
+    /// Excess kurtosis of the value distribution.
+    Kurtosis,
+    /// Most frequent value (ties broken by smallest value).
+    Mode,
+    /// Median absolute deviation from the median.
+    Mad,
+    /// Median value.
+    Median,
+}
+
+impl AggFunc {
+    /// Every aggregation function, in the order the paper lists them (Table II).
+    pub fn all() -> &'static [AggFunc] {
+        use AggFunc::*;
+        &[
+            Sum,
+            Min,
+            Max,
+            Count,
+            Avg,
+            CountDistinct,
+            Var,
+            VarSample,
+            Std,
+            StdSample,
+            Entropy,
+            Kurtosis,
+            Mode,
+            Mad,
+            Median,
+        ]
+    }
+
+    /// A smaller set of cheap functions, handy for quick examples and unit tests.
+    pub fn basic() -> &'static [AggFunc] {
+        use AggFunc::*;
+        &[Sum, Min, Max, Count, Avg]
+    }
+
+    /// SQL-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::CountDistinct => "COUNT_DISTINCT",
+            AggFunc::Var => "VAR",
+            AggFunc::VarSample => "VAR_SAMPLE",
+            AggFunc::Std => "STD",
+            AggFunc::StdSample => "STD_SAMPLE",
+            AggFunc::Entropy => "ENTROPY",
+            AggFunc::Kurtosis => "KURTOSIS",
+            AggFunc::Mode => "MODE",
+            AggFunc::Mad => "MAD",
+            AggFunc::Median => "MEDIAN",
+        }
+    }
+
+    /// Parse an [`AggFunc`] from its SQL-style name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        let upper = name.to_ascii_uppercase();
+        AggFunc::all().iter().copied().find(|f| f.name() == upper)
+    }
+
+    /// Apply the function to the non-null values of one group.
+    ///
+    /// Returns `None` (SQL NULL) when the group is empty, except for `COUNT` and
+    /// `COUNT DISTINCT`, which return 0.
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        let n = values.len();
+        match self {
+            AggFunc::Count => return Some(n as f64),
+            AggFunc::CountDistinct => return Some(count_distinct(values)),
+            _ => {}
+        }
+        if n == 0 {
+            return None;
+        }
+        match self {
+            AggFunc::Sum => Some(values.iter().sum()),
+            AggFunc::Min => Some(values.iter().copied().fold(f64::INFINITY, f64::min)),
+            AggFunc::Max => Some(values.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            AggFunc::Avg => Some(values.iter().sum::<f64>() / n as f64),
+            AggFunc::Var => Some(variance(values, 0)),
+            AggFunc::VarSample => {
+                if n < 2 {
+                    Some(0.0)
+                } else {
+                    Some(variance(values, 1))
+                }
+            }
+            AggFunc::Std => Some(variance(values, 0).sqrt()),
+            AggFunc::StdSample => {
+                if n < 2 {
+                    Some(0.0)
+                } else {
+                    Some(variance(values, 1).sqrt())
+                }
+            }
+            AggFunc::Entropy => Some(entropy(values)),
+            AggFunc::Kurtosis => Some(kurtosis(values)),
+            AggFunc::Mode => Some(mode(values)),
+            AggFunc::Mad => Some(mad(values)),
+            AggFunc::Median => Some(median(values)),
+            AggFunc::Count | AggFunc::CountDistinct => unreachable!("handled above"),
+        }
+    }
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn count_distinct(values: &[f64]) -> f64 {
+    let mut bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    bits.sort_unstable();
+    bits.dedup();
+    bits.len() as f64
+}
+
+fn variance(values: &[f64], ddof: usize) -> f64 {
+    let n = values.len();
+    if n <= ddof {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    ss / (n - ddof) as f64
+}
+
+/// Shannon entropy (natural log) of the empirical distribution of exact values.
+fn entropy(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v.to_bits()).or_insert(0) += 1;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Excess kurtosis (population definition, Fisher): E[(x-μ)^4]/σ^4 − 3. Zero for degenerate
+/// distributions (σ = 0).
+fn kurtosis(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var <= 1e-300 {
+        return 0.0;
+    }
+    let m4 = values.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / n;
+    m4 / (var * var) - 3.0
+}
+
+/// Most frequent value; ties are broken towards the smallest value to keep the result
+/// deterministic.
+fn mode(values: &[f64]) -> f64 {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v.to_bits()).or_insert(0) += 1;
+    }
+    let mut best_val = f64::INFINITY;
+    let mut best_count = 0usize;
+    for (&bits, &count) in &counts {
+        let v = f64::from_bits(bits);
+        if count > best_count || (count == best_count && v < best_val) {
+            best_count = count;
+            best_val = v;
+        }
+    }
+    best_val
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median.
+fn mad(values: &[f64]) -> f64 {
+    let med = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn sum_min_max_avg_count() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((AggFunc::Sum.apply(&v).unwrap() - 10.0).abs() < EPS);
+        assert!((AggFunc::Min.apply(&v).unwrap() - 1.0).abs() < EPS);
+        assert!((AggFunc::Max.apply(&v).unwrap() - 4.0).abs() < EPS);
+        assert!((AggFunc::Avg.apply(&v).unwrap() - 2.5).abs() < EPS);
+        assert!((AggFunc::Count.apply(&v).unwrap() - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert_eq!(AggFunc::Sum.apply(&[]), None);
+        assert_eq!(AggFunc::Median.apply(&[]), None);
+        assert_eq!(AggFunc::Count.apply(&[]), Some(0.0));
+        assert_eq!(AggFunc::CountDistinct.apply(&[]), Some(0.0));
+    }
+
+    #[test]
+    fn count_distinct_dedups() {
+        let v = [1.0, 1.0, 2.0, 2.0, 2.0, 5.0];
+        assert!((AggFunc::CountDistinct.apply(&v).unwrap() - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        // Values 2,4,4,4,5,5,7,9: population variance 4, std 2 (classic example).
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((AggFunc::Var.apply(&v).unwrap() - 4.0).abs() < EPS);
+        assert!((AggFunc::Std.apply(&v).unwrap() - 2.0).abs() < EPS);
+        // Sample variance = 32/7.
+        assert!((AggFunc::VarSample.apply(&v).unwrap() - 32.0 / 7.0).abs() < EPS);
+        assert!((AggFunc::StdSample.apply(&v).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < EPS);
+        // Single element: sample variance defined as 0 here.
+        assert_eq!(AggFunc::VarSample.apply(&[3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_and_degenerate() {
+        // Uniform over 4 distinct values: ln(4).
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((AggFunc::Entropy.apply(&v).unwrap() - 4.0f64.ln()).abs() < EPS);
+        // Degenerate distribution: entropy 0.
+        let v = [7.0, 7.0, 7.0];
+        assert!(AggFunc::Entropy.apply(&v).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn kurtosis_known_values() {
+        // Symmetric two-point distribution {-1, 1}: kurtosis = 1, excess = -2.
+        let v = [-1.0, 1.0, -1.0, 1.0];
+        assert!((AggFunc::Kurtosis.apply(&v).unwrap() - (-2.0)).abs() < EPS);
+        // Constant values: defined as 0.
+        assert_eq!(AggFunc::Kurtosis.apply(&[3.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mode_breaks_ties_deterministically() {
+        assert_eq!(AggFunc::Mode.apply(&[5.0, 5.0, 1.0]).unwrap(), 5.0);
+        // Tie between 1 and 2 -> smallest wins.
+        assert_eq!(AggFunc::Mode.apply(&[2.0, 1.0, 2.0, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert!((AggFunc::Median.apply(&[3.0, 1.0, 2.0]).unwrap() - 2.0).abs() < EPS);
+        assert!((AggFunc::Median.apply(&[4.0, 1.0, 2.0, 3.0]).unwrap() - 2.5).abs() < EPS);
+        // MAD of [1, 2, 3, 4, 9]: median 3, deviations [2,1,0,1,6], MAD = 1.
+        assert!((AggFunc::Mad.apply(&[1.0, 2.0, 3.0, 4.0, 9.0]).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for f in AggFunc::all() {
+            assert_eq!(AggFunc::parse(f.name()), Some(*f));
+            assert_eq!(AggFunc::parse(&f.name().to_lowercase()), Some(*f));
+        }
+        assert_eq!(AggFunc::parse("NOPE"), None);
+        assert_eq!(AggFunc::all().len(), 15);
+        assert_eq!(AggFunc::basic().len(), 5);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AggFunc::CountDistinct.to_string(), "COUNT_DISTINCT");
+    }
+}

@@ -1,0 +1,192 @@
+//! A small CSV reader / writer.
+//!
+//! The format is deliberately simple (no quoting of embedded commas or newlines): it exists so
+//! that generated datasets and experiment outputs can be inspected and re-loaded, not as a
+//! general-purpose CSV implementation. Headers carry the column type as `name:type`, so a table
+//! round-trips without separate schema metadata.
+
+use std::fs;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::schema::DataType;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Serialise a table to CSV text with `name:type` headers.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| format!("{}:{}", f.name, f.dtype.name()))
+        .collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| table.value(row, &f.name).expect("schema-consistent").to_string())
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text produced by [`to_csv_string`] back into a table.
+pub fn from_csv_string(name: &str, text: &str) -> Result<Table> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| TabularError::Csv("empty input".into()))?;
+
+    let mut fields: Vec<(String, DataType)> = Vec::new();
+    for part in header.split(',') {
+        let (col_name, ty) = part
+            .rsplit_once(':')
+            .ok_or_else(|| TabularError::Csv(format!("header `{part}` lacks a :type suffix")))?;
+        let dtype = match ty {
+            "int" => DataType::Int,
+            "float" => DataType::Float,
+            "bool" => DataType::Bool,
+            "cat" => DataType::Categorical,
+            "datetime" => DataType::DateTime,
+            other => return Err(TabularError::Csv(format!("unknown column type `{other}`"))),
+        };
+        fields.push((col_name.to_string(), dtype));
+    }
+
+    let mut columns: Vec<Column> = fields.iter().map(|(_, d)| Column::empty(*d)).collect();
+
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != fields.len() {
+            return Err(TabularError::Csv(format!(
+                "row {} has {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                fields.len()
+            )));
+        }
+        for ((cell, (col_name, dtype)), column) in
+            cells.iter().zip(&fields).zip(columns.iter_mut())
+        {
+            let value = parse_cell(cell, *dtype)
+                .map_err(|e| TabularError::Csv(format!("column {col_name}: {e}")))?;
+            column.push(value).map_err(|e| TabularError::Csv(e.to_string()))?;
+        }
+    }
+
+    let mut table = Table::new(name);
+    for ((col_name, _), column) in fields.into_iter().zip(columns) {
+        table.add_column(col_name, column)?;
+    }
+    Ok(table)
+}
+
+fn parse_cell(cell: &str, dtype: DataType) -> std::result::Result<Value, String> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    match dtype {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("cannot parse `{cell}` as int")),
+        DataType::DateTime => cell
+            .parse::<i64>()
+            .map(Value::DateTime)
+            .map_err(|_| format!("cannot parse `{cell}` as datetime")),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("cannot parse `{cell}` as float")),
+        DataType::Bool => match cell {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(format!("cannot parse `{cell}` as bool")),
+        },
+        DataType::Categorical => Ok(Value::Str(cell.to_string())),
+    }
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, to_csv_string(table)).map_err(|e| TabularError::Csv(e.to_string()))
+}
+
+/// Read a table from a CSV file written by [`write_csv`].
+pub fn read_csv(name: &str, path: impl AsRef<Path>) -> Result<Table> {
+    let text = fs::read_to_string(path).map_err(|e| TabularError::Csv(e.to_string()))?;
+    from_csv_string(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t");
+        t.add_column("id", Column::from_i64s(&[1, 2, 3])).unwrap();
+        t.add_column("grp", Column::from_opt_strs(&[Some("a"), None, Some("b")])).unwrap();
+        t.add_column("x", Column::from_opt_f64s(&[Some(1.5), Some(-2.0), None])).unwrap();
+        t.add_column("flag", Column::from_bools(&[true, false, true])).unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300])).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_schema_and_values() {
+        let t = sample();
+        let text = to_csv_string(&t);
+        let back = from_csv_string("t", &text).unwrap();
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.num_rows(), t.num_rows());
+        for row in 0..t.num_rows() {
+            for name in t.column_names() {
+                assert_eq!(back.value(row, name).unwrap(), t.value(row, name).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn header_carries_types() {
+        let text = to_csv_string(&sample());
+        assert!(text.starts_with("id:int,grp:cat,x:float,flag:bool,ts:datetime\n"));
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let text = "a:int,b:cat\n1,\n,x\n";
+        let t = from_csv_string("t", text).unwrap();
+        assert_eq!(t.value(0, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_csv_string("t", "").is_err());
+        assert!(from_csv_string("t", "a\n1\n").is_err()); // missing type
+        assert!(from_csv_string("t", "a:wat\n1\n").is_err()); // unknown type
+        assert!(from_csv_string("t", "a:int\n1,2\n").is_err()); // wrong cell count
+        assert!(from_csv_string("t", "a:int\nxyz\n").is_err()); // bad int
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("feataug_tabular_csv_test.csv");
+        let t = sample();
+        write_csv(&t, &path).unwrap();
+        let back = read_csv("t", &path).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by every operator in the crate.
+
+use std::fmt;
+
+/// Errors produced by table construction and relational operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// A referenced column does not exist in the table.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// Column lengths within one table disagree.
+    LengthMismatch { expected: usize, actual: usize, column: String },
+    /// An operation was applied to a column of an unsupported type.
+    TypeMismatch { column: String, expected: &'static str, actual: &'static str },
+    /// CSV parsing failed.
+    Csv(String),
+    /// Any other invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            TabularError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TabularError::LengthMismatch { expected, actual, column } => write!(
+                f,
+                "length mismatch for column {column}: expected {expected} rows, got {actual}"
+            ),
+            TabularError::TypeMismatch { column, expected, actual } => {
+                write!(f, "type mismatch for column {column}: expected {expected}, got {actual}")
+            }
+            TabularError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = TabularError::ColumnNotFound("age".into());
+        assert_eq!(e.to_string(), "column not found: age");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TabularError::LengthMismatch { expected: 3, actual: 5, column: "x".into() };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TabularError::Csv("bad".into()));
+    }
+}

@@ -1,0 +1,300 @@
+//! Group-by aggregation — the relational core of feature generation.
+//!
+//! [`group_by_aggregate`] evaluates `SELECT k, agg(a) FROM R GROUP BY k` and returns a table
+//! with one row per group. [`group_by_aggregate_multi`] computes several `(agg, column)` pairs
+//! in a single pass over the data, which the Featuretools baseline uses to materialise its whole
+//! feature pool efficiently. A sort-based variant ([`group_by_aggregate_sorted`]) is provided
+//! for the engine ablation benchmark.
+
+use std::collections::HashMap;
+
+use crate::aggregate::AggFunc;
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::table::Table;
+use crate::Result;
+
+/// A hashable, equality-comparable atom of a group key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Null,
+    Int(i64),
+    /// Floats keyed by their bit pattern (exact grouping, NaN-safe).
+    Bits(u64),
+    Bool(bool),
+    /// Dictionary code of a categorical value.
+    Code(u32),
+}
+
+/// A composite group key (one atom per key column).
+type GroupKey = Vec<KeyAtom>;
+
+fn key_atom(col: &Column, row: usize) -> KeyAtom {
+    match col {
+        Column::Int(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),
+        Column::DateTime(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),
+        Column::Float(v) => v[row].map(|f| KeyAtom::Bits(f.to_bits())).unwrap_or(KeyAtom::Null),
+        Column::Bool(v) => v[row].map(KeyAtom::Bool).unwrap_or(KeyAtom::Null),
+        Column::Cat(c) => c.codes()[row].map(KeyAtom::Code).unwrap_or(KeyAtom::Null),
+    }
+}
+
+/// Build the group index: for every distinct key, the row indices belonging to it, in
+/// first-appearance order of the groups.
+fn build_groups(table: &Table, key_columns: &[&str]) -> Result<Vec<(Vec<usize>, usize)>> {
+    if key_columns.is_empty() {
+        return Err(TabularError::InvalidArgument("group-by needs at least one key".into()));
+    }
+    let cols: Vec<&Column> =
+        key_columns.iter().map(|k| table.column(k)).collect::<Result<Vec<_>>>()?;
+    let mut index: HashMap<GroupKey, usize> = HashMap::new();
+    // (rows of the group, representative row used to emit key values)
+    let mut groups: Vec<(Vec<usize>, usize)> = Vec::new();
+    for row in 0..table.num_rows() {
+        let key: GroupKey = cols.iter().map(|c| key_atom(c, row)).collect();
+        match index.get(&key) {
+            Some(&gid) => groups[gid].0.push(row),
+            None => {
+                index.insert(key, groups.len());
+                groups.push((vec![row], row));
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// `SELECT key_columns, agg(agg_column) AS out_name FROM table GROUP BY key_columns`.
+///
+/// NULL values of `agg_column` are ignored inside each group; groups whose values are all NULL
+/// produce a NULL aggregate (except `COUNT` / `COUNT DISTINCT`, which produce 0).
+pub fn group_by_aggregate(
+    table: &Table,
+    key_columns: &[&str],
+    agg: AggFunc,
+    agg_column: &str,
+    out_name: &str,
+) -> Result<Table> {
+    group_by_aggregate_multi(table, key_columns, &[(agg, agg_column, out_name)])
+}
+
+/// Compute several aggregations in one pass: each entry of `specs` is
+/// `(function, aggregated column, output column name)`.
+pub fn group_by_aggregate_multi(
+    table: &Table,
+    key_columns: &[&str],
+    specs: &[(AggFunc, &str, &str)],
+) -> Result<Table> {
+    let groups = build_groups(table, key_columns)?;
+
+    // Pre-extract the numeric views of every aggregated column (deduplicated).
+    let mut views: HashMap<&str, Vec<Option<f64>>> = HashMap::new();
+    for (_, col, _) in specs {
+        if !views.contains_key(col) {
+            views.insert(col, table.column(col)?.to_f64_vec());
+        }
+    }
+
+    let mut out = Table::new(format!("{}_agg", table.name()));
+
+    // Key columns: one representative row per group.
+    let representatives: Vec<usize> = groups.iter().map(|(_, rep)| *rep).collect();
+    for &key in key_columns {
+        let col = table.column(key)?;
+        out.add_column(key, col.take(&representatives))?;
+    }
+
+    // Aggregate columns.
+    for (agg, col_name, out_name) in specs {
+        let view = &views[col_name];
+        let mut values: Vec<Option<f64>> = Vec::with_capacity(groups.len());
+        let mut buf: Vec<f64> = Vec::new();
+        for (rows, _) in &groups {
+            buf.clear();
+            buf.extend(rows.iter().filter_map(|&r| view[r]));
+            values.push(agg.apply(&buf));
+        }
+        out.add_column(*out_name, Column::from_opt_f64s(&values))?;
+    }
+    Ok(out)
+}
+
+/// Sort-based group-by (single aggregation). Functionally identical to
+/// [`group_by_aggregate`]; kept as the comparison point for the engine ablation benchmark.
+pub fn group_by_aggregate_sorted(
+    table: &Table,
+    key_columns: &[&str],
+    agg: AggFunc,
+    agg_column: &str,
+    out_name: &str,
+) -> Result<Table> {
+    if key_columns.is_empty() {
+        return Err(TabularError::InvalidArgument("group-by needs at least one key".into()));
+    }
+    let cols: Vec<&Column> =
+        key_columns.iter().map(|k| table.column(k)).collect::<Result<Vec<_>>>()?;
+    let view = table.column(agg_column)?.to_f64_vec();
+
+    // Sort row indices by the composite key rendered as comparable values.
+    let mut order: Vec<usize> = (0..table.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        for c in &cols {
+            let va = c.get(a);
+            let vb = c.get(b);
+            let ord = va.total_cmp(&vb);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    let same_key = |a: usize, b: usize| -> bool {
+        cols.iter().all(|c| c.get(a).total_cmp(&c.get(b)) == std::cmp::Ordering::Equal)
+    };
+
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut values: Vec<Option<f64>> = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let start = i;
+        let rep = order[start];
+        let mut buf: Vec<f64> = Vec::new();
+        while i < order.len() && same_key(order[i], rep) {
+            if let Some(v) = view[order[i]] {
+                buf.push(v);
+            }
+            i += 1;
+        }
+        representatives.push(rep);
+        values.push(agg.apply(&buf));
+    }
+
+    let mut out = Table::new(format!("{}_agg", table.name()));
+    for &key in key_columns {
+        let col = table.column(key)?;
+        out.add_column(key, col.take(&representatives))?;
+    }
+    out.add_column(out_name, Column::from_opt_f64s(&values))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn logs() -> Table {
+        let mut t = Table::new("logs");
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b", "b", "c"])).unwrap();
+        t.add_column(
+            "price",
+            Column::from_opt_f64s(&[
+                Some(10.0),
+                Some(20.0),
+                Some(5.0),
+                None,
+                Some(15.0),
+                None,
+            ]),
+        )
+        .unwrap();
+        t.add_column("qty", Column::from_i64s(&[1, 2, 3, 4, 5, 6])).unwrap();
+        t
+    }
+
+    #[test]
+    fn avg_per_group_ignores_nulls() {
+        let t = logs();
+        let out = group_by_aggregate(&t, &["cname"], AggFunc::Avg, "price", "f").unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // Groups appear in first-appearance order: a, b, c.
+        assert_eq!(out.value(0, "cname").unwrap(), Value::Str("a".into()));
+        assert_eq!(out.value(0, "f").unwrap(), Value::Float(15.0));
+        assert_eq!(out.value(1, "f").unwrap(), Value::Float(10.0));
+        // Group "c" has only NULL prices -> NULL aggregate.
+        assert_eq!(out.value(2, "f").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn count_counts_non_null_only() {
+        let t = logs();
+        let out = group_by_aggregate(&t, &["cname"], AggFunc::Count, "price", "f").unwrap();
+        assert_eq!(out.value(0, "f").unwrap(), Value::Float(2.0));
+        assert_eq!(out.value(1, "f").unwrap(), Value::Float(2.0));
+        assert_eq!(out.value(2, "f").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let mut t = Table::new("t");
+        t.add_column("k1", Column::from_strs(&["x", "x", "y", "y"])).unwrap();
+        t.add_column("k2", Column::from_i64s(&[1, 2, 1, 1])).unwrap();
+        t.add_column("v", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
+        let out = group_by_aggregate(&t, &["k1", "k2"], AggFunc::Sum, "v", "s").unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(2, "s").unwrap(), Value::Float(70.0));
+    }
+
+    #[test]
+    fn multi_aggregation_single_pass() {
+        let t = logs();
+        let out = group_by_aggregate_multi(
+            &t,
+            &["cname"],
+            &[
+                (AggFunc::Sum, "price", "sum_price"),
+                (AggFunc::Max, "qty", "max_qty"),
+                (AggFunc::Count, "qty", "n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_columns(), 4);
+        assert_eq!(out.value(0, "sum_price").unwrap(), Value::Float(30.0));
+        assert_eq!(out.value(1, "max_qty").unwrap(), Value::Float(5.0));
+        assert_eq!(out.value(2, "n").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn sorted_groupby_matches_hash_groupby() {
+        let t = logs();
+        for agg in [AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Median] {
+            let hash = group_by_aggregate(&t, &["cname"], agg, "price", "f").unwrap();
+            let sorted = group_by_aggregate_sorted(&t, &["cname"], agg, "price", "f").unwrap();
+            assert_eq!(hash.num_rows(), sorted.num_rows());
+            // Compare as (key -> value) maps because the group orderings differ.
+            let to_map = |t: &Table| -> Vec<(String, Value)> {
+                let mut v: Vec<(String, Value)> = (0..t.num_rows())
+                    .map(|i| {
+                        (t.value(i, "cname").unwrap().to_string(), t.value(i, "f").unwrap())
+                    })
+                    .collect();
+                v.sort_by(|a, b| a.0.cmp(&b.0));
+                v
+            };
+            assert_eq!(to_map(&hash), to_map(&sorted), "agg {agg:?}");
+        }
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let mut t = Table::new("t");
+        t.add_column("k", Column::from_opt_strs(&[Some("a"), None, None])).unwrap();
+        t.add_column("v", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
+        let out = group_by_aggregate(&t, &["k"], AggFunc::Sum, "v", "s").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(1, "s").unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn empty_key_list_is_an_error() {
+        let t = logs();
+        assert!(group_by_aggregate(&t, &[], AggFunc::Sum, "price", "f").is_err());
+    }
+
+    #[test]
+    fn missing_columns_error() {
+        let t = logs();
+        assert!(group_by_aggregate(&t, &["nope"], AggFunc::Sum, "price", "f").is_err());
+        assert!(group_by_aggregate(&t, &["cname"], AggFunc::Sum, "nope", "f").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Left joins: attaching generated features to the training table.
+//!
+//! FeatAug's augmented training table (paper Definition 3) is
+//! `SELECT D.*, q(R).feature FROM D LEFT JOIN q(R) ON D.k = q(R).k`.
+//! [`left_join`] implements exactly that: every left row is preserved, unmatched rows receive
+//! NULLs in the right-hand columns, and right-hand key columns are not duplicated in the output.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::table::Table;
+use crate::Result;
+
+/// Join key rendered to a hashable form. NULL keys never match (SQL semantics).
+fn key_of(table: &Table, key_columns: &[&str], row: usize) -> Result<Option<String>> {
+    let mut parts: Vec<String> = Vec::with_capacity(key_columns.len());
+    for &k in key_columns {
+        let v = table.value(row, k)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        // The type tag avoids collisions like Int(1) vs Str("1").
+        parts.push(format!("{}:{}", table.dtype(k)?.name(), v));
+    }
+    Ok(Some(parts.join("\u{1f}")))
+}
+
+/// Left join `left` with `right` on equally-named key pairs
+/// (`left_keys[i]` = `right_keys[i]`).
+///
+/// * Every row of `left` appears exactly once in the output when the right side has at most one
+///   row per key (the situation after a group-by); if the right side has duplicate keys the
+///   first matching row wins — the caller is expected to aggregate first.
+/// * Columns of `right` other than its key columns are appended to the output schema. A column
+///   name clash is resolved by suffixing the right column with `_r`.
+pub fn left_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Table> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(TabularError::InvalidArgument(
+            "left_join requires equal, non-empty key lists".into(),
+        ));
+    }
+
+    // Index right rows by key (first occurrence wins).
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for row in 0..right.num_rows() {
+        if let Some(key) = key_of(right, right_keys, row)? {
+            index.entry(key).or_insert(row);
+        }
+    }
+
+    // Row mapping: for each left row, the matched right row (if any).
+    let mut matches: Vec<Option<usize>> = Vec::with_capacity(left.num_rows());
+    for row in 0..left.num_rows() {
+        let m = match key_of(left, left_keys, row)? {
+            Some(key) => index.get(&key).copied(),
+            None => None,
+        };
+        matches.push(m);
+    }
+
+    let mut out = left.clone().with_name(format!("{}_joined", left.name()));
+
+    for field in right.schema().fields() {
+        if right_keys.contains(&field.name.as_str()) {
+            continue;
+        }
+        let src = right.column(&field.name)?;
+        let mut dst = Column::empty(field.dtype);
+        for m in &matches {
+            match m {
+                Some(r) => dst.push(src.get(*r))?,
+                None => dst.push(crate::value::Value::Null)?,
+            }
+        }
+        let mut name = field.name.clone();
+        if out.schema().index_of(&name).is_some() {
+            name = format!("{name}_r");
+        }
+        out.add_column(name, dst)?;
+    }
+    Ok(out)
+}
+
+/// Convenience wrapper for the common FeatAug case: join an aggregated feature table onto the
+/// training table using the same key names on both sides, returning the augmented table.
+pub fn attach_features(training: &Table, features: &Table, keys: &[&str]) -> Result<Table> {
+    left_join(training, features, keys, keys)
+}
+
+/// The fraction of left rows that found a match — useful for sanity-checking the one-to-many
+/// relationship of generated datasets.
+pub fn match_rate(left: &Table, right: &Table, keys: &[&str]) -> Result<f64> {
+    if left.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    let joined = left_join(left, right, keys, keys)?;
+    // A row matched when at least one appended column is non-null; detect via the first
+    // appended column if there is one, otherwise report 1.0 (nothing to attach).
+    let appended: Vec<&str> = joined
+        .column_names()
+        .into_iter()
+        .filter(|n| left.schema().index_of(n).is_none())
+        .collect();
+    let Some(first) = appended.first() else { return Ok(1.0) };
+    let col = joined.column(first)?;
+    let non_null = col.len() - col.null_count();
+    Ok(non_null as f64 / left.num_rows() as f64)
+}
+
+/// Verify that `right[key]` has at most one row per key value — i.e. the output of a group-by.
+pub fn is_unique_key(table: &Table, keys: &[&str]) -> Result<bool> {
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    for row in 0..table.num_rows() {
+        if let Some(k) = key_of(table, keys, row)? {
+            if seen.insert(k, ()).is_some() {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Infer the foreign-key multiplicity between `one` and `many`: returns the average number of
+/// `many` rows per distinct key of `one` (0.0 when `one` is empty).
+pub fn fanout(one: &Table, many: &Table, keys: &[&str]) -> Result<f64> {
+    let mut distinct: HashMap<String, ()> = HashMap::new();
+    for row in 0..one.num_rows() {
+        if let Some(k) = key_of(one, keys, row)? {
+            distinct.insert(k, ());
+        }
+    }
+    if distinct.is_empty() {
+        return Ok(0.0);
+    }
+    let mut matched = 0usize;
+    for row in 0..many.num_rows() {
+        if let Some(k) = key_of(many, keys, row)? {
+            if distinct.contains_key(&k) {
+                matched += 1;
+            }
+        }
+    }
+    Ok(matched as f64 / distinct.len() as f64)
+}
+
+#[allow(unused_imports)]
+use crate::schema::Schema; // referenced by doc comments
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn training() -> Table {
+        let mut t = Table::new("users");
+        t.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
+        t.add_column("age", Column::from_i64s(&[30, 40, 50])).unwrap();
+        t
+    }
+
+    fn features() -> Table {
+        let mut t = Table::new("feats");
+        t.add_column("cname", Column::from_strs(&["b", "a"])).unwrap();
+        t.add_column("feature", Column::from_f64s(&[2.0, 1.0])).unwrap();
+        t
+    }
+
+    #[test]
+    fn left_join_preserves_all_left_rows() {
+        let joined = left_join(&training(), &features(), &["cname"], &["cname"]).unwrap();
+        assert_eq!(joined.num_rows(), 3);
+        assert_eq!(joined.value(0, "feature").unwrap(), Value::Float(1.0));
+        assert_eq!(joined.value(1, "feature").unwrap(), Value::Float(2.0));
+        // "c" has no match -> NULL.
+        assert_eq!(joined.value(2, "feature").unwrap(), Value::Null);
+        // Right key column is not duplicated.
+        assert_eq!(joined.num_columns(), 3);
+    }
+
+    #[test]
+    fn name_clash_gets_suffixed() {
+        let mut right = features();
+        right.add_column("age", Column::from_f64s(&[99.0, 98.0])).unwrap();
+        let joined = left_join(&training(), &right, &["cname"], &["cname"]).unwrap();
+        assert!(joined.column("age_r").is_ok());
+        assert_eq!(joined.value(0, "age_r").unwrap(), Value::Float(98.0));
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let mut left = Table::new("l");
+        left.add_column("k", Column::from_opt_strs(&[Some("a"), None])).unwrap();
+        let mut right = Table::new("r");
+        right.add_column("k", Column::from_opt_strs(&[Some("a"), None])).unwrap();
+        right.add_column("v", Column::from_f64s(&[1.0, 2.0])).unwrap();
+        let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Float(1.0));
+        assert_eq!(joined.value(1, "v").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn key_list_validation() {
+        let t = training();
+        assert!(left_join(&t, &features(), &[], &[]).is_err());
+        assert!(left_join(&t, &features(), &["cname"], &[]).is_err());
+    }
+
+    #[test]
+    fn attach_features_and_match_rate() {
+        let aug = attach_features(&training(), &features(), &["cname"]).unwrap();
+        assert_eq!(aug.num_columns(), 3);
+        let rate = match_rate(&training(), &features(), &["cname"]).unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_key_detection() {
+        assert!(is_unique_key(&features(), &["cname"]).unwrap());
+        let mut dup = features();
+        let more = features();
+        dup = dup.concat(&more).unwrap();
+        assert!(!is_unique_key(&dup, &["cname"]).unwrap());
+    }
+
+    #[test]
+    fn fanout_counts_rows_per_key() {
+        let mut many = Table::new("logs");
+        many.add_column("cname", Column::from_strs(&["a", "a", "b", "z"])).unwrap();
+        let f = fanout(&training(), &many, &["cname"]).unwrap();
+        assert!((f - 1.0).abs() < 1e-9); // 3 matched rows over 3 distinct keys
+    }
+
+    #[test]
+    fn type_tag_prevents_cross_type_matches() {
+        let mut left = Table::new("l");
+        left.add_column("k", Column::from_i64s(&[1])).unwrap();
+        let mut right = Table::new("r");
+        right.add_column("k", Column::from_strs(&["1"])).unwrap();
+        right.add_column("v", Column::from_f64s(&[5.0])).unwrap();
+        let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
+    }
+}

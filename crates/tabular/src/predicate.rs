@@ -1,0 +1,330 @@
+//! Predicates: the `WHERE` clauses of predicate-aware SQL queries.
+//!
+//! The FeatAug paper uses two predicate shapes (Definition 2):
+//!
+//! * **equality predicates** `p = d` on categorical columns, and
+//! * **range predicates** `d_low <= p <= d_high` on numerical / datetime columns, where either
+//!   bound may be absent (one-sided ranges).
+//!
+//! A query's `WHERE` clause is a conjunction of such predicates; [`Predicate::And`] models it.
+//! SQL `WHERE` semantics are used for NULLs: a row whose operand is NULL does not satisfy the
+//! predicate.
+
+use std::fmt;
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// A boolean row filter over a [`Table`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Keep every row (the empty `WHERE` clause).
+    True,
+    /// `column = value` (equality, typically on a categorical column).
+    Eq { column: String, value: Value },
+    /// `low <= column <= high`, either bound optional (range, on numeric / datetime columns).
+    Range { column: String, low: Option<Value>, high: Option<Value> },
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Equality predicate `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::Eq { column: column.into(), value: value.into() }
+    }
+
+    /// Two-sided range predicate `low <= column <= high`.
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Predicate {
+        Predicate::Range {
+            column: column.into(),
+            low: Some(low.into()),
+            high: Some(high.into()),
+        }
+    }
+
+    /// One-sided range predicate `column >= low`.
+    pub fn ge(column: impl Into<String>, low: impl Into<Value>) -> Predicate {
+        Predicate::Range { column: column.into(), low: Some(low.into()), high: None }
+    }
+
+    /// One-sided range predicate `column <= high`.
+    pub fn le(column: impl Into<String>, high: impl Into<Value>) -> Predicate {
+        Predicate::Range { column: column.into(), low: None, high: Some(high.into()) }
+    }
+
+    /// General range constructor with optional bounds. `None` on both sides keeps all non-null
+    /// rows of the column.
+    pub fn range(
+        column: impl Into<String>,
+        low: Option<Value>,
+        high: Option<Value>,
+    ) -> Predicate {
+        Predicate::Range { column: column.into(), low, high }
+    }
+
+    /// Conjunction of predicates. Flattens nested `And`s and drops `True`s.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Names of the columns this predicate touches (with duplicates removed, order preserved).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Eq { column, .. } | Predicate::Range { column, .. } => {
+                if !out.contains(&column.as_str()) {
+                    out.push(column);
+                }
+            }
+            Predicate::And(preds) => {
+                for p in preds {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// True when the predicate places no restriction on any row.
+    pub fn is_trivial(&self) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Range { low: None, high: None, .. } => false, // still drops NULLs
+            Predicate::And(ps) => ps.iter().all(|p| p.is_trivial()),
+            _ => false,
+        }
+    }
+
+    /// Evaluate the predicate against every row of `table`, producing a keep-mask.
+    pub fn evaluate(&self, table: &Table) -> Result<Vec<bool>> {
+        match self {
+            Predicate::True => Ok(vec![true; table.num_rows()]),
+            Predicate::Eq { column, value } => {
+                let col = table.column(column)?;
+                Ok(eval_eq(col, value))
+            }
+            Predicate::Range { column, low, high } => {
+                let col = table.column(column)?;
+                Ok(eval_range(col, low.as_ref(), high.as_ref()))
+            }
+            Predicate::And(preds) => {
+                let mut mask = vec![true; table.num_rows()];
+                for p in preds {
+                    let m = p.evaluate(table)?;
+                    for (dst, src) in mask.iter_mut().zip(m) {
+                        *dst = *dst && src;
+                    }
+                }
+                Ok(mask)
+            }
+        }
+    }
+
+    /// Count the rows of `table` satisfying the predicate without materialising them.
+    pub fn selectivity(&self, table: &Table) -> Result<f64> {
+        if table.num_rows() == 0 {
+            return Ok(0.0);
+        }
+        let mask = self.evaluate(table)?;
+        let kept = mask.iter().filter(|&&b| b).count();
+        Ok(kept as f64 / table.num_rows() as f64)
+    }
+}
+
+fn eval_eq(col: &Column, value: &Value) -> Vec<bool> {
+    match (col, value) {
+        // Fast path: equality against a dictionary-encoded categorical — compare codes.
+        (Column::Cat(c), Value::Str(s)) => {
+            let code = c.code_of(s);
+            c.codes()
+                .iter()
+                .map(|row| match (row, code) {
+                    (Some(rc), Some(target)) => *rc == target,
+                    _ => false,
+                })
+                .collect()
+        }
+        _ => {
+            let n = col.len();
+            (0..n)
+                .map(|i| {
+                    let v = col.get(i);
+                    if v.is_null() || value.is_null() {
+                        false
+                    } else {
+                        v.total_cmp(value) == std::cmp::Ordering::Equal
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn eval_range(col: &Column, low: Option<&Value>, high: Option<&Value>) -> Vec<bool> {
+    let lo = low.and_then(|v| v.as_f64());
+    let hi = high.and_then(|v| v.as_f64());
+    col.to_f64_vec()
+        .into_iter()
+        .map(|v| match v {
+            None => false,
+            Some(x) => {
+                let ge = lo.map(|l| x >= l).unwrap_or(true);
+                let le = hi.map(|h| x <= h).unwrap_or(true);
+                ge && le
+            }
+        })
+        .collect()
+}
+
+impl fmt::Display for Predicate {
+    /// Render as a SQL-like `WHERE` fragment; used when describing generated queries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Eq { column, value } => write!(f, "{column} = '{value}'"),
+            Predicate::Range { column, low, high } => match (low, high) {
+                (Some(l), Some(h)) => write!(f, "{column} BETWEEN {l} AND {h}"),
+                (Some(l), None) => write!(f, "{column} >= {l}"),
+                (None, Some(h)) => write!(f, "{column} <= {h}"),
+                (None, None) => write!(f, "{column} IS NOT NULL"),
+            },
+            Predicate::And(preds) => {
+                let parts: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+                write!(f, "{}", parts.join(" AND "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn logs() -> Table {
+        let mut t = Table::new("logs");
+        t.add_column("dept", Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]))
+            .unwrap();
+        t.add_column("price", Column::from_opt_f64s(&[Some(10.0), Some(20.0), None, Some(5.0)]))
+            .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
+        t
+    }
+
+    #[test]
+    fn eq_on_categorical_skips_nulls() {
+        let t = logs();
+        let mask = Predicate::eq("dept", "E").evaluate(&t).unwrap();
+        assert_eq!(mask, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn eq_on_unknown_value_matches_nothing() {
+        let t = logs();
+        let mask = Predicate::eq("dept", "Z").evaluate(&t).unwrap();
+        assert_eq!(mask, vec![false; 4]);
+    }
+
+    #[test]
+    fn range_two_sided_and_one_sided() {
+        let t = logs();
+        let mask = Predicate::between("price", 6.0, 25.0).evaluate(&t).unwrap();
+        assert_eq!(mask, vec![true, true, false, false]);
+
+        let mask = Predicate::ge("ts", 250).evaluate(&t).unwrap();
+        assert_eq!(mask, vec![false, false, true, true]);
+
+        let mask = Predicate::le("ts", 150).evaluate(&t).unwrap();
+        assert_eq!(mask, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn unbounded_range_drops_only_nulls() {
+        let t = logs();
+        let mask = Predicate::range("price", None, None).evaluate(&t).unwrap();
+        assert_eq!(mask, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn and_combines_masks() {
+        let t = logs();
+        let p = Predicate::and(vec![Predicate::eq("dept", "E"), Predicate::le("ts", 150)]);
+        let mask = p.evaluate(&t).unwrap();
+        assert_eq!(mask, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let p = Predicate::and(vec![Predicate::True, Predicate::eq("a", 1i64)]);
+        assert!(matches!(p, Predicate::Eq { .. }));
+        let p = Predicate::and(vec![]);
+        assert!(matches!(p, Predicate::True));
+        let nested = Predicate::and(vec![
+            Predicate::And(vec![Predicate::eq("a", 1i64), Predicate::eq("b", 2i64)]),
+            Predicate::eq("c", 3i64),
+        ]);
+        match nested {
+            Predicate::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columns_are_deduplicated() {
+        let p = Predicate::and(vec![
+            Predicate::eq("dept", "E"),
+            Predicate::ge("ts", 1i64),
+            Predicate::le("ts", 9i64),
+        ]);
+        assert_eq!(p.columns(), vec!["dept", "ts"]);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let t = logs();
+        let s = Predicate::eq("dept", "E").selectivity(&t).unwrap();
+        assert!((s - 0.5).abs() < 1e-9);
+        assert_eq!(Predicate::True.selectivity(&Table::new("empty")).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_formats_sql_like() {
+        let p = Predicate::and(vec![
+            Predicate::eq("dept", "E"),
+            Predicate::between("ts", 1i64, 2i64),
+        ]);
+        assert_eq!(p.to_string(), "dept = 'E' AND ts BETWEEN 1 AND 2");
+        assert_eq!(Predicate::ge("x", 3i64).to_string(), "x >= 3");
+        assert_eq!(Predicate::True.to_string(), "TRUE");
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let t = logs();
+        assert!(Predicate::eq("nope", "E").evaluate(&t).is_err());
+    }
+}

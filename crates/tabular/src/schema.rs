@@ -1,0 +1,164 @@
+//! Schemas: named, typed column descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Dictionary-encoded string / categorical.
+    Categorical,
+    /// Seconds since the Unix epoch.
+    DateTime,
+}
+
+impl DataType {
+    /// True for types on which range predicates are meaningful (numeric and datetime).
+    pub fn is_numeric_like(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::DateTime | DataType::Bool)
+    }
+
+    /// True for types on which equality predicates are used by FeatAug (categoricals and bools).
+    pub fn is_categorical_like(&self) -> bool {
+        matches!(self, DataType::Categorical | DataType::Bool)
+    }
+
+    /// Short lowercase name, used in CSV headers and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+            DataType::Categorical => "cat",
+            DataType::DateTime => "datetime",
+        }
+    }
+}
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Build a schema from fields.
+    pub fn from_fields(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// All fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Append a field (used internally by [`crate::Table::add_column`]).
+    pub(crate) fn push(&mut self, field: Field) {
+        self.fields.push(field);
+    }
+
+    /// Remove a field by name, returning it if present.
+    pub(crate) fn remove(&mut self, name: &str) -> Option<Field> {
+        let idx = self.index_of(name)?;
+        Some(self.fields.remove(idx))
+    }
+
+    /// All column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_and_field_lookup() {
+        let s = Schema::from_fields(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Categorical),
+        ]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.field("a").unwrap().dtype, DataType::Int);
+        assert_eq!(s.names(), vec!["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn datatype_classification() {
+        assert!(DataType::Int.is_numeric_like());
+        assert!(DataType::DateTime.is_numeric_like());
+        assert!(!DataType::Categorical.is_numeric_like());
+        assert!(DataType::Categorical.is_categorical_like());
+        assert!(DataType::Bool.is_categorical_like());
+        assert!(!DataType::Float.is_categorical_like());
+    }
+
+    #[test]
+    fn datatype_names_are_stable() {
+        assert_eq!(DataType::Int.name(), "int");
+        assert_eq!(DataType::Categorical.name(), "cat");
+        assert_eq!(DataType::DateTime.name(), "datetime");
+    }
+
+    #[test]
+    fn remove_field() {
+        let mut s = Schema::from_fields(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ]);
+        let removed = s.remove("a").unwrap();
+        assert_eq!(removed.name, "a");
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("zzz").is_none());
+    }
+}

@@ -1,0 +1,315 @@
+//! The [`Table`] type: a named collection of equal-length columns.
+
+use crate::column::Column;
+use crate::error::TabularError;
+use crate::predicate::Predicate;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use crate::Result;
+
+/// A named, in-memory columnar table.
+///
+/// Invariant: every column has the same number of rows, and column names are unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table { name: name.into(), schema: Schema::new(), columns: Vec::new(), num_rows: 0 }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema.names()
+    }
+
+    /// Add a column. The first column fixes the row count; subsequent columns must match it.
+    pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> Result<()> {
+        let name = name.into();
+        if self.schema.index_of(&name).is_some() {
+            return Err(TabularError::DuplicateColumn(name));
+        }
+        if !self.columns.is_empty() && column.len() != self.num_rows {
+            return Err(TabularError::LengthMismatch {
+                expected: self.num_rows,
+                actual: column.len(),
+                column: name,
+            });
+        }
+        if self.columns.is_empty() {
+            self.num_rows = column.len();
+        }
+        self.schema.push(Field::new(name, column.dtype()));
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Builder-style [`Table::add_column`].
+    pub fn with_column(mut self, name: impl Into<String>, column: Column) -> Result<Self> {
+        self.add_column(name, column)?;
+        Ok(self)
+    }
+
+    /// Replace an existing column (same length required), or add it if absent.
+    pub fn set_column(&mut self, name: &str, column: Column) -> Result<()> {
+        match self.schema.index_of(name) {
+            Some(idx) => {
+                if column.len() != self.num_rows {
+                    return Err(TabularError::LengthMismatch {
+                        expected: self.num_rows,
+                        actual: column.len(),
+                        column: name.to_string(),
+                    });
+                }
+                self.schema.remove(name);
+                self.columns.remove(idx);
+                self.schema.push(Field::new(name, column.dtype()));
+                self.columns.push(column);
+                Ok(())
+            }
+            None => self.add_column(name, column),
+        }
+    }
+
+    /// Remove a column by name, returning it.
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TabularError::ColumnNotFound(name.to_string()))?;
+        self.schema.remove(name);
+        Ok(self.columns.remove(idx))
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TabularError::ColumnNotFound(name.to_string()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Column by positional index.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The [`DataType`] of a named column.
+    pub fn dtype(&self, name: &str) -> Result<DataType> {
+        Ok(self.column(name)?.dtype())
+    }
+
+    /// Cell value at (`row`, `column name`).
+    pub fn value(&self, row: usize, name: &str) -> Result<Value> {
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// Materialise a new table containing only the rows at `indices` (order and duplicates
+    /// preserved).
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let mut out = Table::new(self.name.clone());
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            out.add_column(field.name.clone(), col.take(indices))
+                .expect("take preserves schema invariants");
+        }
+        if self.columns.is_empty() {
+            out.num_rows = 0;
+        }
+        out
+    }
+
+    /// Materialise a new table containing only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut out = Table::new(self.name.clone());
+        for &n in names {
+            out.add_column(n, self.column(n)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Filter rows by a [`Predicate`]. Rows where the predicate evaluates to NULL (e.g. a NULL
+    /// operand) are dropped, matching SQL `WHERE` semantics.
+    pub fn filter(&self, predicate: &Predicate) -> Result<Table> {
+        let mask = predicate.evaluate(self)?;
+        let indices: Vec<usize> =
+            mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
+        Ok(self.take(&indices))
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.num_rows);
+        let indices: Vec<usize> = (0..n).collect();
+        self.take(&indices)
+    }
+
+    /// Vertically stack another table with an identical schema under this one.
+    pub fn concat(&self, other: &Table) -> Result<Table> {
+        if self.schema != *other.schema() {
+            return Err(TabularError::InvalidArgument(
+                "concat requires identical schemas".to_string(),
+            ));
+        }
+        let mut out = self.clone();
+        for (idx, field) in self.schema.fields().iter().enumerate() {
+            let other_col = other.column(&field.name)?;
+            for i in 0..other.num_rows() {
+                out.columns[idx].push(other_col.get(i))?;
+            }
+        }
+        out.num_rows += other.num_rows();
+        Ok(out)
+    }
+
+    /// A human-readable preview of the first `n` rows (used by examples and debugging).
+    pub fn preview(&self, n: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&self.column_names().join(","));
+        s.push('\n');
+        for row in 0..n.min(self.num_rows) {
+            let cells: Vec<String> =
+                self.columns.iter().map(|c| c.get(row).to_string()).collect();
+            s.push_str(&cells.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t");
+        t.add_column("id", Column::from_i64s(&[1, 2, 3, 4])).unwrap();
+        t.add_column("grp", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
+        t.add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        t
+    }
+
+    #[test]
+    fn add_column_enforces_lengths_and_uniqueness() {
+        let mut t = sample();
+        assert!(matches!(
+            t.add_column("id", Column::from_i64s(&[9, 9, 9, 9])),
+            Err(TabularError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            t.add_column("bad", Column::from_i64s(&[1, 2])),
+            Err(TabularError::LengthMismatch { .. })
+        ));
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+    }
+
+    #[test]
+    fn column_lookup_and_values() {
+        let t = sample();
+        assert_eq!(t.value(2, "grp").unwrap(), Value::Str("b".into()));
+        assert_eq!(t.dtype("x").unwrap(), DataType::Float);
+        assert!(t.column("nope").is_err());
+        assert_eq!(t.column_names(), vec!["id", "grp", "x"]);
+    }
+
+    #[test]
+    fn take_and_head() {
+        let t = sample();
+        let sub = t.take(&[3, 1]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.value(0, "id").unwrap(), Value::Int(4));
+        assert_eq!(sub.value(1, "id").unwrap(), Value::Int(2));
+
+        let h = t.head(2);
+        assert_eq!(h.num_rows(), 2);
+        let h_big = t.head(100);
+        assert_eq!(h_big.num_rows(), 4);
+    }
+
+    #[test]
+    fn select_projects_columns() {
+        let t = sample();
+        let s = t.select(&["x", "id"]).unwrap();
+        assert_eq!(s.column_names(), vec!["x", "id"]);
+        assert!(t.select(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn set_and_drop_column() {
+        let mut t = sample();
+        t.set_column("x", Column::from_f64s(&[9.0, 9.0, 9.0, 9.0])).unwrap();
+        assert_eq!(t.value(0, "x").unwrap(), Value::Float(9.0));
+        t.set_column("new", Column::from_i64s(&[7, 7, 7, 7])).unwrap();
+        assert_eq!(t.num_columns(), 4);
+        let dropped = t.drop_column("new").unwrap();
+        assert_eq!(dropped.len(), 4);
+        assert!(t.drop_column("new").is_err());
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let t = sample();
+        let f = t.filter(&Predicate::eq("grp", "a")).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, "id").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn concat_stacks_rows() {
+        let t = sample();
+        let c = t.concat(&t).unwrap();
+        assert_eq!(c.num_rows(), 8);
+        assert_eq!(c.value(4, "id").unwrap(), Value::Int(1));
+
+        let other = Table::new("other")
+            .with_column("id", Column::from_i64s(&[1]))
+            .unwrap();
+        assert!(t.concat(&other).is_err());
+    }
+
+    #[test]
+    fn preview_contains_header_and_rows() {
+        let t = sample();
+        let p = t.preview(2);
+        assert!(p.starts_with("id,grp,x\n"));
+        assert_eq!(p.lines().count(), 3);
+    }
+}

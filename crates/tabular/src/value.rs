@@ -1,0 +1,193 @@
+//! Dynamically-typed scalar values.
+//!
+//! [`Value`] is the row-wise view of a cell. Columns store data in typed vectors
+//! (see [`crate::column::Column`]); `Value` is used at API boundaries — predicate constants,
+//! query-vector entries, CSV cells and test assertions.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::schema::DataType;
+
+/// A single dynamically-typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value (SQL NULL).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string / categorical value.
+    Str(String),
+    /// Datetime as seconds since the Unix epoch.
+    DateTime(i64),
+}
+
+impl Value {
+    /// The [`DataType`] this value naturally belongs to. `Null` maps to [`DataType::Float`]
+    /// by convention (it can live in any column; callers that care should check
+    /// [`Value::is_null`] first).
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Float,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Bool(_) => DataType::Bool,
+            Value::Str(_) => DataType::Categorical,
+            Value::DateTime(_) => DataType::DateTime,
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Booleans map to 0.0/1.0 and datetimes to
+    /// their epoch seconds; strings and nulls have no numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::DateTime(v) => Some(*v as f64),
+            Value::Null | Value::Str(_) => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Integer view (integers and datetimes only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) | Value::DateTime(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for comparisons inside predicates and sorts.
+    ///
+    /// * `Null` sorts before everything.
+    /// * Numeric values (int / float / bool / datetime) compare numerically.
+    /// * Strings compare lexicographically.
+    /// * Numeric vs. string comparisons order numerics first (arbitrary but total).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+            (a, b) => {
+                let fa = a.as_f64().unwrap_or(f64::NAN);
+                let fb = b.as_f64().unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::DateTime(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::DateTime(100).as_f64(), Some(100.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(0).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+        assert_eq!(Value::Bool(true).total_cmp(&Value::Int(0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
+        // numerics order before strings
+        assert_eq!(Value::Int(999).total_cmp(&Value::Str("a".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the tabular engine: aggregation invariants, predicate semantics,
+//! group-by / join cardinalities and CSV round-trips.
+
+use proptest::prelude::*;
+
+use feataug_tabular::csv::{from_csv_string, to_csv_string};
+use feataug_tabular::groupby::{group_by_aggregate, group_by_aggregate_sorted};
+use feataug_tabular::join::left_join;
+use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+
+fn small_table(keys: Vec<u8>, values: Vec<Option<f64>>) -> Table {
+    let n = keys.len().min(values.len());
+    let key_strs: Vec<String> = keys[..n].iter().map(|k| format!("k{}", k % 5)).collect();
+    let mut t = Table::new("t");
+    t.add_column("key", Column::from_strings(&key_strs)).unwrap();
+    t.add_column("val", Column::from_opt_f64s(&values[..n])).unwrap();
+    t
+}
+
+proptest! {
+    #[test]
+    fn min_le_avg_le_max(values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let min = AggFunc::Min.apply(&values).unwrap();
+        let max = AggFunc::Max.apply(&values).unwrap();
+        let avg = AggFunc::Avg.apply(&values).unwrap();
+        prop_assert!(min <= avg + 1e-9);
+        prop_assert!(avg <= max + 1e-9);
+    }
+
+    #[test]
+    fn variance_and_derived_stats_nonnegative(values in proptest::collection::vec(-1e3f64..1e3, 1..40)) {
+        prop_assert!(AggFunc::Var.apply(&values).unwrap() >= 0.0);
+        prop_assert!(AggFunc::VarSample.apply(&values).unwrap() >= 0.0);
+        prop_assert!(AggFunc::Std.apply(&values).unwrap() >= 0.0);
+        prop_assert!(AggFunc::Entropy.apply(&values).unwrap() >= -1e-12);
+        prop_assert!(AggFunc::Mad.apply(&values).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn count_distinct_at_most_count(values in proptest::collection::vec(-50i64..50, 0..60)) {
+        let f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let count = AggFunc::Count.apply(&f).unwrap();
+        let distinct = AggFunc::CountDistinct.apply(&f).unwrap();
+        prop_assert!(distinct <= count);
+    }
+
+    #[test]
+    fn median_between_min_and_max(values in proptest::collection::vec(-1e4f64..1e4, 1..30)) {
+        let min = AggFunc::Min.apply(&values).unwrap();
+        let max = AggFunc::Max.apply(&values).unwrap();
+        let med = AggFunc::Median.apply(&values).unwrap();
+        prop_assert!(min <= med && med <= max);
+    }
+
+    #[test]
+    fn filter_never_grows_table(
+        keys in proptest::collection::vec(0u8..10, 1..40),
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..40),
+        low in -50.0f64..50.0,
+    ) {
+        let t = small_table(keys, values);
+        let filtered = t.filter(&Predicate::ge("val", low)).unwrap();
+        prop_assert!(filtered.num_rows() <= t.num_rows());
+        // Every surviving value satisfies the predicate.
+        for row in 0..filtered.num_rows() {
+            match filtered.value(row, "val").unwrap() {
+                Value::Float(v) => prop_assert!(v >= low),
+                Value::Null => prop_assert!(false, "null rows must be dropped"),
+                other => prop_assert!(false, "unexpected value {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn groupby_row_count_equals_distinct_keys(
+        keys in proptest::collection::vec(0u8..10, 1..60),
+        values in proptest::collection::vec(proptest::option::of(-10.0f64..10.0), 1..60),
+    ) {
+        let t = small_table(keys, values);
+        let out = group_by_aggregate(&t, &["key"], AggFunc::Sum, "val", "f").unwrap();
+        prop_assert_eq!(out.num_rows(), t.column("key").unwrap().n_distinct());
+    }
+
+    #[test]
+    fn hash_and_sort_groupby_agree(
+        keys in proptest::collection::vec(0u8..6, 1..50),
+        values in proptest::collection::vec(proptest::option::of(-10.0f64..10.0), 1..50),
+    ) {
+        let t = small_table(keys, values);
+        let a = group_by_aggregate(&t, &["key"], AggFunc::Avg, "val", "f").unwrap();
+        let b = group_by_aggregate_sorted(&t, &["key"], AggFunc::Avg, "val", "f").unwrap();
+        let collect = |t: &Table| {
+            let mut v: Vec<(String, String)> = (0..t.num_rows())
+                .map(|i| (
+                    t.value(i, "key").unwrap().to_string(),
+                    format!("{:.9}", t.value(i, "f").unwrap().as_f64().unwrap_or(f64::NAN)),
+                ))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(collect(&a), collect(&b));
+    }
+
+    #[test]
+    fn left_join_preserves_left_cardinality(
+        left_keys in proptest::collection::vec(0u8..8, 1..30),
+        right_keys in proptest::collection::vec(0u8..8, 1..30),
+    ) {
+        let left_strs: Vec<String> = left_keys.iter().map(|k| format!("k{k}")).collect();
+        let mut left = Table::new("left");
+        left.add_column("key", Column::from_strings(&left_strs)).unwrap();
+
+        // Right side: one row per distinct key (as produced by a group-by).
+        let mut distinct = right_keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let right_strs: Vec<String> = distinct.iter().map(|k| format!("k{k}")).collect();
+        let feats: Vec<f64> = distinct.iter().map(|&k| k as f64).collect();
+        let mut right = Table::new("right");
+        right.add_column("key", Column::from_strings(&right_strs)).unwrap();
+        right.add_column("feature", Column::from_f64s(&feats)).unwrap();
+
+        let joined = left_join(&left, &right, &["key"], &["key"]).unwrap();
+        prop_assert_eq!(joined.num_rows(), left.num_rows());
+        prop_assert_eq!(joined.num_columns(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip(
+        keys in proptest::collection::vec(0u8..5, 1..20),
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..20),
+    ) {
+        let t = small_table(keys, values);
+        let text = to_csv_string(&t);
+        let back = from_csv_string("t", &text).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        prop_assert_eq!(back.schema(), t.schema());
+    }
+
+    #[test]
+    fn selectivity_in_unit_interval(
+        keys in proptest::collection::vec(0u8..10, 1..40),
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..40),
+        lo in -120.0f64..120.0,
+        hi in -120.0f64..120.0,
+    ) {
+        let t = small_table(keys, values);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let s = Predicate::between("val", lo, hi).selectivity(&t).unwrap();
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

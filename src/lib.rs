@@ -1,0 +1,66 @@
+//! Workspace-level re-exports and glue for the FeatAug reproduction.
+//!
+//! This crate exists so that the repository's `examples/` and `tests/` directories can exercise
+//! the public API of every member crate through a single dependency, and provides the small
+//! adapter between the synthetic dataset generators and the core library's problem type.
+//! Library users should depend on the individual crates (`feataug`, `feataug-tabular`, ...)
+//! directly.
+
+pub use feataug;
+pub use feataug_datagen as datagen;
+pub use feataug_featuretools as featuretools;
+pub use feataug_fsel as fsel;
+pub use feataug_hpo as hpo;
+pub use feataug_ml as ml;
+pub use feataug_tabular as tabular;
+
+use feataug::AugTask;
+use feataug_datagen::{SyntheticDataset, TaskKind};
+use feataug_ml::Task;
+
+/// Convert a generated dataset's task kind into the ML crate's task type.
+pub fn to_ml_task(kind: TaskKind) -> Task {
+    match kind {
+        TaskKind::Binary => Task::BinaryClassification,
+        TaskKind::MultiClass(n) => Task::MultiClassification { n_classes: n },
+        TaskKind::Regression => Task::Regression,
+    }
+}
+
+/// Turn a synthetic dataset into a FeatAug augmentation task.
+pub fn to_aug_task(ds: &SyntheticDataset) -> AugTask {
+    AugTask::new(
+        ds.train.clone(),
+        ds.relevant.clone(),
+        ds.key_columns.clone(),
+        ds.label_column.clone(),
+        to_ml_task(ds.task),
+    )
+    .with_agg_columns(ds.agg_columns.clone())
+    .with_predicate_attrs(ds.predicate_attrs.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_datagen::GenConfig;
+
+    #[test]
+    fn adapter_preserves_metadata() {
+        let ds = feataug_datagen::tmall::generate(&GenConfig::tiny());
+        let task = to_aug_task(&ds);
+        assert_eq!(task.key_columns, ds.key_columns);
+        assert_eq!(task.label_column, ds.label_column);
+        assert_eq!(task.task, Task::BinaryClassification);
+        assert_eq!(task.resolved_predicate_attrs(), ds.predicate_attrs);
+    }
+
+    #[test]
+    fn task_kind_mapping() {
+        assert_eq!(to_ml_task(TaskKind::Regression), Task::Regression);
+        assert_eq!(
+            to_ml_task(TaskKind::MultiClass(4)),
+            Task::MultiClassification { n_classes: 4 }
+        );
+    }
+}

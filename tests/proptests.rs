@@ -1,0 +1,74 @@
+//! Cross-crate property-based tests: invariants that must hold for arbitrary generated datasets
+//! and arbitrary sampled queries.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use feataug::encoding::{feature_vector, table_to_dataset};
+use feataug::evaluation::evaluate_table;
+use feataug::{QueryCodec, QueryTemplate};
+use feataug_datagen::GenConfig;
+use feataug_ml::ModelKind;
+use feataug_repro::{to_aug_task, to_ml_task};
+use feataug_tabular::AggFunc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any randomly sampled query from any dataset's codec must decode, execute, and produce an
+    /// augmented table with exactly the training table's row count.
+    #[test]
+    fn sampled_queries_preserve_training_cardinality(
+        seed in 0u64..1000,
+        dataset_idx in 0usize..4,
+        n_queries in 1usize..6,
+    ) {
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count],
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..n_queries {
+            let config = codec.space().sample(&mut rng);
+            prop_assert!(codec.space().contains(&config));
+            let query = codec.decode(&config);
+            let (augmented, feature) = query.augment(&task.train, &task.relevant).unwrap();
+            prop_assert_eq!(augmented.num_rows(), task.train.num_rows());
+            let values = feature_vector(&augmented, &feature);
+            prop_assert_eq!(values.len(), task.train.num_rows());
+        }
+    }
+
+    /// Encoding any generated training table yields a dataset with consistent shapes, and the
+    /// evaluation protocol returns a metric within its valid range.
+    #[test]
+    fn encoding_and_evaluation_are_well_formed(
+        seed in 0u64..1000,
+        dataset_idx in 0usize..6,
+    ) {
+        let names: Vec<&str> = feataug_datagen::one_to_many_names()
+            .iter()
+            .chain(feataug_datagen::one_to_one_names())
+            .copied()
+            .collect();
+        let ds = feataug_datagen::generate_by_name(names[dataset_idx], &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_ml_task(ds.task);
+        let data = table_to_dataset(&ds.train, &ds.label_column, &ds.key_columns, task);
+        prop_assert_eq!(data.len(), ds.train.num_rows());
+        prop_assert!(data.n_features() >= 1);
+
+        let result = evaluate_table(&ds.train, &ds.label_column, &ds.key_columns, task, ModelKind::Linear, seed);
+        match result.metric {
+            feataug_ml::Metric::Auc | feataug_ml::Metric::F1Macro => {
+                prop_assert!((0.0..=1.0).contains(&result.value));
+            }
+            feataug_ml::Metric::Rmse => prop_assert!(result.value >= 0.0),
+        }
+    }
+}
