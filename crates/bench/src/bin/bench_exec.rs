@@ -1,0 +1,139 @@
+//! QueryEngine vs. naive candidate evaluation on the tmall micro-bench,
+//! recorded as `BENCH_exec.json` so the repository's perf trajectory has a
+//! machine-readable data point per change.
+//!
+//! Run: `cargo run --release -p feataug-bench --bin bench_exec`
+//!
+//! Three candidate pools are measured, each through the reference
+//! `PredicateQuery::augment` path and through the compiled [`QueryEngine`]
+//! (a fresh engine per round, so compilation is paid exactly as one search
+//! pays it):
+//!
+//! * `basic_aggs` — random queries over the five cheap aggregation functions
+//!   (`FeatAugConfig::fast`'s set). This is the headline number: it isolates
+//!   the evaluation machinery (filter, group, join vs. mask, gather) that the
+//!   engine replaces.
+//! * `all_aggs` — random queries over all fifteen functions. The
+//!   order-sensitive functions (`MEDIAN`, `ENTROPY`, ...) spend most of their
+//!   time inside `AggFunc::apply`, a cost both paths share bit-for-bit, so
+//!   the ratio here is structurally smaller.
+//! * `dfs_trivial` — trivial-predicate, full-key queries (the Featuretools
+//!   pool shape): the reference path clones and re-groups the whole table,
+//!   the engine gathers from its cached index.
+
+use std::time::Instant;
+
+use feataug::exec::QueryEngine;
+use feataug::{PredicateQuery, QueryCodec, QueryTemplate};
+use feataug_datagen::{tmall, GenConfig};
+use feataug_tabular::{AggFunc, Predicate, Table};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_QUERIES: usize = 96;
+const ROUNDS: usize = 5;
+
+struct PoolResult {
+    name: &'static str,
+    naive_us: f64,
+    engine_us: f64,
+}
+
+impl PoolResult {
+    fn speedup(&self) -> f64 {
+        self.naive_us / self.engine_us
+    }
+}
+
+fn sample_pool(aggs: &[AggFunc], ds: &feataug_datagen::SyntheticDataset, seed: u64) -> Vec<PredicateQuery> {
+    let template = QueryTemplate::new(
+        aggs.to_vec(),
+        ds.agg_columns.clone(),
+        ds.predicate_attrs.clone(),
+        ds.key_columns.clone(),
+    );
+    let codec = QueryCodec::build(&template, &ds.relevant).expect("codec over tmall");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N_QUERIES).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect()
+}
+
+fn time_pool(name: &'static str, pool: &[PredicateQuery], train: &Table, relevant: &Table) -> PoolResult {
+    // Checksums keep both paths honest about doing identical work.
+    let mut naive_checksum = 0usize;
+    let mut engine_checksum = 0usize;
+    let mut naive_best = f64::INFINITY;
+    let mut engine_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for q in pool {
+            let (augmented, fname) = q.augment(train, relevant).expect("naive path");
+            naive_checksum += augmented.column(&fname).map(|c| c.len()).unwrap_or(0);
+        }
+        naive_best = naive_best.min(start.elapsed().as_nanos() as f64 / pool.len() as f64);
+
+        let start = Instant::now();
+        let engine = QueryEngine::new(train, relevant);
+        for q in pool {
+            let (_, values) = engine.feature(q).expect("engine path");
+            engine_checksum += values.len();
+        }
+        engine_best = engine_best.min(start.elapsed().as_nanos() as f64 / pool.len() as f64);
+    }
+    assert_eq!(naive_checksum, engine_checksum, "{name}: paths did different work");
+    PoolResult { name, naive_us: naive_best / 1e3, engine_us: engine_best / 1e3 }
+}
+
+fn main() {
+    let gen_cfg = GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 };
+    let ds = tmall::generate(&gen_cfg);
+
+    let basic = sample_pool(AggFunc::basic(), &ds, 11);
+    let all = sample_pool(AggFunc::all(), &ds, 12);
+    let mut dfs: Vec<PredicateQuery> = Vec::new();
+    for &agg in AggFunc::basic() {
+        for col in &ds.agg_columns {
+            dfs.push(PredicateQuery {
+                agg,
+                agg_column: col.clone(),
+                predicate: Predicate::True,
+                group_keys: ds.key_columns.clone(),
+            });
+        }
+    }
+
+    let results = [
+        time_pool("basic_aggs", &basic, &ds.train, &ds.relevant),
+        time_pool("all_aggs", &all, &ds.train, &ds.relevant),
+        time_pool("dfs_trivial", &dfs, &ds.train, &ds.relevant),
+    ];
+
+    let pools_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"pool\": \"{}\", \"naive_us_per_query\": {:.3}, \"engine_us_per_query\": {:.3}, \"speedup\": {:.2} }}",
+                r.name, r.naive_us, r.engine_us, r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"headline_speedup\": {:.2},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        gen_cfg.n_entities,
+        gen_cfg.fanout,
+        ds.train.num_rows(),
+        ds.relevant.num_rows(),
+        N_QUERIES,
+        ROUNDS,
+        results[0].speedup(),
+        pools_json.join(",\n"),
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
+    print!("{json}");
+    eprintln!(
+        "wrote BENCH_exec.json (basic {:.2}x, all {:.2}x, dfs {:.2}x)",
+        results[0].speedup(),
+        results[1].speedup(),
+        results[2].speedup()
+    );
+}

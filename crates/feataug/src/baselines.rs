@@ -17,20 +17,22 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 
-use feataug_featuretools::{enumerate_features, materialize_features, DfsConfig};
+use feataug_featuretools::{enumerate_features, DfsConfig};
 use feataug_fsel::FeatureSelector;
 use feataug_ml::{Dataset, Matrix, ModelKind};
 use feataug_tabular::join::{is_unique_key, left_join};
-use feataug_tabular::{AggFunc, Column, Table};
+use feataug_tabular::{AggFunc, Column, Predicate, Table};
 
 use crate::encoding::feature_vector;
 use crate::evaluation::FeatureEvaluator;
+use crate::exec::QueryEngine;
 use crate::problem::AugTask;
-use crate::query::QueryCodec;
+use crate::query::{PredicateQuery, QueryCodec};
 use crate::template::QueryTemplate;
 
-/// Build the candidate feature pool for selector-style baselines: every DFS feature,
-/// materialised and joined onto the training table. Returns (augmented table, feature names).
+/// Build the candidate feature pool for selector-style baselines: every DFS feature, evaluated
+/// through the [`QueryEngine`] (one shared group index, no join) and attached to the training
+/// table. Returns (augmented table, feature names).
 fn dfs_candidates(task: &AugTask, cfg: &DfsConfig) -> (Table, Vec<String>) {
     let keys = task.keys();
     let agg_cols = task.resolved_agg_columns();
@@ -39,11 +41,23 @@ fn dfs_candidates(task: &AugTask, cfg: &DfsConfig) -> (Table, Vec<String>) {
     if features.is_empty() {
         return (task.train.clone(), Vec::new());
     }
-    let table = materialize_features(&task.relevant, &keys, &features)
-        .expect("materialising DFS features");
-    let augmented =
-        left_join(&task.train, &table, &keys, &keys).expect("joining DFS features");
-    (augmented, features.into_iter().map(|f| f.name).collect())
+    let engine = QueryEngine::new(&task.train, &task.relevant);
+    let mut augmented = task.train.clone();
+    let mut names = Vec::with_capacity(features.len());
+    for feature in features {
+        let query = PredicateQuery {
+            agg: feature.agg,
+            agg_column: feature.column.clone(),
+            predicate: Predicate::True,
+            group_keys: keys.iter().map(|k| k.to_string()).collect(),
+        };
+        let values = engine.evaluate(&query).expect("materialising DFS features");
+        let column = Column::from_opt_f64s(&values);
+        if augmented.add_column(feature.name.clone(), column).is_ok() {
+            names.push(feature.name);
+        }
+    }
+    (augmented, names)
 }
 
 /// Dataset view over a set of candidate feature columns of an augmented table (used to run the
@@ -116,6 +130,7 @@ pub fn random_augment(
     let mut rng = StdRng::seed_from_u64(seed);
     let attrs = task.resolved_predicate_attrs();
     let mut augmented = task.train.clone();
+    let engine = QueryEngine::new(&task.train, &task.relevant);
 
     for _ in 0..n_templates {
         // Random non-empty subset of the candidate attributes (at most 4 to keep pools sane).
@@ -133,12 +148,12 @@ pub fn random_augment(
         for _ in 0..queries_per_template {
             let config = codec.space().sample(&mut rng);
             let query = codec.decode(&config);
-            if let Ok((joined, name)) = query.augment(&task.train, &task.relevant) {
-                let values: Vec<Option<f64>> = feature_vector(&joined, &name)
-                    .into_iter()
-                    .map(|v| if v.is_finite() { Some(v) } else { None })
-                    .collect();
-                let _ = augmented.add_column(name, Column::from_opt_f64s(&values));
+            if let Ok(values) = engine.evaluate(&query) {
+                // Non-finite aggregates count as missing, like the NULLs.
+                let values: Vec<Option<f64>> =
+                    values.into_iter().map(|v| v.filter(|x| x.is_finite())).collect();
+                let _ = augmented
+                    .add_column(query.feature_name(), Column::from_opt_f64s(&values));
             }
         }
     }

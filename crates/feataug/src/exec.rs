@@ -1,0 +1,861 @@
+//! The query execution engine: compiled, cache-reusing candidate evaluation.
+//!
+//! Both search components evaluate thousands of candidate queries against the
+//! *same* relevant table. The reference path
+//! ([`PredicateQuery::execute`] / [`PredicateQuery::augment`]) pays, per
+//! candidate, for: materialising the filtered table, rebuilding the group-by
+//! hash index from scratch, rendering join keys, and re-hashing them during
+//! the left join. [`QueryEngine`] compiles the `(train, relevant)` pair once
+//! per search and amortises all of that:
+//!
+//! * **memoized group indexes** — for every group-by key subset `k ⊆ K`
+//!   encountered, a dense `group_id` per relevant row plus a precomputed
+//!   train-row → group-id gather map (categorical dictionary codes are
+//!   translated between the two tables once per distinct value, via
+//!   [`feataug_tabular::join::KeyMapper`]), so attaching a feature is an O(n)
+//!   gather with no join and no string keys;
+//! * **cached numeric views** — each aggregated / range-predicate column's
+//!   `Vec<Option<f64>>` view is extracted once;
+//! * **selection bitmask** — predicates evaluate into a reusable
+//!   [`SelectionMask`] ([`feataug_tabular::selection`]); nothing is cloned or
+//!   materialised, and trivial predicates skip masking entirely;
+//! * **single-pass streaming aggregation** — `SUM/MIN/MAX/COUNT/AVG` stream
+//!   through per-group accumulators; the order-sensitive remainder
+//!   (`MEDIAN`, `MODE`, ...) bucket their group values in row order and apply
+//!   the same [`AggFunc::apply`] the reference path uses.
+//!
+//! The engine's output is **bit-for-bit identical** to the reference path's
+//! `feature_vector(&query.augment(train, relevant)?, &name)`: accumulation
+//! visits values in the same ascending row order, presence/NULL semantics
+//! mirror group-by + left-join exactly, and the equivalence is enforced by a
+//! property test over randomized query pools (`tests/proptests.rs`).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use feataug_tabular::groupby::{key_atom, KeyAtom};
+use feataug_tabular::join::KeyMapper;
+use feataug_tabular::selection::{fill_eq, fill_range_view, SelectionMask};
+use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+
+use crate::query::PredicateQuery;
+
+/// A compiled grouping of the relevant table by one group-key subset, plus the
+/// gather map aligning train rows with groups.
+#[derive(Debug)]
+struct GroupIndex {
+    /// Dense group id per relevant row.
+    group_of_row: Vec<u32>,
+    /// Number of distinct groups (including NULL-key groups).
+    n_groups: usize,
+    /// For each train row, the group its key maps to (`None`: NULL key,
+    /// value absent from the relevant table, or incompatible key types —
+    /// exactly the rows the reference left join leaves NULL).
+    train_group: Vec<Option<u32>>,
+}
+
+/// Sorted row index over one numeric column: row ids ordered by value, NULLs
+/// and NaNs excluded (neither ever satisfies a bounded range predicate).
+/// Turns a range leaf into two binary searches plus O(matches) bit sets.
+struct SortedIndex {
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+/// Inverted index over one categorical column: the row ids holding each
+/// dictionary code. Turns an equality leaf into O(matches) bit sets.
+struct CatIndex {
+    rows_by_code: Vec<Vec<u32>>,
+}
+
+/// Reusable, lazily grown evaluation state (interior-mutable so the engine
+/// can be shared immutably by the search loops).
+#[derive(Default)]
+struct EngineState {
+    /// `Vec<Option<f64>>` view per relevant column (aggregation targets and
+    /// range-predicate operands).
+    views: HashMap<String, Rc<Vec<Option<f64>>>>,
+    /// Group index per group-key subset, keyed by the exact key list.
+    groups: HashMap<Vec<String>, Rc<GroupIndex>>,
+    /// Sorted row index per range-predicate column.
+    sorted: HashMap<String, Rc<SortedIndex>>,
+    /// Inverted row index per categorical equality-predicate column.
+    cats: HashMap<String, Rc<CatIndex>>,
+    /// Predicate result mask, reused across evaluations.
+    mask: SelectionMask,
+    /// Scratch mask for conjunction terms.
+    scratch: SelectionMask,
+    /// Selected-row count per group (presence: a group none of whose rows
+    /// survive the predicate yields NULL, like the reference join). Kept
+    /// all-zero between evaluations; only the groups in `touched` are dirty
+    /// during one, and they are re-zeroed on the way out, so per-query cost
+    /// scales with the groups actually hit rather than the group universe.
+    sel_count: Vec<u32>,
+    /// Groups hit by the current evaluation, in first-touch order.
+    touched: Vec<u32>,
+    /// Non-null aggregated-value count per touched group.
+    nonnull: Vec<u32>,
+    /// Streaming accumulator per touched group (sum / min / max).
+    acc: Vec<f64>,
+    /// Bucket cursors / offsets for the order-preserving slow path.
+    cursors: Vec<u32>,
+    /// Flat per-group value buckets for the slow path.
+    scatter: Vec<f64>,
+    /// Per-query remapped view for categorical aggregation columns under a
+    /// filtering predicate (see [`remapped_cat_view`]).
+    cat_view: Vec<Option<f64>>,
+    /// Old-code → re-interned-code scratch for the same path.
+    cat_remap: Vec<Option<u32>>,
+    /// Final aggregate per touched group.
+    group_out: Vec<Option<f64>>,
+    /// Number of `evaluate` calls served.
+    evaluations: usize,
+}
+
+/// Cache and throughput counters of a [`QueryEngine`] (for benches and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries evaluated so far.
+    pub evaluations: usize,
+    /// Distinct group-key subsets compiled.
+    pub group_indexes: usize,
+    /// Distinct column views extracted.
+    pub column_views: usize,
+}
+
+/// A compiled, cache-reusing execution engine for candidate predicate queries
+/// over one `(train, relevant)` table pair.
+pub struct QueryEngine<'a> {
+    train: &'a Table,
+    relevant: &'a Table,
+    state: RefCell<EngineState>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Build an engine over the task's table pair. Compilation is lazy: group
+    /// indexes and column views are built on first use and memoized for the
+    /// lifetime of the engine (one search).
+    pub fn new(train: &'a Table, relevant: &'a Table) -> QueryEngine<'a> {
+        QueryEngine { train, relevant, state: RefCell::new(EngineState::default()) }
+    }
+
+    /// Cache and throughput counters.
+    pub fn stats(&self) -> EngineStats {
+        let st = self.state.borrow();
+        EngineStats {
+            evaluations: st.evaluations,
+            group_indexes: st.groups.len(),
+            column_views: st.views.len(),
+        }
+    }
+
+    /// Evaluate `query` and return its feature aligned with the training
+    /// table's rows (`None` = SQL NULL), exactly as the reference
+    /// execute-then-left-join path would produce.
+    pub fn evaluate(&self, query: &PredicateQuery) -> feataug_tabular::Result<Vec<Option<f64>>> {
+        let st = &mut *self.state.borrow_mut();
+        st.evaluations += 1;
+
+        let gi = group_index_cached(st, self.train, self.relevant, &query.group_keys)?;
+        let view = view_cached(st, self.relevant, &query.agg_column)?;
+        let trivial = query.predicate.is_trivial();
+        if !trivial {
+            predicate_mask(st, self.relevant, &query.predicate)?;
+        }
+
+        // The reference path materialises the filtered table, and
+        // `CatColumn::take` re-interns the dictionary — so a categorical
+        // aggregation column's numeric view (its codes) is renumbered by
+        // first appearance among the *surviving* rows. Reproduce that here;
+        // for trivial predicates the reference borrows the unfiltered table
+        // and the cached view already matches.
+        if !trivial {
+            if let Column::Cat(cat) = self.relevant.column(&query.agg_column)? {
+                let EngineState { mask, cat_view, cat_remap, .. } = st;
+                remapped_cat_view(cat, mask, cat_view, cat_remap);
+                let cat_view = std::mem::take(&mut st.cat_view);
+                aggregate_groups(st, &gi, &cat_view, query.agg, trivial);
+                st.cat_view = cat_view;
+            } else {
+                aggregate_groups(st, &gi, &view, query.agg, trivial);
+            }
+        } else {
+            aggregate_groups(st, &gi, &view, query.agg, trivial);
+        }
+
+        // O(train) gather through the precomputed train-row -> group map.
+        // `sel_count > 0` guards against reading stale `group_out` slots of
+        // groups the current query never touched.
+        let mut out = vec![None; self.train.num_rows()];
+        for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
+            if let Some(g) = tg {
+                let g = *g as usize;
+                if st.sel_count[g] > 0 {
+                    *slot = st.group_out[g];
+                }
+            }
+        }
+
+        // Restore the all-zero `sel_count` invariant (O(touched groups)).
+        for &g in &st.touched {
+            st.sel_count[g as usize] = 0;
+        }
+        Ok(out)
+    }
+
+    /// Evaluate `query` into the NaN-encoded feature vector the search loops
+    /// consume, together with the feature's column name. Mirrors
+    /// `feature_vector(&query.augment(train, relevant)?.0, &name)`.
+    pub fn feature(&self, query: &PredicateQuery) -> feataug_tabular::Result<(String, Vec<f64>)> {
+        let values = self.evaluate(query)?;
+        let encoded = values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+        Ok((query.feature_name(), encoded))
+    }
+}
+
+/// Fetch (or build and memoize) the numeric view of a relevant-table column.
+fn view_cached(
+    st: &mut EngineState,
+    table: &Table,
+    column: &str,
+) -> feataug_tabular::Result<Rc<Vec<Option<f64>>>> {
+    if let Some(v) = st.views.get(column) {
+        return Ok(v.clone());
+    }
+    let view = Rc::new(table.column(column)?.to_f64_vec());
+    st.views.insert(column.to_string(), view.clone());
+    Ok(view)
+}
+
+/// Fetch (or build and memoize) the group index for one group-key subset.
+fn group_index_cached(
+    st: &mut EngineState,
+    train: &Table,
+    relevant: &Table,
+    keys: &[String],
+) -> feataug_tabular::Result<Rc<GroupIndex>> {
+    if let Some(gi) = st.groups.get(keys) {
+        return Ok(gi.clone());
+    }
+    let gi = Rc::new(build_group_index(train, relevant, keys)?);
+    st.groups.insert(keys.to_vec(), gi.clone());
+    Ok(gi)
+}
+
+fn build_group_index(
+    train: &Table,
+    relevant: &Table,
+    keys: &[String],
+) -> feataug_tabular::Result<GroupIndex> {
+    let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+    if key_refs.is_empty() {
+        return Err(feataug_tabular::TabularError::InvalidArgument(
+            "group-by needs at least one key".into(),
+        ));
+    }
+    let cols: Vec<&feataug_tabular::Column> =
+        key_refs.iter().map(|k| relevant.column(k)).collect::<feataug_tabular::Result<_>>()?;
+
+    // Dense group ids over the relevant table, in first-appearance order
+    // (NULL atoms form their own groups, matching the group-by semantics).
+    let mut index: HashMap<Vec<KeyAtom>, u32> = HashMap::new();
+    let mut group_of_row = Vec::with_capacity(relevant.num_rows());
+    let mut key_buf: Vec<KeyAtom> = Vec::with_capacity(cols.len());
+    for row in 0..relevant.num_rows() {
+        key_buf.clear();
+        key_buf.extend(cols.iter().map(|c| key_atom(c, row)));
+        let id = match index.get(key_buf.as_slice()) {
+            Some(&id) => id,
+            None => {
+                let id = index.len() as u32;
+                index.insert(key_buf.clone(), id);
+                id
+            }
+        };
+        group_of_row.push(id);
+    }
+    let n_groups = index.len();
+
+    // Gather map: each train row's key translated into the relevant table's
+    // key space (NULL / unseen / type-mismatched keys never match, exactly
+    // like the reference left join).
+    let mapper = KeyMapper::new(relevant, train, &key_refs, &key_refs)?;
+    let train_group = (0..train.num_rows())
+        .map(|row| mapper.key(row).and_then(|k| index.get(&k).copied()))
+        .collect();
+
+    Ok(GroupIndex { group_of_row, n_groups, train_group })
+}
+
+/// Evaluate a non-trivial predicate into `st.mask`.
+fn predicate_mask(
+    st: &mut EngineState,
+    relevant: &Table,
+    predicate: &Predicate,
+) -> feataug_tabular::Result<()> {
+    let EngineState { views, sorted, cats, mask, scratch, .. } = st;
+    match predicate {
+        Predicate::And(parts) => {
+            mask.reset(relevant.num_rows(), true);
+            for part in parts {
+                leaf_mask(views, sorted, cats, relevant, part, scratch)?;
+                mask.and_assign(scratch);
+            }
+            Ok(())
+        }
+        leaf => leaf_mask(views, sorted, cats, relevant, leaf, mask),
+    }
+}
+
+/// Fetch (or build and memoize) the sorted row index for a range column.
+fn sorted_index(
+    sorted: &mut HashMap<String, Rc<SortedIndex>>,
+    views: &mut HashMap<String, Rc<Vec<Option<f64>>>>,
+    relevant: &Table,
+    column: &str,
+) -> feataug_tabular::Result<Rc<SortedIndex>> {
+    if let Some(idx) = sorted.get(column) {
+        return Ok(idx.clone());
+    }
+    let view = match views.get(column) {
+        Some(v) => v.clone(),
+        None => {
+            let v = Rc::new(relevant.column(column)?.to_f64_vec());
+            views.insert(column.to_string(), v.clone());
+            v
+        }
+    };
+    let mut pairs: Vec<(f64, u32)> = view
+        .iter()
+        .enumerate()
+        .filter_map(|(row, v)| match v {
+            Some(x) if !x.is_nan() => Some((*x, row as u32)),
+            _ => None,
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
+    let idx = Rc::new(SortedIndex {
+        vals: pairs.iter().map(|(v, _)| *v).collect(),
+        rows: pairs.iter().map(|(_, r)| *r).collect(),
+    });
+    sorted.insert(column.to_string(), idx.clone());
+    Ok(idx)
+}
+
+/// Fetch (or build and memoize) the inverted index for a categorical column.
+fn cat_index(
+    cats: &mut HashMap<String, Rc<CatIndex>>,
+    cat: &feataug_tabular::column::CatColumn,
+    column: &str,
+) -> Rc<CatIndex> {
+    if let Some(idx) = cats.get(column) {
+        return idx.clone();
+    }
+    let mut rows_by_code = vec![Vec::new(); cat.cardinality()];
+    for (row, code) in cat.codes().iter().enumerate() {
+        if let Some(c) = code {
+            rows_by_code[*c as usize].push(row as u32);
+        }
+    }
+    let idx = Rc::new(CatIndex { rows_by_code });
+    cats.insert(column.to_string(), idx.clone());
+    idx
+}
+
+/// Evaluate one predicate leaf into `out` through the column indexes: an
+/// equality or bounded range costs O(matching rows) bit sets instead of a
+/// full-column scan. Mask membership is identical to the reference
+/// [`Predicate::evaluate`] leaves, so downstream aggregation is unaffected.
+/// Recurses for (rare, already-flattened-away) nested `And`s.
+fn leaf_mask(
+    views: &mut HashMap<String, Rc<Vec<Option<f64>>>>,
+    sorted: &mut HashMap<String, Rc<SortedIndex>>,
+    cats: &mut HashMap<String, Rc<CatIndex>>,
+    relevant: &Table,
+    predicate: &Predicate,
+    out: &mut SelectionMask,
+) -> feataug_tabular::Result<()> {
+    let n = relevant.num_rows();
+    match predicate {
+        Predicate::True => {
+            out.reset(n, true);
+            Ok(())
+        }
+        Predicate::Eq { column, value } => {
+            let col = relevant.column(column)?;
+            match (col, value) {
+                (Column::Cat(c), Value::Str(s)) => {
+                    let idx = cat_index(cats, c, column);
+                    out.reset(n, false);
+                    if let Some(code) = c.code_of(s) {
+                        for &row in &idx.rows_by_code[code as usize] {
+                            out.set(row as usize, true);
+                        }
+                    }
+                }
+                // Equality on non-categorical operands (bools, odd manual
+                // queries) is rare: fall back to the reference scan.
+                _ => fill_eq(col, value, out),
+            }
+            Ok(())
+        }
+        Predicate::Range { column, low, high } => {
+            let lo = low.as_ref().and_then(|v| v.as_f64());
+            let hi = high.as_ref().and_then(|v| v.as_f64());
+            if lo.is_none() && hi.is_none() {
+                // Unbounded range keeps every non-null row *including NaNs*,
+                // which the sorted index deliberately drops: use the view.
+                let view = match views.get(column) {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v = Rc::new(relevant.column(column)?.to_f64_vec());
+                        views.insert(column.clone(), v.clone());
+                        v
+                    }
+                };
+                fill_range_view(&view, None, None, out);
+                return Ok(());
+            }
+            let idx = sorted_index(sorted, views, relevant, column)?;
+            // `v < lo` / `v <= hi` are prefix-true over the ascending values,
+            // and a NaN bound satisfies neither (empty selection), matching
+            // the reference comparisons exactly.
+            let start = match lo {
+                Some(l) => idx.vals.partition_point(|v| *v < l),
+                None => 0,
+            };
+            let end = match hi {
+                Some(h) => idx.vals.partition_point(|v| *v <= h),
+                None => idx.vals.len(),
+            };
+            out.reset(n, false);
+            if let Some(rows) = idx.rows.get(start..end) {
+                for &row in rows {
+                    out.set(row as usize, true);
+                }
+            }
+            Ok(())
+        }
+        Predicate::And(parts) => {
+            out.reset(n, true);
+            let mut tmp = SelectionMask::new();
+            for part in parts {
+                leaf_mask(views, sorted, cats, relevant, part, &mut tmp)?;
+                out.and_assign(&tmp);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Rebuild the numeric view of a categorical aggregation column the way the
+/// reference path sees it after filtering: `CatColumn::take` re-interns the
+/// dictionary, so codes are renumbered by first appearance among the selected
+/// rows. Only the selected rows' slots are meaningful; aggregation never
+/// reads the rest.
+fn remapped_cat_view(
+    cat: &feataug_tabular::column::CatColumn,
+    mask: &SelectionMask,
+    out: &mut Vec<Option<f64>>,
+    remap: &mut Vec<Option<u32>>,
+) {
+    out.clear();
+    out.resize(cat.len(), None);
+    remap.clear();
+    remap.resize(cat.cardinality(), None);
+    let mut next = 0u32;
+    let codes = cat.codes();
+    mask.for_each_set(|row| {
+        if let Some(code) = codes[row] {
+            let slot = &mut remap[code as usize];
+            let new_code = match slot {
+                Some(c) => *c,
+                None => {
+                    let c = next;
+                    *slot = Some(c);
+                    next += 1;
+                    c
+                }
+            };
+            out[row] = Some(new_code as f64);
+        }
+    });
+}
+
+/// Aggregate the selected rows' values into `st.group_out` (one
+/// `Option<f64>` per touched group), `st.sel_count` (selected rows per
+/// group) and `st.touched` (the groups hit, in first-touch order).
+///
+/// Per-group scratch is initialised lazily on first touch, so a selective
+/// query costs O(selected rows + touched groups) regardless of how many
+/// groups the index holds; the caller re-zeroes `sel_count` afterwards.
+/// Values are visited in ascending row order on every path, so
+/// floating-point accumulation matches the reference path bit for bit.
+fn aggregate_groups(
+    st: &mut EngineState,
+    gi: &GroupIndex,
+    view: &[Option<f64>],
+    agg: AggFunc,
+    trivial: bool,
+) {
+    let n_groups = gi.n_groups;
+    let EngineState { mask, sel_count, touched, nonnull, acc, cursors, scatter, group_out, .. } =
+        st;
+    // Grow (never shrink) the per-group scratch; `sel_count` is all-zero here
+    // by invariant, the rest holds stale values that lazy init overwrites.
+    if sel_count.len() < n_groups {
+        sel_count.resize(n_groups, 0);
+        nonnull.resize(n_groups, 0);
+        acc.resize(n_groups, 0.0);
+        cursors.resize(n_groups, 0);
+        group_out.resize(n_groups, None);
+    }
+    touched.clear();
+    let group_of_row = &gi.group_of_row;
+
+    let streaming_init = match agg {
+        AggFunc::Sum | AggFunc::Avg => Some(0.0),
+        AggFunc::Min => Some(f64::INFINITY),
+        AggFunc::Max => Some(f64::NEG_INFINITY),
+        AggFunc::Count => Some(0.0),
+        _ => None,
+    };
+
+    if let Some(init) = streaming_init {
+        let mut visit = |row: usize| {
+            let g = group_of_row[row] as usize;
+            if sel_count[g] == 0 {
+                touched.push(g as u32);
+                nonnull[g] = 0;
+                acc[g] = init;
+            }
+            sel_count[g] += 1;
+            if let Some(v) = view[row] {
+                nonnull[g] += 1;
+                match agg {
+                    AggFunc::Sum | AggFunc::Avg => acc[g] += v,
+                    AggFunc::Min => acc[g] = acc[g].min(v),
+                    AggFunc::Max => acc[g] = acc[g].max(v),
+                    AggFunc::Count => {}
+                    _ => unreachable!("streaming path covers only the five cheap functions"),
+                }
+            }
+        };
+        if trivial {
+            (0..group_of_row.len()).for_each(&mut visit);
+        } else {
+            mask.for_each_set(&mut visit);
+        }
+        for &g in touched.iter() {
+            let g = g as usize;
+            let n = nonnull[g];
+            group_out[g] = match agg {
+                AggFunc::Count => Some(n as f64),
+                _ if n == 0 => None,
+                AggFunc::Sum | AggFunc::Min | AggFunc::Max => Some(acc[g]),
+                AggFunc::Avg => Some(acc[g] / n as f64),
+                _ => unreachable!("streaming path covers only the five cheap functions"),
+            };
+        }
+        return;
+    }
+
+    // Slow path: bucket each group's non-null values in row order, then apply
+    // the same AggFunc::apply the reference group-by uses.
+    // Pass 1: count selected / non-null rows per group.
+    let mut count_visit = |row: usize| {
+        let g = group_of_row[row] as usize;
+        if sel_count[g] == 0 {
+            touched.push(g as u32);
+            nonnull[g] = 0;
+        }
+        sel_count[g] += 1;
+        if view[row].is_some() {
+            nonnull[g] += 1;
+        }
+    };
+    if trivial {
+        (0..group_of_row.len()).for_each(&mut count_visit);
+    } else {
+        mask.for_each_set(&mut count_visit);
+    }
+
+    // Prefix sums over the touched groups -> bucket cursors.
+    let mut total = 0u32;
+    for &g in touched.iter() {
+        cursors[g as usize] = total;
+        total += nonnull[g as usize];
+    }
+    scatter.clear();
+    scatter.resize(total as usize, 0.0);
+
+    // Pass 2: scatter values (ascending row order => ascending within bucket).
+    let mut scatter_visit = |row: usize| {
+        if let Some(v) = view[row] {
+            let g = group_of_row[row] as usize;
+            scatter[cursors[g] as usize] = v;
+            cursors[g] += 1;
+        }
+    };
+    if trivial {
+        (0..group_of_row.len()).for_each(&mut scatter_visit);
+    } else {
+        mask.for_each_set(&mut scatter_visit);
+    }
+
+    // cursors[g] now points one past group g's bucket.
+    for &g in touched.iter() {
+        let g = g as usize;
+        let end = cursors[g] as usize;
+        let start = end - nonnull[g] as usize;
+        group_out[g] = agg.apply(&scatter[start..end]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::feature_vector;
+    use feataug_tabular::{Column, Value};
+
+    fn train() -> Table {
+        let mut t = Table::new("users");
+        t.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m2", "m9"])).unwrap();
+        t.add_column("label", Column::from_i64s(&[0, 1, 0])).unwrap();
+        t
+    }
+
+    fn relevant() -> Table {
+        let mut t = Table::new("logs");
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"])).unwrap();
+        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
+        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"])).unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
+        t
+    }
+
+    fn query(agg: AggFunc, predicate: Predicate, keys: &[&str]) -> PredicateQuery {
+        PredicateQuery {
+            agg,
+            agg_column: "pprice".into(),
+            predicate,
+            group_keys: keys.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The engine and the reference path must agree bit for bit.
+    fn assert_matches_naive(q: &PredicateQuery, train: &Table, relevant: &Table) {
+        let engine = QueryEngine::new(train, relevant);
+        let (engine_name, engine_vals) = engine.feature(q).unwrap();
+        let (augmented, name) = q.augment(train, relevant).unwrap();
+        let naive_vals = feature_vector(&augmented, &name);
+        assert_eq!(engine_name, name);
+        assert_eq!(engine_vals.len(), naive_vals.len());
+        for (i, (e, n)) in engine_vals.iter().zip(&naive_vals).enumerate() {
+            assert_eq!(e.to_bits(), n.to_bits(), "row {i} of {}: {e} vs {n}", q.to_sql("R"));
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_aggregates_and_predicates() {
+        let (train, relevant) = (train(), relevant());
+        let predicates = [
+            Predicate::True,
+            Predicate::eq("department", "E"),
+            Predicate::eq("department", "ZZZ"),
+            Predicate::ge("ts", 250),
+            Predicate::between("pprice", 15.0, 35.0),
+            Predicate::and(vec![Predicate::eq("department", "E"), Predicate::le("ts", 350)]),
+        ];
+        for agg in AggFunc::all() {
+            for predicate in &predicates {
+                for keys in [&["cname"][..], &["cname", "mid"][..], &["mid"][..]] {
+                    assert_matches_naive(&query(*agg, predicate.clone(), keys), &train, &relevant);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_filtered_group_yields_null_not_zero_count() {
+        let (train, relevant) = (train(), relevant());
+        // Rows 0,1 (cname=a) are all filtered out; group "a" must go NULL
+        // even for COUNT, because the reference feature table simply lacks
+        // that key after filtering.
+        let q = query(AggFunc::Count, Predicate::ge("ts", 250), &["cname"]);
+        let engine = QueryEngine::new(&train, &relevant);
+        let values = engine.evaluate(&q).unwrap();
+        assert_eq!(values, vec![None, Some(2.0), None]);
+        assert_matches_naive(&q, &train, &relevant);
+    }
+
+    #[test]
+    fn group_with_only_null_values_counts_zero() {
+        let mut relevant = Table::new("logs");
+        relevant.add_column("cname", Column::from_strs(&["a", "b"])).unwrap();
+        relevant.add_column("mid", Column::from_strs(&["m1", "m2"])).unwrap();
+        relevant
+            .add_column("pprice", Column::from_opt_f64s(&[None, Some(1.0)]))
+            .unwrap();
+        let train = train();
+        let q = query(AggFunc::Count, Predicate::True, &["cname"]);
+        let engine = QueryEngine::new(&train, &relevant);
+        // Group "a" is present (one selected row) but has no non-null value:
+        // COUNT = 0, unlike an absent group.
+        assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(0.0), Some(1.0), None]);
+        assert_matches_naive(&q, &train, &relevant);
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        assert_eq!(engine.evaluate(&q).unwrap(), vec![None, Some(1.0), None]);
+    }
+
+    #[test]
+    fn key_subsets_build_separate_cached_indexes() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        for keys in [&["cname"][..], &["cname", "mid"][..], &["cname"][..]] {
+            engine.evaluate(&query(AggFunc::Sum, Predicate::True, keys)).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 3);
+        assert_eq!(stats.group_indexes, 2, "repeat key subset must hit the cache");
+        assert_eq!(stats.column_views, 1);
+    }
+
+    #[test]
+    fn unmatched_and_untranslatable_train_keys_are_null() {
+        let mut train = Table::new("users");
+        // "zz" never appears in the relevant table; NULL keys never match.
+        train
+            .add_column("cname", Column::from_opt_strs(&[Some("a"), Some("zz"), None]))
+            .unwrap();
+        let mut relevant = Table::new("logs");
+        relevant.add_column("cname", Column::from_strs(&["a", "a"])).unwrap();
+        relevant.add_column("pprice", Column::from_f64s(&[1.5, 2.5])).unwrap();
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let engine = QueryEngine::new(&train, &relevant);
+        assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(4.0), None, None]);
+        assert_matches_naive(&q, &train, &relevant);
+    }
+
+    #[test]
+    fn missing_columns_error_like_the_reference_path() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let mut q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        q.agg_column = "nope".into();
+        assert!(engine.evaluate(&q).is_err());
+        let q2 = query(AggFunc::Sum, Predicate::eq("nope", "x"), &["cname"]);
+        assert!(engine.evaluate(&q2).is_err());
+        let q3 = query(AggFunc::Sum, Predicate::True, &["nope"]);
+        assert!(engine.evaluate(&q3).is_err());
+    }
+
+    #[test]
+    fn feature_encodes_null_as_nan_and_names_match() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Avg, Predicate::eq("department", "E"), &["cname", "mid"]);
+        let (name, values) = engine.feature(&q).unwrap();
+        assert_eq!(name, q.feature_name());
+        assert_eq!(values.len(), train.num_rows());
+        assert!(values[2].is_nan()); // cname=c has no relevant rows
+        assert_eq!(values[0], 10.0);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_a_generated_dataset_pool() {
+        use crate::query::QueryCodec;
+        use crate::template::QueryTemplate;
+        use feataug_datagen::{tmall, GenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ds = tmall::generate(&GenConfig::tiny());
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            ds.agg_columns.clone(),
+            ds.predicate_attrs.clone(),
+            ds.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &ds.relevant).unwrap();
+        let engine = QueryEngine::new(&ds.train, &ds.relevant);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..60 {
+            let config = codec.space().sample(&mut rng);
+            let q = codec.decode(&config);
+            assert_matches_naive(&q, &ds.train, &ds.relevant);
+            // Also exercise the cached path a second time.
+            let first = engine.evaluate(&q).unwrap();
+            let second = engine.evaluate(&q).unwrap();
+            assert_eq!(first, second);
+        }
+        assert!(engine.stats().group_indexes <= 4, "K has 2 attributes -> at most 3 subsets");
+    }
+
+    #[test]
+    fn null_relevant_keys_group_but_never_match_train() {
+        let mut relevant = Table::new("logs");
+        relevant
+            .add_column("cname", Column::from_opt_strs(&[Some("a"), None, None]))
+            .unwrap();
+        relevant.add_column("pprice", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
+        let train = train();
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        assert_matches_naive(&q, &train, &relevant);
+        let engine = QueryEngine::new(&train, &relevant);
+        assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(1.0), None, None]);
+    }
+
+    #[test]
+    fn categorical_agg_column_reinterning_matches_reference() {
+        // The reference path filters first, and CatColumn::take re-interns
+        // the dictionary — so code-valued aggregations (MODE, MIN, ...) see
+        // renumbered codes. Regression test: relevant codes ["b"=0, "a"=1],
+        // predicate drops the "b" row, reference re-interns "a" to 0.
+        let mut train = Table::new("users");
+        train.add_column("k", Column::from_strs(&["u"])).unwrap();
+        let mut relevant = Table::new("logs");
+        relevant.add_column("k", Column::from_strs(&["u", "u"])).unwrap();
+        relevant.add_column("c", Column::from_strs(&["b", "a"])).unwrap();
+        relevant.add_column("sel", Column::from_i64s(&[0, 1])).unwrap();
+        let q = PredicateQuery {
+            agg: AggFunc::Mode,
+            agg_column: "c".into(),
+            predicate: Predicate::ge("sel", 1),
+            group_keys: vec!["k".into()],
+        };
+        let engine = QueryEngine::new(&train, &relevant);
+        assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(0.0)]);
+        assert_matches_naive(&q, &train, &relevant);
+        // All aggregates over a categorical column, filtered and not.
+        for agg in AggFunc::all() {
+            for pred in [Predicate::True, Predicate::ge("sel", 1), Predicate::eq("c", "a")] {
+                let q = PredicateQuery {
+                    agg: *agg,
+                    agg_column: "c".into(),
+                    predicate: pred,
+                    group_keys: vec!["k".into()],
+                };
+                assert_matches_naive(&q, &train, &relevant);
+            }
+        }
+    }
+
+    #[test]
+    fn datetime_predicate_values_match() {
+        let (train, relevant) = (train(), relevant());
+        let q = query(
+            AggFunc::Sum,
+            Predicate::Range {
+                column: "ts".into(),
+                low: Some(Value::DateTime(150)),
+                high: Some(Value::DateTime(350)),
+            },
+            &["cname"],
+        );
+        assert_matches_naive(&q, &train, &relevant);
+    }
+}

@@ -14,6 +14,10 @@
 //! Disabling the warm-up (the paper's "NoWU" ablation) instead runs
 //! `warmup_top_k + search_iters` iterations of plain TPE on the real objective, matching the
 //! paper's fair-comparison protocol.
+//!
+//! Candidate queries are executed through a per-generator [`QueryEngine`], which compiles the
+//! relevant table once (group indexes, train gather maps, column views) and reuses those caches
+//! across every warm-up and search iteration of every template.
 
 use std::time::{Duration, Instant};
 
@@ -22,8 +26,8 @@ use rand::SeedableRng;
 
 use feataug_hpo::{Config, Optimizer, Tpe, TpeConfig};
 
-use crate::encoding::feature_vector;
 use crate::evaluation::FeatureEvaluator;
+use crate::exec::QueryEngine;
 use crate::problem::AugTask;
 use crate::proxy::LowCostProxy;
 use crate::query::{PredicateQuery, QueryCodec};
@@ -114,12 +118,16 @@ pub struct QueryGenerator<'a> {
     task: &'a AugTask,
     evaluator: &'a FeatureEvaluator,
     cfg: SqlGenConfig,
+    engine: QueryEngine<'a>,
 }
 
 impl<'a> QueryGenerator<'a> {
-    /// Build a generator for one augmentation task.
+    /// Build a generator for one augmentation task. The execution engine is compiled lazily on
+    /// the first candidate and its caches persist across every `generate` call on this
+    /// generator.
     pub fn new(task: &'a AugTask, evaluator: &'a FeatureEvaluator, cfg: SqlGenConfig) -> Self {
-        QueryGenerator { task, evaluator, cfg }
+        let engine = QueryEngine::new(&task.train, &task.relevant);
+        QueryGenerator { task, evaluator, cfg, engine }
     }
 
     /// The configuration in use.
@@ -130,8 +138,7 @@ impl<'a> QueryGenerator<'a> {
     /// Execute one decoded query and return its feature vector aligned with the training table
     /// (None when the query matched no rows at all or failed to execute).
     fn materialize(&self, query: &PredicateQuery) -> Option<(String, Vec<f64>)> {
-        let (augmented, name) = query.augment(&self.task.train, &self.task.relevant).ok()?;
-        let values = feature_vector(&augmented, &name);
+        let (name, values) = self.engine.feature(query).ok()?;
         if values.iter().all(|v| !v.is_finite()) {
             return None;
         }

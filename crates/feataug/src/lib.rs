@@ -27,6 +27,24 @@
 //! paper, and [`baselines`] contains the comparison methods (Featuretools + selectors, Random,
 //! ARDA-style, AutoFeature-style).
 //!
+//! ## The query execution engine
+//!
+//! Both search components funnel every candidate through [`exec::QueryEngine`], a compiled,
+//! cache-reusing evaluator built once per `(train, relevant)` pair. Its caching model:
+//!
+//! * a **group index per group-key subset** `k ⊆ K` — dense group ids over the relevant table
+//!   plus a train-row → group gather map with categorical dictionary codes translated between
+//!   the tables once (no joins, no string keys at evaluation time);
+//! * a **numeric view per column** touched by aggregations or range predicates;
+//! * a reusable **selection bitmask** for predicate results (no filtered-table
+//!   materialisation), and
+//! * **single-pass streaming aggregation** into per-group accumulators.
+//!
+//! Everything is memoized for the engine's lifetime, so the marginal cost of one candidate is a
+//! predicate scan plus an O(n) aggregate-and-gather. The engine's output is bit-for-bit
+//! identical to the reference path ([`query::PredicateQuery::augment`]), which stays in place as
+//! the semantic specification and is enforced by a property test over randomized query pools.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -46,6 +64,7 @@
 pub mod baselines;
 pub mod encoding;
 pub mod evaluation;
+pub mod exec;
 pub mod generation;
 pub mod multi;
 pub mod pipeline;
@@ -55,6 +74,7 @@ pub mod query;
 pub mod template;
 pub mod template_id;
 
+pub use exec::QueryEngine;
 pub use pipeline::{FeatAug, FeatAugConfig, FeatAugResult};
 pub use problem::AugTask;
 pub use proxy::LowCostProxy;

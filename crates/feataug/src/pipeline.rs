@@ -5,6 +5,11 @@
 //! template's pool, and finally materialises the selected queries' features onto the training
 //! table. The ablation flags map one-to-one onto the paper's Table VII rows: `enable_qti = false`
 //! is "NoQTI", `enable_warmup = false` is "NoWU".
+//!
+//! Both components evaluate their candidates through a [`crate::exec::QueryEngine`] compiled
+//! once per component: the identifier's engine serves every beam-search node, and the
+//! generator's engine serves the warm-up and TPE loops of *all* templates, so group indexes and
+//! column views built for one template's pool are reused by the next.
 
 use std::time::Duration;
 

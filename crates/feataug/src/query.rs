@@ -34,6 +34,9 @@ pub struct PredicateQuery {
 
 impl PredicateQuery {
     /// A short, unique-ish column name for the generated feature, derived from the query text.
+    /// The full 64-bit FNV-1a hash is embedded: searches generate thousands of features, where
+    /// truncating to 32 bits would make birthday collisions (and silently dropped features)
+    /// plausible.
     pub fn feature_name(&self) -> String {
         let sql = self.to_sql("R");
         // FNV-1a over the SQL text keeps names stable across runs without a hashing dependency.
@@ -42,7 +45,7 @@ impl PredicateQuery {
             hash ^= *b as u64;
             hash = hash.wrapping_mul(0x100000001b3);
         }
-        format!("{}_{}_{:08x}", self.agg.name().to_lowercase(), self.agg_column, hash as u32)
+        format!("{}_{}_{:016x}", self.agg.name().to_lowercase(), self.agg_column, hash)
     }
 
     /// Render the query as SQL text.
@@ -62,11 +65,16 @@ impl PredicateQuery {
 
     /// Execute the query against the relevant table, producing a per-key feature table whose
     /// feature column is named by [`PredicateQuery::feature_name`].
+    ///
+    /// This is the reference path — [`crate::exec::QueryEngine`] is the fast, cache-reusing
+    /// equivalent the search loops use — so it stays deliberately simple; the one optimisation
+    /// it keeps is borrowing the relevant table instead of cloning it when the predicate keeps
+    /// every row.
     pub fn execute(&self, relevant: &Table) -> feataug_tabular::Result<Table> {
-        let filtered = if self.predicate.is_trivial() {
-            relevant.clone()
+        let filtered: std::borrow::Cow<'_, Table> = if self.predicate.is_trivial() {
+            std::borrow::Cow::Borrowed(relevant)
         } else {
-            relevant.filter(&self.predicate)?
+            std::borrow::Cow::Owned(relevant.filter(&self.predicate)?)
         };
         let keys: Vec<&str> = self.group_keys.iter().map(|s| s.as_str()).collect();
         let name = self.feature_name();

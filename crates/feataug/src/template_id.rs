@@ -14,6 +14,10 @@
 //!
 //! The component returns the `n` templates with the highest observed effectiveness; the SQL
 //! Query Generation component then searches each of their pools.
+//!
+//! Every pool sample is executed through a shared [`QueryEngine`], so beam-search scoring pays
+//! the table-compilation cost (group indexes, gather maps, column views) once per search rather
+//! than once per sampled query.
 
 use std::time::{Duration, Instant};
 
@@ -25,8 +29,8 @@ use feataug_ml::model::Model;
 use feataug_ml::{Dataset, Matrix, Task};
 use feataug_tabular::AggFunc;
 
-use crate::encoding::feature_vector;
 use crate::evaluation::FeatureEvaluator;
+use crate::exec::QueryEngine;
 use crate::problem::AugTask;
 use crate::proxy::LowCostProxy;
 use crate::query::QueryCodec;
@@ -96,18 +100,22 @@ pub struct TemplateIdentifier<'a> {
     evaluator: &'a FeatureEvaluator,
     agg_funcs: Vec<AggFunc>,
     cfg: TemplateIdConfig,
+    engine: QueryEngine<'a>,
 }
 
 impl<'a> TemplateIdentifier<'a> {
     /// Build an identifier. `agg_funcs` is the aggregation-function set `F` shared by every
-    /// candidate template.
+    /// candidate template. Pool samples of every node are executed through one shared
+    /// [`QueryEngine`], so the group indexes and column views built for the first node are
+    /// reused by every later beam-search layer.
     pub fn new(
         task: &'a AugTask,
         evaluator: &'a FeatureEvaluator,
         agg_funcs: Vec<AggFunc>,
         cfg: TemplateIdConfig,
     ) -> Self {
-        TemplateIdentifier { task, evaluator, agg_funcs, cfg }
+        let engine = QueryEngine::new(&task.train, &task.relevant);
+        TemplateIdentifier { task, evaluator, agg_funcs, cfg, engine }
     }
 
     /// Build the template whose `WHERE` combination is `attrs`.
@@ -132,11 +140,9 @@ impl<'a> TemplateIdentifier<'a> {
         for _ in 0..self.cfg.pool_samples.max(1) {
             let config = codec.space().sample(rng);
             let query = codec.decode(&config);
-            let Ok((augmented, name)) = query.augment(&self.task.train, &self.task.relevant)
-            else {
+            let Ok((name, feature)) = self.engine.feature(&query) else {
                 continue;
             };
-            let feature = feature_vector(&augmented, &name);
             if feature.iter().all(|v| !v.is_finite()) {
                 continue;
             }
@@ -398,7 +404,7 @@ mod tests {
         let ident = identifier(
             &task,
             &evaluator,
-            TemplateIdConfig { pool_samples: 30, ..TemplateIdConfig::fast() },
+            TemplateIdConfig { pool_samples: 40, ..TemplateIdConfig::fast() },
         );
         let (templates, _, _) = ident.identify();
         let best = &templates[0].template;

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `bench_function` / `iter` / `criterion_group!` /
+//! `criterion_main!` surface with a simple warm-up + timed-batch harness that
+//! prints the mean wall-clock time per iteration. Good enough to compare the
+//! relative cost of two code paths; not a statistical benchmarking framework.
+//! See `crates/support/README.md` for scope and caveats.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    /// Mean time per iteration measured by the last `iter` call.
+    pub(crate) mean: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`: a short warm-up, then as many timed iterations as fit the
+    /// time budget (at least 10).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~10% of the budget is spent, at least once.
+        let warmup_budget = self.target / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let timed_iters = if per_iter.is_zero() {
+            1000
+        } else {
+            ((self.target.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(10, 1_000_000)
+        };
+
+        let start = Instant::now();
+        for _ in 0..timed_iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / timed_iters as u32;
+    }
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean: Duration::ZERO, target: self.target };
+        f(&mut b);
+        println!("bench {name:<50} {:>12.3?}/iter", b.mean);
+        self
+    }
+
+    /// Override the per-benchmark time budget.
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+}
+
+/// Group benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion { target: Duration::from_millis(20) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`,
+//! [`test_runner::ProptestConfig`], and strategies for numeric ranges,
+//! booleans, vectors and options. Inputs are generated from a deterministic
+//! RNG derived from the test's name and the case index, so every run explores
+//! the same cases and failures are reproducible. See
+//! `crates/support/README.md` for scope and caveats.
+
+use rand::rngs::StdRng;
+
+/// Random-input generation strategies.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Uniform choice among a fixed array of alternatives.
+    impl<T: Clone, const N: usize> Strategy for [T; N] {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self[rng.gen_range(0..N)].clone()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing vectors with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `element`-generated values whose length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` with probability 1/4, otherwise `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property test runs, and how they are seeded.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Base seed mixed with the test name and case index.
+        pub seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, seed: 0x5eed }
+        }
+    }
+}
+
+/// Derive the deterministic RNG for one test case.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, base_seed: u64, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, mixed with the base seed and the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ base_seed.rotate_left(17) ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Assert inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property-based tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a standard test that runs the body for `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng =
+                    $crate::case_rng(stringify!($name), config.seed, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strategy),
+                        &mut __proptest_rng,
+                    );
+                )*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_option_strategies(
+            v in crate::collection::vec(0u8..5, 1..20),
+            o in crate::option::of(0i64..4),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            if let Some(i) = o {
+                prop_assert!((0..4).contains(&i));
+            }
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let a: u64 = crate::case_rng("t", 1, 2).gen();
+        let b: u64 = crate::case_rng("t", 1, 2).gen();
+        let c: u64 = crate::case_rng("t", 1, 3).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -14,22 +14,31 @@ use crate::error::TabularError;
 use crate::table::Table;
 use crate::Result;
 
-/// A hashable, equality-comparable atom of a group key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyAtom {
+/// A hashable, equality-comparable atom of a group or join key.
+///
+/// Group-by, joins and the `feataug` query engine all key rows by vectors of
+/// these typed atoms instead of rendered strings; categorical values are
+/// represented by their dictionary code, so comparing atoms across tables
+/// requires translating codes first (see [`crate::join::KeyMapper`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyAtom {
+    /// SQL NULL. Forms its own group in a group-by; never matches in a join.
     Null,
+    /// Integer or datetime (epoch-second) key value.
     Int(i64),
     /// Floats keyed by their bit pattern (exact grouping, NaN-safe).
     Bits(u64),
+    /// Boolean key value.
     Bool(bool),
-    /// Dictionary code of a categorical value.
+    /// Dictionary code of a categorical value (table-local).
     Code(u32),
 }
 
 /// A composite group key (one atom per key column).
 type GroupKey = Vec<KeyAtom>;
 
-fn key_atom(col: &Column, row: usize) -> KeyAtom {
+/// The [`KeyAtom`] of `col` at `row`.
+pub fn key_atom(col: &Column, row: usize) -> KeyAtom {
     match col {
         Column::Int(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),
         Column::DateTime(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),

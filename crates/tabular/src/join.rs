@@ -4,26 +4,102 @@
 //! `SELECT D.*, q(R).feature FROM D LEFT JOIN q(R) ON D.k = q(R).k`.
 //! [`left_join`] implements exactly that: every left row is preserved, unmatched rows receive
 //! NULLs in the right-hand columns, and right-hand key columns are not duplicated in the output.
+//!
+//! Join keys are typed [`KeyAtom`] vectors (shared with the group-by machinery) rather than
+//! per-row rendered strings: integers, datetimes, bools and float bit patterns compare directly,
+//! and categorical values are translated between the two tables' dictionaries once per distinct
+//! value ([`KeyMapper`]) instead of re-hashing strings per row. NULL keys never match (SQL
+//! semantics), and keys of differing column types never match (the old string encoding tagged
+//! values with their type for the same reason).
 
 use std::collections::HashMap;
 
 use crate::column::Column;
 use crate::error::TabularError;
+use crate::groupby::{key_atom, KeyAtom};
 use crate::table::Table;
 use crate::Result;
 
-/// Join key rendered to a hashable form. NULL keys never match (SQL semantics).
-fn key_of(table: &Table, key_columns: &[&str], row: usize) -> Result<Option<String>> {
-    let mut parts: Vec<String> = Vec::with_capacity(key_columns.len());
-    for &k in key_columns {
-        let v = table.value(row, k)?;
-        if v.is_null() {
-            return Ok(None);
+/// Translates rows of a *probe* table into the key space of a *reference* table, so typed key
+/// atoms from both sides can be compared directly. Categorical dictionary codes are table-local;
+/// the mapper pre-resolves each probe dictionary entry against the reference dictionary (one
+/// string hash per distinct value, not per row). Columns whose types differ between the two
+/// tables are treated as never matching.
+pub struct KeyMapper<'a> {
+    probe_cols: Vec<&'a Column>,
+    /// Per key column: `Some(map)` holds probe-code → reference-code for categorical columns.
+    cat_maps: Vec<Option<Vec<Option<u32>>>>,
+    compatible: bool,
+}
+
+impl<'a> KeyMapper<'a> {
+    /// Build a mapper for `probe_keys[i]` of `probe` against `ref_keys[i]` of `reference`.
+    pub fn new(
+        reference: &Table,
+        probe: &'a Table,
+        ref_keys: &[&str],
+        probe_keys: &[&str],
+    ) -> Result<KeyMapper<'a>> {
+        if ref_keys.len() != probe_keys.len() || ref_keys.is_empty() {
+            return Err(TabularError::InvalidArgument(
+                "key mapping requires equal, non-empty key lists".into(),
+            ));
         }
-        // The type tag avoids collisions like Int(1) vs Str("1").
-        parts.push(format!("{}:{}", table.dtype(k)?.name(), v));
+        let mut probe_cols = Vec::with_capacity(probe_keys.len());
+        let mut cat_maps = Vec::with_capacity(probe_keys.len());
+        let mut compatible = true;
+        for (&rk, &pk) in ref_keys.iter().zip(probe_keys) {
+            let ref_col = reference.column(rk)?;
+            let probe_col = probe.column(pk)?;
+            if ref_col.dtype() != probe_col.dtype() {
+                compatible = false;
+            }
+            let map = match (probe_col, ref_col) {
+                (Column::Cat(p), Column::Cat(r)) => {
+                    Some(p.dictionary().iter().map(|v| r.code_of(v)).collect())
+                }
+                _ => None,
+            };
+            probe_cols.push(probe_col);
+            cat_maps.push(map);
+        }
+        Ok(KeyMapper { probe_cols, cat_maps, compatible })
     }
-    Ok(Some(parts.join("\u{1f}")))
+
+    /// The probe row's key in reference space. `None` when the key can never match a reference
+    /// row: a NULL component, a categorical value absent from the reference dictionary, or a
+    /// column-type mismatch.
+    pub fn key(&self, row: usize) -> Option<Vec<KeyAtom>> {
+        if !self.compatible {
+            return None;
+        }
+        let mut key = Vec::with_capacity(self.probe_cols.len());
+        for (col, map) in self.probe_cols.iter().zip(&self.cat_maps) {
+            let atom = match (key_atom(col, row), map) {
+                (KeyAtom::Null, _) => return None,
+                (KeyAtom::Code(c), Some(m)) => KeyAtom::Code(m[c as usize]?),
+                (atom, _) => atom,
+            };
+            key.push(atom);
+        }
+        Some(key)
+    }
+}
+
+/// The reference-side key of `cols` at `row` (`None` when any component is NULL).
+fn own_key(cols: &[&Column], row: usize) -> Option<Vec<KeyAtom>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for col in cols {
+        match key_atom(col, row) {
+            KeyAtom::Null => return None,
+            atom => key.push(atom),
+        }
+    }
+    Some(key)
+}
+
+fn key_columns<'t>(table: &'t Table, keys: &[&str]) -> Result<Vec<&'t Column>> {
+    keys.iter().map(|k| table.column(k)).collect()
 }
 
 /// Left join `left` with `right` on equally-named key pairs
@@ -46,21 +122,20 @@ pub fn left_join(
         ));
     }
 
-    // Index right rows by key (first occurrence wins).
-    let mut index: HashMap<String, usize> = HashMap::new();
+    // Index right rows by typed key (first occurrence wins).
+    let right_cols = key_columns(right, right_keys)?;
+    let mut index: HashMap<Vec<KeyAtom>, usize> = HashMap::with_capacity(right.num_rows());
     for row in 0..right.num_rows() {
-        if let Some(key) = key_of(right, right_keys, row)? {
+        if let Some(key) = own_key(&right_cols, row) {
             index.entry(key).or_insert(row);
         }
     }
 
     // Row mapping: for each left row, the matched right row (if any).
+    let mapper = KeyMapper::new(right, left, right_keys, left_keys)?;
     let mut matches: Vec<Option<usize>> = Vec::with_capacity(left.num_rows());
     for row in 0..left.num_rows() {
-        let m = match key_of(left, left_keys, row)? {
-            Some(key) => index.get(&key).copied(),
-            None => None,
-        };
+        let m = mapper.key(row).and_then(|key| index.get(&key).copied());
         matches.push(m);
     }
 
@@ -115,9 +190,10 @@ pub fn match_rate(left: &Table, right: &Table, keys: &[&str]) -> Result<f64> {
 
 /// Verify that `right[key]` has at most one row per key value — i.e. the output of a group-by.
 pub fn is_unique_key(table: &Table, keys: &[&str]) -> Result<bool> {
-    let mut seen: HashMap<String, ()> = HashMap::new();
+    let cols = key_columns(table, keys)?;
+    let mut seen: HashMap<Vec<KeyAtom>, ()> = HashMap::with_capacity(table.num_rows());
     for row in 0..table.num_rows() {
-        if let Some(k) = key_of(table, keys, row)? {
+        if let Some(k) = own_key(&cols, row) {
             if seen.insert(k, ()).is_some() {
                 return Ok(false);
             }
@@ -129,18 +205,20 @@ pub fn is_unique_key(table: &Table, keys: &[&str]) -> Result<bool> {
 /// Infer the foreign-key multiplicity between `one` and `many`: returns the average number of
 /// `many` rows per distinct key of `one` (0.0 when `one` is empty).
 pub fn fanout(one: &Table, many: &Table, keys: &[&str]) -> Result<f64> {
-    let mut distinct: HashMap<String, ()> = HashMap::new();
+    let one_cols = key_columns(one, keys)?;
+    let mut distinct: HashMap<Vec<KeyAtom>, ()> = HashMap::new();
     for row in 0..one.num_rows() {
-        if let Some(k) = key_of(one, keys, row)? {
+        if let Some(k) = own_key(&one_cols, row) {
             distinct.insert(k, ());
         }
     }
     if distinct.is_empty() {
         return Ok(0.0);
     }
+    let mapper = KeyMapper::new(one, many, keys, keys)?;
     let mut matched = 0usize;
     for row in 0..many.num_rows() {
-        if let Some(k) = key_of(many, keys, row)? {
+        if let Some(k) = mapper.key(row) {
             if distinct.contains_key(&k) {
                 matched += 1;
             }
@@ -245,5 +323,46 @@ mod tests {
         right.add_column("v", Column::from_f64s(&[5.0])).unwrap();
         let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
         assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn int_and_datetime_keys_do_not_match() {
+        // The string encoding tagged keys with their type; typed atoms must preserve that.
+        let mut left = Table::new("l");
+        left.add_column("k", Column::from_i64s(&[100])).unwrap();
+        let mut right = Table::new("r");
+        right.add_column("k", Column::from_datetimes(&[100])).unwrap();
+        right.add_column("v", Column::from_f64s(&[5.0])).unwrap();
+        let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn categorical_codes_translate_across_dictionaries() {
+        // Same values interned in different orders on each side must still match.
+        let mut left = Table::new("l");
+        left.add_column("k", Column::from_strs(&["x", "y", "z"])).unwrap();
+        let mut right = Table::new("r");
+        right.add_column("k", Column::from_strs(&["z", "x"])).unwrap();
+        right.add_column("v", Column::from_f64s(&[26.0, 24.0])).unwrap();
+        let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Float(24.0));
+        assert_eq!(joined.value(1, "v").unwrap(), Value::Null);
+        assert_eq!(joined.value(2, "v").unwrap(), Value::Float(26.0));
+    }
+
+    #[test]
+    fn multi_column_keys_join_componentwise() {
+        let mut left = Table::new("l");
+        left.add_column("a", Column::from_strs(&["u", "u", "v"])).unwrap();
+        left.add_column("b", Column::from_i64s(&[1, 2, 1])).unwrap();
+        let mut right = Table::new("r");
+        right.add_column("a", Column::from_strs(&["u", "v"])).unwrap();
+        right.add_column("b", Column::from_i64s(&[2, 1])).unwrap();
+        right.add_column("v", Column::from_f64s(&[1.0, 2.0])).unwrap();
+        let joined = left_join(&left, &right, &["a", "b"], &["a", "b"]).unwrap();
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
+        assert_eq!(joined.value(1, "v").unwrap(), Value::Float(1.0));
+        assert_eq!(joined.value(2, "v").unwrap(), Value::Float(2.0));
     }
 }

@@ -40,6 +40,7 @@ pub mod groupby;
 pub mod join;
 pub mod predicate;
 pub mod schema;
+pub mod selection;
 pub mod table;
 pub mod value;
 
@@ -48,6 +49,7 @@ pub use column::Column;
 pub use error::TabularError;
 pub use predicate::Predicate;
 pub use schema::{DataType, Field, Schema};
+pub use selection::SelectionMask;
 pub use table::Table;
 pub use value::Value;
 

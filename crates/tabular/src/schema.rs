@@ -1,9 +1,7 @@
 //! Schemas: named, typed column descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// The logical type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -41,7 +39,7 @@ impl DataType {
 }
 
 /// A named, typed column descriptor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name, unique within a schema.
     pub name: String,
@@ -57,7 +55,7 @@ impl Field {
 }
 
 /// An ordered collection of [`Field`]s.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }

@@ -168,10 +168,9 @@ impl Table {
     /// Filter rows by a [`Predicate`]. Rows where the predicate evaluates to NULL (e.g. a NULL
     /// operand) are dropped, matching SQL `WHERE` semantics.
     pub fn filter(&self, predicate: &Predicate) -> Result<Table> {
-        let mask = predicate.evaluate(self)?;
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
-        Ok(self.take(&indices))
+        let mut mask = crate::selection::SelectionMask::new();
+        crate::selection::select_into(self, predicate, &mut mask)?;
+        Ok(self.take(&mask.to_indices()))
     }
 
     /// First `n` rows.

@@ -15,10 +15,10 @@ fn fast_cfg(model: ModelKind) -> FeatAugConfig {
     cfg.n_templates = 3;
     cfg.queries_per_template = 3;
     cfg.template_id.n_templates = 3;
-    cfg.template_id.pool_samples = 12;
-    cfg.sqlgen.warmup_iters = 20;
-    cfg.sqlgen.warmup_top_k = 5;
-    cfg.sqlgen.search_iters = 8;
+    cfg.template_id.pool_samples = 16;
+    cfg.sqlgen.warmup_iters = 28;
+    cfg.sqlgen.warmup_top_k = 6;
+    cfg.sqlgen.search_iters = 10;
     cfg
 }
 
@@ -63,7 +63,7 @@ fn feataug_competitive_with_featuretools_on_predicate_signal() {
     // The Tmall generator hides most of the signal behind a department+recency predicate, so
     // predicate-aware augmentation should at least match predicate-free DFS.
     let ds = feataug_datagen::tmall::generate(&GenConfig {
-        n_entities: 500,
+        n_entities: 800,
         fanout: 8,
         n_noise_cols: 1,
         seed: 22,
