@@ -73,6 +73,23 @@ fn bench_exec(c: &mut Criterion) {
             black_box(engine.feature(q).unwrap().1.len())
         })
     });
+
+    // The whole pool at once through the scoped worker pool, fresh engine per
+    // iteration (compile + LRU-cold, like one beam-search node pays it). A
+    // second variant pins one worker to expose the fan-out overhead itself.
+    let workers = feataug::default_workers();
+    c.bench_function("exec/engine_batch_pool_default_workers", |b| {
+        b.iter(|| {
+            let cold = QueryEngine::new(&ds.train, &ds.relevant);
+            black_box(cold.feature_batch_threads(&pool, workers).len())
+        })
+    });
+    c.bench_function("exec/engine_batch_pool_one_worker", |b| {
+        b.iter(|| {
+            let cold = QueryEngine::new(&ds.train, &ds.relevant);
+            black_box(cold.feature_batch_threads(&pool, 1).len())
+        })
+    });
 }
 
 criterion_group!(benches, bench_exec);

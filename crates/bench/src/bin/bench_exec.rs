@@ -4,10 +4,12 @@
 //!
 //! Run: `cargo run --release -p feataug-bench --bin bench_exec`
 //!
-//! Three candidate pools are measured, each through the reference
-//! `PredicateQuery::augment` path and through the compiled [`QueryEngine`]
-//! (a fresh engine per round, so compilation is paid exactly as one search
-//! pays it):
+//! Three candidate pools are measured, each through three paths — the
+//! reference `PredicateQuery::augment` path, the compiled [`QueryEngine`]
+//! evaluating serially, and the engine's thread-parallel
+//! [`QueryEngine::feature_batch`] at [`feataug::default_workers`] workers
+//! (a fresh engine per round on every path, so compilation is paid exactly
+//! as one search pays it):
 //!
 //! * `basic_aggs` — random queries over the five cheap aggregation functions
 //!   (`FeatAugConfig::fast`'s set). This is the headline number: it isolates
@@ -20,6 +22,11 @@
 //! * `dfs_trivial` — trivial-predicate, full-key queries (the Featuretools
 //!   pool shape): the reference path clones and re-groups the whole table,
 //!   the engine gathers from its cached index.
+//!
+//! `batch_speedup` is batch-vs-naive (same baseline as `speedup`);
+//! `batch_vs_engine` isolates what threading adds over the serial engine and
+//! is ~1.0 on a single-core machine — the recorded `workers` count says which
+//! regime produced the numbers.
 
 use std::time::Instant;
 
@@ -38,11 +45,20 @@ struct PoolResult {
     name: &'static str,
     naive_us: f64,
     engine_us: f64,
+    batch_us: f64,
 }
 
 impl PoolResult {
     fn speedup(&self) -> f64 {
         self.naive_us / self.engine_us
+    }
+
+    fn batch_speedup(&self) -> f64 {
+        self.naive_us / self.batch_us
+    }
+
+    fn batch_vs_engine(&self) -> f64 {
+        self.engine_us / self.batch_us
     }
 }
 
@@ -58,12 +74,20 @@ fn sample_pool(aggs: &[AggFunc], ds: &feataug_datagen::SyntheticDataset, seed: u
     (0..N_QUERIES).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect()
 }
 
-fn time_pool(name: &'static str, pool: &[PredicateQuery], train: &Table, relevant: &Table) -> PoolResult {
-    // Checksums keep both paths honest about doing identical work.
+fn time_pool(
+    name: &'static str,
+    pool: &[PredicateQuery],
+    train: &Table,
+    relevant: &Table,
+    workers: usize,
+) -> PoolResult {
+    // Checksums keep all paths honest about doing identical work.
     let mut naive_checksum = 0usize;
     let mut engine_checksum = 0usize;
+    let mut batch_checksum = 0usize;
     let mut naive_best = f64::INFINITY;
     let mut engine_best = f64::INFINITY;
+    let mut batch_best = f64::INFINITY;
     for _ in 0..ROUNDS {
         let start = Instant::now();
         for q in pool {
@@ -79,14 +103,29 @@ fn time_pool(name: &'static str, pool: &[PredicateQuery], train: &Table, relevan
             engine_checksum += values.len();
         }
         engine_best = engine_best.min(start.elapsed().as_nanos() as f64 / pool.len() as f64);
+
+        let start = Instant::now();
+        let batch_engine = QueryEngine::new(train, relevant);
+        for result in batch_engine.feature_batch_threads(pool, workers) {
+            let (_, values) = result.expect("batch path");
+            batch_checksum += values.len();
+        }
+        batch_best = batch_best.min(start.elapsed().as_nanos() as f64 / pool.len() as f64);
     }
     assert_eq!(naive_checksum, engine_checksum, "{name}: paths did different work");
-    PoolResult { name, naive_us: naive_best / 1e3, engine_us: engine_best / 1e3 }
+    assert_eq!(naive_checksum, batch_checksum, "{name}: batch path did different work");
+    PoolResult {
+        name,
+        naive_us: naive_best / 1e3,
+        engine_us: engine_best / 1e3,
+        batch_us: batch_best / 1e3,
+    }
 }
 
 fn main() {
     let gen_cfg = GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 };
     let ds = tmall::generate(&gen_cfg);
+    let workers = feataug::default_workers();
 
     let basic = sample_pool(AggFunc::basic(), &ds, 11);
     let all = sample_pool(AggFunc::all(), &ds, 12);
@@ -103,37 +142,46 @@ fn main() {
     }
 
     let results = [
-        time_pool("basic_aggs", &basic, &ds.train, &ds.relevant),
-        time_pool("all_aggs", &all, &ds.train, &ds.relevant),
-        time_pool("dfs_trivial", &dfs, &ds.train, &ds.relevant),
+        time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
+        time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
+        time_pool("dfs_trivial", &dfs, &ds.train, &ds.relevant, workers),
     ];
 
     let pools_json: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
-                "    {{ \"pool\": \"{}\", \"naive_us_per_query\": {:.3}, \"engine_us_per_query\": {:.3}, \"speedup\": {:.2} }}",
-                r.name, r.naive_us, r.engine_us, r.speedup()
+                "    {{ \"pool\": \"{}\", \"naive_us_per_query\": {:.3}, \"engine_us_per_query\": {:.3}, \"batch_us_per_query\": {:.3}, \"speedup\": {:.2}, \"batch_speedup\": {:.2}, \"batch_vs_engine\": {:.2} }}",
+                r.name,
+                r.naive_us,
+                r.engine_us,
+                r.batch_us,
+                r.speedup(),
+                r.batch_speedup(),
+                r.batch_vs_engine()
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"headline_speedup\": {:.2},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
         ds.relevant.num_rows(),
         N_QUERIES,
         ROUNDS,
+        workers,
         results[0].speedup(),
+        results[0].batch_speedup(),
         pools_json.join(",\n"),
     );
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (basic {:.2}x, all {:.2}x, dfs {:.2}x)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, dfs {:.2}x; naive->batch basic {:.2}x)",
         results[0].speedup(),
         results[1].speedup(),
-        results[2].speedup()
+        results[2].speedup(),
+        results[0].batch_speedup(),
     );
 }

@@ -11,6 +11,11 @@
 //!
 //! Every function returns an augmented training table; the experiment harness evaluates all of
 //! them with the same protocol ([`crate::evaluation::evaluate_table`]).
+//!
+//! The query-evaluating baselines (DFS candidates, Random) materialise their candidate pools
+//! through [`QueryEngine::evaluate_batch`], and each has a `*_with_engine` variant accepting a
+//! shared engine handle so harnesses running several baselines against one task compile the
+//! `(train, relevant)` pair once.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -31,9 +36,10 @@ use crate::query::{PredicateQuery, QueryCodec};
 use crate::template::QueryTemplate;
 
 /// Build the candidate feature pool for selector-style baselines: every DFS feature, evaluated
-/// through the [`QueryEngine`] (one shared group index, no join) and attached to the training
-/// table. Returns (augmented table, feature names).
-fn dfs_candidates(task: &AugTask, cfg: &DfsConfig) -> (Table, Vec<String>) {
+/// through the given [`QueryEngine`] (one shared group index, no join, the whole pool fanned
+/// across the engine's worker threads) and attached to the training table. Returns
+/// (augmented table, feature names).
+fn dfs_candidates(task: &AugTask, cfg: &DfsConfig, engine: &QueryEngine<'_>) -> (Table, Vec<String>) {
     let keys = task.keys();
     let agg_cols = task.resolved_agg_columns();
     let agg_refs: Vec<&str> = agg_cols.iter().map(|s| s.as_str()).collect();
@@ -41,17 +47,19 @@ fn dfs_candidates(task: &AugTask, cfg: &DfsConfig) -> (Table, Vec<String>) {
     if features.is_empty() {
         return (task.train.clone(), Vec::new());
     }
-    let engine = QueryEngine::new(&task.train, &task.relevant);
-    let mut augmented = task.train.clone();
-    let mut names = Vec::with_capacity(features.len());
-    for feature in features {
-        let query = PredicateQuery {
+    let queries: Vec<PredicateQuery> = features
+        .iter()
+        .map(|feature| PredicateQuery {
             agg: feature.agg,
             agg_column: feature.column.clone(),
             predicate: Predicate::True,
             group_keys: keys.iter().map(|k| k.to_string()).collect(),
-        };
-        let values = engine.evaluate(&query).expect("materialising DFS features");
+        })
+        .collect();
+    let mut augmented = task.train.clone();
+    let mut names = Vec::with_capacity(features.len());
+    for (feature, values) in features.into_iter().zip(engine.evaluate_batch_shared(&queries)) {
+        let values = values.expect("materialising DFS features");
         let column = Column::from_opt_f64s(&values);
         if augmented.add_column(feature.name.clone(), column).is_ok() {
             names.push(feature.name);
@@ -103,7 +111,21 @@ pub fn featuretools_augment(
     selector: Option<&dyn FeatureSelector>,
     dfs: &DfsConfig,
 ) -> Table {
-    let (augmented, names) = dfs_candidates(task, dfs);
+    let engine = QueryEngine::new(&task.train, &task.relevant);
+    featuretools_augment_with_engine(task, n_features, selector, dfs, &engine)
+}
+
+/// [`featuretools_augment`] evaluating through a shared [`QueryEngine`] compiled over the same
+/// `(train, relevant)` pair as `task` — harnesses that run several baselines against one task
+/// pass one engine so the DFS group index and column views are compiled once.
+pub fn featuretools_augment_with_engine(
+    task: &AugTask,
+    n_features: usize,
+    selector: Option<&dyn FeatureSelector>,
+    dfs: &DfsConfig,
+    engine: &QueryEngine<'_>,
+) -> Table {
+    let (augmented, names) = dfs_candidates(task, dfs, engine);
     if names.is_empty() {
         return augmented;
     }
@@ -127,10 +149,24 @@ pub fn random_augment(
     queries_per_template: usize,
     seed: u64,
 ) -> Table {
+    let engine = QueryEngine::new(&task.train, &task.relevant);
+    random_augment_with_engine(task, agg_funcs, n_templates, queries_per_template, seed, &engine)
+}
+
+/// [`random_augment`] evaluating through a shared [`QueryEngine`] compiled over the same
+/// `(train, relevant)` pair as `task`. Each template's random queries are sampled first (so the
+/// RNG stream matches the serial formulation) and materialised in one batch fan-out.
+pub fn random_augment_with_engine(
+    task: &AugTask,
+    agg_funcs: &[AggFunc],
+    n_templates: usize,
+    queries_per_template: usize,
+    seed: u64,
+    engine: &QueryEngine<'_>,
+) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let attrs = task.resolved_predicate_attrs();
     let mut augmented = task.train.clone();
-    let engine = QueryEngine::new(&task.train, &task.relevant);
 
     for _ in 0..n_templates {
         // Random non-empty subset of the candidate attributes (at most 4 to keep pools sane).
@@ -145,13 +181,14 @@ pub fn random_augment(
             task.key_columns.clone(),
         );
         let Ok(codec) = QueryCodec::build(&template, &task.relevant) else { continue };
-        for _ in 0..queries_per_template {
-            let config = codec.space().sample(&mut rng);
-            let query = codec.decode(&config);
-            if let Ok(values) = engine.evaluate(&query) {
+        let queries: Vec<PredicateQuery> = (0..queries_per_template)
+            .map(|_| codec.decode(&codec.space().sample(&mut rng)))
+            .collect();
+        for (query, values) in queries.iter().zip(engine.evaluate_batch_shared(&queries)) {
+            if let Ok(values) = values {
                 // Non-finite aggregates count as missing, like the NULLs.
                 let values: Vec<Option<f64>> =
-                    values.into_iter().map(|v| v.filter(|x| x.is_finite())).collect();
+                    values.iter().map(|v| v.filter(|x| x.is_finite())).collect();
                 let _ = augmented
                     .add_column(query.feature_name(), Column::from_opt_f64s(&values));
             }
@@ -180,7 +217,8 @@ fn direct_candidates(task: &AugTask) -> (Table, Vec<String>) {
             agg_funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min],
             ..DfsConfig::default()
         };
-        dfs_candidates(task, &dfs)
+        let engine = QueryEngine::new(&task.train, &task.relevant);
+        dfs_candidates(task, &dfs, &engine)
     }
 }
 

@@ -9,6 +9,8 @@
 //! * [`evaluate_table`] scores an entire augmented table on a train/valid/test protocol (used to
 //!   report the final numbers of the experiment tables).
 
+use std::sync::OnceLock;
+
 use feataug_ml::{evaluate, Dataset, EvalResult, ModelKind, Task};
 use feataug_tabular::Table;
 
@@ -25,6 +27,11 @@ pub struct FeatureEvaluator {
     base: Dataset,
     model: ModelKind,
     seed: u64,
+    /// Memoized base validation loss. The base table never changes for the
+    /// evaluator's lifetime, yet `base_loss` is consulted once per candidate
+    /// that fails to materialise — without memoization each such candidate
+    /// would retrain the downstream model from scratch.
+    base_loss: OnceLock<f64>,
 }
 
 impl FeatureEvaluator {
@@ -32,7 +39,7 @@ impl FeatureEvaluator {
     pub fn new(task: &AugTask, model: ModelKind, seed: u64) -> Self {
         let base =
             table_to_dataset(&task.train, &task.label_column, &task.key_columns, task.task);
-        FeatureEvaluator { base, model, seed }
+        FeatureEvaluator { base, model, seed, base_loss: OnceLock::new() }
     }
 
     /// The downstream model kind this evaluator trains.
@@ -46,9 +53,13 @@ impl FeatureEvaluator {
     }
 
     /// Validation loss of the base table without any augmentation (lower is better).
+    /// Trained once and memoized: the base table and split are fixed, so every
+    /// later call returns the cached value.
     pub fn base_loss(&self) -> f64 {
-        let (train, valid) = self.base.split2(SPLIT.0 + SPLIT.1, self.seed);
-        evaluate(self.model, &train, &valid).loss
+        *self.base_loss.get_or_init(|| {
+            let (train, valid) = self.base.split2(SPLIT.0 + SPLIT.1, self.seed);
+            evaluate(self.model, &train, &valid).loss
+        })
     }
 
     /// Validation loss after appending one candidate feature vector (aligned with the training
@@ -121,6 +132,24 @@ mod tests {
         let informative: Vec<f64> = labels.iter().map(|&y| y * 4.0 + 0.1).collect();
         let with = evaluator.loss_with_feature("good", &informative);
         assert!(with < base, "informative feature should lower the loss ({with} vs {base})");
+    }
+
+    #[test]
+    fn base_loss_is_trained_once_and_memoized() {
+        let t = task();
+        let evaluator = FeatureEvaluator::new(&t, ModelKind::Linear, 3);
+        assert!(evaluator.base_loss.get().is_none(), "constructor must not train eagerly");
+        let first = evaluator.base_loss();
+        assert_eq!(
+            evaluator.base_loss.get().copied(),
+            Some(first),
+            "first call must populate the memo"
+        );
+        // Repeated calls (generate()'s phase 2 makes one per failed candidate)
+        // read the memo instead of retraining.
+        assert_eq!(evaluator.base_loss().to_bits(), first.to_bits());
+        // Clones carry the memo with them.
+        assert_eq!(evaluator.clone().base_loss.get().copied(), Some(first));
     }
 
     #[test]

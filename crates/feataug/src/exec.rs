@@ -1,4 +1,5 @@
-//! The query execution engine: compiled, cache-reusing candidate evaluation.
+//! The query execution engine: compiled, cache-reusing, thread-parallel
+//! candidate evaluation.
 //!
 //! Both search components evaluate thousands of candidate queries against the
 //! *same* relevant table. The reference path
@@ -6,33 +7,68 @@
 //! candidate, for: materialising the filtered table, rebuilding the group-by
 //! hash index from scratch, rendering join keys, and re-hashing them during
 //! the left join. [`QueryEngine`] compiles the `(train, relevant)` pair once
-//! per search and amortises all of that:
+//! per search and amortises all of that.
 //!
-//! * **memoized group indexes** — for every group-by key subset `k ⊆ K`
-//!   encountered, a dense `group_id` per relevant row plus a precomputed
-//!   train-row → group-id gather map (categorical dictionary codes are
-//!   translated between the two tables once per distinct value, via
-//!   [`feataug_tabular::join::KeyMapper`]), so attaching a feature is an O(n)
-//!   gather with no join and no string keys;
-//! * **cached numeric views** — each aggregated / range-predicate column's
-//!   `Vec<Option<f64>>` view is extracted once;
-//! * **selection bitmask** — predicates evaluate into a reusable
-//!   [`SelectionMask`] ([`feataug_tabular::selection`]); nothing is cloned or
-//!   materialised, and trivial predicates skip masking entirely;
-//! * **single-pass streaming aggregation** — `SUM/MIN/MAX/COUNT/AVG` stream
-//!   through per-group accumulators; the order-sensitive remainder
-//!   (`MEDIAN`, `MODE`, ...) bucket their group values in row order and apply
-//!   the same [`AggFunc::apply`] the reference path uses.
+//! ## Architecture: shared compiled core + per-worker scratch
+//!
+//! The engine is split into two kinds of state:
+//!
+//! * an **immutable compiled core**, shared by every handle and every worker
+//!   thread — each artifact is built once, memoized behind an [`RwLock`]ed map
+//!   and handed out as an [`Arc`]:
+//!   - **group indexes** — for every group-by key subset `k ⊆ K` encountered,
+//!     a dense `group_id` per relevant row plus a precomputed train-row →
+//!     group-id gather map (categorical dictionary codes are translated
+//!     between the two tables once per distinct value, via
+//!     [`feataug_tabular::join::KeyMapper`]), so attaching a feature is an
+//!     O(n) gather with no join and no string keys;
+//!   - **numeric views** — each aggregated / range-predicate column's
+//!     `Vec<Option<f64>>` view is extracted once;
+//!   - **sorted / inverted predicate indexes** — a range leaf costs two
+//!     binary searches, an equality leaf O(matching rows) bit sets;
+//! * cheap **per-worker scratch** ([`EvalScratch`]) — the selection bitmasks
+//!   ([`feataug_tabular::selection`]) and aggregation buffers one evaluation
+//!   mutates. Scratch lives in a pool; each worker of a batch checks one out
+//!   for its whole run, so parallel evaluations never contend on it.
+//!
+//! [`QueryEngine`] is [`Clone`]: clones are cheap handles onto the same
+//! shared core, feature cache and counters, which is how one engine per
+//! `(train, relevant)` pair is shared across the Query Template Identifier,
+//! the SQL Query Generator, the DFS/Random baselines and each multi-source
+//! pipeline run ([`QueryEngine::stats`] shows the cross-component reuse).
+//!
+//! ## Batch evaluation
+//!
+//! [`QueryEngine::evaluate_batch`] / [`QueryEngine::feature_batch`] fan a
+//! candidate pool across a small [`std::thread::scope`]-based worker pool
+//! (no external dependencies — the build is offline). Work is distributed by
+//! an atomic cursor; every query's result lands in its input slot, and the
+//! values are **bit-identical at any thread count** because each candidate's
+//! evaluation is independent and visits rows in the same ascending order as
+//! the serial path. The default worker count comes from
+//! [`default_workers`] (`FEATAUG_THREADS` overrides it; CI runs the suite at
+//! both 1 thread and the default).
+//!
+//! ## Evaluation-level feature cache
+//!
+//! TPE resamples near-duplicate configurations, so the engine keeps a small
+//! LRU of finished feature vectors keyed by the query's structure — its
+//! `(aggregate, aggregated column, predicate, key subset)`. A repeat
+//! candidate skips the whole evaluation and returns the cached (identical)
+//! vector; hits are visible as [`EngineStats::feature_cache_hits`]. The
+//! default capacity is sized from the training table's row count so the
+//! cache stays within a fixed byte budget.
 //!
 //! The engine's output is **bit-for-bit identical** to the reference path's
 //! `feature_vector(&query.augment(train, relevant)?, &name)`: accumulation
 //! visits values in the same ascending row order, presence/NULL semantics
-//! mirror group-by + left-join exactly, and the equivalence is enforced by a
-//! property test over randomized query pools (`tests/proptests.rs`).
+//! mirror group-by + left-join exactly, and the equivalence is enforced by
+//! property tests over randomized query pools at several thread counts
+//! (`tests/proptests.rs`).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use feataug_tabular::groupby::{key_atom, KeyAtom};
 use feataug_tabular::join::KeyMapper;
@@ -41,8 +77,40 @@ use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
 
 use crate::query::PredicateQuery;
 
+/// Hard cap on the worker count [`default_workers`] infers from the machine.
+const MAX_DEFAULT_WORKERS: usize = 8;
+
+/// Hard cap on the feature LRU's entry count, and the rough memory budget the
+/// default capacity is derived from (each entry is one train-length
+/// `Vec<Option<f64>>`, so a flat entry cap would balloon on large tables).
+const MAX_FEATURE_CACHE_ENTRIES: usize = 512;
+const FEATURE_CACHE_BYTES: usize = 64 << 20;
+
+/// Default feature-LRU capacity for a training table of `train_rows` rows:
+/// as many entries as fit the byte budget, clamped to `16..=512`.
+fn default_cache_capacity(train_rows: usize) -> usize {
+    let bytes_per_entry = train_rows.max(1) * std::mem::size_of::<Option<f64>>();
+    (FEATURE_CACHE_BYTES / bytes_per_entry).clamp(16, MAX_FEATURE_CACHE_ENTRIES)
+}
+
+/// Parse a `FEATAUG_THREADS`-style override: a positive integer wins, anything
+/// else (unset, non-numeric, zero) falls through to auto-detection.
+fn env_workers(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.parse::<usize>().ok()).filter(|n| *n >= 1)
+}
+
+/// The worker count batch evaluation uses when none is given explicitly: the
+/// `FEATAUG_THREADS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism capped at 8.
+pub fn default_workers() -> usize {
+    if let Some(n) = env_workers(std::env::var("FEATAUG_THREADS").ok().as_deref()) {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_DEFAULT_WORKERS)
+}
+
 /// A compiled grouping of the relevant table by one group-key subset, plus the
-/// gather map aligning train rows with groups.
+/// gather map aligning train rows with groups. Immutable once built.
 #[derive(Debug)]
 struct GroupIndex {
     /// Dense group id per relevant row.
@@ -69,19 +137,11 @@ struct CatIndex {
     rows_by_code: Vec<Vec<u32>>,
 }
 
-/// Reusable, lazily grown evaluation state (interior-mutable so the engine
-/// can be shared immutably by the search loops).
+/// The mutable buffers one evaluation needs. Each worker of a batch (and each
+/// serial `evaluate` call) checks one out of the engine's pool, so the shared
+/// core stays read-only during evaluation and workers never contend.
 #[derive(Default)]
-struct EngineState {
-    /// `Vec<Option<f64>>` view per relevant column (aggregation targets and
-    /// range-predicate operands).
-    views: HashMap<String, Rc<Vec<Option<f64>>>>,
-    /// Group index per group-key subset, keyed by the exact key list.
-    groups: HashMap<Vec<String>, Rc<GroupIndex>>,
-    /// Sorted row index per range-predicate column.
-    sorted: HashMap<String, Rc<SortedIndex>>,
-    /// Inverted row index per categorical equality-predicate column.
-    cats: HashMap<String, Rc<CatIndex>>,
+struct EvalScratch {
     /// Predicate result mask, reused across evaluations.
     mask: SelectionMask,
     /// Scratch mask for conjunction terms.
@@ -109,27 +169,118 @@ struct EngineState {
     cat_remap: Vec<Option<u32>>,
     /// Final aggregate per touched group.
     group_out: Vec<Option<f64>>,
-    /// Number of `evaluate` calls served.
-    evaluations: usize,
+}
+
+/// A small LRU over finished feature vectors, keyed by the query's `Debug`
+/// rendering — unlike the displayed SQL (whose string literals are not quote
+/// escaped), the `Debug` form is structurally unambiguous, so two distinct
+/// queries can never share a cache slot. Recency is a monotonic tick;
+/// eviction removes the stalest entry.
+struct FeatureCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (Arc<Vec<Option<f64>>>, u64)>,
+}
+
+impl FeatureCache {
+    fn new(capacity: usize) -> FeatureCache {
+        FeatureCache { capacity, tick: 0, map: HashMap::new() }
+    }
+
+    fn key(query: &PredicateQuery) -> String {
+        format!("{query:?}")
+    }
+
+    /// Change the capacity, trimming stalest-first if the cache is over the
+    /// new bound (so lowering the capacity actually releases memory).
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > self.capacity {
+            self.evict_stalest();
+        }
+    }
+
+    fn evict_stalest(&mut self) {
+        if let Some(stalest) =
+            self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+        {
+            self.map.remove(&stalest);
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<Vec<Option<f64>>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, values: Arc<Vec<Option<f64>>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            self.evict_stalest();
+        }
+        self.tick += 1;
+        self.map.insert(key, (values, self.tick));
+    }
+}
+
+/// The state every clone of a [`QueryEngine`] shares: the lazily-compiled
+/// immutable artifacts (locks guard only the memo maps — the artifacts
+/// themselves are immutable `Arc`s once built), the feature LRU, the scratch
+/// pool and the throughput counters.
+struct EngineShared {
+    /// `Vec<Option<f64>>` view per relevant column (aggregation targets and
+    /// range-predicate operands).
+    views: RwLock<HashMap<String, Arc<Vec<Option<f64>>>>>,
+    /// Group index per group-key subset, keyed by the exact key list.
+    groups: RwLock<HashMap<Vec<String>, Arc<GroupIndex>>>,
+    /// Sorted row index per range-predicate column.
+    sorted: RwLock<HashMap<String, Arc<SortedIndex>>>,
+    /// Inverted row index per categorical equality-predicate column.
+    cats: RwLock<HashMap<String, Arc<CatIndex>>>,
+    /// Finished feature vectors of recent queries.
+    features: Mutex<FeatureCache>,
+    /// Lock-free mirror of the feature cache's capacity, so the hot path can
+    /// skip the key rendering and the cache lock entirely when caching is
+    /// disabled.
+    cache_capacity: AtomicUsize,
+    /// Reusable evaluation scratch, one entry per concurrently-active worker.
+    scratch: Mutex<Vec<EvalScratch>>,
+    /// Number of evaluation requests served (cache hits included).
+    evaluations: AtomicUsize,
+    /// Number of requests answered from the feature cache.
+    cache_hits: AtomicUsize,
 }
 
 /// Cache and throughput counters of a [`QueryEngine`] (for benches and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Queries evaluated so far.
+    /// Evaluation requests served so far (feature-cache hits included).
     pub evaluations: usize,
     /// Distinct group-key subsets compiled.
     pub group_indexes: usize,
     /// Distinct column views extracted.
     pub column_views: usize,
+    /// Requests answered from the feature LRU without evaluating.
+    pub feature_cache_hits: usize,
 }
 
 /// A compiled, cache-reusing execution engine for candidate predicate queries
 /// over one `(train, relevant)` table pair.
+///
+/// Cloning an engine is cheap and yields a handle onto the *same* compiled
+/// core, feature cache and counters — share one engine per table pair across
+/// every component that evaluates candidates against it.
+#[derive(Clone)]
 pub struct QueryEngine<'a> {
     train: &'a Table,
     relevant: &'a Table,
-    state: RefCell<EngineState>,
+    shared: Arc<EngineShared>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -137,16 +288,44 @@ impl<'a> QueryEngine<'a> {
     /// indexes and column views are built on first use and memoized for the
     /// lifetime of the engine (one search).
     pub fn new(train: &'a Table, relevant: &'a Table) -> QueryEngine<'a> {
-        QueryEngine { train, relevant, state: RefCell::new(EngineState::default()) }
+        let capacity = default_cache_capacity(train.num_rows());
+        QueryEngine {
+            train,
+            relevant,
+            shared: Arc::new(EngineShared {
+                views: RwLock::new(HashMap::new()),
+                groups: RwLock::new(HashMap::new()),
+                sorted: RwLock::new(HashMap::new()),
+                cats: RwLock::new(HashMap::new()),
+                features: Mutex::new(FeatureCache::new(capacity)),
+                cache_capacity: AtomicUsize::new(capacity),
+                scratch: Mutex::new(Vec::new()),
+                evaluations: AtomicUsize::new(0),
+                cache_hits: AtomicUsize::new(0),
+            }),
+        }
     }
 
-    /// Cache and throughput counters.
+    /// Builder-style override of the feature LRU's capacity (entries; the
+    /// default is sized from the training table so the cache stays within a
+    /// fixed byte budget). `0` disables evaluation-level caching entirely;
+    /// lowering the capacity trims existing entries immediately.
+    pub fn with_feature_cache_capacity(self, capacity: usize) -> QueryEngine<'a> {
+        self.shared.features.lock().expect("feature cache lock").set_capacity(capacity);
+        self.shared.cache_capacity.store(capacity, Ordering::Relaxed);
+        self
+    }
+
+    /// Cache and throughput counters, accumulated across every clone of this
+    /// engine. Counter totals are deterministic for serial use; under batch
+    /// evaluation the split between `feature_cache_hits` and real evaluations
+    /// may vary with scheduling (results never do).
     pub fn stats(&self) -> EngineStats {
-        let st = self.state.borrow();
         EngineStats {
-            evaluations: st.evaluations,
-            group_indexes: st.groups.len(),
-            column_views: st.views.len(),
+            evaluations: self.shared.evaluations.load(Ordering::Relaxed),
+            group_indexes: self.shared.groups.read().expect("groups lock").len(),
+            column_views: self.shared.views.read().expect("views lock").len(),
+            feature_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -154,54 +333,10 @@ impl<'a> QueryEngine<'a> {
     /// table's rows (`None` = SQL NULL), exactly as the reference
     /// execute-then-left-join path would produce.
     pub fn evaluate(&self, query: &PredicateQuery) -> feataug_tabular::Result<Vec<Option<f64>>> {
-        let st = &mut *self.state.borrow_mut();
-        st.evaluations += 1;
-
-        let gi = group_index_cached(st, self.train, self.relevant, &query.group_keys)?;
-        let view = view_cached(st, self.relevant, &query.agg_column)?;
-        let trivial = query.predicate.is_trivial();
-        if !trivial {
-            predicate_mask(st, self.relevant, &query.predicate)?;
-        }
-
-        // The reference path materialises the filtered table, and
-        // `CatColumn::take` re-interns the dictionary — so a categorical
-        // aggregation column's numeric view (its codes) is renumbered by
-        // first appearance among the *surviving* rows. Reproduce that here;
-        // for trivial predicates the reference borrows the unfiltered table
-        // and the cached view already matches.
-        if !trivial {
-            if let Column::Cat(cat) = self.relevant.column(&query.agg_column)? {
-                let EngineState { mask, cat_view, cat_remap, .. } = st;
-                remapped_cat_view(cat, mask, cat_view, cat_remap);
-                let cat_view = std::mem::take(&mut st.cat_view);
-                aggregate_groups(st, &gi, &cat_view, query.agg, trivial);
-                st.cat_view = cat_view;
-            } else {
-                aggregate_groups(st, &gi, &view, query.agg, trivial);
-            }
-        } else {
-            aggregate_groups(st, &gi, &view, query.agg, trivial);
-        }
-
-        // O(train) gather through the precomputed train-row -> group map.
-        // `sel_count > 0` guards against reading stale `group_out` slots of
-        // groups the current query never touched.
-        let mut out = vec![None; self.train.num_rows()];
-        for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
-            if let Some(g) = tg {
-                let g = *g as usize;
-                if st.sel_count[g] > 0 {
-                    *slot = st.group_out[g];
-                }
-            }
-        }
-
-        // Restore the all-zero `sel_count` invariant (O(touched groups)).
-        for &g in &st.touched {
-            st.sel_count[g as usize] = 0;
-        }
-        Ok(out)
+        let mut scratch = self.take_scratch();
+        let result = self.evaluate_cached(&mut scratch, query);
+        self.put_scratch(scratch);
+        result.map(|values| (*values).clone())
     }
 
     /// Evaluate `query` into the NaN-encoded feature vector the search loops
@@ -212,35 +347,367 @@ impl<'a> QueryEngine<'a> {
         let encoded = values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect();
         Ok((query.feature_name(), encoded))
     }
-}
 
-/// Fetch (or build and memoize) the numeric view of a relevant-table column.
-fn view_cached(
-    st: &mut EngineState,
-    table: &Table,
-    column: &str,
-) -> feataug_tabular::Result<Rc<Vec<Option<f64>>>> {
-    if let Some(v) = st.views.get(column) {
-        return Ok(v.clone());
+    /// Evaluate a whole candidate pool, fanning it across [`default_workers`]
+    /// threads. `results[i]` is query `i`'s outcome; values are bit-identical
+    /// to calling [`QueryEngine::evaluate`] serially, at any worker count.
+    pub fn evaluate_batch(
+        &self,
+        queries: &[PredicateQuery],
+    ) -> Vec<feataug_tabular::Result<Vec<Option<f64>>>> {
+        self.evaluate_batch_threads(queries, default_workers())
     }
-    let view = Rc::new(table.column(column)?.to_f64_vec());
-    st.views.insert(column.to_string(), view.clone());
-    Ok(view)
-}
 
-/// Fetch (or build and memoize) the group index for one group-key subset.
-fn group_index_cached(
-    st: &mut EngineState,
-    train: &Table,
-    relevant: &Table,
-    keys: &[String],
-) -> feataug_tabular::Result<Rc<GroupIndex>> {
-    if let Some(gi) = st.groups.get(keys) {
-        return Ok(gi.clone());
+    /// [`QueryEngine::evaluate_batch`] with an explicit worker count
+    /// (clamped to `1..=queries.len()`).
+    pub fn evaluate_batch_threads(
+        &self,
+        queries: &[PredicateQuery],
+        workers: usize,
+    ) -> Vec<feataug_tabular::Result<Vec<Option<f64>>>> {
+        self.batch_arcs(queries, workers)
+            .into_iter()
+            .map(|r| r.map(|values| (*values).clone()))
+            .collect()
     }
-    let gi = Rc::new(build_group_index(train, relevant, keys)?);
-    st.groups.insert(keys.to_vec(), gi.clone());
-    Ok(gi)
+
+    /// [`QueryEngine::evaluate_batch`] returning shared handles instead of
+    /// owned vectors: feature-cache hits cost an `Arc` bump, not an
+    /// O(train-rows) copy. Preferred when the caller only reads the values.
+    pub fn evaluate_batch_shared(
+        &self,
+        queries: &[PredicateQuery],
+    ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
+        self.batch_arcs(queries, default_workers())
+    }
+
+    /// Batch counterpart of [`QueryEngine::feature`]: the candidate pool's
+    /// NaN-encoded feature vectors and names, in input order.
+    pub fn feature_batch(
+        &self,
+        queries: &[PredicateQuery],
+    ) -> Vec<feataug_tabular::Result<(String, Vec<f64>)>> {
+        self.feature_batch_threads(queries, default_workers())
+    }
+
+    /// [`QueryEngine::feature_batch`] with an explicit worker count.
+    pub fn feature_batch_threads(
+        &self,
+        queries: &[PredicateQuery],
+        workers: usize,
+    ) -> Vec<feataug_tabular::Result<(String, Vec<f64>)>> {
+        self.batch_arcs(queries, workers)
+            .into_iter()
+            .zip(queries)
+            .map(|(result, query)| {
+                result.map(|values| {
+                    let encoded = values.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+                    (query.feature_name(), encoded)
+                })
+            })
+            .collect()
+    }
+
+    /// Fan the pool across a scoped worker pool. Work is handed out by an
+    /// atomic cursor (dynamic load balance — order-sensitive aggregates make
+    /// query costs uneven), each worker keeps one scratch for its whole run,
+    /// and every result is scattered back to its input slot, so the output is
+    /// positionally deterministic regardless of scheduling.
+    fn batch_arcs(
+        &self,
+        queries: &[PredicateQuery],
+        workers: usize,
+    ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
+        let workers = workers.max(1).min(queries.len().max(1));
+        if workers == 1 {
+            let mut scratch = self.take_scratch();
+            let out = queries.iter().map(|q| self.evaluate_cached(&mut scratch, q)).collect();
+            self.put_scratch(scratch);
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, feataug_tabular::Result<Arc<Vec<Option<f64>>>>)>> =
+            std::thread::scope(|scope| {
+                let cursor = &cursor;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut scratch = self.take_scratch();
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(query) = queries.get(i) else { break };
+                                local.push((i, self.evaluate_cached(&mut scratch, query)));
+                            }
+                            self.put_scratch(scratch);
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+            });
+        let mut out: Vec<Option<feataug_tabular::Result<Arc<Vec<Option<f64>>>>>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (i, result) in parts.into_iter().flatten() {
+            out[i] = Some(result);
+        }
+        out.into_iter().map(|slot| slot.expect("every query index visited")).collect()
+    }
+
+    fn take_scratch(&self) -> EvalScratch {
+        self.shared.scratch.lock().expect("scratch pool lock").pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&self, scratch: EvalScratch) {
+        self.shared.scratch.lock().expect("scratch pool lock").push(scratch);
+    }
+
+    /// Serve one request: feature-LRU lookup first, full evaluation on miss.
+    /// Only successful evaluations are cached (errors must keep erroring).
+    /// With caching disabled the key rendering and cache lock are skipped
+    /// entirely.
+    fn evaluate_cached(
+        &self,
+        scratch: &mut EvalScratch,
+        query: &PredicateQuery,
+    ) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+        self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
+        if self.shared.cache_capacity.load(Ordering::Relaxed) == 0 {
+            return Ok(Arc::new(self.evaluate_uncached(scratch, query)?));
+        }
+        let key = FeatureCache::key(query);
+        if let Some(hit) = self.shared.features.lock().expect("feature cache lock").get(&key) {
+            self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let values = Arc::new(self.evaluate_uncached(scratch, query)?);
+        self.shared
+            .features
+            .lock()
+            .expect("feature cache lock")
+            .insert(key, values.clone());
+        Ok(values)
+    }
+
+    /// The actual evaluation: predicate mask → grouped aggregation → train
+    /// gather, all against the shared compiled core plus this worker's
+    /// scratch.
+    fn evaluate_uncached(
+        &self,
+        scratch: &mut EvalScratch,
+        query: &PredicateQuery,
+    ) -> feataug_tabular::Result<Vec<Option<f64>>> {
+        let gi = self.group_index(&query.group_keys)?;
+        let view = self.view(&query.agg_column)?;
+        let trivial = query.predicate.is_trivial();
+        if !trivial {
+            let EvalScratch { mask, scratch: tmp, .. } = scratch;
+            self.predicate_mask(&query.predicate, mask, tmp)?;
+        }
+
+        // The reference path materialises the filtered table, and
+        // `CatColumn::take` re-interns the dictionary — so a categorical
+        // aggregation column's numeric view (its codes) is renumbered by
+        // first appearance among the *surviving* rows. Reproduce that here;
+        // for trivial predicates the reference borrows the unfiltered table
+        // and the cached view already matches.
+        if !trivial {
+            if let Column::Cat(cat) = self.relevant.column(&query.agg_column)? {
+                let EvalScratch { mask, cat_view, cat_remap, .. } = scratch;
+                remapped_cat_view(cat, mask, cat_view, cat_remap);
+                let cat_view = std::mem::take(&mut scratch.cat_view);
+                aggregate_groups(scratch, &gi, &cat_view, query.agg, trivial);
+                scratch.cat_view = cat_view;
+            } else {
+                aggregate_groups(scratch, &gi, &view, query.agg, trivial);
+            }
+        } else {
+            aggregate_groups(scratch, &gi, &view, query.agg, trivial);
+        }
+
+        // O(train) gather through the precomputed train-row -> group map.
+        // `sel_count > 0` guards against reading stale `group_out` slots of
+        // groups the current query never touched.
+        let mut out = vec![None; self.train.num_rows()];
+        for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
+            if let Some(g) = tg {
+                let g = *g as usize;
+                if scratch.sel_count[g] > 0 {
+                    *slot = scratch.group_out[g];
+                }
+            }
+        }
+
+        // Restore the all-zero `sel_count` invariant (O(touched groups)).
+        for &g in &scratch.touched {
+            scratch.sel_count[g as usize] = 0;
+        }
+        Ok(out)
+    }
+
+    /// Fetch (or build and memoize) the numeric view of a relevant-table
+    /// column. The artifact is immutable; the lock guards only the memo map.
+    fn view(&self, column: &str) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+        if let Some(v) = self.shared.views.read().expect("views lock").get(column) {
+            return Ok(v.clone());
+        }
+        let built = Arc::new(self.relevant.column(column)?.to_f64_vec());
+        let mut map = self.shared.views.write().expect("views lock");
+        // A racing worker may have inserted first; keep the canonical Arc.
+        Ok(map.entry(column.to_string()).or_insert(built).clone())
+    }
+
+    /// Fetch (or build and memoize) the group index for one group-key subset.
+    fn group_index(&self, keys: &[String]) -> feataug_tabular::Result<Arc<GroupIndex>> {
+        if let Some(gi) = self.shared.groups.read().expect("groups lock").get(keys) {
+            return Ok(gi.clone());
+        }
+        let built = Arc::new(build_group_index(self.train, self.relevant, keys)?);
+        let mut map = self.shared.groups.write().expect("groups lock");
+        Ok(map.entry(keys.to_vec()).or_insert(built).clone())
+    }
+
+    /// Fetch (or build and memoize) the sorted row index for a range column.
+    fn sorted_index(&self, column: &str) -> feataug_tabular::Result<Arc<SortedIndex>> {
+        if let Some(idx) = self.shared.sorted.read().expect("sorted lock").get(column) {
+            return Ok(idx.clone());
+        }
+        let view = self.view(column)?;
+        let mut pairs: Vec<(f64, u32)> = view
+            .iter()
+            .enumerate()
+            .filter_map(|(row, v)| match v {
+                Some(x) if !x.is_nan() => Some((*x, row as u32)),
+                _ => None,
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
+        let built = Arc::new(SortedIndex {
+            vals: pairs.iter().map(|(v, _)| *v).collect(),
+            rows: pairs.iter().map(|(_, r)| *r).collect(),
+        });
+        let mut map = self.shared.sorted.write().expect("sorted lock");
+        Ok(map.entry(column.to_string()).or_insert(built).clone())
+    }
+
+    /// Fetch (or build and memoize) the inverted index for a categorical
+    /// column.
+    fn cat_index(
+        &self,
+        cat: &feataug_tabular::column::CatColumn,
+        column: &str,
+    ) -> Arc<CatIndex> {
+        if let Some(idx) = self.shared.cats.read().expect("cats lock").get(column) {
+            return idx.clone();
+        }
+        let mut rows_by_code = vec![Vec::new(); cat.cardinality()];
+        for (row, code) in cat.codes().iter().enumerate() {
+            if let Some(c) = code {
+                rows_by_code[*c as usize].push(row as u32);
+            }
+        }
+        let built = Arc::new(CatIndex { rows_by_code });
+        let mut map = self.shared.cats.write().expect("cats lock");
+        map.entry(column.to_string()).or_insert(built).clone()
+    }
+
+    /// Evaluate a non-trivial predicate into `mask`, using `tmp` for
+    /// conjunction terms.
+    fn predicate_mask(
+        &self,
+        predicate: &Predicate,
+        mask: &mut SelectionMask,
+        tmp: &mut SelectionMask,
+    ) -> feataug_tabular::Result<()> {
+        match predicate {
+            Predicate::And(parts) => {
+                mask.reset(self.relevant.num_rows(), true);
+                for part in parts {
+                    self.leaf_mask(part, tmp)?;
+                    mask.and_assign(tmp);
+                }
+                Ok(())
+            }
+            leaf => self.leaf_mask(leaf, mask),
+        }
+    }
+
+    /// Evaluate one predicate leaf into `out` through the column indexes: an
+    /// equality or bounded range costs O(matching rows) bit sets instead of a
+    /// full-column scan. Mask membership is identical to the reference
+    /// [`Predicate::evaluate`] leaves, so downstream aggregation is
+    /// unaffected. Recurses for (rare, already-flattened-away) nested `And`s.
+    fn leaf_mask(
+        &self,
+        predicate: &Predicate,
+        out: &mut SelectionMask,
+    ) -> feataug_tabular::Result<()> {
+        let n = self.relevant.num_rows();
+        match predicate {
+            Predicate::True => {
+                out.reset(n, true);
+                Ok(())
+            }
+            Predicate::Eq { column, value } => {
+                let col = self.relevant.column(column)?;
+                match (col, value) {
+                    (Column::Cat(c), Value::Str(s)) => {
+                        let idx = self.cat_index(c, column);
+                        out.reset(n, false);
+                        if let Some(code) = c.code_of(s) {
+                            for &row in &idx.rows_by_code[code as usize] {
+                                out.set(row as usize, true);
+                            }
+                        }
+                    }
+                    // Equality on non-categorical operands (bools, odd manual
+                    // queries) is rare: fall back to the reference scan.
+                    _ => fill_eq(col, value, out),
+                }
+                Ok(())
+            }
+            Predicate::Range { column, low, high } => {
+                let lo = low.as_ref().and_then(|v| v.as_f64());
+                let hi = high.as_ref().and_then(|v| v.as_f64());
+                if lo.is_none() && hi.is_none() {
+                    // Unbounded range keeps every non-null row *including
+                    // NaNs*, which the sorted index deliberately drops: use
+                    // the view.
+                    let view = self.view(column)?;
+                    fill_range_view(&view, None, None, out);
+                    return Ok(());
+                }
+                let idx = self.sorted_index(column)?;
+                // `v < lo` / `v <= hi` are prefix-true over the ascending
+                // values, and a NaN bound satisfies neither (empty
+                // selection), matching the reference comparisons exactly.
+                let start = match lo {
+                    Some(l) => idx.vals.partition_point(|v| *v < l),
+                    None => 0,
+                };
+                let end = match hi {
+                    Some(h) => idx.vals.partition_point(|v| *v <= h),
+                    None => idx.vals.len(),
+                };
+                out.reset(n, false);
+                if let Some(rows) = idx.rows.get(start..end) {
+                    for &row in rows {
+                        out.set(row as usize, true);
+                    }
+                }
+                Ok(())
+            }
+            Predicate::And(parts) => {
+                out.reset(n, true);
+                let mut tmp = SelectionMask::new();
+                for part in parts {
+                    self.leaf_mask(part, &mut tmp)?;
+                    out.and_assign(&tmp);
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 fn build_group_index(
@@ -288,167 +755,6 @@ fn build_group_index(
     Ok(GroupIndex { group_of_row, n_groups, train_group })
 }
 
-/// Evaluate a non-trivial predicate into `st.mask`.
-fn predicate_mask(
-    st: &mut EngineState,
-    relevant: &Table,
-    predicate: &Predicate,
-) -> feataug_tabular::Result<()> {
-    let EngineState { views, sorted, cats, mask, scratch, .. } = st;
-    match predicate {
-        Predicate::And(parts) => {
-            mask.reset(relevant.num_rows(), true);
-            for part in parts {
-                leaf_mask(views, sorted, cats, relevant, part, scratch)?;
-                mask.and_assign(scratch);
-            }
-            Ok(())
-        }
-        leaf => leaf_mask(views, sorted, cats, relevant, leaf, mask),
-    }
-}
-
-/// Fetch (or build and memoize) the sorted row index for a range column.
-fn sorted_index(
-    sorted: &mut HashMap<String, Rc<SortedIndex>>,
-    views: &mut HashMap<String, Rc<Vec<Option<f64>>>>,
-    relevant: &Table,
-    column: &str,
-) -> feataug_tabular::Result<Rc<SortedIndex>> {
-    if let Some(idx) = sorted.get(column) {
-        return Ok(idx.clone());
-    }
-    let view = match views.get(column) {
-        Some(v) => v.clone(),
-        None => {
-            let v = Rc::new(relevant.column(column)?.to_f64_vec());
-            views.insert(column.to_string(), v.clone());
-            v
-        }
-    };
-    let mut pairs: Vec<(f64, u32)> = view
-        .iter()
-        .enumerate()
-        .filter_map(|(row, v)| match v {
-            Some(x) if !x.is_nan() => Some((*x, row as u32)),
-            _ => None,
-        })
-        .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
-    let idx = Rc::new(SortedIndex {
-        vals: pairs.iter().map(|(v, _)| *v).collect(),
-        rows: pairs.iter().map(|(_, r)| *r).collect(),
-    });
-    sorted.insert(column.to_string(), idx.clone());
-    Ok(idx)
-}
-
-/// Fetch (or build and memoize) the inverted index for a categorical column.
-fn cat_index(
-    cats: &mut HashMap<String, Rc<CatIndex>>,
-    cat: &feataug_tabular::column::CatColumn,
-    column: &str,
-) -> Rc<CatIndex> {
-    if let Some(idx) = cats.get(column) {
-        return idx.clone();
-    }
-    let mut rows_by_code = vec![Vec::new(); cat.cardinality()];
-    for (row, code) in cat.codes().iter().enumerate() {
-        if let Some(c) = code {
-            rows_by_code[*c as usize].push(row as u32);
-        }
-    }
-    let idx = Rc::new(CatIndex { rows_by_code });
-    cats.insert(column.to_string(), idx.clone());
-    idx
-}
-
-/// Evaluate one predicate leaf into `out` through the column indexes: an
-/// equality or bounded range costs O(matching rows) bit sets instead of a
-/// full-column scan. Mask membership is identical to the reference
-/// [`Predicate::evaluate`] leaves, so downstream aggregation is unaffected.
-/// Recurses for (rare, already-flattened-away) nested `And`s.
-fn leaf_mask(
-    views: &mut HashMap<String, Rc<Vec<Option<f64>>>>,
-    sorted: &mut HashMap<String, Rc<SortedIndex>>,
-    cats: &mut HashMap<String, Rc<CatIndex>>,
-    relevant: &Table,
-    predicate: &Predicate,
-    out: &mut SelectionMask,
-) -> feataug_tabular::Result<()> {
-    let n = relevant.num_rows();
-    match predicate {
-        Predicate::True => {
-            out.reset(n, true);
-            Ok(())
-        }
-        Predicate::Eq { column, value } => {
-            let col = relevant.column(column)?;
-            match (col, value) {
-                (Column::Cat(c), Value::Str(s)) => {
-                    let idx = cat_index(cats, c, column);
-                    out.reset(n, false);
-                    if let Some(code) = c.code_of(s) {
-                        for &row in &idx.rows_by_code[code as usize] {
-                            out.set(row as usize, true);
-                        }
-                    }
-                }
-                // Equality on non-categorical operands (bools, odd manual
-                // queries) is rare: fall back to the reference scan.
-                _ => fill_eq(col, value, out),
-            }
-            Ok(())
-        }
-        Predicate::Range { column, low, high } => {
-            let lo = low.as_ref().and_then(|v| v.as_f64());
-            let hi = high.as_ref().and_then(|v| v.as_f64());
-            if lo.is_none() && hi.is_none() {
-                // Unbounded range keeps every non-null row *including NaNs*,
-                // which the sorted index deliberately drops: use the view.
-                let view = match views.get(column) {
-                    Some(v) => v.clone(),
-                    None => {
-                        let v = Rc::new(relevant.column(column)?.to_f64_vec());
-                        views.insert(column.clone(), v.clone());
-                        v
-                    }
-                };
-                fill_range_view(&view, None, None, out);
-                return Ok(());
-            }
-            let idx = sorted_index(sorted, views, relevant, column)?;
-            // `v < lo` / `v <= hi` are prefix-true over the ascending values,
-            // and a NaN bound satisfies neither (empty selection), matching
-            // the reference comparisons exactly.
-            let start = match lo {
-                Some(l) => idx.vals.partition_point(|v| *v < l),
-                None => 0,
-            };
-            let end = match hi {
-                Some(h) => idx.vals.partition_point(|v| *v <= h),
-                None => idx.vals.len(),
-            };
-            out.reset(n, false);
-            if let Some(rows) = idx.rows.get(start..end) {
-                for &row in rows {
-                    out.set(row as usize, true);
-                }
-            }
-            Ok(())
-        }
-        Predicate::And(parts) => {
-            out.reset(n, true);
-            let mut tmp = SelectionMask::new();
-            for part in parts {
-                leaf_mask(views, sorted, cats, relevant, part, &mut tmp)?;
-                out.and_assign(&tmp);
-            }
-            Ok(())
-        }
-    }
-}
-
 /// Rebuild the numeric view of a categorical aggregation column the way the
 /// reference path sees it after filtering: `CatColumn::take` re-interns the
 /// dictionary, so codes are renumbered by first appearance among the selected
@@ -483,9 +789,9 @@ fn remapped_cat_view(
     });
 }
 
-/// Aggregate the selected rows' values into `st.group_out` (one
-/// `Option<f64>` per touched group), `st.sel_count` (selected rows per
-/// group) and `st.touched` (the groups hit, in first-touch order).
+/// Aggregate the selected rows' values into `scratch.group_out` (one
+/// `Option<f64>` per touched group), `scratch.sel_count` (selected rows per
+/// group) and `scratch.touched` (the groups hit, in first-touch order).
 ///
 /// Per-group scratch is initialised lazily on first touch, so a selective
 /// query costs O(selected rows + touched groups) regardless of how many
@@ -493,15 +799,15 @@ fn remapped_cat_view(
 /// Values are visited in ascending row order on every path, so
 /// floating-point accumulation matches the reference path bit for bit.
 fn aggregate_groups(
-    st: &mut EngineState,
+    scratch: &mut EvalScratch,
     gi: &GroupIndex,
     view: &[Option<f64>],
     agg: AggFunc,
     trivial: bool,
 ) {
     let n_groups = gi.n_groups;
-    let EngineState { mask, sel_count, touched, nonnull, acc, cursors, scatter, group_out, .. } =
-        st;
+    let EvalScratch { mask, sel_count, touched, nonnull, acc, cursors, scatter, group_out, .. } =
+        scratch;
     // Grow (never shrink) the per-group scratch; `sel_count` is all-zero here
     // by invariant, the rest holds stale values that lazy init overwrites.
     if sel_count.len() < n_groups {
@@ -722,6 +1028,210 @@ mod tests {
         assert_eq!(stats.evaluations, 3);
         assert_eq!(stats.group_indexes, 2, "repeat key subset must hit the cache");
         assert_eq!(stats.column_views, 1);
+        assert_eq!(stats.feature_cache_hits, 1, "the repeated query must hit the feature LRU");
+    }
+
+    #[test]
+    fn feature_cache_hits_return_identical_values_and_errors_are_not_cached() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Median, Predicate::eq("department", "E"), &["cname"]);
+        let first = engine.evaluate(&q).unwrap();
+        let second = engine.evaluate(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().feature_cache_hits, 1);
+
+        let mut bad = q.clone();
+        bad.agg_column = "nope".into();
+        assert!(engine.evaluate(&bad).is_err());
+        assert!(engine.evaluate(&bad).is_err(), "errors must keep erroring, not be cached");
+    }
+
+    #[test]
+    fn feature_cache_evicts_stalest_entry_at_capacity() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant).with_feature_cache_capacity(2);
+        let a = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let b = query(AggFunc::Avg, Predicate::True, &["cname"]);
+        let c = query(AggFunc::Max, Predicate::True, &["cname"]);
+        engine.evaluate(&a).unwrap(); // cache: {a}
+        engine.evaluate(&b).unwrap(); // cache: {a, b}
+        engine.evaluate(&a).unwrap(); // hit; a is now fresher than b
+        engine.evaluate(&c).unwrap(); // evicts b
+        engine.evaluate(&a).unwrap(); // hit
+        engine.evaluate(&b).unwrap(); // miss: was evicted
+        let stats = engine.stats();
+        assert_eq!(stats.feature_cache_hits, 2);
+        assert_eq!(stats.evaluations, 6);
+    }
+
+    /// Regression: the displayed SQL does not escape quotes inside string
+    /// literals, so two *structurally different* queries can render to the
+    /// same text. The feature cache must key on structure, never on the
+    /// rendered SQL, or the second query would be served the first one's
+    /// vector.
+    #[test]
+    fn textually_colliding_queries_do_not_share_a_cache_slot() {
+        let (train, relevant) = (train(), relevant());
+        // A single Eq whose value embeds "' AND ... = '" renders identically
+        // to a two-leaf conjunction.
+        let tricky = query(
+            AggFunc::Sum,
+            Predicate::eq("department", "E' AND mid = 'm1"),
+            &["cname"],
+        );
+        let conjunction = query(
+            AggFunc::Sum,
+            Predicate::and(vec![Predicate::eq("department", "E"), Predicate::eq("mid", "m1")]),
+            &["cname"],
+        );
+        assert_eq!(
+            tricky.to_sql("R"),
+            conjunction.to_sql("R"),
+            "precondition: the rendered SQL must collide for this test to bite"
+        );
+        let engine = QueryEngine::new(&train, &relevant);
+        // No department is literally named "E' AND mid = 'm1": every group is
+        // filtered away.
+        assert_eq!(engine.evaluate(&tricky).unwrap(), vec![None, None, None]);
+        // The conjunction matches row 0 only (cname=a, dept=E, mid=m1).
+        assert_eq!(engine.evaluate(&conjunction).unwrap(), vec![Some(10.0), None, None]);
+        assert_eq!(engine.stats().feature_cache_hits, 0);
+        assert_matches_naive(&conjunction, &train, &relevant);
+    }
+
+    #[test]
+    fn lowering_cache_capacity_trims_existing_entries() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let a = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let b = query(AggFunc::Avg, Predicate::True, &["cname"]);
+        let c = query(AggFunc::Max, Predicate::True, &["cname"]);
+        engine.evaluate(&a).unwrap();
+        engine.evaluate(&b).unwrap();
+        engine.evaluate(&c).unwrap(); // c is the freshest entry
+        let engine = engine.with_feature_cache_capacity(1);
+        assert_eq!(
+            engine.shared.features.lock().unwrap().map.len(),
+            1,
+            "shrinking the capacity must release the trimmed entries"
+        );
+        engine.evaluate(&c).unwrap();
+        assert_eq!(engine.stats().feature_cache_hits, 1, "the freshest entry must survive");
+        engine.evaluate(&a).unwrap();
+        assert_eq!(engine.stats().feature_cache_hits, 1, "stale entries must be gone");
+    }
+
+    #[test]
+    fn default_cache_capacity_scales_down_for_large_tables() {
+        assert_eq!(super::default_cache_capacity(100), MAX_FEATURE_CACHE_ENTRIES);
+        // 1M rows x 16 B = 16 MB per entry: the byte budget allows only 4,
+        // the floor of 16 entries wins (a cache smaller than that is useless).
+        assert_eq!(super::default_cache_capacity(1_000_000), 16);
+        // 100k rows x 16 B = 1.6 MB per entry -> 40 fit the 64 MB budget.
+        let mid = super::default_cache_capacity(100_000);
+        assert!((16..MAX_FEATURE_CACHE_ENTRIES).contains(&mid));
+        assert!(
+            mid * 100_000 * std::mem::size_of::<Option<f64>>() <= super::FEATURE_CACHE_BYTES,
+            "within the clamp, the default capacity must respect the byte budget"
+        );
+        assert!(super::default_cache_capacity(0) >= 16);
+    }
+
+    #[test]
+    fn env_workers_honours_positive_integers_only() {
+        assert_eq!(super::env_workers(Some("4")), Some(4));
+        assert_eq!(super::env_workers(Some("1")), Some(1));
+        assert_eq!(super::env_workers(Some("0")), None, "zero workers is nonsense");
+        assert_eq!(super::env_workers(Some("two")), None);
+        assert_eq!(super::env_workers(Some("")), None);
+        assert_eq!(super::env_workers(None), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_feature_cache() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant).with_feature_cache_capacity(0);
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let first = engine.evaluate(&q).unwrap();
+        assert_eq!(engine.evaluate(&q).unwrap(), first);
+        assert_eq!(engine.stats().feature_cache_hits, 0);
+    }
+
+    #[test]
+    fn clones_share_compiled_core_and_counters() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let clone = engine.clone();
+        engine.evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"])).unwrap();
+        clone.evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"])).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 2, "clones must report combined throughput");
+        assert_eq!(stats.group_indexes, 1, "clones must reuse the same compiled group index");
+        assert_eq!(stats.feature_cache_hits, 1, "clones must share the feature LRU");
+        assert_eq!(engine.stats(), clone.stats());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_serial_at_every_worker_count() {
+        let (train, relevant) = (train(), relevant());
+        let mut pool = Vec::new();
+        let predicates = [
+            Predicate::True,
+            Predicate::eq("department", "E"),
+            Predicate::ge("ts", 250),
+            Predicate::between("pprice", 15.0, 35.0),
+        ];
+        for agg in AggFunc::all() {
+            for predicate in &predicates {
+                pool.push(query(*agg, predicate.clone(), &["cname"]));
+                pool.push(query(*agg, predicate.clone(), &["cname", "mid"]));
+            }
+        }
+        let serial_engine = QueryEngine::new(&train, &relevant);
+        let serial: Vec<_> = pool.iter().map(|q| serial_engine.evaluate(q).unwrap()).collect();
+        for workers in [1, 2, 5, 16] {
+            let engine = QueryEngine::new(&train, &relevant);
+            let batch = engine.evaluate_batch_threads(&pool, workers);
+            assert_eq!(batch.len(), pool.len());
+            for ((got, want), q) in batch.iter().zip(&serial).zip(&pool) {
+                let got = got.as_ref().unwrap();
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want) {
+                    assert_eq!(
+                        g.map(f64::to_bits),
+                        w.map(f64::to_bits),
+                        "workers={workers}: {}",
+                        q.to_sql("R")
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_keeps_input_order_and_reports_per_slot_errors() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let mut bad = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        bad.agg_column = "nope".into();
+        let pool = vec![
+            query(AggFunc::Sum, Predicate::True, &["cname"]),
+            bad,
+            query(AggFunc::Avg, Predicate::True, &["cname"]),
+        ];
+        let results = engine.feature_batch_threads(&pool, 3);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "the failing query's slot must carry its error");
+        assert!(results[2].is_ok());
+        assert_eq!(results[0].as_ref().unwrap().0, pool[0].feature_name());
+        assert_eq!(results[2].as_ref().unwrap().0, pool[2].feature_name());
+    }
+
+    #[test]
+    fn default_workers_is_positive_and_env_overridable() {
+        assert!(default_workers() >= 1);
     }
 
     #[test]
@@ -793,6 +1303,10 @@ mod tests {
             assert_eq!(first, second);
         }
         assert!(engine.stats().group_indexes <= 4, "K has 2 attributes -> at most 3 subsets");
+        assert!(
+            engine.stats().feature_cache_hits >= 60,
+            "every repeat evaluation must be served from the feature LRU"
+        );
     }
 
     #[test]

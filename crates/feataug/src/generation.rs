@@ -15,9 +15,17 @@
 //! `warmup_top_k + search_iters` iterations of plain TPE on the real objective, matching the
 //! paper's fair-comparison protocol.
 //!
-//! Candidate queries are executed through a per-generator [`QueryEngine`], which compiles the
-//! relevant table once (group indexes, train gather maps, column views) and reuses those caches
-//! across every warm-up and search iteration of every template.
+//! Candidate queries are executed through a [`QueryEngine`] — by default a per-generator one,
+//! but [`QueryGenerator::with_engine`] accepts a shared handle so the generator reuses the
+//! group indexes, gather maps, column views and feature LRU the Query Template Identification
+//! component already compiled for the same `(train, relevant)` pair (the pipeline wires this
+//! up). The engine's evaluation-level cache also absorbs TPE's near-duplicate resamples: a
+//! config that decodes to an already-evaluated query skips the whole materialisation.
+//!
+//! The warm-up's top-k selection deduplicates by feature name before ranking: TPE routinely
+//! resamples configs that decode to the same query, and without the dedup each duplicate would
+//! burn one real-model training of the `warmup_top_k` budget while crowding a distinct seed out
+//! of the warm start.
 
 use std::time::{Duration, Instant};
 
@@ -126,8 +134,25 @@ impl<'a> QueryGenerator<'a> {
     /// the first candidate and its caches persist across every `generate` call on this
     /// generator.
     pub fn new(task: &'a AugTask, evaluator: &'a FeatureEvaluator, cfg: SqlGenConfig) -> Self {
-        let engine = QueryEngine::new(&task.train, &task.relevant);
+        Self::with_engine(task, evaluator, cfg, QueryEngine::new(&task.train, &task.relevant))
+    }
+
+    /// Build a generator that evaluates candidates through `engine` — a (clone of a) shared
+    /// [`QueryEngine`] compiled over the *same* `(train, relevant)` pair as `task`, so the
+    /// compiled group indexes, column views and cached feature vectors of other components are
+    /// reused instead of rebuilt.
+    pub fn with_engine(
+        task: &'a AugTask,
+        evaluator: &'a FeatureEvaluator,
+        cfg: SqlGenConfig,
+        engine: QueryEngine<'a>,
+    ) -> Self {
         QueryGenerator { task, evaluator, cfg, engine }
+    }
+
+    /// The execution engine this generator evaluates candidates through.
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
     }
 
     /// The configuration in use.
@@ -177,9 +202,7 @@ impl<'a> QueryGenerator<'a> {
         if self.cfg.enable_warmup {
             let start = Instant::now();
             let mut proxy_tpe = Tpe::new(codec.space().clone(), self.cfg.tpe.clone());
-            // (config, proxy loss, query, feature name, feature values)
-            let mut proxy_trials: Vec<(Config, f64, PredicateQuery, String, Vec<f64>)> =
-                Vec::new();
+            let mut proxy_trials: Vec<ProxyTrial> = Vec::new();
             for _ in 0..self.cfg.warmup_iters {
                 let config = proxy_tpe.suggest(&mut rng);
                 let query = codec.decode(&config);
@@ -197,8 +220,7 @@ impl<'a> QueryGenerator<'a> {
 
             // Evaluate the top-k proxy queries with the real model and keep them as warm
             // observations for the second phase.
-            proxy_trials.sort_by(|a, b| a.1.total_cmp(&b.1));
-            proxy_trials.truncate(self.cfg.warmup_top_k);
+            let proxy_trials = warmup_top_k(proxy_trials, self.cfg.warmup_top_k);
             for (config, _proxy_loss, query, name, feature) in proxy_trials {
                 let loss = self.evaluator.loss_with_feature(&name, &feature);
                 warm_observations.push((config, loss));
@@ -239,6 +261,31 @@ impl<'a> QueryGenerator<'a> {
     }
 }
 
+/// One warm-up proxy trial: (config, proxy loss, decoded query, feature name, feature values).
+type ProxyTrial = (Config, f64, PredicateQuery, String, Vec<f64>);
+
+/// Rank the warm-up's proxy trials by ascending proxy loss and keep the best `k` with
+/// *distinct* feature names.
+///
+/// TPE resamples configurations, and distinct configurations can decode to the same query, so
+/// `trials` routinely holds several entries with one feature name. A plain
+/// `sort + truncate(k)` would spend one real-model training of the warm-start budget on every
+/// duplicate — and crowd a distinct seed out of the top-k — for zero extra information, since
+/// the duplicate's feature (and therefore its real loss) is identical.
+fn warmup_top_k(mut trials: Vec<ProxyTrial>, k: usize) -> Vec<ProxyTrial> {
+    trials.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut out: Vec<ProxyTrial> = Vec::with_capacity(k.min(trials.len()));
+    for trial in trials {
+        if out.len() >= k {
+            break;
+        }
+        if !out.iter().any(|kept| kept.3 == trial.3) {
+            out.push(trial);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +313,44 @@ mod tests {
             vec!["department".into(), "timestamp".into()],
             task.key_columns.clone(),
         )
+    }
+
+    fn trial(name: &str, proxy_loss: f64) -> ProxyTrial {
+        let query = PredicateQuery {
+            agg: AggFunc::Sum,
+            agg_column: "x".into(),
+            predicate: feataug_tabular::Predicate::True,
+            group_keys: vec!["k".into()],
+        };
+        (Vec::new(), proxy_loss, query, name.to_string(), vec![1.0])
+    }
+
+    /// Regression: TPE resamples configs decoding to the same query, and the warm-up's top-k
+    /// must not spend its real-model budget on those duplicates (or let them crowd distinct
+    /// seeds out of the warm start).
+    #[test]
+    fn warmup_top_k_dedups_by_feature_name_before_truncating() {
+        let trials = vec![
+            trial("f_a", -0.9),
+            trial("f_a", -0.8), // duplicate of the best query under another config
+            trial("f_b", -0.7),
+            trial("f_a", -0.6), // and another
+            trial("f_c", -0.5),
+            trial("f_d", -0.4),
+        ];
+        let kept = warmup_top_k(trials, 3);
+        let names: Vec<&str> = kept.iter().map(|t| t.3.as_str()).collect();
+        // Distinct names, best proxy loss first; f_c replaces the duplicates
+        // that sort+truncate(3) would have kept.
+        assert_eq!(names, vec!["f_a", "f_b", "f_c"]);
+        assert!(kept.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn warmup_top_k_handles_fewer_distinct_names_than_k() {
+        let kept = warmup_top_k(vec![trial("f_a", -0.2), trial("f_a", -0.1)], 5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].1, -0.2, "the duplicate kept must be the best-ranked one");
     }
 
     #[test]

@@ -29,21 +29,26 @@
 //!
 //! ## The query execution engine
 //!
-//! Both search components funnel every candidate through [`exec::QueryEngine`], a compiled,
-//! cache-reusing evaluator built once per `(train, relevant)` pair. Its caching model:
+//! Both search components funnel every candidate through **one shared** [`exec::QueryEngine`]
+//! per `(train, relevant)` pair — a compiled, cache-reusing, thread-parallel evaluator. Its
+//! immutable compiled core (shared by every handle and worker thread):
 //!
 //! * a **group index per group-key subset** `k ⊆ K` — dense group ids over the relevant table
 //!   plus a train-row → group gather map with categorical dictionary codes translated between
 //!   the tables once (no joins, no string keys at evaluation time);
-//! * a **numeric view per column** touched by aggregations or range predicates;
-//! * a reusable **selection bitmask** for predicate results (no filtered-table
-//!   materialisation), and
-//! * **single-pass streaming aggregation** into per-group accumulators.
+//! * a **numeric view per column** touched by aggregations or range predicates, plus sorted /
+//!   inverted predicate indexes;
+//! * an **evaluation-level feature LRU**: TPE's near-duplicate resamples skip whole
+//!   evaluations.
 //!
-//! Everything is memoized for the engine's lifetime, so the marginal cost of one candidate is a
-//! predicate scan plus an O(n) aggregate-and-gather. The engine's output is bit-for-bit
-//! identical to the reference path ([`query::PredicateQuery::augment`]), which stays in place as
-//! the semantic specification and is enforced by a property test over randomized query pools.
+//! Per-worker scratch (selection bitmasks, aggregation buffers) lives in a pool, and
+//! [`exec::QueryEngine::evaluate_batch`] fans candidate pools across a
+//! [`std::thread::scope`]-based worker pool. The engine is `Clone` — clones are cheap handles
+//! onto the same caches, which is how the pipeline shares one engine across QTI, generation and
+//! the baselines. Output is bit-for-bit identical to the reference path
+//! ([`query::PredicateQuery::augment`]) at any thread count; the reference stays in place as
+//! the semantic specification and the equivalence is enforced by property tests over randomized
+//! query pools at several worker counts.
 //!
 //! ## Quickstart
 //!
@@ -74,7 +79,7 @@ pub mod query;
 pub mod template;
 pub mod template_id;
 
-pub use exec::QueryEngine;
+pub use exec::{default_workers, EngineStats, QueryEngine};
 pub use pipeline::{FeatAug, FeatAugConfig, FeatAugResult};
 pub use problem::AugTask;
 pub use proxy::LowCostProxy;

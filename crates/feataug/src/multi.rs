@@ -8,6 +8,11 @@
 //! * **deep-layer relationships** (a relevant table that itself points at further tables, e.g.
 //!   orders → products → departments) — pre-join the chain into a single relevant table
 //!   ([`flatten_chain`]), exactly as the paper's Tmall / Instacart / Merchant preparation does.
+//!
+//! Each source's pipeline run compiles **one** shared [`crate::exec::QueryEngine`] for its
+//! `(train, relevant)` pair — QTI and generation both evaluate through it — and reports the
+//! engine's cache counters in its [`FeatAugResult::engine_stats`]. Engines are per-pair by
+//! construction, so distinct sources (distinct relevant tables) get distinct engines.
 
 use feataug_ml::Task;
 use feataug_tabular::join::left_join;
@@ -206,6 +211,8 @@ mod tests {
         // Features from both sources contribute.
         assert!(result.per_source.iter().all(|r| !r.feature_names.is_empty()));
         assert!(result.timing.total() > std::time::Duration::from_nanos(0));
+        // Every source's run shared one engine across QTI + generation.
+        assert!(result.per_source.iter().all(|r| r.engine_stats.evaluations > 0));
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! table. The ablation flags map one-to-one onto the paper's Table VII rows: `enable_qti = false`
 //! is "NoQTI", `enable_warmup = false` is "NoWU".
 //!
-//! Both components evaluate their candidates through a [`crate::exec::QueryEngine`] compiled
-//! once per component: the identifier's engine serves every beam-search node, and the
-//! generator's engine serves the warm-up and TPE loops of *all* templates, so group indexes and
-//! column views built for one template's pool are reused by the next.
+//! Both components evaluate their candidates through **one shared
+//! [`QueryEngine`]** compiled per pipeline run (i.e. per `(train, relevant)`
+//! pair): the identifier scores every beam-search node through it, and the
+//! generator's warm-up and TPE loops of *all* templates then reuse the group
+//! indexes, gather maps, column views and cached feature vectors beam search
+//! already built. [`FeatAugResult::engine_stats`] exposes the cross-component
+//! cache reuse; batch evaluation inside the engine fans candidate pools
+//! across a [`std::thread::scope`]-based worker pool (see [`crate::exec`]).
 
 use std::time::Duration;
 
@@ -17,6 +21,7 @@ use feataug_ml::ModelKind;
 use feataug_tabular::{AggFunc, Column, Table};
 
 use crate::evaluation::FeatureEvaluator;
+use crate::exec::{EngineStats, QueryEngine};
 use crate::generation::{GeneratedQuery, QueryGenerator, SqlGenConfig};
 use crate::problem::AugTask;
 use crate::proxy::LowCostProxy;
@@ -152,6 +157,9 @@ pub struct FeatAugResult {
     pub feature_names: Vec<String>,
     /// Wall-clock breakdown.
     pub timing: PipelineTiming,
+    /// Counters of the run's shared execution engine (one engine served both
+    /// QTI and generation, so these show the cross-component cache reuse).
+    pub engine_stats: EngineStats,
 }
 
 /// The FeatAug system.
@@ -176,13 +184,23 @@ impl FeatAug {
         let evaluator = FeatureEvaluator::new(task, self.cfg.model, self.cfg.seed);
         let mut timing = PipelineTiming::default();
 
+        // One execution engine per run: QTI compiles group indexes / views
+        // while scoring beam nodes, and the generator's search loops reuse
+        // them through the cloned handle below.
+        let engine = QueryEngine::new(&task.train, &task.relevant);
+
         // ---- Query Template Identification ------------------------------------------------
         let templates: Vec<ScoredTemplate> = if self.cfg.enable_qti {
             let mut ti_cfg = self.cfg.template_id.clone();
             ti_cfg.n_templates = self.cfg.n_templates;
             ti_cfg.proxy = self.cfg.proxy;
-            let identifier =
-                TemplateIdentifier::new(task, &evaluator, self.cfg.agg_funcs.clone(), ti_cfg);
+            let identifier = TemplateIdentifier::with_engine(
+                task,
+                &evaluator,
+                self.cfg.agg_funcs.clone(),
+                ti_cfg,
+                engine.clone(),
+            );
             let (templates, qti_time, _) = identifier.identify();
             timing.qti = qti_time;
             templates
@@ -204,15 +222,13 @@ impl FeatAug {
         let mut sql_cfg = self.cfg.sqlgen.clone();
         sql_cfg.enable_warmup = self.cfg.enable_warmup;
         sql_cfg.proxy = self.cfg.proxy;
-        let generator = QueryGenerator::new(task, &evaluator, sql_cfg);
+        let generator = QueryGenerator::with_engine(task, &evaluator, sql_cfg, engine.clone());
 
-        // Keep the total feature budget comparable across ablations: without QTI the single
-        // template's pool yields the whole budget.
-        let per_template = if templates.len() <= 1 {
-            self.cfg.n_templates * self.cfg.queries_per_template
-        } else {
-            self.cfg.queries_per_template
-        };
+        let per_template = per_template_budget(
+            self.cfg.enable_qti,
+            self.cfg.n_templates,
+            self.cfg.queries_per_template,
+        );
 
         let mut queries: Vec<GeneratedQuery> = Vec::new();
         for scored in &templates {
@@ -238,7 +254,31 @@ impl FeatAug {
             }
         }
 
-        FeatAugResult { augmented_train: augmented, queries, templates, feature_names, timing }
+        FeatAugResult {
+            augmented_train: augmented,
+            queries,
+            templates,
+            feature_names,
+            timing,
+            engine_stats: engine.stats(),
+        }
+    }
+}
+
+/// The feature budget each searched template's pool yields.
+///
+/// The NoQTI ablation runs a single template whose pool must yield the whole
+/// `n_templates * queries_per_template` budget to stay comparable with the
+/// full system. The inflation is keyed off the ablation flag itself — NOT off
+/// the number of templates found — because QTI legitimately returns a single
+/// promising template on small attribute sets, and inflating *that* run's
+/// budget would silently hand it `n_templates`× the features of an
+/// equally-configured multi-template run.
+fn per_template_budget(enable_qti: bool, n_templates: usize, queries_per_template: usize) -> usize {
+    if enable_qti {
+        queries_per_template
+    } else {
+        n_templates * queries_per_template
     }
 }
 
@@ -304,6 +344,56 @@ mod tests {
             "augmentation should clearly beat the near-chance base: base {} vs aug {}",
             base.value,
             aug.value
+        );
+    }
+
+    /// Regression: the budget inflation must key off the NoQTI ablation flag, not off how many
+    /// templates were found — QTI legitimately identifying a single promising template must NOT
+    /// silently balloon the feature budget `n_templates`×.
+    #[test]
+    fn budget_inflation_keys_off_qti_flag_not_template_count() {
+        // QTI enabled: per-template budget stays fixed even when only one template survives.
+        assert_eq!(per_template_budget(true, 8, 5), 5);
+        assert_eq!(per_template_budget(true, 8, 1), 1);
+        // NoQTI ablation: the single full template's pool yields the whole budget.
+        assert_eq!(per_template_budget(false, 8, 5), 40);
+        assert_eq!(per_template_budget(false, 4, 3), 12);
+    }
+
+    /// Regression (behavioural): a QTI run that identifies exactly one template must attach at
+    /// most `queries_per_template` features from it, not the inflated NoQTI budget.
+    #[test]
+    fn single_identified_template_keeps_per_template_budget() {
+        let task = tmall_task();
+        let mut cfg = tiny_cfg(ModelKind::Linear);
+        // Force QTI to return exactly one template.
+        cfg.n_templates = 1;
+        cfg.template_id.n_templates = 1;
+        cfg.queries_per_template = 2;
+        let result = FeatAug::new(cfg).augment(&task);
+        assert_eq!(result.templates.len(), 1);
+        assert!(
+            result.queries.len() <= 2,
+            "QTI run with one template must keep the per-template budget, got {} queries",
+            result.queries.len()
+        );
+    }
+
+    #[test]
+    fn one_engine_serves_qti_and_generation() {
+        let task = tmall_task();
+        let result = FeatAug::new(tiny_cfg(ModelKind::Linear)).augment(&task);
+        let stats = result.engine_stats;
+        // Beam search alone evaluates pool_samples per node; generation adds its warm-up and
+        // search iterations on top. A per-component engine would reset these counters.
+        assert!(
+            stats.evaluations > 0 && stats.group_indexes >= 1 && stats.column_views >= 1,
+            "shared engine saw no work: {stats:?}"
+        );
+        let qti_only_evals = 12; // pool_samples per node, at least one node
+        assert!(
+            stats.evaluations > qti_only_evals,
+            "generation must evaluate through the same engine as QTI ({stats:?})"
         );
     }
 

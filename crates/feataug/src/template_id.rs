@@ -17,7 +17,10 @@
 //!
 //! Every pool sample is executed through a shared [`QueryEngine`], so beam-search scoring pays
 //! the table-compilation cost (group indexes, gather maps, column views) once per search rather
-//! than once per sampled query.
+//! than once per sampled query. Each node's pool samples are materialised through the engine's
+//! batch API ([`QueryEngine::feature_batch`]), fanning them across the worker pool, and
+//! [`TemplateIdentifier::with_engine`] accepts a shared engine handle so the SQL Query
+//! Generation component that runs next reuses everything this component compiled.
 
 use std::time::{Duration, Instant};
 
@@ -33,7 +36,7 @@ use crate::evaluation::FeatureEvaluator;
 use crate::exec::QueryEngine;
 use crate::problem::AugTask;
 use crate::proxy::LowCostProxy;
-use crate::query::QueryCodec;
+use crate::query::{PredicateQuery, QueryCodec};
 use crate::template::QueryTemplate;
 
 /// Configuration of the Query Template Identification component.
@@ -114,8 +117,25 @@ impl<'a> TemplateIdentifier<'a> {
         agg_funcs: Vec<AggFunc>,
         cfg: TemplateIdConfig,
     ) -> Self {
-        let engine = QueryEngine::new(&task.train, &task.relevant);
+        Self::with_engine(task, evaluator, agg_funcs, cfg, QueryEngine::new(&task.train, &task.relevant))
+    }
+
+    /// Build an identifier that scores pool samples through `engine` — a (clone of a) shared
+    /// [`QueryEngine`] compiled over the *same* `(train, relevant)` pair as `task`, so later
+    /// components reuse the group indexes and column views beam search compiles here.
+    pub fn with_engine(
+        task: &'a AugTask,
+        evaluator: &'a FeatureEvaluator,
+        agg_funcs: Vec<AggFunc>,
+        cfg: TemplateIdConfig,
+        engine: QueryEngine<'a>,
+    ) -> Self {
         TemplateIdentifier { task, evaluator, agg_funcs, cfg, engine }
+    }
+
+    /// The execution engine this identifier scores pool samples through.
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
     }
 
     /// Build the template whose `WHERE` combination is `attrs`.
@@ -130,17 +150,22 @@ impl<'a> TemplateIdentifier<'a> {
 
     /// Estimate the effectiveness of one attribute combination by sampling its query pool.
     /// Higher is better.
+    ///
+    /// All pool samples are drawn first (so the RNG stream is identical to the serial
+    /// formulation), then materialised in one [`QueryEngine::feature_batch`] fan-out; scoring
+    /// (proxy, or real model when Optimization 1 is off) stays serial and order-stable.
     pub fn node_effectiveness(&self, attrs: &[String], rng: &mut StdRng) -> f64 {
         let template = self.make_template(attrs);
         let Ok(codec) = QueryCodec::build(&template, &self.task.relevant) else {
             return f64::NEG_INFINITY;
         };
         let labels = self.task.labels();
+        let queries: Vec<PredicateQuery> = (0..self.cfg.pool_samples.max(1))
+            .map(|_| codec.decode(&codec.space().sample(rng)))
+            .collect();
         let mut best = f64::NEG_INFINITY;
-        for _ in 0..self.cfg.pool_samples.max(1) {
-            let config = codec.space().sample(rng);
-            let query = codec.decode(&config);
-            let Ok((name, feature)) = self.engine.feature(&query) else {
+        for materialised in self.engine.feature_batch(&queries) {
+            let Ok((name, feature)) = materialised else {
                 continue;
             };
             if feature.iter().all(|v| !v.is_finite()) {

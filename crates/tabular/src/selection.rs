@@ -225,6 +225,16 @@ pub fn select_into(table: &Table, predicate: &Predicate, mask: &mut SelectionMas
 mod tests {
     use super::*;
 
+    /// Masks are the per-worker scratch of the parallel query engine: they
+    /// must stay plain data, movable into and shareable across worker
+    /// threads. Compile-time check — an interior `Rc`/`RefCell` regression
+    /// would fail here before it fails in the engine.
+    #[test]
+    fn selection_mask_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SelectionMask>();
+    }
+
     fn logs() -> Table {
         let mut t = Table::new("logs");
         t.add_column("dept", Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]))

@@ -102,6 +102,70 @@ proptest! {
         }
     }
 
+    /// Parallel batch evaluation must be bit-identical — NULL/NaN placement included — to the
+    /// serial engine AND to the naive `PredicateQuery::augment` reference, at every worker
+    /// count, over randomized query pools on arbitrary generated datasets. Pools are sampled
+    /// with repetition-prone codecs, so the engine's feature LRU is exercised too.
+    #[test]
+    fn batch_evaluation_is_bit_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        dataset_idx in 0usize..4,
+        n_queries in 4usize..16,
+    ) {
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+        let pool: Vec<_> =
+            (0..n_queries).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect();
+
+        // Reference values via the naive execute-then-left-join path.
+        let reference: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|q| {
+                let (augmented, fname) = q.augment(&task.train, &task.relevant).unwrap();
+                feature_vector(&augmented, &fname)
+            })
+            .collect();
+
+        // Serial engine path.
+        let serial_engine = QueryEngine::new(&task.train, &task.relevant);
+        let serial: Vec<(String, Vec<f64>)> =
+            pool.iter().map(|q| serial_engine.feature(q).unwrap()).collect();
+
+        for workers in [1usize, 2, 5] {
+            let engine = QueryEngine::new(&task.train, &task.relevant);
+            let batch = engine.feature_batch_threads(&pool, workers);
+            prop_assert_eq!(batch.len(), pool.len());
+            for (i, result) in batch.into_iter().enumerate() {
+                let (batch_name, batch_vals) = result.unwrap();
+                prop_assert_eq!(&batch_name, &serial[i].0);
+                prop_assert_eq!(batch_vals.len(), reference[i].len());
+                for (row, b) in batch_vals.iter().enumerate() {
+                    let s = serial[i].1[row];
+                    let r = reference[i][row];
+                    prop_assert_eq!(
+                        b.to_bits(), s.to_bits(),
+                        "workers={}: row {} of `{}` differs from serial engine ({} vs {})",
+                        workers, row, pool[i].to_sql("R"), b, s
+                    );
+                    prop_assert_eq!(
+                        b.to_bits(), r.to_bits(),
+                        "workers={}: row {} of `{}` differs from naive reference ({} vs {})",
+                        workers, row, pool[i].to_sql("R"), b, r
+                    );
+                }
+            }
+        }
+    }
+
     /// Encoding any generated training table yields a dataset with consistent shapes, and the
     /// evaluation protocol returns a metric within its valid range.
     #[test]
