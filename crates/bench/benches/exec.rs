@@ -10,7 +10,12 @@ use feataug_datagen::{tmall, GenConfig};
 use feataug_tabular::{AggFunc, Predicate};
 
 fn bench_exec(c: &mut Criterion) {
-    let ds = tmall::generate(&GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 });
+    let ds = tmall::generate(&GenConfig {
+        n_entities: 800,
+        fanout: 12,
+        n_noise_cols: 1,
+        seed: 3,
+    });
     let template = QueryTemplate::new(
         vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max],
         ds.agg_columns.clone(),
@@ -53,7 +58,15 @@ fn bench_exec(c: &mut Criterion) {
         group_keys: ds.key_columns.clone(),
     };
     c.bench_function("exec/naive_trivial_predicate", |b| {
-        b.iter(|| black_box(trivial.augment(&ds.train, &ds.relevant).unwrap().0.num_rows()))
+        b.iter(|| {
+            black_box(
+                trivial
+                    .augment(&ds.train, &ds.relevant)
+                    .unwrap()
+                    .0
+                    .num_rows(),
+            )
+        })
     });
     c.bench_function("exec/engine_trivial_predicate_warm", |b| {
         b.iter(|| black_box(engine.feature(&trivial).unwrap().1.len()))
@@ -64,7 +77,9 @@ fn bench_exec(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(11);
-    let pool: Vec<_> = (0..64).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect();
+    let pool: Vec<_> = (0..64)
+        .map(|_| codec.decode(&codec.space().sample(&mut rng)))
+        .collect();
     let mut next = 0usize;
     c.bench_function("exec/engine_mixed_pool_warm", |b| {
         b.iter(|| {

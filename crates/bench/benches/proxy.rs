@@ -12,7 +12,12 @@ use feataug_ml::{ModelKind, Task};
 fn bench_proxy(c: &mut Criterion) {
     let ds = build_task_with(
         "tmall",
-        &GenConfig { n_entities: 600, fanout: 10, n_noise_cols: 1, seed: 3 },
+        &GenConfig {
+            n_entities: 600,
+            fanout: 10,
+            n_noise_cols: 1,
+            seed: 3,
+        },
     );
     let labels = ds.task.labels();
     let feature: Vec<f64> = labels

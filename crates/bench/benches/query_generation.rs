@@ -16,7 +16,12 @@ use feataug_tabular::AggFunc;
 fn bench_generation(c: &mut Criterion) {
     let ds = build_task_with(
         "tmall",
-        &GenConfig { n_entities: 400, fanout: 10, n_noise_cols: 1, seed: 3 },
+        &GenConfig {
+            n_entities: 400,
+            fanout: 10,
+            n_noise_cols: 1,
+            seed: 3,
+        },
     );
     let task = &ds.task;
     let template = QueryTemplate::new(
@@ -32,7 +37,13 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| {
             let config = codec.space().sample(&mut rng);
             let query = codec.decode(&config);
-            black_box(query.augment(&task.train, &task.relevant).unwrap().0.num_rows())
+            black_box(
+                query
+                    .augment(&task.train, &task.relevant)
+                    .unwrap()
+                    .0
+                    .num_rows(),
+            )
         })
     });
 

@@ -10,7 +10,12 @@ use feataug_tabular::join::left_join;
 use feataug_tabular::{AggFunc, Predicate};
 
 fn bench_tabular(c: &mut Criterion) {
-    let ds = tmall::generate(&GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 });
+    let ds = tmall::generate(&GenConfig {
+        n_entities: 800,
+        fanout: 12,
+        n_noise_cols: 1,
+        seed: 3,
+    });
     let relevant = &ds.relevant;
     let train = &ds.train;
     let keys: Vec<&str> = ds.key_columns.iter().map(|s| s.as_str()).collect();
@@ -56,7 +61,13 @@ fn bench_tabular(c: &mut Criterion) {
 
     let features = group_by_aggregate(relevant, &keys, AggFunc::Avg, "pprice", "f").unwrap();
     c.bench_function("tabular/left_join_features", |b| {
-        b.iter(|| black_box(left_join(train, &features, &keys, &keys).unwrap().num_rows()))
+        b.iter(|| {
+            black_box(
+                left_join(train, &features, &keys, &keys)
+                    .unwrap()
+                    .num_rows(),
+            )
+        })
     });
 }
 

@@ -14,7 +14,12 @@ use feataug_tabular::AggFunc;
 fn bench_template_id(c: &mut Criterion) {
     let ds = build_task_with(
         "student",
-        &GenConfig { n_entities: 300, fanout: 8, n_noise_cols: 1, seed: 3 },
+        &GenConfig {
+            n_entities: 300,
+            fanout: 8,
+            n_noise_cols: 1,
+            seed: 3,
+        },
     );
     let task = &ds.task;
     let evaluator = FeatureEvaluator::new(task, ModelKind::Linear, 3);

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p feataug-bench --bin bench_exec`
 //!
-//! Three candidate pools are measured, each through three paths — the
+//! Six candidate pools are measured, each through three paths — the
 //! reference `PredicateQuery::augment` path, the compiled [`QueryEngine`]
 //! evaluating serially, and the engine's thread-parallel
 //! [`QueryEngine::feature_batch`] at [`feataug::default_workers`] workers
@@ -15,13 +15,21 @@
 //!   (`FeatAugConfig::fast`'s set). This is the headline number: it isolates
 //!   the evaluation machinery (filter, group, join vs. mask, gather) that the
 //!   engine replaces.
-//! * `all_aggs` — random queries over all fifteen functions. The
-//!   order-sensitive functions (`MEDIAN`, `ENTROPY`, ...) spend most of their
-//!   time inside `AggFunc::apply`, a cost both paths share bit-for-bit, so
-//!   the ratio here is structurally smaller.
+//! * `all_aggs` — random queries over all fifteen functions.
+//! * `order_stats` — random queries over the order-statistic family
+//!   (`MEDIAN`, `MAD`, `MODE`, `ENTROPY`, `COUNT_DISTINCT`): the reference
+//!   path pays a copy + sort per candidate group, the engine merges
+//!   selections out of its memoized sorted-group value index. Recorded as
+//!   the top-level `order_stat_speedup`.
+//! * `moments` — random queries over the two-pass moment family (`VAR`,
+//!   `VAR_SAMPLE`, `STD`, `STD_SAMPLE`, `KURTOSIS`), streamed without
+//!   per-group value buffers. Recorded as the top-level `moment_speedup`.
 //! * `dfs_trivial` — trivial-predicate, full-key queries (the Featuretools
 //!   pool shape): the reference path clones and re-groups the whole table,
 //!   the engine gathers from its cached index.
+//! * `order_trivial` — trivial-predicate order statistics: every candidate
+//!   reads its groups' memoized pre-sorted runs in place, no copy and no
+//!   per-candidate sort at all.
 //!
 //! `batch_speedup` is batch-vs-naive (same baseline as `speedup`);
 //! `batch_vs_engine` isolates what threading adds over the serial engine and
@@ -62,7 +70,11 @@ impl PoolResult {
     }
 }
 
-fn sample_pool(aggs: &[AggFunc], ds: &feataug_datagen::SyntheticDataset, seed: u64) -> Vec<PredicateQuery> {
+fn sample_pool(
+    aggs: &[AggFunc],
+    ds: &feataug_datagen::SyntheticDataset,
+    seed: u64,
+) -> Vec<PredicateQuery> {
     let template = QueryTemplate::new(
         aggs.to_vec(),
         ds.agg_columns.clone(),
@@ -71,7 +83,9 @@ fn sample_pool(aggs: &[AggFunc], ds: &feataug_datagen::SyntheticDataset, seed: u
     );
     let codec = QueryCodec::build(&template, &ds.relevant).expect("codec over tmall");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..N_QUERIES).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect()
+    (0..N_QUERIES)
+        .map(|_| codec.decode(&codec.space().sample(&mut rng)))
+        .collect()
 }
 
 fn time_pool(
@@ -112,8 +126,14 @@ fn time_pool(
         }
         batch_best = batch_best.min(start.elapsed().as_nanos() as f64 / pool.len() as f64);
     }
-    assert_eq!(naive_checksum, engine_checksum, "{name}: paths did different work");
-    assert_eq!(naive_checksum, batch_checksum, "{name}: batch path did different work");
+    assert_eq!(
+        naive_checksum, engine_checksum,
+        "{name}: paths did different work"
+    );
+    assert_eq!(
+        naive_checksum, batch_checksum,
+        "{name}: batch path did different work"
+    );
     PoolResult {
         name,
         naive_us: naive_best / 1e3,
@@ -123,12 +143,39 @@ fn time_pool(
 }
 
 fn main() {
-    let gen_cfg = GenConfig { n_entities: 800, fanout: 12, n_noise_cols: 1, seed: 3 };
+    let gen_cfg = GenConfig {
+        n_entities: 800,
+        fanout: 12,
+        n_noise_cols: 1,
+        seed: 3,
+    };
     let ds = tmall::generate(&gen_cfg);
     let workers = feataug::default_workers();
 
     let basic = sample_pool(AggFunc::basic(), &ds, 11);
     let all = sample_pool(AggFunc::all(), &ds, 12);
+    let order_stats = sample_pool(
+        &[
+            AggFunc::Median,
+            AggFunc::Mad,
+            AggFunc::Mode,
+            AggFunc::Entropy,
+            AggFunc::CountDistinct,
+        ],
+        &ds,
+        13,
+    );
+    let moments = sample_pool(
+        &[
+            AggFunc::Var,
+            AggFunc::VarSample,
+            AggFunc::Std,
+            AggFunc::StdSample,
+            AggFunc::Kurtosis,
+        ],
+        &ds,
+        14,
+    );
     let mut dfs: Vec<PredicateQuery> = Vec::new();
     for &agg in AggFunc::basic() {
         for col in &ds.agg_columns {
@@ -140,11 +187,46 @@ fn main() {
             });
         }
     }
+    // Trivial-predicate order statistics (the Featuretools pool shape for the
+    // expensive half of Table II): each candidate reads its groups' memoized
+    // pre-sorted runs in place — the shape where the order index pays most.
+    let mut order_trivial: Vec<PredicateQuery> = Vec::new();
+    for &agg in &[
+        AggFunc::Median,
+        AggFunc::Mad,
+        AggFunc::Mode,
+        AggFunc::Entropy,
+        AggFunc::CountDistinct,
+    ] {
+        for col in &ds.agg_columns {
+            order_trivial.push(PredicateQuery {
+                agg,
+                agg_column: col.clone(),
+                predicate: Predicate::True,
+                group_keys: ds.key_columns.clone(),
+            });
+        }
+    }
 
     let results = [
         time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
         time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
+        time_pool(
+            "order_stats",
+            &order_stats,
+            &ds.train,
+            &ds.relevant,
+            workers,
+        ),
+        time_pool("moments", &moments, &ds.train, &ds.relevant, workers),
         time_pool("dfs_trivial", &dfs, &ds.train, &ds.relevant, workers),
+        time_pool(
+            "order_trivial",
+            &order_trivial,
+            &ds.train,
+            &ds.relevant,
+            workers,
+        ),
     ];
 
     let pools_json: Vec<String> = results
@@ -163,7 +245,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -173,15 +255,20 @@ fn main() {
         workers,
         results[0].speedup(),
         results[0].batch_speedup(),
+        results[2].speedup(),
+        results[3].speedup(),
         pools_json.join(",\n"),
     );
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, dfs {:.2}x; naive->batch basic {:.2}x)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x)",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
+        results[3].speedup(),
+        results[4].speedup(),
+        results[5].speedup(),
         results[0].batch_speedup(),
     );
 }

@@ -32,12 +32,23 @@ fn main() {
 
     // ---- (a) QTI running time ------------------------------------------------------------
     print_title("Figure 5(a): Query Template Identification time by optimisation level");
-    print_header(&["Dataset", VARIANTS[0].0, VARIANTS[1].0, VARIANTS[2].0, "# nodes (all opts)"]);
+    print_header(&[
+        "Dataset",
+        VARIANTS[0].0,
+        VARIANTS[1].0,
+        VARIANTS[2].0,
+        "# nodes (all opts)",
+    ]);
     for name in &datasets {
         let ds = build_task(name);
         let evaluator = FeatureEvaluator::new(&ds.task, ModelKind::Linear, seed);
-        let agg_funcs =
-            vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min];
+        let agg_funcs = vec![
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::Max,
+            AggFunc::Min,
+        ];
         let mut cells = vec![name.clone()];
         let mut last_nodes = 0usize;
         for (_, use_proxy, use_predictor) in VARIANTS {
@@ -47,8 +58,7 @@ fn main() {
                 seed,
                 ..TemplateIdConfig::fast()
             };
-            let identifier =
-                TemplateIdentifier::new(&ds.task, &evaluator, agg_funcs.clone(), cfg);
+            let identifier = TemplateIdentifier::new(&ds.task, &evaluator, agg_funcs.clone(), cfg);
             let (_, elapsed, nodes) = identifier.identify();
             cells.push(format_secs(elapsed));
             last_nodes = nodes;

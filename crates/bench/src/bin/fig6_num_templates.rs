@@ -21,7 +21,9 @@ fn main() {
     let seed = base_seed();
 
     for name in &datasets {
-        print_title(&format!("Figure 6: performance vs. number of query templates on {name}"));
+        print_title(&format!(
+            "Figure 6: performance vs. number of query templates on {name}"
+        ));
         let ds = build_task(name);
         let mut header = vec!["Model".to_string()];
         for n in TEMPLATE_COUNTS {

@@ -25,7 +25,13 @@ fn main() {
         print_title(&format!(
             "Figure 7: running time vs. #columns in R (Student-Wide), model = {model}"
         ));
-        print_header(&["# cols", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+        print_header(&[
+            "# cols",
+            "QTI Time",
+            "Warm-up Time",
+            "Generate Time",
+            "Total Time",
+        ]);
         for cols in COLS {
             let widened = widen_relevant(&base.synthetic, cols);
             let task = to_aug_task(&widened);

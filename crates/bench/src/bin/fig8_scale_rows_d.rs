@@ -29,7 +29,13 @@ fn main() {
             print_title(&format!(
                 "Figure 8: running time vs. #rows in D on {name}, model = {model}"
             ));
-            print_header(&["# rows in D", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+            print_header(&[
+                "# rows in D",
+                "QTI Time",
+                "Warm-up Time",
+                "Generate Time",
+                "Total Time",
+            ]);
             for frac in FRACTIONS {
                 let rows = ((full.train.num_rows() as f64) * frac).round().max(50.0) as usize;
                 let scaled = DatasetScale::train_rows(rows).apply(&full);

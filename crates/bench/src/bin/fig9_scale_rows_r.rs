@@ -29,9 +29,17 @@ fn main() {
             print_title(&format!(
                 "Figure 9: running time vs. #rows in R on {name}, model = {model}"
             ));
-            print_header(&["# rows in R", "QTI Time", "Warm-up Time", "Generate Time", "Total Time"]);
+            print_header(&[
+                "# rows in R",
+                "QTI Time",
+                "Warm-up Time",
+                "Generate Time",
+                "Total Time",
+            ]);
             for frac in FRACTIONS {
-                let rows = ((full.relevant.num_rows() as f64) * frac).round().max(100.0) as usize;
+                let rows = ((full.relevant.num_rows() as f64) * frac)
+                    .round()
+                    .max(100.0) as usize;
                 let scaled = DatasetScale::relevant_rows(rows).apply(&full);
                 let task = to_aug_task(&scaled);
                 let cfg = feataug_config(*model, FeatAugVariant::Full, budget, seed);

@@ -10,7 +10,12 @@ use feataug_bench::report::{print_header, print_row, print_title};
 
 fn main() {
     print_title("Table I: detailed information of the one-to-many datasets (synthetic stand-ins)");
-    print_header(&["Dataset", "# of Tables", "# of rows in R", "# of Train/Valid/Test"]);
+    print_header(&[
+        "Dataset",
+        "# of Tables",
+        "# of rows in R",
+        "# of Train/Valid/Test",
+    ]);
     for name in feataug_datagen::one_to_many_names() {
         let ds = build_task(name);
         let stats = ds.synthetic.stats();

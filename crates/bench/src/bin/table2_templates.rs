@@ -23,7 +23,11 @@ fn main() {
             stats.n_agg_columns.to_string(),
             stats.n_predicate_attrs.to_string(),
             ds.synthetic.key_columns.join(", "),
-            format!("2^{} = {}", stats.n_predicate_attrs, stats.n_query_templates()),
+            format!(
+                "2^{} = {}",
+                stats.n_predicate_attrs,
+                stats.n_query_templates()
+            ),
         ]);
     }
 }

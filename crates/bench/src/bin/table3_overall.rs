@@ -25,7 +25,10 @@ fn main() {
     for model in &models {
         println!("\n**Model: {model}**\n");
         let mut header: Vec<String> = vec!["Method".to_string()];
-        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let tasks: Vec<_> = datasets
+            .iter()
+            .map(|name| (name.clone(), build_task(name)))
+            .collect();
         for (name, ds) in &tasks {
             let metric = Metric::for_task(ds.task.task);
             header.push(format!("{name} ({})", metric_header(metric)));

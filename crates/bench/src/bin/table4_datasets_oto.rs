@@ -8,7 +8,12 @@ use feataug_bench::report::{print_header, print_row, print_title};
 
 fn main() {
     print_title("Table IV: detailed information of the Covtype / Household stand-ins");
-    print_header(&["Dataset", "# of Tables", "# of rows in R", "# of Train/Valid/Test"]);
+    print_header(&[
+        "Dataset",
+        "# of Tables",
+        "# of rows in R",
+        "# of Train/Valid/Test",
+    ]);
     for name in feataug_datagen::one_to_one_names() {
         let ds = build_task(name);
         let stats = ds.synthetic.stats();

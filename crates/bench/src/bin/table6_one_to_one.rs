@@ -23,7 +23,10 @@ fn main() {
     print_title("Table VI: performance on single-table / one-to-one datasets");
     for model in &models {
         println!("\n**Model: {model}**\n");
-        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let tasks: Vec<_> = datasets
+            .iter()
+            .map(|name| (name.clone(), build_task(name)))
+            .collect();
         let mut header: Vec<String> = vec!["Method".to_string()];
         for (name, ds) in &tasks {
             let metric = Metric::for_task(ds.task.task);

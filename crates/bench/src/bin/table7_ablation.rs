@@ -25,7 +25,10 @@ fn main() {
 
     for model in &models {
         println!("\n**Model: {model}**\n");
-        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let tasks: Vec<_> = datasets
+            .iter()
+            .map(|name| (name.clone(), build_task(name)))
+            .collect();
         let mut header: Vec<String> = vec!["Variant".to_string()];
         for (name, ds) in &tasks {
             let metric = Metric::for_task(ds.task.task);
@@ -37,8 +40,7 @@ fn main() {
         for (label, variant) in &variants {
             let mut cells = vec![label.to_string()];
             for (_, ds) in &tasks {
-                let outcome =
-                    run_method(&ds.task, Method::FeatAug(*variant), *model, budget, seed);
+                let outcome = run_method(&ds.task, Method::FeatAug(*variant), *model, budget, seed);
                 cells.push(format_metric(&outcome.result));
             }
             print_row(&cells);

@@ -20,7 +20,10 @@ fn main() {
     print_title("Table VIII: FeatAug performance by low-cost proxy (SC / MI / LR)");
     for model in &models {
         println!("\n**Model: {model}**\n");
-        let tasks: Vec<_> = datasets.iter().map(|name| (name.clone(), build_task(name))).collect();
+        let tasks: Vec<_> = datasets
+            .iter()
+            .map(|name| (name.clone(), build_task(name)))
+            .collect();
         let mut header: Vec<String> = vec!["Dataset / Metric".to_string()];
         for proxy in LowCostProxy::all() {
             header.push(proxy.name().to_string());

@@ -43,9 +43,24 @@ pub fn to_aug_task(ds: &SyntheticDataset) -> AugTask {
 pub fn dataset_scale() -> GenConfig {
     let scale = std::env::var("FEATAUG_SCALE").unwrap_or_else(|_| "small".to_string());
     match scale.as_str() {
-        "tiny" => GenConfig { n_entities: 150, fanout: 6, n_noise_cols: 1, seed: crate::base_seed() },
-        "full" => GenConfig { n_entities: 3000, fanout: 25, n_noise_cols: 3, seed: crate::base_seed() },
-        _ => GenConfig { n_entities: 500, fanout: 10, n_noise_cols: 2, seed: crate::base_seed() },
+        "tiny" => GenConfig {
+            n_entities: 150,
+            fanout: 6,
+            n_noise_cols: 1,
+            seed: crate::base_seed(),
+        },
+        "full" => GenConfig {
+            n_entities: 3000,
+            fanout: 25,
+            n_noise_cols: 3,
+            seed: crate::base_seed(),
+        },
+        _ => GenConfig {
+            n_entities: 500,
+            fanout: 10,
+            n_noise_cols: 2,
+            seed: crate::base_seed(),
+        },
     }
 }
 
@@ -57,8 +72,7 @@ pub fn build_task(name: &str) -> ExperimentDataset {
 /// Build one of the six named datasets with an explicit configuration (used by the scaling
 /// figures).
 pub fn build_task_with(name: &str, cfg: &GenConfig) -> ExperimentDataset {
-    let synthetic =
-        generate_by_name(name, cfg).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let synthetic = generate_by_name(name, cfg).unwrap_or_else(|| panic!("unknown dataset {name}"));
     let task = to_aug_task(&synthetic);
     ExperimentDataset { synthetic, task }
 }

@@ -36,7 +36,10 @@ pub fn feature_budget() -> usize {
 
 /// Base RNG seed for all experiments (`FEATAUG_SEED`, default 42).
 pub fn base_seed() -> u64 {
-    std::env::var("FEATAUG_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+    std::env::var("FEATAUG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
 }
 
 /// The downstream models to evaluate, read from `FEATAUG_MODELS` (comma-separated paper names,
@@ -63,8 +66,11 @@ pub fn models_from_env(default: &[feataug_ml::ModelKind]) -> Vec<feataug_ml::Mod
 pub fn datasets_from_env(default: &[&str]) -> Vec<String> {
     match std::env::var("FEATAUG_DATASETS") {
         Ok(list) => {
-            let parsed: Vec<String> =
-                list.split(',').map(|s| s.trim().to_lowercase()).filter(|s| !s.is_empty()).collect();
+            let parsed: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
             if parsed.is_empty() {
                 default.iter().map(|s| s.to_string()).collect()
             } else {

@@ -143,7 +143,12 @@ pub fn dfs_config() -> DfsConfig {
 
 /// The FeatAug configuration used by the experiment harness: the `fast` profile scaled to the
 /// requested feature budget.
-pub fn feataug_config(model: ModelKind, variant: FeatAugVariant, n_features: usize, seed: u64) -> FeatAugConfig {
+pub fn feataug_config(
+    model: ModelKind,
+    variant: FeatAugVariant,
+    n_features: usize,
+    seed: u64,
+) -> FeatAugConfig {
     let queries_per_template = 3usize;
     let n_templates = (n_features / queries_per_template).clamp(1, 8);
     let mut cfg = FeatAugConfig::fast(model)
@@ -191,49 +196,88 @@ pub fn augment_with(
         Method::Featuretools => (featuretools_augment(task, n_features, None, &dfs), None),
         Method::FtLr => {
             let sel = ScoreSelector::new(ScoringMethod::LinearImportance);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtGbdt => {
             let sel = ScoreSelector::new(ScoringMethod::GbdtImportance);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtMi => {
             let sel = ScoreSelector::new(ScoringMethod::MutualInformation);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtChi2 => {
             let sel = ScoreSelector::new(ScoringMethod::ChiSquare);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtGini => {
             let sel = ScoreSelector::new(ScoringMethod::Gini);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtForward => {
             // Wrapper selectors re-train a model per candidate; the cheap linear model keeps the
             // harness tractable (documented in EXPERIMENTS.md).
             let sel = WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::FtBackward => {
             let sel = WrapperSelector::new(WrapperDirection::Backward, ModelKind::Linear);
-            (featuretools_augment(task, n_features, Some(&sel), &dfs), None)
+            (
+                featuretools_augment(task, n_features, Some(&sel), &dfs),
+                None,
+            )
         }
         Method::Random => {
             let queries_per_template = 3usize;
             let n_templates = (n_features / queries_per_template).max(1);
             (
-                random_augment(task, &dfs.agg_funcs, n_templates, queries_per_template, seed),
+                random_augment(
+                    task,
+                    &dfs.agg_funcs,
+                    n_templates,
+                    queries_per_template,
+                    seed,
+                ),
                 None,
             )
         }
         Method::Arda => (arda_augment(task, n_features, model, seed), None),
         Method::AutoFeatMab => (
-            autofeature_augment(task, n_features, ModelKind::Linear, AutoFeatureStrategy::Mab, seed),
+            autofeature_augment(
+                task,
+                n_features,
+                ModelKind::Linear,
+                AutoFeatureStrategy::Mab,
+                seed,
+            ),
             None,
         ),
         Method::AutoFeatDqn => (
-            autofeature_augment(task, n_features, ModelKind::Linear, AutoFeatureStrategy::Dqn, seed),
+            autofeature_augment(
+                task,
+                n_features,
+                ModelKind::Linear,
+                AutoFeatureStrategy::Dqn,
+                seed,
+            ),
             None,
         ),
         Method::FeatAug(variant) => {
@@ -263,7 +307,9 @@ pub fn run_method(
     );
     MethodOutcome {
         result,
-        n_features_added: augmented.num_columns().saturating_sub(task.train.num_columns()),
+        n_features_added: augmented
+            .num_columns()
+            .saturating_sub(task.train.num_columns()),
         timing,
     }
 }
@@ -308,7 +354,10 @@ mod tests {
     fn method_names_match_paper_labels() {
         assert_eq!(Method::Featuretools.name(), "FT");
         assert_eq!(Method::FtChi2.name(), "FT+Chi2");
-        assert_eq!(Method::FeatAug(FeatAugVariant::NoQti).name(), "FeatAug(NoQTI)");
+        assert_eq!(
+            Method::FeatAug(FeatAugVariant::NoQti).name(),
+            "FeatAug(NoQTI)"
+        );
         assert_eq!(
             Method::FeatAug(FeatAugVariant::WithProxy(LowCostProxy::Spearman)).name(),
             "FeatAug[SC]"

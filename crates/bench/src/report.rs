@@ -20,7 +20,10 @@ pub fn metric_header(metric: Metric) -> String {
 /// Print a markdown-style table header.
 pub fn print_header(columns: &[&str]) {
     println!("| {} |", columns.join(" | "));
-    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Print one markdown-style table row.

@@ -55,8 +55,7 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         let fire = 3000.0 * rng.gen::<f64>();
 
         // Class bands on elevation, modulated by slope and hydrology distance, plus noise.
-        let score = (elevation - 1800.0) / 1500.0 + 0.2 * (slope / 40.0)
-            - 0.15 * (hydro / 600.0)
+        let score = (elevation - 1800.0) / 1500.0 + 0.2 * (slope / 40.0) - 0.15 * (hydro / 600.0)
             + 0.12 * normal(&mut rng);
         let class = if score < 0.3 {
             0
@@ -86,22 +85,50 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
     }
 
     let mut train = Table::new("covtype_train");
-    train.add_column("data_index", Column::from_strings(&index)).unwrap();
-    train.add_column("aspect", Column::from_f64s(&base_aspect)).unwrap();
-    train.add_column("hillshade_9am", Column::from_f64s(&base_hillshade_9)).unwrap();
-    train.add_column("hillshade_noon", Column::from_f64s(&base_hillshade_noon)).unwrap();
-    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+    train
+        .add_column("data_index", Column::from_strings(&index))
+        .unwrap();
+    train
+        .add_column("aspect", Column::from_f64s(&base_aspect))
+        .unwrap();
+    train
+        .add_column("hillshade_9am", Column::from_f64s(&base_hillshade_9))
+        .unwrap();
+    train
+        .add_column("hillshade_noon", Column::from_f64s(&base_hillshade_noon))
+        .unwrap();
+    train
+        .add_column("label", Column::from_i64s(&labels))
+        .unwrap();
 
     let mut relevant = Table::new("covtype_attrs");
-    relevant.add_column("data_index", Column::from_strings(&r_index)).unwrap();
-    relevant.add_column("elevation", Column::from_f64s(&r_elevation)).unwrap();
-    relevant.add_column("slope", Column::from_f64s(&r_slope)).unwrap();
-    relevant.add_column("hydro_distance", Column::from_f64s(&r_hydro_dist)).unwrap();
-    relevant.add_column("road_distance", Column::from_f64s(&r_road_dist)).unwrap();
-    relevant.add_column("fire_distance", Column::from_f64s(&r_fire_dist)).unwrap();
-    relevant.add_column("hillshade_3pm", Column::from_f64s(&r_hillshade_3)).unwrap();
-    relevant.add_column("wilderness", Column::from_strs(&r_wilderness)).unwrap();
-    relevant.add_column("soil_type", Column::from_strs(&r_soil)).unwrap();
+    relevant
+        .add_column("data_index", Column::from_strings(&r_index))
+        .unwrap();
+    relevant
+        .add_column("elevation", Column::from_f64s(&r_elevation))
+        .unwrap();
+    relevant
+        .add_column("slope", Column::from_f64s(&r_slope))
+        .unwrap();
+    relevant
+        .add_column("hydro_distance", Column::from_f64s(&r_hydro_dist))
+        .unwrap();
+    relevant
+        .add_column("road_distance", Column::from_f64s(&r_road_dist))
+        .unwrap();
+    relevant
+        .add_column("fire_distance", Column::from_f64s(&r_fire_dist))
+        .unwrap();
+    relevant
+        .add_column("hillshade_3pm", Column::from_f64s(&r_hillshade_3))
+        .unwrap();
+    relevant
+        .add_column("wilderness", Column::from_strs(&r_wilderness))
+        .unwrap();
+    relevant
+        .add_column("soil_type", Column::from_strs(&r_soil))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {

@@ -21,7 +21,14 @@ use crate::util::{add_noise_columns, normal, sigmoid};
 /// Number of poverty levels.
 pub const N_CLASSES: usize = 4;
 /// Region vocabulary (uninformative).
-pub const REGIONS: [&str; 6] = ["central", "chorotega", "pacifico", "brunca", "atlantica", "norte"];
+pub const REGIONS: [&str; 6] = [
+    "central",
+    "chorotega",
+    "pacifico",
+    "brunca",
+    "atlantica",
+    "norte",
+];
 /// Wall material vocabulary (weakly informative through the wealth score).
 pub const WALLS: [&str; 4] = ["block", "wood", "prefab", "waste"];
 
@@ -54,9 +61,13 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         let children = rng.gen_range(0..members.min(5));
 
         let rent = (250.0 * (0.5 * wealth).exp() * (0.7 + 0.6 * rng.gen::<f64>())).max(10.0);
-        let rooms = (2.0 + wealth + rng.gen_range(0.0..2.0)).round().clamp(1.0, 10.0);
+        let rooms = (2.0 + wealth + rng.gen_range(0.0..2.0))
+            .round()
+            .clamp(1.0, 10.0);
         let edu = (6.0 + 3.0 * wealth + rng.gen_range(-2.0..2.0)).clamp(0.0, 20.0);
-        let appliances = (2.0 + 1.5 * wealth + rng.gen_range(-1.0..1.0)).round().clamp(0.0, 8.0);
+        let appliances = (2.0 + 1.5 * wealth + rng.gen_range(-1.0..1.0))
+            .round()
+            .clamp(0.0, 8.0);
         let overcrowding = members as f64 / rooms;
         let wall = if wealth > 0.3 {
             "block"
@@ -65,7 +76,9 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         };
         let has_toilet = rng.gen::<f64>() < sigmoid(1.5 * wealth + 1.0);
         let has_electricity = rng.gen::<f64>() < sigmoid(1.2 * wealth + 1.5);
-        let phones = (1.0 + wealth + rng.gen_range(0.0..2.0)).round().clamp(0.0, 6.0) as i64;
+        let phones = (1.0 + wealth + rng.gen_range(0.0..2.0))
+            .round()
+            .clamp(0.0, 6.0) as i64;
 
         // Poverty level: 0 = extreme .. 3 = non-vulnerable, from a banded wealth score + noise.
         let score = wealth + 0.25 * normal(&mut rng);
@@ -98,23 +111,53 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
     }
 
     let mut train = Table::new("household_train");
-    train.add_column("household_id", Column::from_strings(&ids)).unwrap();
-    train.add_column("members", Column::from_i64s(&base_members)).unwrap();
-    train.add_column("children", Column::from_i64s(&base_children)).unwrap();
-    train.add_column("region", Column::from_strs(&base_region)).unwrap();
-    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+    train
+        .add_column("household_id", Column::from_strings(&ids))
+        .unwrap();
+    train
+        .add_column("members", Column::from_i64s(&base_members))
+        .unwrap();
+    train
+        .add_column("children", Column::from_i64s(&base_children))
+        .unwrap();
+    train
+        .add_column("region", Column::from_strs(&base_region))
+        .unwrap();
+    train
+        .add_column("label", Column::from_i64s(&labels))
+        .unwrap();
 
     let mut relevant = Table::new("household_attrs");
-    relevant.add_column("household_id", Column::from_strings(&r_id)).unwrap();
-    relevant.add_column("monthly_rent", Column::from_f64s(&r_rent)).unwrap();
-    relevant.add_column("rooms", Column::from_f64s(&r_rooms)).unwrap();
-    relevant.add_column("education_years", Column::from_f64s(&r_edu_years)).unwrap();
-    relevant.add_column("appliances", Column::from_f64s(&r_appliances)).unwrap();
-    relevant.add_column("overcrowding", Column::from_f64s(&r_overcrowding)).unwrap();
-    relevant.add_column("wall_material", Column::from_strs(&r_wall)).unwrap();
-    relevant.add_column("has_toilet", Column::from_bools(&r_has_toilet)).unwrap();
-    relevant.add_column("has_electricity", Column::from_bools(&r_has_electricity)).unwrap();
-    relevant.add_column("mobile_phones", Column::from_i64s(&r_mobile_phones)).unwrap();
+    relevant
+        .add_column("household_id", Column::from_strings(&r_id))
+        .unwrap();
+    relevant
+        .add_column("monthly_rent", Column::from_f64s(&r_rent))
+        .unwrap();
+    relevant
+        .add_column("rooms", Column::from_f64s(&r_rooms))
+        .unwrap();
+    relevant
+        .add_column("education_years", Column::from_f64s(&r_edu_years))
+        .unwrap();
+    relevant
+        .add_column("appliances", Column::from_f64s(&r_appliances))
+        .unwrap();
+    relevant
+        .add_column("overcrowding", Column::from_f64s(&r_overcrowding))
+        .unwrap();
+    relevant
+        .add_column("wall_material", Column::from_strs(&r_wall))
+        .unwrap();
+    relevant
+        .add_column("has_toilet", Column::from_bools(&r_has_toilet))
+        .unwrap();
+    relevant
+        .add_column("has_electricity", Column::from_bools(&r_has_electricity))
+        .unwrap();
+    relevant
+        .add_column("mobile_phones", Column::from_i64s(&r_mobile_phones))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {

@@ -18,8 +18,14 @@ use crate::spec::{GenConfig, SyntheticDataset, TaskKind};
 use crate::util::{add_noise_columns, normal, sigmoid, zscore};
 
 /// Departments; `produce` carries the planted signal.
-pub const DEPARTMENTS: [&str; 6] =
-    ["produce", "dairy", "snacks", "beverages", "frozen", "household"];
+pub const DEPARTMENTS: [&str; 6] = [
+    "produce",
+    "dairy",
+    "snacks",
+    "beverages",
+    "frozen",
+    "household",
+];
 /// Aisles (uninformative).
 pub const AISLES: [&str; 6] = ["a1", "a2", "a3", "a4", "a5", "a6"];
 
@@ -53,7 +59,9 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         let user = format!("u{i}");
         let produce_affinity = normal(&mut rng);
         let morning_shopper = normal(&mut rng);
-        let lines = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>())).round().max(1.0) as usize;
+        let lines = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>()))
+            .round()
+            .max(1.0) as usize;
 
         let mut signal_count = 0.0;
         for line in 0..lines {
@@ -101,27 +109,50 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
     zscore(&mut basket_z);
     let labels: Vec<i64> = (0..n)
         .map(|i| {
-            let logit =
-                1.7 * morning_produce[i] + 0.3 * basket_z[i] + 0.5 * normal(&mut rng) - 0.1;
+            let logit = 1.7 * morning_produce[i] + 0.3 * basket_z[i] + 0.5 * normal(&mut rng) - 0.1;
             (rng.gen::<f64>() < sigmoid(logit)) as i64
         })
         .collect();
 
     let mut train = Table::new("users");
-    train.add_column("user_id", Column::from_strings(&user_ids)).unwrap();
-    train.add_column("n_prior_orders", Column::from_i64s(&n_prior_orders)).unwrap();
-    train.add_column("avg_basket", Column::from_f64s(&avg_basket)).unwrap();
-    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+    train
+        .add_column("user_id", Column::from_strings(&user_ids))
+        .unwrap();
+    train
+        .add_column("n_prior_orders", Column::from_i64s(&n_prior_orders))
+        .unwrap();
+    train
+        .add_column("avg_basket", Column::from_f64s(&avg_basket))
+        .unwrap();
+    train
+        .add_column("label", Column::from_i64s(&labels))
+        .unwrap();
 
     let mut relevant = Table::new("order_history");
-    relevant.add_column("user_id", Column::from_strings(&r_user)).unwrap();
-    relevant.add_column("product", Column::from_strings(&r_product)).unwrap();
-    relevant.add_column("department", Column::from_strs(&r_dept)).unwrap();
-    relevant.add_column("aisle", Column::from_strs(&r_aisle)).unwrap();
-    relevant.add_column("order_hour", Column::from_i64s(&r_hour)).unwrap();
-    relevant.add_column("days_since_prior", Column::from_f64s(&r_days_prior)).unwrap();
-    relevant.add_column("reordered", Column::from_bools(&r_reordered)).unwrap();
-    relevant.add_column("cart_position", Column::from_i64s(&r_cart_pos)).unwrap();
+    relevant
+        .add_column("user_id", Column::from_strings(&r_user))
+        .unwrap();
+    relevant
+        .add_column("product", Column::from_strings(&r_product))
+        .unwrap();
+    relevant
+        .add_column("department", Column::from_strs(&r_dept))
+        .unwrap();
+    relevant
+        .add_column("aisle", Column::from_strs(&r_aisle))
+        .unwrap();
+    relevant
+        .add_column("order_hour", Column::from_i64s(&r_hour))
+        .unwrap();
+    relevant
+        .add_column("days_since_prior", Column::from_f64s(&r_days_prior))
+        .unwrap();
+    relevant
+        .add_column("reordered", Column::from_bools(&r_reordered))
+        .unwrap();
+    relevant
+        .add_column("cart_position", Column::from_i64s(&r_cart_pos))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {
@@ -144,8 +175,7 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
             "cart_position".into(),
         ],
         task: TaskKind::Binary,
-        signal_description:
-            "label ≈ f(COUNT(*) WHERE department='produce' AND 7<=order_hour<=11)",
+        signal_description: "label ≈ f(COUNT(*) WHERE department='produce' AND 7<=order_hour<=11)",
     }
 }
 

@@ -49,7 +49,9 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
     for i in 0..n {
         let merchant = format!("m{i}");
         let premium = normal(&mut rng); // drives category-A amounts
-        let txns = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>())).round().max(1.0) as usize;
+        let txns = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>()))
+            .round()
+            .max(1.0) as usize;
 
         let mut a_recent_sum = 0.0;
         let mut a_recent_cnt = 0usize;
@@ -90,7 +92,11 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
             r_authorized.push(rng.gen_bool(0.9));
         }
 
-        recent_a_avg.push(if a_recent_cnt > 0 { a_recent_sum / a_recent_cnt as f64 } else { 0.0 });
+        recent_a_avg.push(if a_recent_cnt > 0 {
+            a_recent_sum / a_recent_cnt as f64
+        } else {
+            0.0
+        });
         txn_counts.push(txns as f64);
         merchant_ids.push(merchant);
         group_codes.push((i % 5) as i64);
@@ -107,19 +113,41 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         .collect();
 
     let mut train = Table::new("merchants");
-    train.add_column("merchant_id", Column::from_strings(&merchant_ids)).unwrap();
-    train.add_column("merchant_group", Column::from_i64s(&group_codes)).unwrap();
-    train.add_column("city_count", Column::from_i64s(&city_counts)).unwrap();
-    train.add_column("label", Column::from_f64s(&targets)).unwrap();
+    train
+        .add_column("merchant_id", Column::from_strings(&merchant_ids))
+        .unwrap();
+    train
+        .add_column("merchant_group", Column::from_i64s(&group_codes))
+        .unwrap();
+    train
+        .add_column("city_count", Column::from_i64s(&city_counts))
+        .unwrap();
+    train
+        .add_column("label", Column::from_f64s(&targets))
+        .unwrap();
 
     let mut relevant = Table::new("transactions");
-    relevant.add_column("merchant_id", Column::from_strings(&r_merchant)).unwrap();
-    relevant.add_column("purchase_amount", Column::from_f64s(&r_amount)).unwrap();
-    relevant.add_column("installments", Column::from_i64s(&r_installments)).unwrap();
-    relevant.add_column("category", Column::from_strs(&r_category)).unwrap();
-    relevant.add_column("city", Column::from_strs(&r_city)).unwrap();
-    relevant.add_column("month_lag", Column::from_i64s(&r_month_lag)).unwrap();
-    relevant.add_column("authorized", Column::from_bools(&r_authorized)).unwrap();
+    relevant
+        .add_column("merchant_id", Column::from_strings(&r_merchant))
+        .unwrap();
+    relevant
+        .add_column("purchase_amount", Column::from_f64s(&r_amount))
+        .unwrap();
+    relevant
+        .add_column("installments", Column::from_i64s(&r_installments))
+        .unwrap();
+    relevant
+        .add_column("category", Column::from_strs(&r_category))
+        .unwrap();
+    relevant
+        .add_column("city", Column::from_strs(&r_city))
+        .unwrap();
+    relevant
+        .add_column("month_lag", Column::from_i64s(&r_month_lag))
+        .unwrap();
+    relevant
+        .add_column("authorized", Column::from_bools(&r_authorized))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {

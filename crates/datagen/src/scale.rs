@@ -32,8 +32,14 @@ pub fn widen_relevant(dataset: &SyntheticDataset, target_cols: usize) -> Synthet
                 break;
             }
             let new_name = format!("{col_name}__w{wave}");
-            let col = dataset.relevant.column(col_name).expect("base column exists").clone();
-            out.relevant.add_column(new_name.clone(), col).expect("fresh widened column");
+            let col = dataset
+                .relevant
+                .column(col_name)
+                .expect("base column exists")
+                .clone();
+            out.relevant
+                .add_column(new_name.clone(), col)
+                .expect("fresh widened column");
             if dataset.predicate_attrs.iter().any(|p| p == col_name) {
                 out.predicate_attrs.push(new_name.clone());
             }
@@ -66,22 +72,38 @@ pub struct DatasetScale {
 impl DatasetScale {
     /// Identity scale.
     pub fn identity() -> Self {
-        DatasetScale { train_rows: None, relevant_rows: None, relevant_cols: None }
+        DatasetScale {
+            train_rows: None,
+            relevant_rows: None,
+            relevant_cols: None,
+        }
     }
 
     /// Scale only the training-table rows (Figure 8 sweeps).
     pub fn train_rows(n: usize) -> Self {
-        DatasetScale { train_rows: Some(n), relevant_rows: None, relevant_cols: None }
+        DatasetScale {
+            train_rows: Some(n),
+            relevant_rows: None,
+            relevant_cols: None,
+        }
     }
 
     /// Scale only the relevant-table rows (Figure 9 sweeps).
     pub fn relevant_rows(n: usize) -> Self {
-        DatasetScale { train_rows: None, relevant_rows: Some(n), relevant_cols: None }
+        DatasetScale {
+            train_rows: None,
+            relevant_rows: Some(n),
+            relevant_cols: None,
+        }
     }
 
     /// Scale only the relevant-table column count (Figure 7 sweeps).
     pub fn relevant_cols(n: usize) -> Self {
-        DatasetScale { train_rows: None, relevant_rows: None, relevant_cols: Some(n) }
+        DatasetScale {
+            train_rows: None,
+            relevant_rows: None,
+            relevant_cols: Some(n),
+        }
     }
 
     /// Apply the scale to a dataset, returning a scaled copy.
@@ -119,7 +141,13 @@ fn filter_relevant_to_train(dataset: &SyntheticDataset) -> Table {
     for row in 0..dataset.relevant.num_rows() {
         let composite: Vec<String> = keys
             .iter()
-            .map(|k| dataset.relevant.value(row, k).expect("key exists").to_string())
+            .map(|k| {
+                dataset
+                    .relevant
+                    .value(row, k)
+                    .expect("key exists")
+                    .to_string()
+            })
             .collect();
         if keep_keys.contains(&composite.join("\u{1f}")) {
             keep_rows.push(row);

@@ -40,19 +40,34 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { n_entities: 2000, fanout: 20, n_noise_cols: 2, seed: 42 }
+        GenConfig {
+            n_entities: 2000,
+            fanout: 20,
+            n_noise_cols: 2,
+            seed: 42,
+        }
     }
 }
 
 impl GenConfig {
     /// A very small configuration for unit tests.
     pub fn tiny() -> Self {
-        GenConfig { n_entities: 120, fanout: 6, n_noise_cols: 1, seed: 7 }
+        GenConfig {
+            n_entities: 120,
+            fanout: 6,
+            n_noise_cols: 1,
+            seed: 7,
+        }
     }
 
     /// A small configuration for integration tests and quick examples.
     pub fn small() -> Self {
-        GenConfig { n_entities: 600, fanout: 10, n_noise_cols: 2, seed: 42 }
+        GenConfig {
+            n_entities: 600,
+            fanout: 10,
+            n_noise_cols: 2,
+            seed: 42,
+        }
     }
 
     /// Builder-style seed override.
@@ -157,7 +172,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let cfg = GenConfig::default().with_seed(9).with_entities(50).with_fanout(3);
+        let cfg = GenConfig::default()
+            .with_seed(9)
+            .with_entities(50)
+            .with_fanout(3);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.n_entities, 50);
         assert_eq!(cfg.fanout, 3);

@@ -19,8 +19,14 @@ use crate::spec::{GenConfig, SyntheticDataset, TaskKind};
 use crate::util::{add_noise_columns, normal, sigmoid, zscore};
 
 /// Event vocabulary; `notebook_click` carries the planted signal.
-pub const EVENTS: [&str; 6] =
-    ["navigate_click", "notebook_click", "person_click", "cutscene_click", "map_hover", "checkpoint"];
+pub const EVENTS: [&str; 6] = [
+    "navigate_click",
+    "notebook_click",
+    "person_click",
+    "cutscene_click",
+    "map_hover",
+    "checkpoint",
+];
 /// Rooms (uninformative).
 pub const ROOMS: [&str; 5] = ["tunic", "kohlcenter", "capitol", "library", "basement"];
 
@@ -51,7 +57,9 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
     for i in 0..n {
         let session = format!("s{i}");
         let diligence = normal(&mut rng); // how much the player uses the notebook late-game
-        let events = (cfg.fanout as f64 * (0.6 + 0.8 * rng.gen::<f64>())).round().max(2.0) as usize;
+        let events = (cfg.fanout as f64 * (0.6 + 0.8 * rng.gen::<f64>()))
+            .round()
+            .max(2.0) as usize;
 
         let mut notebook_late_time = 0.0;
         let mut elapsed = 0.0;
@@ -61,7 +69,11 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
             let event = if rng.gen::<f64>() < p_notebook {
                 "notebook_click"
             } else {
-                EVENTS[if rng.gen_bool(0.5) { 0 } else { 2 + rng.gen_range(0..EVENTS.len() - 2) }]
+                EVENTS[if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    2 + rng.gen_range(0..EVENTS.len() - 2)
+                }]
             };
             // Only the *conditional mean* of notebook hovers in the late levels expresses the
             // player's diligence; every other hover duration is wide noise over the same range,
@@ -103,20 +115,44 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         .collect();
 
     let mut train = Table::new("sessions");
-    train.add_column("session_id", Column::from_strings(&session_ids)).unwrap();
-    train.add_column("level_group", Column::from_strs(&level_groups)).unwrap();
-    train.add_column("question_id", Column::from_i64s(&question_ids)).unwrap();
-    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+    train
+        .add_column("session_id", Column::from_strings(&session_ids))
+        .unwrap();
+    train
+        .add_column("level_group", Column::from_strs(&level_groups))
+        .unwrap();
+    train
+        .add_column("question_id", Column::from_i64s(&question_ids))
+        .unwrap();
+    train
+        .add_column("label", Column::from_i64s(&labels))
+        .unwrap();
 
     let mut relevant = Table::new("game_events");
-    relevant.add_column("session_id", Column::from_strings(&r_session)).unwrap();
-    relevant.add_column("event_name", Column::from_strs(&r_event)).unwrap();
-    relevant.add_column("room", Column::from_strs(&r_room)).unwrap();
-    relevant.add_column("level", Column::from_i64s(&r_level)).unwrap();
-    relevant.add_column("elapsed_time", Column::from_f64s(&r_elapsed)).unwrap();
-    relevant.add_column("hover_duration", Column::from_f64s(&r_hover)).unwrap();
-    relevant.add_column("screen_x", Column::from_f64s(&r_x)).unwrap();
-    relevant.add_column("screen_y", Column::from_f64s(&r_y)).unwrap();
+    relevant
+        .add_column("session_id", Column::from_strings(&r_session))
+        .unwrap();
+    relevant
+        .add_column("event_name", Column::from_strs(&r_event))
+        .unwrap();
+    relevant
+        .add_column("room", Column::from_strs(&r_room))
+        .unwrap();
+    relevant
+        .add_column("level", Column::from_i64s(&r_level))
+        .unwrap();
+    relevant
+        .add_column("elapsed_time", Column::from_f64s(&r_elapsed))
+        .unwrap();
+    relevant
+        .add_column("hover_duration", Column::from_f64s(&r_hover))
+        .unwrap();
+    relevant
+        .add_column("screen_x", Column::from_f64s(&r_x))
+        .unwrap();
+    relevant
+        .add_column("screen_y", Column::from_f64s(&r_y))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {

@@ -70,7 +70,9 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         // Latent traits.
         let electronics_affinity = normal(&mut rng);
         let recency_bias = normal(&mut rng);
-        let activity = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>())).round().max(1.0) as usize;
+        let activity = (cfg.fanout as f64 * (0.5 + rng.gen::<f64>()))
+            .round()
+            .max(1.0) as usize;
 
         let mut elec_recent_sum = 0.0;
         let mut elec_recent_cnt = 0usize;
@@ -157,21 +159,45 @@ pub fn generate(cfg: &GenConfig) -> SyntheticDataset {
         .collect();
 
     let mut train = Table::new("user_info");
-    train.add_column("user_id", Column::from_strings(&user_ids)).unwrap();
-    train.add_column("merchant_id", Column::from_strings(&merchant_ids)).unwrap();
+    train
+        .add_column("user_id", Column::from_strings(&user_ids))
+        .unwrap();
+    train
+        .add_column("merchant_id", Column::from_strings(&merchant_ids))
+        .unwrap();
     train.add_column("age", Column::from_i64s(&ages)).unwrap();
-    train.add_column("gender", Column::from_strs(&genders)).unwrap();
-    train.add_column("label", Column::from_i64s(&labels)).unwrap();
+    train
+        .add_column("gender", Column::from_strs(&genders))
+        .unwrap();
+    train
+        .add_column("label", Column::from_i64s(&labels))
+        .unwrap();
 
     let mut relevant = Table::new("user_logs");
-    relevant.add_column("user_id", Column::from_strings(&r_user)).unwrap();
-    relevant.add_column("merchant_id", Column::from_strings(&r_merchant)).unwrap();
-    relevant.add_column("pprice", Column::from_f64s(&r_price)).unwrap();
-    relevant.add_column("quantity", Column::from_i64s(&r_qty)).unwrap();
-    relevant.add_column("department", Column::from_strs(&r_dept)).unwrap();
-    relevant.add_column("brand", Column::from_strs(&r_brand)).unwrap();
-    relevant.add_column("action", Column::from_strs(&r_action)).unwrap();
-    relevant.add_column("timestamp", Column::from_datetimes(&r_ts)).unwrap();
+    relevant
+        .add_column("user_id", Column::from_strings(&r_user))
+        .unwrap();
+    relevant
+        .add_column("merchant_id", Column::from_strings(&r_merchant))
+        .unwrap();
+    relevant
+        .add_column("pprice", Column::from_f64s(&r_price))
+        .unwrap();
+    relevant
+        .add_column("quantity", Column::from_i64s(&r_qty))
+        .unwrap();
+    relevant
+        .add_column("department", Column::from_strs(&r_dept))
+        .unwrap();
+    relevant
+        .add_column("brand", Column::from_strs(&r_brand))
+        .unwrap();
+    relevant
+        .add_column("action", Column::from_strs(&r_action))
+        .unwrap();
+    relevant
+        .add_column("timestamp", Column::from_datetimes(&r_ts))
+        .unwrap();
     add_noise_columns(&mut relevant, cfg.n_noise_cols, &mut rng);
 
     SyntheticDataset {
@@ -252,14 +278,12 @@ mod tests {
             ]))
             .unwrap();
         let keys: Vec<&str> = ds.key_columns.iter().map(|s| s.as_str()).collect();
-        let planted =
-            group_by_aggregate(&restricted, &keys, AggFunc::Avg, "pprice", "f").unwrap();
+        let planted = group_by_aggregate(&restricted, &keys, AggFunc::Avg, "pprice", "f").unwrap();
         let unrestricted =
             group_by_aggregate(&ds.relevant, &keys, AggFunc::Avg, "pprice", "f").unwrap();
 
         let attach = |feats: &feataug_tabular::Table| -> Vec<f64> {
-            let joined =
-                feataug_tabular::join::left_join(&ds.train, feats, &keys, &keys).unwrap();
+            let joined = feataug_tabular::join::left_join(&ds.train, feats, &keys, &keys).unwrap();
             joined
                 .column("f")
                 .unwrap()
@@ -288,6 +312,9 @@ mod tests {
             planted_corr > plain_corr,
             "planted {planted_corr} should beat unrestricted {plain_corr}"
         );
-        assert!(planted_corr > 0.2, "planted signal too weak: {planted_corr}");
+        assert!(
+            planted_corr > 0.2,
+            "planted signal too weak: {planted_corr}"
+        );
     }
 }

@@ -30,12 +30,17 @@ pub(crate) fn add_noise_columns(table: &mut Table, n: usize, rng: &mut StdRng) {
         let name = format!("noise_{c}");
         if c % 2 == 0 {
             let vals: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            table.add_column(name, Column::from_f64s(&vals)).expect("fresh noise column");
+            table
+                .add_column(name, Column::from_f64s(&vals))
+                .expect("fresh noise column");
         } else {
             let choices = ["n0", "n1", "n2", "n3"];
-            let vals: Vec<&str> =
-                (0..rows).map(|_| choices[rng.gen_range(0..choices.len())]).collect();
-            table.add_column(name, Column::from_strs(&vals)).expect("fresh noise column");
+            let vals: Vec<&str> = (0..rows)
+                .map(|_| choices[rng.gen_range(0..choices.len())])
+                .collect();
+            table
+                .add_column(name, Column::from_strs(&vals))
+                .expect("fresh noise column");
         }
     }
 }

@@ -39,7 +39,11 @@ use crate::template::QueryTemplate;
 /// through the given [`QueryEngine`] (one shared group index, no join, the whole pool fanned
 /// across the engine's worker threads) and attached to the training table. Returns
 /// (augmented table, feature names).
-fn dfs_candidates(task: &AugTask, cfg: &DfsConfig, engine: &QueryEngine<'_>) -> (Table, Vec<String>) {
+fn dfs_candidates(
+    task: &AugTask,
+    cfg: &DfsConfig,
+    engine: &QueryEngine<'_>,
+) -> (Table, Vec<String>) {
     let keys = task.keys();
     let agg_cols = task.resolved_agg_columns();
     let agg_refs: Vec<&str> = agg_cols.iter().map(|s| s.as_str()).collect();
@@ -58,7 +62,10 @@ fn dfs_candidates(task: &AugTask, cfg: &DfsConfig, engine: &QueryEngine<'_>) -> 
         .collect();
     let mut augmented = task.train.clone();
     let mut names = Vec::with_capacity(features.len());
-    for (feature, values) in features.into_iter().zip(engine.evaluate_batch_shared(&queries)) {
+    for (feature, values) in features
+        .into_iter()
+        .zip(engine.evaluate_batch_shared(&queries))
+    {
         let values = values.expect("materialising DFS features");
         let column = Column::from_opt_f64s(&values);
         if augmented.add_column(feature.name.clone(), column).is_ok() {
@@ -85,7 +92,10 @@ fn candidate_dataset(task: &AugTask, augmented: &Table, names: &[String]) -> Dat
         .collect();
     Dataset::new(
         Matrix::from_rows(&rows),
-        labels.iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect(),
+        labels
+            .iter()
+            .map(|v| if v.is_finite() { *v } else { 0.0 })
+            .collect(),
         names.to_vec(),
         task.task,
     )
@@ -133,7 +143,10 @@ pub fn featuretools_augment_with_engine(
         None => names.iter().take(n_features).cloned().collect(),
         Some(sel) => {
             let data = candidate_dataset(task, &augmented, &names);
-            sel.select(&data, n_features).into_iter().map(|i| names[i].clone()).collect()
+            sel.select(&data, n_features)
+                .into_iter()
+                .map(|i| names[i].clone())
+                .collect()
         }
     };
     project_features(task, &augmented, &keep)
@@ -150,7 +163,14 @@ pub fn random_augment(
     seed: u64,
 ) -> Table {
     let engine = QueryEngine::new(&task.train, &task.relevant);
-    random_augment_with_engine(task, agg_funcs, n_templates, queries_per_template, seed, &engine)
+    random_augment_with_engine(
+        task,
+        agg_funcs,
+        n_templates,
+        queries_per_template,
+        seed,
+        &engine,
+    )
 }
 
 /// [`random_augment`] evaluating through a shared [`QueryEngine`] compiled over the same
@@ -180,7 +200,9 @@ pub fn random_augment_with_engine(
             combo,
             task.key_columns.clone(),
         );
-        let Ok(codec) = QueryCodec::build(&template, &task.relevant) else { continue };
+        let Ok(codec) = QueryCodec::build(&template, &task.relevant) else {
+            continue;
+        };
         let queries: Vec<PredicateQuery> = (0..queries_per_template)
             .map(|_| codec.decode(&codec.space().sample(&mut rng)))
             .collect();
@@ -189,8 +211,7 @@ pub fn random_augment_with_engine(
                 // Non-finite aggregates count as missing, like the NULLs.
                 let values: Vec<Option<f64>> =
                     values.iter().map(|v| v.filter(|x| x.is_finite())).collect();
-                let _ = augmented
-                    .add_column(query.feature_name(), Column::from_opt_f64s(&values));
+                let _ = augmented.add_column(query.feature_name(), Column::from_opt_f64s(&values));
             }
         }
     }
@@ -203,8 +224,8 @@ pub fn random_augment_with_engine(
 fn direct_candidates(task: &AugTask) -> (Table, Vec<String>) {
     let keys = task.keys();
     if is_unique_key(&task.relevant, &keys).unwrap_or(false) {
-        let augmented = left_join(&task.train, &task.relevant, &keys, &keys)
-            .expect("one-to-one join");
+        let augmented =
+            left_join(&task.train, &task.relevant, &keys, &keys).expect("one-to-one join");
         let names: Vec<String> = augmented
             .column_names()
             .into_iter()
@@ -214,7 +235,13 @@ fn direct_candidates(task: &AugTask) -> (Table, Vec<String>) {
         (augmented, names)
     } else {
         let dfs = DfsConfig {
-            agg_funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min],
+            agg_funcs: vec![
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Count,
+                AggFunc::Max,
+                AggFunc::Min,
+            ],
             ..DfsConfig::default()
         };
         let engine = QueryEngine::new(&task.train, &task.relevant);
@@ -259,14 +286,21 @@ pub fn arda_augment(task: &AugTask, n_features: usize, model: ModelKind, seed: u
         .filter(|(_, s)| *s > probe_max)
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let keep: Vec<String> =
-        ranked.into_iter().take(n_features).map(|(i, _)| names[i].clone()).collect();
+    let keep: Vec<String> = ranked
+        .into_iter()
+        .take(n_features)
+        .map(|(i, _)| names[i].clone())
+        .collect();
     // ARDA keeps at least something: fall back to the top-scoring features if the probe
     // threshold filtered everything out.
     let keep = if keep.is_empty() {
         let mut order: Vec<usize> = (0..names.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-        order.into_iter().take(n_features).map(|i| names[i].clone()).collect()
+        order
+            .into_iter()
+            .take(n_features)
+            .map(|i| names[i].clone())
+            .collect()
     } else {
         keep
     };
@@ -300,8 +334,10 @@ pub fn autofeature_augment(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Candidate feature vectors aligned with the training table.
-    let vectors: Vec<Vec<f64>> =
-        names.iter().map(|n| feature_vector(&augmented, n)).collect();
+    let vectors: Vec<Vec<f64>> = names
+        .iter()
+        .map(|n| feature_vector(&augmented, n))
+        .collect();
 
     let n_arms = names.len();
     let mut values = vec![0.0f64; n_arms]; // estimated reward per arm
@@ -315,8 +351,7 @@ pub fn autofeature_augment(
             break;
         }
         // Pick the next arm among the not-yet-selected candidates.
-        let available: Vec<usize> =
-            (0..n_arms).filter(|i| !selected.contains(i)).collect();
+        let available: Vec<usize> = (0..n_arms).filter(|i| !selected.contains(i)).collect();
         if available.is_empty() {
             break;
         }
@@ -394,7 +429,12 @@ mod tests {
     use feataug_ml::Task;
 
     fn tmall_task() -> AugTask {
-        let ds = tmall::generate(&GenConfig { n_entities: 150, fanout: 6, n_noise_cols: 1, seed: 11 });
+        let ds = tmall::generate(&GenConfig {
+            n_entities: 150,
+            fanout: 6,
+            n_noise_cols: 1,
+            seed: 11,
+        });
         AugTask::new(
             ds.train,
             ds.relevant,

@@ -35,7 +35,7 @@ pub fn table_to_dataset(
     let mut columns: Vec<Vec<f64>> = Vec::new();
 
     for field in table.schema().fields() {
-        if field.name == label_column || exclude.iter().any(|e| *e == field.name) {
+        if field.name == label_column || exclude.contains(&field.name) {
             continue;
         }
         let col = table.column(&field.name).expect("schema-consistent");
@@ -59,7 +59,10 @@ pub fn table_to_dataset(
             _ => {
                 feature_names.push(field.name.clone());
                 columns.push(
-                    col.to_f64_vec().into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+                    col.to_f64_vec()
+                        .into_iter()
+                        .map(|v| v.unwrap_or(f64::NAN))
+                        .collect(),
                 );
             }
         }
@@ -95,11 +98,16 @@ mod tests {
 
     fn table() -> Table {
         let mut t = Table::new("t");
-        t.add_column("user", Column::from_strs(&["u1", "u2", "u3"])).unwrap();
-        t.add_column("age", Column::from_i64s(&[30, 40, 50])).unwrap();
-        t.add_column("gender", Column::from_strs(&["F", "M", "F"])).unwrap();
-        t.add_column("feat", Column::from_opt_f64s(&[Some(1.5), None, Some(3.0)])).unwrap();
-        t.add_column("label", Column::from_i64s(&[1, 0, 1])).unwrap();
+        t.add_column("user", Column::from_strs(&["u1", "u2", "u3"]))
+            .unwrap();
+        t.add_column("age", Column::from_i64s(&[30, 40, 50]))
+            .unwrap();
+        t.add_column("gender", Column::from_strs(&["F", "M", "F"]))
+            .unwrap();
+        t.add_column("feat", Column::from_opt_f64s(&[Some(1.5), None, Some(3.0)]))
+            .unwrap();
+        t.add_column("label", Column::from_i64s(&[1, 0, 1]))
+            .unwrap();
         t
     }
 
@@ -128,8 +136,11 @@ mod tests {
         let mut t = Table::new("t");
         let values: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
         t.add_column("big", Column::from_strings(&values)).unwrap();
-        t.add_column("label", Column::from_i64s(&(0..20).map(|i| i % 2).collect::<Vec<_>>()))
-            .unwrap();
+        t.add_column(
+            "label",
+            Column::from_i64s(&(0..20).map(|i| i % 2).collect::<Vec<_>>()),
+        )
+        .unwrap();
         let ds = table_to_dataset(&t, "label", &[], Task::BinaryClassification);
         assert_eq!(ds.n_features(), 1);
         assert_eq!(ds.x.get(5, 0), 5.0); // ordinal code

@@ -37,9 +37,18 @@ pub struct FeatureEvaluator {
 impl FeatureEvaluator {
     /// Build an evaluator from the task's training table (key columns excluded from features).
     pub fn new(task: &AugTask, model: ModelKind, seed: u64) -> Self {
-        let base =
-            table_to_dataset(&task.train, &task.label_column, &task.key_columns, task.task);
-        FeatureEvaluator { base, model, seed, base_loss: OnceLock::new() }
+        let base = table_to_dataset(
+            &task.train,
+            &task.label_column,
+            &task.key_columns,
+            task.task,
+        );
+        FeatureEvaluator {
+            base,
+            model,
+            seed,
+            base_loss: OnceLock::new(),
+        }
     }
 
     /// The downstream model kind this evaluator trains.
@@ -65,7 +74,8 @@ impl FeatureEvaluator {
     /// Validation loss after appending one candidate feature vector (aligned with the training
     /// table's rows). Lower is better.
     pub fn loss_with_feature(&self, name: &str, values: &[f64]) -> f64 {
-        self.result_with_features(&[(name.to_string(), values.to_vec())]).loss
+        self.result_with_features(&[(name.to_string(), values.to_vec())])
+            .loss
     }
 
     /// Validation result after appending several candidate features.
@@ -115,12 +125,24 @@ mod tests {
         let mut train = Table::new("d");
         train.add_column("k", Column::from_strings(&keys)).unwrap();
         train.add_column("age", Column::from_i64s(&ages)).unwrap();
-        train.add_column("label", Column::from_i64s(&labels)).unwrap();
+        train
+            .add_column("label", Column::from_i64s(&labels))
+            .unwrap();
 
         let mut relevant = Table::new("r");
-        relevant.add_column("k", Column::from_strings(&keys)).unwrap();
-        relevant.add_column("x", Column::from_f64s(&vec![1.0; n])).unwrap();
-        AugTask::new(train, relevant, vec!["k".into()], "label", Task::BinaryClassification)
+        relevant
+            .add_column("k", Column::from_strings(&keys))
+            .unwrap();
+        relevant
+            .add_column("x", Column::from_f64s(&vec![1.0; n]))
+            .unwrap();
+        AugTask::new(
+            train,
+            relevant,
+            vec!["k".into()],
+            "label",
+            Task::BinaryClassification,
+        )
     }
 
     #[test]
@@ -131,14 +153,20 @@ mod tests {
         let labels = t.labels();
         let informative: Vec<f64> = labels.iter().map(|&y| y * 4.0 + 0.1).collect();
         let with = evaluator.loss_with_feature("good", &informative);
-        assert!(with < base, "informative feature should lower the loss ({with} vs {base})");
+        assert!(
+            with < base,
+            "informative feature should lower the loss ({with} vs {base})"
+        );
     }
 
     #[test]
     fn base_loss_is_trained_once_and_memoized() {
         let t = task();
         let evaluator = FeatureEvaluator::new(&t, ModelKind::Linear, 3);
-        assert!(evaluator.base_loss.get().is_none(), "constructor must not train eagerly");
+        assert!(
+            evaluator.base_loss.get().is_none(),
+            "constructor must not train eagerly"
+        );
         let first = evaluator.base_loss();
         assert_eq!(
             evaluator.base_loss.get().copied(),
@@ -156,10 +184,15 @@ mod tests {
     fn noise_feature_does_not_dramatically_help() {
         let t = task();
         let evaluator = FeatureEvaluator::new(&t, ModelKind::Linear, 3);
-        let noise: Vec<f64> = (0..t.train.num_rows()).map(|i| ((i * 37) % 23) as f64).collect();
+        let noise: Vec<f64> = (0..t.train.num_rows())
+            .map(|i| ((i * 37) % 23) as f64)
+            .collect();
         let with = evaluator.loss_with_feature("noise", &noise);
         // For a balanced random label, AUC stays near 0.5 -> loss near -0.5.
-        assert!(with > -0.75, "noise feature should not look great, got {with}");
+        assert!(
+            with > -0.75,
+            "noise feature should not look great, got {with}"
+        );
     }
 
     #[test]
@@ -169,8 +202,8 @@ mod tests {
         let labels = t.labels();
         let f1: Vec<f64> = labels.iter().map(|&y| y + 0.2).collect();
         let f2: Vec<f64> = labels.iter().map(|&y| 1.0 - y).collect();
-        let result = evaluator
-            .result_with_features(&[("a".to_string(), f1), ("b".to_string(), f2)]);
+        let result =
+            evaluator.result_with_features(&[("a".to_string(), f1), ("b".to_string(), f2)]);
         assert_eq!(result.metric, Metric::Auc);
         assert!(result.value > 0.9);
     }

@@ -26,6 +26,12 @@
 //!     `Vec<Option<f64>>` view is extracted once;
 //!   - **sorted / inverted predicate indexes** — a range leaf costs two
 //!     binary searches, an equality leaf O(matching rows) bit sets;
+//!   - **sorted-group value indexes** — for every `(aggregation column,
+//!     key subset)` pair an order-statistic candidate touches, each group's
+//!     non-null values pre-sorted by `total_cmp`; `MEDIAN`/`MAD`/`MODE`/
+//!     `ENTROPY`/`COUNT_DISTINCT` then read the runs in place (trivial
+//!     predicate) or merge the selection out of them, instead of paying a
+//!     copy + sort per candidate;
 //! * cheap **per-worker scratch** ([`EvalScratch`]) — the selection bitmasks
 //!   ([`feataug_tabular::selection`]) and aggregation buffers one evaluation
 //!   mutates. Scratch lives in a pool; each worker of a batch checks one out
@@ -59,10 +65,25 @@
 //! default capacity is sized from the training table's row count so the
 //! cache stays within a fixed byte budget.
 //!
+//! ## Aggregation kernels
+//!
+//! Grouped aggregation is driven by the kernel families of
+//! [`feataug_tabular::kernels`]: the five cheap functions stream in one pass,
+//! the variance family and `KURTOSIS` stream in two passes (sum, then centred
+//! power sums — no per-group value buffers), and the order statistics run
+//! over the memoized sorted-group value index. The reference
+//! [`AggFunc::apply`] survives as the property-test oracle only; the one
+//! evaluation path still materialising per-group buckets is a filtered
+//! categorical aggregation column, whose re-interned dictionary codes are
+//! query-local (served by the dictionary-code frequency kernel plus a
+//! per-bucket sort for `MEDIAN`/`MAD`).
+//!
 //! The engine's output is **bit-for-bit identical** to the reference path's
 //! `feature_vector(&query.augment(train, relevant)?, &name)`: accumulation
-//! visits values in the same ascending row order, presence/NULL semantics
-//! mirror group-by + left-join exactly, and the equivalence is enforced by
+//! visits values in the same ascending row order (or the ascending value
+//! order the reference's sort produces), presence/NULL semantics mirror
+//! group-by + left-join exactly — including the canonical ±0.0/NaN rules of
+//! [`feataug_tabular::aggregate`] — and the equivalence is enforced by
 //! property tests over randomized query pools at several thread counts
 //! (`tests/proptests.rs`).
 
@@ -70,8 +91,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use feataug_tabular::aggregate::canonical_nan;
 use feataug_tabular::groupby::{key_atom, KeyAtom};
 use feataug_tabular::join::KeyMapper;
+use feataug_tabular::kernels::{
+    accumulate_m2, accumulate_m4, count_distinct_sorted, entropy_sorted, mad_sorted, median_sorted,
+    mode_sorted, moment_finalize, CodeFreqKernel, KernelFamily,
+};
 use feataug_tabular::selection::{fill_eq, fill_range_view, SelectionMask};
 use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
 
@@ -96,7 +122,8 @@ fn default_cache_capacity(train_rows: usize) -> usize {
 /// Parse a `FEATAUG_THREADS`-style override: a positive integer wins, anything
 /// else (unset, non-numeric, zero) falls through to auto-detection.
 fn env_workers(raw: Option<&str>) -> Option<usize> {
-    raw.and_then(|s| s.parse::<usize>().ok()).filter(|n| *n >= 1)
+    raw.and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n >= 1)
 }
 
 /// The worker count batch evaluation uses when none is given explicitly: the
@@ -106,7 +133,10 @@ pub fn default_workers() -> usize {
     if let Some(n) = env_workers(std::env::var("FEATAUG_THREADS").ok().as_deref()) {
         return n;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_DEFAULT_WORKERS)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_WORKERS)
 }
 
 /// A compiled grouping of the relevant table by one group-key subset, plus the
@@ -137,6 +167,70 @@ struct CatIndex {
     rows_by_code: Vec<Vec<u32>>,
 }
 
+/// Memo key of an [`OrderIndex`]: the aggregation column and the group-key
+/// subset it was compiled for.
+type OrderKey = (String, Vec<String>);
+
+/// Sorted-group value index over one `(aggregation column, group-key subset)`
+/// pair: every group's non-null values pre-sorted by [`f64::total_cmp`]
+/// (exactly the order the reference's per-candidate `sort_by(total_cmp)`
+/// produces), with the owning row id kept alongside each value. Compiled once
+/// and memoized in the engine's shared core; an order-statistic candidate then
+/// reads its groups' sorted runs directly (trivial predicate) or merges the
+/// selected rows out of them (one mask probe per value), instead of paying a
+/// copy + sort per candidate.
+struct OrderIndex {
+    /// Per-group run bounds into `rows` / `vals` (`n_groups + 1` entries).
+    starts: Vec<u32>,
+    /// Row id of each non-null value, grouped by group id, value-sorted
+    /// within each group.
+    rows: Vec<u32>,
+    /// The values, parallel to `rows`.
+    vals: Vec<f64>,
+}
+
+impl OrderIndex {
+    /// The `(rows, vals)` run of group `g`.
+    fn run(&self, g: usize) -> (&[u32], &[f64]) {
+        let start = self.starts[g] as usize;
+        let end = self.starts[g + 1] as usize;
+        (&self.rows[start..end], &self.vals[start..end])
+    }
+}
+
+fn build_order_index(gi: &GroupIndex, view: &[Option<f64>]) -> OrderIndex {
+    let n_groups = gi.n_groups;
+    let mut starts = vec![0u32; n_groups + 1];
+    for (row, v) in view.iter().enumerate() {
+        if v.is_some() {
+            starts[gi.group_of_row[row] as usize + 1] += 1;
+        }
+    }
+    for g in 0..n_groups {
+        starts[g + 1] += starts[g];
+    }
+    let total = starts[n_groups] as usize;
+    let mut cursors: Vec<u32> = starts[..n_groups].to_vec();
+    let mut entries: Vec<(f64, u32)> = vec![(0.0, 0); total];
+    for (row, v) in view.iter().enumerate() {
+        if let Some(x) = v {
+            let g = gi.group_of_row[row] as usize;
+            entries[cursors[g] as usize] = (*x, row as u32);
+            cursors[g] += 1;
+        }
+    }
+    for g in 0..n_groups {
+        // Stable sort: bit-equal values keep ascending row order, so the
+        // selection merge probes the mask in a deterministic order.
+        entries[starts[g] as usize..starts[g + 1] as usize].sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    OrderIndex {
+        starts,
+        rows: entries.iter().map(|(_, r)| *r).collect(),
+        vals: entries.iter().map(|(v, _)| *v).collect(),
+    }
+}
+
 /// The mutable buffers one evaluation needs. Each worker of a batch (and each
 /// serial `evaluate` call) checks one out of the engine's pool, so the shared
 /// core stays read-only during evaluation and workers never contend.
@@ -156,12 +250,23 @@ struct EvalScratch {
     touched: Vec<u32>,
     /// Non-null aggregated-value count per touched group.
     nonnull: Vec<u32>,
-    /// Streaming accumulator per touched group (sum / min / max).
+    /// Streaming accumulator per touched group (sum / min / max, then the
+    /// group mean between the two moment passes).
     acc: Vec<f64>,
-    /// Bucket cursors / offsets for the order-preserving slow path.
+    /// Centred second-power sum per touched group (moment kernels, pass 2).
+    m2: Vec<f64>,
+    /// Centred fourth-power sum per touched group (kurtosis, pass 2).
+    m4: Vec<f64>,
+    /// Bucket cursors / offsets for the order-preserving scatter path.
     cursors: Vec<u32>,
-    /// Flat per-group value buckets for the slow path.
+    /// Flat per-group value buckets for the scatter path.
     scatter: Vec<f64>,
+    /// One group's selected values merged out of its pre-sorted run.
+    sorted_buf: Vec<f64>,
+    /// Deviation scratch for the MAD kernel.
+    dev_buf: Vec<f64>,
+    /// Dense code-frequency kernel for dictionary-coded aggregation columns.
+    freq: CodeFreqKernel,
     /// Per-query remapped view for categorical aggregation columns under a
     /// filtering predicate (see [`remapped_cat_view`]).
     cat_view: Vec<Option<f64>>,
@@ -171,6 +276,11 @@ struct EvalScratch {
     group_out: Vec<Option<f64>>,
 }
 
+/// A finished feature vector, shared between the cache and callers.
+type SharedFeature = Arc<Vec<Option<f64>>>;
+/// One evaluation's outcome: the shared feature vector, or the query's error.
+type FeatureResult = feataug_tabular::Result<SharedFeature>;
+
 /// A small LRU over finished feature vectors, keyed by the query's `Debug`
 /// rendering — unlike the displayed SQL (whose string literals are not quote
 /// escaped), the `Debug` form is structurally unambiguous, so two distinct
@@ -179,12 +289,16 @@ struct EvalScratch {
 struct FeatureCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<String, (Arc<Vec<Option<f64>>>, u64)>,
+    map: HashMap<String, (SharedFeature, u64)>,
 }
 
 impl FeatureCache {
     fn new(capacity: usize) -> FeatureCache {
-        FeatureCache { capacity, tick: 0, map: HashMap::new() }
+        FeatureCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
     }
 
     fn key(query: &PredicateQuery) -> String {
@@ -201,8 +315,11 @@ impl FeatureCache {
     }
 
     fn evict_stalest(&mut self) {
-        if let Some(stalest) =
-            self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+        if let Some(stalest) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (_, t))| *t)
+            .map(|(k, _)| k.clone())
         {
             self.map.remove(&stalest);
         }
@@ -243,6 +360,9 @@ struct EngineShared {
     sorted: RwLock<HashMap<String, Arc<SortedIndex>>>,
     /// Inverted row index per categorical equality-predicate column.
     cats: RwLock<HashMap<String, Arc<CatIndex>>>,
+    /// Sorted-group value index per `(aggregation column, group-key subset)`
+    /// pair, serving the order-statistic kernels.
+    order: RwLock<HashMap<OrderKey, Arc<OrderIndex>>>,
     /// Finished feature vectors of recent queries.
     features: Mutex<FeatureCache>,
     /// Lock-free mirror of the feature cache's capacity, so the hot path can
@@ -266,6 +386,9 @@ pub struct EngineStats {
     pub group_indexes: usize,
     /// Distinct column views extracted.
     pub column_views: usize,
+    /// Distinct `(aggregation column, key subset)` sorted-group value indexes
+    /// compiled for the order-statistic kernels.
+    pub order_indexes: usize,
     /// Requests answered from the feature LRU without evaluating.
     pub feature_cache_hits: usize,
 }
@@ -297,6 +420,7 @@ impl<'a> QueryEngine<'a> {
                 groups: RwLock::new(HashMap::new()),
                 sorted: RwLock::new(HashMap::new()),
                 cats: RwLock::new(HashMap::new()),
+                order: RwLock::new(HashMap::new()),
                 features: Mutex::new(FeatureCache::new(capacity)),
                 cache_capacity: AtomicUsize::new(capacity),
                 scratch: Mutex::new(Vec::new()),
@@ -311,8 +435,14 @@ impl<'a> QueryEngine<'a> {
     /// fixed byte budget). `0` disables evaluation-level caching entirely;
     /// lowering the capacity trims existing entries immediately.
     pub fn with_feature_cache_capacity(self, capacity: usize) -> QueryEngine<'a> {
-        self.shared.features.lock().expect("feature cache lock").set_capacity(capacity);
-        self.shared.cache_capacity.store(capacity, Ordering::Relaxed);
+        self.shared
+            .features
+            .lock()
+            .expect("feature cache lock")
+            .set_capacity(capacity);
+        self.shared
+            .cache_capacity
+            .store(capacity, Ordering::Relaxed);
         self
     }
 
@@ -325,6 +455,7 @@ impl<'a> QueryEngine<'a> {
             evaluations: self.shared.evaluations.load(Ordering::Relaxed),
             group_indexes: self.shared.groups.read().expect("groups lock").len(),
             column_views: self.shared.views.read().expect("views lock").len(),
+            order_indexes: self.shared.order.read().expect("order lock").len(),
             feature_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
         }
     }
@@ -421,45 +552,60 @@ impl<'a> QueryEngine<'a> {
         let workers = workers.max(1).min(queries.len().max(1));
         if workers == 1 {
             let mut scratch = self.take_scratch();
-            let out = queries.iter().map(|q| self.evaluate_cached(&mut scratch, q)).collect();
+            let out = queries
+                .iter()
+                .map(|q| self.evaluate_cached(&mut scratch, q))
+                .collect();
             self.put_scratch(scratch);
             return out;
         }
         let cursor = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, feataug_tabular::Result<Arc<Vec<Option<f64>>>>)>> =
-            std::thread::scope(|scope| {
-                let cursor = &cursor;
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            let mut scratch = self.take_scratch();
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(query) = queries.get(i) else { break };
-                                local.push((i, self.evaluate_cached(&mut scratch, query)));
-                            }
-                            self.put_scratch(scratch);
-                            local
-                        })
+        let parts: Vec<Vec<(usize, FeatureResult)>> = std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = self.take_scratch();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = queries.get(i) else { break };
+                            local.push((i, self.evaluate_cached(&mut scratch, query)));
+                        }
+                        self.put_scratch(scratch);
+                        local
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
-            });
-        let mut out: Vec<Option<feataug_tabular::Result<Arc<Vec<Option<f64>>>>>> =
-            (0..queries.len()).map(|_| None).collect();
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<FeatureResult>> = (0..queries.len()).map(|_| None).collect();
         for (i, result) in parts.into_iter().flatten() {
             out[i] = Some(result);
         }
-        out.into_iter().map(|slot| slot.expect("every query index visited")).collect()
+        out.into_iter()
+            .map(|slot| slot.expect("every query index visited"))
+            .collect()
     }
 
     fn take_scratch(&self) -> EvalScratch {
-        self.shared.scratch.lock().expect("scratch pool lock").pop().unwrap_or_default()
+        self.shared
+            .scratch
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default()
     }
 
     fn put_scratch(&self, scratch: EvalScratch) {
-        self.shared.scratch.lock().expect("scratch pool lock").push(scratch);
+        self.shared
+            .scratch
+            .lock()
+            .expect("scratch pool lock")
+            .push(scratch);
     }
 
     /// Serve one request: feature-LRU lookup first, full evaluation on miss.
@@ -476,7 +622,13 @@ impl<'a> QueryEngine<'a> {
             return Ok(Arc::new(self.evaluate_uncached(scratch, query)?));
         }
         let key = FeatureCache::key(query);
-        if let Some(hit) = self.shared.features.lock().expect("feature cache lock").get(&key) {
+        if let Some(hit) = self
+            .shared
+            .features
+            .lock()
+            .expect("feature cache lock")
+            .get(&key)
+        {
             self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -501,7 +653,9 @@ impl<'a> QueryEngine<'a> {
         let view = self.view(&query.agg_column)?;
         let trivial = query.predicate.is_trivial();
         if !trivial {
-            let EvalScratch { mask, scratch: tmp, .. } = scratch;
+            let EvalScratch {
+                mask, scratch: tmp, ..
+            } = scratch;
             self.predicate_mask(&query.predicate, mask, tmp)?;
         }
 
@@ -510,30 +664,60 @@ impl<'a> QueryEngine<'a> {
         // aggregation column's numeric view (its codes) is renumbered by
         // first appearance among the *surviving* rows. Reproduce that here;
         // for trivial predicates the reference borrows the unfiltered table
-        // and the cached view already matches.
+        // and the cached view (and the order index built over it) already
+        // match.
         if !trivial {
             if let Column::Cat(cat) = self.relevant.column(&query.agg_column)? {
-                let EvalScratch { mask, cat_view, cat_remap, .. } = scratch;
+                let EvalScratch {
+                    mask,
+                    cat_view,
+                    cat_remap,
+                    ..
+                } = scratch;
                 remapped_cat_view(cat, mask, cat_view, cat_remap);
                 let cat_view = std::mem::take(&mut scratch.cat_view);
-                aggregate_groups(scratch, &gi, &cat_view, query.agg, trivial);
+                // Re-interned codes are query-local, so the memoized order
+                // index does not apply; the dictionary-code frequency kernel
+                // (and a per-bucket sort for MEDIAN/MAD) covers this path.
+                aggregate_groups(scratch, &gi, &cat_view, query.agg, trivial, None, true);
                 scratch.cat_view = cat_view;
             } else {
-                aggregate_groups(scratch, &gi, &view, query.agg, trivial);
+                let order = self.agg_order_index(query, &gi, &view, Some(&scratch.mask));
+                aggregate_groups(
+                    scratch,
+                    &gi,
+                    &view,
+                    query.agg,
+                    trivial,
+                    order.as_deref(),
+                    false,
+                );
             }
         } else {
-            aggregate_groups(scratch, &gi, &view, query.agg, trivial);
+            let order = self.agg_order_index(query, &gi, &view, None);
+            aggregate_groups(
+                scratch,
+                &gi,
+                &view,
+                query.agg,
+                trivial,
+                order.as_deref(),
+                false,
+            );
         }
 
         // O(train) gather through the precomputed train-row -> group map.
         // `sel_count > 0` guards against reading stale `group_out` slots of
-        // groups the current query never touched.
+        // groups the current query never touched. NaN results are
+        // canonicalized here: IEEE 754 leaves an arithmetic NaN's sign and
+        // payload unspecified, and the reference `AggFunc::apply` pins them
+        // to the canonical NaN (see `feataug_tabular::aggregate`).
         let mut out = vec![None; self.train.num_rows()];
         for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
             if let Some(g) = tg {
                 let g = *g as usize;
                 if scratch.sel_count[g] > 0 {
-                    *slot = scratch.group_out[g];
+                    *slot = scratch.group_out[g].map(canonical_nan);
                 }
             }
         }
@@ -567,6 +751,64 @@ impl<'a> QueryEngine<'a> {
         Ok(map.entry(keys.to_vec()).or_insert(built).clone())
     }
 
+    /// The memoized order index for `query`'s `(aggregation column, key
+    /// subset)` pair — when its aggregate is an order statistic *and* the
+    /// selection is dense enough for the run merge to win. `None` routes the
+    /// query to the scatter-bucket kernels instead.
+    ///
+    /// Cost model: the merge scans every touched group's whole run (up to all
+    /// non-null rows) at one mask probe per value, while the scatter path
+    /// costs O(selected rows) plus a sort of each small bucket — so a sparse
+    /// selection is cheaper to re-bucket and a dense (or trivial: zero-copy)
+    /// one is cheaper to merge. The index is also built lazily on the first
+    /// query that actually chooses the merge, so an all-sparse workload never
+    /// pays the compilation.
+    fn agg_order_index(
+        &self,
+        query: &PredicateQuery,
+        gi: &GroupIndex,
+        view: &[Option<f64>],
+        mask: Option<&SelectionMask>,
+    ) -> Option<Arc<OrderIndex>> {
+        if KernelFamily::of(query.agg) != KernelFamily::OrderStat {
+            return None;
+        }
+        // `None` mask = trivial predicate (every row selected). The popcount
+        // runs only for order-statistic queries — the streaming / moment
+        // families bail out above without touching the mask.
+        let dense = match mask {
+            None => true,
+            Some(m) => m.count_ones().saturating_mul(4) >= self.relevant.num_rows(),
+        };
+        dense.then(|| self.order_index(&query.agg_column, &query.group_keys, gi, view))
+    }
+
+    /// Fetch (or build and memoize) the sorted-group value index for one
+    /// `(aggregation column, group-key subset)` pair. The artifact is
+    /// immutable; the lock guards only the memo map.
+    fn order_index(
+        &self,
+        column: &str,
+        keys: &[String],
+        gi: &GroupIndex,
+        view: &[Option<f64>],
+    ) -> Arc<OrderIndex> {
+        if let Some(idx) = self
+            .shared
+            .order
+            .read()
+            .expect("order lock")
+            .get(&(column.to_string(), keys.to_vec()))
+        {
+            return idx.clone();
+        }
+        let built = Arc::new(build_order_index(gi, view));
+        let mut map = self.shared.order.write().expect("order lock");
+        map.entry((column.to_string(), keys.to_vec()))
+            .or_insert(built)
+            .clone()
+    }
+
     /// Fetch (or build and memoize) the sorted row index for a range column.
     fn sorted_index(&self, column: &str) -> feataug_tabular::Result<Arc<SortedIndex>> {
         if let Some(idx) = self.shared.sorted.read().expect("sorted lock").get(column) {
@@ -592,11 +834,7 @@ impl<'a> QueryEngine<'a> {
 
     /// Fetch (or build and memoize) the inverted index for a categorical
     /// column.
-    fn cat_index(
-        &self,
-        cat: &feataug_tabular::column::CatColumn,
-        column: &str,
-    ) -> Arc<CatIndex> {
+    fn cat_index(&self, cat: &feataug_tabular::column::CatColumn, column: &str) -> Arc<CatIndex> {
         if let Some(idx) = self.shared.cats.read().expect("cats lock").get(column) {
             return idx.clone();
         }
@@ -721,8 +959,10 @@ fn build_group_index(
             "group-by needs at least one key".into(),
         ));
     }
-    let cols: Vec<&feataug_tabular::Column> =
-        key_refs.iter().map(|k| relevant.column(k)).collect::<feataug_tabular::Result<_>>()?;
+    let cols: Vec<&feataug_tabular::Column> = key_refs
+        .iter()
+        .map(|k| relevant.column(k))
+        .collect::<feataug_tabular::Result<_>>()?;
 
     // Dense group ids over the relevant table, in first-appearance order
     // (NULL atoms form their own groups, matching the group-by semantics).
@@ -752,7 +992,11 @@ fn build_group_index(
         .map(|row| mapper.key(row).and_then(|k| index.get(&k).copied()))
         .collect();
 
-    Ok(GroupIndex { group_of_row, n_groups, train_group })
+    Ok(GroupIndex {
+        group_of_row,
+        n_groups,
+        train_group,
+    })
 }
 
 /// Rebuild the numeric view of a categorical aggregation column the way the
@@ -791,132 +1035,294 @@ fn remapped_cat_view(
 
 /// Aggregate the selected rows' values into `scratch.group_out` (one
 /// `Option<f64>` per touched group), `scratch.sel_count` (selected rows per
-/// group) and `scratch.touched` (the groups hit, in first-touch order).
+/// group) and `scratch.touched` (the groups hit, in first-touch order),
+/// through the kernel family of `agg`:
+///
+/// * **Stream** — one pass, O(1) state per group;
+/// * **Moment** — two streaming passes (sum → centred power sums), no value
+///   buffers;
+/// * **OrderStat** — the memoized [`OrderIndex`] when the selection is dense
+///   (a trivial predicate reads each group's pre-sorted run in place, a
+///   filtering one merges the selected rows out of it at one mask probe per
+///   value). When `order` is `None` — a sparse selection, or query-local
+///   re-interned dictionary codes — values are scattered into per-group
+///   buckets instead and evaluated by the dictionary-code frequency kernel
+///   (`codes` views) or a per-bucket sort feeding the same sorted-run
+///   kernels.
 ///
 /// Per-group scratch is initialised lazily on first touch, so a selective
 /// query costs O(selected rows + touched groups) regardless of how many
 /// groups the index holds; the caller re-zeroes `sel_count` afterwards.
-/// Values are visited in ascending row order on every path, so
-/// floating-point accumulation matches the reference path bit for bit.
+/// Values are visited in ascending row order (streaming) or ascending value
+/// order (the order the reference's sort produces), so every kernel output
+/// matches `AggFunc::apply` over the same group bit for bit — the property
+/// suites enforce it.
 fn aggregate_groups(
     scratch: &mut EvalScratch,
     gi: &GroupIndex,
     view: &[Option<f64>],
     agg: AggFunc,
     trivial: bool,
+    order: Option<&OrderIndex>,
+    codes: bool,
 ) {
     let n_groups = gi.n_groups;
-    let EvalScratch { mask, sel_count, touched, nonnull, acc, cursors, scatter, group_out, .. } =
-        scratch;
+    let EvalScratch {
+        mask,
+        sel_count,
+        touched,
+        nonnull,
+        acc,
+        m2,
+        m4,
+        cursors,
+        scatter,
+        sorted_buf,
+        dev_buf,
+        freq,
+        group_out,
+        ..
+    } = scratch;
     // Grow (never shrink) the per-group scratch; `sel_count` is all-zero here
     // by invariant, the rest holds stale values that lazy init overwrites.
     if sel_count.len() < n_groups {
         sel_count.resize(n_groups, 0);
         nonnull.resize(n_groups, 0);
         acc.resize(n_groups, 0.0);
+        m2.resize(n_groups, 0.0);
+        m4.resize(n_groups, 0.0);
         cursors.resize(n_groups, 0);
         group_out.resize(n_groups, None);
     }
     touched.clear();
     let group_of_row = &gi.group_of_row;
 
-    let streaming_init = match agg {
-        AggFunc::Sum | AggFunc::Avg => Some(0.0),
-        AggFunc::Min => Some(f64::INFINITY),
-        AggFunc::Max => Some(f64::NEG_INFINITY),
-        AggFunc::Count => Some(0.0),
-        _ => None,
-    };
-
-    if let Some(init) = streaming_init {
-        let mut visit = |row: usize| {
-            let g = group_of_row[row] as usize;
-            if sel_count[g] == 0 {
-                touched.push(g as u32);
-                nonnull[g] = 0;
-                acc[g] = init;
-            }
-            sel_count[g] += 1;
-            if let Some(v) = view[row] {
-                nonnull[g] += 1;
-                match agg {
-                    AggFunc::Sum | AggFunc::Avg => acc[g] += v,
-                    AggFunc::Min => acc[g] = acc[g].min(v),
-                    AggFunc::Max => acc[g] = acc[g].max(v),
-                    AggFunc::Count => {}
-                    _ => unreachable!("streaming path covers only the five cheap functions"),
-                }
-            }
-        };
-        if trivial {
-            (0..group_of_row.len()).for_each(&mut visit);
-        } else {
-            mask.for_each_set(&mut visit);
-        }
-        for &g in touched.iter() {
-            let g = g as usize;
-            let n = nonnull[g];
-            group_out[g] = match agg {
-                AggFunc::Count => Some(n as f64),
-                _ if n == 0 => None,
-                AggFunc::Sum | AggFunc::Min | AggFunc::Max => Some(acc[g]),
-                AggFunc::Avg => Some(acc[g] / n as f64),
-                _ => unreachable!("streaming path covers only the five cheap functions"),
+    match KernelFamily::of(agg) {
+        KernelFamily::Stream => {
+            let init = match agg {
+                AggFunc::Min => f64::INFINITY,
+                AggFunc::Max => f64::NEG_INFINITY,
+                // -0.0 is IEEE addition's identity and the neutral element
+                // `Iterator::sum::<f64>` folds from: starting at +0.0 would
+                // turn an all-(-0.0) group's sum into +0.0 and diverge from
+                // the reference.
+                _ => -0.0,
             };
+            let mut visit = |row: usize| {
+                let g = group_of_row[row] as usize;
+                if sel_count[g] == 0 {
+                    touched.push(g as u32);
+                    nonnull[g] = 0;
+                    acc[g] = init;
+                }
+                sel_count[g] += 1;
+                if let Some(v) = view[row] {
+                    match agg {
+                        AggFunc::Sum | AggFunc::Avg => {
+                            nonnull[g] += 1;
+                            acc[g] += v;
+                        }
+                        AggFunc::Count => nonnull[g] += 1,
+                        // MIN/MAX ignore NaNs; `nonnull` counts only the
+                        // values that participate, so an all-NaN group
+                        // finalizes to NULL like the (fixed) reference.
+                        AggFunc::Min => {
+                            if !v.is_nan() {
+                                nonnull[g] += 1;
+                                acc[g] = acc[g].min(v);
+                            }
+                        }
+                        AggFunc::Max => {
+                            if !v.is_nan() {
+                                nonnull[g] += 1;
+                                acc[g] = acc[g].max(v);
+                            }
+                        }
+                        _ => unreachable!("streaming path covers only the five cheap functions"),
+                    }
+                }
+            };
+            if trivial {
+                (0..group_of_row.len()).for_each(&mut visit);
+            } else {
+                mask.for_each_set(&mut visit);
+            }
+            for &g in touched.iter() {
+                let g = g as usize;
+                let n = nonnull[g];
+                group_out[g] = match agg {
+                    AggFunc::Count => Some(n as f64),
+                    _ if n == 0 => None,
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => Some(acc[g]),
+                    AggFunc::Avg => Some(acc[g] / n as f64),
+                    _ => unreachable!("streaming path covers only the five cheap functions"),
+                };
+            }
         }
-        return;
-    }
-
-    // Slow path: bucket each group's non-null values in row order, then apply
-    // the same AggFunc::apply the reference group-by uses.
-    // Pass 1: count selected / non-null rows per group.
-    let mut count_visit = |row: usize| {
-        let g = group_of_row[row] as usize;
-        if sel_count[g] == 0 {
-            touched.push(g as u32);
-            nonnull[g] = 0;
+        KernelFamily::Moment => {
+            // Pass 1: per-group sum and non-null count, in row order (the
+            // order the reference's `values.iter().sum()` adds in).
+            let mut sum_visit = |row: usize| {
+                let g = group_of_row[row] as usize;
+                if sel_count[g] == 0 {
+                    touched.push(g as u32);
+                    nonnull[g] = 0;
+                    // -0.0: `Iterator::sum`'s neutral element (see the
+                    // streaming path).
+                    acc[g] = -0.0;
+                }
+                sel_count[g] += 1;
+                if let Some(v) = view[row] {
+                    nonnull[g] += 1;
+                    acc[g] += v;
+                }
+            };
+            if trivial {
+                (0..group_of_row.len()).for_each(&mut sum_visit);
+            } else {
+                mask.for_each_set(&mut sum_visit);
+            }
+            // Between the passes: turn each sum into the group mean and zero
+            // the centred power sums.
+            for &g in touched.iter() {
+                let g = g as usize;
+                if nonnull[g] > 0 {
+                    acc[g] /= nonnull[g] as f64;
+                }
+                m2[g] = 0.0;
+                m4[g] = 0.0;
+            }
+            // Pass 2: centred power sums, same row order.
+            let wants_m4 = agg == AggFunc::Kurtosis;
+            let mut dev_visit = |row: usize| {
+                if let Some(v) = view[row] {
+                    let g = group_of_row[row] as usize;
+                    accumulate_m2(&mut m2[g], v, acc[g]);
+                    if wants_m4 {
+                        accumulate_m4(&mut m4[g], v, acc[g]);
+                    }
+                }
+            };
+            if trivial {
+                (0..group_of_row.len()).for_each(&mut dev_visit);
+            } else {
+                mask.for_each_set(&mut dev_visit);
+            }
+            for &g in touched.iter() {
+                let g = g as usize;
+                group_out[g] = moment_finalize(agg, nonnull[g] as usize, m2[g], m4[g]);
+            }
         }
-        sel_count[g] += 1;
-        if view[row].is_some() {
-            nonnull[g] += 1;
+        KernelFamily::OrderStat => {
+            // Presence pass: which groups have selected rows at all.
+            let mut presence_visit = |row: usize| {
+                let g = group_of_row[row] as usize;
+                if sel_count[g] == 0 {
+                    touched.push(g as u32);
+                    nonnull[g] = 0;
+                }
+                sel_count[g] += 1;
+                if view[row].is_some() {
+                    nonnull[g] += 1;
+                }
+            };
+            if trivial {
+                (0..group_of_row.len()).for_each(&mut presence_visit);
+            } else {
+                mask.for_each_set(&mut presence_visit);
+            }
+
+            if let Some(order) = order {
+                // Selection-aware merge over the pre-sorted group runs.
+                for &g in touched.iter() {
+                    let g = g as usize;
+                    let (rows, vals) = order.run(g);
+                    let selected: &[f64] = if trivial {
+                        vals
+                    } else {
+                        sorted_buf.clear();
+                        for (i, &row) in rows.iter().enumerate() {
+                            if mask.get(row as usize) {
+                                sorted_buf.push(vals[i]);
+                            }
+                        }
+                        sorted_buf
+                    };
+                    group_out[g] = order_stat_value(agg, selected, dev_buf);
+                }
+                return;
+            }
+
+            // No precompiled runs (sparse selection, or query-local
+            // re-interned codes): bucket the values per group, then run the
+            // dictionary-code frequency kernel or sort the bucket.
+            let mut total = 0u32;
+            for &g in touched.iter() {
+                cursors[g as usize] = total;
+                total += nonnull[g as usize];
+            }
+            scatter.clear();
+            scatter.resize(total as usize, 0.0);
+            let mut scatter_visit = |row: usize| {
+                if let Some(v) = view[row] {
+                    let g = group_of_row[row] as usize;
+                    scatter[cursors[g] as usize] = v;
+                    cursors[g] += 1;
+                }
+            };
+            if trivial {
+                (0..group_of_row.len()).for_each(&mut scatter_visit);
+            } else {
+                mask.for_each_set(&mut scatter_visit);
+            }
+            // cursors[g] now points one past group g's bucket.
+            for &g in touched.iter() {
+                let g = g as usize;
+                let end = cursors[g] as usize;
+                let bucket = &mut scatter[end - nonnull[g] as usize..end];
+                group_out[g] = match agg {
+                    // Dictionary codes: dense frequency counting, no sort.
+                    AggFunc::CountDistinct | AggFunc::Mode | AggFunc::Entropy if codes => {
+                        for &code in bucket.iter() {
+                            freq.add(code);
+                        }
+                        let value = match agg {
+                            AggFunc::CountDistinct => Some(freq.count_distinct()),
+                            _ if freq.is_empty() => None,
+                            AggFunc::Mode => Some(freq.mode()),
+                            AggFunc::Entropy => Some(freq.entropy()),
+                            _ => unreachable!(),
+                        };
+                        freq.reset();
+                        value
+                    }
+                    _ => {
+                        bucket.sort_by(|a, b| a.total_cmp(b));
+                        order_stat_value(agg, bucket, dev_buf)
+                    }
+                };
+            }
         }
-    };
-    if trivial {
-        (0..group_of_row.len()).for_each(&mut count_visit);
-    } else {
-        mask.for_each_set(&mut count_visit);
     }
+}
 
-    // Prefix sums over the touched groups -> bucket cursors.
-    let mut total = 0u32;
-    for &g in touched.iter() {
-        cursors[g as usize] = total;
-        total += nonnull[g as usize];
+/// Evaluate an order-statistic aggregate over one group's selected values,
+/// already sorted by `total_cmp`. Empty-group semantics mirror
+/// [`AggFunc::apply`]: `COUNT_DISTINCT` yields 0, everything else NULL.
+fn order_stat_value(agg: AggFunc, sorted: &[f64], dev_buf: &mut Vec<f64>) -> Option<f64> {
+    if agg == AggFunc::CountDistinct {
+        return Some(count_distinct_sorted(sorted));
     }
-    scatter.clear();
-    scatter.resize(total as usize, 0.0);
-
-    // Pass 2: scatter values (ascending row order => ascending within bucket).
-    let mut scatter_visit = |row: usize| {
-        if let Some(v) = view[row] {
-            let g = group_of_row[row] as usize;
-            scatter[cursors[g] as usize] = v;
-            cursors[g] += 1;
-        }
-    };
-    if trivial {
-        (0..group_of_row.len()).for_each(&mut scatter_visit);
-    } else {
-        mask.for_each_set(&mut scatter_visit);
+    if sorted.is_empty() {
+        return None;
     }
-
-    // cursors[g] now points one past group g's bucket.
-    for &g in touched.iter() {
-        let g = g as usize;
-        let end = cursors[g] as usize;
-        let start = end - nonnull[g] as usize;
-        group_out[g] = agg.apply(&scatter[start..end]);
-    }
+    Some(match agg {
+        AggFunc::Median => median_sorted(sorted),
+        AggFunc::Mad => mad_sorted(sorted, dev_buf),
+        AggFunc::Mode => mode_sorted(sorted),
+        AggFunc::Entropy => entropy_sorted(sorted),
+        other => unreachable!("{other:?} is not an order statistic"),
+    })
 }
 
 #[cfg(test)]
@@ -927,19 +1333,27 @@ mod tests {
 
     fn train() -> Table {
         let mut t = Table::new("users");
-        t.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
-        t.add_column("mid", Column::from_strs(&["m1", "m2", "m9"])).unwrap();
-        t.add_column("label", Column::from_i64s(&[0, 1, 0])).unwrap();
+        t.add_column("cname", Column::from_strs(&["a", "b", "c"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m2", "m9"]))
+            .unwrap();
+        t.add_column("label", Column::from_i64s(&[0, 1, 0]))
+            .unwrap();
         t
     }
 
     fn relevant() -> Table {
         let mut t = Table::new("logs");
-        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
-        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"])).unwrap();
-        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
-        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"])).unwrap();
-        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"]))
+            .unwrap();
+        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
+        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"]))
+            .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400]))
+            .unwrap();
         t
     }
 
@@ -961,7 +1375,12 @@ mod tests {
         assert_eq!(engine_name, name);
         assert_eq!(engine_vals.len(), naive_vals.len());
         for (i, (e, n)) in engine_vals.iter().zip(&naive_vals).enumerate() {
-            assert_eq!(e.to_bits(), n.to_bits(), "row {i} of {}: {e} vs {n}", q.to_sql("R"));
+            assert_eq!(
+                e.to_bits(),
+                n.to_bits(),
+                "row {i} of {}: {e} vs {n}",
+                q.to_sql("R")
+            );
         }
     }
 
@@ -974,7 +1393,10 @@ mod tests {
             Predicate::eq("department", "ZZZ"),
             Predicate::ge("ts", 250),
             Predicate::between("pprice", 15.0, 35.0),
-            Predicate::and(vec![Predicate::eq("department", "E"), Predicate::le("ts", 350)]),
+            Predicate::and(vec![
+                Predicate::eq("department", "E"),
+                Predicate::le("ts", 350),
+            ]),
         ];
         for agg in AggFunc::all() {
             for predicate in &predicates {
@@ -1001,8 +1423,12 @@ mod tests {
     #[test]
     fn group_with_only_null_values_counts_zero() {
         let mut relevant = Table::new("logs");
-        relevant.add_column("cname", Column::from_strs(&["a", "b"])).unwrap();
-        relevant.add_column("mid", Column::from_strs(&["m1", "m2"])).unwrap();
+        relevant
+            .add_column("cname", Column::from_strs(&["a", "b"]))
+            .unwrap();
+        relevant
+            .add_column("mid", Column::from_strs(&["m1", "m2"]))
+            .unwrap();
         relevant
             .add_column("pprice", Column::from_opt_f64s(&[None, Some(1.0)]))
             .unwrap();
@@ -1011,7 +1437,10 @@ mod tests {
         let engine = QueryEngine::new(&train, &relevant);
         // Group "a" is present (one selected row) but has no non-null value:
         // COUNT = 0, unlike an absent group.
-        assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(0.0), Some(1.0), None]);
+        assert_eq!(
+            engine.evaluate(&q).unwrap(),
+            vec![Some(0.0), Some(1.0), None]
+        );
         assert_matches_naive(&q, &train, &relevant);
         let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
         assert_eq!(engine.evaluate(&q).unwrap(), vec![None, Some(1.0), None]);
@@ -1022,20 +1451,32 @@ mod tests {
         let (train, relevant) = (train(), relevant());
         let engine = QueryEngine::new(&train, &relevant);
         for keys in [&["cname"][..], &["cname", "mid"][..], &["cname"][..]] {
-            engine.evaluate(&query(AggFunc::Sum, Predicate::True, keys)).unwrap();
+            engine
+                .evaluate(&query(AggFunc::Sum, Predicate::True, keys))
+                .unwrap();
         }
         let stats = engine.stats();
         assert_eq!(stats.evaluations, 3);
-        assert_eq!(stats.group_indexes, 2, "repeat key subset must hit the cache");
+        assert_eq!(
+            stats.group_indexes, 2,
+            "repeat key subset must hit the cache"
+        );
         assert_eq!(stats.column_views, 1);
-        assert_eq!(stats.feature_cache_hits, 1, "the repeated query must hit the feature LRU");
+        assert_eq!(
+            stats.feature_cache_hits, 1,
+            "the repeated query must hit the feature LRU"
+        );
     }
 
     #[test]
     fn feature_cache_hits_return_identical_values_and_errors_are_not_cached() {
         let (train, relevant) = (train(), relevant());
         let engine = QueryEngine::new(&train, &relevant);
-        let q = query(AggFunc::Median, Predicate::eq("department", "E"), &["cname"]);
+        let q = query(
+            AggFunc::Median,
+            Predicate::eq("department", "E"),
+            &["cname"],
+        );
         let first = engine.evaluate(&q).unwrap();
         let second = engine.evaluate(&q).unwrap();
         assert_eq!(first, second);
@@ -1044,7 +1485,10 @@ mod tests {
         let mut bad = q.clone();
         bad.agg_column = "nope".into();
         assert!(engine.evaluate(&bad).is_err());
-        assert!(engine.evaluate(&bad).is_err(), "errors must keep erroring, not be cached");
+        assert!(
+            engine.evaluate(&bad).is_err(),
+            "errors must keep erroring, not be cached"
+        );
     }
 
     #[test]
@@ -1082,7 +1526,10 @@ mod tests {
         );
         let conjunction = query(
             AggFunc::Sum,
-            Predicate::and(vec![Predicate::eq("department", "E"), Predicate::eq("mid", "m1")]),
+            Predicate::and(vec![
+                Predicate::eq("department", "E"),
+                Predicate::eq("mid", "m1"),
+            ]),
             &["cname"],
         );
         assert_eq!(
@@ -1095,7 +1542,10 @@ mod tests {
         // filtered away.
         assert_eq!(engine.evaluate(&tricky).unwrap(), vec![None, None, None]);
         // The conjunction matches row 0 only (cname=a, dept=E, mid=m1).
-        assert_eq!(engine.evaluate(&conjunction).unwrap(), vec![Some(10.0), None, None]);
+        assert_eq!(
+            engine.evaluate(&conjunction).unwrap(),
+            vec![Some(10.0), None, None]
+        );
         assert_eq!(engine.stats().feature_cache_hits, 0);
         assert_matches_naive(&conjunction, &train, &relevant);
     }
@@ -1117,14 +1567,25 @@ mod tests {
             "shrinking the capacity must release the trimmed entries"
         );
         engine.evaluate(&c).unwrap();
-        assert_eq!(engine.stats().feature_cache_hits, 1, "the freshest entry must survive");
+        assert_eq!(
+            engine.stats().feature_cache_hits,
+            1,
+            "the freshest entry must survive"
+        );
         engine.evaluate(&a).unwrap();
-        assert_eq!(engine.stats().feature_cache_hits, 1, "stale entries must be gone");
+        assert_eq!(
+            engine.stats().feature_cache_hits,
+            1,
+            "stale entries must be gone"
+        );
     }
 
     #[test]
     fn default_cache_capacity_scales_down_for_large_tables() {
-        assert_eq!(super::default_cache_capacity(100), MAX_FEATURE_CACHE_ENTRIES);
+        assert_eq!(
+            super::default_cache_capacity(100),
+            MAX_FEATURE_CACHE_ENTRIES
+        );
         // 1M rows x 16 B = 16 MB per entry: the byte budget allows only 4,
         // the floor of 16 entries wins (a cache smaller than that is useless).
         assert_eq!(super::default_cache_capacity(1_000_000), 16);
@@ -1142,7 +1603,11 @@ mod tests {
     fn env_workers_honours_positive_integers_only() {
         assert_eq!(super::env_workers(Some("4")), Some(4));
         assert_eq!(super::env_workers(Some("1")), Some(1));
-        assert_eq!(super::env_workers(Some("0")), None, "zero workers is nonsense");
+        assert_eq!(
+            super::env_workers(Some("0")),
+            None,
+            "zero workers is nonsense"
+        );
         assert_eq!(super::env_workers(Some("two")), None);
         assert_eq!(super::env_workers(Some("")), None);
         assert_eq!(super::env_workers(None), None);
@@ -1163,12 +1628,25 @@ mod tests {
         let (train, relevant) = (train(), relevant());
         let engine = QueryEngine::new(&train, &relevant);
         let clone = engine.clone();
-        engine.evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"])).unwrap();
-        clone.evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"])).unwrap();
+        engine
+            .evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"]))
+            .unwrap();
+        clone
+            .evaluate(&query(AggFunc::Sum, Predicate::True, &["cname"]))
+            .unwrap();
         let stats = engine.stats();
-        assert_eq!(stats.evaluations, 2, "clones must report combined throughput");
-        assert_eq!(stats.group_indexes, 1, "clones must reuse the same compiled group index");
-        assert_eq!(stats.feature_cache_hits, 1, "clones must share the feature LRU");
+        assert_eq!(
+            stats.evaluations, 2,
+            "clones must report combined throughput"
+        );
+        assert_eq!(
+            stats.group_indexes, 1,
+            "clones must reuse the same compiled group index"
+        );
+        assert_eq!(
+            stats.feature_cache_hits, 1,
+            "clones must share the feature LRU"
+        );
         assert_eq!(engine.stats(), clone.stats());
     }
 
@@ -1189,7 +1667,10 @@ mod tests {
             }
         }
         let serial_engine = QueryEngine::new(&train, &relevant);
-        let serial: Vec<_> = pool.iter().map(|q| serial_engine.evaluate(q).unwrap()).collect();
+        let serial: Vec<_> = pool
+            .iter()
+            .map(|q| serial_engine.evaluate(q).unwrap())
+            .collect();
         for workers in [1, 2, 5, 16] {
             let engine = QueryEngine::new(&train, &relevant);
             let batch = engine.evaluate_batch_threads(&pool, workers);
@@ -1223,7 +1704,10 @@ mod tests {
         let results = engine.feature_batch_threads(&pool, 3);
         assert_eq!(results.len(), 3);
         assert!(results[0].is_ok());
-        assert!(results[1].is_err(), "the failing query's slot must carry its error");
+        assert!(
+            results[1].is_err(),
+            "the failing query's slot must carry its error"
+        );
         assert!(results[2].is_ok());
         assert_eq!(results[0].as_ref().unwrap().0, pool[0].feature_name());
         assert_eq!(results[2].as_ref().unwrap().0, pool[2].feature_name());
@@ -1239,11 +1723,18 @@ mod tests {
         let mut train = Table::new("users");
         // "zz" never appears in the relevant table; NULL keys never match.
         train
-            .add_column("cname", Column::from_opt_strs(&[Some("a"), Some("zz"), None]))
+            .add_column(
+                "cname",
+                Column::from_opt_strs(&[Some("a"), Some("zz"), None]),
+            )
             .unwrap();
         let mut relevant = Table::new("logs");
-        relevant.add_column("cname", Column::from_strs(&["a", "a"])).unwrap();
-        relevant.add_column("pprice", Column::from_f64s(&[1.5, 2.5])).unwrap();
+        relevant
+            .add_column("cname", Column::from_strs(&["a", "a"]))
+            .unwrap();
+        relevant
+            .add_column("pprice", Column::from_f64s(&[1.5, 2.5]))
+            .unwrap();
         let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
         let engine = QueryEngine::new(&train, &relevant);
         assert_eq!(engine.evaluate(&q).unwrap(), vec![Some(4.0), None, None]);
@@ -1267,7 +1758,11 @@ mod tests {
     fn feature_encodes_null_as_nan_and_names_match() {
         let (train, relevant) = (train(), relevant());
         let engine = QueryEngine::new(&train, &relevant);
-        let q = query(AggFunc::Avg, Predicate::eq("department", "E"), &["cname", "mid"]);
+        let q = query(
+            AggFunc::Avg,
+            Predicate::eq("department", "E"),
+            &["cname", "mid"],
+        );
         let (name, values) = engine.feature(&q).unwrap();
         assert_eq!(name, q.feature_name());
         assert_eq!(values.len(), train.num_rows());
@@ -1302,7 +1797,10 @@ mod tests {
             let second = engine.evaluate(&q).unwrap();
             assert_eq!(first, second);
         }
-        assert!(engine.stats().group_indexes <= 4, "K has 2 attributes -> at most 3 subsets");
+        assert!(
+            engine.stats().group_indexes <= 4,
+            "K has 2 attributes -> at most 3 subsets"
+        );
         assert!(
             engine.stats().feature_cache_hits >= 60,
             "every repeat evaluation must be served from the feature LRU"
@@ -1315,7 +1813,9 @@ mod tests {
         relevant
             .add_column("cname", Column::from_opt_strs(&[Some("a"), None, None]))
             .unwrap();
-        relevant.add_column("pprice", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
+        relevant
+            .add_column("pprice", Column::from_f64s(&[1.0, 2.0, 3.0]))
+            .unwrap();
         let train = train();
         let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
         assert_matches_naive(&q, &train, &relevant);
@@ -1332,9 +1832,15 @@ mod tests {
         let mut train = Table::new("users");
         train.add_column("k", Column::from_strs(&["u"])).unwrap();
         let mut relevant = Table::new("logs");
-        relevant.add_column("k", Column::from_strs(&["u", "u"])).unwrap();
-        relevant.add_column("c", Column::from_strs(&["b", "a"])).unwrap();
-        relevant.add_column("sel", Column::from_i64s(&[0, 1])).unwrap();
+        relevant
+            .add_column("k", Column::from_strs(&["u", "u"]))
+            .unwrap();
+        relevant
+            .add_column("c", Column::from_strs(&["b", "a"]))
+            .unwrap();
+        relevant
+            .add_column("sel", Column::from_i64s(&[0, 1]))
+            .unwrap();
         let q = PredicateQuery {
             agg: AggFunc::Mode,
             agg_column: "c".into(),
@@ -1346,7 +1852,11 @@ mod tests {
         assert_matches_naive(&q, &train, &relevant);
         // All aggregates over a categorical column, filtered and not.
         for agg in AggFunc::all() {
-            for pred in [Predicate::True, Predicate::ge("sel", 1), Predicate::eq("c", "a")] {
+            for pred in [
+                Predicate::True,
+                Predicate::ge("sel", 1),
+                Predicate::eq("c", "a"),
+            ] {
                 let q = PredicateQuery {
                     agg: *agg,
                     agg_column: "c".into(),
@@ -1356,6 +1866,122 @@ mod tests {
                 assert_matches_naive(&q, &train, &relevant);
             }
         }
+    }
+
+    #[test]
+    fn order_index_is_memoized_per_column_and_key_subset() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        engine
+            .evaluate(&query(AggFunc::Median, Predicate::True, &["cname"]))
+            .unwrap();
+        // Same (column, keys) pair: MAD must reuse MEDIAN's runs.
+        engine
+            .evaluate(&query(
+                AggFunc::Mad,
+                Predicate::eq("department", "E"),
+                &["cname"],
+            ))
+            .unwrap();
+        assert_eq!(
+            engine.stats().order_indexes,
+            1,
+            "same pair must share one order index"
+        );
+        // A different key subset compiles its own runs.
+        engine
+            .evaluate(&query(AggFunc::Mode, Predicate::True, &["cname", "mid"]))
+            .unwrap();
+        assert_eq!(engine.stats().order_indexes, 2);
+        // Streaming / moment aggregates never build order indexes.
+        engine
+            .evaluate(&query(AggFunc::Var, Predicate::True, &["mid"]))
+            .unwrap();
+        engine
+            .evaluate(&query(AggFunc::Sum, Predicate::True, &["mid"]))
+            .unwrap();
+        assert_eq!(engine.stats().order_indexes, 2);
+    }
+
+    /// Signed zeros, NaNs (both payload signs), infinities, all-NaN groups and
+    /// single-element groups must flow through every kernel family with the
+    /// reference path's exact bits.
+    #[test]
+    fn adversarial_floats_match_naive_for_all_aggregates() {
+        let mut train = Table::new("users");
+        train
+            .add_column("k", Column::from_strs(&["a", "b", "c", "d", "e"]))
+            .unwrap();
+        let mut relevant = Table::new("logs");
+        relevant
+            .add_column(
+                "k",
+                Column::from_strs(&["a", "a", "a", "a", "b", "b", "c", "d", "d"]),
+            )
+            .unwrap();
+        relevant
+            .add_column(
+                "v",
+                Column::from_opt_f64s(&[
+                    Some(0.0),
+                    Some(-0.0),
+                    Some(f64::NAN),
+                    Some(-f64::NAN),
+                    Some(f64::NAN), // group b: all NaN
+                    Some(f64::NAN),
+                    Some(-0.0), // group c: single element
+                    Some(f64::INFINITY),
+                    None,
+                ]),
+            )
+            .unwrap();
+        relevant
+            .add_column("sel", Column::from_i64s(&[0, 1, 2, 3, 4, 5, 6, 7, 8]))
+            .unwrap();
+        for agg in AggFunc::all() {
+            for predicate in [
+                Predicate::True,
+                Predicate::ge("sel", 2),
+                Predicate::le("sel", 6),
+            ] {
+                let q = PredicateQuery {
+                    agg: *agg,
+                    agg_column: "v".into(),
+                    predicate,
+                    group_keys: vec!["k".into()],
+                };
+                assert_matches_naive(&q, &train, &relevant);
+            }
+        }
+        // Spot-check the fixed semantics end to end: group b is all-NaN, so
+        // MIN must be NULL (NaN-encoded), not -INFINITY; and group a's MODE
+        // canonicalizes -0.0/0.0 into one value.
+        let engine = QueryEngine::new(&train, &relevant);
+        let min = engine
+            .evaluate(&PredicateQuery {
+                agg: AggFunc::Min,
+                agg_column: "v".into(),
+                predicate: Predicate::True,
+                group_keys: vec!["k".into()],
+            })
+            .unwrap();
+        assert_eq!(
+            min[1], None,
+            "all-NaN group must be NULL, not an infinite sentinel"
+        );
+        let distinct = engine
+            .evaluate(&PredicateQuery {
+                agg: AggFunc::CountDistinct,
+                agg_column: "v".into(),
+                predicate: Predicate::True,
+                group_keys: vec!["k".into()],
+            })
+            .unwrap();
+        assert_eq!(
+            distinct[0],
+            Some(2.0),
+            "group a holds two values: 0.0 and NaN"
+        );
     }
 
     #[test]

@@ -134,7 +134,12 @@ impl<'a> QueryGenerator<'a> {
     /// the first candidate and its caches persist across every `generate` call on this
     /// generator.
     pub fn new(task: &'a AugTask, evaluator: &'a FeatureEvaluator, cfg: SqlGenConfig) -> Self {
-        Self::with_engine(task, evaluator, cfg, QueryEngine::new(&task.train, &task.relevant))
+        Self::with_engine(
+            task,
+            evaluator,
+            cfg,
+            QueryEngine::new(&task.train, &task.relevant),
+        )
     }
 
     /// Build a generator that evaluates candidates through `engine` — a (clone of a) shared
@@ -147,7 +152,12 @@ impl<'a> QueryGenerator<'a> {
         cfg: SqlGenConfig,
         engine: QueryEngine<'a>,
     ) -> Self {
-        QueryGenerator { task, evaluator, cfg, engine }
+        QueryGenerator {
+            task,
+            evaluator,
+            cfg,
+            engine,
+        }
     }
 
     /// The execution engine this generator evaluates candidates through.
@@ -188,12 +198,17 @@ impl<'a> QueryGenerator<'a> {
         // Every really-evaluated candidate ends up here, keyed by feature name for dedup.
         let mut evaluated: Vec<GeneratedQuery> = Vec::new();
         let record = |evaluated: &mut Vec<GeneratedQuery>,
-                          query: PredicateQuery,
-                          name: String,
-                          feature: Vec<f64>,
-                          loss: f64| {
+                      query: PredicateQuery,
+                      name: String,
+                      feature: Vec<f64>,
+                      loss: f64| {
             if !evaluated.iter().any(|g| g.feature_name == name) {
-                evaluated.push(GeneratedQuery { query, loss, feature_name: name, feature });
+                evaluated.push(GeneratedQuery {
+                    query,
+                    loss,
+                    feature_name: name,
+                    feature,
+                });
             }
         };
 
@@ -208,8 +223,10 @@ impl<'a> QueryGenerator<'a> {
                 let query = codec.decode(&config);
                 let proxy_loss = match self.materialize(&query) {
                     Some((name, feature)) => {
-                        let loss =
-                            self.cfg.proxy.loss(&feature, &labels, self.evaluator.task());
+                        let loss = self
+                            .cfg
+                            .proxy
+                            .loss(&feature, &labels, self.evaluator.task());
                         proxy_trials.push((config.clone(), loss, query, name, feature));
                         loss
                     }
@@ -294,7 +311,12 @@ mod tests {
     use feataug_tabular::AggFunc;
 
     fn tmall_task() -> AugTask {
-        let ds = tmall::generate(&GenConfig { n_entities: 250, fanout: 8, n_noise_cols: 1, seed: 5 });
+        let ds = tmall::generate(&GenConfig {
+            n_entities: 250,
+            fanout: 8,
+            n_noise_cols: 1,
+            seed: 5,
+        });
         AugTask::new(
             ds.train,
             ds.relevant,
@@ -350,7 +372,10 @@ mod tests {
     fn warmup_top_k_handles_fewer_distinct_names_than_k() {
         let kept = warmup_top_k(vec![trial("f_a", -0.2), trial("f_a", -0.1)], 5);
         assert_eq!(kept.len(), 1);
-        assert_eq!(kept[0].1, -0.2, "the duplicate kept must be the best-ranked one");
+        assert_eq!(
+            kept[0].1, -0.2,
+            "the duplicate kept must be the best-ranked one"
+        );
     }
 
     #[test]
@@ -396,7 +421,10 @@ mod tests {
         let (_, t_with) = with.generate(&template(&task), 2);
         assert!(t_with.warmup > Duration::from_nanos(0));
 
-        let cfg = SqlGenConfig { enable_warmup: false, ..SqlGenConfig::fast() };
+        let cfg = SqlGenConfig {
+            enable_warmup: false,
+            ..SqlGenConfig::fast()
+        };
         let without = QueryGenerator::new(&task, &evaluator, cfg);
         let (queries, t_without) = without.generate(&template(&task), 2);
         assert_eq!(t_without.warmup, Duration::from_nanos(0));

@@ -37,7 +37,12 @@ pub struct RelevantSource {
 impl RelevantSource {
     /// Build a source with default attribute sets.
     pub fn new(table: Table, key_columns: Vec<String>) -> Self {
-        RelevantSource { table, key_columns, agg_columns: Vec::new(), predicate_attrs: Vec::new() }
+        RelevantSource {
+            table,
+            key_columns,
+            agg_columns: Vec::new(),
+            predicate_attrs: Vec::new(),
+        }
     }
 
     /// Builder-style setter for the aggregation attributes.
@@ -69,7 +74,12 @@ pub struct MultiAugTask {
 impl MultiAugTask {
     /// Build a multi-table task.
     pub fn new(train: Table, label_column: impl Into<String>, task: Task) -> Self {
-        MultiAugTask { train, label_column: label_column.into(), task, sources: Vec::new() }
+        MultiAugTask {
+            train,
+            label_column: label_column.into(),
+            task,
+            sources: Vec::new(),
+        }
     }
 
     /// Builder-style: add a relevant table.
@@ -129,7 +139,11 @@ pub fn augment_multi(cfg: &FeatAugConfig, task: &MultiAugTask) -> MultiAugResult
         per_source.push(result);
     }
 
-    MultiAugResult { augmented_train: augmented, per_source, timing }
+    MultiAugResult {
+        augmented_train: augmented,
+        per_source,
+        timing,
+    }
 }
 
 /// Flatten a deep-layer relationship chain into one relevant table by left-joining each
@@ -159,7 +173,8 @@ mod tests {
         let keys: Vec<String> = (0..n).map(|i| format!("u{i}")).collect();
         let labels: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
         let mut t = Table::new("d");
-        t.add_column("user_id", Column::from_strings(&keys)).unwrap();
+        t.add_column("user_id", Column::from_strings(&keys))
+            .unwrap();
         t.add_column("label", Column::from_i64s(&labels)).unwrap();
         t
     }
@@ -175,11 +190,16 @@ mod tests {
                 let flag = if j % 2 == 0 { target } else { "other" };
                 flags.push(flag.to_string());
                 let label = (i % 2) as f64;
-                values.push(if flag == target { label * 10.0 + j as f64 } else { j as f64 });
+                values.push(if flag == target {
+                    label * 10.0 + j as f64
+                } else {
+                    j as f64
+                });
             }
         }
         let mut t = Table::new(name);
-        t.add_column("user_id", Column::from_strings(&keys)).unwrap();
+        t.add_column("user_id", Column::from_strings(&keys))
+            .unwrap();
         t.add_column("flag", Column::from_strings(&flags)).unwrap();
         t.add_column("value", Column::from_f64s(&values)).unwrap();
         t
@@ -201,18 +221,30 @@ mod tests {
     fn multi_source_union_attaches_features_from_every_source() {
         let n = 120;
         let task = MultiAugTask::new(train(n), "label", Task::BinaryClassification)
-            .with_source(RelevantSource::new(relevant(n, "r1", "a"), vec!["user_id".into()]))
-            .with_source(RelevantSource::new(relevant(n, "r2", "b"), vec!["user_id".into()]));
+            .with_source(RelevantSource::new(
+                relevant(n, "r1", "a"),
+                vec!["user_id".into()],
+            ))
+            .with_source(RelevantSource::new(
+                relevant(n, "r2", "b"),
+                vec!["user_id".into()],
+            ));
         assert_eq!(task.sources.len(), 2);
         let result = augment_multi(&small_cfg(), &task);
         assert_eq!(result.per_source.len(), 2);
         assert!(result.augmented_train.num_columns() > task.train.num_columns());
         assert_eq!(result.augmented_train.num_rows(), n);
         // Features from both sources contribute.
-        assert!(result.per_source.iter().all(|r| !r.feature_names.is_empty()));
+        assert!(result
+            .per_source
+            .iter()
+            .all(|r| !r.feature_names.is_empty()));
         assert!(result.timing.total() > std::time::Duration::from_nanos(0));
         // Every source's run shared one engine across QTI + generation.
-        assert!(result.per_source.iter().all(|r| r.engine_stats.evaluations > 0));
+        assert!(result
+            .per_source
+            .iter()
+            .all(|r| r.engine_stats.evaluations > 0));
     }
 
     #[test]
@@ -233,17 +265,31 @@ mod tests {
     fn flatten_chain_joins_deep_layers() {
         // orders(order head) -> products (by product_id) -> departments (by dept_id)
         let mut orders = Table::new("orders");
-        orders.add_column("user_id", Column::from_strs(&["u1", "u1", "u2"])).unwrap();
-        orders.add_column("product_id", Column::from_strs(&["p1", "p2", "p1"])).unwrap();
+        orders
+            .add_column("user_id", Column::from_strs(&["u1", "u1", "u2"]))
+            .unwrap();
+        orders
+            .add_column("product_id", Column::from_strs(&["p1", "p2", "p1"]))
+            .unwrap();
 
         let mut products = Table::new("products");
-        products.add_column("product_id", Column::from_strs(&["p1", "p2"])).unwrap();
-        products.add_column("dept_id", Column::from_strs(&["d1", "d2"])).unwrap();
-        products.add_column("price", Column::from_f64s(&[10.0, 20.0])).unwrap();
+        products
+            .add_column("product_id", Column::from_strs(&["p1", "p2"]))
+            .unwrap();
+        products
+            .add_column("dept_id", Column::from_strs(&["d1", "d2"]))
+            .unwrap();
+        products
+            .add_column("price", Column::from_f64s(&[10.0, 20.0]))
+            .unwrap();
 
         let mut departments = Table::new("departments");
-        departments.add_column("dept_id", Column::from_strs(&["d1", "d2"])).unwrap();
-        departments.add_column("dept_name", Column::from_strs(&["produce", "dairy"])).unwrap();
+        departments
+            .add_column("dept_id", Column::from_strs(&["d1", "d2"]))
+            .unwrap();
+        departments
+            .add_column("dept_name", Column::from_strs(&["produce", "dairy"]))
+            .unwrap();
 
         let flat = flatten_chain(
             &orders,
@@ -255,7 +301,13 @@ mod tests {
         .unwrap();
         assert_eq!(flat.num_rows(), 3);
         assert_eq!(flat.value(0, "price").unwrap(), Value::Float(10.0));
-        assert_eq!(flat.value(1, "dept_name").unwrap(), Value::Str("dairy".into()));
-        assert_eq!(flat.value(2, "dept_name").unwrap(), Value::Str("produce".into()));
+        assert_eq!(
+            flat.value(1, "dept_name").unwrap(),
+            Value::Str("dairy".into())
+        );
+        assert_eq!(
+            flat.value(2, "dept_name").unwrap(),
+            Value::Str("produce".into())
+        );
     }
 }

@@ -246,9 +246,14 @@ impl FeatAug {
         let mut augmented = task.train.clone();
         let mut feature_names = Vec::new();
         for q in &queries {
-            let values: Vec<Option<f64>> =
-                q.feature.iter().map(|v| if v.is_finite() { Some(*v) } else { None }).collect();
-            if augmented.add_column(q.feature_name.clone(), Column::from_opt_f64s(&values)).is_ok()
+            let values: Vec<Option<f64>> = q
+                .feature
+                .iter()
+                .map(|v| if v.is_finite() { Some(*v) } else { None })
+                .collect();
+            if augmented
+                .add_column(q.feature_name.clone(), Column::from_opt_f64s(&values))
+                .is_ok()
             {
                 feature_names.push(q.feature_name.clone());
             }
@@ -290,7 +295,12 @@ mod tests {
     use feataug_ml::Task;
 
     fn tmall_task() -> AugTask {
-        let ds = tmall::generate(&GenConfig { n_entities: 450, fanout: 8, n_noise_cols: 1, seed: 9 });
+        let ds = tmall::generate(&GenConfig {
+            n_entities: 450,
+            fanout: 8,
+            n_noise_cols: 1,
+            seed: 9,
+        });
         AugTask::new(
             ds.train,
             ds.relevant,
@@ -329,8 +339,14 @@ mod tests {
         // The base features (age, gender) carry almost no signal, so the base AUC hovers near
         // chance; the planted predicate-aware feature should lift the augmented table clearly
         // above it.
-        let base =
-            evaluate_table(&task.train, "label", &task.key_columns, task.task, ModelKind::Linear, 5);
+        let base = evaluate_table(
+            &task.train,
+            "label",
+            &task.key_columns,
+            task.task,
+            ModelKind::Linear,
+            5,
+        );
         let aug = evaluate_table(
             &result.augmented_train,
             "label",

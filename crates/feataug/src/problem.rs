@@ -74,9 +74,7 @@ impl AugTask {
             .schema()
             .fields()
             .iter()
-            .filter(|f| {
-                f.dtype.is_numeric_like() && !self.key_columns.iter().any(|k| *k == f.name)
-            })
+            .filter(|f| f.dtype.is_numeric_like() && !self.key_columns.contains(&f.name))
             .map(|f| f.name.clone())
             .collect()
     }
@@ -91,7 +89,7 @@ impl AugTask {
             .schema()
             .fields()
             .iter()
-            .filter(|f| !self.key_columns.iter().any(|k| *k == f.name))
+            .filter(|f| !self.key_columns.contains(&f.name))
             .map(|f| f.name.clone())
             .collect()
     }
@@ -115,14 +113,32 @@ mod tests {
 
     fn toy_task() -> AugTask {
         let mut train = Table::new("d");
-        train.add_column("k", Column::from_strs(&["a", "b"])).unwrap();
-        train.add_column("age", Column::from_i64s(&[30, 40])).unwrap();
-        train.add_column("label", Column::from_i64s(&[1, 0])).unwrap();
+        train
+            .add_column("k", Column::from_strs(&["a", "b"]))
+            .unwrap();
+        train
+            .add_column("age", Column::from_i64s(&[30, 40]))
+            .unwrap();
+        train
+            .add_column("label", Column::from_i64s(&[1, 0]))
+            .unwrap();
         let mut relevant = Table::new("r");
-        relevant.add_column("k", Column::from_strs(&["a", "a", "b"])).unwrap();
-        relevant.add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
-        relevant.add_column("dept", Column::from_strs(&["e", "h", "e"])).unwrap();
-        AugTask::new(train, relevant, vec!["k".into()], "label", Task::BinaryClassification)
+        relevant
+            .add_column("k", Column::from_strs(&["a", "a", "b"]))
+            .unwrap();
+        relevant
+            .add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0]))
+            .unwrap();
+        relevant
+            .add_column("dept", Column::from_strs(&["e", "h", "e"]))
+            .unwrap();
+        AugTask::new(
+            train,
+            relevant,
+            vec!["k".into()],
+            "label",
+            Task::BinaryClassification,
+        )
     }
 
     #[test]

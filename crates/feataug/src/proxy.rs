@@ -25,7 +25,11 @@ pub enum LowCostProxy {
 impl LowCostProxy {
     /// Every proxy, in the order of the paper's Table VIII columns.
     pub fn all() -> &'static [LowCostProxy] {
-        &[LowCostProxy::Spearman, LowCostProxy::MutualInformation, LowCostProxy::LinearModel]
+        &[
+            LowCostProxy::Spearman,
+            LowCostProxy::MutualInformation,
+            LowCostProxy::LinearModel,
+        ]
     }
 
     /// Paper-style short name.
@@ -45,9 +49,7 @@ impl LowCostProxy {
     pub fn score(&self, feature: &[f64], labels: &[f64], task: Task) -> f64 {
         let classification = task.is_classification();
         match self {
-            LowCostProxy::MutualInformation => {
-                mutual_information(feature, labels, classification)
-            }
+            LowCostProxy::MutualInformation => mutual_information(feature, labels, classification),
             LowCostProxy::Spearman => spearman(feature, labels).abs(),
             LowCostProxy::LinearModel => {
                 let rows: Vec<Vec<f64>> = feature.iter().map(|&v| vec![v]).collect();
@@ -135,8 +137,10 @@ mod tests {
     #[test]
     fn proxy_handles_nan_features() {
         let labels = binary_labels(100);
-        let feature: Vec<f64> =
-            labels.iter().map(|&y| if y > 0.5 { 1.0 } else { f64::NAN }).collect();
+        let feature: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y > 0.5 { 1.0 } else { f64::NAN })
+            .collect();
         for proxy in LowCostProxy::all() {
             let s = proxy.score(&feature, &labels, Task::BinaryClassification);
             assert!(s.is_finite(), "{proxy} produced a non-finite score");

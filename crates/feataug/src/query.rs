@@ -45,7 +45,12 @@ impl PredicateQuery {
             hash ^= *b as u64;
             hash = hash.wrapping_mul(0x100000001b3);
         }
-        format!("{}_{}_{:016x}", self.agg.name().to_lowercase(), self.agg_column, hash)
+        format!(
+            "{}_{}_{:016x}",
+            self.agg.name().to_lowercase(),
+            self.agg_column,
+            hash
+        )
     }
 
     /// Render the query as SQL text.
@@ -103,13 +108,24 @@ enum DimRole {
     AggColumn,
     /// Equality predicate on a categorical attribute; the vector holds the attribute's
     /// enumerated values.
-    CategoryEq { attr: String, values: Vec<Value> },
+    CategoryEq {
+        attr: String,
+        values: Vec<Value>,
+    },
     /// Lower bound of a range predicate on a numeric / datetime attribute.
-    RangeLow { attr: String, is_datetime: bool },
+    RangeLow {
+        attr: String,
+        is_datetime: bool,
+    },
     /// Upper bound of a range predicate.
-    RangeHigh { attr: String, is_datetime: bool },
+    RangeHigh {
+        attr: String,
+        is_datetime: bool,
+    },
     /// Group-by key inclusion flag.
-    KeyFlag { key: String },
+    KeyFlag {
+        key: String,
+    },
 }
 
 /// The encoder/decoder between a query template's pool and a hyperparameter [`SearchSpace`].
@@ -131,9 +147,15 @@ impl QueryCodec {
         let mut params = Vec::new();
         let mut roles = Vec::new();
 
-        params.push(Param::categorical("agg_func", template.agg_funcs.len().max(1)));
+        params.push(Param::categorical(
+            "agg_func",
+            template.agg_funcs.len().max(1),
+        ));
         roles.push(DimRole::AggFunc);
-        params.push(Param::categorical("agg_column", template.agg_columns.len().max(1)));
+        params.push(Param::categorical(
+            "agg_column",
+            template.agg_columns.len().max(1),
+        ));
         roles.push(DimRole::AggColumn);
 
         for attr in &template.predicate_attrs {
@@ -148,15 +170,26 @@ impl QueryCodec {
                         format!("{attr}__eq"),
                         values.len(),
                     ));
-                    roles.push(DimRole::CategoryEq { attr: attr.clone(), values });
+                    roles.push(DimRole::CategoryEq {
+                        attr: attr.clone(),
+                        values,
+                    });
                 }
                 DataType::Int | DataType::Float | DataType::DateTime => {
-                    let Some((low, high)) = column.numeric_range() else { continue };
+                    let Some((low, high)) = column.numeric_range() else {
+                        continue;
+                    };
                     let is_datetime = column.dtype() == DataType::DateTime;
                     params.push(Param::optional_float(format!("{attr}__low"), low, high));
-                    roles.push(DimRole::RangeLow { attr: attr.clone(), is_datetime });
+                    roles.push(DimRole::RangeLow {
+                        attr: attr.clone(),
+                        is_datetime,
+                    });
                     params.push(Param::optional_float(format!("{attr}__high"), low, high));
-                    roles.push(DimRole::RangeHigh { attr: attr.clone(), is_datetime });
+                    roles.push(DimRole::RangeHigh {
+                        attr: attr.clone(),
+                        is_datetime,
+                    });
                 }
             }
         }
@@ -168,7 +201,11 @@ impl QueryCodec {
             }
         }
 
-        Ok(QueryCodec { template: template.clone(), space: SearchSpace::new(params), roles })
+        Ok(QueryCodec {
+            template: template.clone(),
+            space: SearchSpace::new(params),
+            roles,
+        })
     }
 
     /// The hyperparameter space representing the query pool.
@@ -183,10 +220,18 @@ impl QueryCodec {
 
     /// Decode an optimizer configuration into an executable query.
     pub fn decode(&self, config: &Config) -> PredicateQuery {
-        assert_eq!(config.len(), self.roles.len(), "config does not match codec");
+        assert_eq!(
+            config.len(),
+            self.roles.len(),
+            "config does not match codec"
+        );
         let mut agg = *self.template.agg_funcs.first().unwrap_or(&AggFunc::Count);
-        let mut agg_column =
-            self.template.agg_columns.first().cloned().unwrap_or_default();
+        let mut agg_column = self
+            .template
+            .agg_columns
+            .first()
+            .cloned()
+            .unwrap_or_default();
         let mut predicates: Vec<Predicate> = Vec::new();
         // attr -> (low, high) accumulated across the two range dimensions.
         let mut ranges: Vec<(String, Option<f64>, Option<f64>, bool)> = Vec::new();
@@ -289,11 +334,16 @@ mod tests {
 
     fn relevant() -> Table {
         let mut t = Table::new("logs");
-        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
-        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"])).unwrap();
-        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
-        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"])).unwrap();
-        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"]))
+            .unwrap();
+        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
+        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"]))
+            .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400]))
+            .unwrap();
         t
     }
 
@@ -317,13 +367,13 @@ mod tests {
     fn decode_produces_valid_query_and_execution_works() {
         let codec = QueryCodec::build(&template(), &relevant()).unwrap();
         let config: Config = vec![
-            ParamValue::Cat(1),          // AVG
-            ParamValue::Cat(0),          // pprice
-            ParamValue::Cat(0),          // department = 'E'
-            ParamValue::Float(150.0),    // ts >= 150
-            ParamValue::Null,            // no upper bound
-            ParamValue::Cat(1),          // group by cname
-            ParamValue::Cat(0),          // not by mid
+            ParamValue::Cat(1),       // AVG
+            ParamValue::Cat(0),       // pprice
+            ParamValue::Cat(0),       // department = 'E'
+            ParamValue::Float(150.0), // ts >= 150
+            ParamValue::Null,         // no upper bound
+            ParamValue::Cat(1),       // group by cname
+            ParamValue::Cat(0),       // not by mid
         ];
         let query = codec.decode(&config);
         assert_eq!(query.agg, AggFunc::Avg);
@@ -336,7 +386,10 @@ mod tests {
         let out = query.execute(&relevant()).unwrap();
         // Only rows 2,3 match (ts>=150 & dept=E), both cname=b -> single group.
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, &query.feature_name()).unwrap(), Value::Float(35.0));
+        assert_eq!(
+            out.value(0, &query.feature_name()).unwrap(),
+            Value::Float(35.0)
+        );
     }
 
     #[test]
@@ -352,10 +405,16 @@ mod tests {
             ParamValue::Cat(0),
         ];
         let query = codec.decode(&config);
-        assert_eq!(query.group_keys, vec!["cname".to_string(), "mid".to_string()]);
+        assert_eq!(
+            query.group_keys,
+            vec!["cname".to_string(), "mid".to_string()]
+        );
         match &query.predicate {
             Predicate::Range { low, high, .. } => {
-                assert!(low.as_ref().unwrap().as_f64().unwrap() <= high.as_ref().unwrap().as_f64().unwrap());
+                assert!(
+                    low.as_ref().unwrap().as_f64().unwrap()
+                        <= high.as_ref().unwrap().as_f64().unwrap()
+                );
             }
             other => panic!("expected a range predicate, got {other:?}"),
         }
@@ -383,9 +442,15 @@ mod tests {
     #[test]
     fn augment_attaches_feature_to_training_table() {
         let mut train = Table::new("users");
-        train.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
-        train.add_column("mid", Column::from_strs(&["m1", "m2", "m9"])).unwrap();
-        train.add_column("label", Column::from_i64s(&[0, 1, 0])).unwrap();
+        train
+            .add_column("cname", Column::from_strs(&["a", "b", "c"]))
+            .unwrap();
+        train
+            .add_column("mid", Column::from_strs(&["m1", "m2", "m9"]))
+            .unwrap();
+        train
+            .add_column("label", Column::from_i64s(&[0, 1, 0]))
+            .unwrap();
 
         let query = PredicateQuery {
             agg: AggFunc::Sum,
@@ -421,7 +486,10 @@ mod tests {
             predicate: Predicate::eq("department", "E"),
             group_keys: vec!["cname".into()],
         };
-        let q2 = PredicateQuery { predicate: Predicate::eq("department", "H"), ..q1.clone() };
+        let q2 = PredicateQuery {
+            predicate: Predicate::eq("department", "H"),
+            ..q1.clone()
+        };
         assert_ne!(q1.feature_name(), q2.feature_name());
         assert_eq!(q1.feature_name(), q1.feature_name());
     }

@@ -29,7 +29,12 @@ impl QueryTemplate {
         predicate_attrs: Vec<String>,
         key_columns: Vec<String>,
     ) -> Self {
-        QueryTemplate { agg_funcs, agg_columns, predicate_attrs, key_columns }
+        QueryTemplate {
+            agg_funcs,
+            agg_columns,
+            predicate_attrs,
+            key_columns,
+        }
     }
 
     /// A template with an empty `WHERE`-clause attribute set — the degenerate, Featuretools-like
@@ -39,7 +44,12 @@ impl QueryTemplate {
         agg_columns: Vec<String>,
         key_columns: Vec<String>,
     ) -> Self {
-        QueryTemplate { agg_funcs, agg_columns, predicate_attrs: Vec::new(), key_columns }
+        QueryTemplate {
+            agg_funcs,
+            agg_columns,
+            predicate_attrs: Vec::new(),
+            key_columns,
+        }
     }
 
     /// One-hot encode the template's predicate-attribute combination against a universe of
@@ -48,7 +58,13 @@ impl QueryTemplate {
     pub fn encode_against(&self, universe: &[String]) -> Vec<f64> {
         universe
             .iter()
-            .map(|attr| if self.predicate_attrs.iter().any(|p| p == attr) { 1.0 } else { 0.0 })
+            .map(|attr| {
+                if self.predicate_attrs.iter().any(|p| p == attr) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -68,7 +84,11 @@ impl std::fmt::Display for QueryTemplate {
         write!(
             f,
             "T(F=[{}], A=[{}], P=[{}], K=[{}])",
-            self.agg_funcs.iter().map(|a| a.name()).collect::<Vec<_>>().join(","),
+            self.agg_funcs
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(","),
             self.agg_columns.join(","),
             self.predicate_attrs.join(","),
             self.key_columns.join(","),

@@ -117,7 +117,13 @@ impl<'a> TemplateIdentifier<'a> {
         agg_funcs: Vec<AggFunc>,
         cfg: TemplateIdConfig,
     ) -> Self {
-        Self::with_engine(task, evaluator, agg_funcs, cfg, QueryEngine::new(&task.train, &task.relevant))
+        Self::with_engine(
+            task,
+            evaluator,
+            agg_funcs,
+            cfg,
+            QueryEngine::new(&task.train, &task.relevant),
+        )
     }
 
     /// Build an identifier that scores pool samples through `engine` — a (clone of a) shared
@@ -130,7 +136,13 @@ impl<'a> TemplateIdentifier<'a> {
         cfg: TemplateIdConfig,
         engine: QueryEngine<'a>,
     ) -> Self {
-        TemplateIdentifier { task, evaluator, agg_funcs, cfg, engine }
+        TemplateIdentifier {
+            task,
+            evaluator,
+            agg_funcs,
+            cfg,
+            engine,
+        }
     }
 
     /// The execution engine this identifier scores pool samples through.
@@ -172,7 +184,9 @@ impl<'a> TemplateIdentifier<'a> {
                 continue;
             }
             let score = if self.cfg.use_proxy {
-                self.cfg.proxy.score(&feature, &labels, self.evaluator.task())
+                self.cfg
+                    .proxy
+                    .score(&feature, &labels, self.evaluator.task())
             } else {
                 -self.evaluator.loss_with_feature(&name, &feature)
             };
@@ -239,8 +253,7 @@ impl<'a> TemplateIdentifier<'a> {
             }
 
             // Optimization 2: keep only the predicted top-β children for real evaluation.
-            let to_evaluate: Vec<Vec<String>> = if self.cfg.use_predictor && evaluated.len() >= 2
-            {
+            let to_evaluate: Vec<Vec<String>> = if self.cfg.use_predictor && evaluated.len() >= 2 {
                 let predictor = self.train_predictor(&attrs, &evaluated);
                 let mut scored: Vec<(Vec<String>, f64)> = children
                     .into_iter()
@@ -254,7 +267,11 @@ impl<'a> TemplateIdentifier<'a> {
                     })
                     .collect();
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-                scored.into_iter().take(self.cfg.beam_width).map(|(c, _)| c).collect()
+                scored
+                    .into_iter()
+                    .take(self.cfg.beam_width)
+                    .map(|(c, _)| c)
+                    .collect()
             } else {
                 children
             };
@@ -354,7 +371,12 @@ mod tests {
     use feataug_ml::ModelKind;
 
     fn tmall_task() -> AugTask {
-        let ds = tmall::generate(&GenConfig { n_entities: 200, fanout: 8, n_noise_cols: 1, seed: 5 });
+        let ds = tmall::generate(&GenConfig {
+            n_entities: 200,
+            fanout: 8,
+            n_noise_cols: 1,
+            seed: 5,
+        });
         AugTask::new(
             ds.train,
             ds.relevant,
@@ -410,7 +432,10 @@ mod tests {
         let with_pred = identifier(&task, &evaluator, TemplateIdConfig::fast());
         let (_, _, n_with) = with_pred.identify();
 
-        let cfg = TemplateIdConfig { use_predictor: false, ..TemplateIdConfig::fast() };
+        let cfg = TemplateIdConfig {
+            use_predictor: false,
+            ..TemplateIdConfig::fast()
+        };
         let without_pred = identifier(&task, &evaluator, cfg);
         let (_, _, n_without) = without_pred.identify();
 
@@ -429,12 +454,17 @@ mod tests {
         let ident = identifier(
             &task,
             &evaluator,
-            TemplateIdConfig { pool_samples: 40, ..TemplateIdConfig::fast() },
+            TemplateIdConfig {
+                pool_samples: 40,
+                ..TemplateIdConfig::fast()
+            },
         );
         let (templates, _, _) = ident.identify();
         let best = &templates[0].template;
         assert!(
-            best.predicate_attrs.iter().any(|a| a == "department" || a == "timestamp"),
+            best.predicate_attrs
+                .iter()
+                .any(|a| a == "department" || a == "timestamp"),
             "best template {best} should involve a signal attribute"
         );
     }
@@ -447,7 +477,11 @@ mod tests {
             "action".into(),
         ]);
         let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
-        let cfg = TemplateIdConfig { max_depth: 3, pool_samples: 5, ..TemplateIdConfig::fast() };
+        let cfg = TemplateIdConfig {
+            max_depth: 3,
+            pool_samples: 5,
+            ..TemplateIdConfig::fast()
+        };
         let ident = identifier(&task, &evaluator, cfg);
         let (_, _, count) = ident.brute_force();
         assert_eq!(count, 7); // 2^3 - 1 subsets

@@ -19,7 +19,11 @@ pub struct DfsConfig {
 
 impl Default for DfsConfig {
     fn default() -> Self {
-        DfsConfig { agg_funcs: AggFunc::all().to_vec(), max_features: None, respect_types: true }
+        DfsConfig {
+            agg_funcs: AggFunc::all().to_vec(),
+            max_features: None,
+            respect_types: true,
+        }
     }
 }
 
@@ -133,12 +137,22 @@ mod tests {
 
     fn toy() -> (Table, Table) {
         let mut train = Table::new("train");
-        train.add_column("k", Column::from_strs(&["a", "b", "c"])).unwrap();
-        train.add_column("label", Column::from_i64s(&[1, 0, 1])).unwrap();
+        train
+            .add_column("k", Column::from_strs(&["a", "b", "c"]))
+            .unwrap();
+        train
+            .add_column("label", Column::from_i64s(&[1, 0, 1]))
+            .unwrap();
         let mut relevant = Table::new("rel");
-        relevant.add_column("k", Column::from_strs(&["a", "a", "b"])).unwrap();
-        relevant.add_column("x", Column::from_f64s(&[1.0, 3.0, 10.0])).unwrap();
-        relevant.add_column("cat", Column::from_strs(&["p", "q", "p"])).unwrap();
+        relevant
+            .add_column("k", Column::from_strs(&["a", "a", "b"]))
+            .unwrap();
+        relevant
+            .add_column("x", Column::from_f64s(&[1.0, 3.0, 10.0]))
+            .unwrap();
+        relevant
+            .add_column("cat", Column::from_strs(&["p", "q", "p"]))
+            .unwrap();
         (train, relevant)
     }
 
@@ -157,7 +171,10 @@ mod tests {
     #[test]
     fn enumerate_without_type_respect_includes_everything() {
         let (_, relevant) = toy();
-        let cfg = DfsConfig { respect_types: false, ..DfsConfig::default() };
+        let cfg = DfsConfig {
+            respect_types: false,
+            ..DfsConfig::default()
+        };
         let feats = enumerate_features(&relevant, &["x", "cat"], &cfg);
         assert_eq!(feats.len(), 30);
     }
@@ -165,7 +182,10 @@ mod tests {
     #[test]
     fn max_features_truncates_deterministically() {
         let (_, relevant) = toy();
-        let cfg = DfsConfig { max_features: Some(7), ..DfsConfig::default() };
+        let cfg = DfsConfig {
+            max_features: Some(7),
+            ..DfsConfig::default()
+        };
         let feats = enumerate_features(&relevant, &["x"], &cfg);
         assert_eq!(feats.len(), 7);
         assert_eq!(feats[0].name, "SUM(x)");
@@ -208,13 +228,19 @@ mod tests {
         };
         let (augmented, feats) = synthesize(&ds.train, &ds.relevant, &keys, &aggs, &cfg).unwrap();
         assert_eq!(augmented.num_rows(), ds.train.num_rows());
-        assert_eq!(augmented.num_columns(), ds.train.num_columns() + feats.len());
+        assert_eq!(
+            augmented.num_columns(),
+            ds.train.num_columns() + feats.len()
+        );
     }
 
     #[test]
     fn empty_feature_list_returns_training_table() {
         let (train, relevant) = toy();
-        let cfg = DfsConfig { agg_funcs: vec![], ..DfsConfig::default() };
+        let cfg = DfsConfig {
+            agg_funcs: vec![],
+            ..DfsConfig::default()
+        };
         let (augmented, feats) = synthesize(&train, &relevant, &["k"], &["x"], &cfg).unwrap();
         assert!(feats.is_empty());
         assert_eq!(augmented, train);

@@ -17,4 +17,6 @@ pub mod scoring;
 pub mod selector;
 
 pub use scoring::{chi_square, gini_score, mutual_information, pearson, spearman};
-pub use selector::{FeatureSelector, ScoreSelector, ScoringMethod, WrapperDirection, WrapperSelector};
+pub use selector::{
+    FeatureSelector, ScoreSelector, ScoringMethod, WrapperDirection, WrapperSelector,
+};

@@ -38,7 +38,13 @@ fn discretize(values: &[f64], bins: usize) -> (Vec<usize>, usize) {
     let n_value_bins = thresholds.len() + 1;
     let out: Vec<usize> = values
         .iter()
-        .map(|&v| if v.is_finite() { assign(v).min(n_value_bins - 1) } else { n_value_bins })
+        .map(|&v| {
+            if v.is_finite() {
+                assign(v).min(n_value_bins - 1)
+            } else {
+                n_value_bins
+            }
+        })
         .collect();
     (out, n_value_bins + 1)
 }
@@ -47,7 +53,10 @@ fn discretize(values: &[f64], bins: usize) -> (Vec<usize>, usize) {
 /// quantile bins.
 fn discretize_labels(labels: &[f64], classification: bool) -> (Vec<usize>, usize) {
     if classification {
-        let classes: Vec<usize> = labels.iter().map(|&y| y.round().max(0.0) as usize).collect();
+        let classes: Vec<usize> = labels
+            .iter()
+            .map(|&y| y.round().max(0.0) as usize)
+            .collect();
         let n = classes.iter().copied().max().unwrap_or(0) + 1;
         (classes, n)
     } else {
@@ -78,8 +87,7 @@ pub fn mutual_information(feature: &[f64], labels: &[f64], classification: bool)
     let table = contingency(&fx, nx, &fy, ny);
     let n = feature.len() as f64;
     let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col_sums: Vec<f64> =
-        (0..ny).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let col_sums: Vec<f64> = (0..ny).map(|j| table.iter().map(|r| r[j]).sum()).collect();
     let mut mi = 0.0;
     for i in 0..nx {
         for j in 0..ny {
@@ -136,7 +144,10 @@ pub fn gini_score(feature: &[f64], labels: &[f64]) -> f64 {
         if total == 0.0 {
             return 0.0;
         }
-        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+        1.0 - counts
+            .iter()
+            .map(|c| (c / total) * (c / total))
+            .sum::<f64>()
     };
 
     // Overall label impurity.
@@ -185,8 +196,15 @@ pub fn pearson(feature: &[f64], labels: &[f64]) -> f64 {
         return 0.0;
     }
     let finite: Vec<f64> = feature.iter().copied().filter(|v| v.is_finite()).collect();
-    let fill = if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 };
-    let x: Vec<f64> = feature.iter().map(|&v| if v.is_finite() { v } else { fill }).collect();
+    let fill = if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    let x: Vec<f64> = feature
+        .iter()
+        .map(|&v| if v.is_finite() { v } else { fill })
+        .collect();
 
     let mx = x.iter().sum::<f64>() / n as f64;
     let my = labels.iter().sum::<f64>() / n as f64;
@@ -215,8 +233,15 @@ pub fn spearman(feature: &[f64], labels: &[f64]) -> f64 {
     }
     // Missing feature values are ranked as the mean of the finite values (neutral position).
     let finite: Vec<f64> = feature.iter().copied().filter(|v| v.is_finite()).collect();
-    let fill = if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 };
-    let x: Vec<f64> = feature.iter().map(|&v| if v.is_finite() { v } else { fill }).collect();
+    let fill = if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    let x: Vec<f64> = feature
+        .iter()
+        .map(|&v| if v.is_finite() { v } else { fill })
+        .collect();
     pearson(&ranks(&x), &ranks(labels))
 }
 
@@ -255,8 +280,10 @@ mod tests {
     fn mi_detects_missingness_pattern() {
         // Feature is NaN exactly when the label is 0 — missingness itself is informative.
         let labels: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
-        let feature: Vec<f64> =
-            labels.iter().map(|&y| if y > 0.5 { 1.0 } else { f64::NAN }).collect();
+        let feature: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y > 0.5 { 1.0 } else { f64::NAN })
+            .collect();
         assert!(mutual_information(&feature, &labels, true) > 0.5);
     }
 

@@ -154,15 +154,22 @@ pub struct WrapperSelector {
 impl WrapperSelector {
     /// New wrapper selector using `model` as the evaluation model.
     pub fn new(direction: WrapperDirection, model: ModelKind) -> Self {
-        WrapperSelector { direction, model, train_fraction: 0.7, seed: 17 }
+        WrapperSelector {
+            direction,
+            model,
+            train_fraction: 0.7,
+            seed: 17,
+        }
     }
 
     fn score_subset(&self, data: &Dataset, subset: &[usize]) -> f64 {
         if subset.is_empty() {
             return f64::NEG_INFINITY;
         }
-        let names: Vec<String> =
-            subset.iter().map(|&j| data.feature_names[j].clone()).collect();
+        let names: Vec<String> = subset
+            .iter()
+            .map(|&j| data.feature_names[j].clone())
+            .collect();
         let rows: Vec<Vec<f64>> = (0..data.len())
             .map(|i| subset.iter().map(|&j| data.x.get(i, j)).collect())
             .collect();
@@ -253,7 +260,12 @@ mod tests {
         Dataset::new(
             Matrix::from_rows(&rows),
             y,
-            vec!["signal".into(), "leak".into(), "noise1".into(), "noise2".into()],
+            vec![
+                "signal".into(),
+                "leak".into(),
+                "noise1".into(),
+                "noise2".into(),
+            ],
             Task::BinaryClassification,
         )
     }
@@ -304,7 +316,10 @@ mod tests {
         let sel = WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear);
         let chosen = sel.select(&data, 1);
         assert_eq!(chosen.len(), 1);
-        assert!(chosen[0] == 0 || chosen[0] == 1, "forward picked {chosen:?}");
+        assert!(
+            chosen[0] == 0 || chosen[0] == 1,
+            "forward picked {chosen:?}"
+        );
     }
 
     #[test]
@@ -313,13 +328,22 @@ mod tests {
         let sel = WrapperSelector::new(WrapperDirection::Backward, ModelKind::Linear);
         let chosen = sel.select(&data, 2);
         assert_eq!(chosen.len(), 2);
-        assert!(chosen.contains(&0) || chosen.contains(&1), "backward kept {chosen:?}");
+        assert!(
+            chosen.contains(&0) || chosen.contains(&1),
+            "backward kept {chosen:?}"
+        );
     }
 
     #[test]
     fn names_match_paper_labels() {
-        assert_eq!(ScoreSelector::new(ScoringMethod::MutualInformation).name(), "FT+MI");
-        assert_eq!(ScoreSelector::new(ScoringMethod::ChiSquare).name(), "FT+Chi2");
+        assert_eq!(
+            ScoreSelector::new(ScoringMethod::MutualInformation).name(),
+            "FT+MI"
+        );
+        assert_eq!(
+            ScoreSelector::new(ScoringMethod::ChiSquare).name(),
+            "FT+Chi2"
+        );
         assert_eq!(
             WrapperSelector::new(WrapperDirection::Forward, ModelKind::Linear).name(),
             "FT+Forward"

@@ -28,11 +28,15 @@ impl GaussianKde {
             // Scott's rule, floored to a fraction of the support so the density never collapses.
             let n = clamped.len() as f64;
             let mean = clamped.iter().sum::<f64>() / n;
-            let std =
-                (clamped.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
+            let std = (clamped.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
             (1.06 * std * n.powf(-0.2)).max(span * 0.05)
         };
-        GaussianKde { points: clamped, bandwidth, low, high }
+        GaussianKde {
+            points: clamped,
+            bandwidth,
+            low,
+            high,
+        }
     }
 
     /// The fitted bandwidth.
@@ -88,7 +92,9 @@ impl CategoricalDensity {
             }
         }
         let total: f64 = counts.iter().sum();
-        CategoricalDensity { probs: counts.iter().map(|c| c / total).collect() }
+        CategoricalDensity {
+            probs: counts.iter().map(|c| c / total).collect(),
+        }
     }
 
     /// Probability of choice `i`.

@@ -15,7 +15,10 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// New random-search optimizer.
     pub fn new(space: SearchSpace) -> Self {
-        RandomSearch { space, history: Vec::new() }
+        RandomSearch {
+            space,
+            history: Vec::new(),
+        }
     }
 
     /// The underlying search space.
@@ -68,7 +71,10 @@ mod tests {
         }
         assert_eq!(rs.n_observations(), 50);
         let (best_cfg, best_loss) = rs.best().unwrap();
-        assert!(best_loss < 0.1, "after 50 uniform draws the min should be small");
+        assert!(
+            best_loss < 0.1,
+            "after 50 uniform draws the min should be small"
+        );
         assert_eq!(best_cfg[0].as_f64().unwrap(), best_loss);
         assert_eq!(rs.history().len(), 50);
     }

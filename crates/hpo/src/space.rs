@@ -42,32 +42,56 @@ pub struct Param {
 impl Param {
     /// Required categorical parameter with `n` choices.
     pub fn categorical(name: impl Into<String>, n: usize) -> Param {
-        Param { name: name.into(), domain: Domain::Categorical { n }, optional: false }
+        Param {
+            name: name.into(),
+            domain: Domain::Categorical { n },
+            optional: false,
+        }
     }
 
     /// Optional categorical parameter (may be Null).
     pub fn optional_categorical(name: impl Into<String>, n: usize) -> Param {
-        Param { name: name.into(), domain: Domain::Categorical { n }, optional: true }
+        Param {
+            name: name.into(),
+            domain: Domain::Categorical { n },
+            optional: true,
+        }
     }
 
     /// Required float parameter in `[low, high]`.
     pub fn float(name: impl Into<String>, low: f64, high: f64) -> Param {
-        Param { name: name.into(), domain: Domain::Float { low, high }, optional: false }
+        Param {
+            name: name.into(),
+            domain: Domain::Float { low, high },
+            optional: false,
+        }
     }
 
     /// Optional float parameter in `[low, high]` (may be Null).
     pub fn optional_float(name: impl Into<String>, low: f64, high: f64) -> Param {
-        Param { name: name.into(), domain: Domain::Float { low, high }, optional: true }
+        Param {
+            name: name.into(),
+            domain: Domain::Float { low, high },
+            optional: true,
+        }
     }
 
     /// Required integer parameter in `[low, high]`.
     pub fn int(name: impl Into<String>, low: i64, high: i64) -> Param {
-        Param { name: name.into(), domain: Domain::Int { low, high }, optional: false }
+        Param {
+            name: name.into(),
+            domain: Domain::Int { low, high },
+            optional: false,
+        }
     }
 
     /// Optional integer parameter in `[low, high]` (may be Null).
     pub fn optional_int(name: impl Into<String>, low: i64, high: i64) -> Param {
-        Param { name: name.into(), domain: Domain::Int { low, high }, optional: true }
+        Param {
+            name: name.into(),
+            domain: Domain::Int { low, high },
+            optional: true,
+        }
     }
 
     /// Sample a value uniformly from the domain (Null with probability 1/(n+1) for optional

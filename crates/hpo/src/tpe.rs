@@ -39,7 +39,12 @@ pub struct TpeConfig {
 
 impl Default for TpeConfig {
     fn default() -> Self {
-        TpeConfig { gamma: 0.15, n_startup: 10, n_ei_candidates: 24, alpha: 1.0 }
+        TpeConfig {
+            gamma: 0.15,
+            n_startup: 10,
+            n_ei_candidates: 24,
+            alpha: 1.0,
+        }
     }
 }
 
@@ -53,14 +58,26 @@ pub struct Tpe {
 
 /// Per-dimension density pair (good / bad) used when scoring candidates.
 enum DimDensity {
-    Numeric { good: GaussianKde, bad: GaussianKde, good_null_rate: f64, bad_null_rate: f64 },
-    Categorical { good: CategoricalDensity, bad: CategoricalDensity },
+    Numeric {
+        good: GaussianKde,
+        bad: GaussianKde,
+        good_null_rate: f64,
+        bad_null_rate: f64,
+    },
+    Categorical {
+        good: CategoricalDensity,
+        bad: CategoricalDensity,
+    },
 }
 
 impl Tpe {
     /// New TPE optimizer over `space`.
     pub fn new(space: SearchSpace, cfg: TpeConfig) -> Self {
-        Tpe { space, cfg, trials: Vec::new() }
+        Tpe {
+            space,
+            cfg,
+            trials: Vec::new(),
+        }
     }
 
     /// The underlying search space.
@@ -77,13 +94,24 @@ impl Tpe {
     /// Startup random exploration is skipped once at least `n_startup` warm observations exist.
     pub fn warm_start(&mut self, observations: impl IntoIterator<Item = (Config, f64)>) {
         for (config, loss) in observations {
-            debug_assert!(self.space.contains(&config), "warm-start config outside the space");
+            debug_assert!(
+                self.space.contains(&config),
+                "warm-start config outside the space"
+            );
             self.trials.push(Trial { config, loss });
         }
     }
 
     /// Split trials into (good, bad) by the γ-quantile of losses.
+    ///
+    /// Requires at least two trials — with fewer, the "bad" side would be
+    /// empty and the densities would be fitted on empty slices;
+    /// [`Tpe::suggest`] falls back to random sampling before that can happen.
     fn split(&self) -> (Vec<&Trial>, Vec<&Trial>) {
+        debug_assert!(
+            self.trials.len() >= 2,
+            "split() needs >= 2 trials for a non-empty bad side"
+        );
         let mut sorted: Vec<&Trial> = self.trials.iter().collect();
         sorted.sort_by(|a, b| a.loss.total_cmp(&b.loss));
         let n_good = ((sorted.len() as f64) * self.cfg.gamma).ceil().max(1.0) as usize;
@@ -140,11 +168,7 @@ impl Tpe {
     }
 
     /// Sample one candidate from the good densities.
-    fn sample_candidate(
-        &self,
-        densities: &[DimDensity],
-        rng: &mut StdRng,
-    ) -> Config {
+    fn sample_candidate(&self, densities: &[DimDensity], rng: &mut StdRng) -> Config {
         self.space
             .params()
             .iter()
@@ -170,10 +194,13 @@ impl Tpe {
                     };
                     (good.pmf(idx), bad.pmf(idx))
                 }
-                DimDensity::Numeric { good, bad, good_null_rate, bad_null_rate } => match v {
-                    ParamValue::Null => {
-                        ((*good_null_rate).max(1e-6), (*bad_null_rate).max(1e-6))
-                    }
+                DimDensity::Numeric {
+                    good,
+                    bad,
+                    good_null_rate,
+                    bad_null_rate,
+                } => match v {
+                    ParamValue::Null => ((*good_null_rate).max(1e-6), (*bad_null_rate).max(1e-6)),
                     other => {
                         let x = other.as_f64().unwrap_or(0.0);
                         (
@@ -212,15 +239,17 @@ fn sample_dim(param: &Param, density: &DimDensity, rng: &mut StdRng) -> ParamVal
                 _ => ParamValue::Cat(idx),
             }
         }
-        DimDensity::Numeric { good, good_null_rate, .. } => {
+        DimDensity::Numeric {
+            good,
+            good_null_rate,
+            ..
+        } => {
             if param.optional && rng.gen::<f64>() < *good_null_rate {
                 return ParamValue::Null;
             }
             let x = good.sample(rng);
             match param.domain {
-                Domain::Int { low, high } => {
-                    ParamValue::Int((x.round() as i64).clamp(low, high))
-                }
+                Domain::Int { low, high } => ParamValue::Int((x.round() as i64).clamp(low, high)),
                 _ => ParamValue::Float(x),
             }
         }
@@ -229,7 +258,11 @@ fn sample_dim(param: &Param, density: &DimDensity, rng: &mut StdRng) -> ParamVal
 
 impl Optimizer for Tpe {
     fn suggest(&mut self, rng: &mut StdRng) -> Config {
-        if self.trials.len() < self.cfg.n_startup {
+        // The `< 2` guard covers the degenerate surrogate: with `n_startup <= 1`
+        // (or a warm start of a single observation) the split would produce an
+        // empty "bad" side and fit densities on empty slices — keep sampling
+        // randomly until two observations exist.
+        if self.trials.len() < self.cfg.n_startup || self.trials.len() < 2 {
             return self.space.sample(rng);
         }
         let (good, bad) = self.split();
@@ -242,7 +275,8 @@ impl Optimizer for Tpe {
                 best = Some((score, candidate));
             }
         }
-        best.map(|(_, c)| c).unwrap_or_else(|| self.space.sample(rng))
+        best.map(|(_, c)| c)
+            .unwrap_or_else(|| self.space.sample(rng))
     }
 
     fn observe(&mut self, config: Config, loss: f64) {
@@ -280,7 +314,10 @@ mod tests {
     }
 
     fn space() -> SearchSpace {
-        SearchSpace::new(vec![Param::categorical("cat", 5), Param::float("x", 0.0, 10.0)])
+        SearchSpace::new(vec![
+            Param::categorical("cat", 5),
+            Param::float("x", 0.0, 10.0),
+        ])
     }
 
     fn run<O: Optimizer>(opt: &mut O, iters: usize, seed: u64) -> f64 {
@@ -325,11 +362,20 @@ mod tests {
             Param::optional_float("b", -5.0, 5.0),
             Param::int("c", 0, 20),
         ]);
-        let mut tpe = Tpe::new(s.clone(), TpeConfig { n_startup: 3, ..TpeConfig::default() });
+        let mut tpe = Tpe::new(
+            s.clone(),
+            TpeConfig {
+                n_startup: 3,
+                ..TpeConfig::default()
+            },
+        );
         let mut rng = rng(9);
         for i in 0..60 {
             let c = tpe.suggest(&mut rng);
-            assert!(s.contains(&c), "iteration {i} produced out-of-space config {c:?}");
+            assert!(
+                s.contains(&c),
+                "iteration {i} produced out-of-space config {c:?}"
+            );
             let loss = c[2].as_f64().unwrap_or(10.0);
             tpe.observe(c, loss);
         }
@@ -338,7 +384,13 @@ mod tests {
     #[test]
     fn warm_start_skips_random_phase_and_biases_search() {
         let s = space();
-        let mut tpe = Tpe::new(s.clone(), TpeConfig { n_startup: 10, ..TpeConfig::default() });
+        let mut tpe = Tpe::new(
+            s.clone(),
+            TpeConfig {
+                n_startup: 10,
+                ..TpeConfig::default()
+            },
+        );
         // Warm observations: cat=2, x near 7 are good; others bad.
         let mut warm = Vec::new();
         for i in 0..20 {
@@ -362,20 +414,79 @@ mod tests {
             let loss = objective(&c);
             tpe.observe(c, loss);
         }
-        assert!(hits > 10, "warm-started TPE should exploit cat=2, hit {hits}/30");
+        assert!(
+            hits > 10,
+            "warm-started TPE should exploit cat=2, hit {hits}/30"
+        );
+    }
+
+    /// Regression: with `n_startup <= 1` (or a one-observation warm start) the
+    /// surrogate used to be consulted after a single trial, splitting into an
+    /// empty "bad" side and fitting densities on empty slices. The degenerate
+    /// case must fall back to random sampling and stay inside the space.
+    #[test]
+    fn single_trial_falls_back_to_random_sampling() {
+        for n_startup in [0usize, 1] {
+            let s = space();
+            let mut tpe = Tpe::new(
+                s.clone(),
+                TpeConfig {
+                    n_startup,
+                    ..TpeConfig::default()
+                },
+            );
+            let mut rng = rng(7);
+            // No observations at all: random phase.
+            let c = tpe.suggest(&mut rng);
+            assert!(s.contains(&c));
+            tpe.observe(c, 1.0);
+            // Exactly one observation: the split would be degenerate — the
+            // suggestion must still be valid (random fallback, no panic).
+            let c = tpe.suggest(&mut rng);
+            assert!(s.contains(&c));
+            tpe.observe(c, 2.0);
+            // From two observations the surrogate path is safe.
+            let c = tpe.suggest(&mut rng);
+            assert!(s.contains(&c));
+        }
+
+        // Same degenerate shape through a one-observation warm start.
+        let s = space();
+        let mut tpe = Tpe::new(
+            s.clone(),
+            TpeConfig {
+                n_startup: 1,
+                ..TpeConfig::default()
+            },
+        );
+        tpe.warm_start(vec![(
+            vec![ParamValue::Cat(2), ParamValue::Float(7.0)],
+            0.1,
+        )]);
+        assert_eq!(tpe.n_observations(), 1);
+        let mut rng = rng(8);
+        let c = tpe.suggest(&mut rng);
+        assert!(s.contains(&c));
     }
 
     #[test]
     fn split_always_has_nonempty_groups() {
         let mut tpe = Tpe::new(space(), TpeConfig::default());
         for i in 0..5 {
-            tpe.observe(vec![ParamValue::Cat(0), ParamValue::Float(i as f64)], i as f64);
+            tpe.observe(
+                vec![ParamValue::Cat(0), ParamValue::Float(i as f64)],
+                i as f64,
+            );
         }
         let (good, bad) = tpe.split();
         assert!(!good.is_empty());
         assert!(!bad.is_empty());
-        assert!(good.iter().map(|t| t.loss).fold(f64::NEG_INFINITY, f64::max)
-            <= bad.iter().map(|t| t.loss).fold(f64::INFINITY, f64::min) + 1e-12);
+        assert!(
+            good.iter()
+                .map(|t| t.loss)
+                .fold(f64::NEG_INFINITY, f64::max)
+                <= bad.iter().map(|t| t.loss).fold(f64::INFINITY, f64::min) + 1e-12
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl Matrix {
 
     /// A rows×cols matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { data: vec![0.0; rows * cols], rows, cols }
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from a slice of rows.
@@ -63,7 +67,11 @@ impl Matrix {
             assert_eq!(r.len(), n_cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { data, rows: n_rows, cols: n_cols }
+        Matrix {
+            data,
+            rows: n_rows,
+            cols: n_cols,
+        }
     }
 
     /// Number of rows.
@@ -102,7 +110,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { data, rows: indices.len(), cols: self.cols }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
     }
 
     /// Append a column, returning a new matrix.
@@ -113,7 +125,11 @@ impl Matrix {
             data.extend_from_slice(self.row(i));
             data.push(col[i]);
         }
-        Matrix { data, rows: self.rows, cols: self.cols + 1 }
+        Matrix {
+            data,
+            rows: self.rows,
+            cols: self.cols + 1,
+        }
     }
 }
 
@@ -134,8 +150,17 @@ impl Dataset {
     /// Build a dataset, checking that shapes agree.
     pub fn new(x: Matrix, y: Vec<f64>, feature_names: Vec<String>, task: Task) -> Self {
         assert_eq!(x.rows(), y.len(), "labels must match matrix rows");
-        assert_eq!(x.cols(), feature_names.len(), "names must match matrix columns");
-        Dataset { x, y, feature_names, task }
+        assert_eq!(
+            x.cols(),
+            feature_names.len(),
+            "names must match matrix columns"
+        );
+        Dataset {
+            x,
+            y,
+            feature_names,
+            task,
+        }
     }
 
     /// Number of examples.
@@ -189,7 +214,11 @@ impl Dataset {
         let train_idx = &indices[..n_train];
         let valid_idx = &indices[n_train..n_train + n_valid];
         let test_idx = &indices[n_train + n_valid..];
-        (self.take(train_idx), self.take(valid_idx), self.take(test_idx))
+        (
+            self.take(train_idx),
+            self.take(valid_idx),
+            self.take(test_idx),
+        )
     }
 
     /// Deterministic shuffled (train, valid) split.
@@ -350,7 +379,8 @@ mod tests {
         for j in 0..d.n_features() {
             let col = d.x.column(j);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-6);
         }

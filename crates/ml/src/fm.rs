@@ -164,9 +164,13 @@ impl Model for DeepFm {
         self.w0 = 0.0;
         self.w = vec![0.0; d];
         self.v = (0..d * k).map(|_| init(0.05, &mut rng)).collect();
-        self.w1 = (0..h * d).map(|_| init((2.0 / d as f64).sqrt(), &mut rng)).collect();
+        self.w1 = (0..h * d)
+            .map(|_| init((2.0 / d as f64).sqrt(), &mut rng))
+            .collect();
         self.b1 = vec![0.0; h];
-        self.w2 = (0..h).map(|_| init((2.0 / h as f64).sqrt(), &mut rng)).collect();
+        self.w2 = (0..h)
+            .map(|_| init((2.0 / h as f64).sqrt(), &mut rng))
+            .collect();
         self.b2 = 0.0;
 
         // For regression, centre the target so the network only learns deviations.
@@ -189,12 +193,22 @@ impl Model for DeepFm {
             }
             for &i in &order {
                 let raw_row = train.x.row(i);
-                let row: Vec<f64> =
-                    raw_row.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+                let row: Vec<f64> = raw_row
+                    .iter()
+                    .map(|&v| if v.is_finite() { v } else { 0.0 })
+                    .collect();
                 let (out, hidden, factor_sums) = self.forward(&row);
-                let target = if binary { train.y[i] } else { train.y[i] - y_offset };
+                let target = if binary {
+                    train.y[i]
+                } else {
+                    train.y[i] - y_offset
+                };
                 // dL/dout
-                let grad_out = if binary { sigmoid(out) - target } else { out - target };
+                let grad_out = if binary {
+                    sigmoid(out) - target
+                } else {
+                    out - target
+                };
                 let g = grad_out.clamp(-5.0, 5.0);
 
                 // FM gradients
@@ -281,7 +295,9 @@ mod tests {
 
     #[test]
     fn deepfm_regression_tracks_target_scale() {
-        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 10) as f64, (i % 4) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 10) as f64, (i % 4) as f64])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 10.0).collect();
         let data = Dataset::new(
             Matrix::from_rows(&rows),
@@ -294,7 +310,12 @@ mod tests {
         let preds = model.predict(&data.x);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         let baseline = rmse(&y, &vec![mean; y.len()]);
-        assert!(rmse(&y, &preds) < baseline, "rmse {} vs baseline {}", rmse(&y, &preds), baseline);
+        assert!(
+            rmse(&y, &preds) < baseline,
+            "rmse {} vs baseline {}",
+            rmse(&y, &preds),
+            baseline
+        );
     }
 
     #[test]
@@ -309,14 +330,22 @@ mod tests {
 
     #[test]
     fn deepfm_handles_non_finite_inputs() {
-        let rows = vec![vec![1.0, f64::NAN], vec![0.5, 2.0], vec![0.0, 1.0], vec![1.5, 0.5]];
+        let rows = vec![
+            vec![1.0, f64::NAN],
+            vec![0.5, 2.0],
+            vec![0.0, 1.0],
+            vec![1.5, 0.5],
+        ];
         let data = Dataset::new(
             Matrix::from_rows(&rows),
             vec![1.0, 0.0, 0.0, 1.0],
             vec!["a".into(), "b".into()],
             Task::BinaryClassification,
         );
-        let mut model = DeepFm::new(DeepFmConfig { epochs: 5, ..DeepFmConfig::default() });
+        let mut model = DeepFm::new(DeepFmConfig {
+            epochs: 5,
+            ..DeepFmConfig::default()
+        });
         model.fit(&data);
         let preds = model.predict(&data.x);
         assert!(preds.iter().all(|p| p.is_finite()));

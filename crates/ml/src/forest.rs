@@ -29,7 +29,10 @@ impl Default for ForestConfig {
     fn default() -> Self {
         ForestConfig {
             n_trees: 30,
-            tree: TreeConfig { max_depth: 8, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 8,
+                ..TreeConfig::default()
+            },
             sample_fraction: 1.0,
             seed: 42,
         }
@@ -130,7 +133,9 @@ impl Model for RandomForest {
                         *o += p;
                     }
                 }
-                out.iter().map(|v| v / self.trees.len().max(1) as f64).collect()
+                out.iter()
+                    .map(|v| v / self.trees.len().max(1) as f64)
+                    .collect()
             }
             Task::BinaryClassification => {
                 let mut out = vec![0.0; n];
@@ -139,7 +144,9 @@ impl Model for RandomForest {
                         *o += probs.get(1).copied().unwrap_or(0.0);
                     }
                 }
-                out.iter().map(|v| v / self.trees.len().max(1) as f64).collect()
+                out.iter()
+                    .map(|v| v / self.trees.len().max(1) as f64)
+                    .collect()
             }
             Task::MultiClassification { n_classes } => {
                 let mut probs = vec![vec![0.0; n_classes]; n];
@@ -201,8 +208,12 @@ mod tests {
     fn forest_regression_fits_nonlinear_target() {
         let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin() * 3.0).collect();
-        let data =
-            Dataset::new(Matrix::from_rows(&rows), y.clone(), vec!["x".into()], Task::Regression);
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y.clone(),
+            vec!["x".into()],
+            Task::Regression,
+        );
         let mut rf = RandomForest::default();
         rf.fit(&data);
         let preds = rf.predict(&data.x);
@@ -234,8 +245,14 @@ mod tests {
     #[test]
     fn forest_is_deterministic_given_seed() {
         let data = xor_dataset();
-        let mut a = RandomForest::new(ForestConfig { n_trees: 5, ..ForestConfig::default() });
-        let mut b = RandomForest::new(ForestConfig { n_trees: 5, ..ForestConfig::default() });
+        let mut a = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..ForestConfig::default()
+        });
+        let mut b = RandomForest::new(ForestConfig {
+            n_trees: 5,
+            ..ForestConfig::default()
+        });
         a.fit(&data);
         b.fit(&data);
         assert_eq!(a.predict(&data.x), b.predict(&data.x));

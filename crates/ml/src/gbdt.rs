@@ -31,7 +31,10 @@ impl Default for GbdtConfig {
         GbdtConfig {
             n_rounds: 40,
             learning_rate: 0.2,
-            tree: TreeConfig { max_depth: 4, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_depth: 4,
+                ..TreeConfig::default()
+            },
             seed: 42,
         }
     }
@@ -101,13 +104,16 @@ impl GradientBoosting {
     /// Fit a single booster for a binary (0/1) or regression target.
     fn fit_single(&self, x: &Matrix, y: &[f64], binary: bool, seed: u64) -> Booster {
         let n = y.len();
-        let mut booster = Booster::default();
-        booster.base_score = if binary {
+        let base_score = if binary {
             // log-odds of the base rate, clipped away from the extremes
             let p = (y.iter().sum::<f64>() / n.max(1) as f64).clamp(1e-6, 1.0 - 1e-6);
             (p / (1.0 - p)).ln()
         } else {
             y.iter().sum::<f64>() / n.max(1) as f64
+        };
+        let mut booster = Booster {
+            base_score,
+            ..Booster::default()
         };
 
         let mut raw = vec![booster.base_score; n];
@@ -153,10 +159,12 @@ impl Model for GradientBoosting {
         self.boosters.clear();
         match data.task {
             Task::Regression => {
-                self.boosters.push(self.fit_single(&train.x, &train.y, false, self.cfg.seed));
+                self.boosters
+                    .push(self.fit_single(&train.x, &train.y, false, self.cfg.seed));
             }
             Task::BinaryClassification => {
-                self.boosters.push(self.fit_single(&train.x, &train.y, true, self.cfg.seed));
+                self.boosters
+                    .push(self.fit_single(&train.x, &train.y, true, self.cfg.seed));
             }
             Task::MultiClassification { n_classes } => {
                 for c in 0..n_classes {
@@ -240,8 +248,12 @@ mod tests {
     fn gbdt_regression_beats_constant_predictor() {
         let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
-        let data =
-            Dataset::new(Matrix::from_rows(&rows), y.clone(), vec!["x".into()], Task::Regression);
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y.clone(),
+            vec!["x".into()],
+            Task::Regression,
+        );
         let mut model = GradientBoosting::default();
         model.fit(&data);
         let preds = model.predict(&data.x);
@@ -296,7 +308,9 @@ mod tests {
 
     #[test]
     fn gbdt_deterministic_given_seed() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, (i % 3) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i % 3) as f64])
+            .collect();
         let y: Vec<f64> = (0..100).map(|i| ((i % 10) > 4) as u8 as f64).collect();
         let data = Dataset::new(
             Matrix::from_rows(&rows),

@@ -15,6 +15,11 @@
 //! container with deterministic train/validation/test splitting, and the [`evaluate`] entry
 //! point the feature-search code calls.
 
+// The numeric kernels index several parallel arrays (rows, gradients, factor
+// sums) by one loop variable; rewriting them as zipped iterators obscures the
+// math without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 pub mod dataset;
 pub mod fm;
 pub mod forest;

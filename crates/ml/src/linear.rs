@@ -23,7 +23,12 @@ pub struct LinearConfig {
 
 impl Default for LinearConfig {
     fn default() -> Self {
-        LinearConfig { learning_rate: 0.1, epochs: 200, l2: 1e-4, standardize: true }
+        LinearConfig {
+            learning_rate: 0.1,
+            epochs: 200,
+            l2: 1e-4,
+            standardize: true,
+        }
     }
 }
 
@@ -57,11 +62,19 @@ impl BinaryLogit {
             }
             b -= cfg.learning_rate * grad_b / n as f64;
         }
-        BinaryLogit { weights: w, bias: b }
+        BinaryLogit {
+            weights: w,
+            bias: b,
+        }
     }
 
     fn decision(&self, row: &[f64]) -> f64 {
-        self.bias + row.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>()
+        self.bias
+            + row
+                .iter()
+                .zip(&self.weights)
+                .map(|(xi, wi)| xi * wi)
+                .sum::<f64>()
     }
 }
 
@@ -145,7 +158,11 @@ impl Model for LogisticRegression {
         self.task = data.task;
         let mut train = data.clone();
         train.impute_mean();
-        self.scaler = if self.cfg.standardize { train.standardize() } else { Vec::new() };
+        self.scaler = if self.cfg.standardize {
+            train.standardize()
+        } else {
+            Vec::new()
+        };
 
         self.models.clear();
         match data.task {
@@ -153,12 +170,16 @@ impl Model for LogisticRegression {
                 // Treat as binary on the sign of the centred target; callers should use
                 // LinearRegression for regression tasks, but keep this total.
                 let mean = train.y.iter().sum::<f64>() / train.len().max(1) as f64;
-                let y: Vec<f64> =
-                    train.y.iter().map(|&v| if v > mean { 1.0 } else { 0.0 }).collect();
+                let y: Vec<f64> = train
+                    .y
+                    .iter()
+                    .map(|&v| if v > mean { 1.0 } else { 0.0 })
+                    .collect();
                 self.models.push(BinaryLogit::fit(&train.x, &y, &self.cfg));
             }
             Task::BinaryClassification => {
-                self.models.push(BinaryLogit::fit(&train.x, &train.y, &self.cfg));
+                self.models
+                    .push(BinaryLogit::fit(&train.x, &train.y, &self.cfg));
             }
             Task::MultiClassification { n_classes } => {
                 for c in 0..n_classes {
@@ -191,7 +212,9 @@ impl Model for LogisticRegression {
                     best as f64
                 })
                 .collect(),
-            _ => (0..x.rows()).map(|i| sigmoid(self.models[0].decision(x.row(i)))).collect(),
+            _ => (0..x.rows())
+                .map(|i| sigmoid(self.models[0].decision(x.row(i))))
+                .collect(),
         }
     }
 }
@@ -237,7 +260,11 @@ impl Model for LinearRegression {
     fn fit(&mut self, data: &Dataset) {
         let mut train = data.clone();
         train.impute_mean();
-        self.scaler = if self.cfg.standardize { train.standardize() } else { Vec::new() };
+        self.scaler = if self.cfg.standardize {
+            train.standardize()
+        } else {
+            Vec::new()
+        };
         self.y_mean = train.y.iter().sum::<f64>() / train.len().max(1) as f64;
         let y: Vec<f64> = train.y.iter().map(|v| v - self.y_mean).collect();
 
@@ -317,7 +344,11 @@ mod tests {
         let mut model = LogisticRegression::default();
         model.fit(&data);
         let probs = model.predict(&data.x);
-        assert!(auc(&data.y, &probs) > 0.95, "AUC = {}", auc(&data.y, &probs));
+        assert!(
+            auc(&data.y, &probs) > 0.95,
+            "AUC = {}",
+            auc(&data.y, &probs)
+        );
     }
 
     #[test]
@@ -358,7 +389,12 @@ mod tests {
         // y = 3x - 2 with no noise.
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0).collect();
-        let data = Dataset::new(Matrix::from_rows(&rows), y.clone(), vec!["x".into()], Task::Regression);
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y.clone(),
+            vec!["x".into()],
+            Task::Regression,
+        );
         let mut model = LinearRegression::default();
         model.fit(&data);
         let preds = model.predict(&data.x);
@@ -369,7 +405,12 @@ mod tests {
     fn linear_regression_handles_nan_inputs() {
         let rows = vec![vec![1.0], vec![f64::NAN], vec![3.0], vec![4.0]];
         let y = vec![2.0, 4.0, 6.0, 8.0];
-        let data = Dataset::new(Matrix::from_rows(&rows), y, vec!["x".into()], Task::Regression);
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["x".into()],
+            Task::Regression,
+        );
         let mut model = LinearRegression::default();
         model.fit(&data);
         let preds = model.predict(&data.x);

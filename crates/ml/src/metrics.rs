@@ -29,8 +29,12 @@ pub fn auc(labels: &[f64], scores: &[f64]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 =
-        labels.iter().zip(&ranks).filter(|(l, _)| **l > 0.5).map(|(_, r)| *r).sum();
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(l, _)| **l > 0.5)
+        .map(|(_, r)| *r)
+        .sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }
@@ -74,8 +78,11 @@ pub fn accuracy(labels: &[f64], predictions: &[f64]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct =
-        labels.iter().zip(predictions).filter(|(y, p)| (**y - **p).abs() < 0.5).count();
+    let correct = labels
+        .iter()
+        .zip(predictions)
+        .filter(|(y, p)| (**y - **p).abs() < 0.5)
+        .count();
     correct as f64 / labels.len() as f64
 }
 
@@ -89,8 +96,11 @@ pub fn f1_macro(labels: &[f64], predictions: &[f64]) -> f64 {
         return 0.0;
     }
     let to_class = |v: f64| v.round().max(0.0) as usize;
-    let mut classes: Vec<usize> =
-        labels.iter().chain(predictions.iter()).map(|&v| to_class(v)).collect();
+    let mut classes: Vec<usize> = labels
+        .iter()
+        .chain(predictions.iter())
+        .map(|&v| to_class(v))
+        .collect();
     classes.sort_unstable();
     classes.dedup();
 
@@ -109,8 +119,16 @@ pub fn f1_macro(labels: &[f64], predictions: &[f64]) -> f64 {
                 (false, false) => {}
             }
         }
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {

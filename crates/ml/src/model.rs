@@ -37,7 +37,12 @@ pub enum ModelKind {
 impl ModelKind {
     /// Every model kind, in the order the paper's tables list them.
     pub fn all() -> &'static [ModelKind] {
-        &[ModelKind::Linear, ModelKind::GradientBoosting, ModelKind::RandomForest, ModelKind::DeepFm]
+        &[
+            ModelKind::Linear,
+            ModelKind::GradientBoosting,
+            ModelKind::RandomForest,
+            ModelKind::DeepFm,
+        ]
     }
 
     /// Paper-style short name.
@@ -151,8 +156,16 @@ pub struct EvalResult {
 impl EvalResult {
     /// Wrap a metric value into an [`EvalResult`].
     pub fn from_value(metric: Metric, value: f64) -> EvalResult {
-        let loss = if metric.higher_is_better() { -value } else { value };
-        EvalResult { metric, value, loss }
+        let loss = if metric.higher_is_better() {
+            -value
+        } else {
+            value
+        };
+        EvalResult {
+            metric,
+            value,
+            loss,
+        }
     }
 }
 
@@ -183,7 +196,9 @@ mod tests {
     use crate::dataset::Matrix;
 
     fn binary_dataset(n: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 10) as f64, (i % 3) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 10) as f64, (i % 3) as f64])
+            .collect();
         let y: Vec<f64> = (0..n).map(|i| ((i % 10) > 4) as u8 as f64).collect();
         Dataset::new(
             Matrix::from_rows(&rows),
@@ -207,7 +222,10 @@ mod tests {
     fn metric_for_task_and_direction() {
         assert_eq!(Metric::for_task(Task::BinaryClassification), Metric::Auc);
         assert_eq!(Metric::for_task(Task::Regression), Metric::Rmse);
-        assert_eq!(Metric::for_task(Task::MultiClassification { n_classes: 3 }), Metric::F1Macro);
+        assert_eq!(
+            Metric::for_task(Task::MultiClassification { n_classes: 3 }),
+            Metric::F1Macro
+        );
         assert!(Metric::Auc.higher_is_better());
         assert!(!Metric::Rmse.higher_is_better());
     }
@@ -240,7 +258,12 @@ mod tests {
     fn evaluate_regression_uses_rmse() {
         let rows: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 / 10.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
-        let data = Dataset::new(Matrix::from_rows(&rows), y, vec!["x".into()], Task::Regression);
+        let data = Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["x".into()],
+            Task::Regression,
+        );
         let (train, valid) = data.split2(0.7, 3);
         let result = evaluate(ModelKind::Linear, &train, &valid);
         assert_eq!(result.metric, Metric::Rmse);

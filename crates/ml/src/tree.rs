@@ -58,8 +58,16 @@ impl Default for TreeConfig {
 /// A tree node: either an internal split or a leaf.
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { value: f64, class_probs: Vec<f64> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f64,
+        class_probs: Vec<f64>,
+    },
 }
 
 /// A fitted CART tree.
@@ -82,7 +90,12 @@ struct GrowTarget<'a> {
 impl DecisionTree {
     /// Create an unfitted tree.
     pub fn new(criterion: SplitCriterion, cfg: TreeConfig) -> Self {
-        DecisionTree { cfg, criterion, nodes: Vec::new(), importances: Vec::new() }
+        DecisionTree {
+            cfg,
+            criterion,
+            nodes: Vec::new(),
+            importances: Vec::new(),
+        }
     }
 
     /// Fit on a plain target (class labels for [`SplitCriterion::Gini`], real targets for
@@ -97,18 +110,15 @@ impl DecisionTree {
 
     /// Fit a second-order regression tree to gradients/hessians (XGBoost-style). Leaf values are
     /// `-G / (H + λ)`; split gain is the standard second-order gain.
-    pub fn fit_grad_hess(
-        &mut self,
-        x: &Matrix,
-        grad: &[f64],
-        hess: &[f64],
-        rng: &mut StdRng,
-    ) {
+    pub fn fit_grad_hess(&mut self, x: &Matrix, grad: &[f64], hess: &[f64], rng: &mut StdRng) {
         assert_eq!(grad.len(), hess.len());
         let indices: Vec<usize> = (0..x.rows()).collect();
         self.importances = vec![0.0; x.cols()];
         self.nodes.clear();
-        let target = GrowTarget { y: grad, grad_hess: Some((grad, hess)) };
+        let target = GrowTarget {
+            y: grad,
+            grad_hess: Some((grad, hess)),
+        };
         self.grow(x, &target, indices, 0, rng);
     }
 
@@ -120,7 +130,9 @@ impl DecisionTree {
 
     /// Per-class probabilities (classification trees only).
     pub fn predict_proba(&self, x: &Matrix) -> Vec<Vec<f64>> {
-        (0..x.rows()).map(|i| self.leaf_of(x.row(i)).1.clone()).collect()
+        (0..x.rows())
+            .map(|i| self.leaf_of(x.row(i)).1.clone())
+            .collect()
     }
 
     /// Accumulated split-gain importance per feature (unnormalised).
@@ -137,10 +149,19 @@ impl DecisionTree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { value, class_probs } => return (*value, class_probs),
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = row[*feature];
                     // Missing values follow the left branch.
-                    idx = if !v.is_finite() || v <= *threshold { *left } else { *right };
+                    idx = if !v.is_finite() || v <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -154,8 +175,8 @@ impl DecisionTree {
                 (-g / (h + self.cfg.lambda), Vec::new())
             }
             (SplitCriterion::Variance, None) => {
-                let mean = indices.iter().map(|&i| target.y[i]).sum::<f64>()
-                    / indices.len().max(1) as f64;
+                let mean =
+                    indices.iter().map(|&i| target.y[i]).sum::<f64>() / indices.len().max(1) as f64;
                 (mean, Vec::new())
             }
             (SplitCriterion::Gini { n_classes }, None) => {
@@ -192,7 +213,10 @@ impl DecisionTree {
             (SplitCriterion::Variance, None) => {
                 let n = indices.len() as f64;
                 let mean = indices.iter().map(|&i| target.y[i]).sum::<f64>() / n;
-                indices.iter().map(|&i| (target.y[i] - mean).powi(2)).sum::<f64>()
+                indices
+                    .iter()
+                    .map(|&i| (target.y[i] - mean).powi(2))
+                    .sum::<f64>()
             }
             (SplitCriterion::Gini { n_classes }, None) => {
                 let mut counts = vec![0.0; *n_classes];
@@ -240,8 +264,11 @@ impl DecisionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         for &f in &features {
             // Quantile-based candidate thresholds over the finite values of this feature.
-            let mut vals: Vec<f64> =
-                indices.iter().map(|&i| x.get(i, f)).filter(|v| v.is_finite()).collect();
+            let mut vals: Vec<f64> = indices
+                .iter()
+                .map(|&i| x.get(i, f))
+                .filter(|v| v.is_finite())
+                .collect();
             if vals.len() < 2 {
                 continue;
             }
@@ -273,14 +300,12 @@ impl DecisionTree {
                         right.push(i);
                     }
                 }
-                if left.len() < self.cfg.min_samples_leaf
-                    || right.len() < self.cfg.min_samples_leaf
+                if left.len() < self.cfg.min_samples_leaf || right.len() < self.cfg.min_samples_leaf
                 {
                     continue;
                 }
-                let gain = parent_impurity
-                    - self.impurity(target, &left)
-                    - self.impurity(target, &right);
+                let gain =
+                    parent_impurity - self.impurity(target, &left) - self.impurity(target, &right);
                 if gain > 1e-12 && best.as_ref().map(|(g, _, _)| gain > *g).unwrap_or(true) {
                     best = Some((gain, f, t));
                 }
@@ -301,11 +326,19 @@ impl DecisionTree {
                     }
                 }
                 // Reserve the split node position, then grow children.
-                self.nodes.push(Node::Leaf { value: 0.0, class_probs: Vec::new() });
+                self.nodes.push(Node::Leaf {
+                    value: 0.0,
+                    class_probs: Vec::new(),
+                });
                 let node_idx = self.nodes.len() - 1;
                 let left = self.grow(x, target, left_idx, depth + 1, rng);
                 let right = self.grow(x, target, right_idx, depth + 1, rng);
-                self.nodes[node_idx] = Node::Split { feature, threshold, left, right };
+                self.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 node_idx
             }
         }
@@ -353,7 +386,11 @@ mod tests {
             DecisionTree::new(SplitCriterion::Gini { n_classes: 2 }, TreeConfig::default());
         tree.fit(&x, &y, &mut rng());
         let preds = tree.predict(&x);
-        let acc = preds.iter().zip(&y).filter(|(p, y)| (**p - **y).abs() < 0.5).count() as f64
+        let acc = preds
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| (**p - **y).abs() < 0.5)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.95, "accuracy = {acc}");
     }
@@ -420,7 +457,10 @@ mod tests {
     #[test]
     fn max_depth_zero_yields_single_leaf() {
         let (x, y) = xor_data();
-        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
         let mut tree = DecisionTree::new(SplitCriterion::Variance, cfg);
         tree.fit(&x, &y, &mut rng());
         let preds = tree.predict(&x);

@@ -57,14 +57,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { target: Duration::from_millis(500) }
+        Criterion {
+            target: Duration::from_millis(500),
+        }
     }
 }
 
 impl Criterion {
     /// Register and immediately run one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { mean: Duration::ZERO, target: self.target };
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            target: self.target,
+        };
         f(&mut b);
         println!("bench {name:<50} {:>12.3?}/iter", b.mean);
         self
@@ -104,7 +109,9 @@ mod tests {
 
     #[test]
     fn bench_function_measures_something() {
-        let mut c = Criterion { target: Duration::from_millis(20) };
+        let mut c = Criterion {
+            target: Duration::from_millis(20),
+        };
         let mut ran = false;
         c.bench_function("smoke", |b| {
             b.iter(|| black_box(1 + 1));

@@ -149,13 +149,19 @@ pub mod test_runner {
     impl ProptestConfig {
         /// A configuration running `cases` cases.
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases, ..ProptestConfig::default() }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64, seed: 0x5eed }
+            ProptestConfig {
+                cases: 64,
+                seed: 0x5eed,
+            }
         }
     }
 }

@@ -5,8 +5,55 @@
 //! Each function consumes the non-null numeric values of the aggregated column within one group
 //! (categorical columns contribute their dictionary codes, which is sufficient for the
 //! frequency-based functions `COUNT`, `COUNT DISTINCT`, `MODE` and `ENTROPY`).
+//!
+//! ## Float semantics (±0.0 and NaN)
+//!
+//! Aggregation is defined over *values*, not bit patterns, so every function follows one set of
+//! rules:
+//!
+//! * **Frequency-based functions** (`COUNT DISTINCT`, `MODE`, `ENTROPY`) key values by their
+//!   [`canonical`] form: `-0.0` and `0.0` are the same value, and every NaN payload is the single
+//!   value NaN. Distinct values are visited in ascending [`f64::total_cmp`] order of their
+//!   canonical form (NaN sorts last), which makes `ENTROPY`'s floating-point sum and `MODE`'s
+//!   smallest-value tie-break deterministic regardless of how the group was assembled.
+//! * **`MIN` / `MAX`** ignore NaN values (like `f64::min` / `f64::max` on a mixed group); a group
+//!   whose non-null values are *all* NaN yields NULL, exactly like an all-NULL group — never the
+//!   `±INFINITY` fold sentinels.
+//! * **Order statistics** (`MEDIAN`, `MAD`) sort raw values by [`f64::total_cmp`] (so `-0.0`
+//!   orders before `0.0` and NaNs sort by sign and payload) and may return `-0.0` verbatim.
+//! * **Any aggregate whose result is NaN returns the canonical NaN** ([`canonical_nan`]). Which
+//!   NaN bit pattern arithmetic produces is not specified by IEEE 754 and observably differs
+//!   between differently-compiled but mathematically identical accumulation loops, so the sign
+//!   and payload of a NaN result carry no information; pinning them makes "bit-identical"
+//!   meaningful across the reference and the kernel paths.
+//!
+//! [`AggFunc::apply`] is the reference implementation — the compiled kernels in
+//! [`crate::kernels`] are property-tested bit-identical to it.
 
-use std::collections::HashMap;
+/// The canonical form of a value for frequency keying: `-0.0` maps to `0.0` and every NaN
+/// payload maps to the one canonical (positive, quiet) NaN. All other values map to themselves.
+#[inline]
+pub fn canonical(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NAN
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Replace any NaN with the canonical NaN, leaving every other value (including `-0.0`) alone.
+/// Applied to aggregate *outputs*: IEEE 754 leaves the sign/payload of an arithmetic NaN
+/// unspecified, so two equivalent accumulation loops can legally disagree on those bits.
+#[inline]
+pub fn canonical_nan(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NAN
+    } else {
+        v
+    }
+}
 
 /// An aggregation function applied to the values of one group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,7 +82,7 @@ pub enum AggFunc {
     Entropy,
     /// Excess kurtosis of the value distribution.
     Kurtosis,
-    /// Most frequent value (ties broken by smallest value).
+    /// Most frequent canonical value (ties broken by smallest value in total order).
     Mode,
     /// Median absolute deviation from the median.
     Mad,
@@ -113,10 +160,10 @@ impl AggFunc {
         if n == 0 {
             return None;
         }
-        match self {
+        let value = match self {
             AggFunc::Sum => Some(values.iter().sum()),
-            AggFunc::Min => Some(values.iter().copied().fold(f64::INFINITY, f64::min)),
-            AggFunc::Max => Some(values.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            AggFunc::Min => extreme(values, f64::min, f64::INFINITY),
+            AggFunc::Max => extreme(values, f64::max, f64::NEG_INFINITY),
             AggFunc::Avg => Some(values.iter().sum::<f64>() / n as f64),
             AggFunc::Var => Some(variance(values, 0)),
             AggFunc::VarSample => {
@@ -140,7 +187,8 @@ impl AggFunc {
             AggFunc::Mad => Some(mad(values)),
             AggFunc::Median => Some(median(values)),
             AggFunc::Count | AggFunc::CountDistinct => unreachable!("handled above"),
-        }
+        };
+        value.map(canonical_nan)
     }
 }
 
@@ -150,11 +198,46 @@ impl std::fmt::Display for AggFunc {
     }
 }
 
+/// `MIN` / `MAX`: fold `op` over the non-NaN values (in row order, so the accumulation is
+/// bit-reproducible); NULL when every value is NaN.
+fn extreme(values: &[f64], op: fn(f64, f64) -> f64, init: f64) -> Option<f64> {
+    let mut acc = init;
+    let mut seen = false;
+    for &v in values {
+        if !v.is_nan() {
+            seen = true;
+            acc = op(acc, v);
+        }
+    }
+    seen.then_some(acc)
+}
+
 fn count_distinct(values: &[f64]) -> f64 {
-    let mut bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+    let mut bits: Vec<u64> = values.iter().map(|v| canonical(*v).to_bits()).collect();
     bits.sort_unstable();
     bits.dedup();
     bits.len() as f64
+}
+
+/// The canonical forms of `values`, sorted ascending by [`f64::total_cmp`] (canonical NaN sorts
+/// last). Runs of bit-equal elements are the distinct-value frequency classes.
+fn sorted_canonical(values: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().map(|v| canonical(*v)).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted
+}
+
+/// Visit each run of bit-equal elements of an already-sorted slice as `(value, count)`.
+fn for_each_run(sorted: &[f64], mut f: impl FnMut(f64, usize)) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let bits = sorted[i].to_bits();
+        let start = i;
+        while i < sorted.len() && sorted[i].to_bits() == bits {
+            i += 1;
+        }
+        f(sorted[start], i - start);
+    }
 }
 
 fn variance(values: &[f64], ddof: usize) -> f64 {
@@ -167,20 +250,16 @@ fn variance(values: &[f64], ddof: usize) -> f64 {
     ss / (n - ddof) as f64
 }
 
-/// Shannon entropy (natural log) of the empirical distribution of exact values.
+/// Shannon entropy (natural log) of the empirical distribution of canonical values, summed in
+/// ascending value order (deterministic floating-point accumulation).
 fn entropy(values: &[f64]) -> f64 {
     let n = values.len() as f64;
-    let mut counts: HashMap<u64, usize> = HashMap::new();
-    for v in values {
-        *counts.entry(v.to_bits()).or_insert(0) += 1;
-    }
-    counts
-        .values()
-        .map(|&c| {
-            let p = c as f64 / n;
-            -p * p.ln()
-        })
-        .sum()
+    let mut total = 0.0;
+    for_each_run(&sorted_canonical(values), |_, count| {
+        let p = count as f64 / n;
+        total += -p * p.ln();
+    });
+    total
 }
 
 /// Excess kurtosis (population definition, Fisher): E[(x-μ)^4]/σ^4 − 3. Zero for degenerate
@@ -196,22 +275,18 @@ fn kurtosis(values: &[f64]) -> f64 {
     m4 / (var * var) - 3.0
 }
 
-/// Most frequent value; ties are broken towards the smallest value to keep the result
-/// deterministic.
+/// Most frequent canonical value; ties are broken towards the smallest value in
+/// [`f64::total_cmp`] order (NaN counts as the largest), keeping the result deterministic.
 fn mode(values: &[f64]) -> f64 {
-    let mut counts: HashMap<u64, usize> = HashMap::new();
-    for v in values {
-        *counts.entry(v.to_bits()).or_insert(0) += 1;
-    }
-    let mut best_val = f64::INFINITY;
+    let mut best_val = f64::NAN;
     let mut best_count = 0usize;
-    for (&bits, &count) in &counts {
-        let v = f64::from_bits(bits);
-        if count > best_count || (count == best_count && v < best_val) {
+    for_each_run(&sorted_canonical(values), |v, count| {
+        // Runs arrive in ascending order, so a strict `>` keeps the smallest max-count value.
+        if count > best_count {
             best_count = count;
             best_val = v;
         }
-    }
+    });
     best_val
 }
 
@@ -324,5 +399,67 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(AggFunc::CountDistinct.to_string(), "COUNT_DISTINCT");
+    }
+
+    /// Regression: `0.0` and `-0.0` are one value, and every NaN payload is one value — raw
+    /// bit-keying used to count them apart and split MODE/ENTROPY frequency mass.
+    #[test]
+    fn frequency_functions_canonicalize_signed_zero_and_nan() {
+        let zeros = [0.0, -0.0, -0.0];
+        assert_eq!(AggFunc::CountDistinct.apply(&zeros), Some(1.0));
+        assert_eq!(AggFunc::Entropy.apply(&zeros), Some(0.0));
+        // MODE reports the canonical (positive) zero.
+        assert_eq!(
+            AggFunc::Mode.apply(&zeros).unwrap().to_bits(),
+            0.0f64.to_bits()
+        );
+
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other_nan.is_nan());
+        let nans = [f64::NAN, other_nan, -f64::NAN];
+        assert_eq!(AggFunc::CountDistinct.apply(&nans), Some(1.0));
+        assert_eq!(AggFunc::Entropy.apply(&nans), Some(0.0));
+        assert!(AggFunc::Mode.apply(&nans).unwrap().is_nan());
+
+        let mixed = [0.0, -0.0, 5.0, f64::NAN, other_nan];
+        assert_eq!(AggFunc::CountDistinct.apply(&mixed), Some(3.0));
+    }
+
+    /// In a frequency tie, NaN counts as the *largest* value, so any real value wins.
+    #[test]
+    fn mode_tie_with_nan_is_deterministic() {
+        assert_eq!(AggFunc::Mode.apply(&[f64::NAN, 1.0]), Some(1.0));
+        assert_eq!(AggFunc::Mode.apply(&[1.0, f64::NAN]), Some(1.0));
+        assert!(AggFunc::Mode
+            .apply(&[f64::NAN, f64::NAN, 1.0])
+            .unwrap()
+            .is_nan());
+        // Negative-payload NaNs belong to the same (largest) class.
+        assert_eq!(AggFunc::Mode.apply(&[-f64::NAN, 2.0]), Some(2.0));
+    }
+
+    /// Regression: MIN/MAX of an all-NaN group used to leak the `±INFINITY` fold sentinels.
+    #[test]
+    fn min_max_ignore_nan_and_all_nan_group_is_null() {
+        assert_eq!(AggFunc::Min.apply(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(AggFunc::Max.apply(&[f64::NAN]), None);
+        // NaNs are skipped when real values exist.
+        assert_eq!(AggFunc::Min.apply(&[f64::NAN, 3.0, 1.0]), Some(1.0));
+        assert_eq!(AggFunc::Max.apply(&[2.0, f64::NAN, 7.0]), Some(7.0));
+        // Genuine infinities still flow through.
+        assert_eq!(AggFunc::Min.apply(&[f64::INFINITY]), Some(f64::INFINITY));
+        assert_eq!(
+            AggFunc::Max.apply(&[f64::NEG_INFINITY]),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn canonical_maps_zero_signs_and_nan_payloads() {
+        assert_eq!(canonical(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(canonical(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(canonical(-f64::NAN).to_bits(), f64::NAN.to_bits());
+        assert_eq!(canonical(1.5), 1.5);
+        assert_eq!(canonical(-1.5), -1.5);
     }
 }

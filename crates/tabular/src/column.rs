@@ -79,7 +79,9 @@ impl CatColumn {
 
     /// Value at row `i` (None if NULL or out of bounds).
     pub fn get(&self, i: usize) -> Option<&str> {
-        self.codes.get(i).and_then(|c| c.map(|c| self.dict[c as usize].as_str()))
+        self.codes
+            .get(i)
+            .and_then(|c| c.map(|c| self.dict[c as usize].as_str()))
     }
 
     /// Build a new column containing the rows at `indices` (in order).
@@ -225,9 +227,10 @@ impl Column {
             Column::Float(v) => v[i].map(Value::Float).unwrap_or(Value::Null),
             Column::Bool(v) => v[i].map(Value::Bool).unwrap_or(Value::Null),
             Column::DateTime(v) => v[i].map(Value::DateTime).unwrap_or(Value::Null),
-            Column::Cat(c) => {
-                c.get(i).map(|s| Value::Str(s.to_string())).unwrap_or(Value::Null)
-            }
+            Column::Cat(c) => c
+                .get(i)
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
         }
     }
 
@@ -275,7 +278,10 @@ impl Column {
         match self {
             Column::Int(v) => v.iter().map(|x| x.map(|x| x as f64)).collect(),
             Column::Float(v) => v.clone(),
-            Column::Bool(v) => v.iter().map(|x| x.map(|b| if b { 1.0 } else { 0.0 })).collect(),
+            Column::Bool(v) => v
+                .iter()
+                .map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
             Column::DateTime(v) => v.iter().map(|x| x.map(|x| x as f64)).collect(),
             Column::Cat(c) => c.codes().iter().map(|x| x.map(|c| c as f64)).collect(),
         }

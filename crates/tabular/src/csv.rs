@@ -31,7 +31,12 @@ pub fn to_csv_string(table: &Table) -> String {
             .schema()
             .fields()
             .iter()
-            .map(|f| table.value(row, &f.name).expect("schema-consistent").to_string())
+            .map(|f| {
+                table
+                    .value(row, &f.name)
+                    .expect("schema-consistent")
+                    .to_string()
+            })
             .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
@@ -42,7 +47,9 @@ pub fn to_csv_string(table: &Table) -> String {
 /// Parse CSV text produced by [`to_csv_string`] back into a table.
 pub fn from_csv_string(name: &str, text: &str) -> Result<Table> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| TabularError::Csv("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| TabularError::Csv("empty input".into()))?;
 
     let mut fields: Vec<(String, DataType)> = Vec::new();
     for part in header.split(',') {
@@ -75,12 +82,13 @@ pub fn from_csv_string(name: &str, text: &str) -> Result<Table> {
                 fields.len()
             )));
         }
-        for ((cell, (col_name, dtype)), column) in
-            cells.iter().zip(&fields).zip(columns.iter_mut())
+        for ((cell, (col_name, dtype)), column) in cells.iter().zip(&fields).zip(columns.iter_mut())
         {
             let value = parse_cell(cell, *dtype)
                 .map_err(|e| TabularError::Csv(format!("column {col_name}: {e}")))?;
-            column.push(value).map_err(|e| TabularError::Csv(e.to_string()))?;
+            column
+                .push(value)
+                .map_err(|e| TabularError::Csv(e.to_string()))?;
         }
     }
 
@@ -135,10 +143,14 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new("t");
         t.add_column("id", Column::from_i64s(&[1, 2, 3])).unwrap();
-        t.add_column("grp", Column::from_opt_strs(&[Some("a"), None, Some("b")])).unwrap();
-        t.add_column("x", Column::from_opt_f64s(&[Some(1.5), Some(-2.0), None])).unwrap();
-        t.add_column("flag", Column::from_bools(&[true, false, true])).unwrap();
-        t.add_column("ts", Column::from_datetimes(&[100, 200, 300])).unwrap();
+        t.add_column("grp", Column::from_opt_strs(&[Some("a"), None, Some("b")]))
+            .unwrap();
+        t.add_column("x", Column::from_opt_f64s(&[Some(1.5), Some(-2.0), None]))
+            .unwrap();
+        t.add_column("flag", Column::from_bools(&[true, false, true]))
+            .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300]))
+            .unwrap();
         t
     }
 

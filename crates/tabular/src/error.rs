@@ -10,9 +10,17 @@ pub enum TabularError {
     /// A column with this name already exists.
     DuplicateColumn(String),
     /// Column lengths within one table disagree.
-    LengthMismatch { expected: usize, actual: usize, column: String },
+    LengthMismatch {
+        expected: usize,
+        actual: usize,
+        column: String,
+    },
     /// An operation was applied to a column of an unsupported type.
-    TypeMismatch { column: String, expected: &'static str, actual: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        actual: &'static str,
+    },
     /// CSV parsing failed.
     Csv(String),
     /// Any other invalid argument.
@@ -24,12 +32,23 @@ impl fmt::Display for TabularError {
         match self {
             TabularError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
             TabularError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
-            TabularError::LengthMismatch { expected, actual, column } => write!(
+            TabularError::LengthMismatch {
+                expected,
+                actual,
+                column,
+            } => write!(
                 f,
                 "length mismatch for column {column}: expected {expected} rows, got {actual}"
             ),
-            TabularError::TypeMismatch { column, expected, actual } => {
-                write!(f, "type mismatch for column {column}: expected {expected}, got {actual}")
+            TabularError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for column {column}: expected {expected}, got {actual}"
+                )
             }
             TabularError::Csv(msg) => write!(f, "csv error: {msg}"),
             TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -51,7 +70,11 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = TabularError::LengthMismatch { expected: 3, actual: 5, column: "x".into() };
+        let e = TabularError::LengthMismatch {
+            expected: 3,
+            actual: 5,
+            column: "x".into(),
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 5"));
     }

@@ -42,7 +42,9 @@ pub fn key_atom(col: &Column, row: usize) -> KeyAtom {
     match col {
         Column::Int(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),
         Column::DateTime(v) => v[row].map(KeyAtom::Int).unwrap_or(KeyAtom::Null),
-        Column::Float(v) => v[row].map(|f| KeyAtom::Bits(f.to_bits())).unwrap_or(KeyAtom::Null),
+        Column::Float(v) => v[row]
+            .map(|f| KeyAtom::Bits(f.to_bits()))
+            .unwrap_or(KeyAtom::Null),
         Column::Bool(v) => v[row].map(KeyAtom::Bool).unwrap_or(KeyAtom::Null),
         Column::Cat(c) => c.codes()[row].map(KeyAtom::Code).unwrap_or(KeyAtom::Null),
     }
@@ -52,10 +54,14 @@ pub fn key_atom(col: &Column, row: usize) -> KeyAtom {
 /// first-appearance order of the groups.
 fn build_groups(table: &Table, key_columns: &[&str]) -> Result<Vec<(Vec<usize>, usize)>> {
     if key_columns.is_empty() {
-        return Err(TabularError::InvalidArgument("group-by needs at least one key".into()));
+        return Err(TabularError::InvalidArgument(
+            "group-by needs at least one key".into(),
+        ));
     }
-    let cols: Vec<&Column> =
-        key_columns.iter().map(|k| table.column(k)).collect::<Result<Vec<_>>>()?;
+    let cols: Vec<&Column> = key_columns
+        .iter()
+        .map(|k| table.column(k))
+        .collect::<Result<Vec<_>>>()?;
     let mut index: HashMap<GroupKey, usize> = HashMap::new();
     // (rows of the group, representative row used to emit key values)
     let mut groups: Vec<(Vec<usize>, usize)> = Vec::new();
@@ -137,10 +143,14 @@ pub fn group_by_aggregate_sorted(
     out_name: &str,
 ) -> Result<Table> {
     if key_columns.is_empty() {
-        return Err(TabularError::InvalidArgument("group-by needs at least one key".into()));
+        return Err(TabularError::InvalidArgument(
+            "group-by needs at least one key".into(),
+        ));
     }
-    let cols: Vec<&Column> =
-        key_columns.iter().map(|k| table.column(k)).collect::<Result<Vec<_>>>()?;
+    let cols: Vec<&Column> = key_columns
+        .iter()
+        .map(|k| table.column(k))
+        .collect::<Result<Vec<_>>>()?;
     let view = table.column(agg_column)?.to_f64_vec();
 
     // Sort row indices by the composite key rendered as comparable values.
@@ -158,7 +168,8 @@ pub fn group_by_aggregate_sorted(
     });
 
     let same_key = |a: usize, b: usize| -> bool {
-        cols.iter().all(|c| c.get(a).total_cmp(&c.get(b)) == std::cmp::Ordering::Equal)
+        cols.iter()
+            .all(|c| c.get(a).total_cmp(&c.get(b)) == std::cmp::Ordering::Equal)
     };
 
     let mut representatives: Vec<usize> = Vec::new();
@@ -194,20 +205,15 @@ mod tests {
 
     fn logs() -> Table {
         let mut t = Table::new("logs");
-        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b", "b", "c"])).unwrap();
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b", "b", "c"]))
+            .unwrap();
         t.add_column(
             "price",
-            Column::from_opt_f64s(&[
-                Some(10.0),
-                Some(20.0),
-                Some(5.0),
-                None,
-                Some(15.0),
-                None,
-            ]),
+            Column::from_opt_f64s(&[Some(10.0), Some(20.0), Some(5.0), None, Some(15.0), None]),
         )
         .unwrap();
-        t.add_column("qty", Column::from_i64s(&[1, 2, 3, 4, 5, 6])).unwrap();
+        t.add_column("qty", Column::from_i64s(&[1, 2, 3, 4, 5, 6]))
+            .unwrap();
         t
     }
 
@@ -236,9 +242,12 @@ mod tests {
     #[test]
     fn multi_key_grouping() {
         let mut t = Table::new("t");
-        t.add_column("k1", Column::from_strs(&["x", "x", "y", "y"])).unwrap();
-        t.add_column("k2", Column::from_i64s(&[1, 2, 1, 1])).unwrap();
-        t.add_column("v", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0])).unwrap();
+        t.add_column("k1", Column::from_strs(&["x", "x", "y", "y"]))
+            .unwrap();
+        t.add_column("k2", Column::from_i64s(&[1, 2, 1, 1]))
+            .unwrap();
+        t.add_column("v", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
         let out = group_by_aggregate(&t, &["k1", "k2"], AggFunc::Sum, "v", "s").unwrap();
         assert_eq!(out.num_rows(), 3);
         assert_eq!(out.value(2, "s").unwrap(), Value::Float(70.0));
@@ -274,7 +283,10 @@ mod tests {
             let to_map = |t: &Table| -> Vec<(String, Value)> {
                 let mut v: Vec<(String, Value)> = (0..t.num_rows())
                     .map(|i| {
-                        (t.value(i, "cname").unwrap().to_string(), t.value(i, "f").unwrap())
+                        (
+                            t.value(i, "cname").unwrap().to_string(),
+                            t.value(i, "f").unwrap(),
+                        )
                     })
                     .collect();
                 v.sort_by(|a, b| a.0.cmp(&b.0));
@@ -287,8 +299,10 @@ mod tests {
     #[test]
     fn null_keys_form_their_own_group() {
         let mut t = Table::new("t");
-        t.add_column("k", Column::from_opt_strs(&[Some("a"), None, None])).unwrap();
-        t.add_column("v", Column::from_f64s(&[1.0, 2.0, 3.0])).unwrap();
+        t.add_column("k", Column::from_opt_strs(&[Some("a"), None, None]))
+            .unwrap();
+        t.add_column("v", Column::from_f64s(&[1.0, 2.0, 3.0]))
+            .unwrap();
         let out = group_by_aggregate(&t, &["k"], AggFunc::Sum, "v", "s").unwrap();
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.value(1, "s").unwrap(), Value::Float(5.0));

@@ -63,7 +63,11 @@ impl<'a> KeyMapper<'a> {
             probe_cols.push(probe_col);
             cat_maps.push(map);
         }
-        Ok(KeyMapper { probe_cols, cat_maps, compatible })
+        Ok(KeyMapper {
+            probe_cols,
+            cat_maps,
+            compatible,
+        })
     }
 
     /// The probe row's key in reference space. `None` when the key can never match a reference
@@ -182,7 +186,9 @@ pub fn match_rate(left: &Table, right: &Table, keys: &[&str]) -> Result<f64> {
         .into_iter()
         .filter(|n| left.schema().index_of(n).is_none())
         .collect();
-    let Some(first) = appended.first() else { return Ok(1.0) };
+    let Some(first) = appended.first() else {
+        return Ok(1.0);
+    };
     let col = joined.column(first)?;
     let non_null = col.len() - col.null_count();
     Ok(non_null as f64 / left.num_rows() as f64)
@@ -237,15 +243,19 @@ mod tests {
 
     fn training() -> Table {
         let mut t = Table::new("users");
-        t.add_column("cname", Column::from_strs(&["a", "b", "c"])).unwrap();
-        t.add_column("age", Column::from_i64s(&[30, 40, 50])).unwrap();
+        t.add_column("cname", Column::from_strs(&["a", "b", "c"]))
+            .unwrap();
+        t.add_column("age", Column::from_i64s(&[30, 40, 50]))
+            .unwrap();
         t
     }
 
     fn features() -> Table {
         let mut t = Table::new("feats");
-        t.add_column("cname", Column::from_strs(&["b", "a"])).unwrap();
-        t.add_column("feature", Column::from_f64s(&[2.0, 1.0])).unwrap();
+        t.add_column("cname", Column::from_strs(&["b", "a"]))
+            .unwrap();
+        t.add_column("feature", Column::from_f64s(&[2.0, 1.0]))
+            .unwrap();
         t
     }
 
@@ -264,7 +274,9 @@ mod tests {
     #[test]
     fn name_clash_gets_suffixed() {
         let mut right = features();
-        right.add_column("age", Column::from_f64s(&[99.0, 98.0])).unwrap();
+        right
+            .add_column("age", Column::from_f64s(&[99.0, 98.0]))
+            .unwrap();
         let joined = left_join(&training(), &right, &["cname"], &["cname"]).unwrap();
         assert!(joined.column("age_r").is_ok());
         assert_eq!(joined.value(0, "age_r").unwrap(), Value::Float(98.0));
@@ -273,10 +285,15 @@ mod tests {
     #[test]
     fn null_keys_do_not_match() {
         let mut left = Table::new("l");
-        left.add_column("k", Column::from_opt_strs(&[Some("a"), None])).unwrap();
+        left.add_column("k", Column::from_opt_strs(&[Some("a"), None]))
+            .unwrap();
         let mut right = Table::new("r");
-        right.add_column("k", Column::from_opt_strs(&[Some("a"), None])).unwrap();
-        right.add_column("v", Column::from_f64s(&[1.0, 2.0])).unwrap();
+        right
+            .add_column("k", Column::from_opt_strs(&[Some("a"), None]))
+            .unwrap();
+        right
+            .add_column("v", Column::from_f64s(&[1.0, 2.0]))
+            .unwrap();
         let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
         assert_eq!(joined.value(0, "v").unwrap(), Value::Float(1.0));
         assert_eq!(joined.value(1, "v").unwrap(), Value::Null);
@@ -309,7 +326,8 @@ mod tests {
     #[test]
     fn fanout_counts_rows_per_key() {
         let mut many = Table::new("logs");
-        many.add_column("cname", Column::from_strs(&["a", "a", "b", "z"])).unwrap();
+        many.add_column("cname", Column::from_strs(&["a", "a", "b", "z"]))
+            .unwrap();
         let f = fanout(&training(), &many, &["cname"]).unwrap();
         assert!((f - 1.0).abs() < 1e-9); // 3 matched rows over 3 distinct keys
     }
@@ -331,7 +349,9 @@ mod tests {
         let mut left = Table::new("l");
         left.add_column("k", Column::from_i64s(&[100])).unwrap();
         let mut right = Table::new("r");
-        right.add_column("k", Column::from_datetimes(&[100])).unwrap();
+        right
+            .add_column("k", Column::from_datetimes(&[100]))
+            .unwrap();
         right.add_column("v", Column::from_f64s(&[5.0])).unwrap();
         let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
         assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
@@ -341,10 +361,15 @@ mod tests {
     fn categorical_codes_translate_across_dictionaries() {
         // Same values interned in different orders on each side must still match.
         let mut left = Table::new("l");
-        left.add_column("k", Column::from_strs(&["x", "y", "z"])).unwrap();
+        left.add_column("k", Column::from_strs(&["x", "y", "z"]))
+            .unwrap();
         let mut right = Table::new("r");
-        right.add_column("k", Column::from_strs(&["z", "x"])).unwrap();
-        right.add_column("v", Column::from_f64s(&[26.0, 24.0])).unwrap();
+        right
+            .add_column("k", Column::from_strs(&["z", "x"]))
+            .unwrap();
+        right
+            .add_column("v", Column::from_f64s(&[26.0, 24.0]))
+            .unwrap();
         let joined = left_join(&left, &right, &["k"], &["k"]).unwrap();
         assert_eq!(joined.value(0, "v").unwrap(), Value::Float(24.0));
         assert_eq!(joined.value(1, "v").unwrap(), Value::Null);
@@ -354,12 +379,17 @@ mod tests {
     #[test]
     fn multi_column_keys_join_componentwise() {
         let mut left = Table::new("l");
-        left.add_column("a", Column::from_strs(&["u", "u", "v"])).unwrap();
+        left.add_column("a", Column::from_strs(&["u", "u", "v"]))
+            .unwrap();
         left.add_column("b", Column::from_i64s(&[1, 2, 1])).unwrap();
         let mut right = Table::new("r");
-        right.add_column("a", Column::from_strs(&["u", "v"])).unwrap();
+        right
+            .add_column("a", Column::from_strs(&["u", "v"]))
+            .unwrap();
         right.add_column("b", Column::from_i64s(&[2, 1])).unwrap();
-        right.add_column("v", Column::from_f64s(&[1.0, 2.0])).unwrap();
+        right
+            .add_column("v", Column::from_f64s(&[1.0, 2.0]))
+            .unwrap();
         let joined = left_join(&left, &right, &["a", "b"], &["a", "b"]).unwrap();
         assert_eq!(joined.value(0, "v").unwrap(), Value::Null);
         assert_eq!(joined.value(1, "v").unwrap(), Value::Float(1.0));

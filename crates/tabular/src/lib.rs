@@ -8,7 +8,8 @@
 //! * predicate evaluation ([`Predicate`]) — equality predicates on categorical columns and
 //!   (one- or two-sided) range predicates on numeric / datetime columns,
 //! * group-by aggregation ([`groupby::group_by_aggregate`]) with the fifteen aggregation
-//!   functions used by the FeatAug paper ([`AggFunc`]),
+//!   functions used by the FeatAug paper ([`AggFunc`]), plus compiled streaming / sorted-run /
+//!   frequency kernels for them ([`kernels`]) that query engines drive incrementally,
 //! * left joins ([`join::left_join`]) to attach generated features to a training table,
 //! * a small CSV reader/writer for interoperability.
 //!
@@ -38,6 +39,7 @@ pub mod csv;
 pub mod error;
 pub mod groupby;
 pub mod join;
+pub mod kernels;
 pub mod predicate;
 pub mod schema;
 pub mod selection;

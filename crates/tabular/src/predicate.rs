@@ -25,7 +25,11 @@ pub enum Predicate {
     /// `column = value` (equality, typically on a categorical column).
     Eq { column: String, value: Value },
     /// `low <= column <= high`, either bound optional (range, on numeric / datetime columns).
-    Range { column: String, low: Option<Value>, high: Option<Value> },
+    Range {
+        column: String,
+        low: Option<Value>,
+        high: Option<Value>,
+    },
     /// Conjunction of sub-predicates.
     And(Vec<Predicate>),
 }
@@ -33,7 +37,10 @@ pub enum Predicate {
 impl Predicate {
     /// Equality predicate `column = value`.
     pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
-        Predicate::Eq { column: column.into(), value: value.into() }
+        Predicate::Eq {
+            column: column.into(),
+            value: value.into(),
+        }
     }
 
     /// Two-sided range predicate `low <= column <= high`.
@@ -51,22 +58,30 @@ impl Predicate {
 
     /// One-sided range predicate `column >= low`.
     pub fn ge(column: impl Into<String>, low: impl Into<Value>) -> Predicate {
-        Predicate::Range { column: column.into(), low: Some(low.into()), high: None }
+        Predicate::Range {
+            column: column.into(),
+            low: Some(low.into()),
+            high: None,
+        }
     }
 
     /// One-sided range predicate `column <= high`.
     pub fn le(column: impl Into<String>, high: impl Into<Value>) -> Predicate {
-        Predicate::Range { column: column.into(), low: None, high: Some(high.into()) }
+        Predicate::Range {
+            column: column.into(),
+            low: None,
+            high: Some(high.into()),
+        }
     }
 
     /// General range constructor with optional bounds. `None` on both sides keeps all non-null
     /// rows of the column.
-    pub fn range(
-        column: impl Into<String>,
-        low: Option<Value>,
-        high: Option<Value>,
-    ) -> Predicate {
-        Predicate::Range { column: column.into(), low, high }
+    pub fn range(column: impl Into<String>, low: Option<Value>, high: Option<Value>) -> Predicate {
+        Predicate::Range {
+            column: column.into(),
+            low,
+            high,
+        }
     }
 
     /// Conjunction of predicates. Flattens nested `And`s and drops `True`s.
@@ -113,7 +128,11 @@ impl Predicate {
     pub fn is_trivial(&self) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Range { low: None, high: None, .. } => false, // still drops NULLs
+            Predicate::Range {
+                low: None,
+                high: None,
+                ..
+            } => false, // still drops NULLs
             Predicate::And(ps) => ps.iter().all(|p| p.is_trivial()),
             _ => false,
         }
@@ -227,11 +246,18 @@ mod tests {
 
     fn logs() -> Table {
         let mut t = Table::new("logs");
-        t.add_column("dept", Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]))
+        t.add_column(
+            "dept",
+            Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]),
+        )
+        .unwrap();
+        t.add_column(
+            "price",
+            Column::from_opt_f64s(&[Some(10.0), Some(20.0), None, Some(5.0)]),
+        )
+        .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400]))
             .unwrap();
-        t.add_column("price", Column::from_opt_f64s(&[Some(10.0), Some(20.0), None, Some(5.0)]))
-            .unwrap();
-        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
         t
     }
 
@@ -308,7 +334,10 @@ mod tests {
         let t = logs();
         let s = Predicate::eq("dept", "E").selectivity(&t).unwrap();
         assert!((s - 0.5).abs() < 1e-9);
-        assert_eq!(Predicate::True.selectivity(&Table::new("empty")).unwrap(), 0.0);
+        assert_eq!(
+            Predicate::True.selectivity(&Table::new("empty")).unwrap(),
+            0.0
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub enum DataType {
 impl DataType {
     /// True for types on which range predicates are meaningful (numeric and datetime).
     pub fn is_numeric_like(&self) -> bool {
-        matches!(self, DataType::Int | DataType::Float | DataType::DateTime | DataType::Bool)
+        matches!(
+            self,
+            DataType::Int | DataType::Float | DataType::DateTime | DataType::Bool
+        )
     }
 
     /// True for types on which equality predicates are used by FeatAug (categoricals and bools).
@@ -50,7 +53,10 @@ pub struct Field {
 impl Field {
     /// Create a new field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 

@@ -186,7 +186,12 @@ pub fn fill_range_view(
 
 /// Fill `mask` with range-predicate semantics against a column. Identical to
 /// the range leaf of [`Predicate::evaluate`].
-pub fn fill_range(col: &Column, low: Option<&Value>, high: Option<&Value>, mask: &mut SelectionMask) {
+pub fn fill_range(
+    col: &Column,
+    low: Option<&Value>,
+    high: Option<&Value>,
+    mask: &mut SelectionMask,
+) {
     let lo = low.and_then(|v| v.as_f64());
     let hi = high.and_then(|v| v.as_f64());
     fill_range_view(&col.to_f64_vec(), lo, hi, mask);
@@ -237,11 +242,18 @@ mod tests {
 
     fn logs() -> Table {
         let mut t = Table::new("logs");
-        t.add_column("dept", Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]))
+        t.add_column(
+            "dept",
+            Column::from_opt_strs(&[Some("E"), Some("H"), Some("E"), None]),
+        )
+        .unwrap();
+        t.add_column(
+            "price",
+            Column::from_opt_f64s(&[Some(10.0), Some(20.0), None, Some(5.0)]),
+        )
+        .unwrap();
+        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400]))
             .unwrap();
-        t.add_column("price", Column::from_opt_f64s(&[Some(10.0), Some(20.0), None, Some(5.0)]))
-            .unwrap();
-        t.add_column("ts", Column::from_datetimes(&[100, 200, 300, 400])).unwrap();
         t
     }
 
@@ -286,7 +298,10 @@ mod tests {
         let mut b = SelectionMask::new();
         b.fill_from(100, |i| i % 3 == 0);
         a.and_assign(&b);
-        assert_eq!(a.to_indices(), (0..100).filter(|i| i % 6 == 0).collect::<Vec<_>>());
+        assert_eq!(
+            a.to_indices(),
+            (0..100).filter(|i| i % 6 == 0).collect::<Vec<_>>()
+        );
     }
 
     /// Every predicate shape must agree with the Vec<bool> reference

@@ -21,7 +21,12 @@ pub struct Table {
 impl Table {
     /// Create an empty table with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Table { name: name.into(), schema: Schema::new(), columns: Vec::new(), num_rows: 0 }
+        Table {
+            name: name.into(),
+            schema: Schema::new(),
+            columns: Vec::new(),
+            num_rows: 0,
+        }
     }
 
     /// The table's name.
@@ -204,8 +209,11 @@ impl Table {
         s.push_str(&self.column_names().join(","));
         s.push('\n');
         for row in 0..n.min(self.num_rows) {
-            let cells: Vec<String> =
-                self.columns.iter().map(|c| c.get(row).to_string()).collect();
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.get(row).to_string())
+                .collect();
             s.push_str(&cells.join(","));
             s.push('\n');
         }
@@ -219,9 +227,12 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("t");
-        t.add_column("id", Column::from_i64s(&[1, 2, 3, 4])).unwrap();
-        t.add_column("grp", Column::from_strs(&["a", "a", "b", "b"])).unwrap();
-        t.add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        t.add_column("id", Column::from_i64s(&[1, 2, 3, 4]))
+            .unwrap();
+        t.add_column("grp", Column::from_strs(&["a", "a", "b", "b"]))
+            .unwrap();
+        t.add_column("x", Column::from_f64s(&[1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
         t
     }
 
@@ -274,9 +285,11 @@ mod tests {
     #[test]
     fn set_and_drop_column() {
         let mut t = sample();
-        t.set_column("x", Column::from_f64s(&[9.0, 9.0, 9.0, 9.0])).unwrap();
+        t.set_column("x", Column::from_f64s(&[9.0, 9.0, 9.0, 9.0]))
+            .unwrap();
         assert_eq!(t.value(0, "x").unwrap(), Value::Float(9.0));
-        t.set_column("new", Column::from_i64s(&[7, 7, 7, 7])).unwrap();
+        t.set_column("new", Column::from_i64s(&[7, 7, 7, 7]))
+            .unwrap();
         assert_eq!(t.num_columns(), 4);
         let dropped = t.drop_column("new").unwrap();
         assert_eq!(dropped.len(), 4);

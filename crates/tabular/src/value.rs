@@ -166,14 +166,23 @@ mod tests {
     fn numeric_cross_type_comparison() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
-        assert_eq!(Value::Bool(true).total_cmp(&Value::Int(0)), Ordering::Greater);
+        assert_eq!(
+            Value::Bool(true).total_cmp(&Value::Int(0)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn string_ordering() {
-        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
+            Ordering::Less
+        );
         // numerics order before strings
-        assert_eq!(Value::Int(999).total_cmp(&Value::Str("a".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(999).total_cmp(&Value::Str("a".into())),
+            Ordering::Less
+        );
     }
 
     #[test]

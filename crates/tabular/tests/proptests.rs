@@ -6,14 +6,48 @@ use proptest::prelude::*;
 use feataug_tabular::csv::{from_csv_string, to_csv_string};
 use feataug_tabular::groupby::{group_by_aggregate, group_by_aggregate_sorted};
 use feataug_tabular::join::left_join;
+use feataug_tabular::kernels::apply_kernel;
 use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+
+/// Adversarial float inputs for kernel-equivalence tests: indices into this palette are what
+/// proptest shrinks over, so every draw can produce ±0.0, NaNs of both payload signs,
+/// infinities and repeated values (single-element and all-equal slices come from short or
+/// constant index vectors).
+fn palette_values(indices: &[u8]) -> Vec<f64> {
+    const PALETTE: [f64; 10] = [
+        0.0,
+        -0.0,
+        f64::NAN,
+        1.0,
+        -1.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        2.5,
+        2.5,
+        1e300,
+    ];
+    indices
+        .iter()
+        .map(|&i| {
+            let v = PALETTE[i as usize % PALETTE.len()];
+            // Odd indices past the palette flip the NaN payload sign.
+            if v.is_nan() && i >= PALETTE.len() as u8 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
 
 fn small_table(keys: Vec<u8>, values: Vec<Option<f64>>) -> Table {
     let n = keys.len().min(values.len());
     let key_strs: Vec<String> = keys[..n].iter().map(|k| format!("k{}", k % 5)).collect();
     let mut t = Table::new("t");
-    t.add_column("key", Column::from_strings(&key_strs)).unwrap();
-    t.add_column("val", Column::from_opt_f64s(&values[..n])).unwrap();
+    t.add_column("key", Column::from_strings(&key_strs))
+        .unwrap();
+    t.add_column("val", Column::from_opt_f64s(&values[..n]))
+        .unwrap();
     t
 }
 
@@ -136,6 +170,50 @@ proptest! {
         let back = from_csv_string("t", &text).unwrap();
         prop_assert_eq!(back.num_rows(), t.num_rows());
         prop_assert_eq!(back.schema(), t.schema());
+    }
+
+    /// Every aggregation kernel must reproduce the `AggFunc::apply` oracle bit for bit over
+    /// adversarial float slices: signed zeros, NaN payloads of both signs, infinities,
+    /// single-element slices and all-equal slices.
+    #[test]
+    fn apply_kernel_bit_identical_to_apply_oracle(
+        indices in proptest::collection::vec(0u8..20, 0..40),
+    ) {
+        let values = palette_values(&indices);
+        for &agg in AggFunc::all() {
+            let oracle = agg.apply(&values);
+            let kernel = apply_kernel(agg, &values);
+            prop_assert_eq!(
+                oracle.map(f64::to_bits),
+                kernel.map(f64::to_bits),
+                "{} over {:?}: oracle {:?} vs kernel {:?}",
+                agg,
+                &values,
+                oracle,
+                kernel
+            );
+        }
+    }
+
+    /// All-equal and single-element slices are the classic degenerate groups; pin them
+    /// explicitly rather than hoping the generator finds them.
+    #[test]
+    fn apply_kernel_matches_oracle_on_degenerate_groups(
+        idx in 0u8..20,
+        len in 1usize..6,
+    ) {
+        let values = vec![palette_values(&[idx])[0]; len];
+        for &agg in AggFunc::all() {
+            let oracle = agg.apply(&values);
+            let kernel = apply_kernel(agg, &values);
+            prop_assert_eq!(
+                oracle.map(f64::to_bits),
+                kernel.map(f64::to_bits),
+                "{} over {:?}",
+                agg,
+                &values
+            );
+        }
     }
 
     #[test]

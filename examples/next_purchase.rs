@@ -21,20 +21,46 @@ fn main() {
     let model = ModelKind::GradientBoosting;
     let n_features = 12;
 
-    println!("Tmall-style next-purchase prediction ({} customers)", task.train.num_rows());
+    println!(
+        "Tmall-style next-purchase prediction ({} customers)",
+        task.train.num_rows()
+    );
     println!("planted signal: {}\n", dataset.signal_description);
 
     // Bare training table.
-    let base = evaluate_table(&task.train, &task.label_column, &task.key_columns, task.task, model, 1);
-    println!("{:<22} {} = {:.4}", "no augmentation", base.metric, base.value);
+    let base = evaluate_table(
+        &task.train,
+        &task.label_column,
+        &task.key_columns,
+        task.task,
+        model,
+        1,
+    );
+    println!(
+        "{:<22} {} = {:.4}",
+        "no augmentation", base.metric, base.value
+    );
 
     // Featuretools (predicate-free DFS).
     let dfs = DfsConfig {
-        agg_funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min],
+        agg_funcs: vec![
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::Max,
+            AggFunc::Min,
+        ],
         ..DfsConfig::default()
     };
     let ft_table = featuretools_augment(&task, n_features, None, &dfs);
-    let ft = evaluate_table(&ft_table, &task.label_column, &task.key_columns, task.task, model, 1);
+    let ft = evaluate_table(
+        &ft_table,
+        &task.label_column,
+        &task.key_columns,
+        task.task,
+        model,
+        1,
+    );
     println!("{:<22} {} = {:.4}", "Featuretools", ft.metric, ft.value);
 
     // FeatAug (predicate-aware).

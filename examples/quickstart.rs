@@ -17,10 +17,17 @@ fn main() {
     // ---- 1. A miniature User_Info / User_Logs pair (paper Figure 1) -----------------------
     let mut user_info = Table::new("user_info");
     user_info
-        .add_column("cname", Column::from_strs(&["alice", "bob", "carol", "dave"]))
+        .add_column(
+            "cname",
+            Column::from_strs(&["alice", "bob", "carol", "dave"]),
+        )
         .unwrap();
-    user_info.add_column("age", Column::from_i64s(&[34, 51, 27, 45])).unwrap();
-    user_info.add_column("label", Column::from_i64s(&[1, 0, 1, 0])).unwrap();
+    user_info
+        .add_column("age", Column::from_i64s(&[34, 51, 27, 45]))
+        .unwrap();
+    user_info
+        .add_column("label", Column::from_i64s(&[1, 0, 1, 0]))
+        .unwrap();
 
     let mut user_logs = Table::new("user_logs");
     user_logs
@@ -30,7 +37,10 @@ fn main() {
         )
         .unwrap();
     user_logs
-        .add_column("pprice", Column::from_f64s(&[899.0, 25.0, 12.0, 499.0, 18.0, 9.0]))
+        .add_column(
+            "pprice",
+            Column::from_f64s(&[899.0, 25.0, 12.0, 499.0, 18.0, 9.0]),
+        )
         .unwrap();
     user_logs
         .add_column(
@@ -46,7 +56,10 @@ fn main() {
         )
         .unwrap();
     user_logs
-        .add_column("timestamp", Column::from_datetimes(&[200, 50, 120, 210, 90, 60]))
+        .add_column(
+            "timestamp",
+            Column::from_datetimes(&[200, 50, 120, 210, 90, 60]),
+        )
         .unwrap();
 
     // ---- 2. Execute one hand-written predicate-aware query --------------------------------
@@ -73,7 +86,11 @@ fn main() {
     let result = feataug.augment(&task);
     println!("FeatAug generated {} features:", result.feature_names.len());
     for q in result.queries.iter().take(5) {
-        println!("  loss {:>8.4}  {}", q.loss, q.query.to_sql(&dataset.relevant.name().to_string()));
+        println!(
+            "  loss {:>8.4}  {}",
+            q.loss,
+            q.query.to_sql(dataset.relevant.name())
+        );
     }
     println!(
         "\ntiming: QTI {:?}, warm-up {:?}, generation {:?}",

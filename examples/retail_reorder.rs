@@ -17,7 +17,10 @@ use feataug_tabular::AggFunc;
 fn main() {
     let dataset = feataug_datagen::instacart::generate(&feataug_datagen::GenConfig::small());
     let task = to_aug_task(&dataset);
-    println!("Instacart-style reorder prediction ({} users)", task.train.num_rows());
+    println!(
+        "Instacart-style reorder prediction ({} users)",
+        task.train.num_rows()
+    );
     println!("planted signal: {}\n", dataset.signal_description);
 
     // The user supplies the template explicitly: aggregate order statistics, restricted by
@@ -32,14 +35,21 @@ fn main() {
 
     let model = ModelKind::Linear;
     let evaluator = FeatureEvaluator::new(&task, model, 7);
-    println!("base validation loss (no feature): {:.4}\n", evaluator.base_loss());
+    println!(
+        "base validation loss (no feature): {:.4}\n",
+        evaluator.base_loss()
+    );
 
     let generator = QueryGenerator::new(&task, &evaluator, SqlGenConfig::default());
     let (queries, timing) = generator.generate(&template, 5);
 
     println!("best predicate-aware queries found:");
     for q in &queries {
-        println!("  loss {:>8.4}  {}", q.loss, q.query.to_sql("order_history"));
+        println!(
+            "  loss {:>8.4}  {}",
+            q.loss,
+            q.query.to_sql("order_history")
+        );
     }
     println!(
         "\nwarm-up took {:?}, query generation took {:?}",

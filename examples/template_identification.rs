@@ -18,7 +18,10 @@ fn main() {
     let dataset = feataug_datagen::student::generate(&feataug_datagen::GenConfig::small());
     let task = to_aug_task(&dataset);
     println!("Student-style dataset ({} sessions)", task.train.num_rows());
-    println!("candidate predicate attributes: {:?}", task.resolved_predicate_attrs());
+    println!(
+        "candidate predicate attributes: {:?}",
+        task.resolved_predicate_attrs()
+    );
     println!("planted signal: {}\n", dataset.signal_description);
 
     let evaluator = FeatureEvaluator::new(&task, ModelKind::Linear, 3);
@@ -26,7 +29,10 @@ fn main() {
 
     // Beam search with both optimisations (the default).
     for proxy in LowCostProxy::all() {
-        let cfg = TemplateIdConfig { proxy: *proxy, ..TemplateIdConfig::default() };
+        let cfg = TemplateIdConfig {
+            proxy: *proxy,
+            ..TemplateIdConfig::default()
+        };
         let identifier = TemplateIdentifier::new(&task, &evaluator, agg_funcs.clone(), cfg);
         let (templates, elapsed, evaluated) = identifier.identify();
         println!("proxy = {proxy}: evaluated {evaluated} nodes in {elapsed:?}");
@@ -37,16 +43,17 @@ fn main() {
     }
 
     // Brute force over a reduced attribute set, for comparison.
-    let reduced = task.clone().with_predicate_attrs(vec![
-        "event_name".into(),
-        "level".into(),
-        "room".into(),
-    ]);
+    let reduced =
+        task.clone()
+            .with_predicate_attrs(vec!["event_name".into(), "level".into(), "room".into()]);
     let identifier = TemplateIdentifier::new(
         &reduced,
         &evaluator,
         agg_funcs,
-        TemplateIdConfig { max_depth: 3, ..TemplateIdConfig::default() },
+        TemplateIdConfig {
+            max_depth: 3,
+            ..TemplateIdConfig::default()
+        },
     );
     let (templates, elapsed, evaluated) = identifier.brute_force();
     println!("brute force over 3 attributes: evaluated {evaluated} subsets in {elapsed:?}");

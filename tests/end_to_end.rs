@@ -24,7 +24,13 @@ fn fast_cfg(model: ModelKind) -> FeatAugConfig {
 
 fn small_dfs() -> DfsConfig {
     DfsConfig {
-        agg_funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::Count, AggFunc::Max, AggFunc::Min],
+        agg_funcs: vec![
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Count,
+            AggFunc::Max,
+            AggFunc::Min,
+        ],
         ..DfsConfig::default()
     }
 }
@@ -144,7 +150,14 @@ fn multiclass_one_to_one_dataset_works_end_to_end() {
     let task = to_aug_task(&ds);
     assert_eq!(task.task, Task::MultiClassification { n_classes: 4 });
 
-    let base = evaluate_table(&task.train, "label", &task.key_columns, task.task, ModelKind::RandomForest, 2);
+    let base = evaluate_table(
+        &task.train,
+        "label",
+        &task.key_columns,
+        task.task,
+        ModelKind::RandomForest,
+        2,
+    );
     let result = FeatAug::new(fast_cfg(ModelKind::RandomForest)).augment(&task);
     let aug = evaluate_table(
         &result.augmented_train,

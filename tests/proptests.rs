@@ -166,6 +166,113 @@ proptest! {
         }
     }
 
+    /// The aggregation kernels must be bit-identical to the `AggFunc::apply` oracle for all
+    /// fifteen functions over adversarial float inputs — signed zeros, NaN payloads of both
+    /// signs, infinities, NULLs, single-element groups, all-equal groups and all-NaN groups —
+    /// at one worker and at the default worker count.
+    #[test]
+    fn kernels_match_apply_oracle_on_adversarial_floats(
+        seed in 0u64..10_000,
+        n_rows in 6usize..48,
+        n_keys in 2usize..6,
+    ) {
+        use feataug::exec::default_workers;
+        use feataug::PredicateQuery;
+        use feataug_tabular::{Column, Predicate, Table};
+        use rand::Rng;
+
+        let palette = [
+            Some(0.0),
+            Some(-0.0),
+            Some(f64::NAN),
+            Some(-f64::NAN),
+            Some(1.0),
+            Some(-1.0),
+            Some(f64::INFINITY),
+            Some(f64::NEG_INFINITY),
+            Some(2.5),
+            Some(2.5), // over-weighted so MODE sees real frequency ties
+            None,
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut keys: Vec<String> = Vec::new();
+        let mut values: Vec<Option<f64>> = Vec::new();
+        for i in 0..n_rows {
+            keys.push(format!("k{}", i % n_keys));
+            values.push(palette[rng.gen_range(0..palette.len())]);
+        }
+        // Deterministic degenerate groups: all-equal, all-NaN, single-element.
+        for _ in 0..3 {
+            keys.push("eq".into());
+            values.push(Some(3.5));
+            keys.push("nan".into());
+            values.push(Some(f64::NAN));
+        }
+        keys.push("one".into());
+        values.push(Some(-0.0));
+
+        let mut relevant = Table::new("logs");
+        let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+        relevant.add_column("k", Column::from_strs(&key_refs)).unwrap();
+        relevant.add_column("v", Column::from_opt_f64s(&values)).unwrap();
+        let sel: Vec<i64> = (0..keys.len() as i64).collect();
+        relevant.add_column("sel", Column::from_i64s(&sel)).unwrap();
+
+        let mut train = Table::new("users");
+        let mut train_keys: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+        train_keys.extend(["eq".into(), "nan".into(), "one".into(), "unseen".into()]);
+        let train_refs: Vec<&str> = train_keys.iter().map(|s| s.as_str()).collect();
+        train.add_column("k", Column::from_strs(&train_refs)).unwrap();
+
+        let mid = keys.len() as i64 / 2;
+        let predicates = [
+            Predicate::True,
+            Predicate::ge("sel", mid),
+            Predicate::le("sel", mid),
+        ];
+        let mut pool: Vec<PredicateQuery> = Vec::new();
+        for agg in AggFunc::all() {
+            for predicate in &predicates {
+                pool.push(PredicateQuery {
+                    agg: *agg,
+                    agg_column: "v".into(),
+                    predicate: predicate.clone(),
+                    group_keys: vec!["k".into()],
+                });
+            }
+        }
+
+        // Oracle: the reference execute-then-left-join path over (fixed-semantics)
+        // `AggFunc::apply`.
+        let reference: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|q| {
+                let (augmented, fname) = q.augment(&train, &relevant).unwrap();
+                feature_vector(&augmented, &fname)
+            })
+            .collect();
+
+        for workers in [1usize, default_workers()] {
+            let engine = QueryEngine::new(&train, &relevant);
+            for (i, result) in engine.feature_batch_threads(&pool, workers).into_iter().enumerate() {
+                let (_, vals) = result.unwrap();
+                prop_assert_eq!(vals.len(), reference[i].len());
+                for (row, (e, r)) in vals.iter().zip(&reference[i]).enumerate() {
+                    prop_assert_eq!(
+                        e.to_bits(),
+                        r.to_bits(),
+                        "workers={}: row {} of `{}`: kernel {} vs oracle {}",
+                        workers,
+                        row,
+                        pool[i].to_sql("R"),
+                        e,
+                        r
+                    );
+                }
+            }
+        }
+    }
+
     /// Encoding any generated training table yields a dataset with consistent shapes, and the
     /// evaluation protocol returns a metric within its valid range.
     #[test]

@@ -44,7 +44,10 @@ fn one_engine_serves_qti_generation_and_baselines() {
     let (templates, _, _) = identifier.identify();
     assert!(!templates.is_empty());
     let after_qti = engine.stats();
-    assert!(after_qti.evaluations > 0, "QTI must evaluate through the shared engine");
+    assert!(
+        after_qti.evaluations > 0,
+        "QTI must evaluate through the shared engine"
+    );
     assert!(after_qti.group_indexes >= 1 && after_qti.column_views >= 1);
 
     // ---- Component 2: SQL Query Generation -----------------------------------------------
@@ -125,5 +128,8 @@ fn pipeline_result_is_deterministic_across_runs() {
     let a = FeatAug::new(cfg.clone()).augment(&task);
     let b = FeatAug::new(cfg).augment(&task);
     assert_eq!(a.feature_names, b.feature_names);
-    assert_eq!(a.augmented_train.num_columns(), b.augmented_train.num_columns());
+    assert_eq!(
+        a.augmented_train.num_columns(),
+        b.augmented_train.num_columns()
+    );
 }
