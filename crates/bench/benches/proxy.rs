@@ -19,7 +19,7 @@ fn bench_proxy(c: &mut Criterion) {
             seed: 3,
         },
     );
-    let labels = ds.task.labels();
+    let labels = ds.task.labels().expect("generated task has labels");
     let feature: Vec<f64> = labels
         .iter()
         .enumerate()

@@ -78,7 +78,12 @@ fn dfs_candidates(
 /// Dataset view over a set of candidate feature columns of an augmented table (used to run the
 /// feature selectors).
 fn candidate_dataset(task: &AugTask, augmented: &Table, names: &[String]) -> Dataset {
-    let labels = task.labels();
+    // The baseline entry points don't run `AugTask::validate`, so a missing
+    // label must still fail loudly here — scoring selectors against a
+    // fabricated label vector would silently return garbage selections.
+    let labels = task
+        .labels()
+        .unwrap_or_else(|e| panic!("baseline on an invalid task: {e}"));
     let rows: Vec<Vec<f64>> = (0..augmented.num_rows())
         .map(|i| {
             names

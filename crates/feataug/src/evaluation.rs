@@ -150,7 +150,7 @@ mod tests {
         let t = task();
         let evaluator = FeatureEvaluator::new(&t, ModelKind::Linear, 3);
         let base = evaluator.base_loss();
-        let labels = t.labels();
+        let labels = t.labels().unwrap();
         let informative: Vec<f64> = labels.iter().map(|&y| y * 4.0 + 0.1).collect();
         let with = evaluator.loss_with_feature("good", &informative);
         assert!(
@@ -199,7 +199,7 @@ mod tests {
     fn multiple_features_accumulate() {
         let t = task();
         let evaluator = FeatureEvaluator::new(&t, ModelKind::Linear, 3);
-        let labels = t.labels();
+        let labels = t.labels().unwrap();
         let f1: Vec<f64> = labels.iter().map(|&y| y + 0.2).collect();
         let f2: Vec<f64> = labels.iter().map(|&y| 1.0 - y).collect();
         let result =

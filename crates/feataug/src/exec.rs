@@ -55,6 +55,20 @@
 //! [`default_workers`] (`FEATAUG_THREADS` overrides it; CI runs the suite at
 //! both 1 thread and the default).
 //!
+//! ## Transform path (offline → online)
+//!
+//! Search evaluates candidates against the *training* table, but a fitted
+//! plan's value is applying its queries to **unseen** rows. The transform
+//! path splits an evaluation into its two halves: the per-group aggregation
+//! runs once per query and is memoized group-aligned in the shared core,
+//! and [`QueryEngine::transform`] then gathers those per-group features
+//! through a fresh [`KeyMapper`]-driven key mapping for whatever table is
+//! being served — so transforming N tables pays the aggregation once plus N
+//! O(rows) gathers. [`QueryEngine::lookup`] is the online half: a single-key
+//! point read out of the same cached per-group features (two hash probes
+//! after the first call). Repeat transforms and lookups move no engine
+//! counter, which is how tests assert the reuse.
+//!
 //! ## Evaluation-level feature cache
 //!
 //! TPE resamples near-duplicate configurations, so the engine keeps a small
@@ -106,6 +120,13 @@ use crate::query::PredicateQuery;
 /// Hard cap on the worker count [`default_workers`] infers from the machine.
 const MAX_DEFAULT_WORKERS: usize = 8;
 
+/// Minimum candidate-pool size per batch worker. Spawning a thread costs more
+/// than evaluating a handful of candidates, so the batch entry points size
+/// their worker count by pool cost — one worker per `MIN_POOL_PER_WORKER`
+/// candidates, capped by the machine's parallelism — instead of always fanning
+/// a tiny pool across the flat cap of [`MAX_DEFAULT_WORKERS`].
+const MIN_POOL_PER_WORKER: usize = 8;
+
 /// Hard cap on the feature LRU's entry count, and the rough memory budget the
 /// default capacity is derived from (each entry is one train-length
 /// `Vec<Option<f64>>`, so a flat entry cap would balloon on large tables).
@@ -126,6 +147,15 @@ fn env_workers(raw: Option<&str>) -> Option<usize> {
         .filter(|n| *n >= 1)
 }
 
+/// The machine-derived worker count: available parallelism capped at
+/// [`MAX_DEFAULT_WORKERS`].
+fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_WORKERS)
+}
+
 /// The worker count batch evaluation uses when none is given explicitly: the
 /// `FEATAUG_THREADS` environment variable if set to a positive integer,
 /// otherwise the machine's available parallelism capped at 8.
@@ -133,10 +163,26 @@ pub fn default_workers() -> usize {
     if let Some(n) = env_workers(std::env::var("FEATAUG_THREADS").ok().as_deref()) {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(MAX_DEFAULT_WORKERS)
+    auto_workers()
+}
+
+/// Pure worker-sizing rule behind [`workers_for_pool`]: the machine-derived
+/// worker count, further capped so every worker has at least
+/// [`MIN_POOL_PER_WORKER`] candidates to chew on (never below one worker).
+fn pool_workers(auto: usize, pool_len: usize) -> usize {
+    auto.min(pool_len.div_ceil(MIN_POOL_PER_WORKER)).max(1)
+}
+
+/// The worker count a batch evaluation of `pool_len` candidates uses: a
+/// positive `FEATAUG_THREADS` stays authoritative (exactly like
+/// [`default_workers`]); otherwise the machine-derived count is capped by the
+/// pool's cost — `min(default_workers(), ceil(pool_len / 8))` — so a
+/// five-candidate pool no longer pays eight thread spawns for five items.
+pub fn workers_for_pool(pool_len: usize) -> usize {
+    if let Some(n) = env_workers(std::env::var("FEATAUG_THREADS").ok().as_deref()) {
+        return n;
+    }
+    pool_workers(auto_workers(), pool_len)
 }
 
 /// A compiled grouping of the relevant table by one group-key subset, plus the
@@ -151,6 +197,11 @@ struct GroupIndex {
     /// value absent from the relevant table, or incompatible key types —
     /// exactly the rows the reference left join leaves NULL).
     train_group: Vec<Option<u32>>,
+    /// Typed key → group id, in the relevant table's key space. Retained from
+    /// index construction so the transform/serve paths can gather per-group
+    /// features onto *arbitrary* tables (and answer point lookups) without
+    /// regrouping; costs one entry per distinct group.
+    key_to_group: HashMap<Vec<KeyAtom>, u32>,
 }
 
 /// Sorted row index over one numeric column: row ids ordered by value, NULLs
@@ -278,6 +329,8 @@ struct EvalScratch {
 
 /// A finished feature vector, shared between the cache and callers.
 type SharedFeature = Arc<Vec<Option<f64>>>;
+/// A memoized per-group feature paired with its group index (transform path).
+type SharedGroupFeature = (Arc<GroupIndex>, Arc<Vec<Option<f64>>>);
 /// One evaluation's outcome: the shared feature vector, or the query's error.
 type FeatureResult = feataug_tabular::Result<SharedFeature>;
 
@@ -363,6 +416,14 @@ struct EngineShared {
     /// Sorted-group value index per `(aggregation column, group-key subset)`
     /// pair, serving the order-statistic kernels.
     order: RwLock<HashMap<OrderKey, Arc<OrderIndex>>>,
+    /// Per-group feature of each query the transform/serve path has
+    /// materialised, keyed like the feature LRU by the query's structural
+    /// `Debug` form. Unlike the train-aligned feature LRU these are group-
+    /// aligned (one slot per group of the query's key subset), so one
+    /// aggregation pass serves transforms onto any number of tables and
+    /// every point lookup. Never evicted: a fitted plan holds a few dozen
+    /// queries at most.
+    group_feats: RwLock<HashMap<String, Arc<Vec<Option<f64>>>>>,
     /// Finished feature vectors of recent queries.
     features: Mutex<FeatureCache>,
     /// Lock-free mirror of the feature cache's capacity, so the hot path can
@@ -391,6 +452,11 @@ pub struct EngineStats {
     pub order_indexes: usize,
     /// Requests answered from the feature LRU without evaluating.
     pub feature_cache_hits: usize,
+    /// Distinct per-group feature vectors materialised for the
+    /// transform/serve path. Each costs exactly one evaluation; repeat
+    /// transforms and point lookups are pure cache reads that move *no*
+    /// counter.
+    pub group_features: usize,
 }
 
 /// A compiled, cache-reusing execution engine for candidate predicate queries
@@ -421,6 +487,7 @@ impl<'a> QueryEngine<'a> {
                 sorted: RwLock::new(HashMap::new()),
                 cats: RwLock::new(HashMap::new()),
                 order: RwLock::new(HashMap::new()),
+                group_feats: RwLock::new(HashMap::new()),
                 features: Mutex::new(FeatureCache::new(capacity)),
                 cache_capacity: AtomicUsize::new(capacity),
                 scratch: Mutex::new(Vec::new()),
@@ -457,6 +524,12 @@ impl<'a> QueryEngine<'a> {
             column_views: self.shared.views.read().expect("views lock").len(),
             order_indexes: self.shared.order.read().expect("order lock").len(),
             feature_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            group_features: self
+                .shared
+                .group_feats
+                .read()
+                .expect("group feats lock")
+                .len(),
         }
     }
 
@@ -479,14 +552,16 @@ impl<'a> QueryEngine<'a> {
         Ok((query.feature_name(), encoded))
     }
 
-    /// Evaluate a whole candidate pool, fanning it across [`default_workers`]
-    /// threads. `results[i]` is query `i`'s outcome; values are bit-identical
-    /// to calling [`QueryEngine::evaluate`] serially, at any worker count.
+    /// Evaluate a whole candidate pool, fanning it across
+    /// [`workers_for_pool`] threads (pool-cost-sized; `FEATAUG_THREADS`
+    /// overrides). `results[i]` is query `i`'s outcome; values are
+    /// bit-identical to calling [`QueryEngine::evaluate`] serially, at any
+    /// worker count.
     pub fn evaluate_batch(
         &self,
         queries: &[PredicateQuery],
     ) -> Vec<feataug_tabular::Result<Vec<Option<f64>>>> {
-        self.evaluate_batch_threads(queries, default_workers())
+        self.evaluate_batch_threads(queries, workers_for_pool(queries.len()))
     }
 
     /// [`QueryEngine::evaluate_batch`] with an explicit worker count
@@ -509,7 +584,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
     ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
-        self.batch_arcs(queries, default_workers())
+        self.batch_arcs(queries, workers_for_pool(queries.len()))
     }
 
     /// Batch counterpart of [`QueryEngine::feature`]: the candidate pool's
@@ -518,7 +593,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
     ) -> Vec<feataug_tabular::Result<(String, Vec<f64>)>> {
-        self.feature_batch_threads(queries, default_workers())
+        self.feature_batch_threads(queries, workers_for_pool(queries.len()))
     }
 
     /// [`QueryEngine::feature_batch`] with an explicit worker count.
@@ -650,6 +725,42 @@ impl<'a> QueryEngine<'a> {
         query: &PredicateQuery,
     ) -> feataug_tabular::Result<Vec<Option<f64>>> {
         let gi = self.group_index(&query.group_keys)?;
+        self.aggregate_into_scratch(scratch, query, &gi)?;
+
+        // O(train) gather through the precomputed train-row -> group map.
+        // `sel_count > 0` guards against reading stale `group_out` slots of
+        // groups the current query never touched. NaN results are
+        // canonicalized here: IEEE 754 leaves an arithmetic NaN's sign and
+        // payload unspecified, and the reference `AggFunc::apply` pins them
+        // to the canonical NaN (see `feataug_tabular::aggregate`).
+        let mut out = vec![None; self.train.num_rows()];
+        for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
+            if let Some(g) = tg {
+                let g = *g as usize;
+                if scratch.sel_count[g] > 0 {
+                    *slot = scratch.group_out[g].map(canonical_nan);
+                }
+            }
+        }
+
+        // Restore the all-zero `sel_count` invariant (O(touched groups)).
+        for &g in &scratch.touched {
+            scratch.sel_count[g as usize] = 0;
+        }
+        Ok(out)
+    }
+
+    /// Run `query`'s predicate mask + grouped aggregation against the shared
+    /// compiled core, leaving the per-group results in `scratch`
+    /// (`group_out` / `sel_count` / `touched`). The caller reads the touched
+    /// groups and MUST re-zero `sel_count` over `touched` afterwards to
+    /// restore the scratch invariant.
+    fn aggregate_into_scratch(
+        &self,
+        scratch: &mut EvalScratch,
+        query: &PredicateQuery,
+        gi: &GroupIndex,
+    ) -> feataug_tabular::Result<()> {
         let view = self.view(&query.agg_column)?;
         let trivial = query.predicate.is_trivial();
         if !trivial {
@@ -679,13 +790,13 @@ impl<'a> QueryEngine<'a> {
                 // Re-interned codes are query-local, so the memoized order
                 // index does not apply; the dictionary-code frequency kernel
                 // (and a per-bucket sort for MEDIAN/MAD) covers this path.
-                aggregate_groups(scratch, &gi, &cat_view, query.agg, trivial, None, true);
+                aggregate_groups(scratch, gi, &cat_view, query.agg, trivial, None, true);
                 scratch.cat_view = cat_view;
             } else {
-                let order = self.agg_order_index(query, &gi, &view, Some(&scratch.mask));
+                let order = self.agg_order_index(query, gi, &view, Some(&scratch.mask));
                 aggregate_groups(
                     scratch,
-                    &gi,
+                    gi,
                     &view,
                     query.agg,
                     trivial,
@@ -694,10 +805,10 @@ impl<'a> QueryEngine<'a> {
                 );
             }
         } else {
-            let order = self.agg_order_index(query, &gi, &view, None);
+            let order = self.agg_order_index(query, gi, &view, None);
             aggregate_groups(
                 scratch,
-                &gi,
+                gi,
                 &view,
                 query.agg,
                 trivial,
@@ -705,28 +816,155 @@ impl<'a> QueryEngine<'a> {
                 false,
             );
         }
+        Ok(())
+    }
 
-        // O(train) gather through the precomputed train-row -> group map.
-        // `sel_count > 0` guards against reading stale `group_out` slots of
-        // groups the current query never touched. NaN results are
-        // canonicalized here: IEEE 754 leaves an arithmetic NaN's sign and
-        // payload unspecified, and the reference `AggFunc::apply` pins them
-        // to the canonical NaN (see `feataug_tabular::aggregate`).
-        let mut out = vec![None; self.train.num_rows()];
-        for (slot, tg) in out.iter_mut().zip(&gi.train_group) {
-            if let Some(g) = tg {
-                let g = *g as usize;
-                if scratch.sel_count[g] > 0 {
-                    *slot = scratch.group_out[g].map(canonical_nan);
-                }
-            }
+    /// Fetch (or evaluate once and memoize) `query`'s **per-group** feature:
+    /// one slot per group of the query's key subset, `None` for groups the
+    /// predicate filtered out entirely or whose aggregate is NULL — exactly
+    /// the value a gather delivers to any row carrying that group's key. This
+    /// is the transform/serve workhorse: the aggregation runs once per query
+    /// per engine, and every later transform (over any table) or point lookup
+    /// is a cache read that moves no counter.
+    fn group_feature(&self, query: &PredicateQuery) -> feataug_tabular::Result<SharedGroupFeature> {
+        let gi = self.group_index(&query.group_keys)?;
+        let key = FeatureCache::key(query);
+        if let Some(hit) = self
+            .shared
+            .group_feats
+            .read()
+            .expect("group feats lock")
+            .get(&key)
+        {
+            return Ok((gi, hit.clone()));
         }
-
-        // Restore the all-zero `sel_count` invariant (O(touched groups)).
+        self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = self.take_scratch();
+        let result = self.aggregate_into_scratch(&mut scratch, query, &gi);
+        if let Err(e) = result {
+            self.put_scratch(scratch);
+            return Err(e);
+        }
+        // Materialise the touched groups (the only ones with live scratch
+        // slots); canonicalize NaNs exactly like the train gather does.
+        let mut values: Vec<Option<f64>> = vec![None; gi.n_groups];
+        for &g in &scratch.touched {
+            let g = g as usize;
+            values[g] = scratch.group_out[g].map(canonical_nan);
+        }
         for &g in &scratch.touched {
             scratch.sel_count[g as usize] = 0;
         }
-        Ok(out)
+        self.put_scratch(scratch);
+        let built = Arc::new(values);
+        let mut map = self.shared.group_feats.write().expect("group feats lock");
+        // A racing worker may have inserted first; keep the canonical Arc.
+        Ok((gi, map.entry(key).or_insert(built).clone()))
+    }
+
+    /// Row → group-id gather map for an **arbitrary** table carrying the
+    /// group-key columns, in the relevant table's key space. Built fresh per
+    /// call (the table is unknown to the compiled core); the group index it
+    /// probes is memoized as usual.
+    fn gather_map(
+        &self,
+        table: &Table,
+        keys: &[String],
+        gi: &GroupIndex,
+    ) -> feataug_tabular::Result<Vec<Option<u32>>> {
+        let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+        let mapper = KeyMapper::new(self.relevant, table, &key_refs, &key_refs)?;
+        Ok((0..table.num_rows())
+            .map(|row| {
+                mapper
+                    .key(row)
+                    .and_then(|k| gi.key_to_group.get(&k).copied())
+            })
+            .collect())
+    }
+
+    /// Materialise every query of `queries` onto `table` — any table carrying
+    /// the group-key columns, not just the training table the engine was
+    /// compiled with. Each query's aggregation runs **once per engine**
+    /// (memoized per-group features in the shared core); only the O(rows) key
+    /// mapping and gather are paid per table, and one key mapping is shared
+    /// by every query grouping on the same key subset. `results[i]` is query
+    /// `i`'s feature aligned with `table`'s rows (`None` = SQL NULL), with
+    /// value semantics identical to [`QueryEngine::evaluate`] run against a
+    /// hypothetical engine whose training table were `table`.
+    pub fn transform(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+        let mut maps: HashMap<Vec<String>, Arc<Vec<Option<u32>>>> = HashMap::new();
+        queries
+            .iter()
+            .map(|query| {
+                let (gi, feats) = self.group_feature(query)?;
+                let map = match maps.get(&query.group_keys) {
+                    Some(m) => m.clone(),
+                    None => {
+                        let built = Arc::new(self.gather_map(table, &query.group_keys, &gi)?);
+                        maps.insert(query.group_keys.clone(), built.clone());
+                        built
+                    }
+                };
+                Ok(map
+                    .iter()
+                    .map(|g| g.and_then(|g| feats[g as usize]))
+                    .collect())
+            })
+            .collect()
+    }
+
+    /// Answer a single-key request from the cached per-group features: the
+    /// feature `query` assigns to a row whose group-key values are
+    /// `key_values` (aligned with `query.group_keys`). `None` when the key is
+    /// absent from the relevant table, filtered out by the predicate, NULL, or
+    /// type-incompatible with the key column — the same rows a transform
+    /// leaves NULL. The first lookup of a query pays its one aggregation;
+    /// every later lookup is two hash probes.
+    pub fn lookup(
+        &self,
+        query: &PredicateQuery,
+        key_values: &[Value],
+    ) -> feataug_tabular::Result<Option<f64>> {
+        if key_values.len() != query.group_keys.len() {
+            return Err(feataug_tabular::TabularError::InvalidArgument(format!(
+                "lookup key has {} values for {} group-key columns",
+                key_values.len(),
+                query.group_keys.len()
+            )));
+        }
+        let (gi, feats) = self.group_feature(query)?;
+        let mut key = Vec::with_capacity(key_values.len());
+        for (column, value) in query.group_keys.iter().zip(key_values) {
+            match self.serve_atom(column, value)? {
+                Some(atom) => key.push(atom),
+                // NULL / unseen / type-mismatched components never match,
+                // exactly like the KeyMapper-driven gather.
+                None => return Ok(None),
+            }
+        }
+        Ok(gi.key_to_group.get(&key).and_then(|&g| feats[g as usize]))
+    }
+
+    /// Translate one key value into the relevant table's key space, mirroring
+    /// [`KeyMapper`]'s rules: categorical strings resolve through the
+    /// dictionary, every other type must match the column's dtype exactly
+    /// (ints never match datetimes), and NULL never matches. `Ok(None)` means
+    /// "can never match any group"; `Err` means the key column is missing.
+    fn serve_atom(&self, column: &str, value: &Value) -> feataug_tabular::Result<Option<KeyAtom>> {
+        let col = self.relevant.column(column)?;
+        Ok(match (col, value) {
+            (Column::Cat(c), Value::Str(s)) => c.code_of(s).map(KeyAtom::Code),
+            (Column::Int(_), Value::Int(i)) => Some(KeyAtom::Int(*i)),
+            (Column::DateTime(_), Value::DateTime(t)) => Some(KeyAtom::Int(*t)),
+            (Column::Float(_), Value::Float(f)) => Some(KeyAtom::Bits(f.to_bits())),
+            (Column::Bool(_), Value::Bool(b)) => Some(KeyAtom::Bool(*b)),
+            _ => None,
+        })
     }
 
     /// Fetch (or build and memoize) the numeric view of a relevant-table
@@ -996,6 +1234,7 @@ fn build_group_index(
         group_of_row,
         n_groups,
         train_group,
+        key_to_group: index,
     })
 }
 
@@ -1981,6 +2220,161 @@ mod tests {
             distinct[0],
             Some(2.0),
             "group a holds two values: 0.0 and NaN"
+        );
+    }
+
+    #[test]
+    fn pool_workers_scale_with_pool_cost() {
+        // Small pools don't spawn idle workers…
+        assert_eq!(super::pool_workers(8, 0), 1);
+        assert_eq!(super::pool_workers(8, 1), 1);
+        assert_eq!(super::pool_workers(8, 8), 1);
+        assert_eq!(super::pool_workers(8, 9), 2);
+        assert_eq!(super::pool_workers(8, 40), 5);
+        // …and big pools still cap at the machine-derived count.
+        assert_eq!(super::pool_workers(8, 1000), 8);
+        assert_eq!(super::pool_workers(2, 1000), 2);
+        assert_eq!(super::pool_workers(1, 9), 1);
+    }
+
+    #[test]
+    fn workers_for_pool_is_positive_and_capped_by_default() {
+        let n = super::workers_for_pool(1_000_000);
+        assert!(n >= 1);
+        // With FEATAUG_THREADS unset this is the auto cap; with it set, the
+        // override is authoritative — either way never zero.
+        let small = super::workers_for_pool(1);
+        assert!(small >= 1);
+        if std::env::var("FEATAUG_THREADS").is_err() {
+            assert!(small <= n);
+        }
+    }
+
+    #[test]
+    fn transform_on_train_table_matches_evaluate() {
+        let (train, relevant) = (train(), relevant());
+        let pool = vec![
+            query(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            query(AggFunc::Median, Predicate::ge("ts", 250), &["cname", "mid"]),
+            query(AggFunc::Count, Predicate::True, &["mid"]),
+            query(AggFunc::Var, Predicate::le("ts", 350), &["cname"]),
+        ];
+        let reference = QueryEngine::new(&train, &relevant);
+        let expected: Vec<Vec<Option<f64>>> = pool
+            .iter()
+            .map(|q| reference.evaluate(q).unwrap())
+            .collect();
+        let engine = QueryEngine::new(&train, &relevant);
+        let got = engine.transform(&pool, &train).unwrap();
+        for ((g, e), q) in got.iter().zip(&expected).zip(&pool) {
+            assert_eq!(
+                g.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>(),
+                e.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>(),
+                "transform must match evaluate for {}",
+                q.to_sql("R")
+            );
+        }
+    }
+
+    #[test]
+    fn second_transform_reuses_cached_group_features() {
+        let (train, relevant) = (train(), relevant());
+        let pool = vec![
+            query(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            query(AggFunc::Avg, Predicate::True, &["cname", "mid"]),
+        ];
+        let engine = QueryEngine::new(&train, &relevant);
+        engine.transform(&pool, &train).unwrap();
+        let after_first = engine.stats();
+        assert_eq!(after_first.group_features, 2);
+        assert_eq!(after_first.evaluations, 2);
+
+        // A different table: fresh gather, zero new aggregation work.
+        let mut other = Table::new("serving");
+        other
+            .add_column("cname", Column::from_strs(&["b", "a", "zz"]))
+            .unwrap();
+        other
+            .add_column("mid", Column::from_strs(&["m2", "m1", "m1"]))
+            .unwrap();
+        let out = engine.transform(&pool, &other).unwrap();
+        assert_eq!(out[0].len(), 3);
+        assert_eq!(
+            engine.stats(),
+            after_first,
+            "repeat transform must be a pure cache read"
+        );
+        // Row values follow the new table's keys: cname=b rows of the SUM
+        // query (dept=E keeps ts rows 2,3: 30+40), unseen key -> NULL.
+        assert_eq!(out[0], vec![Some(70.0), Some(10.0), None]);
+        assert_eq!(out[1][2], None);
+    }
+
+    #[test]
+    fn transform_leaves_unseen_and_null_keys_null() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let mut held_out = Table::new("held_out");
+        held_out
+            .add_column(
+                "cname",
+                Column::from_opt_strs(&[Some("a"), Some("never_seen"), None]),
+            )
+            .unwrap();
+        let out = engine.transform(&[q], &held_out).unwrap();
+        assert_eq!(out[0], vec![Some(30.0), None, None]);
+    }
+
+    #[test]
+    fn transform_errors_when_key_columns_are_missing() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        let keyless = Table::new("empty");
+        assert!(engine.transform(&[q], &keyless).is_err());
+    }
+
+    #[test]
+    fn lookup_answers_point_requests_from_cached_features() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]);
+        assert_eq!(
+            engine.lookup(&q, &[Value::Str("a".into())]).unwrap(),
+            Some(10.0)
+        );
+        assert_eq!(
+            engine.lookup(&q, &[Value::Str("b".into())]).unwrap(),
+            Some(70.0)
+        );
+        // Unseen, NULL and type-mismatched keys never match.
+        assert_eq!(engine.lookup(&q, &[Value::Str("zz".into())]).unwrap(), None);
+        assert_eq!(engine.lookup(&q, &[Value::Null]).unwrap(), None);
+        assert_eq!(engine.lookup(&q, &[Value::Int(7)]).unwrap(), None);
+        // Arity mismatch is an error, not a silent miss.
+        assert!(engine.lookup(&q, &[]).is_err());
+        // All lookups above cost exactly one aggregation.
+        assert_eq!(engine.stats().evaluations, 1);
+        assert_eq!(engine.stats().group_features, 1);
+    }
+
+    #[test]
+    fn lookup_multi_key_subset() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Avg, Predicate::True, &["cname", "mid"]);
+        assert_eq!(
+            engine
+                .lookup(&q, &[Value::Str("b".into()), Value::Str("m2".into())])
+                .unwrap(),
+            Some(35.0)
+        );
+        assert_eq!(
+            engine
+                .lookup(&q, &[Value::Str("b".into()), Value::Str("m1".into())])
+                .unwrap(),
+            None
         );
     }
 

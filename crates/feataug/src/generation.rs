@@ -191,7 +191,11 @@ impl<'a> QueryGenerator<'a> {
             Ok(c) => c,
             Err(_) => return (Vec::new(), GenerationTiming::default()),
         };
-        let labels = self.task.labels();
+        // The pipeline validates the task before any component runs; a
+        // stand-alone generator on a label-less task degrades to no queries.
+        let Ok(labels) = self.task.labels() else {
+            return (Vec::new(), GenerationTiming::default());
+        };
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut timing = GenerationTiming::default();
 

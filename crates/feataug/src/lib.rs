@@ -43,27 +43,69 @@
 //!
 //! Per-worker scratch (selection bitmasks, aggregation buffers) lives in a pool, and
 //! [`exec::QueryEngine::evaluate_batch`] fans candidate pools across a
-//! [`std::thread::scope`]-based worker pool. The engine is `Clone` — clones are cheap handles
-//! onto the same caches, which is how the pipeline shares one engine across QTI, generation and
-//! the baselines. Output is bit-for-bit identical to the reference path
+//! [`std::thread::scope`]-based worker pool sized by pool cost
+//! ([`exec::workers_for_pool`]; `FEATAUG_THREADS` overrides). The engine is `Clone` — clones
+//! are cheap handles onto the same caches, which is how the pipeline shares one engine across
+//! QTI, generation and the baselines. Output is bit-for-bit identical to the reference path
 //! ([`query::PredicateQuery::augment`]) at any thread count; the reference stays in place as
 //! the semantic specification and the equivalence is enforced by property tests over randomized
 //! query pools at several worker counts.
 //!
+//! ## Fit / transform / serve
+//!
+//! Discovery is the expensive, offline half; applying the discovered queries
+//! to *unseen* rows is where they earn their keep. The top-level API splits
+//! accordingly:
+//!
+//! * [`pipeline::FeatAug::fit`] validates the task ([`problem::AugTask::validate`] — a
+//!   malformed task returns an [`problem::AugTaskError`] instead of panicking mid-search),
+//!   runs QTI + generation, and returns an [`pipeline::AugModel`];
+//! * [`pipeline::AugModel::transform`] materialises every planned feature onto **any** table
+//!   carrying the key columns (train, test split, live batch) — each query's aggregation runs
+//!   once per model, memoized per-group in the engine core, so N tables pay N gathers and one
+//!   aggregation;
+//! * [`pipeline::AugModel::serve`] answers single-key point lookups from the same cached
+//!   per-group features — the online half of offline→online;
+//! * [`query::AugPlan`] is the portable artifact in between: plain-data queries, renderable to
+//!   SQL ([`query::AugPlan::to_sql`]) and round-trippable through a hand-rolled text format
+//!   ([`query::AugPlan::to_plan_text`] / [`query::AugPlan::from_plan_text`]), recompiled into
+//!   a serving model by [`pipeline::AugModel::compile`];
+//! * [`pipeline::FeatAug::augment`] survives as a thin `fit` + `transform(train)` wrapper,
+//!   bit-identical to the historical one-shot pipeline.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
-//! use feataug::pipeline::{FeatAug, FeatAugConfig};
+//! use feataug::pipeline::{AugModel, FeatAug, FeatAugConfig};
 //! use feataug::problem::AugTask;
+//! use feataug::query::AugPlan;
 //! use feataug_ml::{ModelKind, Task};
+//! use feataug_tabular::Value;
 //!
-//! # fn get_tables() -> (feataug_tabular::Table, feataug_tabular::Table) { unimplemented!() }
-//! let (train, relevant) = get_tables();
+//! # fn get_tables() -> (feataug_tabular::Table, feataug_tabular::Table, feataug_tabular::Table) { unimplemented!() }
+//! let (train, test, relevant) = get_tables();
 //! let task = AugTask::new(train, relevant, vec!["user_id".into()], "label", Task::BinaryClassification)
 //!     .with_agg_columns(vec!["pprice".into()])
 //!     .with_predicate_attrs(vec!["department".into(), "timestamp".into()]);
-//! let result = FeatAug::new(FeatAugConfig::fast(ModelKind::Linear)).augment(&task);
-//! println!("augmented table has {} columns", result.augmented_train.num_columns());
+//!
+//! // Offline: discover predicate-aware aggregation queries once.
+//! let model = FeatAug::new(FeatAugConfig::fast(ModelKind::Linear)).fit(&task)?;
+//! for sql in model.plan().to_sql() {
+//!     println!("{sql}");
+//! }
+//!
+//! // Apply them to the training table AND to unseen rows.
+//! let augmented_train = model.transform(&task.train)?;
+//! let augmented_test = model.transform(&test)?;
+//!
+//! // Online: point lookups straight from the cached per-group features.
+//! let features = model.serve(&[Value::Str("alice".into())])?;
+//!
+//! // Ship the plan as text; recompile it elsewhere.
+//! let text = model.plan().to_plan_text();
+//! let plan = AugPlan::from_plan_text(&text).unwrap();
+//! let serving = AugModel::compile(plan, &task.train, &task.relevant);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod baselines;
@@ -79,9 +121,9 @@ pub mod query;
 pub mod template;
 pub mod template_id;
 
-pub use exec::{default_workers, EngineStats, QueryEngine};
-pub use pipeline::{FeatAug, FeatAugConfig, FeatAugResult};
-pub use problem::AugTask;
+pub use exec::{default_workers, workers_for_pool, EngineStats, QueryEngine};
+pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult};
+pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
-pub use query::{PredicateQuery, QueryCodec};
+pub use query::{AugPlan, PlanParseError, PlannedQuery, PredicateQuery, QueryCodec};
 pub use template::QueryTemplate;

@@ -16,10 +16,11 @@
 
 use feataug_ml::Task;
 use feataug_tabular::join::left_join;
-use feataug_tabular::Table;
+use feataug_tabular::{Column, Table};
 
-use crate::pipeline::{FeatAug, FeatAugConfig, FeatAugResult, PipelineTiming};
-use crate::problem::AugTask;
+use crate::pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, PipelineTiming};
+use crate::problem::{AugTask, AugTaskError};
+use crate::query::AugPlan;
 
 /// One relevant table participating in a multi-table augmentation task.
 #[derive(Debug, Clone)]
@@ -100,6 +101,74 @@ impl MultiAugTask {
         )
         .with_agg_columns(source.agg_columns.clone())
         .with_predicate_attrs(source.predicate_attrs.clone())
+    }
+
+    /// All per-source sub-tasks, in source order. [`fit_multi`] borrows the
+    /// returned tasks for the lifetime of its models, so hold the vector
+    /// alongside the [`MultiAugModel`].
+    pub fn sub_tasks(&self) -> Vec<AugTask> {
+        (0..self.sources.len()).map(|i| self.sub_task(i)).collect()
+    }
+}
+
+/// The fit/transform counterpart of [`augment_multi`]: one fitted
+/// [`AugModel`] per relevant source, transformable as a union onto any table
+/// carrying the training-side key columns. Each source keeps its own engine
+/// (engines are per `(train, relevant)` pair by construction), so repeat
+/// transforms pay no aggregation anywhere.
+#[derive(Debug)]
+pub struct MultiAugModel<'a> {
+    models: Vec<AugModel<'a>>,
+}
+
+/// Fit one model per sub-task (see [`MultiAugTask::sub_tasks`]); the borrow
+/// keeps each model's engine anchored to its source tables.
+///
+/// ```no_run
+/// # use feataug::multi::{MultiAugTask, fit_multi};
+/// # use feataug::FeatAugConfig;
+/// # use feataug_ml::ModelKind;
+/// # fn get(_: ()) -> MultiAugTask { unimplemented!() }
+/// let task: MultiAugTask = get(());
+/// let subs = task.sub_tasks();
+/// let model = fit_multi(&FeatAugConfig::fast(ModelKind::Linear), &subs).unwrap();
+/// let augmented_train = model.transform(&task.train).unwrap();
+/// ```
+pub fn fit_multi<'a>(
+    cfg: &FeatAugConfig,
+    sub_tasks: &'a [AugTask],
+) -> Result<MultiAugModel<'a>, AugTaskError> {
+    let models = sub_tasks
+        .iter()
+        .map(|task| FeatAug::new(cfg.clone()).fit(task))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MultiAugModel { models })
+}
+
+impl<'a> MultiAugModel<'a> {
+    /// The per-source fitted models, in source order.
+    pub fn models(&self) -> &[AugModel<'a>] {
+        &self.models
+    }
+
+    /// The per-source portable plans, in source order.
+    pub fn plans(&self) -> Vec<&AugPlan> {
+        self.models.iter().map(|m| m.plan()).collect()
+    }
+
+    /// Attach the union of every source's planned features to a copy of
+    /// `table` (any table carrying each source's training-side key columns).
+    /// Feature names embed a query hash, so cross-source collisions are
+    /// unlikely; a colliding (or pre-existing) column is skipped, exactly
+    /// like [`augment_multi`]'s union.
+    pub fn transform(&self, table: &Table) -> feataug_tabular::Result<Table> {
+        let mut augmented = table.clone();
+        for model in &self.models {
+            for (name, values) in model.transform_features(table)? {
+                let _ = augmented.add_column(name, Column::from_opt_f64s(&values));
+            }
+        }
+        Ok(augmented)
     }
 }
 
@@ -245,6 +314,58 @@ mod tests {
             .per_source
             .iter()
             .all(|r| r.engine_stats.evaluations > 0));
+    }
+
+    #[test]
+    fn fit_multi_transforms_unseen_tables_with_every_sources_features() {
+        let n = 80;
+        let task = MultiAugTask::new(train(n), "label", Task::BinaryClassification)
+            .with_source(RelevantSource::new(
+                relevant(n, "r1", "a"),
+                vec!["user_id".into()],
+            ))
+            .with_source(RelevantSource::new(
+                relevant(n, "r2", "b"),
+                vec!["user_id".into()],
+            ));
+        let subs = task.sub_tasks();
+        let model = fit_multi(&small_cfg(), &subs).unwrap();
+        assert_eq!(model.models().len(), 2);
+        assert_eq!(model.plans().len(), 2);
+        assert!(model.plans().iter().all(|p| !p.is_empty()));
+
+        // Transform the training table: union of all sources' features.
+        let on_train = model.transform(&task.train).unwrap();
+        let total_features: usize = model.models().iter().map(|m| m.plan().len()).sum();
+        assert!(on_train.num_columns() > task.train.num_columns());
+        assert!(on_train.num_columns() <= task.train.num_columns() + total_features);
+
+        // Transform a held-out table with one known and one unseen key.
+        let mut held_out = Table::new("held_out");
+        held_out
+            .add_column("user_id", Column::from_strs(&["u0", "nobody"]))
+            .unwrap();
+        let served = model.transform(&held_out).unwrap();
+        assert_eq!(served.num_rows(), 2);
+        assert_eq!(
+            served.num_columns() - held_out.num_columns(),
+            on_train.num_columns() - task.train.num_columns(),
+            "held-out tables must carry the same feature union"
+        );
+        for name in served.column_names() {
+            if name == "user_id" {
+                continue;
+            }
+            assert_eq!(
+                served.value(1, name).unwrap(),
+                Value::Null,
+                "unseen key must be NULL in {name}"
+            );
+        }
+        // Fitting validated each sub-task; a broken one errors instead.
+        let mut bad = task.sub_task(0);
+        bad.label_column = "ghost".into();
+        assert!(fit_multi(&small_cfg(), &[bad]).is_err());
     }
 
     #[test]

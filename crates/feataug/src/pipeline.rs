@@ -1,30 +1,52 @@
-//! The end-to-end FeatAug pipeline (paper Figure 2).
+//! The end-to-end FeatAug pipeline (paper Figure 2), split fit/transform.
 //!
-//! [`FeatAug::augment`] runs Query Template Identification (optional — users who know their
-//! data can fix the template instead), then runs SQL Query Generation inside each promising
-//! template's pool, and finally materialises the selected queries' features onto the training
-//! table. The ablation flags map one-to-one onto the paper's Table VII rows: `enable_qti = false`
-//! is "NoQTI", `enable_warmup = false` is "NoWU".
+//! [`FeatAug::fit`] runs the discovery half offline: Query Template
+//! Identification (optional — users who know their data can fix the template
+//! instead), then SQL Query Generation inside each promising template's pool.
+//! The ablation flags map one-to-one onto the paper's Table VII rows:
+//! `enable_qti = false` is "NoQTI", `enable_warmup = false` is "NoWU".
 //!
-//! Both components evaluate their candidates through **one shared
-//! [`QueryEngine`]** compiled per pipeline run (i.e. per `(train, relevant)`
-//! pair): the identifier scores every beam-search node through it, and the
-//! generator's warm-up and TPE loops of *all* templates then reuse the group
-//! indexes, gather maps, column views and cached feature vectors beam search
-//! already built. [`FeatAugResult::engine_stats`] exposes the cross-component
-//! cache reuse; batch evaluation inside the engine fans candidate pools
-//! across a [`std::thread::scope`]-based worker pool (see [`crate::exec`]).
+//! Fitting returns an [`AugModel`] — the bridge from offline discovery to
+//! online serving:
+//!
+//! * [`AugModel::plan`] is the **portable artifact**: the selected queries as
+//!   plain data ([`AugPlan`]), renderable to SQL and round-trippable through
+//!   a text format, so the discovery cost is paid once and the result ships
+//!   anywhere ([`AugModel::compile`] rebuilds a serving model from a plan).
+//! * [`AugModel::transform`] materialises every planned feature onto **any**
+//!   table carrying the key columns — the training table, a test split,
+//!   tomorrow's users. Each query's aggregation runs once per model (memoized
+//!   per-group in the shared engine core); each table pays only an O(rows)
+//!   key mapping and gather.
+//! * [`AugModel::serve`] answers **single-key requests** from the same cached
+//!   per-group features — the online half of offline→online.
+//!
+//! [`FeatAug::augment`] survives as a thin `fit` + `transform(train)` wrapper
+//! producing the one-shot [`FeatAugResult`], bit-identical to the historical
+//! terminal pipeline.
+//!
+//! Both search components evaluate their candidates through **one shared
+//! [`QueryEngine`]** compiled per fit (i.e. per `(train, relevant)` pair): the
+//! identifier scores every beam-search node through it, and the generator's
+//! warm-up and TPE loops of *all* templates then reuse the group indexes,
+//! gather maps, column views and cached feature vectors beam search already
+//! built — and the transform/serve paths keep reusing them after the fit.
+//! [`FeatAugResult::engine_stats`] exposes the cross-component cache reuse;
+//! batch evaluation inside the engine fans candidate pools across a
+//! [`std::thread::scope`]-based worker pool (see [`crate::exec`]).
 
+use std::collections::HashSet;
 use std::time::Duration;
 
 use feataug_ml::ModelKind;
-use feataug_tabular::{AggFunc, Column, Table};
+use feataug_tabular::{AggFunc, Column, Table, Value};
 
 use crate::evaluation::FeatureEvaluator;
 use crate::exec::{EngineStats, QueryEngine};
 use crate::generation::{GeneratedQuery, QueryGenerator, SqlGenConfig};
-use crate::problem::AugTask;
+use crate::problem::{AugTask, AugTaskError};
 use crate::proxy::LowCostProxy;
+use crate::query::{AugPlan, PlannedQuery, PredicateQuery};
 use crate::template::QueryTemplate;
 use crate::template_id::{ScoredTemplate, TemplateIdConfig, TemplateIdentifier};
 
@@ -144,7 +166,7 @@ impl PipelineTiming {
     }
 }
 
-/// The result of a pipeline run.
+/// The result of a one-shot [`FeatAug::augment`] run.
 #[derive(Debug, Clone)]
 pub struct FeatAugResult {
     /// The training table with every selected feature attached.
@@ -160,6 +182,206 @@ pub struct FeatAugResult {
     /// Counters of the run's shared execution engine (one engine served both
     /// QTI and generation, so these show the cross-component cache reuse).
     pub engine_stats: EngineStats,
+    /// The selected queries as a portable [`AugPlan`] artifact (text
+    /// round-trippable, SQL renderable, [`AugModel::compile`]-able).
+    pub plan: AugPlan,
+}
+
+/// A fitted augmentation: the discovered queries (as a portable [`AugPlan`])
+/// plus the compiled [`QueryEngine`] that applies them. Produced by
+/// [`FeatAug::fit`]; rebuilt from a shipped plan by [`AugModel::compile`].
+///
+/// The model borrows the tables it was fitted (or compiled) against — the
+/// relevant table backs every aggregation, and clones of the engine handle
+/// share one compiled core, so transforming N tables pays each query's
+/// aggregation once.
+pub struct AugModel<'a> {
+    plan: AugPlan,
+    engine: QueryEngine<'a>,
+    templates: Vec<ScoredTemplate>,
+    queries: Vec<GeneratedQuery>,
+    timing: PipelineTiming,
+}
+
+impl std::fmt::Debug for AugModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AugModel")
+            .field("plan", &self.plan)
+            .field("templates", &self.templates.len())
+            .field("engine_stats", &self.engine.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> AugModel<'a> {
+    /// Rebuild a serving model from a portable plan and the table pair — the
+    /// online half of offline→online: fit once, ship
+    /// [`AugPlan::to_plan_text`], compile here, then
+    /// [`AugModel::transform`] / [`AugModel::serve`]. The first use of each
+    /// planned query pays its one aggregation; everything after is cache
+    /// reads plus gathers.
+    ///
+    /// Compiled models carry no fit metadata: [`AugModel::templates`] and
+    /// [`AugModel::queries`] are empty and [`AugModel::timing`] is zero.
+    pub fn compile(plan: AugPlan, train: &'a Table, relevant: &'a Table) -> AugModel<'a> {
+        AugModel {
+            plan,
+            engine: QueryEngine::new(train, relevant),
+            templates: Vec::new(),
+            queries: Vec::new(),
+            timing: PipelineTiming::default(),
+        }
+    }
+
+    /// The portable plan: the selected queries as plain data.
+    pub fn plan(&self) -> &AugPlan {
+        &self.plan
+    }
+
+    /// The templates the fit searched (empty for compiled models).
+    pub fn templates(&self) -> &[ScoredTemplate] {
+        &self.templates
+    }
+
+    /// The fit's selected queries with their search-time features and losses
+    /// (empty for compiled models).
+    pub fn queries(&self) -> &[GeneratedQuery] {
+        &self.queries
+    }
+
+    /// Wall-clock breakdown of the fit (zero for compiled models).
+    pub fn timing(&self) -> PipelineTiming {
+        self.timing
+    }
+
+    /// The execution engine backing transform/serve (a cheap handle; clones
+    /// share the compiled core).
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
+    }
+
+    /// Counters of the model's engine — fit work plus transform/serve reuse.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// The feature column names [`AugModel::transform`] attaches, in order.
+    pub fn feature_names(&self) -> Vec<String> {
+        self.plan.feature_names()
+    }
+
+    /// Materialise every planned feature as `(name, values)` pairs aligned
+    /// with `table`'s rows — any table carrying the plan's key columns. The
+    /// building block behind [`AugModel::transform`]; useful when the caller
+    /// attaches columns itself (e.g. unioning several models' features).
+    ///
+    /// Non-finite aggregates (NaN, ±∞) surface as `None`, exactly like the
+    /// historical one-shot materialisation.
+    pub fn transform_features(
+        &self,
+        table: &Table,
+    ) -> feataug_tabular::Result<Vec<(String, Vec<Option<f64>>)>> {
+        let queries: Vec<PredicateQuery> =
+            self.plan.queries.iter().map(|p| p.query.clone()).collect();
+        let features = self.engine.transform(&queries, table)?;
+        Ok(queries
+            .iter()
+            .zip(features)
+            .map(|(query, values)| {
+                let filtered: Vec<Option<f64>> = values
+                    .into_iter()
+                    .map(|v| v.filter(|x| x.is_finite()))
+                    .collect();
+                (query.feature_name(), filtered)
+            })
+            .collect())
+    }
+
+    /// Attach every planned feature to a copy of `table` — the offline
+    /// transform. Works on any table carrying the plan's key columns: the
+    /// training table reproduces [`FeatAug::augment`]'s output bit for bit,
+    /// a test split or a fresh serving table gets the same features for its
+    /// own keys (NULL where a key never appeared, or its group was filtered
+    /// away). Returns the augmented table and the attached column names
+    /// (planned columns whose name already exists in `table` are skipped,
+    /// like the historical path).
+    pub fn transform_named(&self, table: &Table) -> feataug_tabular::Result<(Table, Vec<String>)> {
+        let mut augmented = table.clone();
+        let mut names = Vec::new();
+        for (name, values) in self.transform_features(table)? {
+            if augmented
+                .add_column(name.clone(), Column::from_opt_f64s(&values))
+                .is_ok()
+            {
+                names.push(name);
+            }
+        }
+        Ok((augmented, names))
+    }
+
+    /// [`AugModel::transform_named`], returning just the augmented table.
+    pub fn transform(&self, table: &Table) -> feataug_tabular::Result<Table> {
+        self.transform_named(table).map(|(table, _)| table)
+    }
+
+    /// Answer one online request: the planned features of a single key, in
+    /// plan order ([`AugModel::feature_names`] names the slots). `key` holds
+    /// one [`Value`] per plan key column (the full foreign key `K`); each
+    /// query reads the subset it groups by. `None` marks the same rows a
+    /// transform would leave NULL — unseen, filtered-away, NULL or
+    /// type-mismatched keys, and non-finite aggregates.
+    ///
+    /// Lookups read the cached per-group features (two hash probes after a
+    /// query's first use), so a warm model answers point requests without
+    /// touching the relevant table.
+    pub fn serve(&self, key: &[Value]) -> feataug_tabular::Result<Vec<Option<f64>>> {
+        if key.len() != self.plan.key_columns.len() {
+            return Err(feataug_tabular::TabularError::InvalidArgument(format!(
+                "serve key has {} values for {} key columns",
+                key.len(),
+                self.plan.key_columns.len()
+            )));
+        }
+        self.plan
+            .queries
+            .iter()
+            .map(|planned| {
+                let mut subset = Vec::with_capacity(planned.query.group_keys.len());
+                for group_key in &planned.query.group_keys {
+                    let position = self
+                        .plan
+                        .key_columns
+                        .iter()
+                        .position(|k| k == group_key)
+                        .ok_or_else(|| {
+                            feataug_tabular::TabularError::InvalidArgument(format!(
+                                "planned query groups by `{group_key}`, which is not a plan \
+                                 key column"
+                            ))
+                        })?;
+                    subset.push(key[position].clone());
+                }
+                self.engine
+                    .lookup(&planned.query, &subset)
+                    .map(|v| v.filter(|x| x.is_finite()))
+            })
+            .collect()
+    }
+
+    /// Consume the model into the one-shot [`FeatAugResult`] shape
+    /// (`augmented` should be the fitted training table's transform).
+    fn into_result(self, augmented_train: Table, feature_names: Vec<String>) -> FeatAugResult {
+        let engine_stats = self.engine.stats();
+        FeatAugResult {
+            augmented_train,
+            queries: self.queries,
+            templates: self.templates,
+            feature_names,
+            timing: self.timing,
+            engine_stats,
+            plan: self.plan,
+        }
+    }
 }
 
 /// The FeatAug system.
@@ -179,8 +401,14 @@ impl FeatAug {
         &self.cfg
     }
 
-    /// Run the full pipeline on a task.
-    pub fn augment(&self, task: &AugTask) -> FeatAugResult {
+    /// Run the discovery half of the pipeline (QTI + SQL Query Generation)
+    /// and return a fitted [`AugModel`]: the selected queries as a portable
+    /// [`AugPlan`] plus the compiled engine that applies them to any table.
+    /// The task is validated up front — a malformed task (missing label,
+    /// mismatched keys, ghost attributes) fails fast with an
+    /// [`AugTaskError`] instead of panicking mid-search.
+    pub fn fit<'t>(&self, task: &'t AugTask) -> Result<AugModel<'t>, AugTaskError> {
+        task.validate()?;
         let evaluator = FeatureEvaluator::new(task, self.cfg.model, self.cfg.seed);
         let mut timing = PipelineTiming::default();
 
@@ -230,43 +458,57 @@ impl FeatAug {
             self.cfg.queries_per_template,
         );
 
+        // Cross-template dedup by feature name: templates overlap (a deeper
+        // template's pool contains the shallower one's queries), and a repeat
+        // feature would silently fail to attach. Membership is a `HashSet`
+        // probe — the historical `queries.iter().any(...)` scan was O(n²)
+        // across the whole selection.
         let mut queries: Vec<GeneratedQuery> = Vec::new();
+        let mut seen_names: HashSet<String> = HashSet::new();
         for scored in &templates {
             let (generated, gen_timing) = generator.generate(&scored.template, per_template);
             timing.warmup += gen_timing.warmup;
             timing.generate += gen_timing.generate;
             for g in generated {
-                if !queries.iter().any(|q| q.feature_name == g.feature_name) {
+                if seen_names.insert(g.feature_name.clone()) {
                     queries.push(g);
                 }
             }
         }
 
-        // ---- Materialise the selected features onto the training table --------------------
-        let mut augmented = task.train.clone();
-        let mut feature_names = Vec::new();
-        for q in &queries {
-            let values: Vec<Option<f64>> = q
-                .feature
+        let plan = AugPlan::new(
+            task.relevant.name(),
+            task.key_columns.clone(),
+            queries
                 .iter()
-                .map(|v| if v.is_finite() { Some(*v) } else { None })
-                .collect();
-            if augmented
-                .add_column(q.feature_name.clone(), Column::from_opt_f64s(&values))
-                .is_ok()
-            {
-                feature_names.push(q.feature_name.clone());
-            }
-        }
+                .map(|g| PlannedQuery {
+                    query: g.query.clone(),
+                    loss: g.loss,
+                })
+                .collect(),
+        );
 
-        FeatAugResult {
-            augmented_train: augmented,
-            queries,
+        Ok(AugModel {
+            plan,
+            engine,
             templates,
-            feature_names,
+            queries,
             timing,
-            engine_stats: engine.stats(),
-        }
+        })
+    }
+
+    /// Run the full historical one-shot pipeline: [`FeatAug::fit`] followed
+    /// by [`AugModel::transform`] on the training table. Bit-identical to the
+    /// pre-split terminal `augment` (property-tested); panics on a malformed
+    /// task — call `fit` directly to handle [`AugTaskError`] gracefully.
+    pub fn augment(&self, task: &AugTask) -> FeatAugResult {
+        let model = self
+            .fit(task)
+            .unwrap_or_else(|e| panic!("FeatAug::augment: invalid task: {e}"));
+        let (augmented_train, feature_names) = model
+            .transform_named(&task.train)
+            .expect("transforming the fitted training table");
+        model.into_result(augmented_train, feature_names)
     }
 }
 
@@ -427,6 +669,173 @@ mod tests {
         let no_wu = FeatAug::new(tiny_cfg(ModelKind::Linear).with_warmup(false)).augment(&task);
         assert_eq!(no_wu.timing.warmup, Duration::from_nanos(0));
         assert!(!no_wu.feature_names.is_empty());
+    }
+
+    /// The seed materialisation: what the historical terminal `augment` did
+    /// with the search-time feature vectors. The transform path must
+    /// reproduce it bit for bit.
+    fn seed_materialise(task: &AugTask, queries: &[GeneratedQuery]) -> (Table, Vec<String>) {
+        let mut augmented = task.train.clone();
+        let mut feature_names = Vec::new();
+        for q in queries {
+            let values: Vec<Option<f64>> = q
+                .feature
+                .iter()
+                .map(|v| if v.is_finite() { Some(*v) } else { None })
+                .collect();
+            if augmented
+                .add_column(q.feature_name.clone(), Column::from_opt_f64s(&values))
+                .is_ok()
+            {
+                feature_names.push(q.feature_name.clone());
+            }
+        }
+        (augmented, feature_names)
+    }
+
+    fn assert_tables_bit_identical(a: &Table, b: &Table) {
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.column_names(), b.column_names());
+        for name in a.column_names() {
+            for row in 0..a.num_rows() {
+                let va = a.value(row, name).unwrap();
+                let vb = b.value(row, name).unwrap();
+                let same = match (&va, &vb) {
+                    (feataug_tabular::Value::Float(x), feataug_tabular::Value::Float(y)) => {
+                        x.to_bits() == y.to_bits()
+                    }
+                    _ => va == vb,
+                };
+                assert!(same, "column {name} row {row}: {va:?} vs {vb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_transform_matches_seed_augment_materialisation() {
+        let task = tmall_task();
+        let model = FeatAug::new(tiny_cfg(ModelKind::Linear))
+            .fit(&task)
+            .unwrap();
+        let (seed_table, seed_names) = seed_materialise(&task, model.queries());
+        let (transformed, names) = model.transform_named(&task.train).unwrap();
+        assert_eq!(names, seed_names);
+        assert_tables_bit_identical(&transformed, &seed_table);
+
+        // And the one-shot wrapper is exactly fit + transform(train).
+        let via_augment = FeatAug::new(tiny_cfg(ModelKind::Linear)).augment(&task);
+        assert_eq!(via_augment.feature_names, seed_names);
+        assert_tables_bit_identical(&via_augment.augmented_train, &seed_table);
+    }
+
+    #[test]
+    fn transform_on_a_second_table_reuses_cached_aggregations() {
+        let task = tmall_task();
+        let model = FeatAug::new(tiny_cfg(ModelKind::Linear))
+            .fit(&task)
+            .unwrap();
+        let first = model.transform(&task.train).unwrap();
+        let stats_after_first = model.engine_stats();
+
+        // A "test split": the second half of the training table's rows.
+        let n = task.train.num_rows();
+        let split: Vec<usize> = (n / 2..n).collect();
+        let held_out = task.train.take(&split);
+        let second = model.transform(&held_out).unwrap();
+        assert_eq!(second.num_rows(), held_out.num_rows());
+        assert_eq!(second.num_columns(), first.num_columns());
+        assert_eq!(
+            model.engine_stats(),
+            stats_after_first,
+            "the second transform must run no new evaluations"
+        );
+        // Row-for-row, the held-out rows carry the same feature values they
+        // had inside the full-table transform (same keys -> same groups).
+        for name in model.feature_names() {
+            for (i, &src) in split.iter().enumerate() {
+                let a = first.value(src, &name).unwrap();
+                let b = second.value(i, &name).unwrap();
+                assert_eq!(a, b, "feature {name}: row {src} vs held-out row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_answers_single_keys_like_transform_rows() {
+        let task = tmall_task();
+        let model = FeatAug::new(tiny_cfg(ModelKind::Linear))
+            .fit(&task)
+            .unwrap();
+        let transformed = model.transform(&task.train).unwrap();
+        let names = model.feature_names();
+        for row in [0usize, 7, 31] {
+            let key: Vec<feataug_tabular::Value> = task
+                .key_columns
+                .iter()
+                .map(|k| task.train.value(row, k).unwrap())
+                .collect();
+            let served = model.serve(&key).unwrap();
+            assert_eq!(served.len(), names.len());
+            for (name, value) in names.iter().zip(&served) {
+                let expected = match transformed.value(row, name).unwrap() {
+                    feataug_tabular::Value::Float(f) => Some(f),
+                    feataug_tabular::Value::Null => None,
+                    other => panic!("feature column held {other:?}"),
+                };
+                assert_eq!(
+                    value.map(f64::to_bits),
+                    expected.map(f64::to_bits),
+                    "serve({key:?})[{name}] disagrees with transform row {row}"
+                );
+            }
+        }
+        // Arity mismatch errors; an unseen key serves all-NULL.
+        assert!(model.serve(&[]).is_err());
+        let unseen: Vec<feataug_tabular::Value> = task
+            .key_columns
+            .iter()
+            .map(|_| feataug_tabular::Value::Str("no_such_key".into()))
+            .collect();
+        assert!(model.serve(&unseen).unwrap().iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn fit_validates_the_task_up_front() {
+        let mut task = tmall_task();
+        task.label_column = "ghost".into();
+        let err = FeatAug::new(tiny_cfg(ModelKind::Linear))
+            .fit(&task)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::problem::AugTaskError::MissingLabelColumn { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid task")]
+    fn augment_panics_with_a_description_on_invalid_tasks() {
+        let mut task = tmall_task();
+        task.key_columns = vec![];
+        FeatAug::new(tiny_cfg(ModelKind::Linear)).augment(&task);
+    }
+
+    #[test]
+    fn plan_round_trips_and_recompiles_into_an_equivalent_model() {
+        let task = tmall_task();
+        let model = FeatAug::new(tiny_cfg(ModelKind::Linear))
+            .fit(&task)
+            .unwrap();
+        let text = model.plan().to_plan_text();
+        let plan = crate::query::AugPlan::from_plan_text(&text).unwrap();
+        assert_eq!(&plan, model.plan());
+
+        let compiled = AugModel::compile(plan, &task.train, &task.relevant);
+        assert!(compiled.templates().is_empty() && compiled.queries().is_empty());
+        let (a, names_a) = model.transform_named(&task.train).unwrap();
+        let (b, names_b) = compiled.transform_named(&task.train).unwrap();
+        assert_eq!(names_a, names_b);
+        assert_tables_bit_identical(&a, &b);
     }
 
     #[test]

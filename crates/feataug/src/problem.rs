@@ -1,7 +1,94 @@
-//! The feature-augmentation problem instance (paper Section III).
+//! The feature-augmentation problem instance (paper Section III), and the
+//! validation errors a malformed instance surfaces ([`AugTaskError`]).
+
+use std::fmt;
 
 use feataug_ml::Task;
-use feataug_tabular::Table;
+use feataug_tabular::{DataType, Table};
+
+/// Why an [`AugTask`] cannot be fitted. Produced by [`AugTask::validate`],
+/// which [`crate::pipeline::FeatAug::fit`] runs before any search work — a
+/// misnamed column fails fast with a description instead of panicking deep
+/// inside the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AugTaskError {
+    /// The label column is absent from the training table.
+    MissingLabelColumn {
+        /// The configured label column name.
+        column: String,
+    },
+    /// The task has an empty foreign key (`key_columns` is empty).
+    NoKeyColumns,
+    /// A foreign-key column is absent from one of the tables.
+    MissingKeyColumn {
+        /// Which table lacks it: `"train"` or `"relevant"`.
+        table: &'static str,
+        /// The missing column.
+        column: String,
+    },
+    /// A foreign-key column exists in both tables but with incompatible
+    /// types — its keys would never match (`int` keys never join `datetime`
+    /// keys, mirroring [`feataug_tabular::join::KeyMapper`]).
+    KeyTypeMismatch {
+        /// The key column.
+        column: String,
+        /// Its type in the training table.
+        train: DataType,
+        /// Its type in the relevant table.
+        relevant: DataType,
+    },
+    /// A configured aggregation attribute is absent from the relevant table.
+    MissingAggColumn {
+        /// The missing column.
+        column: String,
+    },
+    /// A configured predicate attribute is absent from the relevant table.
+    MissingPredicateAttr {
+        /// The missing column.
+        column: String,
+    },
+}
+
+impl fmt::Display for AugTaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AugTaskError::MissingLabelColumn { column } => {
+                write!(f, "label column `{column}` not found in the training table")
+            }
+            AugTaskError::NoKeyColumns => {
+                write!(f, "the task needs at least one foreign-key column")
+            }
+            AugTaskError::MissingKeyColumn { table, column } => {
+                write!(f, "key column `{column}` not found in the {table} table")
+            }
+            AugTaskError::KeyTypeMismatch {
+                column,
+                train,
+                relevant,
+            } => write!(
+                f,
+                "key column `{column}` is {} in the training table but {} in the relevant \
+                 table; its keys would never match",
+                train.name(),
+                relevant.name()
+            ),
+            AugTaskError::MissingAggColumn { column } => {
+                write!(
+                    f,
+                    "aggregation column `{column}` not found in the relevant table"
+                )
+            }
+            AugTaskError::MissingPredicateAttr { column } => {
+                write!(
+                    f,
+                    "predicate attribute `{column}` not found in the relevant table"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AugTaskError {}
 
 /// A feature-augmentation task: the training table `D`, the relevant table `R`, the foreign-key
 /// columns linking them, the label, the downstream learning task, and the attribute sets
@@ -94,15 +181,76 @@ impl AugTask {
             .collect()
     }
 
-    /// The label vector of the training table, as `f64`.
-    pub fn labels(&self) -> Vec<f64> {
-        self.train
-            .column(&self.label_column)
-            .expect("label column exists")
+    /// Check the task is well-formed: the label column exists, the foreign
+    /// key is non-empty and present in both tables with compatible types, and
+    /// every configured aggregation / predicate attribute exists in the
+    /// relevant table. [`crate::pipeline::FeatAug::fit`] calls this before
+    /// any search work, so a malformed task fails fast with a description
+    /// instead of panicking mid-pipeline.
+    pub fn validate(&self) -> Result<(), AugTaskError> {
+        if self.train.column(&self.label_column).is_err() {
+            return Err(AugTaskError::MissingLabelColumn {
+                column: self.label_column.clone(),
+            });
+        }
+        if self.key_columns.is_empty() {
+            return Err(AugTaskError::NoKeyColumns);
+        }
+        for key in &self.key_columns {
+            let train = self
+                .train
+                .dtype(key)
+                .map_err(|_| AugTaskError::MissingKeyColumn {
+                    table: "train",
+                    column: key.clone(),
+                })?;
+            let relevant =
+                self.relevant
+                    .dtype(key)
+                    .map_err(|_| AugTaskError::MissingKeyColumn {
+                        table: "relevant",
+                        column: key.clone(),
+                    })?;
+            if train != relevant {
+                return Err(AugTaskError::KeyTypeMismatch {
+                    column: key.clone(),
+                    train,
+                    relevant,
+                });
+            }
+        }
+        for column in &self.agg_columns {
+            if self.relevant.column(column).is_err() {
+                return Err(AugTaskError::MissingAggColumn {
+                    column: column.clone(),
+                });
+            }
+        }
+        for column in &self.predicate_attrs {
+            if self.relevant.column(column).is_err() {
+                return Err(AugTaskError::MissingPredicateAttr {
+                    column: column.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The label vector of the training table, as `f64` (NULL labels become
+    /// NaN). Errors when the label column is absent — run
+    /// [`AugTask::validate`] up front to surface that (and every other
+    /// malformation) before any work happens.
+    pub fn labels(&self) -> Result<Vec<f64>, AugTaskError> {
+        let column = self.train.column(&self.label_column).map_err(|_| {
+            AugTaskError::MissingLabelColumn {
+                column: self.label_column.clone(),
+            }
+        })?;
+        Ok(column
             .to_f64_vec()
             .into_iter()
             .map(|v| v.unwrap_or(f64::NAN))
-            .collect()
+            .collect())
     }
 }
 
@@ -163,6 +311,90 @@ mod tests {
     #[test]
     fn labels_extracted_as_f64() {
         let task = toy_task();
-        assert_eq!(task.labels(), vec![1.0, 0.0]);
+        assert_eq!(task.labels().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_tasks() {
+        assert_eq!(toy_task().validate(), Ok(()));
+        // Configured attribute sets that exist are fine too.
+        let task = toy_task()
+            .with_agg_columns(vec!["x".into()])
+            .with_predicate_attrs(vec!["dept".into(), "x".into()]);
+        assert_eq!(task.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_missing_label_instead_of_panicking() {
+        let mut task = toy_task();
+        task.label_column = "nope".into();
+        assert_eq!(
+            task.validate(),
+            Err(AugTaskError::MissingLabelColumn {
+                column: "nope".into()
+            })
+        );
+        assert!(task.labels().is_err(), "labels must error, not panic");
+        assert!(task.validate().unwrap_err().to_string().contains("nope"));
+    }
+
+    #[test]
+    fn validate_checks_key_presence_and_types() {
+        let mut task = toy_task();
+        task.key_columns = vec![];
+        assert_eq!(task.validate(), Err(AugTaskError::NoKeyColumns));
+
+        let mut task = toy_task();
+        task.key_columns = vec!["missing".into()];
+        assert_eq!(
+            task.validate(),
+            Err(AugTaskError::MissingKeyColumn {
+                table: "train",
+                column: "missing".into()
+            })
+        );
+
+        // Key present in train only.
+        let mut task = toy_task();
+        task.key_columns = vec!["age".into()];
+        assert_eq!(
+            task.validate(),
+            Err(AugTaskError::MissingKeyColumn {
+                table: "relevant",
+                column: "age".into()
+            })
+        );
+
+        // Key present on both sides with clashing types: int vs categorical.
+        let mut task = toy_task();
+        task.train
+            .add_column("kk", Column::from_i64s(&[1, 2]))
+            .unwrap();
+        task.relevant
+            .add_column("kk", Column::from_strs(&["1", "2", "3"]))
+            .unwrap();
+        task.key_columns = vec!["kk".into()];
+        match task.validate() {
+            Err(AugTaskError::KeyTypeMismatch { column, .. }) => assert_eq!(column, "kk"),
+            other => panic!("expected KeyTypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_checks_configured_attribute_sets() {
+        let task = toy_task().with_agg_columns(vec!["ghost".into()]);
+        assert_eq!(
+            task.validate(),
+            Err(AugTaskError::MissingAggColumn {
+                column: "ghost".into()
+            })
+        );
+        let task = toy_task().with_predicate_attrs(vec!["phantom".into()]);
+        assert_eq!(
+            task.validate(),
+            Err(AugTaskError::MissingPredicateAttr {
+                column: "phantom".into()
+            })
+        );
     }
 }

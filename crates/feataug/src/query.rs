@@ -101,6 +101,453 @@ impl PredicateQuery {
     }
 }
 
+/// A parse failure of [`AugPlan::from_plan_text`]: the offending line (1-based,
+/// 0 for document-level problems) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line (0: document-level).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan text line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// One selected query of an [`AugPlan`], with the validation loss it achieved
+/// during the search (lower is better; NaN when the plan was hand-built).
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The predicate-aware SQL query, with its predicate in canonical form
+    /// (flat conjunction of leaves; see [`AugPlan::new`]).
+    pub query: PredicateQuery,
+    /// Real validation loss observed when the query's feature was added.
+    pub loss: f64,
+}
+
+impl PartialEq for PlannedQuery {
+    fn eq(&self, other: &Self) -> bool {
+        // Bit-level loss comparison: derived f64 equality would make a plan
+        // with a NaN loss unequal to itself, breaking round-trip tests. The
+        // query falls back to its structural `Debug` form (the same
+        // unambiguous rendering the engine keys its caches by) so a NaN
+        // predicate constant — unequal to itself under derived float
+        // equality — doesn't make a plan unequal to its own round trip.
+        if self.loss.total_cmp(&other.loss) != std::cmp::Ordering::Equal {
+            return false;
+        }
+        self.query == other.query || format!("{:?}", self.query) == format!("{:?}", other.query)
+    }
+}
+
+/// The portable artifact of a fitted augmentation: the selected queries as
+/// plain data, plus the key metadata needed to apply them elsewhere.
+///
+/// A plan is what survives the offline fit — it can be rendered to SQL
+/// ([`AugPlan::to_sql`]) for execution on an external warehouse, or
+/// round-tripped through a hand-rolled line-based text format
+/// ([`AugPlan::to_plan_text`] / [`AugPlan::from_plan_text`] — the build is
+/// offline, so no serde) and recompiled into a serving
+/// [`crate::pipeline::AugModel`] on another process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugPlan {
+    /// Name of the relevant table the queries run against (SQL rendering).
+    pub relevant_name: String,
+    /// The full foreign key `K` shared by the training and relevant tables;
+    /// every query's `group_keys` is a subset of it.
+    pub key_columns: Vec<String>,
+    /// The selected queries, in materialisation order.
+    pub queries: Vec<PlannedQuery>,
+}
+
+/// Recursively flatten a predicate into its leaves (dropping `True`s).
+fn collect_leaves(p: &Predicate, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::True => {}
+        Predicate::And(parts) => parts.iter().for_each(|part| collect_leaves(part, out)),
+        leaf => out.push(leaf.clone()),
+    }
+}
+
+/// The canonical form of a predicate: a flat conjunction of leaves (zero
+/// leaves → `True`, one → the bare leaf). The plan text format stores leaves
+/// only, so plans canonicalize on construction to make
+/// `from_plan_text(to_plan_text(p)) == p` hold structurally.
+fn canonical_predicate(p: &Predicate) -> Predicate {
+    let mut leaves = Vec::new();
+    collect_leaves(p, &mut leaves);
+    Predicate::and(leaves)
+}
+
+/// Escape one text-format field: backslash, tab, newline and carriage return
+/// are the only characters with structural meaning.
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_field(s: &str, line: usize) -> Result<String, PlanParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(PlanParseError {
+                    line,
+                    message: format!("bad escape sequence `\\{}`", other.unwrap_or(' ')),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Render a [`Value`] as a type-tagged field (`s:`=string, `i:`=int,
+/// `f:`=float, `b:`=bool, `d:`=datetime, `n:`=null). Floats use Rust's
+/// shortest-round-trip formatting, so finite values parse back bit-identical.
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n:".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{f}"),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Str(s) => format!("s:{}", escape_field(s)),
+        Value::DateTime(t) => format!("d:{t}"),
+    }
+}
+
+fn parse_value(field: &str, line: usize) -> Result<Value, PlanParseError> {
+    let err = |message: String| PlanParseError { line, message };
+    let (tag, body) = field
+        .split_once(':')
+        .ok_or_else(|| err(format!("value `{field}` has no type tag")))?;
+    match tag {
+        "n" => Ok(Value::Null),
+        "s" => Ok(Value::Str(unescape_field(body, line)?)),
+        "i" => body
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| err(format!("bad int `{body}`: {e}"))),
+        "d" => body
+            .parse::<i64>()
+            .map(Value::DateTime)
+            .map_err(|e| err(format!("bad datetime `{body}`: {e}"))),
+        "f" => body
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| err(format!("bad float `{body}`: {e}"))),
+        "b" => body
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|e| err(format!("bad bool `{body}`: {e}"))),
+        other => Err(err(format!("unknown value tag `{other}`"))),
+    }
+}
+
+/// Magic first line of the plan text format; the trailing integer is the
+/// format version.
+const PLAN_HEADER: &str = "AUGPLAN 1";
+
+impl AugPlan {
+    /// Build a plan. Predicates are canonicalized (flat leaf conjunctions)
+    /// and NaN losses pinned to the canonical NaN, so any plan equals its own
+    /// text round trip.
+    pub fn new(
+        relevant_name: impl Into<String>,
+        key_columns: Vec<String>,
+        queries: Vec<PlannedQuery>,
+    ) -> AugPlan {
+        AugPlan {
+            relevant_name: relevant_name.into(),
+            key_columns,
+            queries: queries
+                .into_iter()
+                .map(|mut p| {
+                    p.query.predicate = canonical_predicate(&p.query.predicate);
+                    // NaN payloads don't survive text (every NaN prints
+                    // `NaN`); pin them up front so round trips stay equal.
+                    p.loss = feataug_tabular::aggregate::canonical_nan(p.loss);
+                    p
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of planned queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the plan holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The feature column name of every planned query, in plan order.
+    pub fn feature_names(&self) -> Vec<String> {
+        self.queries
+            .iter()
+            .map(|p| p.query.feature_name())
+            .collect()
+    }
+
+    /// Render every planned query as SQL against the plan's relevant table.
+    pub fn to_sql(&self) -> Vec<String> {
+        self.queries
+            .iter()
+            .map(|p| p.query.to_sql(&self.relevant_name))
+            .collect()
+    }
+
+    /// Serialize the plan to its line-based text format. The result is
+    /// human-readable, diff-friendly, and parses back to an equal plan with
+    /// [`AugPlan::from_plan_text`] (floats use shortest-round-trip
+    /// formatting; NaN losses are canonical by construction).
+    ///
+    /// ```text
+    /// AUGPLAN 1
+    /// relevant<TAB>user_logs
+    /// keys<TAB>cname<TAB>mid
+    /// query<TAB>AVG<TAB>pprice<TAB>-0.731
+    /// groupby<TAB>cname
+    /// eq<TAB>department<TAB>s:Electronics
+    /// range<TAB>timestamp<TAB>f:150<TAB>-
+    /// endquery
+    /// ```
+    pub fn to_plan_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(PLAN_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "relevant\t{}\n",
+            escape_field(&self.relevant_name)
+        ));
+        out.push_str("keys");
+        for k in &self.key_columns {
+            out.push('\t');
+            out.push_str(&escape_field(k));
+        }
+        out.push('\n');
+        for planned in &self.queries {
+            let q = &planned.query;
+            out.push_str(&format!(
+                "query\t{}\t{}\t{}\n",
+                q.agg.name(),
+                escape_field(&q.agg_column),
+                planned.loss
+            ));
+            out.push_str("groupby");
+            for k in &q.group_keys {
+                out.push('\t');
+                out.push_str(&escape_field(k));
+            }
+            out.push('\n');
+            let mut leaves = Vec::new();
+            collect_leaves(&q.predicate, &mut leaves);
+            for leaf in &leaves {
+                match leaf {
+                    Predicate::Eq { column, value } => {
+                        out.push_str(&format!(
+                            "eq\t{}\t{}\n",
+                            escape_field(column),
+                            render_value(value)
+                        ));
+                    }
+                    Predicate::Range { column, low, high } => {
+                        let bound = |b: &Option<Value>| {
+                            b.as_ref().map(render_value).unwrap_or_else(|| "-".into())
+                        };
+                        out.push_str(&format!(
+                            "range\t{}\t{}\t{}\n",
+                            escape_field(column),
+                            bound(low),
+                            bound(high)
+                        ));
+                    }
+                    Predicate::True | Predicate::And(_) => {
+                        unreachable!("collect_leaves returns leaves only")
+                    }
+                }
+            }
+            out.push_str("endquery\n");
+        }
+        out
+    }
+
+    /// Parse a plan back out of its text format (inverse of
+    /// [`AugPlan::to_plan_text`]). Unknown directives, missing sections and
+    /// malformed fields are reported with their line number.
+    pub fn from_plan_text(text: &str) -> Result<AugPlan, PlanParseError> {
+        let err = |line: usize, message: String| PlanParseError { line, message };
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+        let Some((_, header)) = lines.next() else {
+            return Err(err(0, "empty plan text".into()));
+        };
+        if header.trim_end() != PLAN_HEADER {
+            return Err(err(1, format!("expected `{PLAN_HEADER}`, got `{header}`")));
+        }
+
+        let mut relevant_name: Option<String> = None;
+        let mut key_columns: Option<Vec<String>> = None;
+        let mut queries: Vec<PlannedQuery> = Vec::new();
+        // The query currently being assembled: (agg, column, loss, keys, leaves).
+        struct Partial {
+            agg: AggFunc,
+            agg_column: String,
+            loss: f64,
+            group_keys: Option<Vec<String>>,
+            leaves: Vec<Predicate>,
+            line: usize,
+        }
+        let mut current: Option<Partial> = None;
+
+        for (line_no, raw) in lines {
+            let line = raw.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let directive = fields.next().unwrap_or_default();
+            let rest: Vec<&str> = fields.collect();
+            match directive {
+                "relevant" => {
+                    let [name] = rest.as_slice() else {
+                        return Err(err(line_no, "`relevant` takes exactly one field".into()));
+                    };
+                    relevant_name = Some(unescape_field(name, line_no)?);
+                }
+                "keys" => {
+                    let keys = rest
+                        .iter()
+                        .map(|k| unescape_field(k, line_no))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    key_columns = Some(keys);
+                }
+                "query" => {
+                    if current.is_some() {
+                        return Err(err(line_no, "`query` before previous `endquery`".into()));
+                    }
+                    let [agg, column, loss] = rest.as_slice() else {
+                        return Err(err(line_no, "`query` takes agg, column, loss".into()));
+                    };
+                    let agg = AggFunc::parse(agg)
+                        .ok_or_else(|| err(line_no, format!("unknown aggregate `{agg}`")))?;
+                    let loss = loss
+                        .parse::<f64>()
+                        .map_err(|e| err(line_no, format!("bad loss `{loss}`: {e}")))?;
+                    current = Some(Partial {
+                        agg,
+                        agg_column: unescape_field(column, line_no)?,
+                        loss,
+                        group_keys: None,
+                        leaves: Vec::new(),
+                        line: line_no,
+                    });
+                }
+                "groupby" => {
+                    let Some(partial) = current.as_mut() else {
+                        return Err(err(line_no, "`groupby` outside a query".into()));
+                    };
+                    if rest.is_empty() {
+                        return Err(err(line_no, "`groupby` needs at least one key".into()));
+                    }
+                    partial.group_keys = Some(
+                        rest.iter()
+                            .map(|k| unescape_field(k, line_no))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                "eq" => {
+                    let Some(partial) = current.as_mut() else {
+                        return Err(err(line_no, "`eq` outside a query".into()));
+                    };
+                    let [column, value] = rest.as_slice() else {
+                        return Err(err(line_no, "`eq` takes column, value".into()));
+                    };
+                    partial.leaves.push(Predicate::Eq {
+                        column: unescape_field(column, line_no)?,
+                        value: parse_value(value, line_no)?,
+                    });
+                }
+                "range" => {
+                    let Some(partial) = current.as_mut() else {
+                        return Err(err(line_no, "`range` outside a query".into()));
+                    };
+                    let [column, low, high] = rest.as_slice() else {
+                        return Err(err(line_no, "`range` takes column, low, high".into()));
+                    };
+                    let bound = |field: &str| -> Result<Option<Value>, PlanParseError> {
+                        if field == "-" {
+                            Ok(None)
+                        } else {
+                            parse_value(field, line_no).map(Some)
+                        }
+                    };
+                    partial.leaves.push(Predicate::Range {
+                        column: unescape_field(column, line_no)?,
+                        low: bound(low)?,
+                        high: bound(high)?,
+                    });
+                }
+                "endquery" => {
+                    let Some(partial) = current.take() else {
+                        return Err(err(line_no, "`endquery` without a query".into()));
+                    };
+                    let group_keys = partial.group_keys.ok_or_else(|| {
+                        err(partial.line, "query is missing its `groupby` line".into())
+                    })?;
+                    queries.push(PlannedQuery {
+                        query: PredicateQuery {
+                            agg: partial.agg,
+                            agg_column: partial.agg_column,
+                            predicate: Predicate::and(partial.leaves),
+                            group_keys,
+                        },
+                        loss: partial.loss,
+                    });
+                }
+                other => {
+                    return Err(err(line_no, format!("unknown directive `{other}`")));
+                }
+            }
+        }
+        if let Some(partial) = current {
+            return Err(err(
+                partial.line,
+                "unterminated query (no `endquery`)".into(),
+            ));
+        }
+        let relevant_name =
+            relevant_name.ok_or_else(|| err(0, "plan is missing its `relevant` line".into()))?;
+        let key_columns =
+            key_columns.ok_or_else(|| err(0, "plan is missing its `keys` line".into()))?;
+        Ok(AugPlan::new(relevant_name, key_columns, queries))
+    }
+}
+
 /// How one search-space dimension maps back onto the query.
 #[derive(Debug, Clone)]
 enum DimRole {
@@ -476,6 +923,194 @@ mod tests {
             assert!(!query.group_keys.is_empty());
             assert!(query.execute(&relevant()).is_ok());
         }
+    }
+
+    fn sample_plan() -> AugPlan {
+        AugPlan::new(
+            "logs",
+            vec!["cname".into(), "mid".into()],
+            vec![
+                PlannedQuery {
+                    query: PredicateQuery {
+                        agg: AggFunc::Avg,
+                        agg_column: "pprice".into(),
+                        predicate: Predicate::and(vec![
+                            Predicate::eq("department", "E"),
+                            Predicate::ge("ts", 150.0),
+                        ]),
+                        group_keys: vec!["cname".into()],
+                    },
+                    loss: -0.73125,
+                },
+                PlannedQuery {
+                    query: PredicateQuery {
+                        agg: AggFunc::CountDistinct,
+                        agg_column: "department".into(),
+                        predicate: Predicate::True,
+                        group_keys: vec!["cname".into(), "mid".into()],
+                    },
+                    loss: f64::NAN,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn plan_text_round_trips_losslessly() {
+        let plan = sample_plan();
+        let text = plan.to_plan_text();
+        let parsed = AugPlan::from_plan_text(&text).unwrap();
+        assert_eq!(parsed, plan);
+        // Idempotent: serializing the parse gives the same text.
+        assert_eq!(parsed.to_plan_text(), text);
+    }
+
+    #[test]
+    fn plan_round_trips_adversarial_fields() {
+        // Names embedding the format's structural characters must survive.
+        let plan = AugPlan::new(
+            "ta\tble\\n",
+            vec!["k\ney".into()],
+            vec![PlannedQuery {
+                query: PredicateQuery {
+                    agg: AggFunc::Sum,
+                    agg_column: "col\\umn".into(),
+                    predicate: Predicate::and(vec![
+                        Predicate::eq("dep\tt", "va\\l\nue"),
+                        Predicate::Range {
+                            column: "x".into(),
+                            low: Some(Value::Float(-0.0)),
+                            high: None,
+                        },
+                        Predicate::Range {
+                            column: "t".into(),
+                            low: Some(Value::DateTime(-5)),
+                            high: Some(Value::DateTime(9)),
+                        },
+                        Predicate::Eq {
+                            column: "flag".into(),
+                            value: Value::Bool(true),
+                        },
+                        Predicate::Eq {
+                            column: "i".into(),
+                            value: Value::Int(-42),
+                        },
+                    ]),
+                    group_keys: vec!["k\ney".into()],
+                },
+                loss: 0.1 + 0.2, // a value whose shortest repr has many digits
+            }],
+        );
+        let parsed = AugPlan::from_plan_text(&plan.to_plan_text()).unwrap();
+        assert_eq!(parsed, plan);
+        // Float bits must survive exactly.
+        assert_eq!(
+            parsed.queries[0].loss.to_bits(),
+            plan.queries[0].loss.to_bits()
+        );
+    }
+
+    /// Regression: a NaN float constant inside a predicate is unequal to
+    /// itself under derived float equality, which used to make such a plan
+    /// unequal to its own (bit-lossless) text round trip. PlannedQuery's
+    /// structural-Debug fallback keeps the round-trip invariant honest.
+    #[test]
+    fn plan_with_nan_predicate_constant_round_trips_equal() {
+        let plan = AugPlan::new(
+            "r",
+            vec!["k".into()],
+            vec![PlannedQuery {
+                query: PredicateQuery {
+                    agg: AggFunc::Sum,
+                    agg_column: "x".into(),
+                    predicate: Predicate::Range {
+                        column: "x".into(),
+                        low: Some(Value::Float(f64::NAN)),
+                        high: Some(Value::Float(2.0)),
+                    },
+                    group_keys: vec!["k".into()],
+                },
+                loss: 0.25,
+            }],
+        );
+        assert_eq!(plan, plan.clone(), "a NaN-constant plan must equal itself");
+        let parsed = AugPlan::from_plan_text(&plan.to_plan_text()).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_plan_text(), plan.to_plan_text());
+    }
+
+    #[test]
+    fn plan_canonicalizes_predicates_on_construction() {
+        // A nested And collapses to the flat canonical conjunction, and a
+        // lone True vanishes — so any plan equals its own round trip.
+        let nested = Predicate::And(vec![
+            Predicate::And(vec![Predicate::eq("a", 1i64), Predicate::True]),
+            Predicate::eq("b", 2i64),
+        ]);
+        let plan = AugPlan::new(
+            "r",
+            vec!["k".into()],
+            vec![PlannedQuery {
+                query: PredicateQuery {
+                    agg: AggFunc::Sum,
+                    agg_column: "x".into(),
+                    predicate: nested,
+                    group_keys: vec!["k".into()],
+                },
+                loss: 0.0,
+            }],
+        );
+        match &plan.queries[0].query.predicate {
+            Predicate::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts.iter().all(|p| matches!(p, Predicate::Eq { .. })));
+            }
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        assert_eq!(AugPlan::from_plan_text(&plan.to_plan_text()).unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_sql_and_names_follow_queries() {
+        let plan = sample_plan();
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        let sql = plan.to_sql();
+        assert!(sql[0].contains("FROM logs"));
+        assert!(sql[0].contains("department = 'E'"));
+        assert_eq!(
+            plan.feature_names(),
+            plan.queries
+                .iter()
+                .map(|p| p.query.feature_name())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed_text() {
+        assert!(AugPlan::from_plan_text("").is_err());
+        assert!(AugPlan::from_plan_text("WRONG HEADER\n").is_err());
+        let plan = sample_plan();
+        let text = plan.to_plan_text();
+        // Truncation (dropping the final endquery) is detected.
+        let truncated = text.trim_end().trim_end_matches("endquery");
+        assert!(AugPlan::from_plan_text(truncated).is_err());
+        // Unknown directives are rejected with their line number.
+        let junk = format!("{text}wat\tnow\n");
+        let e = AugPlan::from_plan_text(&junk).unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+        assert!(e.line > 1);
+        // Unknown aggregates are rejected.
+        let bad_agg = text.replace("query\tAVG", "query\tFROBNICATE");
+        assert!(AugPlan::from_plan_text(&bad_agg).is_err());
+        // Missing groupby is rejected.
+        let no_groupby: String = text
+            .lines()
+            .filter(|l| !l.starts_with("groupby"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(AugPlan::from_plan_text(&no_groupby).is_err());
     }
 
     #[test]

@@ -171,7 +171,9 @@ impl<'a> TemplateIdentifier<'a> {
         let Ok(codec) = QueryCodec::build(&template, &self.task.relevant) else {
             return f64::NEG_INFINITY;
         };
-        let labels = self.task.labels();
+        let Ok(labels) = self.task.labels() else {
+            return f64::NEG_INFINITY;
+        };
         let queries: Vec<PredicateQuery> = (0..self.cfg.pool_samples.max(1))
             .map(|_| codec.decode(&codec.space().sample(rng)))
             .collect();

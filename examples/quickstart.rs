@@ -82,18 +82,26 @@ fn main() {
     let task = to_aug_task(&dataset);
     assert_eq!(task.task, Task::BinaryClassification);
 
+    // Fit once (offline discovery), then transform any table carrying the
+    // keys — see examples/serve_features.rs for the full offline→online path.
     let feataug = FeatAug::new(FeatAugConfig::fast(ModelKind::Linear));
-    let result = feataug.augment(&task);
-    println!("FeatAug generated {} features:", result.feature_names.len());
-    for q in result.queries.iter().take(5) {
+    let model = feataug.fit(&task).expect("generated task is well-formed");
+    let augmented_train = model.transform(&task.train).expect("transform train");
+    println!(
+        "FeatAug generated {} features ({} columns total):",
+        model.plan().len(),
+        augmented_train.num_columns()
+    );
+    for q in model.queries().iter().take(5) {
         println!(
             "  loss {:>8.4}  {}",
             q.loss,
             q.query.to_sql(dataset.relevant.name())
         );
     }
+    let timing = model.timing();
     println!(
         "\ntiming: QTI {:?}, warm-up {:?}, generation {:?}",
-        result.timing.qti, result.timing.warmup, result.timing.generate
+        timing.qti, timing.warmup, timing.generate
     );
 }

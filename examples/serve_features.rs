@@ -1,0 +1,94 @@
+//! Offline → online: fit once, transform any table, serve single keys.
+//!
+//! Run with `cargo run --example serve_features`.
+//!
+//! The historical `FeatAug::augment` was terminal — it returned only the
+//! augmented *training* table. This example walks the fit/transform split
+//! that replaces it:
+//!
+//! 1. **fit** on a training split (QTI + SQL Query Generation, offline);
+//! 2. **transform** a held-out test split the search never saw — the fitted
+//!    model gathers its cached per-group features through the test rows'
+//!    keys, paying no new aggregation;
+//! 3. **serve** a single key, as an online feature store would per request;
+//! 4. ship the portable **plan** as text and recompile it into a fresh
+//!    serving model, as a separate serving process would.
+
+use feataug::pipeline::AugModel;
+use feataug::{AugPlan, FeatAug, FeatAugConfig};
+use feataug_ml::ModelKind;
+use feataug_repro::to_aug_task;
+use feataug_tabular::Value;
+
+fn main() {
+    // ---- 0. A generated Tmall-style task ---------------------------------------------------
+    let dataset = feataug_datagen::tmall::generate(&feataug_datagen::GenConfig::small());
+    let full_task = to_aug_task(&dataset);
+
+    // Split the training table by rows: fit on the first 80%, hold out 20%.
+    let n = full_task.train.num_rows();
+    let fit_rows: Vec<usize> = (0..n * 4 / 5).collect();
+    let test_rows: Vec<usize> = (n * 4 / 5..n).collect();
+    let mut task = full_task.clone();
+    task.train = full_task.train.take(&fit_rows);
+    let test_split = full_task.train.take(&test_rows);
+
+    // ---- 1. Fit: discover predicate-aware queries offline ----------------------------------
+    let model = FeatAug::new(FeatAugConfig::fast(ModelKind::Linear))
+        .fit(&task)
+        .expect("the generated task is well-formed");
+    println!("fitted {} queries:", model.plan().len());
+    for (sql, planned) in model.plan().to_sql().iter().zip(&model.plan().queries) {
+        println!("  loss {:>8.4}  {sql}", planned.loss);
+    }
+
+    // ---- 2. Transform: the training table AND the held-out split ---------------------------
+    let augmented_train = model.transform(&task.train).expect("transform train");
+    let augmented_test = model.transform(&test_split).expect("transform test split");
+    println!(
+        "\ntransformed train ({} rows) and held-out test ({} rows) to {} columns each",
+        augmented_train.num_rows(),
+        augmented_test.num_rows(),
+        augmented_test.num_columns(),
+    );
+    let stats = model.engine_stats();
+    println!(
+        "engine: {} per-group features cached, {} evaluations total (both transforms reused them)",
+        stats.group_features, stats.evaluations
+    );
+
+    // ---- 3. Serve: single-key point lookups ------------------------------------------------
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| test_split.value(0, k).expect("key value"))
+        .collect();
+    let features = model.serve(&key).expect("serve");
+    println!("\nserve({key:?}):");
+    for (name, value) in model.feature_names().iter().zip(&features) {
+        match value {
+            Some(v) => println!("  {name} = {v}"),
+            None => println!("  {name} = NULL"),
+        }
+    }
+
+    // ---- 4. Ship the plan as text; recompile elsewhere -------------------------------------
+    let text = model.plan().to_plan_text();
+    println!("\nportable plan artifact ({} bytes):\n{text}", text.len());
+    let plan = AugPlan::from_plan_text(&text).expect("round trip");
+    assert_eq!(&plan, model.plan());
+    let serving = AugModel::compile(plan, &task.train, &task.relevant);
+    let reserved = serving.serve(&key).expect("serve from recompiled model");
+    assert_eq!(
+        reserved
+            .iter()
+            .map(|v| v.map(f64::to_bits))
+            .collect::<Vec<_>>(),
+        features
+            .iter()
+            .map(|v| v.map(f64::to_bits))
+            .collect::<Vec<_>>(),
+        "a recompiled plan must serve identical features"
+    );
+    println!("recompiled model serves identical features ✓");
+}

@@ -1,0 +1,273 @@
+//! The fit/transform API split, property-tested across generated datasets:
+//!
+//! * `fit` + `transform(train)` is bit-identical to the seed one-shot
+//!   `augment` materialisation (the search-time feature vectors attached
+//!   directly), and [`feataug::FeatAug::augment`] is exactly that wrapper;
+//! * `AugPlan` round-trips losslessly through its text format over
+//!   randomized query pools;
+//! * transform onto a held-out-keys table yields NULL for unseen groups and
+//!   reuses the cached per-group features (no new evaluations — asserted via
+//!   `EngineStats`);
+//! * `serve` point lookups agree with transform rows.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use feataug::pipeline::AugModel;
+use feataug::{
+    AugPlan, FeatAug, FeatAugConfig, PlannedQuery, QueryCodec, QueryEngine, QueryTemplate,
+};
+use feataug_datagen::GenConfig;
+use feataug_ml::ModelKind;
+use feataug_repro::to_aug_task;
+use feataug_tabular::{AggFunc, Column, Table, Value};
+
+fn tiny_cfg(seed: u64) -> FeatAugConfig {
+    let mut cfg = FeatAugConfig::fast(ModelKind::Linear).with_seed(seed);
+    cfg.n_templates = 2;
+    cfg.queries_per_template = 2;
+    cfg.template_id.n_templates = 2;
+    cfg.template_id.pool_samples = 6;
+    cfg.sqlgen.warmup_iters = 10;
+    cfg.sqlgen.warmup_top_k = 3;
+    cfg.sqlgen.search_iters = 4;
+    cfg
+}
+
+/// The seed materialisation the pre-split terminal `augment` performed: the
+/// search-time feature vectors attached directly, non-finite → NULL.
+fn seed_materialise(train: &Table, queries: &[feataug::generation::GeneratedQuery]) -> Table {
+    let mut augmented = train.clone();
+    for q in queries {
+        let values: Vec<Option<f64>> = q
+            .feature
+            .iter()
+            .map(|v| if v.is_finite() { Some(*v) } else { None })
+            .collect();
+        let _ = augmented.add_column(q.feature_name.clone(), Column::from_opt_f64s(&values));
+    }
+    augmented
+}
+
+fn assert_tables_bit_identical(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row counts");
+    assert_eq!(a.column_names(), b.column_names(), "{context}: columns");
+    for name in a.column_names() {
+        for row in 0..a.num_rows() {
+            let va = a.value(row, name).unwrap();
+            let vb = b.value(row, name).unwrap();
+            let same = match (&va, &vb) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                _ => va == vb,
+            };
+            assert!(same, "{context}: column {name} row {row}: {va:?} vs {vb:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `fit` + `transform(train)` reproduces the seed augment path bit for
+    /// bit — and `augment` IS that wrapper. The engine's batch layer runs at
+    /// whatever worker count the environment picks (CI pins the suite at 1
+    /// thread and at the default), so the identity holds at both.
+    #[test]
+    fn fit_transform_is_bit_identical_to_seed_augment(
+        seed in 0u64..500,
+        dataset_idx in 0usize..4,
+    ) {
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let cfg = tiny_cfg(seed);
+
+        let model = FeatAug::new(cfg.clone()).fit(&task).unwrap();
+        let seed_table = seed_materialise(&task.train, model.queries());
+        let transformed = model.transform(&task.train).unwrap();
+        assert_tables_bit_identical(&transformed, &seed_table, name);
+
+        let one_shot = FeatAug::new(cfg).augment(&task);
+        assert_tables_bit_identical(&one_shot.augmented_train, &seed_table, name);
+        prop_assert_eq!(&one_shot.plan, model.plan());
+    }
+
+    /// `AugPlan::from_plan_text(plan.to_plan_text()) == plan` over randomized
+    /// query pools from every generated dataset's codec (random aggregates,
+    /// predicates with string/float/datetime constants, random key subsets).
+    #[test]
+    fn plan_text_round_trips_over_randomized_pools(
+        seed in 0u64..10_000,
+        dataset_idx in 0usize..4,
+        n_queries in 1usize..12,
+    ) {
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37);
+        let queries: Vec<PlannedQuery> = (0..n_queries)
+            .map(|i| PlannedQuery {
+                query: codec.decode(&codec.space().sample(&mut rng)),
+                loss: (i as f64 - 2.5) * 0.173,
+            })
+            .collect();
+        let plan = AugPlan::new(task.relevant.name(), task.key_columns.clone(), queries);
+        let text = plan.to_plan_text();
+        let parsed = AugPlan::from_plan_text(&text).unwrap();
+        prop_assert_eq!(&parsed, &plan, "round trip of:\n{}", text);
+        prop_assert_eq!(parsed.to_plan_text(), text);
+    }
+
+    /// Transforming a second table reuses the memoized per-group features —
+    /// `EngineStats` must record zero new evaluations — and held-out keys
+    /// absent from the relevant table come back NULL.
+    #[test]
+    fn transform_reuses_aggregations_and_nulls_unseen_groups(
+        seed in 0u64..10_000,
+        dataset_idx in 0usize..4,
+        n_queries in 1usize..8,
+    ) {
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x517e);
+        let queries: Vec<PlannedQuery> = (0..n_queries)
+            .map(|_| PlannedQuery { query: codec.decode(&codec.space().sample(&mut rng)), loss: 0.0 })
+            .collect();
+        let plan = AugPlan::new(task.relevant.name(), task.key_columns.clone(), queries);
+        let feature_names = plan.feature_names();
+        let model = AugModel::compile(plan, &task.train, &task.relevant);
+
+        let on_train = model.transform(&task.train).unwrap();
+        let stats_after_first = model.engine_stats();
+        prop_assert!(stats_after_first.group_features >= 1);
+
+        // A held-out table: the train keys with every value replaced by one
+        // the relevant table has never seen (string keys) — plus the first
+        // real train row for contrast.
+        let mut held_out_cols: Vec<(String, Column)> = Vec::new();
+        for key in &task.key_columns {
+            let col = task.train.column(key).unwrap();
+            let mut unseen = Column::empty(col.dtype());
+            unseen.push(col.get(0)).unwrap();
+            unseen
+                .push(match col.dtype() {
+                    feataug_tabular::DataType::Categorical => Value::Str("##never-seen##".into()),
+                    feataug_tabular::DataType::Int => Value::Int(i64::MIN + 7),
+                    feataug_tabular::DataType::DateTime => Value::DateTime(i64::MIN + 7),
+                    feataug_tabular::DataType::Float => Value::Float(-1.0e301),
+                    feataug_tabular::DataType::Bool => Value::Null,
+                })
+                .unwrap();
+            held_out_cols.push((key.clone(), unseen));
+        }
+        let mut held_out = Table::new("held_out");
+        for (name, col) in held_out_cols {
+            held_out.add_column(name, col).unwrap();
+        }
+        let on_held_out = model.transform(&held_out).unwrap();
+        prop_assert_eq!(
+            model.engine_stats(), stats_after_first,
+            "second transform must run no new evaluations"
+        );
+
+        for fname in &feature_names {
+            if on_held_out.column(fname).is_err() || on_train.column(fname).is_err() {
+                continue; // name collided with an existing column and was skipped
+            }
+            // Row 0 carries a real train key: it must match the train
+            // transform's row 0 bit for bit.
+            prop_assert_eq!(
+                on_held_out.value(0, fname).unwrap(),
+                on_train.value(0, fname).unwrap(),
+                "feature {} row 0", fname
+            );
+            // Row 1's key never appears in the relevant table: NULL.
+            prop_assert_eq!(
+                on_held_out.value(1, fname).unwrap(),
+                Value::Null,
+                "unseen key must be NULL in {}", fname
+            );
+        }
+
+        // Serve agrees with the transform rows for the real key.
+        let key: Vec<Value> = task
+            .key_columns
+            .iter()
+            .map(|k| task.train.value(0, k).unwrap())
+            .collect();
+        let served = model.serve(&key).unwrap();
+        for (fname, value) in feature_names.iter().zip(&served) {
+            if on_train.column(fname).is_err() {
+                continue;
+            }
+            let expected = match on_train.value(0, fname).unwrap() {
+                Value::Float(f) => Some(f),
+                Value::Null => None,
+                other => panic!("feature column held {other:?}"),
+            };
+            prop_assert_eq!(
+                value.map(f64::to_bits),
+                expected.map(f64::to_bits),
+                "serve disagrees with transform for {}", fname
+            );
+        }
+    }
+
+    /// The engine-level transform path agrees bit for bit with the naive
+    /// execute-then-left-join reference on the training table, for arbitrary
+    /// sampled queries — the transform analogue of the evaluate equivalence.
+    #[test]
+    fn engine_transform_matches_naive_reference(
+        seed in 0u64..10_000,
+        dataset_idx in 0usize..4,
+        n_queries in 2usize..8,
+    ) {
+        use feataug::encoding::feature_vector;
+
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7a5f);
+        let pool: Vec<_> = (0..n_queries)
+            .map(|_| codec.decode(&codec.space().sample(&mut rng)))
+            .collect();
+
+        let engine = QueryEngine::new(&task.train, &task.relevant);
+        let transformed = engine.transform(&pool, &task.train).unwrap();
+        for (q, values) in pool.iter().zip(&transformed) {
+            let (augmented, fname) = q.augment(&task.train, &task.relevant).unwrap();
+            let reference = feature_vector(&augmented, &fname);
+            prop_assert_eq!(values.len(), reference.len());
+            for (row, (t, r)) in values.iter().zip(&reference).enumerate() {
+                // The reference is NaN-encoded; the transform is Option-coded.
+                let t_bits = t.unwrap_or(f64::NAN).to_bits();
+                prop_assert_eq!(
+                    t_bits, r.to_bits(),
+                    "row {} of `{}` on {}", row, q.to_sql("R"), name
+                );
+            }
+        }
+    }
+}
