@@ -41,6 +41,12 @@
 //! table 10× the training table's size, model reused across rounds so the
 //! steady-state number isolates the key-mapping + gather cost that every
 //! served table pays (the per-group aggregation is paid once, on round one).
+//! `parallel_transform_speedup` is the same workload's serial-vs-fanned
+//! ratio (`QueryEngine::transform_threads` at 1 worker vs the pool-sized
+//! default — ~1.0 on a single-core machine, like `batch_vs_engine`), and
+//! `serve_lookups_per_sec` drives the prepared [`feataug::ServingHandle`]
+//! warm: single-key lookups into a reused buffer, the zero-allocation
+//! online hot path.
 
 use std::time::Instant;
 
@@ -48,7 +54,7 @@ use feataug::exec::QueryEngine;
 use feataug::pipeline::AugModel;
 use feataug::{AugPlan, PlannedQuery, PredicateQuery, QueryCodec, QueryTemplate};
 use feataug_datagen::{tmall, GenConfig};
-use feataug_tabular::{AggFunc, Predicate, Table};
+use feataug_tabular::{AggFunc, Predicate, Table, Value};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -246,6 +252,76 @@ fn main() {
     }
     let transform_rows_per_sec = big.num_rows() as f64 / transform_best;
 
+    // ---- Parallel transform: serial vs pool-sized fan-out -----------------
+    // Same workload through the engine-level entry point at 1 worker and at
+    // the pool-sized count; per-group aggregations are already memoized, so
+    // the ratio isolates what fanning the gathers adds.
+    let planned_queries: Vec<PredicateQuery> = model
+        .plan()
+        .queries
+        .iter()
+        .map(|p| p.query.clone())
+        .collect();
+    let transform_workers = feataug::workers_for_pool(planned_queries.len());
+    let mut serial_best = f64::INFINITY;
+    let mut parallel_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let serial_out = model
+            .engine()
+            .transform_threads(&planned_queries, &big, 1)
+            .expect("serial transform");
+        serial_best = serial_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let parallel_out = model
+            .engine()
+            .transform_threads(&planned_queries, &big, transform_workers)
+            .expect("parallel transform");
+        parallel_best = parallel_best.min(start.elapsed().as_secs_f64());
+        assert_eq!(serial_out.len(), parallel_out.len());
+    }
+    let parallel_transform_speedup = serial_best / parallel_best;
+
+    // ---- Prepared serving lookups (the online hot path) -------------------
+    // One warm `ServingHandle`, single-key lookups into a reused buffer over
+    // every train key: the steady-state request rate a feature server sees.
+    let handle = model.prepare().expect("prepare serving handle");
+    let serve_keys: Vec<Vec<Value>> = (0..train_rows)
+        .map(|row| {
+            ds.key_columns
+                .iter()
+                .map(|k| ds.train.value(row, k).expect("key value"))
+                .collect()
+        })
+        .collect();
+    let mut lookup_out: Vec<Option<f64>> = Vec::with_capacity(handle.num_features());
+    let mut lookup_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for key in &serve_keys {
+            handle
+                .lookup(key, &mut lookup_out)
+                .expect("prepared lookup");
+            // Keep dead-code elimination away without timing any per-lookup
+            // bookkeeping — the metric must measure the lookup alone.
+            std::hint::black_box(&lookup_out);
+        }
+        lookup_best = lookup_best.min(start.elapsed().as_secs_f64());
+    }
+    // Outside the timed region: the warm path must actually hit features.
+    let lookup_hits: usize = serve_keys
+        .iter()
+        .map(|key| {
+            handle
+                .lookup(key, &mut lookup_out)
+                .expect("prepared lookup");
+            lookup_out.iter().filter(|v| v.is_some()).count()
+        })
+        .sum();
+    assert!(lookup_hits > 0, "warm lookups must hit some features");
+    let serve_lookups_per_sec = serve_keys.len() as f64 / lookup_best;
+
     let results = [
         time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
         time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
@@ -283,7 +359,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -296,6 +372,9 @@ fn main() {
         results[2].speedup(),
         results[3].speedup(),
         transform_rows_per_sec,
+        parallel_transform_speedup,
+        transform_workers,
+        serve_lookups_per_sec,
         big.num_rows(),
         n_planned,
         transform_cols,
@@ -305,7 +384,7 @@ fn main() {
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s)",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
@@ -314,5 +393,7 @@ fn main() {
         results[5].speedup(),
         results[0].batch_speedup(),
         transform_rows_per_sec,
+        parallel_transform_speedup,
+        serve_lookups_per_sec,
     );
 }

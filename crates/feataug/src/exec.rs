@@ -185,10 +185,116 @@ pub fn workers_for_pool(pool_len: usize) -> usize {
     pool_workers(auto_workers(), pool_len)
 }
 
+/// How an engine (and everything built on it) holds a table: borrowed from
+/// the caller — the zero-copy, search-time shape — or under shared `Arc`
+/// ownership, which makes the holder `'static` and free to cross threads or
+/// outlive the fitting process entirely (the serving shape).
+#[derive(Clone)]
+pub enum TableHandle<'a> {
+    /// Borrowed for the caller's lifetime.
+    Borrowed(&'a Table),
+    /// Shared ownership; the handle is `'static`.
+    Shared(Arc<Table>),
+}
+
+impl std::ops::Deref for TableHandle<'_> {
+    type Target = Table;
+    fn deref(&self) -> &Table {
+        match self {
+            TableHandle::Borrowed(t) => t,
+            TableHandle::Shared(t) => t,
+        }
+    }
+}
+
+impl<'a> From<&'a Table> for TableHandle<'a> {
+    fn from(table: &'a Table) -> TableHandle<'a> {
+        TableHandle::Borrowed(table)
+    }
+}
+
+impl From<Arc<Table>> for TableHandle<'static> {
+    fn from(table: Arc<Table>) -> TableHandle<'static> {
+        TableHandle::Shared(table)
+    }
+}
+
+impl TableHandle<'_> {
+    /// Upgrade to shared ownership. A borrowed table is cloned once — the
+    /// one-time price of decoupling from the caller's lifetime — while a
+    /// shared handle is a refcount bump. The clone carries identical
+    /// dictionaries and row order, so artifacts compiled against the
+    /// borrowed table stay valid against the upgraded one.
+    pub fn into_shared(self) -> TableHandle<'static> {
+        match self {
+            TableHandle::Borrowed(t) => TableHandle::Shared(Arc::new(t.clone())),
+            TableHandle::Shared(t) => TableHandle::Shared(t),
+        }
+    }
+}
+
+/// The one scoped-worker fan-out loop behind every batch entry point
+/// (candidate evaluation, parallel transform, batch lookups). Work is handed
+/// out by an atomic cursor — dynamic load balance, since item costs are
+/// uneven — each worker builds one `state` for its whole run (a pooled
+/// scratch, a reusable buffer) and tears it down through `done`, and every
+/// result is scattered back to its input slot, so the output is positionally
+/// deterministic regardless of scheduling. `workers` is clamped to
+/// `1..=items.len()`; one worker runs the loop inline with no threads.
+pub(crate) fn fan_out<T, S, R>(
+    items: &[T],
+    workers: usize,
+    state: impl Fn() -> S + Sync,
+    done: impl Fn(S) + Sync,
+    work: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        let mut s = state();
+        let out = items.iter().map(|item| work(&mut s, item)).collect();
+        done(s);
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let (cursor, state, done, work) = (&cursor, &state, &done, &work);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut s = state();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, work(&mut s, item)));
+                    }
+                    done(s);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, result) in parts.into_iter().flatten() {
+        out[i] = Some(result);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every item index visited"))
+        .collect()
+}
+
 /// A compiled grouping of the relevant table by one group-key subset, plus the
 /// gather map aligning train rows with groups. Immutable once built.
 #[derive(Debug)]
-struct GroupIndex {
+pub(crate) struct GroupIndex {
     /// Dense group id per relevant row.
     group_of_row: Vec<u32>,
     /// Number of distinct groups (including NULL-key groups).
@@ -202,6 +308,15 @@ struct GroupIndex {
     /// features onto *arbitrary* tables (and answer point lookups) without
     /// regrouping; costs one entry per distinct group.
     key_to_group: HashMap<Vec<KeyAtom>, u32>,
+}
+
+impl GroupIndex {
+    /// Probe the retained key map with a typed key already translated into
+    /// the relevant table's key space (the serving hot path: one hash probe,
+    /// no allocation — `Vec<KeyAtom>` borrows as `[KeyAtom]`).
+    pub(crate) fn group_of_key(&self, key: &[KeyAtom]) -> Option<u32> {
+        self.key_to_group.get(key).copied()
+    }
 }
 
 /// Sorted row index over one numeric column: row ids ordered by value, NULLs
@@ -331,8 +446,6 @@ struct EvalScratch {
 type SharedFeature = Arc<Vec<Option<f64>>>;
 /// A memoized per-group feature paired with its group index (transform path).
 type SharedGroupFeature = (Arc<GroupIndex>, Arc<Vec<Option<f64>>>);
-/// One evaluation's outcome: the shared feature vector, or the query's error.
-type FeatureResult = feataug_tabular::Result<SharedFeature>;
 
 /// A small LRU over finished feature vectors, keyed by the query's `Debug`
 /// rendering — unlike the displayed SQL (whose string literals are not quote
@@ -465,10 +578,17 @@ pub struct EngineStats {
 /// Cloning an engine is cheap and yields a handle onto the *same* compiled
 /// core, feature cache and counters — share one engine per table pair across
 /// every component that evaluates candidates against it.
+///
+/// Tables are held through [`TableHandle`]s: [`QueryEngine::new`] borrows
+/// them (the search-time shape), [`QueryEngine::new_shared`] takes
+/// `Arc<Table>`s and yields a `QueryEngine<'static>` that is `Send + Sync`
+/// and free to live in a long-running serving process, and
+/// [`QueryEngine::into_owned`] upgrades a borrowed engine in place — keeping
+/// every compiled artifact.
 #[derive(Clone)]
 pub struct QueryEngine<'a> {
-    train: &'a Table,
-    relevant: &'a Table,
+    train: TableHandle<'a>,
+    relevant: TableHandle<'a>,
     shared: Arc<EngineShared>,
 }
 
@@ -477,6 +597,20 @@ impl<'a> QueryEngine<'a> {
     /// indexes and column views are built on first use and memoized for the
     /// lifetime of the engine (one search).
     pub fn new(train: &'a Table, relevant: &'a Table) -> QueryEngine<'a> {
+        QueryEngine::with_handles(train.into(), relevant.into())
+    }
+
+    /// Build an engine that co-owns its tables. The result is
+    /// `QueryEngine<'static>`: it can be moved across threads and outlive
+    /// the code that loaded the tables — the shape a long-running serving
+    /// process needs.
+    pub fn new_shared(train: Arc<Table>, relevant: Arc<Table>) -> QueryEngine<'static> {
+        QueryEngine::with_handles(train.into(), relevant.into())
+    }
+
+    /// Build an engine over explicit [`TableHandle`]s (the general form
+    /// behind [`QueryEngine::new`] / [`QueryEngine::new_shared`]).
+    pub fn with_handles(train: TableHandle<'a>, relevant: TableHandle<'a>) -> QueryEngine<'a> {
         let capacity = default_cache_capacity(train.num_rows());
         QueryEngine {
             train,
@@ -495,6 +629,25 @@ impl<'a> QueryEngine<'a> {
                 cache_hits: AtomicUsize::new(0),
             }),
         }
+    }
+
+    /// Upgrade this engine to shared table ownership, keeping the compiled
+    /// core: every memoized group index, column view, order index, cached
+    /// feature and counter carries over untouched (table clones preserve
+    /// dictionaries and row order, so the artifacts stay valid). Borrowed
+    /// tables are cloned once; already-shared handles are refcount bumps.
+    pub fn into_owned(self) -> QueryEngine<'static> {
+        QueryEngine {
+            train: self.train.into_shared(),
+            relevant: self.relevant.into_shared(),
+            shared: self.shared,
+        }
+    }
+
+    /// The relevant table backing every aggregation (for the serving layer's
+    /// prepared key translation).
+    pub(crate) fn relevant(&self) -> &Table {
+        &self.relevant
     }
 
     /// Builder-style override of the feature LRU's capacity (entries; the
@@ -614,56 +767,21 @@ impl<'a> QueryEngine<'a> {
             .collect()
     }
 
-    /// Fan the pool across a scoped worker pool. Work is handed out by an
-    /// atomic cursor (dynamic load balance — order-sensitive aggregates make
-    /// query costs uneven), each worker keeps one scratch for its whole run,
-    /// and every result is scattered back to its input slot, so the output is
-    /// positionally deterministic regardless of scheduling.
+    /// Fan the pool across the shared [`fan_out`] worker loop; each worker
+    /// keeps one scratch for its whole run (order-sensitive aggregates make
+    /// query costs uneven, so the dynamic cursor load-balances them).
     fn batch_arcs(
         &self,
         queries: &[PredicateQuery],
         workers: usize,
     ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
-        let workers = workers.max(1).min(queries.len().max(1));
-        if workers == 1 {
-            let mut scratch = self.take_scratch();
-            let out = queries
-                .iter()
-                .map(|q| self.evaluate_cached(&mut scratch, q))
-                .collect();
-            self.put_scratch(scratch);
-            return out;
-        }
-        let cursor = AtomicUsize::new(0);
-        let parts: Vec<Vec<(usize, FeatureResult)>> = std::thread::scope(|scope| {
-            let cursor = &cursor;
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut scratch = self.take_scratch();
-                        let mut local = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(query) = queries.get(i) else { break };
-                            local.push((i, self.evaluate_cached(&mut scratch, query)));
-                        }
-                        self.put_scratch(scratch);
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        });
-        let mut out: Vec<Option<FeatureResult>> = (0..queries.len()).map(|_| None).collect();
-        for (i, result) in parts.into_iter().flatten() {
-            out[i] = Some(result);
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("every query index visited"))
-            .collect()
+        fan_out(
+            queries,
+            workers,
+            || self.take_scratch(),
+            |scratch| self.put_scratch(scratch),
+            |scratch, query| self.evaluate_cached(scratch, query),
+        )
     }
 
     fn take_scratch(&self) -> EvalScratch {
@@ -826,7 +944,10 @@ impl<'a> QueryEngine<'a> {
     /// is the transform/serve workhorse: the aggregation runs once per query
     /// per engine, and every later transform (over any table) or point lookup
     /// is a cache read that moves no counter.
-    fn group_feature(&self, query: &PredicateQuery) -> feataug_tabular::Result<SharedGroupFeature> {
+    pub(crate) fn group_feature(
+        &self,
+        query: &PredicateQuery,
+    ) -> feataug_tabular::Result<SharedGroupFeature> {
         let gi = self.group_index(&query.group_keys)?;
         let key = FeatureCache::key(query);
         if let Some(hit) = self
@@ -873,7 +994,7 @@ impl<'a> QueryEngine<'a> {
         gi: &GroupIndex,
     ) -> feataug_tabular::Result<Vec<Option<u32>>> {
         let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
-        let mapper = KeyMapper::new(self.relevant, table, &key_refs, &key_refs)?;
+        let mapper = KeyMapper::new(&self.relevant, table, &key_refs, &key_refs)?;
         Ok((0..table.num_rows())
             .map(|row| {
                 mapper
@@ -897,25 +1018,50 @@ impl<'a> QueryEngine<'a> {
         queries: &[PredicateQuery],
         table: &Table,
     ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
-        let mut maps: HashMap<Vec<String>, Arc<Vec<Option<u32>>>> = HashMap::new();
-        queries
-            .iter()
-            .map(|query| {
-                let (gi, feats) = self.group_feature(query)?;
-                let map = match maps.get(&query.group_keys) {
-                    Some(m) => m.clone(),
-                    None => {
-                        let built = Arc::new(self.gather_map(table, &query.group_keys, &gi)?);
-                        maps.insert(query.group_keys.clone(), built.clone());
-                        built
-                    }
-                };
+        self.transform_threads(queries, table, workers_for_pool(queries.len()))
+    }
+
+    /// [`QueryEngine::transform`] with an explicit worker count (clamped to
+    /// `1..=queries.len()`). Each query's per-group aggregation (memoized) and
+    /// O(rows) gather run independently, so the per-query fan-out is
+    /// **bit-identical to the serial path at any worker count** — the
+    /// property suites enforce it at 1 / 2 / default workers. One key mapping
+    /// per distinct group-key subset is built up front and shared by every
+    /// query grouping on it; a table missing a key column therefore errors
+    /// before any aggregation work.
+    pub fn transform_threads(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+        workers: usize,
+    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+        let mut maps: HashMap<&[String], Arc<Vec<Option<u32>>>> = HashMap::new();
+        for query in queries {
+            if !maps.contains_key(query.group_keys.as_slice()) {
+                let gi = self.group_index(&query.group_keys)?;
+                let built = Arc::new(self.gather_map(table, &query.group_keys, &gi)?);
+                maps.insert(query.group_keys.as_slice(), built);
+            }
+        }
+        // The shared fan-out loop scatters every result back to its input
+        // slot, so collecting in order surfaces the first error in *input*
+        // order — exactly like the serial path.
+        fan_out(
+            queries,
+            workers,
+            || (),
+            |()| (),
+            |_, query| -> feataug_tabular::Result<Vec<Option<f64>>> {
+                let (_, feats) = self.group_feature(query)?;
+                let map = &maps[query.group_keys.as_slice()];
                 Ok(map
                     .iter()
                     .map(|g| g.and_then(|g| feats[g as usize]))
                     .collect())
-            })
-            .collect()
+            },
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Answer a single-key request from the cached per-group features: the
@@ -984,7 +1130,7 @@ impl<'a> QueryEngine<'a> {
         if let Some(gi) = self.shared.groups.read().expect("groups lock").get(keys) {
             return Ok(gi.clone());
         }
-        let built = Arc::new(build_group_index(self.train, self.relevant, keys)?);
+        let built = Arc::new(build_group_index(&self.train, &self.relevant, keys)?);
         let mut map = self.shared.groups.write().expect("groups lock");
         Ok(map.entry(keys.to_vec()).or_insert(built).clone())
     }
@@ -1748,16 +1894,16 @@ mod tests {
         assert_eq!(stats.evaluations, 6);
     }
 
-    /// Regression: the displayed SQL does not escape quotes inside string
-    /// literals, so two *structurally different* queries can render to the
-    /// same text. The feature cache must key on structure, never on the
-    /// rendered SQL, or the second query would be served the first one's
-    /// vector.
+    /// Regression, two layers deep. Historically the displayed SQL did not
+    /// escape quotes inside string literals, so two *structurally different*
+    /// queries could render to the same text — the literal below used to
+    /// read exactly like the two-leaf conjunction. Literals are SQL-escaped
+    /// now (quotes doubled), making the rendering injective again; and the
+    /// feature cache keys on structure regardless, so neither layer can
+    /// alias one query's vector to the other.
     #[test]
-    fn textually_colliding_queries_do_not_share_a_cache_slot() {
+    fn textually_tricky_queries_render_distinct_sql_and_cache_separately() {
         let (train, relevant) = (train(), relevant());
-        // A single Eq whose value embeds "' AND ... = '" renders identically
-        // to a two-leaf conjunction.
         let tricky = query(
             AggFunc::Sum,
             Predicate::eq("department", "E' AND mid = 'm1"),
@@ -1771,10 +1917,20 @@ mod tests {
             ]),
             &["cname"],
         );
-        assert_eq!(
+        assert_ne!(
             tricky.to_sql("R"),
             conjunction.to_sql("R"),
-            "precondition: the rendered SQL must collide for this test to bite"
+            "escaped literals must render structurally different queries differently"
+        );
+        assert!(
+            tricky.to_sql("R").contains("E'' AND mid = ''m1"),
+            "the embedded quotes must be doubled: {}",
+            tricky.to_sql("R")
+        );
+        assert_ne!(
+            tricky.feature_name(),
+            conjunction.feature_name(),
+            "distinct SQL means distinct feature names"
         );
         let engine = QueryEngine::new(&train, &relevant);
         // No department is literally named "E' AND mid = 'm1": every group is
@@ -2376,6 +2532,116 @@ mod tests {
                 .unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn into_owned_keeps_the_compiled_core_and_is_send_static() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
+        let (train, relevant) = (train(), relevant());
+        let borrowed = QueryEngine::new(&train, &relevant);
+        let q = query(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]);
+        let before = borrowed.evaluate(&q).unwrap();
+        let stats_before = borrowed.stats();
+        assert!(stats_before.group_indexes >= 1);
+
+        let owned = borrowed.into_owned();
+        assert_send_sync_static(&owned);
+        assert_eq!(
+            owned.stats(),
+            stats_before,
+            "upgrading must keep every compiled artifact and counter"
+        );
+        // Tables can be dropped now; the owned engine keeps serving.
+        drop((train, relevant));
+        let after = owned.evaluate(&q).unwrap();
+        assert_eq!(
+            before
+                .iter()
+                .map(|v| v.map(f64::to_bits))
+                .collect::<Vec<_>>(),
+            after
+                .iter()
+                .map(|v| v.map(f64::to_bits))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            owned.stats().feature_cache_hits,
+            stats_before.feature_cache_hits + 1,
+            "the repeat evaluation must hit the carried-over feature LRU"
+        );
+        // And it crosses threads.
+        let q2 = query(AggFunc::Avg, Predicate::True, &["cname", "mid"]);
+        let from_thread = std::thread::spawn(move || owned.evaluate(&q2).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(from_thread.len(), 3);
+    }
+
+    #[test]
+    fn new_shared_engine_co_owns_its_tables() {
+        let (train, relevant) = (Arc::new(train()), Arc::new(relevant()));
+        let engine = QueryEngine::new_shared(train.clone(), relevant.clone());
+        drop((train, relevant));
+        let q = query(AggFunc::Count, Predicate::True, &["cname"]);
+        assert_eq!(
+            engine.evaluate(&q).unwrap(),
+            vec![Some(2.0), Some(2.0), None]
+        );
+    }
+
+    #[test]
+    fn parallel_transform_is_bit_identical_to_serial_at_every_worker_count() {
+        let (train, relevant) = (train(), relevant());
+        let mut pool = Vec::new();
+        let predicates = [
+            Predicate::True,
+            Predicate::eq("department", "E"),
+            Predicate::ge("ts", 250),
+        ];
+        for agg in AggFunc::all() {
+            for predicate in &predicates {
+                pool.push(query(*agg, predicate.clone(), &["cname"]));
+                pool.push(query(*agg, predicate.clone(), &["cname", "mid"]));
+                pool.push(query(*agg, predicate.clone(), &["mid"]));
+            }
+        }
+        let serial_engine = QueryEngine::new(&train, &relevant);
+        let serial = serial_engine.transform_threads(&pool, &train, 1).unwrap();
+        for workers in [2, 3, 8, 64] {
+            let engine = QueryEngine::new(&train, &relevant);
+            let parallel = engine.transform_threads(&pool, &train, workers).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for ((got, want), q) in parallel.iter().zip(&serial).zip(&pool) {
+                assert_eq!(
+                    got.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>(),
+                    "workers={workers}: {}",
+                    q.to_sql("R")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transform_reports_the_first_error_in_input_order() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let mut bad = query(AggFunc::Sum, Predicate::True, &["cname"]);
+        bad.agg_column = "nope".into();
+        let pool = vec![
+            query(AggFunc::Sum, Predicate::True, &["cname"]),
+            bad,
+            query(AggFunc::Avg, Predicate::True, &["cname"]),
+        ];
+        for workers in [1, 3] {
+            let err = engine
+                .transform_threads(&pool, &train, workers)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("nope"),
+                "workers={workers}: expected the bad column's error, got {err}"
+            );
+        }
     }
 
     #[test]

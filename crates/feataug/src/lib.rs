@@ -66,6 +66,16 @@
 //!   aggregation;
 //! * [`pipeline::AugModel::serve`] answers single-key point lookups from the same cached
 //!   per-group features — the online half of offline→online;
+//! * [`pipeline::AugModel::prepare`] builds a [`serving::ServingHandle`] — the production
+//!   form of `serve`: every planned query resolved to an interned feature slot, every key
+//!   subset to a pre-built key→group probe, so the warm lookup path is hash probes plus a
+//!   slice copy with **zero heap allocation** (and `lookup_batch` fans across the worker
+//!   pool);
+//! * [`pipeline::FeatAug::fit_owned`] / [`pipeline::AugModel::compile_shared`] /
+//!   [`pipeline::AugModel::into_owned`] produce an [`pipeline::OwnedAugModel`]
+//!   (`Arc`-backed tables, `Send + Sync + 'static`) that can live in a long-running
+//!   serving process — no caller-held tables, no `sub_tasks` vector for
+//!   [`multi::fit_multi_owned`];
 //! * [`query::AugPlan`] is the portable artifact in between: plain-data queries, renderable to
 //!   SQL ([`query::AugPlan::to_sql`]) and round-trippable through a hand-rolled text format
 //!   ([`query::AugPlan::to_plan_text`] / [`query::AugPlan::from_plan_text`]), recompiled into
@@ -101,10 +111,22 @@
 //! // Online: point lookups straight from the cached per-group features.
 //! let features = model.serve(&[Value::Str("alice".into())])?;
 //!
-//! // Ship the plan as text; recompile it elsewhere.
-//! let text = model.plan().to_plan_text();
+//! // Production serving: upgrade to an owned (`Arc`-backed, Send + 'static)
+//! // model and prepare the allocation-free lookup handle.
+//! let owned = model.into_owned();
+//! let handle = owned.prepare()?;
+//! let mut out = Vec::new();
+//! handle.lookup(&[Value::Str("alice".into())], &mut out)?; // zero-alloc warm path
+//!
+//! // Ship the plan as text; recompile it elsewhere (borrowed or Arc-owned).
+//! let text = owned.plan().to_plan_text();
 //! let plan = AugPlan::from_plan_text(&text).unwrap();
-//! let serving = AugModel::compile(plan, &task.train, &task.relevant);
+//! let serving = AugModel::compile_shared(
+//!     plan,
+//!     std::sync::Arc::new(task.train.clone()),
+//!     std::sync::Arc::new(task.relevant.clone()),
+//! );
+//! std::thread::spawn(move || serving.serve(&[Value::Str("alice".into())])); // Send + 'static
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -118,12 +140,14 @@ pub mod pipeline;
 pub mod problem;
 pub mod proxy;
 pub mod query;
+pub mod serving;
 pub mod template;
 pub mod template_id;
 
-pub use exec::{default_workers, workers_for_pool, EngineStats, QueryEngine};
-pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult};
+pub use exec::{default_workers, workers_for_pool, EngineStats, QueryEngine, TableHandle};
+pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, OwnedAugModel};
 pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
 pub use query::{AugPlan, PlanParseError, PlannedQuery, PredicateQuery, QueryCodec};
+pub use serving::ServingHandle;
 pub use template::QueryTemplate;

@@ -105,7 +105,8 @@ impl MultiAugTask {
 
     /// All per-source sub-tasks, in source order. [`fit_multi`] borrows the
     /// returned tasks for the lifetime of its models, so hold the vector
-    /// alongside the [`MultiAugModel`].
+    /// alongside the [`MultiAugModel`] — or use [`fit_multi_owned`], whose
+    /// models stand alone.
     pub fn sub_tasks(&self) -> Vec<AugTask> {
         (0..self.sources.len()).map(|i| self.sub_task(i)).collect()
     }
@@ -122,7 +123,8 @@ pub struct MultiAugModel<'a> {
 }
 
 /// Fit one model per sub-task (see [`MultiAugTask::sub_tasks`]); the borrow
-/// keeps each model's engine anchored to its source tables.
+/// keeps each model's engine anchored to its source tables
+/// ([`fit_multi_owned`] is the self-contained alternative).
 ///
 /// ```no_run
 /// # use feataug::multi::{MultiAugTask, fit_multi};
@@ -145,7 +147,47 @@ pub fn fit_multi<'a>(
     Ok(MultiAugModel { models })
 }
 
+/// An owned [`MultiAugModel`]: every per-source model co-owns its tables
+/// (`Arc`-backed, `Send + Sync + 'static`).
+pub type OwnedMultiAugModel = MultiAugModel<'static>;
+
+/// The owned counterpart of [`fit_multi`]: fits each source's sub-task and
+/// upgrades the model in place ([`AugModel::into_owned`]), so the caller no
+/// longer has to hold a `sub_tasks` vector alive for the models' lifetime —
+/// the returned [`OwnedMultiAugModel`] stands alone and can serve from a
+/// long-running process. Each sub-task's tables are cloned once by the
+/// upgrade.
+pub fn fit_multi_owned(
+    cfg: &FeatAugConfig,
+    task: &MultiAugTask,
+) -> Result<OwnedMultiAugModel, AugTaskError> {
+    let models = (0..task.sources.len())
+        .map(|i| {
+            let sub = task.sub_task(i);
+            FeatAug::new(cfg.clone())
+                .fit(&sub)
+                .map(AugModel::into_owned)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MultiAugModel { models })
+}
+
 impl<'a> MultiAugModel<'a> {
+    /// Assemble a multi-source serving model from per-source models (e.g.
+    /// one [`AugModel::compile`] / [`AugModel::compile_shared`] per shipped
+    /// plan), in source order.
+    pub fn from_models(models: Vec<AugModel<'a>>) -> MultiAugModel<'a> {
+        MultiAugModel { models }
+    }
+
+    /// Upgrade every per-source model to shared table ownership (see
+    /// [`AugModel::into_owned`]).
+    pub fn into_owned(self) -> OwnedMultiAugModel {
+        MultiAugModel {
+            models: self.models.into_iter().map(AugModel::into_owned).collect(),
+        }
+    }
+
     /// The per-source fitted models, in source order.
     pub fn models(&self) -> &[AugModel<'a>] {
         &self.models

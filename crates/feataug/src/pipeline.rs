@@ -36,6 +36,7 @@
 //! [`std::thread::scope`]-based worker pool (see [`crate::exec`]).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use feataug_ml::ModelKind;
@@ -191,10 +192,14 @@ pub struct FeatAugResult {
 /// plus the compiled [`QueryEngine`] that applies them. Produced by
 /// [`FeatAug::fit`]; rebuilt from a shipped plan by [`AugModel::compile`].
 ///
-/// The model borrows the tables it was fitted (or compiled) against — the
-/// relevant table backs every aggregation, and clones of the engine handle
-/// share one compiled core, so transforming N tables pays each query's
-/// aggregation once.
+/// The relevant table backs every aggregation, and clones of the engine
+/// handle share one compiled core, so transforming N tables pays each
+/// query's aggregation once. Table ownership follows the engine's
+/// [`crate::exec::TableHandle`]: `fit`/`compile` borrow the caller's tables
+/// (zero copy, the search-time shape), while [`AugModel::compile_shared`] /
+/// [`FeatAug::fit_owned`] / [`AugModel::into_owned`] produce an
+/// [`OwnedAugModel`] (`AugModel<'static>`, `Send + Sync`) that co-owns its
+/// tables through `Arc`s and can live in a long-running serving process.
 pub struct AugModel<'a> {
     plan: AugPlan,
     engine: QueryEngine<'a>,
@@ -202,6 +207,10 @@ pub struct AugModel<'a> {
     queries: Vec<GeneratedQuery>,
     timing: PipelineTiming,
 }
+
+/// An [`AugModel`] that co-owns its tables (`Arc`-backed, `Send + Sync +
+/// 'static`) — the shape a long-lived serving process holds.
+pub type OwnedAugModel = AugModel<'static>;
 
 impl std::fmt::Debug for AugModel<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -224,13 +233,51 @@ impl<'a> AugModel<'a> {
     /// Compiled models carry no fit metadata: [`AugModel::templates`] and
     /// [`AugModel::queries`] are empty and [`AugModel::timing`] is zero.
     pub fn compile(plan: AugPlan, train: &'a Table, relevant: &'a Table) -> AugModel<'a> {
+        AugModel::with_engine(plan, QueryEngine::new(train, relevant))
+    }
+
+    /// [`AugModel::compile`] with shared table ownership: the returned
+    /// [`OwnedAugModel`] is `Send + Sync + 'static` — load the tables into
+    /// `Arc`s once and the model can outlive the loading scope, move across
+    /// threads, and serve for the life of the process.
+    pub fn compile_shared(plan: AugPlan, train: Arc<Table>, relevant: Arc<Table>) -> OwnedAugModel {
+        AugModel::with_engine(plan, QueryEngine::new_shared(train, relevant))
+    }
+
+    fn with_engine(plan: AugPlan, engine: QueryEngine<'_>) -> AugModel<'_> {
         AugModel {
             plan,
-            engine: QueryEngine::new(train, relevant),
+            engine,
             templates: Vec::new(),
             queries: Vec::new(),
             timing: PipelineTiming::default(),
         }
+    }
+
+    /// Upgrade this model to shared table ownership, keeping the engine's
+    /// whole compiled core (memoized group indexes, per-group features,
+    /// caches, counters). Borrowed tables are cloned once — the one-time
+    /// price of a `Send + 'static` model; see
+    /// [`crate::exec::QueryEngine::into_owned`].
+    pub fn into_owned(self) -> OwnedAugModel {
+        AugModel {
+            plan: self.plan,
+            engine: self.engine.into_owned(),
+            templates: self.templates,
+            queries: self.queries,
+            timing: self.timing,
+        }
+    }
+
+    /// Build the prepared, allocation-free lookup handle for this model's
+    /// plan (see [`crate::serving::ServingHandle`]): every planned query is
+    /// resolved to an interned feature slot and every distinct key subset to
+    /// a pre-built key→group probe, so the hot path is hash probes plus a
+    /// slice copy — no `Debug`/SQL rendering, no [`Value`] clones, zero heap
+    /// allocation on the warm path. Pays each cold query's one aggregation
+    /// up front; results are bit-identical to [`AugModel::serve`].
+    pub fn prepare(&self) -> feataug_tabular::Result<crate::serving::ServingHandle> {
+        crate::serving::ServingHandle::prepare(&self.engine, &self.plan)
     }
 
     /// The portable plan: the selected queries as plain data.
@@ -495,6 +542,16 @@ impl FeatAug {
             queries,
             timing,
         })
+    }
+
+    /// [`FeatAug::fit`] followed by [`AugModel::into_owned`]: the returned
+    /// [`OwnedAugModel`] co-owns its tables (`Arc`-backed, `Send + Sync +
+    /// 'static`), keeps every artifact the fit compiled, and no longer
+    /// borrows the task — so it can be handed to a serving thread or held
+    /// for the life of a process. The task's two tables are cloned once by
+    /// the upgrade.
+    pub fn fit_owned(&self, task: &AugTask) -> Result<OwnedAugModel, AugTaskError> {
+        self.fit(task).map(AugModel::into_owned)
     }
 
     /// Run the full historical one-shot pipeline: [`FeatAug::fit`] followed

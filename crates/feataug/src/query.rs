@@ -397,8 +397,11 @@ impl AugPlan {
     }
 
     /// Parse a plan back out of its text format (inverse of
-    /// [`AugPlan::to_plan_text`]). Unknown directives, missing sections and
-    /// malformed fields are reported with their line number.
+    /// [`AugPlan::to_plan_text`]). Every malformation — unknown directives
+    /// or value type tags, bad escapes, truncated queries, duplicate or
+    /// missing `relevant`/`keys`/`groupby` lines — is a typed
+    /// [`PlanParseError`] carrying the offending line number; parsing never
+    /// panics on hostile input.
     pub fn from_plan_text(text: &str) -> Result<AugPlan, PlanParseError> {
         let err = |line: usize, message: String| PlanParseError { line, message };
         let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
@@ -434,12 +437,21 @@ impl AugPlan {
             let rest: Vec<&str> = fields.collect();
             match directive {
                 "relevant" => {
+                    if relevant_name.is_some() {
+                        return Err(err(line_no, "duplicate `relevant` line".into()));
+                    }
                     let [name] = rest.as_slice() else {
                         return Err(err(line_no, "`relevant` takes exactly one field".into()));
                     };
                     relevant_name = Some(unescape_field(name, line_no)?);
                 }
                 "keys" => {
+                    if key_columns.is_some() {
+                        return Err(err(line_no, "duplicate `keys` line".into()));
+                    }
+                    if rest.is_empty() {
+                        return Err(err(line_no, "`keys` needs at least one column".into()));
+                    }
                     let keys = rest
                         .iter()
                         .map(|k| unescape_field(k, line_no))
@@ -471,6 +483,9 @@ impl AugPlan {
                     let Some(partial) = current.as_mut() else {
                         return Err(err(line_no, "`groupby` outside a query".into()));
                     };
+                    if partial.group_keys.is_some() {
+                        return Err(err(line_no, "duplicate `groupby` line in query".into()));
+                    }
                     if rest.is_empty() {
                         return Err(err(line_no, "`groupby` needs at least one key".into()));
                     }
@@ -1111,6 +1126,144 @@ mod tests {
             .map(|l| format!("{l}\n"))
             .collect();
         assert!(AugPlan::from_plan_text(&no_groupby).is_err());
+    }
+
+    /// Every parse failure must come back as a typed [`PlanParseError`] with
+    /// a useful line number — never a panic. One assertion per error path of
+    /// the format: truncation, unknown tags, bad escapes, duplicate and
+    /// missing fields.
+    #[test]
+    fn plan_parse_error_paths_return_typed_errors() {
+        let text = sample_plan().to_plan_text();
+        let parse = AugPlan::from_plan_text;
+        let assert_err = |input: &str, needle: &str, min_line: usize| match parse(input) {
+            Ok(plan) => panic!("input must not parse (wanted `{needle}`): {plan:?}"),
+            Err(e) => {
+                assert!(
+                    e.message.contains(needle),
+                    "expected `{needle}` in `{}`",
+                    e.message
+                );
+                assert!(
+                    e.line >= min_line,
+                    "error must carry a line number >= {min_line}, got {}",
+                    e.line
+                );
+                assert!(e.to_string().contains(&format!("line {}", e.line)));
+            }
+        };
+
+        // Truncated input: empty, header-only, and a query cut mid-way.
+        assert_err("", "empty plan text", 0);
+        assert_err("AUGPLAN 1\n", "missing its `relevant` line", 0);
+        let cut = text.trim_end().trim_end_matches("endquery");
+        assert_err(cut, "unterminated query", 2);
+        let half_line = &text[..text.find("groupby").unwrap() + 5];
+        assert_err(half_line, "unknown directive", 2);
+
+        // Unknown directives / aggregates / value type tags.
+        assert_err("AUGPLAN 2\n", "expected `AUGPLAN 1`", 1);
+        assert_err(&format!("{text}frobnicate\tx\n"), "unknown directive", 2);
+        assert_err(
+            &text.replace("query\tAVG", "query\tFROBNICATE"),
+            "unknown aggregate",
+            2,
+        );
+        assert_err(&text.replace("s:E", "z:E"), "unknown value tag", 2);
+        assert_err(&text.replace("\ts:E", "\tE"), "no type tag", 2);
+        assert_err(&text.replace("f:150", "f:15x"), "bad float", 2);
+        assert_err(&text.replace("-0.73125", "slow"), "bad loss", 2);
+
+        // Bad escapes in a field.
+        assert_err(&text.replace("s:E", "s:E\\x"), "bad escape sequence", 2);
+        assert_err(&text.replace("s:E", "s:E\\"), "bad escape sequence", 2);
+
+        // Duplicate fields.
+        assert_err(
+            &text.replacen("relevant\t", "relevant\tlogs\nrelevant\t", 1),
+            "duplicate `relevant`",
+            3,
+        );
+        assert_err(
+            &text.replacen("keys\t", "keys\tk\nkeys\t", 1),
+            "duplicate `keys`",
+            4,
+        );
+        assert_err(
+            &text.replacen("groupby\t", "groupby\tcname\ngroupby\t", 1),
+            "duplicate `groupby`",
+            5,
+        );
+        assert_err(
+            &text.replacen("query\t", "query\tSUM\tpprice\t0\nquery\t", 1),
+            "before previous `endquery`",
+            4,
+        );
+
+        // Missing / malformed structural fields.
+        let drop_line = |needle: &str| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with(needle))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        };
+        assert_err(&drop_line("relevant"), "missing its `relevant` line", 0);
+        assert_err(&drop_line("keys"), "missing its `keys` line", 0);
+        assert_err(&drop_line("groupby"), "missing its `groupby` line", 2);
+        assert_err(
+            &text.replace("keys\tcname\tmid", "keys"),
+            "at least one column",
+            3,
+        );
+        assert_err(
+            &text.replacen("groupby\tcname\n", "groupby\n", 1),
+            "at least one key",
+            5,
+        );
+        assert_err(
+            &format!("{text}endquery\n"),
+            "`endquery` without a query",
+            2,
+        );
+        assert_err(&format!("{text}eq\tc\ts:v\n"), "`eq` outside a query", 2);
+        assert_err(
+            &format!("{text}range\tc\t-\t-\n"),
+            "`range` outside a query",
+            2,
+        );
+        assert_err(
+            &format!("{text}groupby\tcname\n"),
+            "`groupby` outside a query",
+            2,
+        );
+
+        // The untouched text still parses (the mutations above were the
+        // only problems).
+        assert!(parse(&text).is_ok());
+    }
+
+    /// Value-field parsing rejects malformed payloads of every tag.
+    #[test]
+    fn plan_value_fields_reject_malformed_payloads() {
+        for (field, needle) in [
+            ("i:", "bad int"),
+            ("i:1.5", "bad int"),
+            ("d:soon", "bad datetime"),
+            ("f:fast", "bad float"),
+            ("b:yes", "bad bool"),
+            ("x:1", "unknown value tag"),
+            ("notag", "no type tag"),
+        ] {
+            let e = super::parse_value(field, 7).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "{field}: expected `{needle}` in `{}`",
+                e.message
+            );
+            assert_eq!(e.line, 7);
+        }
+        assert_eq!(super::parse_value("n:", 1).unwrap(), Value::Null);
+        assert_eq!(super::parse_value("f:-0", 1).unwrap(), Value::Float(-0.0));
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! The online serving runtime: prepared, allocation-free feature lookups.
+//!
+//! [`crate::pipeline::AugModel::serve`] is correct but pays avoidable costs
+//! on every request: it clones each key [`Value`], renders every query's
+//! structural `Debug` key to probe the engine's per-group feature cache, and
+//! re-resolves each query's key-subset positions. A [`ServingHandle`]
+//! (built once by [`crate::pipeline::AugModel::prepare`]) hoists all of that
+//! out of the hot path:
+//!
+//! * every planned query is resolved to an **interned feature slot** — a
+//!   direct `Arc` onto its memoized per-group feature vector, so no cache
+//!   map (and no `Debug` rendering) is touched per lookup;
+//! * every distinct group-key subset gets one **key probe**: the subset's
+//!   positions within the full serve key, a pre-built value→dictionary-code
+//!   atomizer per key column (cloned out of the relevant table, so the hot
+//!   path never touches the table), and the engine's retained typed-key →
+//!   group-id map;
+//! * [`ServingHandle::lookup`] then answers a request with, per probe, one
+//!   dictionary probe per categorical key component and one group-map probe
+//!   — two hash probes for the common single-subset plan — followed by a
+//!   slice copy into the caller's buffer. The warm path performs **zero heap
+//!   allocations** (the key atoms live in a stack buffer; `Vec<KeyAtom>`
+//!   keys borrow as `[KeyAtom]` slices), which the serving conformance suite
+//!   asserts through a counting allocator.
+//!
+//! [`ServingHandle::lookup_batch`] fans request batches across the same
+//! pool-cost-sized scoped worker pool the engine's batch evaluation uses
+//! ([`workers_for_pool`]; `FEATAUG_THREADS` stays authoritative). The handle
+//! is `Send + Sync + 'static`: share one behind an `Arc` across every
+//! request thread of a serving process.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use feataug_tabular::groupby::KeyAtom;
+use feataug_tabular::{Column, Value};
+
+use crate::exec::{fan_out, workers_for_pool, GroupIndex, QueryEngine};
+use crate::query::AugPlan;
+
+/// Key subsets up to this many columns are atomized into a stack buffer;
+/// wider (exotic) subsets fall back to one heap buffer per lookup.
+const MAX_INLINE_KEY: usize = 8;
+
+/// Pre-resolved translation of one key column's [`Value`]s into the relevant
+/// table's key space, mirroring `KeyMapper`'s rules: categorical strings
+/// resolve through the dictionary, every other type must match the column's
+/// dtype exactly (ints never match datetimes), and NULL never matches.
+enum Atomizer {
+    /// value → dictionary code, cloned out of the relevant table's
+    /// dictionary at prepare time.
+    Cat(HashMap<String, u32>),
+    Int,
+    DateTime,
+    Float,
+    Bool,
+}
+
+impl Atomizer {
+    fn for_column(column: &Column) -> Atomizer {
+        match column {
+            Column::Cat(c) => Atomizer::Cat(
+                c.dictionary()
+                    .iter()
+                    .enumerate()
+                    .map(|(code, v)| (v.clone(), code as u32))
+                    .collect(),
+            ),
+            Column::Int(_) => Atomizer::Int,
+            Column::DateTime(_) => Atomizer::DateTime,
+            Column::Float(_) => Atomizer::Float,
+            Column::Bool(_) => Atomizer::Bool,
+        }
+    }
+
+    /// `None` means "can never match any group" — NULL, unseen categorical
+    /// value, or type-mismatched key — exactly the rows a transform leaves
+    /// NULL.
+    fn atomize(&self, value: &Value) -> Option<KeyAtom> {
+        match (self, value) {
+            (Atomizer::Cat(dict), Value::Str(s)) => {
+                dict.get(s.as_str()).map(|&code| KeyAtom::Code(code))
+            }
+            (Atomizer::Int, Value::Int(i)) => Some(KeyAtom::Int(*i)),
+            (Atomizer::DateTime, Value::DateTime(t)) => Some(KeyAtom::Int(*t)),
+            (Atomizer::Float, Value::Float(f)) => Some(KeyAtom::Bits(f.to_bits())),
+            (Atomizer::Bool, Value::Bool(b)) => Some(KeyAtom::Bool(*b)),
+            _ => None,
+        }
+    }
+}
+
+/// One distinct group-key subset's resolved probe: where its columns sit in
+/// the full serve key, how to translate their values, and the engine's
+/// retained key → group-id map.
+struct KeyProbe {
+    /// Position of each subset column within the full serve key `K`.
+    positions: Vec<usize>,
+    /// One atomizer per subset column, parallel to `positions`; shared
+    /// (`Arc`) across every probe touching the same key column, so a
+    /// categorical key's cloned dictionary exists once per handle.
+    atomizers: Vec<Arc<Atomizer>>,
+    /// The compiled group index (its retained key map answers the probe).
+    index: Arc<GroupIndex>,
+    /// The contiguous run of feature slots this probe answers.
+    slots: Range<usize>,
+}
+
+impl KeyProbe {
+    /// Resolve the full serve key to this subset's group id: one atomize per
+    /// subset column (a dictionary hash probe for categoricals), then one
+    /// probe of the retained key map. Allocation-free for subsets up to
+    /// [`MAX_INLINE_KEY`] columns.
+    fn group_of(&self, key: &[Value]) -> Option<u32> {
+        let n = self.positions.len();
+        if n <= MAX_INLINE_KEY {
+            let mut buf = [KeyAtom::Null; MAX_INLINE_KEY];
+            for (slot, (pos, atomizer)) in buf
+                .iter_mut()
+                .zip(self.positions.iter().zip(&self.atomizers))
+            {
+                *slot = atomizer.atomize(&key[*pos])?;
+            }
+            self.index.group_of_key(&buf[..n])
+        } else {
+            let mut buf = Vec::with_capacity(n);
+            for (pos, atomizer) in self.positions.iter().zip(&self.atomizers) {
+                buf.push(atomizer.atomize(&key[*pos])?);
+            }
+            self.index.group_of_key(&buf)
+        }
+    }
+}
+
+/// One planned query's interned output slot.
+struct FeatureSlot {
+    /// Where this query's value lands in the output (plan order).
+    out_pos: usize,
+    /// The query's memoized per-group feature vector (group-aligned with the
+    /// probe's index).
+    feats: Arc<Vec<Option<f64>>>,
+}
+
+/// A prepared, allocation-free lookup handle over a fitted (or compiled)
+/// model's plan — built by [`crate::pipeline::AugModel::prepare`], which
+/// pays each planned query's one aggregation up front. See the
+/// [module docs](self) for the hot-path anatomy.
+pub struct ServingHandle {
+    /// The plan's full foreign key `K`, in serve-key order.
+    key_columns: Vec<String>,
+    /// Feature column names, in plan (= output) order.
+    feature_names: Vec<String>,
+    /// One probe per distinct group-key subset, in first-appearance order.
+    probes: Vec<KeyProbe>,
+    /// One slot per planned query, grouped contiguously by probe.
+    slots: Vec<FeatureSlot>,
+}
+
+impl std::fmt::Debug for ServingHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingHandle")
+            .field("key_columns", &self.key_columns)
+            .field("features", &self.slots.len())
+            .field("key_probes", &self.probes.len())
+            .finish()
+    }
+}
+
+impl ServingHandle {
+    /// Resolve `plan` against `engine`: evaluate-and-memoize each query's
+    /// per-group feature (the one aggregation a cold query costs), intern
+    /// the feature slots, and pre-build one key probe per distinct group-key
+    /// subset. Errors when a query's aggregation fails, a group key is not a
+    /// plan key column, or a key column is missing from the relevant table.
+    pub(crate) fn prepare(
+        engine: &QueryEngine<'_>,
+        plan: &AugPlan,
+    ) -> feataug_tabular::Result<ServingHandle> {
+        // Group the plan's queries by key subset, first-appearance order.
+        let mut subset_order: Vec<Vec<String>> = Vec::new();
+        let mut indexes: HashMap<Vec<String>, Arc<GroupIndex>> = HashMap::new();
+        let mut by_subset: HashMap<Vec<String>, Vec<FeatureSlot>> = HashMap::new();
+        for (out_pos, planned) in plan.queries.iter().enumerate() {
+            let (index, feats) = engine.group_feature(&planned.query)?;
+            let keys = &planned.query.group_keys;
+            if !indexes.contains_key(keys) {
+                subset_order.push(keys.clone());
+                indexes.insert(keys.clone(), index);
+            }
+            by_subset
+                .entry(keys.clone())
+                .or_default()
+                .push(FeatureSlot { out_pos, feats });
+        }
+
+        let mut probes = Vec::with_capacity(subset_order.len());
+        let mut slots = Vec::with_capacity(plan.queries.len());
+        let mut atomizer_cache: HashMap<String, Arc<Atomizer>> = HashMap::new();
+        for subset in subset_order {
+            let positions = subset
+                .iter()
+                .map(|key| {
+                    plan.key_columns
+                        .iter()
+                        .position(|c| c == key)
+                        .ok_or_else(|| {
+                            feataug_tabular::TabularError::InvalidArgument(format!(
+                                "planned query groups by `{key}`, which is not a plan key column"
+                            ))
+                        })
+                })
+                .collect::<feataug_tabular::Result<Vec<_>>>()?;
+            // One atomizer per key *column*, shared across every subset that
+            // probes it — a categorical key's cloned dictionary can be large,
+            // so it must not be duplicated per subset.
+            let atomizers = subset
+                .iter()
+                .map(|key| match atomizer_cache.get(key) {
+                    Some(atomizer) => Ok(Arc::clone(atomizer)),
+                    None => {
+                        let built = Arc::new(Atomizer::for_column(engine.relevant().column(key)?));
+                        atomizer_cache.insert(key.clone(), Arc::clone(&built));
+                        Ok(built)
+                    }
+                })
+                .collect::<feataug_tabular::Result<Vec<_>>>()?;
+            let start = slots.len();
+            slots.extend(by_subset.remove(&subset).expect("subset collected above"));
+            probes.push(KeyProbe {
+                positions,
+                atomizers,
+                index: indexes.remove(&subset).expect("subset collected above"),
+                slots: start..slots.len(),
+            });
+        }
+
+        Ok(ServingHandle {
+            key_columns: plan.key_columns.clone(),
+            feature_names: plan.feature_names(),
+            probes,
+            slots,
+        })
+    }
+
+    /// The plan's foreign-key columns, in the order `lookup` expects the key
+    /// values.
+    pub fn key_columns(&self) -> &[String] {
+        &self.key_columns
+    }
+
+    /// Feature column names, aligned with the output slots of `lookup`.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of features a lookup writes.
+    pub fn num_features(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Answer one online request into `out` (resized to
+    /// [`ServingHandle::num_features`], plan order; `None` marks the same
+    /// rows a transform would leave NULL — unseen, filtered-away, NULL or
+    /// type-mismatched keys, and non-finite aggregates). `key` holds one
+    /// [`Value`] per plan key column.
+    ///
+    /// The warm path — a reused `out` buffer — performs **zero heap
+    /// allocations**: per distinct key subset, the key atoms are built in a
+    /// stack buffer, the group id is one hash probe of the retained key map
+    /// (plus one dictionary probe per categorical key component), and each
+    /// feature is a slice read. No `Debug`/SQL rendering, no [`Value`]
+    /// clones. Results are bit-identical to
+    /// [`crate::pipeline::AugModel::serve`].
+    pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> feataug_tabular::Result<()> {
+        if key.len() != self.key_columns.len() {
+            return Err(feataug_tabular::TabularError::InvalidArgument(format!(
+                "lookup key has {} values for {} key columns",
+                key.len(),
+                self.key_columns.len()
+            )));
+        }
+        out.clear();
+        out.resize(self.slots.len(), None);
+        for probe in &self.probes {
+            let group = probe.group_of(key);
+            for slot in &self.slots[probe.slots.clone()] {
+                out[slot.out_pos] = group
+                    .and_then(|g| slot.feats[g as usize])
+                    .filter(|v| v.is_finite());
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ServingHandle::lookup`] into a fresh vector (allocates; the
+    /// buffer-reusing form is the hot path).
+    pub fn lookup_vec(&self, key: &[Value]) -> feataug_tabular::Result<Vec<Option<f64>>> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        self.lookup(key, &mut out)?;
+        Ok(out)
+    }
+
+    /// Answer a batch of requests, fanned across a [`workers_for_pool`]-sized
+    /// scoped worker pool (`FEATAUG_THREADS` overrides; one worker runs the
+    /// loop inline). `results[i]` is `keys[i]`'s features, bit-identical to
+    /// serial [`ServingHandle::lookup`] calls at any worker count. Key
+    /// arities are validated up front so a malformed request errors before
+    /// any work.
+    pub fn lookup_batch(
+        &self,
+        keys: &[Vec<Value>],
+    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+        for key in keys {
+            if key.len() != self.key_columns.len() {
+                return Err(feataug_tabular::TabularError::InvalidArgument(format!(
+                    "lookup key has {} values for {} key columns",
+                    key.len(),
+                    self.key_columns.len()
+                )));
+            }
+        }
+        Ok(fan_out(
+            keys,
+            workers_for_pool(keys.len()),
+            || Vec::with_capacity(self.slots.len()),
+            |_| (),
+            |row, key| {
+                self.lookup(key, row).expect("arity checked above");
+                row.clone()
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{PlannedQuery, PredicateQuery};
+    use feataug_tabular::{AggFunc, Column, Predicate, Table};
+
+    fn train() -> Table {
+        let mut t = Table::new("users");
+        t.add_column("cname", Column::from_strs(&["a", "b", "c"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m2", "m9"]))
+            .unwrap();
+        t
+    }
+
+    fn relevant() -> Table {
+        let mut t = Table::new("logs");
+        t.add_column("cname", Column::from_strs(&["a", "a", "b", "b"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m1", "m2", "m2"]))
+            .unwrap();
+        t.add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
+        t.add_column("department", Column::from_strs(&["E", "H", "E", "E"]))
+            .unwrap();
+        t
+    }
+
+    fn plan() -> AugPlan {
+        let q = |agg: AggFunc, predicate: Predicate, keys: &[&str]| PlannedQuery {
+            query: PredicateQuery {
+                agg,
+                agg_column: "pprice".into(),
+                predicate,
+                group_keys: keys.iter().map(|s| s.to_string()).collect(),
+            },
+            loss: 0.0,
+        };
+        AugPlan::new(
+            "logs",
+            vec!["cname".into(), "mid".into()],
+            vec![
+                q(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+                q(AggFunc::Avg, Predicate::True, &["cname", "mid"]),
+                q(AggFunc::Count, Predicate::True, &["cname"]),
+                // `mid` alone — a third subset, out of key order.
+                q(AggFunc::Max, Predicate::True, &["mid"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn prepared_lookup_answers_in_plan_order() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let plan = plan();
+        let handle = ServingHandle::prepare(&engine, &plan).unwrap();
+        assert_eq!(handle.num_features(), 4);
+        assert_eq!(handle.feature_names(), plan.feature_names().as_slice());
+        assert_eq!(handle.key_columns(), plan.key_columns.as_slice());
+
+        let mut out = Vec::new();
+        handle
+            .lookup(&[Value::Str("a".into()), Value::Str("m1".into())], &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Some(10.0), Some(15.0), Some(2.0), Some(20.0)],
+            "slots must land in plan order, not probe order"
+        );
+        // Unseen key component: every slot probing it goes NULL, the rest
+        // answer normally.
+        handle
+            .lookup(&[Value::Str("a".into()), Value::Str("zz".into())], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![Some(10.0), None, Some(2.0), None]);
+        // NULL and type-mismatched keys never match.
+        handle
+            .lookup(&[Value::Null, Value::Str("m1".into())], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![None, None, None, Some(20.0)]);
+        handle
+            .lookup(&[Value::Int(7), Value::Str("m2".into())], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![None, None, None, Some(40.0)]);
+        // Arity mismatch is an error, not a silent miss.
+        assert!(handle.lookup(&[Value::Str("a".into())], &mut out).is_err());
+    }
+
+    #[test]
+    fn prepare_pays_each_aggregation_once_and_lookups_move_no_counter() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let plan = plan();
+        let handle = ServingHandle::prepare(&engine, &plan).unwrap();
+        let after_prepare = engine.stats();
+        assert_eq!(after_prepare.group_features, 4);
+        assert_eq!(after_prepare.evaluations, 4);
+
+        let mut out = Vec::new();
+        for key in [
+            [Value::Str("a".into()), Value::Str("m1".into())],
+            [Value::Str("b".into()), Value::Str("m2".into())],
+            [Value::Str("zz".into()), Value::Null],
+        ] {
+            handle.lookup(&key, &mut out).unwrap();
+        }
+        assert_eq!(
+            engine.stats(),
+            after_prepare,
+            "warm lookups must be pure probe reads"
+        );
+        // A second prepare reuses every memoized per-group feature.
+        let again = ServingHandle::prepare(&engine, &plan).unwrap();
+        assert_eq!(engine.stats(), after_prepare);
+        assert_eq!(again.num_features(), 4);
+    }
+
+    #[test]
+    fn prepare_rejects_foreign_group_keys_and_missing_columns() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        // A query grouping by a column outside the plan's key set.
+        let mut bad = plan();
+        bad.key_columns = vec!["cname".into()];
+        let err = ServingHandle::prepare(&engine, &bad).unwrap_err();
+        assert!(err.to_string().contains("not a plan key column"));
+        // A query whose aggregation column is missing errors during the
+        // prepare-time aggregation.
+        let mut ghost = plan();
+        ghost.queries[0].query.agg_column = "nope".into();
+        assert!(ServingHandle::prepare(&engine, &ghost).is_err());
+    }
+
+    #[test]
+    fn lookup_batch_matches_serial_lookups() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let handle = ServingHandle::prepare(&engine, &plan()).unwrap();
+        let keys: Vec<Vec<Value>> = ["a", "b", "c", "zz", "a", "b"]
+            .iter()
+            .cycle()
+            .take(40)
+            .enumerate()
+            .map(|(i, c)| {
+                vec![
+                    Value::Str(c.to_string()),
+                    Value::Str(format!("m{}", i % 3 + 1)),
+                ]
+            })
+            .collect();
+        let batch = handle.lookup_batch(&keys).unwrap();
+        assert_eq!(batch.len(), keys.len());
+        let mut row = Vec::new();
+        for (key, got) in keys.iter().zip(&batch) {
+            handle.lookup(key, &mut row).unwrap();
+            assert_eq!(got, &row);
+        }
+        // Any bad arity in the batch errors up front.
+        let mut keys = keys;
+        keys.push(vec![Value::Str("a".into())]);
+        assert!(handle.lookup_batch(&keys).is_err());
+    }
+
+    #[test]
+    fn handle_is_send_sync_static() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
+        let (train, relevant) = (Arc::new(train()), Arc::new(relevant()));
+        let engine = QueryEngine::new_shared(train, relevant);
+        let handle = ServingHandle::prepare(&engine, &plan()).unwrap();
+        assert_send_sync_static(&handle);
+        drop(engine);
+        // The handle stands alone: it holds Arcs onto the compiled
+        // artifacts, not the engine.
+        let mut out = Vec::new();
+        handle
+            .lookup(&[Value::Str("b".into()), Value::Str("m2".into())], &mut out)
+            .unwrap();
+        assert_eq!(out[0], Some(70.0));
+        let from_thread = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            handle
+                .lookup(&[Value::Str("a".into()), Value::Str("m1".into())], &mut out)
+                .unwrap();
+            out
+        })
+        .join()
+        .unwrap();
+        assert_eq!(from_thread[0], Some(10.0));
+    }
+}

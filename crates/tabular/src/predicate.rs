@@ -219,12 +219,42 @@ fn eval_range(col: &Column, low: Option<&Value>, high: Option<&Value>) -> Vec<bo
         .collect()
 }
 
+/// Write `value` as a SQL constant, injectively across both content and
+/// type. Strings are quoted with standard SQL escaping — every quote inside
+/// the literal is doubled. Unescaped literals made two structurally
+/// different predicates render identical SQL (a constant embedding
+/// `' AND x = '` read as a two-leaf conjunction), which collided feature
+/// names downstream. Backslashes and control characters have no meaning
+/// inside a standard SQL literal and pass through verbatim. Non-string
+/// values render bare (quoting them would collide `Int(7)` with `Str("7")`),
+/// and a NULL constant renders as the keyword.
+fn write_sql_literal(f: &mut fmt::Formatter<'_>, value: &Value) -> fmt::Result {
+    match value {
+        Value::Str(s) => {
+            write!(f, "'")?;
+            let mut rest = s.as_str();
+            while let Some(i) = rest.find('\'') {
+                write!(f, "{}''", &rest[..i])?;
+                rest = &rest[i + 1..];
+            }
+            write!(f, "{rest}'")
+        }
+        // An equality against NULL never matches any row; render the SQL
+        // keyword rather than an empty (ambiguous) literal.
+        Value::Null => write!(f, "NULL"),
+        other => write!(f, "{other}"),
+    }
+}
+
 impl fmt::Display for Predicate {
     /// Render as a SQL-like `WHERE` fragment; used when describing generated queries.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Predicate::True => write!(f, "TRUE"),
-            Predicate::Eq { column, value } => write!(f, "{column} = '{value}'"),
+            Predicate::Eq { column, value } => {
+                write!(f, "{column} = ")?;
+                write_sql_literal(f, value)
+            }
             Predicate::Range { column, low, high } => match (low, high) {
                 (Some(l), Some(h)) => write!(f, "{column} BETWEEN {l} AND {h}"),
                 (Some(l), None) => write!(f, "{column} >= {l}"),
@@ -355,5 +385,90 @@ mod tests {
     fn missing_column_errors() {
         let t = logs();
         assert!(Predicate::eq("nope", "E").evaluate(&t).is_err());
+    }
+
+    /// Quotes inside string constants are doubled, SQL-style. A literal
+    /// embedding `' AND x = '` must NOT render like a two-leaf conjunction
+    /// (unescaped literals collided exactly that way).
+    #[test]
+    fn display_escapes_quotes_in_string_literals() {
+        assert_eq!(
+            Predicate::eq("dept", "E'ats").to_string(),
+            "dept = 'E''ats'"
+        );
+        assert_eq!(Predicate::eq("dept", "''").to_string(), "dept = ''''''");
+        let tricky = Predicate::eq("dept", "E' AND mid = 'm1");
+        let conjunction =
+            Predicate::and(vec![Predicate::eq("dept", "E"), Predicate::eq("mid", "m1")]);
+        assert_eq!(tricky.to_string(), "dept = 'E'' AND mid = ''m1'");
+        assert_ne!(
+            tricky.to_string(),
+            conjunction.to_string(),
+            "escaping must make structurally different predicates render differently"
+        );
+    }
+
+    /// Backslashes and control characters have no meaning inside a standard
+    /// SQL string literal: they pass through verbatim (only quotes are
+    /// doubled), so no two distinct constants can render the same literal.
+    #[test]
+    fn display_passes_backslashes_and_newlines_through() {
+        assert_eq!(
+            Predicate::eq("dept", r"a\'b").to_string(),
+            r"dept = 'a\''b'"
+        );
+        assert_eq!(
+            Predicate::eq("dept", "line1\nline2").to_string(),
+            "dept = 'line1\nline2'"
+        );
+        assert_eq!(Predicate::eq("dept", r"a\nb").to_string(), r"dept = 'a\nb'");
+        // A backslash before the closing quote must not "escape" it: the
+        // doubled-quote convention keeps the literal unambiguous.
+        assert_ne!(
+            Predicate::eq("dept", r"a\").to_string(),
+            Predicate::eq("dept", "a").to_string()
+        );
+        // Distinct constants that differ only in quotes/backslashes render
+        // distinct SQL.
+        let variants = [r"a'b", r"a\'b", r"a''b", "a\\b", "a\nb", "ab"];
+        for (i, a) in variants.iter().enumerate() {
+            for b in variants.iter().skip(i + 1) {
+                assert_ne!(
+                    Predicate::eq("c", *a).to_string(),
+                    Predicate::eq("c", *b).to_string(),
+                    "{a:?} and {b:?} must not collide"
+                );
+            }
+        }
+    }
+
+    /// Non-string equality constants render bare: quoting them would make
+    /// `Int(7)` and `Str("7")` (or `Bool(true)` and `Str("true")`) — which
+    /// match different rows — render identical SQL and collide downstream
+    /// feature names.
+    #[test]
+    fn display_is_injective_across_constant_types() {
+        assert_eq!(Predicate::eq("n", 7i64).to_string(), "n = 7");
+        assert_eq!(
+            Predicate::eq("b", Value::Bool(true)).to_string(),
+            "b = true"
+        );
+        assert_eq!(
+            Predicate::eq("n", Value::Null).to_string(),
+            "n = NULL",
+            "a NULL constant must not render as an empty string literal"
+        );
+        assert_ne!(
+            Predicate::eq("n", 7i64).to_string(),
+            Predicate::eq("n", "7").to_string()
+        );
+        assert_ne!(
+            Predicate::eq("b", Value::Bool(true)).to_string(),
+            Predicate::eq("b", "true").to_string()
+        );
+        assert_ne!(
+            Predicate::eq("n", Value::Null).to_string(),
+            Predicate::eq("n", "NULL").to_string()
+        );
     }
 }

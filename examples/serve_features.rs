@@ -12,7 +12,12 @@
 //!    keys, paying no new aggregation;
 //! 3. **serve** a single key, as an online feature store would per request;
 //! 4. ship the portable **plan** as text and recompile it into a fresh
-//!    serving model, as a separate serving process would.
+//!    serving model, as a separate serving process would;
+//! 5. go **production-shaped**: upgrade to an owned (`Arc`-backed,
+//!    `Send + 'static`) model, move it onto a serving thread, and answer
+//!    requests through a prepared [`feataug::ServingHandle`] — the
+//!    allocation-free hot path (`lookup` into a reused buffer, `lookup_batch`
+//!    across the worker pool).
 
 use feataug::pipeline::AugModel;
 use feataug::{AugPlan, FeatAug, FeatAugConfig};
@@ -91,4 +96,43 @@ fn main() {
         "a recompiled plan must serve identical features"
     );
     println!("recompiled model serves identical features ✓");
+
+    // ---- 5. Production serving: owned model + prepared lookup handle -----------------------
+    // `into_owned` upgrades the fitted model to Arc-backed table ownership,
+    // keeping every compiled artifact — it is now `Send + Sync + 'static`
+    // and can move onto a serving thread (a fresh process would use
+    // `FeatAug::fit_owned` or `AugModel::compile_shared` directly).
+    let owned = model.into_owned();
+    let keys: Vec<Vec<Value>> = (0..test_split.num_rows().min(64))
+        .map(|row| {
+            task.key_columns
+                .iter()
+                .map(|k| test_split.value(row, k).expect("key value"))
+                .collect()
+        })
+        .collect();
+    let expected = features;
+    let server = std::thread::spawn(move || {
+        let handle = owned.prepare().expect("prepare serving handle");
+        // The hot path: reuse one output buffer; warm lookups allocate
+        // nothing, render nothing, clone nothing.
+        let mut out = Vec::with_capacity(handle.num_features());
+        handle.lookup(&keys[0], &mut out).expect("prepared lookup");
+        assert_eq!(
+            out.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>(),
+            expected
+                .iter()
+                .map(|v| v.map(f64::to_bits))
+                .collect::<Vec<_>>(),
+            "the prepared handle must serve exactly what `serve` served"
+        );
+        // And the batch form fans across the worker pool.
+        let batch = handle.lookup_batch(&keys).expect("batch lookup");
+        (handle.num_features(), batch.len())
+    });
+    let (n_features, n_served) = server.join().expect("serving thread");
+    println!(
+        "owned model served {n_features} features x {n_served} keys from a spawned thread \
+         via the prepared handle ✓"
+    );
 }

@@ -1,0 +1,159 @@
+//! The acceptance gate of the prepared serving path:
+//! `ServingHandle::lookup` performs **zero heap allocations** — and therefore
+//! zero `Debug`/SQL rendering and zero `Value` clones, all of which allocate
+//! — on the warm path.
+//!
+//! Enforced with a counting global allocator. This file is its own test
+//! binary and holds exactly one `#[test]`, so no sibling test can allocate
+//! concurrently; counting is additionally gated per-thread (a
+//! const-initialized thread-local, which itself never allocates), so
+//! allocator traffic from the harness's other threads can never leak into
+//! the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use feataug::pipeline::AugModel;
+use feataug::{AugPlan, PlannedQuery, PredicateQuery};
+use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the bookkeeping around it is an atomic
+// increment plus a const-initialized thread-local read (neither allocates).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Run `f` with this thread's allocations counted; returns how many the
+/// closure performed.
+fn count_allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_prepared_lookup_is_allocation_free() {
+    // A model mixing key subsets, predicate shapes and aggregate families —
+    // every hot-path branch of the handle (multi-column probes, categorical
+    // and integer atomizers, NULL slots) gets exercised.
+    let mut train = Table::new("users");
+    train
+        .add_column("cname", Column::from_strs(&["a", "b", "c"]))
+        .unwrap();
+    train
+        .add_column("uid", Column::from_i64s(&[1, 2, 9]))
+        .unwrap();
+    let mut relevant = Table::new("logs");
+    relevant
+        .add_column("cname", Column::from_strs(&["a", "a", "b", "b"]))
+        .unwrap();
+    relevant
+        .add_column("uid", Column::from_i64s(&[1, 1, 2, 2]))
+        .unwrap();
+    relevant
+        .add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+        .unwrap();
+    relevant
+        .add_column("department", Column::from_strs(&["E", "H", "E", "E"]))
+        .unwrap();
+    let q = |agg: AggFunc, predicate: Predicate, keys: &[&str]| PlannedQuery {
+        query: PredicateQuery {
+            agg,
+            agg_column: "pprice".into(),
+            predicate,
+            group_keys: keys.iter().map(|s| s.to_string()).collect(),
+        },
+        loss: 0.0,
+    };
+    let plan = AugPlan::new(
+        "logs",
+        vec!["cname".into(), "uid".into()],
+        vec![
+            q(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            q(AggFunc::Avg, Predicate::True, &["cname", "uid"]),
+            q(AggFunc::Median, Predicate::True, &["uid"]),
+            q(AggFunc::Count, Predicate::ge("pprice", 15.0), &["cname"]),
+        ],
+    );
+    let model = AugModel::compile(plan, &train, &relevant);
+    let handle = model.prepare().expect("prepare");
+
+    // Keys built before counting starts: seen, partially seen, unseen, NULL
+    // and type-mismatched — misses must be as allocation-free as hits.
+    let keys: Vec<Vec<Value>> = vec![
+        vec![Value::Str("a".into()), Value::Int(1)],
+        vec![Value::Str("b".into()), Value::Int(2)],
+        vec![Value::Str("b".into()), Value::Int(777)],
+        vec![Value::Str("zz".into()), Value::Int(777)],
+        vec![Value::Null, Value::Int(2)],
+        vec![Value::Int(3), Value::Str("a".into())],
+    ];
+    let mut out: Vec<Option<f64>> = Vec::new();
+
+    // Warm-up: pays the output buffer's one allocation and proves the
+    // answers themselves.
+    handle.lookup(&keys[0], &mut out).unwrap();
+    assert_eq!(out, vec![Some(10.0), Some(15.0), Some(15.0), Some(1.0)]);
+    for key in &keys {
+        handle.lookup(key, &mut out).unwrap();
+    }
+
+    // The gate: thousands of warm lookups, zero allocations.
+    let allocations = count_allocations(|| {
+        for _ in 0..2_000 {
+            for key in &keys {
+                handle.lookup(key, &mut out).unwrap();
+            }
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "ServingHandle::lookup allocated on the warm path"
+    );
+
+    // Sanity-check the harness itself: the counter does see allocations.
+    let observed = count_allocations(|| {
+        let v: Vec<u64> = (0..64).collect();
+        std::hint::black_box(v);
+    });
+    assert!(
+        observed > 0,
+        "the counting allocator must observe a straightforward Vec allocation"
+    );
+
+    // And the answers after the counted run are still right.
+    handle.lookup(&keys[1], &mut out).unwrap();
+    assert_eq!(out, vec![Some(70.0), Some(35.0), Some(35.0), Some(2.0)]);
+    handle.lookup(&keys[3], &mut out).unwrap();
+    assert_eq!(out, vec![None, None, None, None]);
+}
