@@ -322,6 +322,70 @@ fn main() {
     assert!(lookup_hits > 0, "warm lookups must hit some features");
     let serve_lookups_per_sec = serve_keys.len() as f64 / lookup_best;
 
+    // ---- Serving-tier latency distribution (the survivable front door) ----
+    // A closed-loop load generator: N client threads drive the admission-
+    // controlled `ServingTier`, each waiting for its answer before the next
+    // submit, per-request wall clock collected. p50/p99 record the tail a
+    // deadline policy would be tuned against; `shed_rate` records admission
+    // control's refusals (0.0 when a closed loop never outruns the workers —
+    // the field's trajectory matters under future overload shapes).
+    let tier_handle = std::sync::Arc::new(model.prepare().expect("prepare tier handle"));
+    let tier = feataug::ServingTier::new(
+        std::sync::Arc::clone(&tier_handle),
+        feataug::TierConfig::default(),
+    );
+    const TIER_CLIENTS: usize = 4;
+    const TIER_REQUESTS_PER_CLIENT: usize = 2_000;
+    let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..TIER_CLIENTS)
+            .map(|c| {
+                let tier = &tier;
+                let serve_keys = &serve_keys;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(TIER_REQUESTS_PER_CLIENT);
+                    for i in 0..TIER_REQUESTS_PER_CLIENT {
+                        let key = &serve_keys[(c + i * TIER_CLIENTS) % serve_keys.len()];
+                        let start = Instant::now();
+                        match tier.lookup(key) {
+                            Ok(row) => {
+                                std::hint::black_box(&row);
+                                local.push(start.elapsed().as_nanos() as f64 / 1e3);
+                            }
+                            Err(feataug::TierError::Shed { .. }) => {}
+                            Err(e) => panic!("tier load generator hit {e}"),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("tier client thread"))
+            .collect()
+    });
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    };
+    let p50_lookup_us = percentile(&latencies_us, 0.50);
+    let p99_lookup_us = percentile(&latencies_us, 0.99);
+    let tier_stats = tier.stats();
+    assert_eq!(
+        tier_stats.submitted,
+        TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
+        "the load generator must account for every request"
+    );
+    let shed_rate = tier_stats.shed as f64 / tier_stats.submitted.max(1) as f64;
+    assert!(
+        latencies_us.len() + tier_stats.shed >= TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
+        "every request either answered or shed"
+    );
+
     let results = [
         time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
         time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
@@ -359,7 +423,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -375,6 +439,14 @@ fn main() {
         parallel_transform_speedup,
         transform_workers,
         serve_lookups_per_sec,
+        p50_lookup_us,
+        p99_lookup_us,
+        shed_rate,
+        TIER_CLIENTS,
+        TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
+        feataug::TierConfig::default().workers,
+        tier_stats.answered,
+        tier_stats.shed,
         big.num_rows(),
         n_planned,
         transform_cols,
@@ -384,7 +456,7 @@ fn main() {
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4})",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
@@ -395,5 +467,8 @@ fn main() {
         transform_rows_per_sec,
         parallel_transform_speedup,
         serve_lookups_per_sec,
+        p50_lookup_us,
+        p99_lookup_us,
+        shed_rate,
     );
 }

@@ -192,7 +192,7 @@ pub fn augment_with(
 ) -> (Table, Option<PipelineTiming>) {
     let dfs = dfs_config();
     match method {
-        Method::Base => (task.train.clone(), None),
+        Method::Base => ((*task.train).clone(), None),
         Method::Featuretools => (featuretools_augment(task, n_features, None, &dfs), None),
         Method::FtLr => {
             let sel = ScoreSelector::new(ScoringMethod::LinearImportance);

@@ -49,7 +49,7 @@ fn dfs_candidates(
     let agg_refs: Vec<&str> = agg_cols.iter().map(|s| s.as_str()).collect();
     let features = enumerate_features(&task.relevant, &agg_refs, cfg);
     if features.is_empty() {
-        return (task.train.clone(), Vec::new());
+        return ((*task.train).clone(), Vec::new());
     }
     let queries: Vec<PredicateQuery> = features
         .iter()
@@ -60,7 +60,7 @@ fn dfs_candidates(
             group_keys: keys.iter().map(|k| k.to_string()).collect(),
         })
         .collect();
-    let mut augmented = task.train.clone();
+    let mut augmented = (*task.train).clone();
     let mut names = Vec::with_capacity(features.len());
     for (feature, values) in features
         .into_iter()
@@ -108,7 +108,7 @@ fn candidate_dataset(task: &AugTask, augmented: &Table, names: &[String]) -> Dat
 
 /// Keep only the base training columns plus the named feature columns.
 fn project_features(task: &AugTask, augmented: &Table, keep: &[String]) -> Table {
-    let mut out = task.train.clone();
+    let mut out = (*task.train).clone();
     for name in keep {
         if let Ok(col) = augmented.column(name) {
             let _ = out.add_column(name.clone(), col.clone());
@@ -191,7 +191,7 @@ pub fn random_augment_with_engine(
 ) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let attrs = task.resolved_predicate_attrs();
-    let mut augmented = task.train.clone();
+    let mut augmented = (*task.train).clone();
 
     for _ in 0..n_templates {
         // Random non-empty subset of the candidate attributes (at most 4 to keep pools sane).

@@ -102,8 +102,9 @@
 //! (`tests/proptests.rs`).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use feataug_tabular::aggregate::canonical_nan;
 use feataug_tabular::groupby::{key_atom, KeyAtom};
@@ -233,6 +234,92 @@ impl TableHandle<'_> {
     }
 }
 
+/// The typed error of every fallible engine / serving entry point.
+///
+/// Tabular-layer failures (missing column, key-arity mismatch, malformed
+/// query) pass through unchanged; [`EngineError::WorkerPanic`] is new with
+/// the robustness layer — a panic inside one worker's evaluation is caught at
+/// the fan-out boundary, converted into this variant, and fails **only the
+/// affected request** while the rest of the batch completes normally.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A tabular-layer failure, passed through verbatim.
+    Tabular(feataug_tabular::TabularError),
+    /// A worker panicked mid-request. `context` names the fan-out site (for
+    /// operators correlating logs), `message` carries the panic payload.
+    WorkerPanic {
+        /// The fan-out site the panic escaped from.
+        context: &'static str,
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+/// Result alias of the engine / serving entry points.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+impl From<feataug_tabular::TabularError> for EngineError {
+    fn from(e: feataug_tabular::TabularError) -> EngineError {
+        EngineError::Tabular(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // The inner message verbatim: callers match on the tabular
+            // error's own wording.
+            EngineError::Tabular(e) => write!(f, "{e}"),
+            EngineError::WorkerPanic { context, message } => {
+                write!(f, "worker panicked in {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Tabular(e) => Some(e),
+            EngineError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+/// Render a caught panic payload into a human-readable message (`panic!`
+/// payloads are `&str` or `String` in practice).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Poison-tolerant lock acquisition. A panic while a thread holds one of the
+/// engine's locks marks it poisoned, but every artifact behind these locks
+/// stays sound across an unwind: the memo maps only ever gain fully-built
+/// immutable `Arc`s (a panicked build never inserted), and the scratch pool
+/// only holds scratch whose invariants were restored before return (a
+/// panicked worker's scratch is dropped, not returned). So the right response
+/// to poison is to recover the guard and keep serving — one bad candidate
+/// must not brick a shared engine.
+pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// See [`read_recover`].
+pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// See [`read_recover`].
+pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The one scoped-worker fan-out loop behind every batch entry point
 /// (candidate evaluation, parallel transform, batch lookups). Work is handed
 /// out by an atomic cursor — dynamic load balance, since item costs are
@@ -241,27 +328,61 @@ impl TableHandle<'_> {
 /// result is scattered back to its input slot, so the output is positionally
 /// deterministic regardless of scheduling. `workers` is clamped to
 /// `1..=items.len()`; one worker runs the loop inline with no threads.
+///
+/// **Panic containment.** Each item's `work` call runs under
+/// [`catch_unwind`]: a panic fails only that item — its slot becomes
+/// [`EngineError::WorkerPanic`] naming `context` — and the worker keeps
+/// draining the cursor with a *fresh* `state` (the panicked one may have
+/// broken invariants mid-mutation, so it is dropped and never handed to
+/// `done`). Should a worker thread die anyway (a panic in `state`/`done`
+/// itself), its claimed-but-unreported items degrade to the same typed error
+/// instead of crashing the process.
+/// One worker's scatter-back: `(input slot, result)` pairs, or the panic
+/// message if the worker thread itself died.
+type WorkerPart<R> = Result<Vec<(usize, EngineResult<R>)>, String>;
+
 pub(crate) fn fan_out<T, S, R>(
     items: &[T],
     workers: usize,
+    context: &'static str,
     state: impl Fn() -> S + Sync,
     done: impl Fn(S) + Sync,
-    work: impl Fn(&mut S, &T) -> R + Sync,
-) -> Vec<R>
+    work: impl Fn(&mut S, &T) -> EngineResult<R> + Sync,
+) -> Vec<EngineResult<R>>
 where
     T: Sync,
     R: Send,
 {
     let workers = workers.max(1).min(items.len().max(1));
+    let guarded = |s: &mut S, item: &T| -> (EngineResult<R>, bool) {
+        match catch_unwind(AssertUnwindSafe(|| work(s, item))) {
+            Ok(result) => (result, false),
+            Err(payload) => (
+                Err(EngineError::WorkerPanic {
+                    context,
+                    message: panic_message(payload),
+                }),
+                true,
+            ),
+        }
+    };
     if workers == 1 {
         let mut s = state();
-        let out = items.iter().map(|item| work(&mut s, item)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let (result, panicked) = guarded(&mut s, item);
+            if panicked {
+                // Drop the possibly-corrupted state, rebuild fresh.
+                s = state();
+            }
+            out.push(result);
+        }
         done(s);
         return out;
     }
     let cursor = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let (cursor, state, done, work) = (&cursor, &state, &done, &work);
+    let parts: Vec<WorkerPart<R>> = std::thread::scope(|scope| {
+        let (cursor, state, done, guarded) = (&cursor, &state, &done, &guarded);
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -270,7 +391,11 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, work(&mut s, item)));
+                        let (result, panicked) = guarded(&mut s, item);
+                        if panicked {
+                            s = state();
+                        }
+                        local.push((i, result));
                     }
                     done(s);
                     local
@@ -279,15 +404,33 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("fan-out worker panicked"))
+            .map(|h| h.join().map_err(panic_message))
             .collect()
     });
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, result) in parts.into_iter().flatten() {
-        out[i] = Some(result);
+    let mut out: Vec<Option<EngineResult<R>>> = (0..items.len()).map(|_| None).collect();
+    let mut lost: Option<String> = None;
+    for part in parts {
+        match part {
+            Ok(results) => {
+                for (i, result) in results {
+                    out[i] = Some(result);
+                }
+            }
+            Err(message) => lost = Some(message),
+        }
     }
     out.into_iter()
-        .map(|slot| slot.expect("every item index visited"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(EngineError::WorkerPanic {
+                    context,
+                    message: match &lost {
+                        Some(m) => format!("worker thread died before reaching this item: {m}"),
+                        None => "worker thread died before reaching this item".to_string(),
+                    },
+                })
+            })
+        })
         .collect()
 }
 
@@ -655,11 +798,7 @@ impl<'a> QueryEngine<'a> {
     /// fixed byte budget). `0` disables evaluation-level caching entirely;
     /// lowering the capacity trims existing entries immediately.
     pub fn with_feature_cache_capacity(self, capacity: usize) -> QueryEngine<'a> {
-        self.shared
-            .features
-            .lock()
-            .expect("feature cache lock")
-            .set_capacity(capacity);
+        lock_recover(&self.shared.features).set_capacity(capacity);
         self.shared
             .cache_capacity
             .store(capacity, Ordering::Relaxed);
@@ -673,23 +812,18 @@ impl<'a> QueryEngine<'a> {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             evaluations: self.shared.evaluations.load(Ordering::Relaxed),
-            group_indexes: self.shared.groups.read().expect("groups lock").len(),
-            column_views: self.shared.views.read().expect("views lock").len(),
-            order_indexes: self.shared.order.read().expect("order lock").len(),
+            group_indexes: read_recover(&self.shared.groups).len(),
+            column_views: read_recover(&self.shared.views).len(),
+            order_indexes: read_recover(&self.shared.order).len(),
             feature_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
-            group_features: self
-                .shared
-                .group_feats
-                .read()
-                .expect("group feats lock")
-                .len(),
+            group_features: read_recover(&self.shared.group_feats).len(),
         }
     }
 
     /// Evaluate `query` and return its feature aligned with the training
     /// table's rows (`None` = SQL NULL), exactly as the reference
     /// execute-then-left-join path would produce.
-    pub fn evaluate(&self, query: &PredicateQuery) -> feataug_tabular::Result<Vec<Option<f64>>> {
+    pub fn evaluate(&self, query: &PredicateQuery) -> EngineResult<Vec<Option<f64>>> {
         let mut scratch = self.take_scratch();
         let result = self.evaluate_cached(&mut scratch, query);
         self.put_scratch(scratch);
@@ -699,7 +833,7 @@ impl<'a> QueryEngine<'a> {
     /// Evaluate `query` into the NaN-encoded feature vector the search loops
     /// consume, together with the feature's column name. Mirrors
     /// `feature_vector(&query.augment(train, relevant)?.0, &name)`.
-    pub fn feature(&self, query: &PredicateQuery) -> feataug_tabular::Result<(String, Vec<f64>)> {
+    pub fn feature(&self, query: &PredicateQuery) -> EngineResult<(String, Vec<f64>)> {
         let values = self.evaluate(query)?;
         let encoded = values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect();
         Ok((query.feature_name(), encoded))
@@ -713,7 +847,7 @@ impl<'a> QueryEngine<'a> {
     pub fn evaluate_batch(
         &self,
         queries: &[PredicateQuery],
-    ) -> Vec<feataug_tabular::Result<Vec<Option<f64>>>> {
+    ) -> Vec<EngineResult<Vec<Option<f64>>>> {
         self.evaluate_batch_threads(queries, workers_for_pool(queries.len()))
     }
 
@@ -723,7 +857,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
         workers: usize,
-    ) -> Vec<feataug_tabular::Result<Vec<Option<f64>>>> {
+    ) -> Vec<EngineResult<Vec<Option<f64>>>> {
         self.batch_arcs(queries, workers)
             .into_iter()
             .map(|r| r.map(|values| (*values).clone()))
@@ -736,7 +870,7 @@ impl<'a> QueryEngine<'a> {
     pub fn evaluate_batch_shared(
         &self,
         queries: &[PredicateQuery],
-    ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
+    ) -> Vec<EngineResult<Arc<Vec<Option<f64>>>>> {
         self.batch_arcs(queries, workers_for_pool(queries.len()))
     }
 
@@ -745,7 +879,7 @@ impl<'a> QueryEngine<'a> {
     pub fn feature_batch(
         &self,
         queries: &[PredicateQuery],
-    ) -> Vec<feataug_tabular::Result<(String, Vec<f64>)>> {
+    ) -> Vec<EngineResult<(String, Vec<f64>)>> {
         self.feature_batch_threads(queries, workers_for_pool(queries.len()))
     }
 
@@ -754,7 +888,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
         workers: usize,
-    ) -> Vec<feataug_tabular::Result<(String, Vec<f64>)>> {
+    ) -> Vec<EngineResult<(String, Vec<f64>)>> {
         self.batch_arcs(queries, workers)
             .into_iter()
             .zip(queries)
@@ -774,10 +908,11 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
         workers: usize,
-    ) -> Vec<feataug_tabular::Result<Arc<Vec<Option<f64>>>>> {
+    ) -> Vec<EngineResult<Arc<Vec<Option<f64>>>>> {
         fan_out(
             queries,
             workers,
+            "batch evaluation",
             || self.take_scratch(),
             |scratch| self.put_scratch(scratch),
             |scratch, query| self.evaluate_cached(scratch, query),
@@ -785,20 +920,11 @@ impl<'a> QueryEngine<'a> {
     }
 
     fn take_scratch(&self) -> EvalScratch {
-        self.shared
-            .scratch
-            .lock()
-            .expect("scratch pool lock")
-            .pop()
-            .unwrap_or_default()
+        lock_recover(&self.shared.scratch).pop().unwrap_or_default()
     }
 
     fn put_scratch(&self, scratch: EvalScratch) {
-        self.shared
-            .scratch
-            .lock()
-            .expect("scratch pool lock")
-            .push(scratch);
+        lock_recover(&self.shared.scratch).push(scratch);
     }
 
     /// Serve one request: feature-LRU lookup first, full evaluation on miss.
@@ -809,28 +935,18 @@ impl<'a> QueryEngine<'a> {
         &self,
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
-    ) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+    ) -> EngineResult<Arc<Vec<Option<f64>>>> {
         self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
         if self.shared.cache_capacity.load(Ordering::Relaxed) == 0 {
             return Ok(Arc::new(self.evaluate_uncached(scratch, query)?));
         }
         let key = FeatureCache::key(query);
-        if let Some(hit) = self
-            .shared
-            .features
-            .lock()
-            .expect("feature cache lock")
-            .get(&key)
-        {
+        if let Some(hit) = lock_recover(&self.shared.features).get(&key) {
             self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         let values = Arc::new(self.evaluate_uncached(scratch, query)?);
-        self.shared
-            .features
-            .lock()
-            .expect("feature cache lock")
-            .insert(key, values.clone());
+        lock_recover(&self.shared.features).insert(key, values.clone());
         Ok(values)
     }
 
@@ -879,6 +995,7 @@ impl<'a> QueryEngine<'a> {
         query: &PredicateQuery,
         gi: &GroupIndex,
     ) -> feataug_tabular::Result<()> {
+        crate::fail_point!("exec.kernel");
         let view = self.view(&query.agg_column)?;
         let trivial = query.predicate.is_trivial();
         if !trivial {
@@ -950,13 +1067,7 @@ impl<'a> QueryEngine<'a> {
     ) -> feataug_tabular::Result<SharedGroupFeature> {
         let gi = self.group_index(&query.group_keys)?;
         let key = FeatureCache::key(query);
-        if let Some(hit) = self
-            .shared
-            .group_feats
-            .read()
-            .expect("group feats lock")
-            .get(&key)
-        {
+        if let Some(hit) = read_recover(&self.shared.group_feats).get(&key) {
             return Ok((gi, hit.clone()));
         }
         self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
@@ -978,7 +1089,7 @@ impl<'a> QueryEngine<'a> {
         }
         self.put_scratch(scratch);
         let built = Arc::new(values);
-        let mut map = self.shared.group_feats.write().expect("group feats lock");
+        let mut map = write_recover(&self.shared.group_feats);
         // A racing worker may have inserted first; keep the canonical Arc.
         Ok((gi, map.entry(key).or_insert(built).clone()))
     }
@@ -1017,7 +1128,7 @@ impl<'a> QueryEngine<'a> {
         &self,
         queries: &[PredicateQuery],
         table: &Table,
-    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
         self.transform_threads(queries, table, workers_for_pool(queries.len()))
     }
 
@@ -1034,7 +1145,7 @@ impl<'a> QueryEngine<'a> {
         queries: &[PredicateQuery],
         table: &Table,
         workers: usize,
-    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
         let mut maps: HashMap<&[String], Arc<Vec<Option<u32>>>> = HashMap::new();
         for query in queries {
             if !maps.contains_key(query.group_keys.as_slice()) {
@@ -1049,9 +1160,11 @@ impl<'a> QueryEngine<'a> {
         fan_out(
             queries,
             workers,
+            "transform",
             || (),
             |()| (),
-            |_, query| -> feataug_tabular::Result<Vec<Option<f64>>> {
+            |_, query| -> EngineResult<Vec<Option<f64>>> {
+                crate::fail_point!("exec.gather");
                 let (_, feats) = self.group_feature(query)?;
                 let map = &maps[query.group_keys.as_slice()];
                 Ok(map
@@ -1075,13 +1188,14 @@ impl<'a> QueryEngine<'a> {
         &self,
         query: &PredicateQuery,
         key_values: &[Value],
-    ) -> feataug_tabular::Result<Option<f64>> {
+    ) -> EngineResult<Option<f64>> {
         if key_values.len() != query.group_keys.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "lookup key has {} values for {} group-key columns",
                 key_values.len(),
                 query.group_keys.len()
-            )));
+            ))
+            .into());
         }
         let (gi, feats) = self.group_feature(query)?;
         let mut key = Vec::with_capacity(key_values.len());
@@ -1116,22 +1230,28 @@ impl<'a> QueryEngine<'a> {
     /// Fetch (or build and memoize) the numeric view of a relevant-table
     /// column. The artifact is immutable; the lock guards only the memo map.
     fn view(&self, column: &str) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
-        if let Some(v) = self.shared.views.read().expect("views lock").get(column) {
+        if let Some(v) = read_recover(&self.shared.views).get(column) {
             return Ok(v.clone());
         }
         let built = Arc::new(self.relevant.column(column)?.to_f64_vec());
-        let mut map = self.shared.views.write().expect("views lock");
+        let mut map = write_recover(&self.shared.views);
         // A racing worker may have inserted first; keep the canonical Arc.
         Ok(map.entry(column.to_string()).or_insert(built).clone())
     }
 
     /// Fetch (or build and memoize) the group index for one group-key subset.
     fn group_index(&self, keys: &[String]) -> feataug_tabular::Result<Arc<GroupIndex>> {
-        if let Some(gi) = self.shared.groups.read().expect("groups lock").get(keys) {
+        if let Some(gi) = read_recover(&self.shared.groups).get(keys) {
             return Ok(gi.clone());
         }
         let built = Arc::new(build_group_index(&self.train, &self.relevant, keys)?);
-        let mut map = self.shared.groups.write().expect("groups lock");
+        let mut map = write_recover(&self.shared.groups);
+        // A panic here unwinds with the write guard held and poisons the
+        // lock; `read_recover`/`write_recover` keep the engine serving (the
+        // map is never left mid-mutation — the failpoint fires before the
+        // insert, and `HashMap::insert` of an already-built Arc is the only
+        // mutation). Chaos tests force exactly this.
+        crate::fail_point!("exec.index.insert");
         Ok(map.entry(keys.to_vec()).or_insert(built).clone())
     }
 
@@ -1177,17 +1297,13 @@ impl<'a> QueryEngine<'a> {
         gi: &GroupIndex,
         view: &[Option<f64>],
     ) -> Arc<OrderIndex> {
-        if let Some(idx) = self
-            .shared
-            .order
-            .read()
-            .expect("order lock")
-            .get(&(column.to_string(), keys.to_vec()))
+        if let Some(idx) =
+            read_recover(&self.shared.order).get(&(column.to_string(), keys.to_vec()))
         {
             return idx.clone();
         }
         let built = Arc::new(build_order_index(gi, view));
-        let mut map = self.shared.order.write().expect("order lock");
+        let mut map = write_recover(&self.shared.order);
         map.entry((column.to_string(), keys.to_vec()))
             .or_insert(built)
             .clone()
@@ -1195,7 +1311,7 @@ impl<'a> QueryEngine<'a> {
 
     /// Fetch (or build and memoize) the sorted row index for a range column.
     fn sorted_index(&self, column: &str) -> feataug_tabular::Result<Arc<SortedIndex>> {
-        if let Some(idx) = self.shared.sorted.read().expect("sorted lock").get(column) {
+        if let Some(idx) = read_recover(&self.shared.sorted).get(column) {
             return Ok(idx.clone());
         }
         let view = self.view(column)?;
@@ -1212,14 +1328,14 @@ impl<'a> QueryEngine<'a> {
             vals: pairs.iter().map(|(v, _)| *v).collect(),
             rows: pairs.iter().map(|(_, r)| *r).collect(),
         });
-        let mut map = self.shared.sorted.write().expect("sorted lock");
+        let mut map = write_recover(&self.shared.sorted);
         Ok(map.entry(column.to_string()).or_insert(built).clone())
     }
 
     /// Fetch (or build and memoize) the inverted index for a categorical
     /// column.
     fn cat_index(&self, cat: &feataug_tabular::column::CatColumn, column: &str) -> Arc<CatIndex> {
-        if let Some(idx) = self.shared.cats.read().expect("cats lock").get(column) {
+        if let Some(idx) = read_recover(&self.shared.cats).get(column) {
             return idx.clone();
         }
         let mut rows_by_code = vec![Vec::new(); cat.cardinality()];
@@ -1229,7 +1345,7 @@ impl<'a> QueryEngine<'a> {
             }
         }
         let built = Arc::new(CatIndex { rows_by_code });
-        let mut map = self.shared.cats.write().expect("cats lock");
+        let mut map = write_recover(&self.shared.cats);
         map.entry(column.to_string()).or_insert(built).clone()
     }
 
@@ -1337,6 +1453,7 @@ fn build_group_index(
     relevant: &Table,
     keys: &[String],
 ) -> feataug_tabular::Result<GroupIndex> {
+    crate::fail_point!("exec.index.build");
     let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
     if key_refs.is_empty() {
         return Err(feataug_tabular::TabularError::InvalidArgument(

@@ -111,21 +111,24 @@
 //! // Online: point lookups straight from the cached per-group features.
 //! let features = model.serve(&[Value::Str("alice".into())])?;
 //!
-//! // Production serving: upgrade to an owned (`Arc`-backed, Send + 'static)
-//! // model and prepare the allocation-free lookup handle.
-//! let owned = model.into_owned();
-//! let handle = owned.prepare()?;
+//! // Production serving: the fitted model is already owned (`Arc`-backed,
+//! // Send + Sync + 'static) — prepare the allocation-free lookup handle.
+//! let handle = model.prepare()?;
 //! let mut out = Vec::new();
 //! handle.lookup(&[Value::Str("alice".into())], &mut out)?; // zero-alloc warm path
 //!
+//! // Survivable serving: an admission-controlled tier in front of the handle
+//! // (bounded queue, deadlines, load shedding, graceful degradation) that
+//! // also supports atomic hot-swap of a recompiled model.
+//! let tier = feataug::ServingTier::new(std::sync::Arc::new(handle), feataug::TierConfig::default());
+//! let features = tier.lookup(&[Value::Str("alice".into())])?;
+//!
 //! // Ship the plan as text; recompile it elsewhere (borrowed or Arc-owned).
-//! let text = owned.plan().to_plan_text();
+//! let text = model.plan().to_plan_text();
 //! let plan = AugPlan::from_plan_text(&text).unwrap();
-//! let serving = AugModel::compile_shared(
-//!     plan,
-//!     std::sync::Arc::new(task.train.clone()),
-//!     std::sync::Arc::new(task.relevant.clone()),
-//! );
+//! let serving = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+//! let swapped_in = serving.prepare()?;
+//! tier.install(std::sync::Arc::new(swapped_in)); // atomic hot-swap; warm lookups never block
 //! std::thread::spawn(move || serving.serve(&[Value::Str("alice".into())])); // Send + 'static
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -134,6 +137,8 @@ pub mod baselines;
 pub mod encoding;
 pub mod evaluation;
 pub mod exec;
+#[cfg(any(test, feature = "failpoints"))]
+pub mod failpoint;
 pub mod generation;
 pub mod multi;
 pub mod pipeline;
@@ -144,10 +149,33 @@ pub mod serving;
 pub mod template;
 pub mod template_id;
 
-pub use exec::{default_workers, workers_for_pool, EngineStats, QueryEngine, TableHandle};
+pub use exec::{
+    default_workers, workers_for_pool, EngineError, EngineResult, EngineStats, QueryEngine,
+    TableHandle,
+};
 pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, OwnedAugModel};
 pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
 pub use query::{AugPlan, PlanParseError, PlannedQuery, PredicateQuery, QueryCodec};
+pub use serving::tier::{ServingTier, TierConfig, TierError, TierStats};
 pub use serving::ServingHandle;
 pub use template::QueryTemplate;
+
+/// Evaluate a named failpoint (see [`failpoint`]). Expands to nothing unless
+/// the build carries the `failpoints` feature or is the crate's own test
+/// build, so production binaries pay zero cost at every site.
+#[cfg(any(test, feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::failpoint::eval($name)
+    };
+}
+
+/// No-op form of [`fail_point!`] for builds without the fault-injection
+/// harness.
+#[cfg(not(any(test, feature = "failpoints")))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {};
+}

@@ -14,10 +14,13 @@
 //! engine's cache counters in its [`FeatAugResult::engine_stats`]. Engines are per-pair by
 //! construction, so distinct sources (distinct relevant tables) get distinct engines.
 
+use std::sync::Arc;
+
 use feataug_ml::Task;
 use feataug_tabular::join::left_join;
 use feataug_tabular::{Column, Table};
 
+use crate::exec::EngineResult;
 use crate::pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, PipelineTiming};
 use crate::problem::{AugTask, AugTaskError};
 use crate::query::AugPlan;
@@ -25,8 +28,9 @@ use crate::query::AugPlan;
 /// One relevant table participating in a multi-table augmentation task.
 #[derive(Debug, Clone)]
 pub struct RelevantSource {
-    /// The relevant table.
-    pub table: Table,
+    /// The relevant table (`Arc`-shared: handing it to a sub-task is a
+    /// reference-count bump, not a copy).
+    pub table: Arc<Table>,
     /// Foreign-key columns shared with the training table.
     pub key_columns: Vec<String>,
     /// Aggregation attributes offered from this table (empty = numeric defaults).
@@ -37,9 +41,9 @@ pub struct RelevantSource {
 
 impl RelevantSource {
     /// Build a source with default attribute sets.
-    pub fn new(table: Table, key_columns: Vec<String>) -> Self {
+    pub fn new(table: impl Into<Arc<Table>>, key_columns: Vec<String>) -> Self {
         RelevantSource {
-            table,
+            table: table.into(),
             key_columns,
             agg_columns: Vec::new(),
             predicate_attrs: Vec::new(),
@@ -62,8 +66,8 @@ impl RelevantSource {
 /// A feature-augmentation task with several relevant tables.
 #[derive(Debug, Clone)]
 pub struct MultiAugTask {
-    /// Training table `D`.
-    pub train: Table,
+    /// Training table `D` (`Arc`-shared across every per-source sub-task).
+    pub train: Arc<Table>,
     /// Label column in `D`.
     pub label_column: String,
     /// Downstream learning task.
@@ -74,9 +78,9 @@ pub struct MultiAugTask {
 
 impl MultiAugTask {
     /// Build a multi-table task.
-    pub fn new(train: Table, label_column: impl Into<String>, task: Task) -> Self {
+    pub fn new(train: impl Into<Arc<Table>>, label_column: impl Into<String>, task: Task) -> Self {
         MultiAugTask {
-            train,
+            train: train.into(),
             label_column: label_column.into(),
             task,
             sources: Vec::new(),
@@ -89,7 +93,9 @@ impl MultiAugTask {
         self
     }
 
-    /// The single-table sub-task for source `i` (paper Section III's reduction).
+    /// The single-table sub-task for source `i` (paper Section III's
+    /// reduction). Both tables are `Arc`-shared with this task — building a
+    /// sub-task is two reference-count bumps, never a table copy.
     pub fn sub_task(&self, i: usize) -> AugTask {
         let source = &self.sources[i];
         AugTask::new(
@@ -103,10 +109,8 @@ impl MultiAugTask {
         .with_predicate_attrs(source.predicate_attrs.clone())
     }
 
-    /// All per-source sub-tasks, in source order. [`fit_multi`] borrows the
-    /// returned tasks for the lifetime of its models, so hold the vector
-    /// alongside the [`MultiAugModel`] — or use [`fit_multi_owned`], whose
-    /// models stand alone.
+    /// All per-source sub-tasks, in source order (each an `Arc`-sharing view
+    /// of this task's tables).
     pub fn sub_tasks(&self) -> Vec<AugTask> {
         (0..self.sources.len()).map(|i| self.sub_task(i)).collect()
     }
@@ -122,9 +126,9 @@ pub struct MultiAugModel<'a> {
     models: Vec<AugModel<'a>>,
 }
 
-/// Fit one model per sub-task (see [`MultiAugTask::sub_tasks`]); the borrow
-/// keeps each model's engine anchored to its source tables
-/// ([`fit_multi_owned`] is the self-contained alternative).
+/// Fit one model per sub-task (see [`MultiAugTask::sub_tasks`]). Each model
+/// co-owns its source tables through the sub-task's `Arc`s, so the returned
+/// [`OwnedMultiAugModel`] stands alone — the sub-task vector can be dropped.
 ///
 /// ```no_run
 /// # use feataug::multi::{MultiAugTask, fit_multi};
@@ -136,10 +140,10 @@ pub struct MultiAugModel<'a> {
 /// let model = fit_multi(&FeatAugConfig::fast(ModelKind::Linear), &subs).unwrap();
 /// let augmented_train = model.transform(&task.train).unwrap();
 /// ```
-pub fn fit_multi<'a>(
+pub fn fit_multi(
     cfg: &FeatAugConfig,
-    sub_tasks: &'a [AugTask],
-) -> Result<MultiAugModel<'a>, AugTaskError> {
+    sub_tasks: &[AugTask],
+) -> Result<OwnedMultiAugModel, AugTaskError> {
     let models = sub_tasks
         .iter()
         .map(|task| FeatAug::new(cfg.clone()).fit(task))
@@ -151,23 +155,17 @@ pub fn fit_multi<'a>(
 /// (`Arc`-backed, `Send + Sync + 'static`).
 pub type OwnedMultiAugModel = MultiAugModel<'static>;
 
-/// The owned counterpart of [`fit_multi`]: fits each source's sub-task and
-/// upgrades the model in place ([`AugModel::into_owned`]), so the caller no
-/// longer has to hold a `sub_tasks` vector alive for the models' lifetime —
-/// the returned [`OwnedMultiAugModel`] stands alone and can serve from a
-/// long-running process. Each sub-task's tables are cloned once by the
-/// upgrade.
+/// [`fit_multi`] driven straight off the [`MultiAugTask`]: builds each
+/// source's sub-task on the fly (two `Arc` bumps each — no table is copied
+/// or cloned anywhere on this path) and fits it. The returned
+/// [`OwnedMultiAugModel`] stands alone and can serve from a long-running
+/// process.
 pub fn fit_multi_owned(
     cfg: &FeatAugConfig,
     task: &MultiAugTask,
 ) -> Result<OwnedMultiAugModel, AugTaskError> {
     let models = (0..task.sources.len())
-        .map(|i| {
-            let sub = task.sub_task(i);
-            FeatAug::new(cfg.clone())
-                .fit(&sub)
-                .map(AugModel::into_owned)
-        })
+        .map(|i| FeatAug::new(cfg.clone()).fit(&task.sub_task(i)))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(MultiAugModel { models })
 }
@@ -203,7 +201,7 @@ impl<'a> MultiAugModel<'a> {
     /// Feature names embed a query hash, so cross-source collisions are
     /// unlikely; a colliding (or pre-existing) column is skipped, exactly
     /// like [`augment_multi`]'s union.
-    pub fn transform(&self, table: &Table) -> feataug_tabular::Result<Table> {
+    pub fn transform(&self, table: &Table) -> EngineResult<Table> {
         let mut augmented = table.clone();
         for model in &self.models {
             for (name, values) in model.transform_features(table)? {
@@ -229,7 +227,7 @@ pub struct MultiAugResult {
 /// The per-source feature budget is the configuration's budget; callers who want a fixed total
 /// budget should divide it across sources first.
 pub fn augment_multi(cfg: &FeatAugConfig, task: &MultiAugTask) -> MultiAugResult {
-    let mut augmented = task.train.clone();
+    let mut augmented = (*task.train).clone();
     let mut per_source = Vec::new();
     let mut timing = PipelineTiming::default();
 

@@ -43,7 +43,7 @@ use feataug_ml::ModelKind;
 use feataug_tabular::{AggFunc, Column, Table, Value};
 
 use crate::evaluation::FeatureEvaluator;
-use crate::exec::{EngineStats, QueryEngine};
+use crate::exec::{EngineResult, EngineStats, QueryEngine, TableHandle};
 use crate::generation::{GeneratedQuery, QueryGenerator, SqlGenConfig};
 use crate::problem::{AugTask, AugTaskError};
 use crate::proxy::LowCostProxy;
@@ -195,11 +195,12 @@ pub struct FeatAugResult {
 /// The relevant table backs every aggregation, and clones of the engine
 /// handle share one compiled core, so transforming N tables pays each
 /// query's aggregation once. Table ownership follows the engine's
-/// [`crate::exec::TableHandle`]: `fit`/`compile` borrow the caller's tables
-/// (zero copy, the search-time shape), while [`AugModel::compile_shared`] /
-/// [`FeatAug::fit_owned`] / [`AugModel::into_owned`] produce an
+/// [`crate::exec::TableHandle`]: `compile` borrows the caller's tables
+/// (zero copy), while [`FeatAug::fit`] and [`AugModel::compile_shared`]
+/// share the task's `Arc<Table>`s directly and therefore produce an
 /// [`OwnedAugModel`] (`AugModel<'static>`, `Send + Sync`) that co-owns its
-/// tables through `Arc`s and can live in a long-running serving process.
+/// tables and can live in a long-running serving process — no table is
+/// cloned anywhere on the fit→serve path.
 pub struct AugModel<'a> {
     plan: AugPlan,
     engine: QueryEngine<'a>,
@@ -276,7 +277,7 @@ impl<'a> AugModel<'a> {
     /// slice copy — no `Debug`/SQL rendering, no [`Value`] clones, zero heap
     /// allocation on the warm path. Pays each cold query's one aggregation
     /// up front; results are bit-identical to [`AugModel::serve`].
-    pub fn prepare(&self) -> feataug_tabular::Result<crate::serving::ServingHandle> {
+    pub fn prepare(&self) -> EngineResult<crate::serving::ServingHandle> {
         crate::serving::ServingHandle::prepare(&self.engine, &self.plan)
     }
 
@@ -327,7 +328,7 @@ impl<'a> AugModel<'a> {
     pub fn transform_features(
         &self,
         table: &Table,
-    ) -> feataug_tabular::Result<Vec<(String, Vec<Option<f64>>)>> {
+    ) -> EngineResult<Vec<(String, Vec<Option<f64>>)>> {
         let queries: Vec<PredicateQuery> =
             self.plan.queries.iter().map(|p| p.query.clone()).collect();
         let features = self.engine.transform(&queries, table)?;
@@ -352,7 +353,7 @@ impl<'a> AugModel<'a> {
     /// away). Returns the augmented table and the attached column names
     /// (planned columns whose name already exists in `table` are skipped,
     /// like the historical path).
-    pub fn transform_named(&self, table: &Table) -> feataug_tabular::Result<(Table, Vec<String>)> {
+    pub fn transform_named(&self, table: &Table) -> EngineResult<(Table, Vec<String>)> {
         let mut augmented = table.clone();
         let mut names = Vec::new();
         for (name, values) in self.transform_features(table)? {
@@ -367,7 +368,7 @@ impl<'a> AugModel<'a> {
     }
 
     /// [`AugModel::transform_named`], returning just the augmented table.
-    pub fn transform(&self, table: &Table) -> feataug_tabular::Result<Table> {
+    pub fn transform(&self, table: &Table) -> EngineResult<Table> {
         self.transform_named(table).map(|(table, _)| table)
     }
 
@@ -381,13 +382,14 @@ impl<'a> AugModel<'a> {
     /// Lookups read the cached per-group features (two hash probes after a
     /// query's first use), so a warm model answers point requests without
     /// touching the relevant table.
-    pub fn serve(&self, key: &[Value]) -> feataug_tabular::Result<Vec<Option<f64>>> {
+    pub fn serve(&self, key: &[Value]) -> EngineResult<Vec<Option<f64>>> {
         if key.len() != self.plan.key_columns.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "serve key has {} values for {} key columns",
                 key.len(),
                 self.plan.key_columns.len()
-            )));
+            ))
+            .into());
         }
         self.plan
             .queries
@@ -454,15 +456,24 @@ impl FeatAug {
     /// The task is validated up front — a malformed task (missing label,
     /// mismatched keys, ghost attributes) fails fast with an
     /// [`AugTaskError`] instead of panicking mid-search.
-    pub fn fit<'t>(&self, task: &'t AugTask) -> Result<AugModel<'t>, AugTaskError> {
+    ///
+    /// The engine co-owns the task's tables (an `Arc` bump each — the task
+    /// itself holds them in `Arc`s), so the returned model is already the
+    /// `Send + Sync + 'static` [`OwnedAugModel`] shape with no table clone
+    /// anywhere on the path.
+    pub fn fit(&self, task: &AugTask) -> Result<OwnedAugModel, AugTaskError> {
         task.validate()?;
         let evaluator = FeatureEvaluator::new(task, self.cfg.model, self.cfg.seed);
         let mut timing = PipelineTiming::default();
 
         // One execution engine per run: QTI compiles group indexes / views
         // while scoring beam nodes, and the generator's search loops reuse
-        // them through the cloned handle below.
-        let engine = QueryEngine::new(&task.train, &task.relevant);
+        // them through the cloned handle below. The handles share the task's
+        // `Arc<Table>`s — no copy, and the model outlives the task borrow.
+        let engine = QueryEngine::with_handles(
+            TableHandle::Shared(task.train.clone()),
+            TableHandle::Shared(task.relevant.clone()),
+        );
 
         // ---- Query Template Identification ------------------------------------------------
         let templates: Vec<ScoredTemplate> = if self.cfg.enable_qti {
@@ -544,14 +555,12 @@ impl FeatAug {
         })
     }
 
-    /// [`FeatAug::fit`] followed by [`AugModel::into_owned`]: the returned
-    /// [`OwnedAugModel`] co-owns its tables (`Arc`-backed, `Send + Sync +
-    /// 'static`), keeps every artifact the fit compiled, and no longer
-    /// borrows the task — so it can be handed to a serving thread or held
-    /// for the life of a process. The task's two tables are cloned once by
-    /// the upgrade.
+    /// Alias of [`FeatAug::fit`], kept for the historical borrow/own API
+    /// split: `fit` now co-owns the task's `Arc`-held tables directly, so
+    /// the returned [`OwnedAugModel`] is `Send + Sync + 'static` without
+    /// any table clone.
     pub fn fit_owned(&self, task: &AugTask) -> Result<OwnedAugModel, AugTaskError> {
-        self.fit(task).map(AugModel::into_owned)
+        self.fit(task)
     }
 
     /// Run the full historical one-shot pipeline: [`FeatAug::fit`] followed
@@ -732,7 +741,7 @@ mod tests {
     /// with the search-time feature vectors. The transform path must
     /// reproduce it bit for bit.
     fn seed_materialise(task: &AugTask, queries: &[GeneratedQuery]) -> (Table, Vec<String>) {
-        let mut augmented = task.train.clone();
+        let mut augmented = (*task.train).clone();
         let mut feature_names = Vec::new();
         for q in queries {
             let values: Vec<Option<f64>> = q

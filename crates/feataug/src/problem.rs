@@ -2,6 +2,7 @@
 //! validation errors a malformed instance surfaces ([`AugTaskError`]).
 
 use std::fmt;
+use std::sync::Arc;
 
 use feataug_ml::Task;
 use feataug_tabular::{DataType, Table};
@@ -93,12 +94,17 @@ impl std::error::Error for AugTaskError {}
 /// A feature-augmentation task: the training table `D`, the relevant table `R`, the foreign-key
 /// columns linking them, the label, the downstream learning task, and the attribute sets
 /// FeatAug may use for aggregation (`A`) and predicates (`attr`).
+///
+/// The tables are held under `Arc` so a fitted model (and every sub-task of a
+/// multi-source chain) can share them without further clones — cloning a task
+/// is a refcount bump. `&task.train` still derefs to `&Table` everywhere;
+/// mutate a table in place with [`Arc::make_mut`] (tests do).
 #[derive(Debug, Clone)]
 pub struct AugTask {
     /// Training table `D` (contains the key columns and the label column).
-    pub train: Table,
+    pub train: Arc<Table>,
     /// Relevant table `R` (contains the key columns and the candidate feature attributes).
-    pub relevant: Table,
+    pub relevant: Arc<Table>,
     /// Foreign-key / group-by columns shared by `D` and `R` (paper's `K`).
     pub key_columns: Vec<String>,
     /// Name of the label column in `train`.
@@ -117,15 +123,15 @@ impl AugTask {
     /// Build a task; `agg_columns` / `predicate_attrs` start empty and are resolved to their
     /// defaults by [`AugTask::resolved_agg_columns`] / [`AugTask::resolved_predicate_attrs`].
     pub fn new(
-        train: Table,
-        relevant: Table,
+        train: impl Into<Arc<Table>>,
+        relevant: impl Into<Arc<Table>>,
         key_columns: Vec<String>,
         label_column: impl Into<String>,
         task: Task,
     ) -> Self {
         AugTask {
-            train,
-            relevant,
+            train: train.into(),
+            relevant: relevant.into(),
             key_columns,
             label_column: label_column.into(),
             task,
@@ -367,10 +373,10 @@ mod tests {
 
         // Key present on both sides with clashing types: int vs categorical.
         let mut task = toy_task();
-        task.train
+        Arc::make_mut(&mut task.train)
             .add_column("kk", Column::from_i64s(&[1, 2]))
             .unwrap();
-        task.relevant
+        Arc::make_mut(&mut task.relevant)
             .add_column("kk", Column::from_strs(&["1", "2", "3"]))
             .unwrap();
         task.key_columns = vec!["kk".into()];

@@ -28,6 +28,12 @@
 //! ([`workers_for_pool`]; `FEATAUG_THREADS` stays authoritative). The handle
 //! is `Send + Sync + 'static`: share one behind an `Arc` across every
 //! request thread of a serving process.
+//!
+//! The [`tier`] submodule stacks the production concerns on top of the
+//! handle: an admission-controlled request queue with deadlines and load
+//! shedding, and an atomic model hot-swap cell.
+
+pub mod tier;
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -36,7 +42,7 @@ use std::sync::Arc;
 use feataug_tabular::groupby::KeyAtom;
 use feataug_tabular::{Column, Value};
 
-use crate::exec::{fan_out, workers_for_pool, GroupIndex, QueryEngine};
+use crate::exec::{fan_out, workers_for_pool, EngineResult, GroupIndex, QueryEngine};
 use crate::query::AugPlan;
 
 /// Key subsets up to this many columns are atomized into a stack buffer;
@@ -173,10 +179,7 @@ impl ServingHandle {
     /// the feature slots, and pre-build one key probe per distinct group-key
     /// subset. Errors when a query's aggregation fails, a group key is not a
     /// plan key column, or a key column is missing from the relevant table.
-    pub(crate) fn prepare(
-        engine: &QueryEngine<'_>,
-        plan: &AugPlan,
-    ) -> feataug_tabular::Result<ServingHandle> {
+    pub(crate) fn prepare(engine: &QueryEngine<'_>, plan: &AugPlan) -> EngineResult<ServingHandle> {
         // Group the plan's queries by key subset, first-appearance order.
         let mut subset_order: Vec<Vec<String>> = Vec::new();
         let mut indexes: HashMap<Vec<String>, Arc<GroupIndex>> = HashMap::new();
@@ -272,13 +275,15 @@ impl ServingHandle {
     /// feature is a slice read. No `Debug`/SQL rendering, no [`Value`]
     /// clones. Results are bit-identical to
     /// [`crate::pipeline::AugModel::serve`].
-    pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> feataug_tabular::Result<()> {
+    pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> EngineResult<()> {
+        crate::fail_point!("serving.lookup");
         if key.len() != self.key_columns.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "lookup key has {} values for {} key columns",
                 key.len(),
                 self.key_columns.len()
-            )));
+            ))
+            .into());
         }
         out.clear();
         out.resize(self.slots.len(), None);
@@ -295,7 +300,7 @@ impl ServingHandle {
 
     /// [`ServingHandle::lookup`] into a fresh vector (allocates; the
     /// buffer-reusing form is the hot path).
-    pub fn lookup_vec(&self, key: &[Value]) -> feataug_tabular::Result<Vec<Option<f64>>> {
+    pub fn lookup_vec(&self, key: &[Value]) -> EngineResult<Vec<Option<f64>>> {
         let mut out = Vec::with_capacity(self.slots.len());
         self.lookup(key, &mut out)?;
         Ok(out)
@@ -307,29 +312,38 @@ impl ServingHandle {
     /// serial [`ServingHandle::lookup`] calls at any worker count. Key
     /// arities are validated up front so a malformed request errors before
     /// any work.
-    pub fn lookup_batch(
-        &self,
-        keys: &[Vec<Value>],
-    ) -> feataug_tabular::Result<Vec<Vec<Option<f64>>>> {
+    pub fn lookup_batch(&self, keys: &[Vec<Value>]) -> EngineResult<Vec<Vec<Option<f64>>>> {
         for key in keys {
             if key.len() != self.key_columns.len() {
                 return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                     "lookup key has {} values for {} key columns",
                     key.len(),
                     self.key_columns.len()
-                )));
+                ))
+                .into());
             }
         }
-        Ok(fan_out(
+        self.try_lookup_batch(keys).into_iter().collect()
+    }
+
+    /// Panic-contained batch lookup with **per-request** outcomes:
+    /// `results[i]` is `keys[i]`'s features or its own typed error, so one
+    /// panicking (or malformed) request cannot fail its batch-mates — the
+    /// shape the admission-controlled tier serves from. Values are
+    /// bit-identical to serial [`ServingHandle::lookup`] calls at any worker
+    /// count.
+    pub fn try_lookup_batch(&self, keys: &[Vec<Value>]) -> Vec<EngineResult<Vec<Option<f64>>>> {
+        fan_out(
             keys,
             workers_for_pool(keys.len()),
+            "batch lookup",
             || Vec::with_capacity(self.slots.len()),
             |_| (),
             |row, key| {
-                self.lookup(key, row).expect("arity checked above");
-                row.clone()
+                self.lookup(key, row)?;
+                Ok(row.clone())
             },
-        ))
+        )
     }
 }
 

@@ -80,14 +80,27 @@ impl Criterion {
         self.target = target;
         self
     }
+
+    /// Accepted for API compatibility; this harness sizes iteration counts
+    /// from the time budget, not a fixed sample count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
 }
 
-/// Group benchmark functions, mirroring `criterion_group!`.
+/// Group benchmark functions, mirroring `criterion_group!` (both the simple
+/// form and the `name/config/targets` form).
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
             let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
             $($target(&mut c);)+
         }
     };

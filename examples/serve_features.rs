@@ -13,14 +13,20 @@
 //! 3. **serve** a single key, as an online feature store would per request;
 //! 4. ship the portable **plan** as text and recompile it into a fresh
 //!    serving model, as a separate serving process would;
-//! 5. go **production-shaped**: upgrade to an owned (`Arc`-backed,
-//!    `Send + 'static`) model, move it onto a serving thread, and answer
-//!    requests through a prepared [`feataug::ServingHandle`] — the
+//! 5. go **production-shaped**: the fitted model already co-owns its tables
+//!    (`Arc`-backed, `Send + 'static`), so move it onto a serving thread and
+//!    answer requests through a prepared [`feataug::ServingHandle`] — the
 //!    allocation-free hot path (`lookup` into a reused buffer, `lookup_batch`
-//!    across the worker pool).
+//!    across the worker pool);
+//! 6. put a **survivable front door** on it: a [`feataug::ServingTier`] with
+//!    admission control, per-request deadlines with graceful degradation,
+//!    and atomic **hot-swap** of a recompiled model under live traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use feataug::pipeline::AugModel;
-use feataug::{AugPlan, FeatAug, FeatAugConfig};
+use feataug::{AugPlan, FeatAug, FeatAugConfig, ServingTier, TierConfig};
 use feataug_ml::ModelKind;
 use feataug_repro::to_aug_task;
 use feataug_tabular::Value;
@@ -35,7 +41,7 @@ fn main() {
     let fit_rows: Vec<usize> = (0..n * 4 / 5).collect();
     let test_rows: Vec<usize> = (n * 4 / 5..n).collect();
     let mut task = full_task.clone();
-    task.train = full_task.train.take(&fit_rows);
+    task.train = full_task.train.take(&fit_rows).into();
     let test_split = full_task.train.take(&test_rows);
 
     // ---- 1. Fit: discover predicate-aware queries offline ----------------------------------
@@ -98,11 +104,11 @@ fn main() {
     println!("recompiled model serves identical features ✓");
 
     // ---- 5. Production serving: owned model + prepared lookup handle -----------------------
-    // `into_owned` upgrades the fitted model to Arc-backed table ownership,
-    // keeping every compiled artifact — it is now `Send + Sync + 'static`
-    // and can move onto a serving thread (a fresh process would use
-    // `FeatAug::fit_owned` or `AugModel::compile_shared` directly).
-    let owned = model.into_owned();
+    // The fitted model already co-owns its tables through the task's `Arc`s
+    // (`Send + Sync + 'static`), so it moves onto a serving thread as-is
+    // (a separate process would use `AugModel::compile_shared` directly).
+    let tier_handle = Arc::new(model.prepare().expect("prepare tier handle"));
+    let owned = model;
     let keys: Vec<Vec<Value>> = (0..test_split.num_rows().min(64))
         .map(|row| {
             task.key_columns
@@ -111,7 +117,7 @@ fn main() {
                 .collect()
         })
         .collect();
-    let expected = features;
+    let expected = features.clone();
     let server = std::thread::spawn(move || {
         let handle = owned.prepare().expect("prepare serving handle");
         // The hot path: reuse one output buffer; warm lookups allocate
@@ -134,5 +140,48 @@ fn main() {
     println!(
         "owned model served {n_features} features x {n_served} keys from a spawned thread \
          via the prepared handle ✓"
+    );
+
+    // ---- 6. Survivable front door: admission control, deadlines, hot-swap ------------------
+    // The tier queues requests behind a bounded admission gate, applies a
+    // per-request deadline (degrading to the documented all-NULL row instead
+    // of erroring when one fires), and serves from an epoch cell a
+    // background refit can atomically swap.
+    let bits = |row: &[Option<f64>]| row.iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>();
+    let tier = ServingTier::new(
+        Arc::clone(&tier_handle),
+        TierConfig {
+            default_deadline: Some(Duration::from_millis(50)),
+            ..TierConfig::default()
+        },
+    );
+    let row = tier.lookup(&key).expect("tier lookup");
+    assert_eq!(
+        bits(&row),
+        bits(&features),
+        "the tier must answer exactly what the handle answers"
+    );
+    println!(
+        "\ntier answered through admission control (generation {}) ✓",
+        tier.generation()
+    );
+
+    // A "background refit" ships its plan; recompile against the shared
+    // tables and hot-swap it in — lookups in flight finish on the model
+    // their batch pinned, the next batch serves the new one.
+    let shipped = AugPlan::from_plan_text(&text).expect("round trip");
+    let next = AugModel::compile_shared(shipped, task.train.clone(), task.relevant.clone());
+    let generation = tier.install(Arc::new(next.prepare().expect("prepare swapped handle")));
+    let after = tier.lookup(&key).expect("tier lookup after swap");
+    assert_eq!(
+        bits(&after),
+        bits(&row),
+        "same plan over the same tables must serve identical features"
+    );
+    let stats = tier.stats();
+    println!(
+        "hot-swapped to generation {generation} under a live tier \
+         (submitted {} answered {} shed {} degraded {}) ✓",
+        stats.submitted, stats.answered, stats.shed, stats.degraded
     );
 }

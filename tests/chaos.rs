@@ -1,0 +1,481 @@
+//! Chaos suite: fault injection against the serving stack (PR 6,
+//! "survivable serving").
+//!
+//! Every test here arms a named failpoint (see `feataug::failpoint`) to force
+//! a panic, a delay, or a genuinely poisoned lock somewhere inside the engine
+//! or the serving tier, then asserts the two survivability invariants:
+//!
+//! 1. **Blast radius is one request.** A worker panicking on one item fails
+//!    that item with a typed [`EngineError::WorkerPanic`]; every other item's
+//!    answer is bit-identical to a clean serial engine's.
+//! 2. **Nothing is permanently broken.** After the fault — including a memo
+//!    map poisoned mid-insert — the same engine keeps answering correctly.
+//!
+//! Failpoints are process-global, so the tests serialize on [`CHAOS_LOCK`]
+//! and reset the registry on entry and exit. Build with
+//! `--features failpoints` (CI runs this binary in its own job).
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use feataug::failpoint::{self, Action};
+use feataug::pipeline::AugModel;
+use feataug::{
+    AugPlan, EngineError, PlannedQuery, PredicateQuery, QueryCodec, QueryEngine, QueryTemplate,
+    ServingTier, TierConfig, TierError,
+};
+use feataug_datagen::GenConfig;
+use feataug_repro::to_aug_task;
+use feataug_tabular::{AggFunc, Value};
+use rand::SeedableRng;
+
+/// Serializes the chaos tests: the failpoint registry is process-global.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A guard that resets every failpoint on entry and on drop (even when the
+/// test body panics), so one failing test cannot leak armed failpoints into
+/// the next.
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ChaosGuard {
+    fn acquire() -> ChaosGuard {
+        let guard = CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        failpoint::reset();
+        ChaosGuard(guard)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        failpoint::reset();
+    }
+}
+
+fn dataset(seed: u64) -> feataug_datagen::SyntheticDataset {
+    feataug_datagen::generate_by_name(
+        feataug_datagen::one_to_many_names()[0],
+        &GenConfig::tiny().with_seed(seed),
+    )
+    .unwrap()
+}
+
+/// A randomized query pool over the dataset's codec (distinct queries, so a
+/// failed item maps to exactly one pool slot).
+fn random_pool(ds: &feataug_datagen::SyntheticDataset, seed: u64, n: usize) -> Vec<PredicateQuery> {
+    let template = QueryTemplate::new(
+        AggFunc::all().to_vec(),
+        ds.agg_columns.clone(),
+        ds.predicate_attrs.clone(),
+        ds.key_columns.clone(),
+    );
+    let codec = QueryCodec::build(&template, &ds.relevant).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while pool.len() < n {
+        let query = codec.decode(&codec.space().sample(&mut rng));
+        if seen.insert(format!("{query:?}")) {
+            pool.push(query);
+        }
+    }
+    pool
+}
+
+fn plan_from(ds: &feataug_datagen::SyntheticDataset, pool: &[PredicateQuery]) -> AugPlan {
+    AugPlan::new(
+        ds.relevant.name(),
+        ds.key_columns.clone(),
+        pool.iter()
+            .map(|query| PlannedQuery {
+                query: query.clone(),
+                loss: 0.0,
+            })
+            .collect(),
+    )
+}
+
+fn bits(values: &[Option<f64>]) -> Vec<Option<u64>> {
+    values.iter().map(|v| v.map(f64::to_bits)).collect()
+}
+
+/// A kernel panic under 8-thread batch evaluation fails exactly the hit
+/// items; every surviving item is bit-identical to a clean serial engine.
+#[test]
+fn kernel_panic_fails_only_the_affected_request() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(41);
+    let pool = random_pool(&ds, 0xc0de, 12);
+
+    // Clean serial reference first (its engine never sees a failpoint).
+    let clean = QueryEngine::new(&ds.train, &ds.relevant);
+    let reference: Vec<Vec<Option<f64>>> = pool
+        .iter()
+        .map(|query| clean.evaluate(query).unwrap())
+        .collect();
+
+    failpoint::set_times("exec.kernel", Action::Panic, 1);
+    let engine = QueryEngine::new(&ds.train, &ds.relevant);
+    let results = engine.evaluate_batch_threads(&pool, 8);
+    assert_eq!(failpoint::hits("exec.kernel"), 1);
+
+    let mut failed = 0;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(values) => assert_eq!(bits(values), bits(&reference[i]), "survivor {i} diverged"),
+            Err(EngineError::WorkerPanic { context, message }) => {
+                failed += 1;
+                assert_eq!(*context, "batch evaluation");
+                assert!(message.contains("exec.kernel"), "got: {message}");
+            }
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+    assert_eq!(failed, 1, "exactly the hit request fails");
+
+    // The engine is not poisoned: re-evaluating the failed pool serially on
+    // the SAME engine now answers everything, bit-identical to the reference.
+    for (i, query) in pool.iter().enumerate() {
+        assert_eq!(bits(&engine.evaluate(query).unwrap()), bits(&reference[i]));
+    }
+}
+
+/// A panic raised while the group-index memo map's write lock is held
+/// genuinely poisons that `RwLock`; the engine must recover (the map is
+/// never left mid-mutation) and keep serving the same answers.
+#[test]
+fn poisoned_memo_map_recovers() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(43);
+    let pool = random_pool(&ds, 0xdead, 4);
+
+    let clean = QueryEngine::new(&ds.train, &ds.relevant);
+    let reference: Vec<Vec<Option<f64>>> = pool
+        .iter()
+        .map(|query| clean.evaluate(query).unwrap())
+        .collect();
+
+    // Fire inside the write-lock scope. The contained batch worker unwinds
+    // with the guard held — the poison is real, not simulated.
+    failpoint::set_times("exec.index.insert", Action::Panic, 1);
+    let engine = QueryEngine::new(&ds.train, &ds.relevant);
+    let first = engine.evaluate_batch_threads(&pool[..1], 1);
+    assert_eq!(failpoint::hits("exec.index.insert"), 1);
+    assert!(
+        matches!(first[0], Err(EngineError::WorkerPanic { .. })),
+        "the poisoning request itself fails typed: {first:?}"
+    );
+
+    // Same engine, poisoned lock: every later evaluation recovers and the
+    // answers match the clean engine bit for bit.
+    for (i, query) in pool.iter().enumerate() {
+        assert_eq!(
+            bits(&engine.evaluate(query).unwrap()),
+            bits(&reference[i]),
+            "post-poison answer {i} diverged"
+        );
+    }
+}
+
+/// A gather panic on the transform path fails only the hit query's column;
+/// the other planned features still come back bit-identical.
+#[test]
+fn transform_gather_panic_is_contained() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(47);
+    let pool = random_pool(&ds, 0xfeed, 6);
+
+    let clean = QueryEngine::new(&ds.train, &ds.relevant);
+    let reference = clean.transform(&pool, &ds.train).unwrap();
+
+    failpoint::set_times("exec.gather", Action::Panic, 1);
+    let engine = QueryEngine::new(&ds.train, &ds.relevant);
+    let err = engine
+        .transform(&pool, &ds.train)
+        .expect_err("one gather panicked, the batch transform must surface it");
+    assert!(
+        matches!(err, EngineError::WorkerPanic { context, .. } if context == "transform"),
+        "typed worker panic expected"
+    );
+
+    // The engine survives: the same transform on the same engine now
+    // succeeds and matches the clean run.
+    let again = engine.transform(&pool, &ds.train).unwrap();
+    for (i, (got, want)) in again.iter().zip(&reference).enumerate() {
+        assert_eq!(bits(got), bits(want), "query {i} diverged after recovery");
+    }
+}
+
+/// 8 threads hammer one serving tier while lookups randomly panic under it:
+/// the tier never crashes, failed requests surface typed, survivors are
+/// bit-identical to a clean handle, and the tier still answers afterwards.
+#[test]
+fn tier_survives_panicking_lookups_under_contention() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(53);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xbeef, 4);
+    let plan = plan_from(&ds, &pool);
+
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let handle = std::sync::Arc::new(model.prepare().unwrap());
+
+    let keys: Vec<Vec<Value>> = (0..task.train.num_rows().min(32))
+        .map(|row| {
+            task.key_columns
+                .iter()
+                .map(|k| task.train.value(row, k).unwrap())
+                .collect()
+        })
+        .collect();
+    // Clean reference before arming anything (warms the shared engine too,
+    // so the panics below hit pure cache-read lookups — the serving shape).
+    let reference: Vec<Vec<Option<f64>>> = keys
+        .iter()
+        .map(|k| {
+            let mut out = Vec::new();
+            handle.lookup(k, &mut out).unwrap();
+            out
+        })
+        .collect();
+
+    let tier = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 4,
+            ..TierConfig::default()
+        },
+    );
+    failpoint::set_times("serving.lookup", Action::Panic, 6);
+
+    let panics = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let tier = &tier;
+            let keys = &keys;
+            let reference = &reference;
+            let panics = &panics;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for (i, key) in keys.iter().enumerate() {
+                        match tier.lookup(key) {
+                            Ok(row) => assert_eq!(
+                                bits(&row),
+                                bits(&reference[i]),
+                                "thread {t} round {round} key {i} diverged"
+                            ),
+                            Err(TierError::Engine(EngineError::WorkerPanic {
+                                message, ..
+                            })) => {
+                                assert!(message.contains("serving.lookup"), "got: {message}");
+                                panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected tier error: {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let contained = panics.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(contained, 6, "every armed panic surfaced as a typed error");
+    assert_eq!(tier.stats().worker_panics, 6);
+    // The tier's workers are all still alive and serving.
+    assert_eq!(bits(&tier.lookup(&keys[0]).unwrap()), bits(&reference[0]));
+}
+
+/// Deadlines that expire while requests sit behind a stalled worker batch:
+/// degradation answers the documented all-NULL row, strict mode errors —
+/// and in both modes the process, the tier and later requests survive.
+#[test]
+fn stalled_batches_expire_deadlines_gracefully() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(59);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xaaaa, 3);
+    let plan = plan_from(&ds, &pool);
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let handle = std::sync::Arc::new(model.prepare().unwrap());
+
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| task.train.value(0, k).unwrap())
+        .collect();
+    let mut want = Vec::new();
+    handle.lookup(&key, &mut want).unwrap();
+
+    // Every batch stalls 30ms; a 1ms deadline is guaranteed to expire while
+    // its request waits. One worker serializes the queue behind the stall.
+    failpoint::set("tier.batch", Action::Delay(Duration::from_millis(30)));
+    let tier = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 1,
+            max_batch: 1,
+            ..TierConfig::default()
+        },
+    );
+    let pending: Vec<_> = (0..8)
+        .map(|_| {
+            tier.submit_deadline(key.clone(), Some(Duration::from_millis(1)))
+                .unwrap()
+        })
+        .collect();
+    // Under degradation every answer is Ok; expired ones are all-NULL.
+    let degraded = pending
+        .into_iter()
+        .map(|p| p.wait().unwrap())
+        .filter(|row| row.iter().all(|v| v.is_none()))
+        .count();
+    assert!(
+        degraded >= 7,
+        "with a 30ms stall per batch, nearly every 1ms-deadline request must degrade (got {degraded}/8)"
+    );
+    assert_eq!(tier.stats().degraded, degraded);
+
+    // Disarm: the same tier immediately serves real answers again.
+    failpoint::clear("tier.batch");
+    assert_eq!(bits(&tier.lookup(&key).unwrap()), bits(&want));
+
+    // Strict mode: the expiry is a typed error instead of a NULL row.
+    failpoint::set("tier.batch", Action::Delay(Duration::from_millis(30)));
+    let strict = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 1,
+            max_batch: 1,
+            degrade_on_deadline: false,
+            ..TierConfig::default()
+        },
+    );
+    let err = strict
+        .lookup_deadline(&key, Duration::from_millis(1))
+        .unwrap_err();
+    assert!(matches!(err, TierError::DeadlineExceeded), "got {err:?}");
+    failpoint::clear("tier.batch");
+    assert_eq!(bits(&strict.lookup(&key).unwrap()), bits(&want));
+}
+
+/// Flooding a tiny tier behind a stalled worker trips admission control:
+/// some requests shed with a typed error, every admitted request still
+/// answers correctly, and the counters reconcile exactly.
+#[test]
+fn overload_sheds_at_admission_and_admitted_requests_survive() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(61);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xbbbb, 3);
+    let plan = plan_from(&ds, &pool);
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let handle = std::sync::Arc::new(model.prepare().unwrap());
+
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| task.train.value(1, k).unwrap())
+        .collect();
+    let mut want = Vec::new();
+    handle.lookup(&key, &mut want).unwrap();
+
+    failpoint::set("tier.batch", Action::Delay(Duration::from_millis(5)));
+    let tier = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 1,
+            queue_capacity: 4,
+            shed_watermark: 2,
+            max_batch: 1,
+            ..TierConfig::default()
+        },
+    );
+
+    let mut pending = Vec::new();
+    let mut shed = 0;
+    for _ in 0..64 {
+        match tier.submit(key.clone()) {
+            Ok(p) => pending.push(p),
+            Err(TierError::Shed { depth }) => {
+                assert!(depth >= 2, "shed below the watermark (depth {depth})");
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other:?}"),
+        }
+    }
+    assert!(shed > 0, "the flood must trip admission control");
+    let admitted = pending.len();
+    for p in pending {
+        assert_eq!(bits(&p.wait().unwrap()), bits(&want));
+    }
+    let stats = tier.stats();
+    assert_eq!(stats.submitted, 64);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.answered, admitted);
+}
+
+/// Hot-swap under fire: while 4 threads stream lookups, a background thread
+/// repeatedly installs recompiled models. Every answer must come from one
+/// coherent model (old bits or new bits, never a mixture), and the final
+/// generation must match the number of installs.
+#[test]
+fn hot_swap_under_concurrent_load_is_atomic() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(67);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xcccc, 3);
+
+    // Two models over the SAME tables but different plans (the second drops
+    // one query), so old/new answers differ in length — an incoherent read
+    // would be instantly visible.
+    let plan_a = plan_from(&ds, &pool);
+    let plan_b = plan_from(&ds, &pool[..2]);
+    let handle_a = std::sync::Arc::new(
+        AugModel::compile_shared(plan_a, task.train.clone(), task.relevant.clone())
+            .prepare()
+            .unwrap(),
+    );
+    let handle_b = std::sync::Arc::new(
+        AugModel::compile_shared(plan_b, task.train.clone(), task.relevant.clone())
+            .prepare()
+            .unwrap(),
+    );
+
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| task.train.value(2, k).unwrap())
+        .collect();
+    let mut want_a = Vec::new();
+    handle_a.lookup(&key, &mut want_a).unwrap();
+    let mut want_b = Vec::new();
+    handle_b.lookup(&key, &mut want_b).unwrap();
+    assert_ne!(want_a.len(), want_b.len());
+
+    let tier = ServingTier::new(std::sync::Arc::clone(&handle_a), TierConfig::default());
+    let installs = 20;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        for _ in 0..4 {
+            let tier = &tier;
+            let (want_a, want_b) = (&want_a, &want_b);
+            let key = &key;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let row = tier.lookup(key).unwrap();
+                    let coherent = bits(&row) == bits(want_a) || bits(&row) == bits(want_b);
+                    assert!(coherent, "lookup saw a torn model: {row:?}");
+                }
+            });
+        }
+        for i in 0..installs {
+            let next = if i % 2 == 0 { &handle_b } else { &handle_a };
+            tier.install(std::sync::Arc::clone(next));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(tier.generation(), installs);
+    assert_eq!(tier.stats().generation, installs);
+}

@@ -79,8 +79,8 @@ proptest! {
         // Owned model (Arc-backed): nothing below borrows the task tables.
         let model = AugModel::compile_shared(
             plan,
-            Arc::new(task.train.clone()),
-            Arc::new(task.relevant.clone()),
+            task.train.clone(),
+            task.relevant.clone(),
         );
         let handle = model.prepare().unwrap();
         prop_assert_eq!(handle.feature_names(), feature_names.as_slice());
@@ -280,8 +280,8 @@ fn concurrent_serving_is_bit_identical_to_serial() {
     let plan = random_plan(&ds, 0x5eed, 6);
     let model = Arc::new(AugModel::compile_shared(
         plan,
-        Arc::new(task.train.clone()),
-        Arc::new(task.relevant.clone()),
+        task.train.clone(),
+        task.relevant.clone(),
     ));
 
     // Keys: every train row plus unseen/NULL adversaries.
@@ -306,8 +306,8 @@ fn concurrent_serving_is_bit_identical_to_serial() {
     // the lazy compilation of every group index, view and per-group feature.
     let reference_model = AugModel::compile_shared(
         model.plan().clone(),
-        Arc::new(task.train.clone()),
-        Arc::new(task.relevant.clone()),
+        task.train.clone(),
+        task.relevant.clone(),
     );
     let reference: Vec<Vec<Option<f64>>> = keys
         .iter()
