@@ -238,7 +238,13 @@ fn main() {
         .collect();
     let n_planned = planned.len();
     let plan = AugPlan::new(ds.relevant.name(), ds.key_columns.clone(), planned);
-    let model = AugModel::compile(plan, &ds.train, &ds.relevant);
+    // Shared table ownership: the serving tier (and the ingest harness's
+    // scoped lookup threads) need a `'static` handle.
+    let model = AugModel::compile_shared(
+        plan,
+        std::sync::Arc::new(ds.train.clone()),
+        std::sync::Arc::new(ds.relevant.clone()),
+    );
     let train_rows = ds.train.num_rows();
     let big_indices: Vec<usize> = (0..train_rows * 10).map(|i| i % train_rows).collect();
     let big = ds.train.take(&big_indices);
@@ -386,6 +392,70 @@ fn main() {
         "every request either answered or shed"
     );
 
+    // ---- Live ingestion under closed-loop lookups (the epoch path) --------
+    // Client threads hammer one prepared handle in a closed loop while the
+    // main thread appends relevant-table batches through `append_relevant`.
+    // `ingest_rows_per_sec` is the pure append throughput (copy-on-write
+    // epoch build + publish); `staleness_us` is the median delay from an
+    // epoch's publication until the concurrently-hammered handle serves it —
+    // the freshness lag a feature server actually exposes.
+    let ingest_model = AugModel::compile_shared(
+        model.plan().clone(),
+        std::sync::Arc::new(ds.train.clone()),
+        std::sync::Arc::new(ds.relevant.clone()),
+    );
+    let ingest_handle = ingest_model.prepare().expect("prepare ingest handle");
+    const INGEST_BATCHES: usize = 8;
+    const INGEST_BATCH_ROWS: usize = 512;
+    let batch_indices: Vec<usize> = (0..INGEST_BATCH_ROWS)
+        .map(|i| (i * 7) % ds.relevant.num_rows())
+        .collect();
+    let ingest_batch = ds.relevant.take(&batch_indices);
+    let ingest_stop = std::sync::atomic::AtomicBool::new(false);
+    let (append_wall_s, mut staleness_samples_us) = std::thread::scope(|scope| {
+        for c in 0..TIER_CLIENTS {
+            let handle = &ingest_handle;
+            let stop = &ingest_stop;
+            let serve_keys = &serve_keys;
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = c;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let key = &serve_keys[i % serve_keys.len()];
+                    handle.lookup(key, &mut out).expect("closed-loop lookup");
+                    std::hint::black_box(&out);
+                    i += TIER_CLIENTS;
+                }
+            });
+        }
+        let mut append_wall = 0.0f64;
+        let mut staleness = Vec::with_capacity(INGEST_BATCHES);
+        for _ in 0..INGEST_BATCHES {
+            let start = Instant::now();
+            let info = ingest_model
+                .append_relevant(&ingest_batch)
+                .expect("append batch");
+            append_wall += start.elapsed().as_secs_f64();
+            let published = Instant::now();
+            // The handle refreshes lazily off the lookup threads' requests;
+            // wait until one of them observes the new epoch.
+            while ingest_handle.epoch() < info.epoch {
+                std::thread::yield_now();
+            }
+            staleness.push(published.elapsed().as_nanos() as f64 / 1e3);
+        }
+        ingest_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (append_wall, staleness)
+    });
+    staleness_samples_us.sort_by(|a, b| a.total_cmp(b));
+    let ingest_rows_per_sec = (INGEST_BATCHES * INGEST_BATCH_ROWS) as f64 / append_wall_s;
+    let staleness_us = percentile(&staleness_samples_us, 0.50);
+    assert_eq!(
+        ingest_model.epoch(),
+        INGEST_BATCHES as u64,
+        "every append must have published an epoch"
+    );
+
     let results = [
         time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
         time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
@@ -423,7 +493,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"ingest_rows_per_sec\": {:.0},\n  \"staleness_us\": {:.1},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"ingest\": {{ \"batches\": {}, \"batch_rows\": {}, \"epochs\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -442,11 +512,16 @@ fn main() {
         p50_lookup_us,
         p99_lookup_us,
         shed_rate,
+        ingest_rows_per_sec,
+        staleness_us,
         TIER_CLIENTS,
         TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
         feataug::TierConfig::default().workers,
         tier_stats.answered,
         tier_stats.shed,
+        INGEST_BATCHES,
+        INGEST_BATCH_ROWS,
+        ingest_model.epoch(),
         big.num_rows(),
         n_planned,
         transform_cols,
@@ -456,7 +531,7 @@ fn main() {
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4})",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4}; ingest {:.0} rows/s staleness {:.1}us)",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
@@ -470,5 +545,7 @@ fn main() {
         p50_lookup_us,
         p99_lookup_us,
         shed_rate,
+        ingest_rows_per_sec,
+        staleness_us,
     );
 }

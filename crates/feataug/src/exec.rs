@@ -43,6 +43,32 @@
 //! the SQL Query Generator, the DFS/Random baselines and each multi-source
 //! pipeline run ([`QueryEngine::stats`] shows the cross-component reuse).
 //!
+//! ## Copy-on-write epochs: live ingestion without blocking readers
+//!
+//! The compiled state above lives inside an [`EngineCore`] — one immutable
+//! **epoch snapshot** of the relevant table plus every artifact compiled over
+//! it — held by an [`EpochCell`]. Every read entry point (evaluate, batch,
+//! transform, lookup, serve) **pins one core** with a single `Arc` load and
+//! resolves entirely against it, so a request observes exactly one epoch and
+//! never blocks behind ingestion.
+//!
+//! [`QueryEngine::append_relevant`] builds the *next* epoch off to the side:
+//! the appended rows are concatenated onto the relevant table, group indexes
+//! are extended in place (old groups keep their ids; new keys mint new ids),
+//! sorted/inverted indexes merge just the appended entries, order-statistic
+//! indexes keep their base runs behind a shared `Arc` and accumulate
+//! per-group **delta runs** merged lazily at read time, and each memoized
+//! per-group feature is delta-updated for the **touched groups only** —
+//! trivial-predicate streaming/moment features resume their per-group
+//! [`StreamDelta`]/[`MomentDelta`] fold state, everything else rescans just
+//! the touched groups' rows through [`apply_kernel`]. Untouched artifacts are
+//! shared with the prior epoch by `Arc`, so an append's aggregation work is
+//! O(touched), not O(table). The finished core is published with one atomic
+//! swap; a panic mid-build (chaos-tested via the `exec.ingest.*` failpoints)
+//! leaves the prior epoch serving untouched, by construction. Results after
+//! any append sequence are **bit-identical to a full refit on the
+//! concatenated table** (property-tested).
+//!
 //! ## Batch evaluation
 //!
 //! [`QueryEngine::evaluate_batch`] / [`QueryEngine::feature_batch`] fan a
@@ -101,17 +127,18 @@
 //! property tests over randomized query pools at several thread counts
 //! (`tests/proptests.rs`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use feataug_tabular::aggregate::canonical_nan;
 use feataug_tabular::groupby::{key_atom, KeyAtom};
 use feataug_tabular::join::KeyMapper;
 use feataug_tabular::kernels::{
-    accumulate_m2, accumulate_m4, count_distinct_sorted, entropy_sorted, mad_sorted, median_sorted,
-    mode_sorted, moment_finalize, CodeFreqKernel, KernelFamily,
+    accumulate_m2, accumulate_m4, apply_kernel, count_distinct_sorted, entropy_sorted, mad_sorted,
+    median_sorted, mode_sorted, moment_finalize, CodeFreqKernel, KernelFamily, MomentDelta,
+    StreamDelta,
 };
 use feataug_tabular::selection::{fill_eq, fill_range_view, SelectionMask};
 use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
@@ -471,9 +498,12 @@ struct SortedIndex {
 }
 
 /// Inverted index over one categorical column: the row ids holding each
-/// dictionary code. Turns an equality leaf into O(matches) bit sets.
+/// dictionary code. Turns an equality leaf into O(matches) bit sets. Each
+/// code's row list sits behind its own `Arc` so an epoch append clones the
+/// outer vector (refcount bumps) and rewrites only the codes the appended
+/// rows actually carry.
 struct CatIndex {
-    rows_by_code: Vec<Vec<u32>>,
+    rows_by_code: Vec<Arc<Vec<u32>>>,
 }
 
 /// Memo key of an [`OrderIndex`]: the aggregation column and the group-key
@@ -489,6 +519,19 @@ type OrderKey = (String, Vec<String>);
 /// selected rows out of them (one mask probe per value), instead of paying a
 /// copy + sort per candidate.
 struct OrderIndex {
+    /// The runs as of the epoch the index was first compiled in, in CSR
+    /// form. Shared by `Arc` across epochs — appends never rewrite it.
+    base: Arc<OrderBase>,
+    /// Per-group delta run of appended values (sorted within itself by
+    /// `total_cmp`; every delta row id is greater than every base row id).
+    /// Appends merge each touched group's new batch into its delta run;
+    /// readers merge base + delta lazily in [`OrderIndex::run`]. Untouched
+    /// groups' runs are shared `Arc`s across epochs.
+    delta: HashMap<u32, Arc<OrderRun>>,
+}
+
+/// The CSR bulk of an [`OrderIndex`].
+struct OrderBase {
     /// Per-group run bounds into `rows` / `vals` (`n_groups + 1` entries).
     starts: Vec<u32>,
     /// Row id of each non-null value, grouped by group id, value-sorted
@@ -498,12 +541,69 @@ struct OrderIndex {
     vals: Vec<f64>,
 }
 
+/// One group's sorted run of appended `(row, value)` entries.
+#[derive(Default)]
+struct OrderRun {
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
 impl OrderIndex {
-    /// The `(rows, vals)` run of group `g`.
-    fn run(&self, g: usize) -> (&[u32], &[f64]) {
-        let start = self.starts[g] as usize;
-        let end = self.starts[g + 1] as usize;
-        (&self.rows[start..end], &self.vals[start..end])
+    /// The base-epoch `(rows, vals)` run of group `g` (empty for groups
+    /// minted after the index was compiled).
+    fn base_run(&self, g: usize) -> (&[u32], &[f64]) {
+        if g + 1 >= self.base.starts.len() {
+            return (&[], &[]);
+        }
+        let start = self.base.starts[g] as usize;
+        let end = self.base.starts[g + 1] as usize;
+        (&self.base.rows[start..end], &self.base.vals[start..end])
+    }
+
+    /// Total run length of group `g` (base + delta) — the exact per-group
+    /// accounting the merge-vs-scatter cost model reads.
+    fn run_len(&self, g: usize) -> usize {
+        let (rows, _) = self.base_run(g);
+        rows.len() + self.delta.get(&(g as u32)).map_or(0, |d| d.rows.len())
+    }
+
+    /// The `(rows, vals)` run of group `g`. Groups without a delta run read
+    /// the base CSR in place (zero copy — the common case); touched groups
+    /// 2-way merge base + delta into the caller's buffers, preferring the
+    /// base side on `total_cmp` ties. Base rows all precede delta rows, and
+    /// `total_cmp` equality means bit-identical values, so the merged run
+    /// reproduces a from-scratch stable per-group sort exactly.
+    fn run<'x>(
+        &'x self,
+        g: usize,
+        rows_buf: &'x mut Vec<u32>,
+        vals_buf: &'x mut Vec<f64>,
+    ) -> (&'x [u32], &'x [f64]) {
+        let (brows, bvals) = self.base_run(g);
+        let Some(delta) = self.delta.get(&(g as u32)) else {
+            return (brows, bvals);
+        };
+        rows_buf.clear();
+        vals_buf.clear();
+        rows_buf.reserve(brows.len() + delta.rows.len());
+        vals_buf.reserve(bvals.len() + delta.vals.len());
+        let (mut i, mut j) = (0, 0);
+        while i < brows.len() && j < delta.rows.len() {
+            if bvals[i].total_cmp(&delta.vals[j]) != std::cmp::Ordering::Greater {
+                rows_buf.push(brows[i]);
+                vals_buf.push(bvals[i]);
+                i += 1;
+            } else {
+                rows_buf.push(delta.rows[j]);
+                vals_buf.push(delta.vals[j]);
+                j += 1;
+            }
+        }
+        rows_buf.extend_from_slice(&brows[i..]);
+        vals_buf.extend_from_slice(&bvals[i..]);
+        rows_buf.extend_from_slice(&delta.rows[j..]);
+        vals_buf.extend_from_slice(&delta.vals[j..]);
+        (rows_buf.as_slice(), vals_buf.as_slice())
     }
 }
 
@@ -534,9 +634,12 @@ fn build_order_index(gi: &GroupIndex, view: &[Option<f64>]) -> OrderIndex {
         entries[starts[g] as usize..starts[g + 1] as usize].sort_by(|a, b| a.0.total_cmp(&b.0));
     }
     OrderIndex {
-        starts,
-        rows: entries.iter().map(|(_, r)| *r).collect(),
-        vals: entries.iter().map(|(v, _)| *v).collect(),
+        base: Arc::new(OrderBase {
+            starts,
+            rows: entries.iter().map(|(_, r)| *r).collect(),
+            vals: entries.iter().map(|(v, _)| *v).collect(),
+        }),
+        delta: HashMap::new(),
     }
 }
 
@@ -572,6 +675,10 @@ struct EvalScratch {
     scatter: Vec<f64>,
     /// One group's selected values merged out of its pre-sorted run.
     sorted_buf: Vec<f64>,
+    /// Row-id half of one group's lazily-merged base + delta run.
+    merge_rows: Vec<u32>,
+    /// Value half of one group's lazily-merged base + delta run.
+    merge_vals: Vec<f64>,
     /// Deviation scratch for the MAD kernel.
     dev_buf: Vec<f64>,
     /// Dense code-frequency kernel for dictionary-coded aggregation columns.
@@ -595,6 +702,7 @@ type SharedGroupFeature = (Arc<GroupIndex>, Arc<Vec<Option<f64>>>);
 /// escaped), the `Debug` form is structurally unambiguous, so two distinct
 /// queries can never share a cache slot. Recency is a monotonic tick;
 /// eviction removes the stalest entry.
+#[derive(Clone)]
 struct FeatureCache {
     capacity: usize,
     tick: u64,
@@ -655,11 +763,110 @@ impl FeatureCache {
     }
 }
 
-/// The state every clone of a [`QueryEngine`] shares: the lazily-compiled
-/// immutable artifacts (locks guard only the memo maps — the artifacts
-/// themselves are immutable `Arc`s once built), the feature LRU, the scratch
-/// pool and the throughput counters.
-struct EngineShared {
+/// A memoized per-group feature (one slot per group of the query's key
+/// subset) plus everything `append_relevant` needs to delta-update it: the
+/// query itself and — for trivial-predicate streaming families — resumable
+/// per-group kernel state.
+struct GroupFeature {
+    /// The query this feature materialises, retained so the next epoch can
+    /// re-derive selection and touched-group membership.
+    query: PredicateQuery,
+    /// One aggregate per group; `None` = group absent under the predicate or
+    /// NULL-valued.
+    values: Arc<Vec<Option<f64>>>,
+    /// Resumable per-group kernel state.
+    state: FeatureState,
+}
+
+/// Resumable per-group kernel state of a [`GroupFeature`]. The maps are
+/// lazily populated: a group's state is built by one rescan of its rows the
+/// first time an append touches it, and every later append just resumes the
+/// fold over that group's appended rows.
+#[derive(Clone)]
+enum FeatureState {
+    /// Features whose deltas always rescan the touched groups (non-trivial
+    /// predicates, order statistics, categorical aggregation columns).
+    None,
+    /// Trivial-predicate Stream family: the resumed one-pass fold per group.
+    Stream(HashMap<u32, StreamDelta>),
+    /// Trivial-predicate Moment family: the resumed pass-1 (count, sum) per
+    /// group; pass 2 rescans the touched group with the updated mean.
+    Moment(HashMap<u32, MomentDelta>),
+}
+
+/// An atomically-swappable versioned slot: the published value plus a
+/// monotonically increasing generation counter. Readers [`EpochCell::load`]
+/// the current `Arc` (cheap, allocation-free) and keep serving from it even
+/// while a writer [`EpochCell::swap`]s in a successor — an `Arc` pin, not a
+/// lock hold. The generation lets readers detect staleness with one atomic
+/// load. Generalized from the serving tier's whole-model hot-swap cell (PR 6)
+/// down to the engine's internal epoch snapshots.
+pub struct EpochCell<T> {
+    /// The current value. A `Mutex` (not `RwLock`): the critical section is a
+    /// refcount bump, and a mutex is smaller and has no writer-starvation
+    /// edge.
+    current: Mutex<Arc<T>>,
+    /// Bumped on every install, *while the slot lock is held*, so a reader
+    /// never observes a generation newer than the value it loaded.
+    generation: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell holding `value` at generation 0.
+    pub fn new(value: Arc<T>) -> EpochCell<T> {
+        EpochCell {
+            current: Mutex::new(value),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current value (an `Arc` clone — the caller's pin on that epoch).
+    pub fn load(&self) -> Arc<T> {
+        lock_recover(&self.current).clone()
+    }
+
+    /// Atomically publish `next`, returning the new generation.
+    pub fn swap(&self, next: Arc<T>) -> u64 {
+        let mut slot = lock_recover(&self.current);
+        *slot = next;
+        self.generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The generation of the currently-published value.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+/// Summary of one applied append, returned by
+/// [`QueryEngine::append_relevant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// The new epoch number (counts appends since the engine was built).
+    pub epoch: u64,
+    /// Rows in the appended batch.
+    pub appended_rows: usize,
+    /// Total relevant-table rows as of this epoch.
+    pub total_rows: usize,
+    /// Existing groups the batch touched, summed over the compiled key
+    /// subsets.
+    pub touched_groups: usize,
+    /// Groups minted by the batch, summed over the compiled key subsets.
+    pub new_groups: usize,
+}
+
+/// One copy-on-write epoch of the engine: the relevant table as of this
+/// epoch plus every lazily-compiled artifact over it (locks guard only the
+/// memo maps — the artifacts themselves are immutable `Arc`s once built).
+/// Readers pin a core for the duration of one request, so each request
+/// observes exactly one epoch; `append_relevant` builds the successor off to
+/// the side — sharing every untouched artifact with this one — and publishes
+/// it through the engine's [`EpochCell`].
+pub(crate) struct EngineCore<'a> {
+    /// How many appends precede this snapshot (0 = the fitted table).
+    epoch: u64,
+    /// The relevant table as of this epoch.
+    relevant: TableHandle<'a>,
     /// `Vec<Option<f64>>` view per relevant column (aggregation targets and
     /// range-predicate operands).
     views: RwLock<HashMap<String, Arc<Vec<Option<f64>>>>>,
@@ -674,24 +881,70 @@ struct EngineShared {
     order: RwLock<HashMap<OrderKey, Arc<OrderIndex>>>,
     /// Per-group feature of each query the transform/serve path has
     /// materialised, keyed like the feature LRU by the query's structural
-    /// `Debug` form. Unlike the train-aligned feature LRU these are group-
-    /// aligned (one slot per group of the query's key subset), so one
-    /// aggregation pass serves transforms onto any number of tables and
-    /// every point lookup. Never evicted: a fitted plan holds a few dozen
-    /// queries at most.
-    group_feats: RwLock<HashMap<String, Arc<Vec<Option<f64>>>>>,
-    /// Finished feature vectors of recent queries.
+    /// `Debug` form. Group-aligned (one slot per group of the query's key
+    /// subset), so one aggregation pass serves transforms onto any number of
+    /// tables and every point lookup. Never evicted: a fitted plan holds a
+    /// few dozen queries at most; appends carry every entry forward
+    /// (delta-updated or `Arc`-shared).
+    group_feats: RwLock<HashMap<String, Arc<GroupFeature>>>,
+    /// Finished train-aligned feature vectors of recent queries. Per-epoch:
+    /// cached vectors are frozen against this epoch's relevant table, so the
+    /// next epoch starts fresh instead of serving stale features.
     features: Mutex<FeatureCache>,
+}
+
+impl<'a> EngineCore<'a> {
+    /// An empty core over `relevant` at `epoch`.
+    fn fresh(relevant: TableHandle<'a>, epoch: u64, cache_capacity: usize) -> EngineCore<'a> {
+        EngineCore {
+            epoch,
+            relevant,
+            views: RwLock::new(HashMap::new()),
+            groups: RwLock::new(HashMap::new()),
+            sorted: RwLock::new(HashMap::new()),
+            cats: RwLock::new(HashMap::new()),
+            order: RwLock::new(HashMap::new()),
+            group_feats: RwLock::new(HashMap::new()),
+            features: Mutex::new(FeatureCache::new(cache_capacity)),
+        }
+    }
+
+    /// The relevant table as of this epoch (for the serving layer's prepared
+    /// key translation).
+    pub(crate) fn relevant(&self) -> &Table {
+        &self.relevant
+    }
+
+    /// This snapshot's epoch number.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// The state every clone of a [`QueryEngine`] shares: the current epoch's
+/// compiled core (behind the swappable [`EpochCell`]), the scratch pool, the
+/// cross-epoch counters, and the ingest lock serializing appends.
+struct EngineShared<'a> {
+    /// The current epoch. Read paths pin it once per request; appends build
+    /// the successor off to the side and publish it here.
+    core: EpochCell<EngineCore<'a>>,
     /// Lock-free mirror of the feature cache's capacity, so the hot path can
     /// skip the key rendering and the cache lock entirely when caching is
-    /// disabled.
+    /// disabled — and so each new epoch's fresh cache inherits it.
     cache_capacity: AtomicUsize,
     /// Reusable evaluation scratch, one entry per concurrently-active worker.
+    /// Shared across epochs: per-group buffers only ever grow, and group
+    /// counts only grow across appends.
     scratch: Mutex<Vec<EvalScratch>>,
-    /// Number of evaluation requests served (cache hits included).
+    /// Number of evaluation requests served (cache hits included),
+    /// accumulated across epochs.
     evaluations: AtomicUsize,
-    /// Number of requests answered from the feature cache.
+    /// Number of requests answered from the feature cache, accumulated
+    /// across epochs.
     cache_hits: AtomicUsize,
+    /// Serializes `append_relevant` calls. Never held by readers — lookups
+    /// and transforms pin the published core and proceed regardless.
+    ingest: Mutex<()>,
 }
 
 /// Cache and throughput counters of a [`QueryEngine`] (for benches and tests).
@@ -731,8 +984,7 @@ pub struct EngineStats {
 #[derive(Clone)]
 pub struct QueryEngine<'a> {
     train: TableHandle<'a>,
-    relevant: TableHandle<'a>,
-    shared: Arc<EngineShared>,
+    shared: Arc<EngineShared<'a>>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -757,48 +1009,71 @@ impl<'a> QueryEngine<'a> {
         let capacity = default_cache_capacity(train.num_rows());
         QueryEngine {
             train,
-            relevant,
             shared: Arc::new(EngineShared {
-                views: RwLock::new(HashMap::new()),
-                groups: RwLock::new(HashMap::new()),
-                sorted: RwLock::new(HashMap::new()),
-                cats: RwLock::new(HashMap::new()),
-                order: RwLock::new(HashMap::new()),
-                group_feats: RwLock::new(HashMap::new()),
-                features: Mutex::new(FeatureCache::new(capacity)),
+                core: EpochCell::new(Arc::new(EngineCore::fresh(relevant, 0, capacity))),
                 cache_capacity: AtomicUsize::new(capacity),
                 scratch: Mutex::new(Vec::new()),
                 evaluations: AtomicUsize::new(0),
                 cache_hits: AtomicUsize::new(0),
+                ingest: Mutex::new(()),
             }),
         }
     }
 
     /// Upgrade this engine to shared table ownership, keeping the compiled
     /// core: every memoized group index, column view, order index, cached
-    /// feature and counter carries over untouched (table clones preserve
-    /// dictionaries and row order, so the artifacts stay valid). Borrowed
-    /// tables are cloned once; already-shared handles are refcount bumps.
+    /// feature and counter carries over (map clones are `Arc` refcount
+    /// bumps; table clones preserve dictionaries and row order, so the
+    /// artifacts stay valid). Borrowed tables are cloned once;
+    /// already-shared handles are refcount bumps.
     pub fn into_owned(self) -> QueryEngine<'static> {
+        let core = self.shared.core.load();
+        let owned = EngineCore {
+            epoch: core.epoch,
+            relevant: core.relevant.clone().into_shared(),
+            views: RwLock::new(read_recover(&core.views).clone()),
+            groups: RwLock::new(read_recover(&core.groups).clone()),
+            sorted: RwLock::new(read_recover(&core.sorted).clone()),
+            cats: RwLock::new(read_recover(&core.cats).clone()),
+            order: RwLock::new(read_recover(&core.order).clone()),
+            group_feats: RwLock::new(read_recover(&core.group_feats).clone()),
+            features: Mutex::new(lock_recover(&core.features).clone()),
+        };
         QueryEngine {
             train: self.train.into_shared(),
-            relevant: self.relevant.into_shared(),
-            shared: self.shared,
+            shared: Arc::new(EngineShared {
+                core: EpochCell::new(Arc::new(owned)),
+                cache_capacity: AtomicUsize::new(
+                    self.shared.cache_capacity.load(Ordering::Relaxed),
+                ),
+                scratch: Mutex::new(Vec::new()),
+                evaluations: AtomicUsize::new(self.shared.evaluations.load(Ordering::Relaxed)),
+                cache_hits: AtomicUsize::new(self.shared.cache_hits.load(Ordering::Relaxed)),
+                ingest: Mutex::new(()),
+            }),
         }
     }
 
-    /// The relevant table backing every aggregation (for the serving layer's
-    /// prepared key translation).
-    pub(crate) fn relevant(&self) -> &Table {
-        &self.relevant
+    /// Pin the current epoch: every artifact resolved through the returned
+    /// core belongs to one consistent snapshot, no matter how many appends
+    /// land while the caller holds it.
+    pub(crate) fn core(&self) -> Arc<EngineCore<'a>> {
+        self.shared.core.load()
+    }
+
+    /// The current epoch number: how many [`QueryEngine::append_relevant`]
+    /// batches have been applied (0 = the fitted table).
+    pub fn epoch(&self) -> u64 {
+        self.core().epoch
     }
 
     /// Builder-style override of the feature LRU's capacity (entries; the
     /// default is sized from the training table so the cache stays within a
     /// fixed byte budget). `0` disables evaluation-level caching entirely;
-    /// lowering the capacity trims existing entries immediately.
+    /// lowering the capacity trims existing entries immediately. Later
+    /// epochs inherit the override.
     pub fn with_feature_cache_capacity(self, capacity: usize) -> QueryEngine<'a> {
-        lock_recover(&self.shared.features).set_capacity(capacity);
+        lock_recover(&self.core().features).set_capacity(capacity);
         self.shared
             .cache_capacity
             .store(capacity, Ordering::Relaxed);
@@ -808,24 +1083,28 @@ impl<'a> QueryEngine<'a> {
     /// Cache and throughput counters, accumulated across every clone of this
     /// engine. Counter totals are deterministic for serial use; under batch
     /// evaluation the split between `feature_cache_hits` and real evaluations
-    /// may vary with scheduling (results never do).
+    /// may vary with scheduling (results never do). Compiled-artifact counts
+    /// describe the current epoch's core.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
+        let core = self.core();
+        let stats = EngineStats {
             evaluations: self.shared.evaluations.load(Ordering::Relaxed),
-            group_indexes: read_recover(&self.shared.groups).len(),
-            column_views: read_recover(&self.shared.views).len(),
-            order_indexes: read_recover(&self.shared.order).len(),
+            group_indexes: read_recover(&core.groups).len(),
+            column_views: read_recover(&core.views).len(),
+            order_indexes: read_recover(&core.order).len(),
             feature_cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
-            group_features: read_recover(&self.shared.group_feats).len(),
-        }
+            group_features: read_recover(&core.group_feats).len(),
+        };
+        stats
     }
 
     /// Evaluate `query` and return its feature aligned with the training
     /// table's rows (`None` = SQL NULL), exactly as the reference
     /// execute-then-left-join path would produce.
     pub fn evaluate(&self, query: &PredicateQuery) -> EngineResult<Vec<Option<f64>>> {
+        let core = self.core();
         let mut scratch = self.take_scratch();
-        let result = self.evaluate_cached(&mut scratch, query);
+        let result = self.evaluate_cached(&core, &mut scratch, query);
         self.put_scratch(scratch);
         result.map(|values| (*values).clone())
     }
@@ -909,13 +1188,16 @@ impl<'a> QueryEngine<'a> {
         queries: &[PredicateQuery],
         workers: usize,
     ) -> Vec<EngineResult<Arc<Vec<Option<f64>>>>> {
+        // Pin one epoch for the whole batch: every query resolves against the
+        // same snapshot even if appends land mid-batch.
+        let core = self.core();
         fan_out(
             queries,
             workers,
             "batch evaluation",
             || self.take_scratch(),
             |scratch| self.put_scratch(scratch),
-            |scratch, query| self.evaluate_cached(scratch, query),
+            |scratch, query| self.evaluate_cached(&core, scratch, query),
         )
     }
 
@@ -933,20 +1215,21 @@ impl<'a> QueryEngine<'a> {
     /// entirely.
     fn evaluate_cached(
         &self,
+        core: &EngineCore<'a>,
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
     ) -> EngineResult<Arc<Vec<Option<f64>>>> {
         self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
         if self.shared.cache_capacity.load(Ordering::Relaxed) == 0 {
-            return Ok(Arc::new(self.evaluate_uncached(scratch, query)?));
+            return Ok(Arc::new(self.evaluate_uncached(core, scratch, query)?));
         }
         let key = FeatureCache::key(query);
-        if let Some(hit) = lock_recover(&self.shared.features).get(&key) {
+        if let Some(hit) = lock_recover(&core.features).get(&key) {
             self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
-        let values = Arc::new(self.evaluate_uncached(scratch, query)?);
-        lock_recover(&self.shared.features).insert(key, values.clone());
+        let values = Arc::new(self.evaluate_uncached(core, scratch, query)?);
+        lock_recover(&core.features).insert(key, values.clone());
         Ok(values)
     }
 
@@ -955,11 +1238,12 @@ impl<'a> QueryEngine<'a> {
     /// scratch.
     fn evaluate_uncached(
         &self,
+        core: &EngineCore<'a>,
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
     ) -> feataug_tabular::Result<Vec<Option<f64>>> {
-        let gi = self.group_index(&query.group_keys)?;
-        self.aggregate_into_scratch(scratch, query, &gi)?;
+        let gi = core.group_index(&self.train, &query.group_keys)?;
+        core.aggregate_into_scratch(scratch, query, &gi)?;
 
         // O(train) gather through the precomputed train-row -> group map.
         // `sel_count > 0` guards against reading stale `group_out` slots of
@@ -984,8 +1268,1021 @@ impl<'a> QueryEngine<'a> {
         Ok(out)
     }
 
-    /// Run `query`'s predicate mask + grouped aggregation against the shared
-    /// compiled core, leaving the per-group results in `scratch`
+    /// Fetch (or evaluate once and memoize) `query`'s **per-group** feature:
+    /// one slot per group of the query's key subset, `None` for groups the
+    /// predicate filtered out entirely or whose aggregate is NULL — exactly
+    /// the value a gather delivers to any row carrying that group's key. This
+    /// is the transform/serve workhorse: the aggregation runs once per query
+    /// per engine, and every later transform (over any table) or point lookup
+    /// is a cache read that moves no counter.
+    pub(crate) fn group_feature(
+        &self,
+        core: &EngineCore<'a>,
+        query: &PredicateQuery,
+    ) -> feataug_tabular::Result<SharedGroupFeature> {
+        let gi = core.group_index(&self.train, &query.group_keys)?;
+        let key = FeatureCache::key(query);
+        if let Some(hit) = read_recover(&core.group_feats).get(&key) {
+            return Ok((gi, hit.values.clone()));
+        }
+        self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
+        let built = self.materialize_group_feature(core, query, &gi)?;
+        let entry = Arc::new(GroupFeature {
+            query: query.clone(),
+            values: built,
+            state: FeatureState::None,
+        });
+        let mut map = write_recover(&core.group_feats);
+        // A racing worker may have inserted first; keep the canonical Arc.
+        Ok((gi, map.entry(key).or_insert(entry).values.clone()))
+    }
+
+    /// Evaluate `query`'s per-group feature against `core` (no memo probe, no
+    /// counter bump — [`QueryEngine::group_feature`] and the append path wrap
+    /// this with their own bookkeeping).
+    fn materialize_group_feature(
+        &self,
+        core: &EngineCore<'a>,
+        query: &PredicateQuery,
+        gi: &GroupIndex,
+    ) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+        let mut scratch = self.take_scratch();
+        let result = core.aggregate_into_scratch(&mut scratch, query, gi);
+        if let Err(e) = result {
+            self.put_scratch(scratch);
+            return Err(e);
+        }
+        // Materialise the touched groups (the only ones with live scratch
+        // slots); canonicalize NaNs exactly like the train gather does.
+        let mut values: Vec<Option<f64>> = vec![None; gi.n_groups];
+        for &g in &scratch.touched {
+            let g = g as usize;
+            values[g] = scratch.group_out[g].map(canonical_nan);
+        }
+        for &g in &scratch.touched {
+            scratch.sel_count[g as usize] = 0;
+        }
+        self.put_scratch(scratch);
+        Ok(Arc::new(values))
+    }
+
+    /// Row → group-id gather map for an **arbitrary** table carrying the
+    /// group-key columns, in the relevant table's key space. Built fresh per
+    /// call (the table is unknown to the compiled core); the group index it
+    /// probes is memoized as usual.
+    fn gather_map(
+        core: &EngineCore<'a>,
+        table: &Table,
+        keys: &[String],
+        gi: &GroupIndex,
+    ) -> feataug_tabular::Result<Vec<Option<u32>>> {
+        let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+        let mapper = KeyMapper::new(&core.relevant, table, &key_refs, &key_refs)?;
+        Ok((0..table.num_rows())
+            .map(|row| {
+                mapper
+                    .key(row)
+                    .and_then(|k| gi.key_to_group.get(&k).copied())
+            })
+            .collect())
+    }
+
+    /// Materialise every query of `queries` onto `table` — any table carrying
+    /// the group-key columns, not just the training table the engine was
+    /// compiled with. Each query's aggregation runs **once per engine**
+    /// (memoized per-group features in the shared core); only the O(rows) key
+    /// mapping and gather are paid per table, and one key mapping is shared
+    /// by every query grouping on the same key subset. `results[i]` is query
+    /// `i`'s feature aligned with `table`'s rows (`None` = SQL NULL), with
+    /// value semantics identical to [`QueryEngine::evaluate`] run against a
+    /// hypothetical engine whose training table were `table`.
+    pub fn transform(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
+        self.transform_threads(queries, table, workers_for_pool(queries.len()))
+    }
+
+    /// [`QueryEngine::transform`] with an explicit worker count (clamped to
+    /// `1..=queries.len()`). Each query's per-group aggregation (memoized) and
+    /// O(rows) gather run independently, so the per-query fan-out is
+    /// **bit-identical to the serial path at any worker count** — the
+    /// property suites enforce it at 1 / 2 / default workers. One key mapping
+    /// per distinct group-key subset is built up front and shared by every
+    /// query grouping on it; a table missing a key column therefore errors
+    /// before any aggregation work.
+    pub fn transform_threads(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+        workers: usize,
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
+        // Pin one epoch for the whole transform: gather maps, group indexes
+        // and per-group features all resolve against the same snapshot even
+        // if appends land mid-call.
+        let core = self.core();
+        let mut maps: HashMap<&[String], Arc<Vec<Option<u32>>>> = HashMap::new();
+        for query in queries {
+            if !maps.contains_key(query.group_keys.as_slice()) {
+                let gi = core.group_index(&self.train, &query.group_keys)?;
+                let built = Arc::new(Self::gather_map(&core, table, &query.group_keys, &gi)?);
+                maps.insert(query.group_keys.as_slice(), built);
+            }
+        }
+        // The shared fan-out loop scatters every result back to its input
+        // slot, so collecting in order surfaces the first error in *input*
+        // order — exactly like the serial path.
+        fan_out(
+            queries,
+            workers,
+            "transform",
+            || (),
+            |()| (),
+            |_, query| -> EngineResult<Vec<Option<f64>>> {
+                crate::fail_point!("exec.gather");
+                let (_, feats) = self.group_feature(&core, query)?;
+                let map = &maps[query.group_keys.as_slice()];
+                Ok(map
+                    .iter()
+                    .map(|g| g.and_then(|g| feats[g as usize]))
+                    .collect())
+            },
+        )
+        .into_iter()
+        .collect()
+    }
+
+    /// Answer a single-key request from the cached per-group features: the
+    /// feature `query` assigns to a row whose group-key values are
+    /// `key_values` (aligned with `query.group_keys`). `None` when the key is
+    /// absent from the relevant table, filtered out by the predicate, NULL, or
+    /// type-incompatible with the key column — the same rows a transform
+    /// leaves NULL. The first lookup of a query pays its one aggregation;
+    /// every later lookup is two hash probes.
+    pub fn lookup(
+        &self,
+        query: &PredicateQuery,
+        key_values: &[Value],
+    ) -> EngineResult<Option<f64>> {
+        self.lookup_pinned(&self.core(), query, key_values)
+    }
+
+    /// [`QueryEngine::lookup`] against an explicitly pinned epoch — the form
+    /// the serving layer and [`crate::pipeline::AugModel::serve`] use so a
+    /// multi-query request observes one consistent snapshot.
+    pub(crate) fn lookup_pinned(
+        &self,
+        core: &EngineCore<'a>,
+        query: &PredicateQuery,
+        key_values: &[Value],
+    ) -> EngineResult<Option<f64>> {
+        if key_values.len() != query.group_keys.len() {
+            return Err(feataug_tabular::TabularError::InvalidArgument(format!(
+                "lookup key has {} values for {} group-key columns",
+                key_values.len(),
+                query.group_keys.len()
+            ))
+            .into());
+        }
+        let (gi, feats) = self.group_feature(core, query)?;
+        let mut key = Vec::with_capacity(key_values.len());
+        for (column, value) in query.group_keys.iter().zip(key_values) {
+            match core.serve_atom(column, value)? {
+                Some(atom) => key.push(atom),
+                // NULL / unseen / type-mismatched components never match,
+                // exactly like the KeyMapper-driven gather.
+                None => return Ok(None),
+            }
+        }
+        Ok(gi.key_to_group.get(&key).and_then(|&g| feats[g as usize]))
+    }
+
+    /// Ingest a batch of new relevant-table rows, publishing the next epoch.
+    ///
+    /// The successor core is built entirely off to the side: every reader
+    /// keeps serving the currently-published epoch throughout (lookups never
+    /// block behind ingestion) and observes the append atomically at the
+    /// final swap. Cost is O(appended rows + touched groups' rows + compiled
+    /// column views), not O(compiled artifacts × table): untouched group
+    /// runs, inverted lists and per-group features are shared with the prior
+    /// epoch by `Arc`, trivial-predicate streaming features resume their
+    /// per-group fold, and order-stat indexes merge the batch as a lazy
+    /// per-group sorted run. Results after the swap are bit-identical to a
+    /// full refit over the concatenated table (property-tested).
+    ///
+    /// A panic mid-build (or a schema mismatch) leaves the published epoch
+    /// untouched — the swap is the last step — and surfaces as
+    /// [`EngineError::WorkerPanic`] / [`EngineError::Tabular`]. Appends are
+    /// serialized by an internal ingest lock readers never take.
+    pub fn append_relevant(&self, rows: &Table) -> EngineResult<Epoch> {
+        let _ingest = lock_recover(&self.shared.ingest);
+        let old = self.core();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.build_next_core(&old, rows)
+        })) {
+            Ok(Ok((core, info))) => {
+                self.shared.core.swap(Arc::new(core));
+                Ok(info)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(EngineError::WorkerPanic {
+                context: "append_relevant",
+                message: panic_message(payload),
+            }),
+        }
+    }
+
+    /// Assemble the successor of `old` with `rows` appended. Runs entirely
+    /// before the publish swap; nothing here is observable by readers.
+    fn build_next_core(
+        &self,
+        old: &EngineCore<'a>,
+        rows: &Table,
+    ) -> EngineResult<(EngineCore<'a>, Epoch)> {
+        crate::fail_point!("exec.ingest.build");
+        let base = old.relevant.num_rows();
+        let appended_rows = rows.num_rows();
+        let relevant = TableHandle::from(Arc::new(old.relevant.concat(rows)?));
+        let total = relevant.num_rows();
+        let core = EngineCore::fresh(
+            relevant,
+            old.epoch + 1,
+            self.shared.cache_capacity.load(Ordering::Relaxed),
+        );
+
+        // Column views: re-extracted per compiled column — a branch-free
+        // O(table) memcpy pass, the same extraction a fresh engine pays once
+        // and the only whole-table copy an append makes.
+        {
+            let mut views = write_recover(&core.views);
+            for name in read_recover(&old.views).keys() {
+                views.insert(
+                    name.clone(),
+                    Arc::new(core.relevant.column(name)?.to_f64_vec()),
+                );
+            }
+        }
+
+        // Group indexes: extended per compiled subset. Group ids are stable
+        // (first-appearance order is append-only), so every group-aligned
+        // artifact downstream can be delta-updated in place.
+        let mut deltas: HashMap<Vec<String>, SubsetDelta> = HashMap::new();
+        {
+            let mut groups = write_recover(&core.groups);
+            for (keys, gi) in read_recover(&old.groups).iter() {
+                let delta = extend_group_index(gi, &core.relevant, &self.train, keys, base)?;
+                groups.insert(keys.clone(), delta.gi.clone());
+                deltas.insert(keys.clone(), delta);
+            }
+        }
+
+        // Sorted range indexes: merge the batch's (value, row) pairs into the
+        // ascending run. Ties prefer the old run — old rows precede appended
+        // ones, reproducing the stable full-rebuild sort.
+        for (name, idx) in read_recover(&old.sorted).iter() {
+            let view = core.view(name)?;
+            let mut add: Vec<(f64, u32)> = (base..total)
+                .filter_map(|row| match view[row] {
+                    Some(x) if !x.is_nan() => Some((x, row as u32)),
+                    _ => None,
+                })
+                .collect();
+            if add.is_empty() {
+                write_recover(&core.sorted).insert(name.clone(), idx.clone());
+                continue;
+            }
+            add.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
+            let mut vals = Vec::with_capacity(idx.vals.len() + add.len());
+            let mut rows_out = Vec::with_capacity(idx.rows.len() + add.len());
+            let (mut i, mut j) = (0, 0);
+            while i < idx.vals.len() && j < add.len() {
+                if idx.vals[i] <= add[j].0 {
+                    vals.push(idx.vals[i]);
+                    rows_out.push(idx.rows[i]);
+                    i += 1;
+                } else {
+                    vals.push(add[j].0);
+                    rows_out.push(add[j].1);
+                    j += 1;
+                }
+            }
+            vals.extend_from_slice(&idx.vals[i..]);
+            rows_out.extend_from_slice(&idx.rows[i..]);
+            for &(v, r) in &add[j..] {
+                vals.push(v);
+                rows_out.push(r);
+            }
+            write_recover(&core.sorted).insert(
+                name.clone(),
+                Arc::new(SortedIndex {
+                    vals,
+                    rows: rows_out,
+                }),
+            );
+        }
+
+        // Inverted categorical indexes: the outer clone is per-code `Arc`
+        // bumps; only codes the batch actually carries are rewritten.
+        for (name, idx) in read_recover(&old.cats).iter() {
+            let Column::Cat(cat) = core.relevant.column(name)? else {
+                continue;
+            };
+            let mut rows_by_code = idx.rows_by_code.clone();
+            rows_by_code.resize_with(cat.cardinality(), || Arc::new(Vec::new()));
+            let codes = cat.codes();
+            for (row, code) in codes.iter().enumerate().take(total).skip(base) {
+                if let Some(c) = code {
+                    Arc::make_mut(&mut rows_by_code[*c as usize]).push(row as u32);
+                }
+            }
+            write_recover(&core.cats).insert(name.clone(), Arc::new(CatIndex { rows_by_code }));
+        }
+
+        // Order-stat indexes: the immutable base CSR is shared by `Arc`; the
+        // batch becomes (or merges into) a lazy per-group sorted delta run.
+        // Untouched groups' runs carry over as refcount bumps.
+        for (okey, idx) in read_recover(&old.order).iter() {
+            let (column, keys) = okey;
+            let Some(delta_info) = deltas.get(keys) else {
+                write_recover(&core.order).insert(okey.clone(), idx.clone());
+                continue;
+            };
+            let view = core.view(column)?;
+            let mut delta_map = idx.delta.clone();
+            for (&g, rows_of_g) in &delta_info.appended {
+                let mut batch: Vec<(f64, u32)> = rows_of_g
+                    .iter()
+                    .filter_map(|&r| view[r as usize].map(|v| (v, r)))
+                    .collect();
+                if batch.is_empty() {
+                    continue;
+                }
+                batch.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let merged = match delta_map.get(&g) {
+                    None => OrderRun {
+                        rows: batch.iter().map(|&(_, r)| r).collect(),
+                        vals: batch.iter().map(|&(v, _)| v).collect(),
+                    },
+                    // Merge into the existing delta run, preferring it on
+                    // ties (its rows are older).
+                    Some(run) => {
+                        let mut rows_m = Vec::with_capacity(run.rows.len() + batch.len());
+                        let mut vals_m = Vec::with_capacity(run.vals.len() + batch.len());
+                        let (mut i, mut j) = (0, 0);
+                        while i < run.vals.len() && j < batch.len() {
+                            if run.vals[i].total_cmp(&batch[j].0) != std::cmp::Ordering::Greater {
+                                vals_m.push(run.vals[i]);
+                                rows_m.push(run.rows[i]);
+                                i += 1;
+                            } else {
+                                vals_m.push(batch[j].0);
+                                rows_m.push(batch[j].1);
+                                j += 1;
+                            }
+                        }
+                        vals_m.extend_from_slice(&run.vals[i..]);
+                        rows_m.extend_from_slice(&run.rows[i..]);
+                        for &(v, r) in &batch[j..] {
+                            vals_m.push(v);
+                            rows_m.push(r);
+                        }
+                        OrderRun {
+                            rows: rows_m,
+                            vals: vals_m,
+                        }
+                    }
+                };
+                delta_map.insert(g, Arc::new(merged));
+            }
+            write_recover(&core.order).insert(
+                okey.clone(),
+                Arc::new(OrderIndex {
+                    base: idx.base.clone(),
+                    delta: delta_map,
+                }),
+            );
+        }
+
+        // Per-group features: every memoized entry is carried into the new
+        // epoch — untouched ones as `Arc` shares, touched ones delta-updated
+        // — so post-append lookups and transforms stay pure cache reads.
+        for (key, gf) in read_recover(&old.group_feats).iter() {
+            let entry = match deltas.get(&gf.query.group_keys) {
+                Some(d) => self.delta_group_feature(&core, gf, d, base)?,
+                None => {
+                    let gi = core.group_index(&self.train, &gf.query.group_keys)?;
+                    Arc::new(GroupFeature {
+                        query: gf.query.clone(),
+                        values: self.materialize_group_feature(&core, &gf.query, &gi)?,
+                        state: FeatureState::None,
+                    })
+                }
+            };
+            write_recover(&core.group_feats).insert(key.clone(), entry);
+        }
+
+        let mut touched_groups = 0;
+        let mut new_groups = 0;
+        for d in deltas.values() {
+            touched_groups += d.appended.len() - d.new_groups;
+            new_groups += d.new_groups;
+        }
+        crate::fail_point!("exec.ingest.publish");
+        Ok((
+            core,
+            Epoch {
+                epoch: old.epoch + 1,
+                appended_rows,
+                total_rows: total,
+                touched_groups,
+                new_groups,
+            },
+        ))
+    }
+
+    /// Carry one memoized per-group feature into the next epoch.
+    ///
+    /// Fast paths, in order: categorical aggregation columns under a
+    /// filtering predicate recompute outright (the reference re-interns
+    /// dictionary codes by first appearance among *selected* rows, so one
+    /// appended row can renumber every group's view); untouched features
+    /// share the prior epoch's `Arc`; trivial-predicate Stream features
+    /// resume their one-pass fold per touched group ([`StreamDelta`]);
+    /// trivial-predicate Moment features resume pass 1 and rescan only the
+    /// touched groups for pass 2 ([`MomentDelta`] — centred power sums are
+    /// not mergeable bit-identically); everything else rescans the touched
+    /// groups end to end through [`apply_kernel`]. Every path is
+    /// bit-identical to a full refit by construction: folds visit the same
+    /// values in the same order the engine's own kernels would.
+    fn delta_group_feature(
+        &self,
+        core: &EngineCore<'a>,
+        old_gf: &GroupFeature,
+        delta: &SubsetDelta,
+        base: usize,
+    ) -> EngineResult<Arc<GroupFeature>> {
+        let query = &old_gf.query;
+        let agg = query.agg;
+        let gi = &delta.gi;
+        let trivial = query.predicate.is_trivial();
+
+        if !trivial && matches!(core.relevant.column(&query.agg_column)?, Column::Cat(_)) {
+            let values = self.materialize_group_feature(core, query, gi)?;
+            return Ok(Arc::new(GroupFeature {
+                query: query.clone(),
+                values,
+                state: FeatureState::None,
+            }));
+        }
+
+        // Which appended rows survive the predicate, per group (ascending row
+        // order within each group, matching the engine's visit order).
+        let mut selected: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (&g, rows_of_g) in &delta.appended {
+            for &r in rows_of_g {
+                if trivial || core.row_matches(&query.predicate, r as usize)? {
+                    selected.entry(g).or_default().push(r);
+                }
+            }
+        }
+
+        if selected.is_empty() && gi.n_groups == old_gf.values.len() {
+            // Untouched: the prior epoch's feature is this epoch's feature.
+            return Ok(Arc::new(GroupFeature {
+                query: query.clone(),
+                values: old_gf.values.clone(),
+                state: old_gf.state.clone(),
+            }));
+        }
+
+        let view = core.view(&query.agg_column)?;
+        let mut values = (*old_gf.values).clone();
+        values.resize(gi.n_groups, None);
+        let family = KernelFamily::of(agg);
+
+        let state = if trivial && family == KernelFamily::Stream {
+            let mut state = match &old_gf.state {
+                FeatureState::Stream(m) => m.clone(),
+                _ => HashMap::new(),
+            };
+            // First touch of a group: fold its historical rows once to seed
+            // the resumable state; later appends skip straight to the resume.
+            let need: Vec<u32> = selected
+                .keys()
+                .filter(|g| !state.contains_key(g))
+                .copied()
+                .collect();
+            if !need.is_empty() {
+                let mut hist: HashMap<u32, StreamDelta> =
+                    need.iter().map(|&g| (g, StreamDelta::new(agg))).collect();
+                for (row, &g) in gi.group_of_row[..base].iter().enumerate() {
+                    if let Some(d) = hist.get_mut(&g) {
+                        d.observe(agg, view[row]);
+                    }
+                }
+                state.extend(hist);
+            }
+            for (&g, rows_sel) in &selected {
+                let d = state.get_mut(&g).expect("state seeded above");
+                for &r in rows_sel {
+                    d.observe(agg, view[r as usize]);
+                }
+                values[g as usize] = d.finalize(agg);
+            }
+            FeatureState::Stream(state)
+        } else if trivial && family == KernelFamily::Moment {
+            let mut state = match &old_gf.state {
+                FeatureState::Moment(m) => m.clone(),
+                _ => HashMap::new(),
+            };
+            let need: Vec<u32> = selected
+                .keys()
+                .filter(|g| !state.contains_key(g))
+                .copied()
+                .collect();
+            if !need.is_empty() {
+                let mut hist: HashMap<u32, MomentDelta> =
+                    need.iter().map(|&g| (g, MomentDelta::new())).collect();
+                for (row, &g) in gi.group_of_row[..base].iter().enumerate() {
+                    if let Some(d) = hist.get_mut(&g) {
+                        d.observe(view[row]);
+                    }
+                }
+                state.extend(hist);
+            }
+            // Resume pass 1 over the appended rows …
+            for (&g, rows_sel) in &selected {
+                let d = state.get_mut(&g).expect("state seeded above");
+                for &r in rows_sel {
+                    d.observe(view[r as usize]);
+                }
+            }
+            // … then pass 2 rescans each touched group with the new mean.
+            let wants_m4 = agg == AggFunc::Kurtosis;
+            let mut m2: HashMap<u32, f64> = selected.keys().map(|&g| (g, 0.0)).collect();
+            let mut m4: HashMap<u32, f64> = selected.keys().map(|&g| (g, 0.0)).collect();
+            for (row, &g) in gi.group_of_row.iter().enumerate() {
+                let Some(slot) = m2.get_mut(&g) else { continue };
+                if let Some(v) = view[row] {
+                    let mean = state[&g].mean();
+                    accumulate_m2(slot, v, mean);
+                    if wants_m4 {
+                        accumulate_m4(m4.get_mut(&g).expect("same keys as m2"), v, mean);
+                    }
+                }
+            }
+            for (g, d) in &state {
+                if !m2.contains_key(g) {
+                    continue;
+                }
+                values[*g as usize] = if d.sel == 0 {
+                    None
+                } else {
+                    moment_finalize(agg, d.nonnull as usize, m2[g], m4[g])
+                };
+            }
+            FeatureState::Moment(state)
+        } else {
+            // Universal fallback: rescan each touched group end to end and
+            // apply the slice kernel — the reference semantics by definition.
+            let mut sel: HashMap<u32, u64> = selected.keys().map(|&g| (g, 0)).collect();
+            let mut vals: HashMap<u32, Vec<f64>> =
+                selected.keys().map(|&g| (g, Vec::new())).collect();
+            for (row, &g) in gi.group_of_row.iter().enumerate() {
+                let Some(count) = sel.get_mut(&g) else {
+                    continue;
+                };
+                if trivial || core.row_matches(&query.predicate, row)? {
+                    *count += 1;
+                    if let Some(v) = view[row] {
+                        vals.get_mut(&g).expect("same keys as sel").push(v);
+                    }
+                }
+            }
+            for (g, count) in &sel {
+                values[*g as usize] = if *count == 0 {
+                    None
+                } else {
+                    apply_kernel(agg, &vals[g])
+                };
+            }
+            FeatureState::None
+        };
+
+        Ok(Arc::new(GroupFeature {
+            query: query.clone(),
+            values: Arc::new(values),
+            state,
+        }))
+    }
+}
+
+/// Per-key-subset outcome of extending a group index with one append batch.
+struct SubsetDelta {
+    /// The extended index (old group ids are stable; new keys get the next
+    /// dense ids).
+    gi: Arc<GroupIndex>,
+    /// Appended row ids per group that received any, in ascending row order.
+    appended: HashMap<u32, Vec<u32>>,
+    /// How many of those groups were minted by this batch.
+    new_groups: usize,
+}
+
+/// Extend `old_gi` over `relevant` (the concatenated table) with the rows at
+/// `base..`. Existing keys keep their group ids; new keys continue the dense
+/// first-appearance numbering, so the result is exactly what
+/// [`build_group_index`] would produce from scratch — at O(appended) cost
+/// unless the batch mints a key (which forces one train-side rescan of the
+/// previously-unmatched rows).
+fn extend_group_index(
+    old_gi: &GroupIndex,
+    relevant: &Table,
+    train: &Table,
+    keys: &[String],
+    base: usize,
+) -> feataug_tabular::Result<SubsetDelta> {
+    let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+    let cols: Vec<&feataug_tabular::Column> = key_refs
+        .iter()
+        .map(|k| relevant.column(k))
+        .collect::<feataug_tabular::Result<_>>()?;
+
+    let mut key_to_group = old_gi.key_to_group.clone();
+    let mut group_of_row = old_gi.group_of_row.clone();
+    group_of_row.reserve(relevant.num_rows() - base);
+    let mut appended: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut new_keys: HashMap<Vec<KeyAtom>, u32> = HashMap::new();
+    let mut key_buf: Vec<KeyAtom> = Vec::with_capacity(cols.len());
+    for row in base..relevant.num_rows() {
+        key_buf.clear();
+        key_buf.extend(cols.iter().map(|c| key_atom(c, row)));
+        let id = match key_to_group.get(key_buf.as_slice()) {
+            Some(&id) => id,
+            None => {
+                let id = key_to_group.len() as u32;
+                key_to_group.insert(key_buf.clone(), id);
+                new_keys.insert(key_buf.clone(), id);
+                id
+            }
+        };
+        group_of_row.push(id);
+        appended.entry(id).or_default().push(row as u32);
+    }
+    let n_groups = key_to_group.len();
+
+    // Train rows that already matched keep their ids (ids are stable). Only
+    // previously-unmatched rows can newly match a key minted by this batch —
+    // including via dictionary codes the append interned.
+    let train_group = if new_keys.is_empty() {
+        old_gi.train_group.clone()
+    } else {
+        let mapper = KeyMapper::new(relevant, train, &key_refs, &key_refs)?;
+        old_gi
+            .train_group
+            .iter()
+            .enumerate()
+            .map(|(row, tg)| tg.or_else(|| mapper.key(row).and_then(|k| new_keys.get(&k).copied())))
+            .collect()
+    };
+
+    let new_groups = new_keys.len();
+    Ok(SubsetDelta {
+        gi: Arc::new(GroupIndex {
+            group_of_row,
+            n_groups,
+            train_group,
+            key_to_group,
+        }),
+        appended,
+        new_groups,
+    })
+}
+
+impl<'a> EngineCore<'a> {
+    /// Translate one key value into the relevant table's key space, mirroring
+    /// [`KeyMapper`]'s rules: categorical strings resolve through the
+    /// dictionary, every other type must match the column's dtype exactly
+    /// (ints never match datetimes), and NULL never matches. `Ok(None)` means
+    /// "can never match any group"; `Err` means the key column is missing.
+    fn serve_atom(&self, column: &str, value: &Value) -> feataug_tabular::Result<Option<KeyAtom>> {
+        let col = self.relevant.column(column)?;
+        Ok(match (col, value) {
+            (Column::Cat(c), Value::Str(s)) => c.code_of(s).map(KeyAtom::Code),
+            (Column::Int(_), Value::Int(i)) => Some(KeyAtom::Int(*i)),
+            (Column::DateTime(_), Value::DateTime(t)) => Some(KeyAtom::Int(*t)),
+            (Column::Float(_), Value::Float(f)) => Some(KeyAtom::Bits(f.to_bits())),
+            (Column::Bool(_), Value::Bool(b)) => Some(KeyAtom::Bool(*b)),
+            _ => None,
+        })
+    }
+
+    /// Fetch (or build and memoize) the numeric view of a relevant-table
+    /// column. The artifact is immutable; the lock guards only the memo map.
+    fn view(&self, column: &str) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+        if let Some(v) = read_recover(&self.views).get(column) {
+            return Ok(v.clone());
+        }
+        let built = Arc::new(self.relevant.column(column)?.to_f64_vec());
+        let mut map = write_recover(&self.views);
+        // A racing worker may have inserted first; keep the canonical Arc.
+        Ok(map.entry(column.to_string()).or_insert(built).clone())
+    }
+
+    /// Fetch (or build and memoize) the group index for one group-key subset.
+    /// `train` is the gather side (the engine's training table — the core
+    /// holds only the relevant side).
+    fn group_index(
+        &self,
+        train: &Table,
+        keys: &[String],
+    ) -> feataug_tabular::Result<Arc<GroupIndex>> {
+        if let Some(gi) = read_recover(&self.groups).get(keys) {
+            return Ok(gi.clone());
+        }
+        let built = Arc::new(build_group_index(train, &self.relevant, keys)?);
+        let mut map = write_recover(&self.groups);
+        // A panic here unwinds with the write guard held and poisons the
+        // lock; `read_recover`/`write_recover` keep the engine serving (the
+        // map is never left mid-mutation — the failpoint fires before the
+        // insert, and `HashMap::insert` of an already-built Arc is the only
+        // mutation). Chaos tests force exactly this.
+        crate::fail_point!("exec.index.insert");
+        Ok(map.entry(keys.to_vec()).or_insert(built).clone())
+    }
+
+    /// The memoized order index for `query`'s `(aggregation column, key
+    /// subset)` pair — when its aggregate is an order statistic *and* the
+    /// selection is dense enough for the run merge to win. `None` routes the
+    /// query to the scatter-bucket kernels instead.
+    ///
+    /// Cost model: the merge scans every touched group's whole run (up to all
+    /// non-null rows) at one mask probe per value, while the scatter path
+    /// costs O(selected rows) plus a sort of each small bucket. With the
+    /// index already compiled the decision is **exact per-group run-length
+    /// accounting**: sum the touched groups' run lengths (base + lazy delta)
+    /// and merge only when the total stays within 4× the selected rows —
+    /// epoch deltas can concentrate huge runs in a few groups, which a global
+    /// row-count heuristic cannot see. When the index is not yet built, the
+    /// run lengths don't exist either, so a global `4 × selected ≥ rows`
+    /// density gate decides whether building it is worth amortizing — an
+    /// all-sparse workload never pays the compilation.
+    fn agg_order_index(
+        &self,
+        query: &PredicateQuery,
+        gi: &GroupIndex,
+        view: &[Option<f64>],
+        mask: Option<&SelectionMask>,
+    ) -> Option<Arc<OrderIndex>> {
+        if KernelFamily::of(query.agg) != KernelFamily::OrderStat {
+            return None;
+        }
+        // `None` mask = trivial predicate: every group's run is read in
+        // place, zero copies — always a win.
+        let Some(m) = mask else {
+            return Some(self.order_index(&query.agg_column, &query.group_keys, gi, view));
+        };
+        // The popcount runs only for order-statistic queries — the streaming
+        // / moment families bail out above without touching the mask.
+        let selected = m.count_ones();
+        let memo_key = (query.agg_column.clone(), query.group_keys.clone());
+        let existing = read_recover(&self.order).get(&memo_key).cloned();
+        match existing {
+            Some(idx) => {
+                let budget = selected.saturating_mul(4);
+                let mut run_total = 0usize;
+                let mut seen: HashSet<u32> = HashSet::new();
+                for row in 0..self.relevant.num_rows() {
+                    if !m.get(row) {
+                        continue;
+                    }
+                    let g = gi.group_of_row[row];
+                    if seen.insert(g) {
+                        run_total += idx.run_len(g as usize);
+                        if run_total > budget {
+                            return None;
+                        }
+                    }
+                }
+                Some(idx)
+            }
+            None => (selected.saturating_mul(4) >= self.relevant.num_rows())
+                .then(|| self.order_index(&query.agg_column, &query.group_keys, gi, view)),
+        }
+    }
+
+    /// Fetch (or build and memoize) the sorted-group value index for one
+    /// `(aggregation column, group-key subset)` pair. The artifact is
+    /// immutable; the lock guards only the memo map.
+    fn order_index(
+        &self,
+        column: &str,
+        keys: &[String],
+        gi: &GroupIndex,
+        view: &[Option<f64>],
+    ) -> Arc<OrderIndex> {
+        if let Some(idx) = read_recover(&self.order).get(&(column.to_string(), keys.to_vec())) {
+            return idx.clone();
+        }
+        let built = Arc::new(build_order_index(gi, view));
+        let mut map = write_recover(&self.order);
+        map.entry((column.to_string(), keys.to_vec()))
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Fetch (or build and memoize) the sorted row index for a range column.
+    fn sorted_index(&self, column: &str) -> feataug_tabular::Result<Arc<SortedIndex>> {
+        if let Some(idx) = read_recover(&self.sorted).get(column) {
+            return Ok(idx.clone());
+        }
+        let view = self.view(column)?;
+        let mut pairs: Vec<(f64, u32)> = view
+            .iter()
+            .enumerate()
+            .filter_map(|(row, v)| match v {
+                Some(x) if !x.is_nan() => Some((*x, row as u32)),
+                _ => None,
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
+        let built = Arc::new(SortedIndex {
+            vals: pairs.iter().map(|(v, _)| *v).collect(),
+            rows: pairs.iter().map(|(_, r)| *r).collect(),
+        });
+        let mut map = write_recover(&self.sorted);
+        Ok(map.entry(column.to_string()).or_insert(built).clone())
+    }
+
+    /// Fetch (or build and memoize) the inverted index for a categorical
+    /// column.
+    fn cat_index(&self, cat: &feataug_tabular::column::CatColumn, column: &str) -> Arc<CatIndex> {
+        if let Some(idx) = read_recover(&self.cats).get(column) {
+            return idx.clone();
+        }
+        let mut lists = vec![Vec::new(); cat.cardinality()];
+        for (row, code) in cat.codes().iter().enumerate() {
+            if let Some(c) = code {
+                lists[*c as usize].push(row as u32);
+            }
+        }
+        let built = Arc::new(CatIndex {
+            rows_by_code: lists.into_iter().map(Arc::new).collect(),
+        });
+        let mut map = write_recover(&self.cats);
+        map.entry(column.to_string()).or_insert(built).clone()
+    }
+
+    /// Evaluate a non-trivial predicate into `mask`, using `tmp` for
+    /// conjunction terms.
+    fn predicate_mask(
+        &self,
+        predicate: &Predicate,
+        mask: &mut SelectionMask,
+        tmp: &mut SelectionMask,
+    ) -> feataug_tabular::Result<()> {
+        match predicate {
+            Predicate::And(parts) => {
+                mask.reset(self.relevant.num_rows(), true);
+                for part in parts {
+                    self.leaf_mask(part, tmp)?;
+                    mask.and_assign(tmp);
+                }
+                Ok(())
+            }
+            leaf => self.leaf_mask(leaf, mask),
+        }
+    }
+
+    /// Evaluate one predicate leaf into `out` through the column indexes: an
+    /// equality or bounded range costs O(matching rows) bit sets instead of a
+    /// full-column scan. Mask membership is identical to the reference
+    /// [`Predicate::evaluate`] leaves, so downstream aggregation is
+    /// unaffected. Recurses for (rare, already-flattened-away) nested `And`s.
+    fn leaf_mask(
+        &self,
+        predicate: &Predicate,
+        out: &mut SelectionMask,
+    ) -> feataug_tabular::Result<()> {
+        let n = self.relevant.num_rows();
+        match predicate {
+            Predicate::True => {
+                out.reset(n, true);
+                Ok(())
+            }
+            Predicate::Eq { column, value } => {
+                let col = self.relevant.column(column)?;
+                match (col, value) {
+                    (Column::Cat(c), Value::Str(s)) => {
+                        let idx = self.cat_index(c, column);
+                        out.reset(n, false);
+                        if let Some(code) = c.code_of(s) {
+                            for &row in idx.rows_by_code[code as usize].iter() {
+                                out.set(row as usize, true);
+                            }
+                        }
+                    }
+                    // Equality on non-categorical operands (bools, odd manual
+                    // queries) is rare: fall back to the reference scan.
+                    _ => fill_eq(col, value, out),
+                }
+                Ok(())
+            }
+            Predicate::Range { column, low, high } => {
+                let lo = low.as_ref().and_then(|v| v.as_f64());
+                let hi = high.as_ref().and_then(|v| v.as_f64());
+                if lo.is_none() && hi.is_none() {
+                    // Unbounded range keeps every non-null row *including
+                    // NaNs*, which the sorted index deliberately drops: use
+                    // the view.
+                    let view = self.view(column)?;
+                    fill_range_view(&view, None, None, out);
+                    return Ok(());
+                }
+                let idx = self.sorted_index(column)?;
+                // `v < lo` / `v <= hi` are prefix-true over the ascending
+                // values, and a NaN bound satisfies neither (empty
+                // selection), matching the reference comparisons exactly.
+                let start = match lo {
+                    Some(l) => idx.vals.partition_point(|v| *v < l),
+                    None => 0,
+                };
+                let end = match hi {
+                    Some(h) => idx.vals.partition_point(|v| *v <= h),
+                    None => idx.vals.len(),
+                };
+                out.reset(n, false);
+                if let Some(rows) = idx.rows.get(start..end) {
+                    for &row in rows {
+                        out.set(row as usize, true);
+                    }
+                }
+                Ok(())
+            }
+            Predicate::And(parts) => {
+                out.reset(n, true);
+                let mut tmp = SelectionMask::new();
+                for part in parts {
+                    self.leaf_mask(part, &mut tmp)?;
+                    out.and_assign(&tmp);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Does `row` of the relevant table satisfy `predicate`? Point form of
+    /// the mask builders above, with identical membership: equality mirrors
+    /// [`fill_eq`] (NULL operands and NULL cells never match), ranges mirror
+    /// the sorted-index partitions (NULL never matches; an unbounded range
+    /// keeps NaNs, a bounded one drops them, a NaN bound matches nothing).
+    /// The append path uses this to classify single appended rows without
+    /// building full-table masks.
+    fn row_matches(&self, predicate: &Predicate, row: usize) -> feataug_tabular::Result<bool> {
+        match predicate {
+            Predicate::True => Ok(true),
+            Predicate::And(parts) => {
+                for part in parts {
+                    if !self.row_matches(part, row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Predicate::Eq { column, value } => {
+                let col = self.relevant.column(column)?;
+                Ok(match (col, value) {
+                    (Column::Cat(c), Value::Str(s)) => match (c.codes()[row], c.code_of(s)) {
+                        (Some(rc), Some(t)) => rc == t,
+                        _ => false,
+                    },
+                    _ => {
+                        if value.is_null() {
+                            false
+                        } else {
+                            let v = col.get(row);
+                            !v.is_null() && v.total_cmp(value) == std::cmp::Ordering::Equal
+                        }
+                    }
+                })
+            }
+            Predicate::Range { column, low, high } => {
+                let lo = low.as_ref().and_then(|v| v.as_f64());
+                let hi = high.as_ref().and_then(|v| v.as_f64());
+                let view = self.view(column)?;
+                Ok(match view[row] {
+                    None => false,
+                    // An unbounded side passes; a NaN cell fails any bounded
+                    // comparison (and a NaN bound fails every cell), matching
+                    // the mask builders.
+                    Some(x) => lo.is_none_or(|l| x >= l) && hi.is_none_or(|h| x <= h),
+                })
+            }
+        }
+    }
+
+    /// Run `query`'s predicate mask + grouped aggregation against this
+    /// core, leaving the per-group results in `scratch`
     /// (`group_out` / `sel_count` / `touched`). The caller reads the touched
     /// groups and MUST re-zero `sel_count` over `touched` afterwards to
     /// restore the scratch invariant.
@@ -1052,399 +2349,6 @@ impl<'a> QueryEngine<'a> {
             );
         }
         Ok(())
-    }
-
-    /// Fetch (or evaluate once and memoize) `query`'s **per-group** feature:
-    /// one slot per group of the query's key subset, `None` for groups the
-    /// predicate filtered out entirely or whose aggregate is NULL — exactly
-    /// the value a gather delivers to any row carrying that group's key. This
-    /// is the transform/serve workhorse: the aggregation runs once per query
-    /// per engine, and every later transform (over any table) or point lookup
-    /// is a cache read that moves no counter.
-    pub(crate) fn group_feature(
-        &self,
-        query: &PredicateQuery,
-    ) -> feataug_tabular::Result<SharedGroupFeature> {
-        let gi = self.group_index(&query.group_keys)?;
-        let key = FeatureCache::key(query);
-        if let Some(hit) = read_recover(&self.shared.group_feats).get(&key) {
-            return Ok((gi, hit.clone()));
-        }
-        self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
-        let mut scratch = self.take_scratch();
-        let result = self.aggregate_into_scratch(&mut scratch, query, &gi);
-        if let Err(e) = result {
-            self.put_scratch(scratch);
-            return Err(e);
-        }
-        // Materialise the touched groups (the only ones with live scratch
-        // slots); canonicalize NaNs exactly like the train gather does.
-        let mut values: Vec<Option<f64>> = vec![None; gi.n_groups];
-        for &g in &scratch.touched {
-            let g = g as usize;
-            values[g] = scratch.group_out[g].map(canonical_nan);
-        }
-        for &g in &scratch.touched {
-            scratch.sel_count[g as usize] = 0;
-        }
-        self.put_scratch(scratch);
-        let built = Arc::new(values);
-        let mut map = write_recover(&self.shared.group_feats);
-        // A racing worker may have inserted first; keep the canonical Arc.
-        Ok((gi, map.entry(key).or_insert(built).clone()))
-    }
-
-    /// Row → group-id gather map for an **arbitrary** table carrying the
-    /// group-key columns, in the relevant table's key space. Built fresh per
-    /// call (the table is unknown to the compiled core); the group index it
-    /// probes is memoized as usual.
-    fn gather_map(
-        &self,
-        table: &Table,
-        keys: &[String],
-        gi: &GroupIndex,
-    ) -> feataug_tabular::Result<Vec<Option<u32>>> {
-        let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
-        let mapper = KeyMapper::new(&self.relevant, table, &key_refs, &key_refs)?;
-        Ok((0..table.num_rows())
-            .map(|row| {
-                mapper
-                    .key(row)
-                    .and_then(|k| gi.key_to_group.get(&k).copied())
-            })
-            .collect())
-    }
-
-    /// Materialise every query of `queries` onto `table` — any table carrying
-    /// the group-key columns, not just the training table the engine was
-    /// compiled with. Each query's aggregation runs **once per engine**
-    /// (memoized per-group features in the shared core); only the O(rows) key
-    /// mapping and gather are paid per table, and one key mapping is shared
-    /// by every query grouping on the same key subset. `results[i]` is query
-    /// `i`'s feature aligned with `table`'s rows (`None` = SQL NULL), with
-    /// value semantics identical to [`QueryEngine::evaluate`] run against a
-    /// hypothetical engine whose training table were `table`.
-    pub fn transform(
-        &self,
-        queries: &[PredicateQuery],
-        table: &Table,
-    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
-        self.transform_threads(queries, table, workers_for_pool(queries.len()))
-    }
-
-    /// [`QueryEngine::transform`] with an explicit worker count (clamped to
-    /// `1..=queries.len()`). Each query's per-group aggregation (memoized) and
-    /// O(rows) gather run independently, so the per-query fan-out is
-    /// **bit-identical to the serial path at any worker count** — the
-    /// property suites enforce it at 1 / 2 / default workers. One key mapping
-    /// per distinct group-key subset is built up front and shared by every
-    /// query grouping on it; a table missing a key column therefore errors
-    /// before any aggregation work.
-    pub fn transform_threads(
-        &self,
-        queries: &[PredicateQuery],
-        table: &Table,
-        workers: usize,
-    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
-        let mut maps: HashMap<&[String], Arc<Vec<Option<u32>>>> = HashMap::new();
-        for query in queries {
-            if !maps.contains_key(query.group_keys.as_slice()) {
-                let gi = self.group_index(&query.group_keys)?;
-                let built = Arc::new(self.gather_map(table, &query.group_keys, &gi)?);
-                maps.insert(query.group_keys.as_slice(), built);
-            }
-        }
-        // The shared fan-out loop scatters every result back to its input
-        // slot, so collecting in order surfaces the first error in *input*
-        // order — exactly like the serial path.
-        fan_out(
-            queries,
-            workers,
-            "transform",
-            || (),
-            |()| (),
-            |_, query| -> EngineResult<Vec<Option<f64>>> {
-                crate::fail_point!("exec.gather");
-                let (_, feats) = self.group_feature(query)?;
-                let map = &maps[query.group_keys.as_slice()];
-                Ok(map
-                    .iter()
-                    .map(|g| g.and_then(|g| feats[g as usize]))
-                    .collect())
-            },
-        )
-        .into_iter()
-        .collect()
-    }
-
-    /// Answer a single-key request from the cached per-group features: the
-    /// feature `query` assigns to a row whose group-key values are
-    /// `key_values` (aligned with `query.group_keys`). `None` when the key is
-    /// absent from the relevant table, filtered out by the predicate, NULL, or
-    /// type-incompatible with the key column — the same rows a transform
-    /// leaves NULL. The first lookup of a query pays its one aggregation;
-    /// every later lookup is two hash probes.
-    pub fn lookup(
-        &self,
-        query: &PredicateQuery,
-        key_values: &[Value],
-    ) -> EngineResult<Option<f64>> {
-        if key_values.len() != query.group_keys.len() {
-            return Err(feataug_tabular::TabularError::InvalidArgument(format!(
-                "lookup key has {} values for {} group-key columns",
-                key_values.len(),
-                query.group_keys.len()
-            ))
-            .into());
-        }
-        let (gi, feats) = self.group_feature(query)?;
-        let mut key = Vec::with_capacity(key_values.len());
-        for (column, value) in query.group_keys.iter().zip(key_values) {
-            match self.serve_atom(column, value)? {
-                Some(atom) => key.push(atom),
-                // NULL / unseen / type-mismatched components never match,
-                // exactly like the KeyMapper-driven gather.
-                None => return Ok(None),
-            }
-        }
-        Ok(gi.key_to_group.get(&key).and_then(|&g| feats[g as usize]))
-    }
-
-    /// Translate one key value into the relevant table's key space, mirroring
-    /// [`KeyMapper`]'s rules: categorical strings resolve through the
-    /// dictionary, every other type must match the column's dtype exactly
-    /// (ints never match datetimes), and NULL never matches. `Ok(None)` means
-    /// "can never match any group"; `Err` means the key column is missing.
-    fn serve_atom(&self, column: &str, value: &Value) -> feataug_tabular::Result<Option<KeyAtom>> {
-        let col = self.relevant.column(column)?;
-        Ok(match (col, value) {
-            (Column::Cat(c), Value::Str(s)) => c.code_of(s).map(KeyAtom::Code),
-            (Column::Int(_), Value::Int(i)) => Some(KeyAtom::Int(*i)),
-            (Column::DateTime(_), Value::DateTime(t)) => Some(KeyAtom::Int(*t)),
-            (Column::Float(_), Value::Float(f)) => Some(KeyAtom::Bits(f.to_bits())),
-            (Column::Bool(_), Value::Bool(b)) => Some(KeyAtom::Bool(*b)),
-            _ => None,
-        })
-    }
-
-    /// Fetch (or build and memoize) the numeric view of a relevant-table
-    /// column. The artifact is immutable; the lock guards only the memo map.
-    fn view(&self, column: &str) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
-        if let Some(v) = read_recover(&self.shared.views).get(column) {
-            return Ok(v.clone());
-        }
-        let built = Arc::new(self.relevant.column(column)?.to_f64_vec());
-        let mut map = write_recover(&self.shared.views);
-        // A racing worker may have inserted first; keep the canonical Arc.
-        Ok(map.entry(column.to_string()).or_insert(built).clone())
-    }
-
-    /// Fetch (or build and memoize) the group index for one group-key subset.
-    fn group_index(&self, keys: &[String]) -> feataug_tabular::Result<Arc<GroupIndex>> {
-        if let Some(gi) = read_recover(&self.shared.groups).get(keys) {
-            return Ok(gi.clone());
-        }
-        let built = Arc::new(build_group_index(&self.train, &self.relevant, keys)?);
-        let mut map = write_recover(&self.shared.groups);
-        // A panic here unwinds with the write guard held and poisons the
-        // lock; `read_recover`/`write_recover` keep the engine serving (the
-        // map is never left mid-mutation — the failpoint fires before the
-        // insert, and `HashMap::insert` of an already-built Arc is the only
-        // mutation). Chaos tests force exactly this.
-        crate::fail_point!("exec.index.insert");
-        Ok(map.entry(keys.to_vec()).or_insert(built).clone())
-    }
-
-    /// The memoized order index for `query`'s `(aggregation column, key
-    /// subset)` pair — when its aggregate is an order statistic *and* the
-    /// selection is dense enough for the run merge to win. `None` routes the
-    /// query to the scatter-bucket kernels instead.
-    ///
-    /// Cost model: the merge scans every touched group's whole run (up to all
-    /// non-null rows) at one mask probe per value, while the scatter path
-    /// costs O(selected rows) plus a sort of each small bucket — so a sparse
-    /// selection is cheaper to re-bucket and a dense (or trivial: zero-copy)
-    /// one is cheaper to merge. The index is also built lazily on the first
-    /// query that actually chooses the merge, so an all-sparse workload never
-    /// pays the compilation.
-    fn agg_order_index(
-        &self,
-        query: &PredicateQuery,
-        gi: &GroupIndex,
-        view: &[Option<f64>],
-        mask: Option<&SelectionMask>,
-    ) -> Option<Arc<OrderIndex>> {
-        if KernelFamily::of(query.agg) != KernelFamily::OrderStat {
-            return None;
-        }
-        // `None` mask = trivial predicate (every row selected). The popcount
-        // runs only for order-statistic queries — the streaming / moment
-        // families bail out above without touching the mask.
-        let dense = match mask {
-            None => true,
-            Some(m) => m.count_ones().saturating_mul(4) >= self.relevant.num_rows(),
-        };
-        dense.then(|| self.order_index(&query.agg_column, &query.group_keys, gi, view))
-    }
-
-    /// Fetch (or build and memoize) the sorted-group value index for one
-    /// `(aggregation column, group-key subset)` pair. The artifact is
-    /// immutable; the lock guards only the memo map.
-    fn order_index(
-        &self,
-        column: &str,
-        keys: &[String],
-        gi: &GroupIndex,
-        view: &[Option<f64>],
-    ) -> Arc<OrderIndex> {
-        if let Some(idx) =
-            read_recover(&self.shared.order).get(&(column.to_string(), keys.to_vec()))
-        {
-            return idx.clone();
-        }
-        let built = Arc::new(build_order_index(gi, view));
-        let mut map = write_recover(&self.shared.order);
-        map.entry((column.to_string(), keys.to_vec()))
-            .or_insert(built)
-            .clone()
-    }
-
-    /// Fetch (or build and memoize) the sorted row index for a range column.
-    fn sorted_index(&self, column: &str) -> feataug_tabular::Result<Arc<SortedIndex>> {
-        if let Some(idx) = read_recover(&self.shared.sorted).get(column) {
-            return Ok(idx.clone());
-        }
-        let view = self.view(column)?;
-        let mut pairs: Vec<(f64, u32)> = view
-            .iter()
-            .enumerate()
-            .filter_map(|(row, v)| match v {
-                Some(x) if !x.is_nan() => Some((*x, row as u32)),
-                _ => None,
-            })
-            .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
-        let built = Arc::new(SortedIndex {
-            vals: pairs.iter().map(|(v, _)| *v).collect(),
-            rows: pairs.iter().map(|(_, r)| *r).collect(),
-        });
-        let mut map = write_recover(&self.shared.sorted);
-        Ok(map.entry(column.to_string()).or_insert(built).clone())
-    }
-
-    /// Fetch (or build and memoize) the inverted index for a categorical
-    /// column.
-    fn cat_index(&self, cat: &feataug_tabular::column::CatColumn, column: &str) -> Arc<CatIndex> {
-        if let Some(idx) = read_recover(&self.shared.cats).get(column) {
-            return idx.clone();
-        }
-        let mut rows_by_code = vec![Vec::new(); cat.cardinality()];
-        for (row, code) in cat.codes().iter().enumerate() {
-            if let Some(c) = code {
-                rows_by_code[*c as usize].push(row as u32);
-            }
-        }
-        let built = Arc::new(CatIndex { rows_by_code });
-        let mut map = write_recover(&self.shared.cats);
-        map.entry(column.to_string()).or_insert(built).clone()
-    }
-
-    /// Evaluate a non-trivial predicate into `mask`, using `tmp` for
-    /// conjunction terms.
-    fn predicate_mask(
-        &self,
-        predicate: &Predicate,
-        mask: &mut SelectionMask,
-        tmp: &mut SelectionMask,
-    ) -> feataug_tabular::Result<()> {
-        match predicate {
-            Predicate::And(parts) => {
-                mask.reset(self.relevant.num_rows(), true);
-                for part in parts {
-                    self.leaf_mask(part, tmp)?;
-                    mask.and_assign(tmp);
-                }
-                Ok(())
-            }
-            leaf => self.leaf_mask(leaf, mask),
-        }
-    }
-
-    /// Evaluate one predicate leaf into `out` through the column indexes: an
-    /// equality or bounded range costs O(matching rows) bit sets instead of a
-    /// full-column scan. Mask membership is identical to the reference
-    /// [`Predicate::evaluate`] leaves, so downstream aggregation is
-    /// unaffected. Recurses for (rare, already-flattened-away) nested `And`s.
-    fn leaf_mask(
-        &self,
-        predicate: &Predicate,
-        out: &mut SelectionMask,
-    ) -> feataug_tabular::Result<()> {
-        let n = self.relevant.num_rows();
-        match predicate {
-            Predicate::True => {
-                out.reset(n, true);
-                Ok(())
-            }
-            Predicate::Eq { column, value } => {
-                let col = self.relevant.column(column)?;
-                match (col, value) {
-                    (Column::Cat(c), Value::Str(s)) => {
-                        let idx = self.cat_index(c, column);
-                        out.reset(n, false);
-                        if let Some(code) = c.code_of(s) {
-                            for &row in &idx.rows_by_code[code as usize] {
-                                out.set(row as usize, true);
-                            }
-                        }
-                    }
-                    // Equality on non-categorical operands (bools, odd manual
-                    // queries) is rare: fall back to the reference scan.
-                    _ => fill_eq(col, value, out),
-                }
-                Ok(())
-            }
-            Predicate::Range { column, low, high } => {
-                let lo = low.as_ref().and_then(|v| v.as_f64());
-                let hi = high.as_ref().and_then(|v| v.as_f64());
-                if lo.is_none() && hi.is_none() {
-                    // Unbounded range keeps every non-null row *including
-                    // NaNs*, which the sorted index deliberately drops: use
-                    // the view.
-                    let view = self.view(column)?;
-                    fill_range_view(&view, None, None, out);
-                    return Ok(());
-                }
-                let idx = self.sorted_index(column)?;
-                // `v < lo` / `v <= hi` are prefix-true over the ascending
-                // values, and a NaN bound satisfies neither (empty
-                // selection), matching the reference comparisons exactly.
-                let start = match lo {
-                    Some(l) => idx.vals.partition_point(|v| *v < l),
-                    None => 0,
-                };
-                let end = match hi {
-                    Some(h) => idx.vals.partition_point(|v| *v <= h),
-                    None => idx.vals.len(),
-                };
-                out.reset(n, false);
-                if let Some(rows) = idx.rows.get(start..end) {
-                    for &row in rows {
-                        out.set(row as usize, true);
-                    }
-                }
-                Ok(())
-            }
-            Predicate::And(parts) => {
-                out.reset(n, true);
-                let mut tmp = SelectionMask::new();
-                for part in parts {
-                    self.leaf_mask(part, &mut tmp)?;
-                    out.and_assign(&tmp);
-                }
-                Ok(())
-            }
-        }
     }
 }
 
@@ -1580,6 +2484,8 @@ fn aggregate_groups(
         cursors,
         scatter,
         sorted_buf,
+        merge_rows,
+        merge_vals,
         dev_buf,
         freq,
         group_out,
@@ -1738,7 +2644,7 @@ fn aggregate_groups(
                 // Selection-aware merge over the pre-sorted group runs.
                 for &g in touched.iter() {
                     let g = g as usize;
-                    let (rows, vals) = order.run(g);
+                    let (rows, vals) = order.run(g, merge_rows, merge_vals);
                     let selected: &[f64] = if trivial {
                         vals
                     } else {
@@ -2074,7 +2980,7 @@ mod tests {
         engine.evaluate(&c).unwrap(); // c is the freshest entry
         let engine = engine.with_feature_cache_capacity(1);
         assert_eq!(
-            engine.shared.features.lock().unwrap().map.len(),
+            lock_recover(&engine.core().features).map.len(),
             1,
             "shrinking the capacity must release the trimmed entries"
         );

@@ -16,6 +16,10 @@
 //! |                     | `Panic` here genuinely poisons the memo map       |
 //! | `exec.kernel`       | per-candidate aggregation (batch worker bodies)   |
 //! | `exec.gather`       | the transform path's per-query gather             |
+//! | `exec.ingest.build` | start of `append_relevant`'s next-epoch build,    |
+//! |                     | inside the panic-contained region                 |
+//! | `exec.ingest.publish` | end of the epoch build, just before the swap    |
+//! |                     | publishes it (still panic-contained)              |
 //! | `serving.lookup`    | [`crate::serving::ServingHandle::lookup`]         |
 //! | `tier.batch`        | the serving tier's worker loop, once per batch    |
 //!

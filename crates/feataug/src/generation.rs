@@ -122,19 +122,23 @@ impl GenerationTiming {
 }
 
 /// The SQL Query Generation component.
-pub struct QueryGenerator<'a> {
+pub struct QueryGenerator<'a, 'e> {
     task: &'a AugTask,
     evaluator: &'a FeatureEvaluator,
     cfg: SqlGenConfig,
-    engine: QueryEngine<'a>,
+    engine: QueryEngine<'e>,
 }
 
-impl<'a> QueryGenerator<'a> {
+impl<'a, 'e> QueryGenerator<'a, 'e> {
     /// Build a generator for one augmentation task. The execution engine is compiled lazily on
     /// the first candidate and its caches persist across every `generate` call on this
     /// generator.
-    pub fn new(task: &'a AugTask, evaluator: &'a FeatureEvaluator, cfg: SqlGenConfig) -> Self {
-        Self::with_engine(
+    pub fn new(
+        task: &'a AugTask,
+        evaluator: &'a FeatureEvaluator,
+        cfg: SqlGenConfig,
+    ) -> QueryGenerator<'a, 'a> {
+        QueryGenerator::with_engine(
             task,
             evaluator,
             cfg,
@@ -145,12 +149,14 @@ impl<'a> QueryGenerator<'a> {
     /// Build a generator that evaluates candidates through `engine` — a (clone of a) shared
     /// [`QueryEngine`] compiled over the *same* `(train, relevant)` pair as `task`, so the
     /// compiled group indexes, column views and cached feature vectors of other components are
-    /// reused instead of rebuilt.
+    /// reused instead of rebuilt. The engine's lifetime is independent of the task borrow
+    /// (epoch-versioned engines are invariant in their table lifetime, so a `'static` engine
+    /// must not be forced down to the task's).
     pub fn with_engine(
         task: &'a AugTask,
         evaluator: &'a FeatureEvaluator,
         cfg: SqlGenConfig,
-        engine: QueryEngine<'a>,
+        engine: QueryEngine<'e>,
     ) -> Self {
         QueryGenerator {
             task,
@@ -161,7 +167,7 @@ impl<'a> QueryGenerator<'a> {
     }
 
     /// The execution engine this generator evaluates candidates through.
-    pub fn engine(&self) -> &QueryEngine<'a> {
+    pub fn engine(&self) -> &QueryEngine<'e> {
         &self.engine
     }
 

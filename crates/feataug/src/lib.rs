@@ -83,6 +83,21 @@
 //! * [`pipeline::FeatAug::augment`] survives as a thin `fit` + `transform(train)` wrapper,
 //!   bit-identical to the historical one-shot pipeline.
 //!
+//! ## Live ingestion: epoch-versioned engine core
+//!
+//! The engine core is a **copy-on-write epoch**:
+//! [`exec::QueryEngine::append_relevant`] ingests a batch of new
+//! relevant-table rows by building the next epoch off to the side — only the
+//! touched groups are recomputed (streaming aggregates resume per-group delta
+//! accumulators, order-stat indexes merge the batch as lazy per-group sorted
+//! runs, untouched artifacts are shared with the prior epoch by `Arc`) — and
+//! publishing it with one atomic swap. Readers never block behind ingestion:
+//! every lookup/transform/batch pins one epoch, in-flight work finishes on
+//! the epoch it pinned, and the next request observes the append atomically.
+//! Prepared [`serving::ServingHandle`]s follow the epochs by themselves, and
+//! results after an append are property-tested bit-identical to a full refit
+//! over the concatenated table.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -117,6 +132,14 @@
 //! let mut out = Vec::new();
 //! handle.lookup(&[Value::Str("alice".into())], &mut out)?; // zero-alloc warm path
 //!
+//! // Live ingestion: append new relevant rows as one atomic epoch. Only the
+//! // touched groups are recomputed; concurrent lookups never block, and the
+//! // prepared handle serves the new epoch on its next request.
+//! # fn get_new_rows() -> feataug_tabular::Table { unimplemented!() }
+//! let epoch = model.append_relevant(&get_new_rows())?;
+//! println!("epoch {}: +{} rows, {} groups touched", epoch.epoch, epoch.appended_rows, epoch.touched_groups);
+//! handle.lookup(&[Value::Str("alice".into())], &mut out)?; // sees the appended rows
+//!
 //! // Survivable serving: an admission-controlled tier in front of the handle
 //! // (bounded queue, deadlines, load shedding, graceful degradation) that
 //! // also supports atomic hot-swap of a recompiled model.
@@ -150,13 +173,15 @@ pub mod template;
 pub mod template_id;
 
 pub use exec::{
-    default_workers, workers_for_pool, EngineError, EngineResult, EngineStats, QueryEngine,
-    TableHandle,
+    default_workers, workers_for_pool, EngineError, EngineResult, EngineStats, Epoch, EpochCell,
+    QueryEngine, TableHandle,
 };
 pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, OwnedAugModel};
 pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
-pub use query::{AugPlan, PlanParseError, PlannedQuery, PredicateQuery, QueryCodec};
+pub use query::{
+    AugPlan, PlanParseError, PlanParseErrorKind, PlannedQuery, PredicateQuery, QueryCodec,
+};
 pub use serving::tier::{ServingTier, TierConfig, TierError, TierStats};
 pub use serving::ServingHandle;
 pub use template::QueryTemplate;

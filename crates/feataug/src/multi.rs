@@ -196,6 +196,19 @@ impl<'a> MultiAugModel<'a> {
         self.models.iter().map(|m| m.plan()).collect()
     }
 
+    /// Ingest `rows` into source `source`'s relevant table as one atomic
+    /// epoch (see [`AugModel::append_relevant`]). The other sources' engines
+    /// and epochs are untouched.
+    pub fn append_relevant(&self, source: usize, rows: &Table) -> EngineResult<crate::exec::Epoch> {
+        let model = self.models.get(source).ok_or_else(|| {
+            feataug_tabular::TabularError::InvalidArgument(format!(
+                "append_relevant source index {source} out of range for {} sources",
+                self.models.len()
+            ))
+        })?;
+        model.append_relevant(rows)
+    }
+
     /// Attach the union of every source's planned features to a copy of
     /// `table` (any table carrying each source's training-side key columns).
     /// Feature names embed a query hash, so cross-source collisions are

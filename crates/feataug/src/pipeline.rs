@@ -276,9 +276,28 @@ impl<'a> AugModel<'a> {
     /// a pre-built key→group probe, so the hot path is hash probes plus a
     /// slice copy — no `Debug`/SQL rendering, no [`Value`] clones, zero heap
     /// allocation on the warm path. Pays each cold query's one aggregation
-    /// up front; results are bit-identical to [`AugModel::serve`].
-    pub fn prepare(&self) -> EngineResult<crate::serving::ServingHandle> {
+    /// up front; results are bit-identical to [`AugModel::serve`]. The
+    /// handle follows this model's engine across
+    /// [`AugModel::append_relevant`] epochs by itself.
+    pub fn prepare(&self) -> EngineResult<crate::serving::ServingHandle<'a>> {
         crate::serving::ServingHandle::prepare(&self.engine, &self.plan)
+    }
+
+    /// Ingest `rows` into the engine's relevant table as one atomic epoch
+    /// (see [`crate::exec::QueryEngine::append_relevant`]): only the touched
+    /// groups are delta-updated, untouched compiled artifacts are shared
+    /// with the prior epoch, and every in-flight lookup/transform keeps the
+    /// epoch it pinned. Prepared [`crate::serving::ServingHandle`]s and
+    /// later [`AugModel::serve`]/[`AugModel::transform`] calls observe the
+    /// new rows on their next request.
+    pub fn append_relevant(&self, rows: &Table) -> EngineResult<crate::exec::Epoch> {
+        self.engine.append_relevant(rows)
+    }
+
+    /// The engine's current epoch (0 until the first
+    /// [`AugModel::append_relevant`]).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
     }
 
     /// The portable plan: the selected queries as plain data.
@@ -381,7 +400,8 @@ impl<'a> AugModel<'a> {
     ///
     /// Lookups read the cached per-group features (two hash probes after a
     /// query's first use), so a warm model answers point requests without
-    /// touching the relevant table.
+    /// touching the relevant table. One engine epoch is pinned for the whole
+    /// request, so every slot answers against the same ingestion snapshot.
     pub fn serve(&self, key: &[Value]) -> EngineResult<Vec<Option<f64>>> {
         if key.len() != self.plan.key_columns.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
@@ -391,6 +411,7 @@ impl<'a> AugModel<'a> {
             ))
             .into());
         }
+        let core = self.engine.core();
         self.plan
             .queries
             .iter()
@@ -411,7 +432,7 @@ impl<'a> AugModel<'a> {
                     subset.push(key[position].clone());
                 }
                 self.engine
-                    .lookup(&planned.query, &subset)
+                    .lookup_pinned(&core, &planned.query, &subset)
                     .map(|v| v.filter(|x| x.is_finite()))
             })
             .collect()

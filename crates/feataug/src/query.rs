@@ -101,14 +101,42 @@ impl PredicateQuery {
     }
 }
 
+/// What class of failure [`AugPlan::from_plan_text`] hit — lets callers tell
+/// "this plan came from a newer build" (actionable: upgrade the reader) apart
+/// from "this text is broken" without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanParseErrorKind {
+    /// The text violates the format: unknown directives, bad escapes,
+    /// truncated queries, a header that isn't an `AUGPLAN` line at all.
+    Malformed,
+    /// The header declared an `AUGPLAN` version this build does not read.
+    UnsupportedVersion {
+        /// The version the header declared.
+        found: u32,
+    },
+}
+
 /// A parse failure of [`AugPlan::from_plan_text`]: the offending line (1-based,
-/// 0 for document-level problems) and what went wrong.
+/// 0 for document-level problems), what went wrong, and which
+/// [`PlanParseErrorKind`] it is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanParseError {
     /// 1-based line number of the offending line (0: document-level).
     pub line: usize,
     /// Human-readable description of the problem.
     pub message: String,
+    /// The failure class (version mismatch vs. broken text).
+    pub kind: PlanParseErrorKind,
+}
+
+impl PlanParseError {
+    fn malformed(line: usize, message: String) -> PlanParseError {
+        PlanParseError {
+            line,
+            message,
+            kind: PlanParseErrorKind::Malformed,
+        }
+    }
 }
 
 impl std::fmt::Display for PlanParseError {
@@ -214,10 +242,10 @@ fn unescape_field(s: &str, line: usize) -> Result<String, PlanParseError> {
             Some('n') => out.push('\n'),
             Some('r') => out.push('\r'),
             other => {
-                return Err(PlanParseError {
+                return Err(PlanParseError::malformed(
                     line,
-                    message: format!("bad escape sequence `\\{}`", other.unwrap_or(' ')),
-                })
+                    format!("bad escape sequence `\\{}`", other.unwrap_or(' ')),
+                ))
             }
         }
     }
@@ -239,7 +267,7 @@ fn render_value(v: &Value) -> String {
 }
 
 fn parse_value(field: &str, line: usize) -> Result<Value, PlanParseError> {
-    let err = |message: String| PlanParseError { line, message };
+    let err = |message: String| PlanParseError::malformed(line, message);
     let (tag, body) = field
         .split_once(':')
         .ok_or_else(|| err(format!("value `{field}` has no type tag")))?;
@@ -403,13 +431,29 @@ impl AugPlan {
     /// [`PlanParseError`] carrying the offending line number; parsing never
     /// panics on hostile input.
     pub fn from_plan_text(text: &str) -> Result<AugPlan, PlanParseError> {
-        let err = |line: usize, message: String| PlanParseError { line, message };
+        let err = |line: usize, message: String| PlanParseError::malformed(line, message);
         let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
 
         let Some((_, header)) = lines.next() else {
             return Err(err(0, "empty plan text".into()));
         };
-        if header.trim_end() != PLAN_HEADER {
+        let header = header.trim_end();
+        if header != PLAN_HEADER {
+            // A well-formed `AUGPLAN <n>` header with the wrong version is a
+            // distinct, typed failure: the plan came from a build speaking a
+            // newer (or retired) format revision, not from corrupted text.
+            if let Some(found) = header
+                .strip_prefix("AUGPLAN ")
+                .and_then(|v| v.trim().parse::<u32>().ok())
+            {
+                return Err(PlanParseError {
+                    line: 1,
+                    message: format!(
+                        "unsupported plan version {found} (this build reads `{PLAN_HEADER}`)"
+                    ),
+                    kind: PlanParseErrorKind::UnsupportedVersion { found },
+                });
+            }
             return Err(err(1, format!("expected `{PLAN_HEADER}`, got `{header}`")));
         }
 
@@ -1162,7 +1206,7 @@ mod tests {
         assert_err(half_line, "unknown directive", 2);
 
         // Unknown directives / aggregates / value type tags.
-        assert_err("AUGPLAN 2\n", "expected `AUGPLAN 1`", 1);
+        assert_err("AUGPLAN 2\n", "unsupported plan version 2", 1);
         assert_err(&format!("{text}frobnicate\tx\n"), "unknown directive", 2);
         assert_err(
             &text.replace("query\tAVG", "query\tFROBNICATE"),
@@ -1240,6 +1284,30 @@ mod tests {
         // The untouched text still parses (the mutations above were the
         // only problems).
         assert!(parse(&text).is_ok());
+    }
+
+    /// The version header failure is a distinct typed kind — callers can
+    /// tell "newer format" from "broken text" without string matching.
+    #[test]
+    fn plan_version_mismatch_is_a_typed_kind() {
+        let e = AugPlan::from_plan_text("AUGPLAN 2\nrelevant\tlogs\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, PlanParseErrorKind::UnsupportedVersion { found: 2 });
+        assert!(e.message.contains("unsupported plan version 2"));
+        assert!(e.message.contains("AUGPLAN 1"));
+
+        let e = AugPlan::from_plan_text("AUGPLAN 9999\n").unwrap_err();
+        assert_eq!(
+            e.kind,
+            PlanParseErrorKind::UnsupportedVersion { found: 9999 }
+        );
+
+        // Everything that is not a well-formed `AUGPLAN <n>` header — and
+        // every other parse failure — stays `Malformed`.
+        for bad in ["AUGPLAN", "AUGPLAN x", "PLAN 1", "", "AUGPLAN 1\nnope\tx\n"] {
+            let e = AugPlan::from_plan_text(bad).unwrap_err();
+            assert_eq!(e.kind, PlanParseErrorKind::Malformed, "input {bad:?}");
+        }
     }
 
     /// Value-field parsing rejects malformed payloads of every tag.

@@ -25,9 +25,22 @@
 //!
 //! [`ServingHandle::lookup_batch`] fans request batches across the same
 //! pool-cost-sized scoped worker pool the engine's batch evaluation uses
-//! ([`workers_for_pool`]; `FEATAUG_THREADS` stays authoritative). The handle
-//! is `Send + Sync + 'static`: share one behind an `Arc` across every
-//! request thread of a serving process.
+//! ([`workers_for_pool`]; `FEATAUG_THREADS` stays authoritative). A handle
+//! over a shared-table engine is `Send + Sync + 'static`: share one behind
+//! an `Arc` across every request thread of a serving process.
+//!
+//! ## Epochs
+//!
+//! The handle **follows live ingestion**. It keeps a cheap clone of the
+//! engine (sharing the compiled epoch cell) plus its plan, and compiles the
+//! probes and slots into a per-epoch [`EpochCell`]-published state. When
+//! [`crate::exec::QueryEngine::append_relevant`] publishes a new epoch, the
+//! next lookup notices the epoch advance (one atomic-epoch compare on the
+//! warm path), recompiles the state — pure memo reads, because an append
+//! carries every memoized per-group feature forward — and republishes it
+//! atomically. Lookups never block behind ingestion: in-flight requests
+//! finish against the state they pinned, and each batch pins exactly one
+//! epoch.
 //!
 //! The [`tier`] submodule stacks the production concerns on top of the
 //! handle: an admission-controlled request queue with deadlines and load
@@ -42,7 +55,9 @@ use std::sync::Arc;
 use feataug_tabular::groupby::KeyAtom;
 use feataug_tabular::{Column, Value};
 
-use crate::exec::{fan_out, workers_for_pool, EngineResult, GroupIndex, QueryEngine};
+use crate::exec::{
+    fan_out, workers_for_pool, EngineCore, EngineResult, EpochCell, GroupIndex, QueryEngine,
+};
 use crate::query::AugPlan;
 
 /// Key subsets up to this many columns are atomized into a stack buffer;
@@ -148,44 +163,85 @@ struct FeatureSlot {
     feats: Arc<Vec<Option<f64>>>,
 }
 
-/// A prepared, allocation-free lookup handle over a fitted (or compiled)
-/// model's plan — built by [`crate::pipeline::AugModel::prepare`], which
-/// pays each planned query's one aggregation up front. See the
-/// [module docs](self) for the hot-path anatomy.
-pub struct ServingHandle {
-    /// The plan's full foreign key `K`, in serve-key order.
-    key_columns: Vec<String>,
-    /// Feature column names, in plan (= output) order.
-    feature_names: Vec<String>,
+/// One engine epoch's compiled lookup state: the probes and interned feature
+/// slots, all resolved against a single pinned [`EngineCore`]. Republished
+/// atomically (via [`EpochCell`]) the first time a lookup observes the
+/// engine on a newer epoch.
+struct PreparedState {
+    /// The engine epoch this state was compiled against.
+    epoch: u64,
     /// One probe per distinct group-key subset, in first-appearance order.
     probes: Vec<KeyProbe>,
     /// One slot per planned query, grouped contiguously by probe.
     slots: Vec<FeatureSlot>,
 }
 
-impl std::fmt::Debug for ServingHandle {
+/// A prepared, allocation-free lookup handle over a fitted (or compiled)
+/// model's plan — built by [`crate::pipeline::AugModel::prepare`], which
+/// pays each planned query's one aggregation up front. The handle follows
+/// the engine across [`crate::exec::QueryEngine::append_relevant`] epochs.
+/// See the [module docs](self) for the hot-path anatomy.
+pub struct ServingHandle<'a> {
+    /// The engine the handle follows across epochs (a cheap clone sharing
+    /// the compiled epoch cell and memo).
+    engine: QueryEngine<'a>,
+    /// The plan served — kept so new epochs can be recompiled in place.
+    plan: AugPlan,
+    /// Feature column names, in plan (= output) order (stable across
+    /// epochs).
+    feature_names: Vec<String>,
+    /// The current epoch's compiled probes and slots.
+    state: EpochCell<PreparedState>,
+}
+
+impl std::fmt::Debug for ServingHandle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.load();
         f.debug_struct("ServingHandle")
-            .field("key_columns", &self.key_columns)
-            .field("features", &self.slots.len())
-            .field("key_probes", &self.probes.len())
+            .field("key_columns", &self.plan.key_columns)
+            .field("features", &state.slots.len())
+            .field("key_probes", &state.probes.len())
+            .field("epoch", &state.epoch)
             .finish()
     }
 }
 
-impl ServingHandle {
+impl<'a> ServingHandle<'a> {
     /// Resolve `plan` against `engine`: evaluate-and-memoize each query's
     /// per-group feature (the one aggregation a cold query costs), intern
     /// the feature slots, and pre-build one key probe per distinct group-key
     /// subset. Errors when a query's aggregation fails, a group key is not a
     /// plan key column, or a key column is missing from the relevant table.
-    pub(crate) fn prepare(engine: &QueryEngine<'_>, plan: &AugPlan) -> EngineResult<ServingHandle> {
+    pub(crate) fn prepare(
+        engine: &QueryEngine<'a>,
+        plan: &AugPlan,
+    ) -> EngineResult<ServingHandle<'a>> {
+        let core = engine.core();
+        let state = Self::build_state(engine, &core, plan)?;
+        Ok(ServingHandle {
+            engine: engine.clone(),
+            plan: plan.clone(),
+            feature_names: plan.feature_names(),
+            state: EpochCell::new(Arc::new(state)),
+        })
+    }
+
+    /// Compile `plan`'s probes and slots against one pinned `core`. Every
+    /// feature resolves through the engine memo (a map read when the epoch
+    /// carried it forward), and every atomizer dictionary is cloned out of
+    /// the pinned core's relevant table — appends can grow dictionaries, so
+    /// the clones are per-epoch state, not handle state.
+    fn build_state(
+        engine: &QueryEngine<'a>,
+        core: &EngineCore<'a>,
+        plan: &AugPlan,
+    ) -> EngineResult<PreparedState> {
         // Group the plan's queries by key subset, first-appearance order.
         let mut subset_order: Vec<Vec<String>> = Vec::new();
         let mut indexes: HashMap<Vec<String>, Arc<GroupIndex>> = HashMap::new();
         let mut by_subset: HashMap<Vec<String>, Vec<FeatureSlot>> = HashMap::new();
         for (out_pos, planned) in plan.queries.iter().enumerate() {
-            let (index, feats) = engine.group_feature(&planned.query)?;
+            let (index, feats) = engine.group_feature(core, &planned.query)?;
             let keys = &planned.query.group_keys;
             if !indexes.contains_key(keys) {
                 subset_order.push(keys.clone());
@@ -222,7 +278,7 @@ impl ServingHandle {
                 .map(|key| match atomizer_cache.get(key) {
                     Some(atomizer) => Ok(Arc::clone(atomizer)),
                     None => {
-                        let built = Arc::new(Atomizer::for_column(engine.relevant().column(key)?));
+                        let built = Arc::new(Atomizer::for_column(core.relevant().column(key)?));
                         atomizer_cache.insert(key.clone(), Arc::clone(&built));
                         Ok(built)
                     }
@@ -238,18 +294,46 @@ impl ServingHandle {
             });
         }
 
-        Ok(ServingHandle {
-            key_columns: plan.key_columns.clone(),
-            feature_names: plan.feature_names(),
+        Ok(PreparedState {
+            epoch: core.epoch(),
             probes,
             slots,
         })
     }
 
+    /// Pin the current epoch's compiled state, recompiling first when the
+    /// engine has advanced past it (an `append_relevant` landed). The warm
+    /// path — epoch unchanged — is two short lock holds and one compare,
+    /// with **zero heap allocations**.
+    fn current_state(&self) -> EngineResult<Arc<PreparedState>> {
+        let state = self.state.load();
+        if state.epoch == self.engine.epoch() {
+            return Ok(state);
+        }
+        self.refresh()
+    }
+
+    /// Recompile the probes and slots against the engine's current epoch and
+    /// publish them. Appends carry every memoized per-group feature forward,
+    /// so this is pure map reads — no aggregation re-runs, no evaluation
+    /// counter moves. Racing refreshes are benign: each publishes a state
+    /// consistent with some recent epoch, and the next lookup re-checks.
+    fn refresh(&self) -> EngineResult<Arc<PreparedState>> {
+        let core = self.engine.core();
+        let built = Arc::new(Self::build_state(&self.engine, &core, &self.plan)?);
+        self.state.swap(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// The engine epoch the handle last compiled its lookup state against.
+    pub fn epoch(&self) -> u64 {
+        self.state.load().epoch
+    }
+
     /// The plan's foreign-key columns, in the order `lookup` expects the key
     /// values.
     pub fn key_columns(&self) -> &[String] {
-        &self.key_columns
+        &self.plan.key_columns
     }
 
     /// Feature column names, aligned with the output slots of `lookup`.
@@ -259,7 +343,7 @@ impl ServingHandle {
 
     /// Number of features a lookup writes.
     pub fn num_features(&self) -> usize {
-        self.slots.len()
+        self.plan.queries.len()
     }
 
     /// Answer one online request into `out` (resized to
@@ -276,20 +360,32 @@ impl ServingHandle {
     /// clones. Results are bit-identical to
     /// [`crate::pipeline::AugModel::serve`].
     pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> EngineResult<()> {
+        let state = self.current_state()?;
+        self.lookup_with(&state, key, out)
+    }
+
+    /// [`ServingHandle::lookup`] against one already-pinned epoch state —
+    /// the shared tail of the point and batch paths.
+    fn lookup_with(
+        &self,
+        state: &PreparedState,
+        key: &[Value],
+        out: &mut Vec<Option<f64>>,
+    ) -> EngineResult<()> {
         crate::fail_point!("serving.lookup");
-        if key.len() != self.key_columns.len() {
+        if key.len() != self.plan.key_columns.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "lookup key has {} values for {} key columns",
                 key.len(),
-                self.key_columns.len()
+                self.plan.key_columns.len()
             ))
             .into());
         }
         out.clear();
-        out.resize(self.slots.len(), None);
-        for probe in &self.probes {
+        out.resize(state.slots.len(), None);
+        for probe in &state.probes {
             let group = probe.group_of(key);
-            for slot in &self.slots[probe.slots.clone()] {
+            for slot in &state.slots[probe.slots.clone()] {
                 out[slot.out_pos] = group
                     .and_then(|g| slot.feats[g as usize])
                     .filter(|v| v.is_finite());
@@ -301,7 +397,7 @@ impl ServingHandle {
     /// [`ServingHandle::lookup`] into a fresh vector (allocates; the
     /// buffer-reusing form is the hot path).
     pub fn lookup_vec(&self, key: &[Value]) -> EngineResult<Vec<Option<f64>>> {
-        let mut out = Vec::with_capacity(self.slots.len());
+        let mut out = Vec::with_capacity(self.plan.queries.len());
         self.lookup(key, &mut out)?;
         Ok(out)
     }
@@ -314,11 +410,11 @@ impl ServingHandle {
     /// any work.
     pub fn lookup_batch(&self, keys: &[Vec<Value>]) -> EngineResult<Vec<Vec<Option<f64>>>> {
         for key in keys {
-            if key.len() != self.key_columns.len() {
+            if key.len() != self.plan.key_columns.len() {
                 return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                     "lookup key has {} values for {} key columns",
                     key.len(),
-                    self.key_columns.len()
+                    self.plan.key_columns.len()
                 ))
                 .into());
             }
@@ -333,14 +429,22 @@ impl ServingHandle {
     /// bit-identical to serial [`ServingHandle::lookup`] calls at any worker
     /// count.
     pub fn try_lookup_batch(&self, keys: &[Vec<Value>]) -> Vec<EngineResult<Vec<Option<f64>>>> {
+        // Pin one epoch for the whole batch: every batch-mate answers
+        // against the same snapshot even while appends land concurrently.
+        let pinned = self.current_state();
         fan_out(
             keys,
             workers_for_pool(keys.len()),
             "batch lookup",
-            || Vec::with_capacity(self.slots.len()),
+            || Vec::with_capacity(self.plan.queries.len()),
             |_| (),
             |row, key| {
-                self.lookup(key, row)?;
+                match &pinned {
+                    Ok(state) => self.lookup_with(state, key, row)?,
+                    // The epoch recompile failed; re-resolving per request
+                    // reproduces the typed error for each batch-mate.
+                    Err(_) => self.lookup(key, row)?,
+                }
                 Ok(row.clone())
             },
         )
@@ -512,6 +616,50 @@ mod tests {
     }
 
     #[test]
+    fn lookup_follows_appends_without_reprepare() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let handle = ServingHandle::prepare(&engine, &plan()).unwrap();
+        let mut out = Vec::new();
+        handle
+            .lookup(&[Value::Str("a".into()), Value::Str("m1".into())], &mut out)
+            .unwrap();
+        assert_eq!(out[0], Some(10.0));
+        assert_eq!(handle.epoch(), 0);
+
+        // Append one more department-E row for (a, m1) and a brand-new
+        // (c, m3) group whose key values are new dictionary entries.
+        let mut batch = Table::new("logs");
+        batch
+            .add_column("cname", Column::from_strs(&["a", "c"]))
+            .unwrap();
+        batch
+            .add_column("mid", Column::from_strs(&["m1", "m3"]))
+            .unwrap();
+        batch
+            .add_column("pprice", Column::from_f64s(&[5.0, 7.0]))
+            .unwrap();
+        batch
+            .add_column("department", Column::from_strs(&["E", "E"]))
+            .unwrap();
+        let info = engine.append_relevant(&batch).unwrap();
+        assert_eq!(info.epoch, 1);
+
+        // The next lookup transparently refreshes onto the new epoch.
+        handle
+            .lookup(&[Value::Str("a".into()), Value::Str("m1".into())], &mut out)
+            .unwrap();
+        assert_eq!(out[0], Some(15.0), "sum picks up the appended E row");
+        assert_eq!(out[2], Some(3.0), "count sees the third cname=a row");
+        assert_eq!(handle.epoch(), 1);
+        // The new group — including its fresh dictionary codes — serves.
+        handle
+            .lookup(&[Value::Str("c".into()), Value::Str("m3".into())], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![Some(7.0), Some(7.0), Some(1.0), Some(7.0)]);
+    }
+
+    #[test]
     fn handle_is_send_sync_static() {
         fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
         let (train, relevant) = (Arc::new(train()), Arc::new(relevant()));
@@ -519,8 +667,8 @@ mod tests {
         let handle = ServingHandle::prepare(&engine, &plan()).unwrap();
         assert_send_sync_static(&handle);
         drop(engine);
-        // The handle stands alone: it holds Arcs onto the compiled
-        // artifacts, not the engine.
+        // The handle carries its own engine clone (sharing the compiled
+        // epoch cell), so dropping the caller's engine changes nothing.
         let mut out = Vec::new();
         handle
             .lookup(&[Value::Str("b".into()), Value::Str("m2".into())], &mut out)

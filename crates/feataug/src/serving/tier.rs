@@ -15,15 +15,18 @@
 //!
 //! The tier serves from an [`EpochCell`] — an `ArcSwap`-style cell hand-rolled
 //! from `Mutex<Arc<_>>` plus a generation counter, so the build stays
-//! dependency-free. A background refit (`FeatAug::fit` → `AugModel::prepare`)
+//! dependency-free (the same cell the engine core's copy-on-write epochs
+//! publish through). A background refit (`FeatAug::fit` → `AugModel::prepare`)
 //! publishes its new handle with [`ServingTier::install`]; lookups in flight
 //! finish against the model their batch pinned, the next batch sees the new
 //! one, and no reader ever blocks longer than another reader's pointer clone.
+//! Note that live `append_relevant` ingestion needs **no** swap at all: each
+//! installed handle follows its engine's epochs by itself.
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use feataug::serving::tier::{ServingTier, TierConfig};
-//! # fn prepare_handle() -> feataug::ServingHandle { unimplemented!() }
+//! # fn prepare_handle() -> feataug::ServingHandle<'static> { unimplemented!() }
 //! let tier = ServingTier::new(Arc::new(prepare_handle()), TierConfig::default());
 //! let features = tier.lookup(&[feataug_tabular::Value::Int(7)]);
 //! let generation = tier.install(Arc::new(prepare_handle())); // hot-swap
@@ -31,7 +34,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -119,46 +122,10 @@ impl std::error::Error for TierError {
     }
 }
 
-/// An `ArcSwap`-style epoch cell, hand-rolled from std (the build is
-/// offline): readers pin the current value by cloning the `Arc` under one
-/// short mutex hold, writers [`EpochCell::swap`] a new value in and bump the
-/// generation counter. Readers never block each other for longer than a
-/// refcount bump, and a swap never waits for in-flight users of the old
-/// value — they keep their pinned `Arc` until they drop it.
-pub struct EpochCell<T> {
-    current: Mutex<Arc<T>>,
-    generation: AtomicU64,
-}
-
-impl<T> EpochCell<T> {
-    /// A cell at generation 0 holding `value`.
-    pub fn new(value: Arc<T>) -> EpochCell<T> {
-        EpochCell {
-            current: Mutex::new(value),
-            generation: AtomicU64::new(0),
-        }
-    }
-
-    /// Pin the current value (a refcount bump under a short lock hold).
-    pub fn load(&self) -> Arc<T> {
-        lock_recover(&self.current).clone()
-    }
-
-    /// Publish `value`, returning the new generation. In-flight holders of
-    /// the previous `Arc` are unaffected.
-    pub fn swap(&self, value: Arc<T>) -> u64 {
-        let mut slot = lock_recover(&self.current);
-        *slot = value;
-        // Bumped while the slot lock is held, so generation observations
-        // through `load` + `generation` can never run backwards.
-        self.generation.fetch_add(1, Ordering::SeqCst) + 1
-    }
-
-    /// The number of swaps published so far.
-    pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::SeqCst)
-    }
-}
+// The tier's hot-swap cell is the same `EpochCell` the engine core's
+// copy-on-write epochs publish through; re-exported here so existing
+// `serving::tier::EpochCell` users keep compiling.
+pub use crate::exec::EpochCell;
 
 /// One queued lookup: the key, the admission-stamped deadline, and the reply
 /// channel.
@@ -173,7 +140,7 @@ struct TierShared {
     config: TierConfig,
     queue: Mutex<VecDeque<Request>>,
     available: Condvar,
-    model: EpochCell<ServingHandle>,
+    model: EpochCell<ServingHandle<'static>>,
     shutdown: AtomicBool,
     submitted: AtomicUsize,
     answered: AtomicUsize,
@@ -235,7 +202,7 @@ impl std::fmt::Debug for ServingTier {
 
 impl ServingTier {
     /// Spawn the worker pool and start serving `handle`.
-    pub fn new(handle: Arc<ServingHandle>, config: TierConfig) -> ServingTier {
+    pub fn new(handle: Arc<ServingHandle<'static>>, config: TierConfig) -> ServingTier {
         let workers = config.workers.max(1);
         let shared = Arc::new(TierShared {
             config,
@@ -319,12 +286,12 @@ impl ServingTier {
     /// to the old model finish against it, every later batch serves the new
     /// one, and no warm lookup blocks on the swap. Returns the new
     /// generation.
-    pub fn install(&self, handle: Arc<ServingHandle>) -> u64 {
+    pub fn install(&self, handle: Arc<ServingHandle<'static>>) -> u64 {
         self.shared.model.swap(handle)
     }
 
     /// Pin the currently-served model.
-    pub fn model(&self) -> Arc<ServingHandle> {
+    pub fn model(&self) -> Arc<ServingHandle<'static>> {
         self.shared.model.load()
     }
 
@@ -392,7 +359,7 @@ fn worker_loop(shared: &TierShared) {
 /// Answer one request against the pinned model: skip the gather if the
 /// deadline already fired, contain any panic into a typed error, degrade (or
 /// error) if the deadline fired mid-gather.
-fn answer(shared: &TierShared, model: &ServingHandle, request: Request) {
+fn answer(shared: &TierShared, model: &ServingHandle<'_>, request: Request) {
     let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() > d);
     let result = if expired(request.deadline) {
         past_deadline(shared, model)
@@ -423,7 +390,7 @@ fn answer(shared: &TierShared, model: &ServingHandle, request: Request) {
 /// NULL) under graceful degradation, a typed error otherwise.
 fn past_deadline(
     shared: &TierShared,
-    model: &ServingHandle,
+    model: &ServingHandle<'_>,
 ) -> Result<Vec<Option<f64>>, TierError> {
     shared.degraded.fetch_add(1, Ordering::Relaxed);
     if shared.config.degrade_on_deadline {
@@ -439,7 +406,7 @@ mod tests {
     use crate::query::{AugPlan, PlannedQuery, PredicateQuery};
     use feataug_tabular::{AggFunc, Column, Predicate, Table};
 
-    fn handle(scale: f64) -> Arc<ServingHandle> {
+    fn handle(scale: f64) -> Arc<ServingHandle<'static>> {
         let mut train = Table::new("users");
         train
             .add_column("uid", Column::from_i64s(&[1, 2, 3]))

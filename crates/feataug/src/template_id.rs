@@ -98,15 +98,15 @@ pub struct ScoredTemplate {
 }
 
 /// The Query Template Identification component.
-pub struct TemplateIdentifier<'a> {
+pub struct TemplateIdentifier<'a, 'e> {
     task: &'a AugTask,
     evaluator: &'a FeatureEvaluator,
     agg_funcs: Vec<AggFunc>,
     cfg: TemplateIdConfig,
-    engine: QueryEngine<'a>,
+    engine: QueryEngine<'e>,
 }
 
-impl<'a> TemplateIdentifier<'a> {
+impl<'a, 'e> TemplateIdentifier<'a, 'e> {
     /// Build an identifier. `agg_funcs` is the aggregation-function set `F` shared by every
     /// candidate template. Pool samples of every node are executed through one shared
     /// [`QueryEngine`], so the group indexes and column views built for the first node are
@@ -116,8 +116,8 @@ impl<'a> TemplateIdentifier<'a> {
         evaluator: &'a FeatureEvaluator,
         agg_funcs: Vec<AggFunc>,
         cfg: TemplateIdConfig,
-    ) -> Self {
-        Self::with_engine(
+    ) -> TemplateIdentifier<'a, 'a> {
+        TemplateIdentifier::with_engine(
             task,
             evaluator,
             agg_funcs,
@@ -128,13 +128,16 @@ impl<'a> TemplateIdentifier<'a> {
 
     /// Build an identifier that scores pool samples through `engine` — a (clone of a) shared
     /// [`QueryEngine`] compiled over the *same* `(train, relevant)` pair as `task`, so later
-    /// components reuse the group indexes and column views beam search compiles here.
+    /// components reuse the group indexes and column views beam search compiles here. The
+    /// engine's lifetime is independent of the task borrow (epoch-versioned engines are
+    /// invariant in their table lifetime, so a `'static` engine must not be forced down to
+    /// the task's).
     pub fn with_engine(
         task: &'a AugTask,
         evaluator: &'a FeatureEvaluator,
         agg_funcs: Vec<AggFunc>,
         cfg: TemplateIdConfig,
-        engine: QueryEngine<'a>,
+        engine: QueryEngine<'e>,
     ) -> Self {
         TemplateIdentifier {
             task,
@@ -146,7 +149,7 @@ impl<'a> TemplateIdentifier<'a> {
     }
 
     /// The execution engine this identifier scores pool samples through.
-    pub fn engine(&self) -> &QueryEngine<'a> {
+    pub fn engine(&self) -> &QueryEngine<'e> {
         &self.engine
     }
 
@@ -394,7 +397,7 @@ mod tests {
         task: &'a AugTask,
         evaluator: &'a FeatureEvaluator,
         cfg: TemplateIdConfig,
-    ) -> TemplateIdentifier<'a> {
+    ) -> TemplateIdentifier<'a, 'a> {
         TemplateIdentifier::new(
             task,
             evaluator,

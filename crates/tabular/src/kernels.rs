@@ -299,6 +299,155 @@ impl CodeFreqKernel {
 }
 
 // ---------------------------------------------------------------------------
+// Mergeable delta accumulators (incremental ingestion)
+// ---------------------------------------------------------------------------
+
+/// Resumable one-pass state for one group of a `Stream`-family aggregate
+/// (`SUM`, `MIN`, `MAX`, `COUNT`, `AVG`).
+///
+/// An incremental engine keeps one `StreamDelta` per group and, when new rows
+/// arrive, *continues the fold* by calling [`StreamDelta::observe`] on the
+/// appended values in ascending row order. Because the appended rows all come
+/// after the rows already folded, the continued fold performs exactly the
+/// same operations in exactly the same order as a from-scratch pass over the
+/// concatenated rows — so [`StreamDelta::finalize`] is **bit-identical** to a
+/// full recompute (the property tests pin it against [`apply_kernel`]).
+///
+/// Note the deliberate asymmetry with a tree-shaped combine: floating-point
+/// addition is not associative, so merging two *finished* partial sums would
+/// not reproduce the sequential fold's bits. The mergeable unit is therefore
+/// (state, new values in row order), not (state, state).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamDelta {
+    /// Rows observed (selected rows, null values included) — the presence
+    /// count deciding group-absent (`None`) semantics.
+    pub sel: u64,
+    /// Values folded into `acc` (non-null; for `MIN`/`MAX` also non-NaN).
+    pub nonnull: u64,
+    /// The running fold value.
+    pub acc: f64,
+}
+
+impl StreamDelta {
+    /// Fresh state for `agg`: the fold's neutral element (`-0.0` for sums —
+    /// `Iterator::sum`'s identity — and the appropriate infinity for
+    /// `MIN`/`MAX`).
+    pub fn new(agg: AggFunc) -> StreamDelta {
+        let acc = match agg {
+            AggFunc::Min => f64::INFINITY,
+            AggFunc::Max => f64::NEG_INFINITY,
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Count => -0.0,
+            other => unreachable!("{other:?} is not a streaming aggregate"),
+        };
+        StreamDelta {
+            sel: 0,
+            nonnull: 0,
+            acc,
+        }
+    }
+
+    /// Fold one more selected row's value (`None` = SQL NULL). Values must
+    /// arrive in ascending row order across every batch for bit identity.
+    #[inline]
+    pub fn observe(&mut self, agg: AggFunc, value: Option<f64>) {
+        self.sel += 1;
+        let Some(v) = value else { return };
+        match agg {
+            AggFunc::Sum | AggFunc::Avg => {
+                self.nonnull += 1;
+                self.acc += v;
+            }
+            AggFunc::Count => self.nonnull += 1,
+            // MIN/MAX skip NaNs so an all-NaN group finalizes to NULL.
+            AggFunc::Min => {
+                if !v.is_nan() {
+                    self.nonnull += 1;
+                    self.acc = self.acc.min(v);
+                }
+            }
+            AggFunc::Max => {
+                if !v.is_nan() {
+                    self.nonnull += 1;
+                    self.acc = self.acc.max(v);
+                }
+            }
+            other => unreachable!("{other:?} is not a streaming aggregate"),
+        }
+    }
+
+    /// The aggregate value at this point of the stream: `None` when the group
+    /// has no selected rows (group absent) or no participating values
+    /// (every non-count aggregate of an all-NULL group). Canonical-NaN
+    /// pinned, like every kernel output.
+    pub fn finalize(&self, agg: AggFunc) -> Option<f64> {
+        if self.sel == 0 {
+            return None;
+        }
+        let value = match agg {
+            AggFunc::Count => Some(self.nonnull as f64),
+            _ if self.nonnull == 0 => None,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => Some(self.acc),
+            AggFunc::Avg => Some(self.acc / self.nonnull as f64),
+            other => unreachable!("{other:?} is not a streaming aggregate"),
+        };
+        value.map(canonical_nan)
+    }
+}
+
+/// Resumable pass-1 state for one group of a `Moment`-family aggregate
+/// (`VAR`, `VAR_SAMPLE`, `STD`, `STD_SAMPLE`, `KURTOSIS`): the non-null count
+/// and the running sum, folded in ascending row order.
+///
+/// Appending rows continues the sum fold bit-identically (same argument as
+/// [`StreamDelta`]); pass 2 then recomputes the centred power sums over the
+/// group's *full* value sequence with the new mean — the mean shifted, so the
+/// centred terms of the old rows changed and cannot be reused. An append
+/// therefore costs pass 2 only for the touched groups.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MomentDelta {
+    /// Rows observed (selected rows, null values included).
+    pub sel: u64,
+    /// Non-null values folded into `sum`.
+    pub nonnull: u64,
+    /// The running sum (`-0.0`-seeded, `Iterator::sum`'s identity).
+    pub sum: f64,
+}
+
+impl Default for MomentDelta {
+    fn default() -> MomentDelta {
+        MomentDelta::new()
+    }
+}
+
+impl MomentDelta {
+    /// Fresh (empty) pass-1 state.
+    pub fn new() -> MomentDelta {
+        MomentDelta {
+            sel: 0,
+            nonnull: 0,
+            sum: -0.0,
+        }
+    }
+
+    /// Fold one more selected row's value (`None` = SQL NULL), in ascending
+    /// row order.
+    #[inline]
+    pub fn observe(&mut self, value: Option<f64>) {
+        self.sel += 1;
+        if let Some(v) = value {
+            self.nonnull += 1;
+            self.sum += v;
+        }
+    }
+
+    /// The group mean pass 2 centres on — exactly `sum / n`, the reference's
+    /// operation on the reference's sum bits.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.nonnull as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Slice-level entry point
 // ---------------------------------------------------------------------------
 
@@ -498,5 +647,128 @@ mod tests {
         assert_eq!(moment_finalize(AggFunc::VarSample, 1, 0.0, 0.0), Some(0.0));
         assert_eq!(moment_finalize(AggFunc::StdSample, 1, 0.0, 0.0), Some(0.0));
         assert_eq!(moment_finalize(AggFunc::Kurtosis, 2, 0.0, 0.0), Some(0.0));
+    }
+
+    /// A value stream with NULLs interleaved among the adversarial floats.
+    fn adversarial_stream() -> Vec<Option<f64>> {
+        let mut stream = Vec::new();
+        for (i, v) in adversarial_values().into_iter().enumerate() {
+            stream.push(Some(v));
+            if i % 3 == 0 {
+                stream.push(None);
+            }
+        }
+        stream
+    }
+
+    /// Feeding a `StreamDelta` in one pass or resumed across every possible
+    /// split point must finalize to the same bits as `apply_kernel` over the
+    /// non-null values — the continuation property `append_relevant` rests on.
+    #[test]
+    fn stream_delta_continuation_is_bit_identical_to_one_pass() {
+        let stream = adversarial_stream();
+        for &agg in &[
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            let nonnull: Vec<f64> = stream.iter().filter_map(|v| *v).collect();
+            let reference = apply_kernel(agg, &nonnull);
+            for split in 0..=stream.len() {
+                let mut delta = StreamDelta::new(agg);
+                for v in &stream[..split] {
+                    delta.observe(agg, *v);
+                }
+                // Resume from a copied state, as an epoch clone would.
+                let mut resumed = delta;
+                for v in &stream[split..] {
+                    resumed.observe(agg, *v);
+                }
+                assert_eq!(resumed.sel as usize, stream.len());
+                assert_eq!(
+                    resumed.finalize(agg).map(f64::to_bits),
+                    reference.map(f64::to_bits),
+                    "{agg} split at {split}"
+                );
+            }
+        }
+    }
+
+    /// No selected rows means the group is absent (`None`); an all-NULL group
+    /// is NULL for everything but COUNT, which reports zero.
+    #[test]
+    fn stream_delta_empty_and_all_null_conventions() {
+        for &agg in &[
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            assert_eq!(StreamDelta::new(agg).finalize(agg), None, "{agg} empty");
+            let mut delta = StreamDelta::new(agg);
+            delta.observe(agg, None);
+            delta.observe(agg, None);
+            let want = if agg == AggFunc::Count {
+                Some(0.0)
+            } else {
+                None
+            };
+            assert_eq!(delta.finalize(agg), want, "{agg} all-null");
+        }
+        // MIN/MAX treat NaN like NULL: an all-NaN group stays absent-valued.
+        for &agg in &[AggFunc::Min, AggFunc::Max] {
+            let mut delta = StreamDelta::new(agg);
+            delta.observe(agg, Some(f64::NAN));
+            assert_eq!(delta.finalize(agg), None, "{agg} all-NaN");
+        }
+    }
+
+    /// The pass-1 sum fold continues bit-identically across splits, and the
+    /// mean it yields drives `accumulate_m2`/`moment_finalize` to the same
+    /// bits as the one-shot kernel.
+    #[test]
+    fn moment_delta_pass1_continuation_is_bit_identical() {
+        let stream: Vec<Option<f64>> = adversarial_stream()
+            .into_iter()
+            .filter(|v| !matches!(v, Some(x) if x.is_nan() || x.is_infinite()))
+            .collect();
+        let nonnull: Vec<f64> = stream.iter().filter_map(|v| *v).collect();
+        for &agg in &[
+            AggFunc::Var,
+            AggFunc::VarSample,
+            AggFunc::Std,
+            AggFunc::StdSample,
+            AggFunc::Kurtosis,
+        ] {
+            let reference = apply_kernel(agg, &nonnull);
+            for split in 0..=stream.len() {
+                let mut delta = MomentDelta::new();
+                for v in &stream[..split] {
+                    delta.observe(*v);
+                }
+                let mut resumed = delta;
+                for v in &stream[split..] {
+                    resumed.observe(*v);
+                }
+                // Pass 2 over the full value sequence with the continued mean.
+                let mean = resumed.mean();
+                let (mut m2, mut m4) = (0.0, 0.0);
+                for &v in &nonnull {
+                    accumulate_m2(&mut m2, v, mean);
+                    if agg == AggFunc::Kurtosis {
+                        accumulate_m4(&mut m4, v, mean);
+                    }
+                }
+                let got = moment_finalize(agg, resumed.nonnull as usize, m2, m4);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    reference.map(f64::to_bits),
+                    "{agg} split at {split}"
+                );
+            }
+        }
     }
 }

@@ -122,14 +122,25 @@ impl SelectionMask {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Visit every selected row index in ascending order.
+    /// Visit every selected row index in ascending order, one 64-bit word at
+    /// a time: saturated words (the common case for dense selections and
+    /// trivial predicates) take a branch-free counted loop instead of paying
+    /// per-bit `trailing_zeros` dispatch; sparse words still skip straight to
+    /// each set bit.
     #[inline]
     pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
         for (wi, &word) in self.bits.iter().enumerate() {
+            let base = wi * 64;
+            if word == u64::MAX {
+                for b in 0..64 {
+                    f(base + b);
+                }
+                continue;
+            }
             let mut w = word;
             while w != 0 {
                 let b = w.trailing_zeros() as usize;
-                f(wi * 64 + b);
+                f(base + b);
                 w &= w - 1;
             }
         }
@@ -289,6 +300,28 @@ mod tests {
         assert_eq!(m.count_ones(), 67);
         assert!(m.get(0) && m.get(3) && m.get(198));
         assert!(!m.get(1));
+    }
+
+    /// The saturated-word fast path in `for_each_set` must visit exactly the
+    /// same indices, in the same order, as the sparse bit-skipping path —
+    /// across full words, partial tails, and mixed densities.
+    #[test]
+    fn for_each_set_full_word_fast_path_matches_sparse_path() {
+        let shapes: Vec<(usize, Box<dyn Fn(usize) -> bool>)> = vec![
+            (64, Box::new(|_| true)),                      // exactly one saturated word
+            (130, Box::new(|_| true)),                     // saturated words + ragged tail
+            (200, Box::new(|i| i < 64 || i % 7 == 0)),     // saturated then sparse
+            (320, Box::new(|i| !(128..192).contains(&i))), // hole mid-mask
+            (63, Box::new(|_| true)),                      // all-true but below one word
+        ];
+        for (len, pred) in shapes {
+            let mut m = SelectionMask::new();
+            m.fill_from(len, &pred);
+            let mut visited = Vec::new();
+            m.for_each_set(|i| visited.push(i));
+            let expected: Vec<usize> = (0..len).filter(|&i| pred(i)).collect();
+            assert_eq!(visited, expected, "len {len}");
+        }
     }
 
     #[test]

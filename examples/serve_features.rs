@@ -20,7 +20,11 @@
 //!    across the worker pool);
 //! 6. put a **survivable front door** on it: a [`feataug::ServingTier`] with
 //!    admission control, per-request deadlines with graceful degradation,
-//!    and atomic **hot-swap** of a recompiled model under live traffic.
+//!    and atomic **hot-swap** of a recompiled model under live traffic;
+//! 7. **ingest live**: append fresh relevant rows with
+//!    `AugModel::append_relevant` — one copy-on-write engine epoch, only the
+//!    touched groups recomputed — and watch the already-installed handle
+//!    serve the new epoch with no re-prepare and no hot-swap.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -183,5 +187,28 @@ fn main() {
         "hot-swapped to generation {generation} under a live tier \
          (submitted {} answered {} shed {} degraded {}) ✓",
         stats.submitted, stats.answered, stats.shed, stats.degraded
+    );
+
+    // ---- 7. Live ingestion: append relevant rows under the live tier -----------------------
+    // Fresh relevant rows arrive while the tier keeps serving.
+    // `append_relevant` publishes them as one copy-on-write engine epoch:
+    // only the touched groups are recomputed, untouched compiled artifacts
+    // are `Arc`-shared with the prior epoch, and no lookup ever blocks
+    // behind the ingest. The handle installed in step 6 follows its engine's
+    // epochs by itself — no re-prepare, no hot-swap.
+    let replay_rows: Vec<usize> = (0..task.relevant.num_rows().min(32)).collect();
+    let fresh_rows = task.relevant.take(&replay_rows);
+    let epoch = next
+        .append_relevant(&fresh_rows)
+        .expect("append relevant rows");
+    println!(
+        "\nappended {} relevant rows as epoch {} ({} groups touched, {} new, {} total rows)",
+        epoch.appended_rows, epoch.epoch, epoch.touched_groups, epoch.new_groups, epoch.total_rows
+    );
+    let live = tier.lookup(&key).expect("tier lookup after append");
+    assert_eq!(live.len(), row.len());
+    println!(
+        "tier serves the appended epoch live (engine epoch {}) with no re-prepare ✓",
+        next.epoch()
     );
 }

@@ -414,6 +414,147 @@ fn overload_sheds_at_admission_and_admitted_requests_survive() {
     assert_eq!(stats.answered, admitted);
 }
 
+/// A panic forced mid-`append_relevant` must be contained: the append fails
+/// with a typed [`EngineError::WorkerPanic`], the published epoch never
+/// moves, 8 concurrent reader threads stay bit-identical to the pre-append
+/// reference throughout, and a clean retry afterwards publishes the next
+/// epoch with values identical to a full refit over the concatenated table.
+///
+/// With `overlap_delay`, `exec.ingest.build` stalls the in-flight build for
+/// 20ms first, so the readers demonstrably overlap a half-built epoch.
+fn append_panic_keeps_prior_epoch_serving(fail_at: &str, overlap_delay: bool) {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(71);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xd00d, 4);
+    let plan = plan_from(&ds, &pool);
+    let model = AugModel::compile_shared(plan.clone(), task.train.clone(), task.relevant.clone());
+    let handle = model.prepare().unwrap();
+
+    let keys: Vec<Vec<Value>> = (0..task.train.num_rows().min(16))
+        .map(|row| {
+            task.key_columns
+                .iter()
+                .map(|k| task.train.value(row, k).unwrap())
+                .collect()
+        })
+        .collect();
+    // Clean reference before arming anything (also warms the per-group memo,
+    // so the failed append has real delta state to carry — and to discard).
+    let reference: Vec<Vec<Option<f64>>> = keys
+        .iter()
+        .map(|k| {
+            let mut out = Vec::new();
+            handle.lookup(k, &mut out).unwrap();
+            out
+        })
+        .collect();
+
+    let batch_rows: Vec<usize> = (0..task.relevant.num_rows().min(24)).collect();
+    let batch = task.relevant.take(&batch_rows);
+
+    if overlap_delay {
+        failpoint::set(
+            "exec.ingest.build",
+            Action::Delay(Duration::from_millis(20)),
+        );
+    }
+    failpoint::set_times(fail_at, Action::Panic, 1);
+
+    let looked = std::sync::atomic::AtomicUsize::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (stop, looked) = (&stop, &looked);
+        for t in 0..8 {
+            let handle = &handle;
+            let keys = &keys;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for (i, key) in keys.iter().enumerate() {
+                        handle.lookup(key, &mut out).unwrap();
+                        assert_eq!(
+                            bits(&out),
+                            bits(&reference[i]),
+                            "thread {t} key {i} diverged while an append was failing"
+                        );
+                        looked.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let err = model
+            .append_relevant(&batch)
+            .expect_err("the armed append must fail");
+        assert!(
+            matches!(err, EngineError::WorkerPanic { context, .. } if context == "append_relevant"),
+            "typed append panic expected"
+        );
+        assert_eq!(
+            model.epoch(),
+            0,
+            "a failed append must not publish an epoch"
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(failpoint::hits(fail_at), 1);
+    assert!(
+        looked.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "readers must have served during the append"
+    );
+    failpoint::reset();
+
+    // The prior epoch is still the one serving, bit for bit.
+    assert_eq!(handle.epoch(), 0);
+    for (i, key) in keys.iter().enumerate() {
+        let mut out = Vec::new();
+        handle.lookup(key, &mut out).unwrap();
+        assert_eq!(
+            bits(&out),
+            bits(&reference[i]),
+            "post-panic answer {i} diverged"
+        );
+    }
+
+    // Nothing is wedged: a clean retry publishes epoch 1 and the handle
+    // follows it — identical to a full refit over the concatenated table.
+    let info = model.append_relevant(&batch).unwrap();
+    assert_eq!(info.epoch, 1);
+    assert_eq!(info.appended_rows, batch.num_rows());
+    assert_eq!(model.epoch(), 1);
+    let full = std::sync::Arc::new(task.relevant.concat(&batch).unwrap());
+    let oracle = AugModel::compile_shared(plan, task.train.clone(), full);
+    let oracle_handle = oracle.prepare().unwrap();
+    for key in &keys {
+        let mut got = Vec::new();
+        handle.lookup(key, &mut got).unwrap();
+        let mut want = Vec::new();
+        oracle_handle.lookup(key, &mut want).unwrap();
+        assert_eq!(
+            bits(&got),
+            bits(&want),
+            "appended epoch diverged from a full refit"
+        );
+    }
+    assert_eq!(handle.epoch(), 1);
+}
+
+/// Panic at the very start of the epoch build (`exec.ingest.build`).
+#[test]
+fn append_panic_at_build_leaves_prior_epoch_serving() {
+    append_panic_keeps_prior_epoch_serving("exec.ingest.build", false);
+}
+
+/// Panic at the end of the build, just before the publish swap
+/// (`exec.ingest.publish`) — the fully-assembled successor core is dropped
+/// unpublished. A 20ms build stall guarantees readers overlap the in-flight
+/// append.
+#[test]
+fn append_panic_at_publish_leaves_prior_epoch_serving() {
+    append_panic_keeps_prior_epoch_serving("exec.ingest.publish", true);
+}
+
 /// Hot-swap under fire: while 4 threads stream lookups, a background thread
 /// repeatedly installs recompiled models. Every answer must come from one
 /// coherent model (old bits or new bits, never a mixture), and the final

@@ -273,6 +273,105 @@ proptest! {
         }
     }
 
+    /// `append_relevant` must be indistinguishable from a full refit: split an arbitrary
+    /// generated relevant table into a base plus randomized append batches, warm the
+    /// incremental engine's per-group memo *before* the appends (so every delta path —
+    /// streaming resume, order-stat merge, universal rescan — must carry state forward), then
+    /// compare transforms and point lookups bit-for-bit against a fresh engine compiled over
+    /// the concatenated table, at one worker and the default count.
+    #[test]
+    fn append_relevant_matches_full_refit_bit_for_bit(
+        seed in 0u64..10_000,
+        dataset_idx in 0usize..4,
+        n_queries in 3usize..10,
+        n_batches in 1usize..4,
+    ) {
+        use feataug::exec::default_workers;
+        use rand::Rng;
+
+        let name = feataug_datagen::one_to_many_names()[dataset_idx];
+        let ds = feataug_datagen::generate_by_name(name, &GenConfig::tiny().with_seed(seed)).unwrap();
+        let task = to_aug_task(&ds);
+        let template = QueryTemplate::new(
+            AggFunc::all().to_vec(),
+            task.resolved_agg_columns(),
+            task.resolved_predicate_attrs(),
+            task.key_columns.clone(),
+        );
+        let codec = QueryCodec::build(&template, &task.relevant).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1a6e57);
+        let pool: Vec<_> =
+            (0..n_queries).map(|_| codec.decode(&codec.space().sample(&mut rng))).collect();
+
+        // Random cut points split the relevant rows into a base prefix plus
+        // up to `n_batches` non-empty append batches.
+        let total = task.relevant.num_rows();
+        prop_assert!(total > n_batches + 1, "tiny datasets outnumber the batch count");
+        let mut cuts: Vec<usize> = (0..n_batches).map(|_| rng.gen_range(1..total)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = vec![0];
+        bounds.extend(cuts);
+        bounds.push(total);
+        let segments: Vec<Vec<usize>> =
+            bounds.windows(2).map(|w| (w[0]..w[1]).collect()).collect();
+        let base = task.relevant.take(&segments[0]);
+        let batches: Vec<_> = segments[1..].iter().map(|idx| task.relevant.take(idx)).collect();
+
+        // Oracle table: base ++ batches through the same concat path — `take`
+        // re-interns dictionaries, so the original table is NOT the oracle.
+        let mut full = base.clone();
+        for batch in &batches {
+            full = full.concat(batch).unwrap();
+        }
+        prop_assert_eq!(full.num_rows(), total);
+
+        for workers in [1usize, default_workers()] {
+            let engine = QueryEngine::new(&task.train, &base);
+            // Warm every per-group feature before the appends: each append
+            // must then carry the whole memo forward through its delta paths
+            // rather than handing the next transform a cold cache.
+            let warm = engine.transform_threads(&pool, &task.train, workers).unwrap();
+            prop_assert_eq!(warm.len(), pool.len());
+
+            for (i, batch) in batches.iter().enumerate() {
+                let info = engine.append_relevant(batch).unwrap();
+                prop_assert_eq!(info.epoch, (i + 1) as u64);
+                prop_assert_eq!(info.appended_rows, batch.num_rows());
+            }
+            prop_assert_eq!(engine.epoch(), batches.len() as u64);
+
+            let oracle = QueryEngine::new(&task.train, &full);
+            let incremental = engine.transform_threads(&pool, &task.train, workers).unwrap();
+            let refit = oracle.transform_threads(&pool, &task.train, workers).unwrap();
+            for (qi, (inc, want)) in incremental.iter().zip(&refit).enumerate() {
+                prop_assert_eq!(inc.len(), want.len());
+                for (row, (a, b)) in inc.iter().zip(want).enumerate() {
+                    prop_assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "workers={}: row {} of `{}`: incremental {:?} vs refit {:?}",
+                        workers, row, pool[qi].to_sql("R"), a, b
+                    );
+                }
+            }
+
+            // Point lookups resolve identically through the appended epochs.
+            for query in &pool {
+                for row in 0..task.train.num_rows().min(6) {
+                    let key: Vec<feataug_tabular::Value> = query
+                        .group_keys
+                        .iter()
+                        .map(|k| task.train.value(row, k).unwrap())
+                        .collect();
+                    let a = engine.lookup(query, &key).unwrap();
+                    let b = oracle.lookup(query, &key).unwrap();
+                    prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+                }
+            }
+        }
+    }
+
     /// Encoding any generated training table yields a dataset with consistent shapes, and the
     /// evaluation protocol returns a metric within its valid range.
     #[test]
