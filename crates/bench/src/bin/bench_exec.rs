@@ -244,7 +244,8 @@ fn main() {
         plan,
         std::sync::Arc::new(ds.train.clone()),
         std::sync::Arc::new(ds.relevant.clone()),
-    );
+    )
+    .expect("plan compiles");
     let train_rows = ds.train.num_rows();
     let big_indices: Vec<usize> = (0..train_rows * 10).map(|i| i % train_rows).collect();
     let big = ds.train.take(&big_indices);
@@ -403,7 +404,8 @@ fn main() {
         model.plan().clone(),
         std::sync::Arc::new(ds.train.clone()),
         std::sync::Arc::new(ds.relevant.clone()),
-    );
+    )
+    .expect("plan compiles");
     let ingest_handle = ingest_model.prepare().expect("prepare ingest handle");
     const INGEST_BATCHES: usize = 8;
     const INGEST_BATCH_ROWS: usize = 512;

@@ -821,7 +821,9 @@ impl<T> EpochCell<T> {
     }
 
     /// The current value (an `Arc` clone — the caller's pin on that epoch).
+    // lint: hot-path
     pub fn load(&self) -> Arc<T> {
+        // lint: allow(alloc): Arc refcount bump, no heap allocation
         lock_recover(&self.current).clone()
     }
 
@@ -1552,6 +1554,7 @@ impl<'a> QueryEngine<'a> {
                 write_recover(&core.sorted).insert(name.clone(), idx.clone());
                 continue;
             }
+            // lint: allow(panic): the filter_map above drops every NaN, so partial_cmp is total here
             add.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
             let mut vals = Vec::with_capacity(idx.vals.len() + add.len());
             let mut rows_out = Vec::with_capacity(idx.rows.len() + add.len());
@@ -1784,6 +1787,7 @@ impl<'a> QueryEngine<'a> {
                 state.extend(hist);
             }
             for (&g, rows_sel) in &selected {
+                // lint: allow(panic): the `need` pass seeded every selected group into `state`
                 let d = state.get_mut(&g).expect("state seeded above");
                 for &r in rows_sel {
                     d.observe(agg, view[r as usize]);
@@ -1813,6 +1817,7 @@ impl<'a> QueryEngine<'a> {
             }
             // Resume pass 1 over the appended rows …
             for (&g, rows_sel) in &selected {
+                // lint: allow(panic): the `need` pass seeded every selected group into `state`
                 let d = state.get_mut(&g).expect("state seeded above");
                 for &r in rows_sel {
                     d.observe(view[r as usize]);
@@ -1828,6 +1833,7 @@ impl<'a> QueryEngine<'a> {
                     let mean = state[&g].mean();
                     accumulate_m2(slot, v, mean);
                     if wants_m4 {
+                        // lint: allow(panic): m2 and m4 are built from the same `selected` key set
                         accumulate_m4(m4.get_mut(&g).expect("same keys as m2"), v, mean);
                     }
                 }
@@ -1856,6 +1862,7 @@ impl<'a> QueryEngine<'a> {
                 if trivial || core.row_matches(&query.predicate, row)? {
                     *count += 1;
                     if let Some(v) = view[row] {
+                        // lint: allow(panic): sel and vals are built from the same `selected` key set
                         vals.get_mut(&g).expect("same keys as sel").push(v);
                     }
                 }
@@ -2105,6 +2112,7 @@ impl<'a> EngineCore<'a> {
                 _ => None,
             })
             .collect();
+        // lint: allow(panic): the filter_map above drops every NaN, so partial_cmp is total here
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs excluded"));
         let built = Arc::new(SortedIndex {
             vals: pairs.iter().map(|(v, _)| *v).collect(),
@@ -2546,6 +2554,7 @@ fn aggregate_groups(
                                 acc[g] = acc[g].max(v);
                             }
                         }
+                        // lint: allow(panic): KernelFamily::of routes only the five cheap functions here
                         _ => unreachable!("streaming path covers only the five cheap functions"),
                     }
                 }
@@ -2563,6 +2572,7 @@ fn aggregate_groups(
                     _ if n == 0 => None,
                     AggFunc::Sum | AggFunc::Min | AggFunc::Max => Some(acc[g]),
                     AggFunc::Avg => Some(acc[g] / n as f64),
+                    // lint: allow(panic): KernelFamily::of routes only the five cheap functions here
                     _ => unreachable!("streaming path covers only the five cheap functions"),
                 };
             }
@@ -2699,6 +2709,7 @@ fn aggregate_groups(
                             _ if freq.is_empty() => None,
                             AggFunc::Mode => Some(freq.mode()),
                             AggFunc::Entropy => Some(freq.entropy()),
+                            // lint: allow(panic): the outer match arm admits only the three aggs above
                             _ => unreachable!(),
                         };
                         freq.reset();
@@ -2729,6 +2740,7 @@ fn order_stat_value(agg: AggFunc, sorted: &[f64], dev_buf: &mut Vec<f64>) -> Opt
         AggFunc::Mad => mad_sorted(sorted, dev_buf),
         AggFunc::Mode => mode_sorted(sorted),
         AggFunc::Entropy => entropy_sorted(sorted),
+        // lint: allow(panic): KernelFamily::of routes only order statistics here
         other => unreachable!("{other:?} is not an order statistic"),
     })
 }

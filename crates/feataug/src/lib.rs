@@ -98,6 +98,17 @@
 //! results after an append are property-tested bit-identical to a full refit
 //! over the concatenated table.
 //!
+//! ## Invariants as static analysis
+//!
+//! The conventions the serving stack relies on — no panics reachable from a
+//! lookup, poison-tolerant lock access in a declared order, zero allocation
+//! on the warm path, `catch_unwind` around every worker closure, failpoint
+//! names in sync with the chaos suite — are enforced statically by the
+//! workspace's own lint pass (`cargo run -p feataug-lint -- --deny`; CI's
+//! `invariants` job). The lints, the `// lint: allow(...)` suppression
+//! grammar, and the invariant each encodes are documented in
+//! `crates/lint/README.md`.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -149,7 +160,7 @@
 //! // Ship the plan as text; recompile it elsewhere (borrowed or Arc-owned).
 //! let text = model.plan().to_plan_text();
 //! let plan = AugPlan::from_plan_text(&text).unwrap();
-//! let serving = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+//! let serving = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())?;
 //! let swapped_in = serving.prepare()?;
 //! tier.install(std::sync::Arc::new(swapped_in)); // atomic hot-swap; warm lookups never block
 //! std::thread::spawn(move || serving.serve(&[Value::Str("alice".into())])); // Send + 'static
@@ -180,7 +191,8 @@ pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, OwnedAugMode
 pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
 pub use query::{
-    AugPlan, PlanParseError, PlanParseErrorKind, PlannedQuery, PredicateQuery, QueryCodec,
+    AugPlan, PlanAnalysisError, PlanParseError, PlanParseErrorKind, PlannedQuery, PredicateQuery,
+    QueryCodec,
 };
 pub use serving::tier::{ServingTier, TierConfig, TierError, TierStats};
 pub use serving::ServingHandle;

@@ -47,7 +47,7 @@ use crate::exec::{EngineResult, EngineStats, QueryEngine, TableHandle};
 use crate::generation::{GeneratedQuery, QueryGenerator, SqlGenConfig};
 use crate::problem::{AugTask, AugTaskError};
 use crate::proxy::LowCostProxy;
-use crate::query::{AugPlan, PlannedQuery, PredicateQuery};
+use crate::query::{AugPlan, PlanAnalysisError, PlannedQuery, PredicateQuery};
 use crate::template::QueryTemplate;
 use crate::template_id::{ScoredTemplate, TemplateIdConfig, TemplateIdentifier};
 
@@ -233,16 +233,38 @@ impl<'a> AugModel<'a> {
     ///
     /// Compiled models carry no fit metadata: [`AugModel::templates`] and
     /// [`AugModel::queries`] are empty and [`AugModel::timing`] is zero.
-    pub fn compile(plan: AugPlan, train: &'a Table, relevant: &'a Table) -> AugModel<'a> {
-        AugModel::with_engine(plan, QueryEngine::new(train, relevant))
+    ///
+    /// Runs [`AugPlan::analyze`] first: a plan that does not match the
+    /// relevant table (missing or retyped columns, stray group keys,
+    /// colliding feature names) fails here with a typed
+    /// [`PlanAnalysisError`] instead of deep inside transform or serve.
+    pub fn compile(
+        plan: AugPlan,
+        train: &'a Table,
+        relevant: &'a Table,
+    ) -> Result<AugModel<'a>, PlanAnalysisError> {
+        plan.analyze(relevant)?;
+        Ok(AugModel::with_engine(
+            plan,
+            QueryEngine::new(train, relevant),
+        ))
     }
 
     /// [`AugModel::compile`] with shared table ownership: the returned
     /// [`OwnedAugModel`] is `Send + Sync + 'static` — load the tables into
     /// `Arc`s once and the model can outlive the loading scope, move across
-    /// threads, and serve for the life of the process.
-    pub fn compile_shared(plan: AugPlan, train: Arc<Table>, relevant: Arc<Table>) -> OwnedAugModel {
-        AugModel::with_engine(plan, QueryEngine::new_shared(train, relevant))
+    /// threads, and serve for the life of the process. Runs
+    /// [`AugPlan::analyze`] first, like [`AugModel::compile`].
+    pub fn compile_shared(
+        plan: AugPlan,
+        train: Arc<Table>,
+        relevant: Arc<Table>,
+    ) -> Result<OwnedAugModel, PlanAnalysisError> {
+        plan.analyze(&relevant)?;
+        Ok(AugModel::with_engine(
+            plan,
+            QueryEngine::new_shared(train, relevant),
+        ))
     }
 
     fn with_engine(plan: AugPlan, engine: QueryEngine<'_>) -> AugModel<'_> {
@@ -917,7 +939,7 @@ mod tests {
         let plan = crate::query::AugPlan::from_plan_text(&text).unwrap();
         assert_eq!(&plan, model.plan());
 
-        let compiled = AugModel::compile(plan, &task.train, &task.relevant);
+        let compiled = AugModel::compile(plan, &task.train, &task.relevant).expect("plan compiles");
         assert!(compiled.templates().is_empty() && compiled.queries().is_empty());
         let (a, names_a) = model.transform_named(&task.train).unwrap();
         let (b, names_b) = compiled.transform_named(&task.train).unwrap();

@@ -298,6 +298,113 @@ fn parse_value(field: &str, line: usize) -> Result<Value, PlanParseError> {
 /// format version.
 const PLAN_HEADER: &str = "AUGPLAN 1";
 
+/// Why a plan cannot compile against a relevant table. Produced by
+/// [`AugPlan::analyze`], which [`crate::pipeline::AugModel::compile`] runs
+/// before building an engine — a plan/table mismatch fails fast with a
+/// description instead of surfacing as a per-query error (or a NULL column)
+/// deep inside transform or serve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAnalysisError {
+    /// The plan has an empty foreign key (`key_columns` is empty).
+    NoKeyColumns,
+    /// A plan key column is absent from the relevant table.
+    MissingKeyColumn {
+        /// The missing column.
+        column: String,
+    },
+    /// A query groups by a column that is not one of the plan's key columns.
+    UnknownGroupKey {
+        /// Plan-order index of the offending query.
+        query: usize,
+        /// The unknown group-by column.
+        column: String,
+    },
+    /// A query has no group-by columns at all.
+    NoGroupKeys {
+        /// Plan-order index of the offending query.
+        query: usize,
+    },
+    /// A query aggregates a column absent from the relevant table.
+    MissingAggColumn {
+        /// Plan-order index of the offending query.
+        query: usize,
+        /// The missing column.
+        column: String,
+    },
+    /// A query applies an arithmetic aggregate (`SUM`, `AVG`, variance /
+    /// standard-deviation / kurtosis moments) to a categorical column —
+    /// arithmetic over dictionary codes is never a meaningful feature.
+    /// Frequency and order statistics (`COUNT`, `COUNT DISTINCT`, `MODE`,
+    /// `ENTROPY`, `MIN`, `MAX`, `MEDIAN`, `MAD`) stay valid on categoricals.
+    IncompatibleAggColumn {
+        /// Plan-order index of the offending query.
+        query: usize,
+        /// The aggregation function.
+        agg: AggFunc,
+        /// The aggregated column.
+        column: String,
+        /// The column's actual type.
+        dtype: DataType,
+    },
+    /// A query's predicate references a column absent from the relevant
+    /// table.
+    MissingPredicateColumn {
+        /// Plan-order index of the offending query.
+        query: usize,
+        /// The missing column.
+        column: String,
+    },
+    /// Two planned queries render to the same feature column name; the later
+    /// one would silently overwrite the earlier one's output column.
+    DuplicateQuery {
+        /// Plan-order index of the first occurrence.
+        first: usize,
+        /// Plan-order index of the duplicate.
+        second: usize,
+        /// The shared feature column name.
+        feature_name: String,
+    },
+}
+
+impl std::fmt::Display for PlanAnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanAnalysisError::NoKeyColumns => {
+                write!(f, "the plan needs at least one foreign-key column")
+            }
+            PlanAnalysisError::MissingKeyColumn { column } => {
+                write!(f, "plan key column `{column}` not found in the relevant table")
+            }
+            PlanAnalysisError::UnknownGroupKey { query, column } => write!(
+                f,
+                "query {query} groups by `{column}`, which is not a plan key column"
+            ),
+            PlanAnalysisError::NoGroupKeys { query } => {
+                write!(f, "query {query} has no group-by columns")
+            }
+            PlanAnalysisError::MissingAggColumn { query, column } => write!(
+                f,
+                "query {query} aggregates `{column}`, which is not in the relevant table"
+            ),
+            PlanAnalysisError::IncompatibleAggColumn { query, agg, column, dtype } => write!(
+                f,
+                "query {query} applies arithmetic aggregate {agg:?} to `{column}` ({dtype:?}); \
+                 arithmetic over a categorical column's dictionary codes is not meaningful"
+            ),
+            PlanAnalysisError::MissingPredicateColumn { query, column } => write!(
+                f,
+                "query {query}'s predicate references `{column}`, which is not in the relevant table"
+            ),
+            PlanAnalysisError::DuplicateQuery { first, second, feature_name } => write!(
+                f,
+                "queries {first} and {second} produce the same feature column `{feature_name}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanAnalysisError {}
+
 impl AugPlan {
     /// Build a plan. Predicates are canonicalized (flat leaf conjunctions)
     /// and NaN losses pinned to the canonical NaN, so any plan equals its own
@@ -339,6 +446,101 @@ impl AugPlan {
             .iter()
             .map(|p| p.query.feature_name())
             .collect()
+    }
+
+    /// Semantic pre-compile check of this plan against a relevant table:
+    /// every key column exists, every query groups by plan keys only, every
+    /// aggregated / predicated column exists, arithmetic aggregates are not
+    /// applied to categorical columns, and no two queries collide on their
+    /// output feature name. Returns the *first* problem in plan order.
+    ///
+    /// [`crate::pipeline::AugModel::compile`] and
+    /// [`crate::pipeline::AugModel::compile_shared`] run this before building
+    /// an engine, so a stale or hand-edited plan fails at compile time with a
+    /// typed [`PlanAnalysisError`] instead of deep inside transform/serve.
+    pub fn analyze(&self, relevant: &Table) -> Result<(), PlanAnalysisError> {
+        if self.key_columns.is_empty() {
+            return Err(PlanAnalysisError::NoKeyColumns);
+        }
+        for column in &self.key_columns {
+            if relevant.column(column).is_err() {
+                return Err(PlanAnalysisError::MissingKeyColumn {
+                    column: column.clone(),
+                });
+            }
+        }
+        let mut seen: Vec<(String, usize)> = Vec::with_capacity(self.queries.len());
+        for (i, planned) in self.queries.iter().enumerate() {
+            let q = &planned.query;
+            if q.group_keys.is_empty() {
+                return Err(PlanAnalysisError::NoGroupKeys { query: i });
+            }
+            for key in &q.group_keys {
+                if !self.key_columns.contains(key) {
+                    return Err(PlanAnalysisError::UnknownGroupKey {
+                        query: i,
+                        column: key.clone(),
+                    });
+                }
+            }
+            match relevant.dtype(&q.agg_column) {
+                Err(_) => {
+                    return Err(PlanAnalysisError::MissingAggColumn {
+                        query: i,
+                        column: q.agg_column.clone(),
+                    })
+                }
+                Ok(dtype) => {
+                    // Arithmetic aggregates need a numeric view with real
+                    // magnitudes; a categorical column only offers dictionary
+                    // codes. Frequency/order statistics remain meaningful on
+                    // codes (the engine serves them via dense code kernels).
+                    let arithmetic = matches!(
+                        q.agg,
+                        AggFunc::Sum
+                            | AggFunc::Avg
+                            | AggFunc::Var
+                            | AggFunc::VarSample
+                            | AggFunc::Std
+                            | AggFunc::StdSample
+                            | AggFunc::Kurtosis
+                    );
+                    if arithmetic && dtype == DataType::Categorical {
+                        return Err(PlanAnalysisError::IncompatibleAggColumn {
+                            query: i,
+                            agg: q.agg,
+                            column: q.agg_column.clone(),
+                            dtype,
+                        });
+                    }
+                }
+            }
+            let mut leaves = Vec::new();
+            collect_leaves(&q.predicate, &mut leaves);
+            for leaf in &leaves {
+                let column = match leaf {
+                    Predicate::Eq { column, .. } => column,
+                    Predicate::Range { column, .. } => column,
+                    Predicate::True | Predicate::And(_) => continue,
+                };
+                if relevant.column(column).is_err() {
+                    return Err(PlanAnalysisError::MissingPredicateColumn {
+                        query: i,
+                        column: column.clone(),
+                    });
+                }
+            }
+            let feature_name = q.feature_name();
+            if let Some((_, first)) = seen.iter().find(|(name, _)| *name == feature_name) {
+                return Err(PlanAnalysisError::DuplicateQuery {
+                    first: *first,
+                    second: i,
+                    feature_name,
+                });
+            }
+            seen.push((feature_name, i));
+        }
+        Ok(())
     }
 
     /// Render every planned query as SQL against the plan's relevant table.
@@ -415,6 +617,7 @@ impl AugPlan {
                         ));
                     }
                     Predicate::True | Predicate::And(_) => {
+                        // lint: allow(panic): collect_leaves flattens And and drops True by construction
                         unreachable!("collect_leaves returns leaves only")
                     }
                 }
@@ -726,6 +929,7 @@ impl QueryCodec {
 
     /// Decode an optimizer configuration into an executable query.
     pub fn decode(&self, config: &Config) -> PredicateQuery {
+        // lint: allow(panic): caller bug — configs come from this codec's own search space
         assert_eq!(
             config.len(),
             self.roles.len(),
@@ -1022,6 +1226,108 @@ mod tests {
         assert_eq!(parsed, plan);
         // Idempotent: serializing the parse gives the same text.
         assert_eq!(parsed.to_plan_text(), text);
+    }
+
+    #[test]
+    fn analyze_accepts_well_formed_plan() {
+        assert_eq!(sample_plan().analyze(&relevant()), Ok(()));
+    }
+
+    #[test]
+    fn analyze_rejects_missing_and_empty_keys() {
+        let mut plan = sample_plan();
+        plan.key_columns.clear();
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::NoKeyColumns)
+        );
+
+        let mut plan = sample_plan();
+        plan.key_columns.push("ghost".into());
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::MissingKeyColumn {
+                column: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_bad_group_keys() {
+        let mut plan = sample_plan();
+        plan.queries[0].query.group_keys.clear();
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::NoGroupKeys { query: 0 })
+        );
+
+        let mut plan = sample_plan();
+        plan.queries[1].query.group_keys = vec!["department".into()];
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::UnknownGroupKey {
+                query: 1,
+                column: "department".into()
+            })
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_missing_columns() {
+        let mut plan = sample_plan();
+        plan.queries[0].query.agg_column = "ghost".into();
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::MissingAggColumn {
+                query: 0,
+                column: "ghost".into()
+            })
+        );
+
+        let mut plan = sample_plan();
+        plan.queries[0].query.predicate = Predicate::eq("ghost", "E");
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::MissingPredicateColumn {
+                query: 0,
+                column: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn analyze_rejects_arithmetic_agg_on_categorical_only() {
+        // SUM over a categorical column has no numeric meaning…
+        let mut plan = sample_plan();
+        plan.queries[0].query.agg_column = "department".into();
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::IncompatibleAggColumn {
+                query: 0,
+                agg: AggFunc::Avg,
+                column: "department".into(),
+                dtype: DataType::Categorical,
+            })
+        );
+        // …but frequency/order statistics over dictionary codes do (the
+        // sample plan's second query is COUNT_DISTINCT(department)).
+        plan.queries[0].query.agg = AggFunc::Mode;
+        assert_eq!(plan.analyze(&relevant()), Ok(()));
+    }
+
+    #[test]
+    fn analyze_rejects_duplicate_feature_names() {
+        let mut plan = sample_plan();
+        let dup = plan.queries[0].clone();
+        plan.queries.push(dup);
+        assert_eq!(
+            plan.analyze(&relevant()),
+            Err(PlanAnalysisError::DuplicateQuery {
+                first: 0,
+                second: 2,
+                feature_name: plan.queries[0].query.feature_name(),
+            })
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl Atomizer {
     /// `None` means "can never match any group" — NULL, unseen categorical
     /// value, or type-mismatched key — exactly the rows a transform leaves
     /// NULL.
+    // lint: hot-path
     fn atomize(&self, value: &Value) -> Option<KeyAtom> {
         match (self, value) {
             (Atomizer::Cat(dict), Value::Str(s)) => {
@@ -133,6 +134,7 @@ impl KeyProbe {
     /// subset column (a dictionary hash probe for categoricals), then one
     /// probe of the retained key map. Allocation-free for subsets up to
     /// [`MAX_INLINE_KEY`] columns.
+    // lint: hot-path
     fn group_of(&self, key: &[Value]) -> Option<u32> {
         let n = self.positions.len();
         if n <= MAX_INLINE_KEY {
@@ -145,6 +147,7 @@ impl KeyProbe {
             }
             self.index.group_of_key(&buf[..n])
         } else {
+            // lint: allow(alloc): documented fallback for key subsets wider than MAX_INLINE_KEY
             let mut buf = Vec::with_capacity(n);
             for (pos, atomizer) in self.positions.iter().zip(&self.atomizers) {
                 buf.push(atomizer.atomize(&key[*pos])?);
@@ -237,26 +240,26 @@ impl<'a> ServingHandle<'a> {
         plan: &AugPlan,
     ) -> EngineResult<PreparedState> {
         // Group the plan's queries by key subset, first-appearance order.
-        let mut subset_order: Vec<Vec<String>> = Vec::new();
-        let mut indexes: HashMap<Vec<String>, Arc<GroupIndex>> = HashMap::new();
-        let mut by_subset: HashMap<Vec<String>, Vec<FeatureSlot>> = HashMap::new();
+        // One flat Vec (not subset-keyed maps) so the compile pass below
+        // consumes each subset's entry directly — there is no "the map must
+        // contain this key" invariant left to get wrong. Plans hold a handful
+        // of distinct subsets, so the linear probe is cheap.
+        type SubsetGroup = (Vec<String>, Arc<GroupIndex>, Vec<FeatureSlot>);
+        let mut grouped: Vec<SubsetGroup> = Vec::new();
         for (out_pos, planned) in plan.queries.iter().enumerate() {
             let (index, feats) = engine.group_feature(core, &planned.query)?;
             let keys = &planned.query.group_keys;
-            if !indexes.contains_key(keys) {
-                subset_order.push(keys.clone());
-                indexes.insert(keys.clone(), index);
+            let slot = FeatureSlot { out_pos, feats };
+            match grouped.iter_mut().find(|(subset, _, _)| subset == keys) {
+                Some((_, _, subset_slots)) => subset_slots.push(slot),
+                None => grouped.push((keys.clone(), index, vec![slot])),
             }
-            by_subset
-                .entry(keys.clone())
-                .or_default()
-                .push(FeatureSlot { out_pos, feats });
         }
 
-        let mut probes = Vec::with_capacity(subset_order.len());
+        let mut probes = Vec::with_capacity(grouped.len());
         let mut slots = Vec::with_capacity(plan.queries.len());
         let mut atomizer_cache: HashMap<String, Arc<Atomizer>> = HashMap::new();
-        for subset in subset_order {
+        for (subset, index, subset_slots) in grouped {
             let positions = subset
                 .iter()
                 .map(|key| {
@@ -285,11 +288,11 @@ impl<'a> ServingHandle<'a> {
                 })
                 .collect::<feataug_tabular::Result<Vec<_>>>()?;
             let start = slots.len();
-            slots.extend(by_subset.remove(&subset).expect("subset collected above"));
+            slots.extend(subset_slots);
             probes.push(KeyProbe {
                 positions,
                 atomizers,
-                index: indexes.remove(&subset).expect("subset collected above"),
+                index,
                 slots: start..slots.len(),
             });
         }
@@ -305,6 +308,7 @@ impl<'a> ServingHandle<'a> {
     /// engine has advanced past it (an `append_relevant` landed). The warm
     /// path — epoch unchanged — is two short lock holds and one compare,
     /// with **zero heap allocations**.
+    // lint: hot-path
     fn current_state(&self) -> EngineResult<Arc<PreparedState>> {
         let state = self.state.load();
         if state.epoch == self.engine.epoch() {
@@ -359,6 +363,7 @@ impl<'a> ServingHandle<'a> {
     /// feature is a slice read. No `Debug`/SQL rendering, no [`Value`]
     /// clones. Results are bit-identical to
     /// [`crate::pipeline::AugModel::serve`].
+    // lint: hot-path
     pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> EngineResult<()> {
         let state = self.current_state()?;
         self.lookup_with(&state, key, out)
@@ -366,6 +371,7 @@ impl<'a> ServingHandle<'a> {
 
     /// [`ServingHandle::lookup`] against one already-pinned epoch state —
     /// the shared tail of the point and batch paths.
+    // lint: hot-path
     fn lookup_with(
         &self,
         state: &PreparedState,
@@ -374,6 +380,7 @@ impl<'a> ServingHandle<'a> {
     ) -> EngineResult<()> {
         crate::fail_point!("serving.lookup");
         if key.len() != self.plan.key_columns.len() {
+            // lint: allow(alloc): cold arity-error branch, never taken by a well-formed caller
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "lookup key has {} values for {} key columns",
                 key.len(),
@@ -385,7 +392,7 @@ impl<'a> ServingHandle<'a> {
         out.resize(state.slots.len(), None);
         for probe in &state.probes {
             let group = probe.group_of(key);
-            for slot in &state.slots[probe.slots.clone()] {
+            for slot in &state.slots[probe.slots.start..probe.slots.end] {
                 out[slot.out_pos] = group
                     .and_then(|g| slot.feats[g as usize])
                     .filter(|v| v.is_finite());

@@ -222,6 +222,7 @@ impl ServingTier {
                 std::thread::Builder::new()
                     .name(format!("feataug-tier-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(panic): tier construction (startup), never reached from the serving path
                     .expect("spawn serving-tier worker thread")
             })
             .collect();
@@ -446,7 +447,8 @@ mod tests {
             ],
         );
         let model =
-            crate::pipeline::AugModel::compile_shared(plan, Arc::new(train), Arc::new(relevant));
+            crate::pipeline::AugModel::compile_shared(plan, Arc::new(train), Arc::new(relevant))
+                .expect("plan compiles");
         Arc::new(model.prepare().unwrap())
     }
 

@@ -1,0 +1,319 @@
+//! A minimal JSON parser, just enough to validate `BENCH_exec.json` against a
+//! declared schema. Replaces the old `grep -q '"field"'` chain in CI, which
+//! could not tell a present-but-null field from a real number.
+
+use std::fmt;
+
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(src, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing content after top-level value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> JsonError {
+    JsonError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b'"') {
+                    return Err(err(*pos, "expected object key"));
+                }
+                *pos += 1;
+                let key = parse_string_body(src, bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':' after key"));
+                }
+                *pos += 1;
+                let value = parse_value(src, bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            Ok(Json::Str(parse_string_body(src, bytes, pos)?))
+        }
+        Some(b't') if src[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if src[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if src[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(err(start, "unexpected character"));
+            }
+            src[start..*pos]
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| err(start, "invalid number"))
+        }
+    }
+}
+
+/// Parse a string body (after the opening quote) through the closing quote.
+fn parse_string_body(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos + 1).copied();
+                match esc {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') | Some(b'f') => {}
+                    Some(b'u') => {
+                        // \uXXXX — decode the BMP scalar, skip surrogate math.
+                        let hex = src.get(*pos + 2..*pos + 6).unwrap_or("");
+                        if let Ok(cp) = u32::from_str_radix(hex, 16) {
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 2;
+            }
+            _ => {
+                let c = src[*pos..].chars().next().unwrap_or('\u{fffd}');
+                out.push(c);
+                *pos += c.len_utf8().max(1);
+            }
+        }
+    }
+    Err(err(*pos, "unterminated string"))
+}
+
+// ---------------------------------------------------------------------------
+// Bench schema
+// ---------------------------------------------------------------------------
+
+/// The one declared list of bench fields CI gates on: every field must be
+/// present at the top level of `BENCH_exec.json` and be a finite number.
+pub const REQUIRED_BENCH_FIELDS: &[&str] = &[
+    "order_stat_speedup",
+    "moment_speedup",
+    "transform_rows_per_sec",
+    "serve_lookups_per_sec",
+    "parallel_transform_speedup",
+    "p50_lookup_us",
+    "p99_lookup_us",
+    "shed_rate",
+    "ingest_rows_per_sec",
+    "staleness_us",
+];
+
+/// Pools that must appear (as `{"pool": <name>, ...}` entries with a numeric
+/// `speedup`) in the `pools` array. `order_trivial` pins the fast-path
+/// dispatch the bench exists to demonstrate.
+pub const REQUIRED_BENCH_POOLS: &[&str] = &["order_trivial"];
+
+/// Validate the bench artifact. Returns human-readable problems (empty = ok).
+pub fn check_bench_schema(src: &str) -> Vec<String> {
+    let doc = match parse(src) {
+        Ok(doc) => doc,
+        Err(e) => return vec![e.to_string()],
+    };
+    let mut problems = Vec::new();
+    if !matches!(doc, Json::Obj(_)) {
+        return vec!["top-level value is not an object".to_string()];
+    }
+    for field in REQUIRED_BENCH_FIELDS {
+        match doc.get(field) {
+            None => problems.push(format!("missing required field `{field}`")),
+            Some(v) => match v.as_num() {
+                Some(n) if n.is_finite() => {}
+                Some(_) => problems.push(format!("field `{field}` is not finite")),
+                None => problems.push(format!("field `{field}` is not a number")),
+            },
+        }
+    }
+    let pools = doc.get("pools");
+    match pools {
+        Some(Json::Arr(items)) => {
+            for want in REQUIRED_BENCH_POOLS {
+                let entry = items
+                    .iter()
+                    .find(|p| p.get("pool").and_then(Json::as_str) == Some(want));
+                match entry {
+                    None => problems.push(format!("missing pools entry `{want}`")),
+                    Some(p) => {
+                        if p.get("speedup").and_then(Json::as_num).map(f64::is_finite) != Some(true)
+                        {
+                            problems.push(format!("pools entry `{want}` has no finite `speedup`"));
+                        }
+                    }
+                }
+            }
+        }
+        _ => problems.push("missing or non-array `pools` field".to_string()),
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse(r#"{"a": [1, 2.5, {"b": "x"}], "c": null, "d": true}"#).unwrap();
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+        match doc.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[1], Json::Num(2.5));
+                assert_eq!(items[2].get("b").and_then(Json::as_str), Some("x"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_catches_missing_and_nonnumeric() {
+        let mut fields: Vec<String> = REQUIRED_BENCH_FIELDS
+            .iter()
+            .map(|f| format!("\"{f}\": 1.0"))
+            .collect();
+        fields.push("\"pools\": [{\"pool\": \"order_trivial\", \"speedup\": 2.0}]".to_string());
+        let good = format!("{{{}}}", fields.join(", "));
+        assert!(check_bench_schema(&good).is_empty());
+
+        let missing = good.replace("\"shed_rate\": 1.0", "\"shed_rate\": \"oops\"");
+        let problems = check_bench_schema(&missing);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("shed_rate"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("").is_err());
+        assert!(!check_bench_schema("[1,2,3]").is_empty());
+    }
+}

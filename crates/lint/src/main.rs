@@ -1,0 +1,92 @@
+//! CLI for the invariant checker.
+//!
+//! ```text
+//! feataug-lint [--root DIR] [--deny]        # lint the workspace sources
+//! feataug-lint --bench-schema FILE          # validate a bench JSON artifact
+//! ```
+//!
+//! Diagnostics go to stdout as `file:line: lint-name: message`; a summary goes
+//! to stderr. Without `--deny` the source lint always exits 0 (report mode);
+//! with it, any diagnostic is fatal. `--bench-schema` failures are always
+//! fatal — a bench artifact is either valid or it is not.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut bench_schema: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--bench-schema" => match args.next() {
+                Some(file) => bench_schema = Some(PathBuf::from(file)),
+                None => return usage("--bench-schema needs a file"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: feataug-lint [--root DIR] [--deny] [--bench-schema FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(path) = bench_schema {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("feataug-lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let problems = feataug_lint::json::check_bench_schema(&src);
+        for p in &problems {
+            println!("{}: bench-schema: {p}", path.display());
+        }
+        return if problems.is_empty() {
+            eprintln!(
+                "feataug-lint: {} ok ({} required fields, pools checked)",
+                path.display(),
+                feataug_lint::json::REQUIRED_BENCH_FIELDS.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let report = match feataug_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("feataug-lint: workspace scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "feataug-lint: scanned {} files, {} failpoint sites, {} diagnostics",
+        report.files_scanned,
+        report.failpoint_sites.len(),
+        report.diagnostics.len()
+    );
+    if deny && !report.diagnostics.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("feataug-lint: {problem}");
+    eprintln!("usage: feataug-lint [--root DIR] [--deny] [--bench-schema FILE]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,317 @@
+//! Per-file scope model built on top of the lexer.
+//!
+//! Resolves the structure the lints need: matched braces, `#[cfg(test)]` /
+//! `#[test]` regions (panic-discipline and catch-unwind do not apply to test
+//! code), function boundaries (for hot-path and per-function lock-order
+//! analysis), `// lint: hot-path` markers, and the suppression grammar
+//! `// lint: allow(<name>): <reason>`.
+
+use crate::lexer::{lex, Comment, Tok, Token};
+
+/// A function item: its name, source line, and token range of its body.
+#[derive(Debug)]
+pub struct Function {
+    pub name: String,
+    pub line: u32,
+    /// Token indices of the `{` and `}` delimiting the body, if it has one
+    /// (trait method declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// Marked with `// lint: hot-path` immediately above the item.
+    pub hot: bool,
+}
+
+/// A parsed `// lint: allow(<name>): <reason>` suppression.
+#[derive(Debug)]
+pub struct Allow {
+    pub line: u32,
+    pub name: String,
+    pub reason: String,
+}
+
+/// Everything the lints need to know about one file.
+pub struct FileModel<'a> {
+    pub tokens: Vec<Token<'a>>,
+    pub comments: Vec<Comment>,
+    /// For each token index, the index of its matching brace partner
+    /// (`{` → `}` and vice versa); `usize::MAX` when not a brace/unbalanced.
+    brace_match: Vec<usize>,
+    /// Token ranges `[open, close]` of test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+    pub functions: Vec<Function>,
+    pub allows: Vec<Allow>,
+    /// Lines carrying a malformed `// lint:` directive (reported as findings).
+    pub directive_errors: Vec<(u32, String)>,
+}
+
+impl<'a> FileModel<'a> {
+    pub fn parse(src: &'a str) -> FileModel<'a> {
+        let lexed = lex(src);
+        let tokens = lexed.tokens;
+        let comments = lexed.comments;
+
+        let brace_match = match_braces(&tokens);
+        let test_regions = find_test_regions(&tokens, &brace_match);
+        let (allows, hot_lines, directive_errors) = parse_directives(&comments);
+        let functions = find_functions(&tokens, &brace_match, &hot_lines);
+
+        FileModel {
+            tokens,
+            comments,
+            brace_match,
+            test_regions,
+            functions,
+            allows,
+            directive_errors,
+        }
+    }
+
+    /// Is the token at `idx` inside test-only code?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(open, close)| idx > open && idx < close)
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&Function> {
+        self.functions
+            .iter()
+            .filter(|f| matches!(f.body, Some((open, close)) if idx > open && idx < close))
+            .min_by_key(|f| match f.body {
+                Some((open, close)) => close - open,
+                None => usize::MAX,
+            })
+    }
+
+    /// Matching partner of the brace token at `idx`, if balanced.
+    pub fn brace_partner(&self, idx: usize) -> Option<usize> {
+        match self.brace_match.get(idx) {
+            Some(&m) if m != usize::MAX => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is a finding of `lint` (or one of its aliases) at `line` suppressed by
+    /// an `allow` on the same line or the line directly above?
+    pub fn suppressed(&self, lint: &str, aliases: &[&str], line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            (a.line == line || a.line + 1 == line)
+                && (a.name == lint || aliases.contains(&a.name.as_str()))
+        })
+    }
+}
+
+fn match_braces(tokens: &[Token<'_>]) -> Vec<usize> {
+    let mut out = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.tok {
+            Tok::Punct('{') => stack.push(i),
+            Tok::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    out[open] = i;
+                    out[i] = open;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn is_word(tokens: &[Token<'_>], i: usize, w: &str) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Word(x)) if *x == w)
+}
+
+fn is_punct(tokens: &[Token<'_>], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(x)) if *x == c)
+}
+
+/// Find `#[cfg(test)]` (attached to any item) and `#[test]` regions: the token
+/// range of the braces of the item that follows the attribute.
+fn find_test_regions(tokens: &[Token<'_>], brace_match: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let cfg_test = is_punct(tokens, i, '#')
+            && is_punct(tokens, i + 1, '[')
+            && is_word(tokens, i + 2, "cfg")
+            && is_punct(tokens, i + 3, '(')
+            && is_word(tokens, i + 4, "test")
+            && is_punct(tokens, i + 5, ')')
+            && is_punct(tokens, i + 6, ']');
+        let test_attr = is_punct(tokens, i, '#')
+            && is_punct(tokens, i + 1, '[')
+            && is_word(tokens, i + 2, "test")
+            && is_punct(tokens, i + 3, ']');
+        if cfg_test || test_attr {
+            // The attributed item's body is the next top-level `{ … }`.
+            let mut j = i + if cfg_test { 7 } else { 4 };
+            while j < tokens.len() && !is_punct(tokens, j, '{') {
+                // A `;` before any `{` means the item has no body
+                // (e.g. `#[cfg(test)] mod tests;`).
+                if is_punct(tokens, j, ';') {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && is_punct(tokens, j, '{') && brace_match[j] != usize::MAX {
+                regions.push((j, brace_match[j]));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Find `fn name … { body }` items and mark the hot ones.
+fn find_functions(tokens: &[Token<'_>], brace_match: &[usize], hot_lines: &[u32]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if is_word(tokens, i, "fn") {
+            if let Some(Tok::Word(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                let line = tokens[i].line;
+                // Body = first `{` before any item-terminating `;`.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('{') => {
+                            if brace_match[j] != usize::MAX {
+                                body = Some((j, brace_match[j]));
+                            }
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                out.push(Function {
+                    name: name.to_string(),
+                    line,
+                    body,
+                    hot: false,
+                });
+            }
+        }
+        i += 1;
+    }
+    // Each `// lint: hot-path` marker arms exactly one function: the first
+    // `fn` at or below it, within an 8-line window (room for doc comments and
+    // attributes between marker and item).
+    for &m in hot_lines {
+        if let Some(f) = out
+            .iter_mut()
+            .filter(|f| f.line >= m && f.line - m <= 8)
+            .min_by_key(|f| f.line)
+        {
+            f.hot = true;
+        }
+    }
+    out
+}
+
+/// Parse `lint:` directives out of the comment list. Returns the allows, the
+/// hot-path marker lines, and malformed-directive errors.
+fn parse_directives(comments: &[Comment]) -> (Vec<Allow>, Vec<u32>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut hot = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot-path" {
+            hot.push(c.line);
+            continue;
+        }
+        if let Some(inner) = rest.strip_prefix("allow(") {
+            let Some(close) = inner.find(')') else {
+                errors.push((c.line, "unclosed `allow(` directive".to_string()));
+                continue;
+            };
+            let name = inner[..close].trim().to_string();
+            let tail = inner[close + 1..].trim();
+            let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+            if name.is_empty() {
+                errors.push((c.line, "empty lint name in `allow(...)`".to_string()));
+            } else if reason.is_empty() {
+                errors.push((
+                    c.line,
+                    format!("suppression needs a reason: `// lint: allow({name}): <why>`"),
+                ));
+            } else {
+                allows.push(Allow {
+                    line: c.line,
+                    name,
+                    reason: reason.to_string(),
+                });
+            }
+            continue;
+        }
+        errors.push((
+            c.line,
+            format!("unknown `lint:` directive `{rest}` (expected `hot-path` or `allow(<name>): <reason>`)"),
+        ));
+    }
+    (allows, hot, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_mod() {
+        let src = "fn a() { x(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y(); }\n}\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.test_regions.len(), 1);
+        let y_idx = m
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Word(w) if *w == "y"))
+            .unwrap();
+        assert!(m.in_test(y_idx));
+        let x_idx = m
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Word(w) if *w == "x"))
+            .unwrap();
+        assert!(!m.in_test(x_idx));
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_next_fn() {
+        let src = "// lint: hot-path\n#[inline]\nfn fast() {}\n\nfn slow() {}\n";
+        let m = FileModel::parse(src);
+        let fast = m.functions.iter().find(|f| f.name == "fast").unwrap();
+        let slow = m.functions.iter().find(|f| f.name == "slow").unwrap();
+        assert!(fast.hot);
+        assert!(!slow.hot);
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let src = "// lint: allow(panic)\nlet x = 1;\n// lint: allow(panic): invariant holds\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].name, "panic");
+        assert_eq!(m.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() { let c = || { inner_call(); }; }";
+        let m = FileModel::parse(src);
+        let idx = m
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Word(w) if *w == "inner_call"))
+            .unwrap();
+        assert_eq!(m.enclosing_fn(idx).unwrap().name, "outer");
+    }
+}

@@ -92,7 +92,7 @@ fn main() {
     println!("\nportable plan artifact ({} bytes):\n{text}", text.len());
     let plan = AugPlan::from_plan_text(&text).expect("round trip");
     assert_eq!(&plan, model.plan());
-    let serving = AugModel::compile(plan, &task.train, &task.relevant);
+    let serving = AugModel::compile(plan, &task.train, &task.relevant).expect("plan compiles");
     let reserved = serving.serve(&key).expect("serve from recompiled model");
     assert_eq!(
         reserved
@@ -174,7 +174,8 @@ fn main() {
     // tables and hot-swap it in — lookups in flight finish on the model
     // their batch pinned, the next batch serves the new one.
     let shipped = AugPlan::from_plan_text(&text).expect("round trip");
-    let next = AugModel::compile_shared(shipped, task.train.clone(), task.relevant.clone());
+    let next = AugModel::compile_shared(shipped, task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
     let generation = tier.install(Arc::new(next.prepare().expect("prepare swapped handle")));
     let after = tier.lookup(&key).expect("tier lookup after swap");
     assert_eq!(

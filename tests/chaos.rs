@@ -177,6 +177,41 @@ fn poisoned_memo_map_recovers() {
     }
 }
 
+/// A panic while *compiling* a group index (the `exec.index.build` failpoint,
+/// which fires outside any engine lock) fails only the triggering request,
+/// poisons nothing, and the same engine rebuilds the index on the next call.
+#[test]
+fn index_build_panic_is_contained() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(53);
+    let pool = random_pool(&ds, 0xbead, 4);
+
+    let clean = QueryEngine::new(&ds.train, &ds.relevant);
+    let reference: Vec<Vec<Option<f64>>> = pool
+        .iter()
+        .map(|query| clean.evaluate(query).unwrap())
+        .collect();
+
+    failpoint::set_times("exec.index.build", Action::Panic, 1);
+    let engine = QueryEngine::new(&ds.train, &ds.relevant);
+    let first = engine.evaluate_batch_threads(&pool[..1], 1);
+    assert_eq!(failpoint::hits("exec.index.build"), 1);
+    assert!(
+        matches!(first[0], Err(EngineError::WorkerPanic { .. })),
+        "the hit request fails typed: {first:?}"
+    );
+
+    // No lock was held at the failpoint, so nothing is poisoned: the same
+    // engine rebuilds the index and answers bit-identically from here on.
+    for (i, query) in pool.iter().enumerate() {
+        assert_eq!(
+            bits(&engine.evaluate(query).unwrap()),
+            bits(&reference[i]),
+            "post-panic answer {i} diverged"
+        );
+    }
+}
+
 /// A gather panic on the transform path fails only the hit query's column;
 /// the other planned features still come back bit-identical.
 #[test]
@@ -217,7 +252,8 @@ fn tier_survives_panicking_lookups_under_contention() {
     let pool = random_pool(&ds, 0xbeef, 4);
     let plan = plan_from(&ds, &pool);
 
-    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
     let handle = std::sync::Arc::new(model.prepare().unwrap());
 
     let keys: Vec<Vec<Value>> = (0..task.train.num_rows().min(32))
@@ -295,7 +331,8 @@ fn stalled_batches_expire_deadlines_gracefully() {
     let task = to_aug_task(&ds);
     let pool = random_pool(&ds, 0xaaaa, 3);
     let plan = plan_from(&ds, &pool);
-    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
     let handle = std::sync::Arc::new(model.prepare().unwrap());
 
     let key: Vec<Value> = task
@@ -368,7 +405,8 @@ fn overload_sheds_at_admission_and_admitted_requests_survive() {
     let task = to_aug_task(&ds);
     let pool = random_pool(&ds, 0xbbbb, 3);
     let plan = plan_from(&ds, &pool);
-    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone());
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
     let handle = std::sync::Arc::new(model.prepare().unwrap());
 
     let key: Vec<Value> = task
@@ -428,7 +466,8 @@ fn append_panic_keeps_prior_epoch_serving(fail_at: &str, overlap_delay: bool) {
     let task = to_aug_task(&ds);
     let pool = random_pool(&ds, 0xd00d, 4);
     let plan = plan_from(&ds, &pool);
-    let model = AugModel::compile_shared(plan.clone(), task.train.clone(), task.relevant.clone());
+    let model = AugModel::compile_shared(plan.clone(), task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
     let handle = model.prepare().unwrap();
 
     let keys: Vec<Vec<Value>> = (0..task.train.num_rows().min(16))
@@ -524,7 +563,7 @@ fn append_panic_keeps_prior_epoch_serving(fail_at: &str, overlap_delay: bool) {
     assert_eq!(info.appended_rows, batch.num_rows());
     assert_eq!(model.epoch(), 1);
     let full = std::sync::Arc::new(task.relevant.concat(&batch).unwrap());
-    let oracle = AugModel::compile_shared(plan, task.train.clone(), full);
+    let oracle = AugModel::compile_shared(plan, task.train.clone(), full).expect("plan compiles");
     let oracle_handle = oracle.prepare().unwrap();
     for key in &keys {
         let mut got = Vec::new();
@@ -573,11 +612,13 @@ fn hot_swap_under_concurrent_load_is_atomic() {
     let plan_b = plan_from(&ds, &pool[..2]);
     let handle_a = std::sync::Arc::new(
         AugModel::compile_shared(plan_a, task.train.clone(), task.relevant.clone())
+            .expect("plan compiles")
             .prepare()
             .unwrap(),
     );
     let handle_b = std::sync::Arc::new(
         AugModel::compile_shared(plan_b, task.train.clone(), task.relevant.clone())
+            .expect("plan compiles")
             .prepare()
             .unwrap(),
     );

@@ -150,7 +150,7 @@ proptest! {
             .collect();
         let plan = AugPlan::new(task.relevant.name(), task.key_columns.clone(), queries);
         let feature_names = plan.feature_names();
-        let model = AugModel::compile(plan, &task.train, &task.relevant);
+        let model = AugModel::compile(plan, &task.train, &task.relevant).expect("plan compiles");
 
         let on_train = model.transform(&task.train).unwrap();
         let stats_after_first = model.engine_stats();

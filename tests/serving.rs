@@ -81,7 +81,8 @@ proptest! {
             plan,
             task.train.clone(),
             task.relevant.clone(),
-        );
+        )
+        .expect("plan compiles");
         let handle = model.prepare().unwrap();
         prop_assert_eq!(handle.feature_names(), feature_names.as_slice());
         prop_assert_eq!(handle.key_columns(), task.key_columns.as_slice());
@@ -192,12 +193,14 @@ proptest! {
             random_plan(&ds_a, seed ^ 0x11, n_queries),
             Arc::new(train.clone()),
             Arc::new(ds_a.relevant.clone()),
-        );
+        )
+        .expect("plan compiles");
         let model_b = AugModel::compile_shared(
             random_plan(&ds_b, seed ^ 0x22, n_queries),
             Arc::new(train.clone()),
             Arc::new(ds_b.relevant.clone()),
-        );
+        )
+        .expect("plan compiles");
         let features_a = model_a.transform_features(&train).unwrap();
         let features_b = model_b.transform_features(&train).unwrap();
 
@@ -278,11 +281,10 @@ fn concurrent_serving_is_bit_identical_to_serial() {
     .unwrap();
     let task = to_aug_task(&ds);
     let plan = random_plan(&ds, 0x5eed, 6);
-    let model = Arc::new(AugModel::compile_shared(
-        plan,
-        task.train.clone(),
-        task.relevant.clone(),
-    ));
+    let model = Arc::new(
+        AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())
+            .expect("plan compiles"),
+    );
 
     // Keys: every train row plus unseen/NULL adversaries.
     let mut keys: Vec<Vec<Value>> = (0..task.train.num_rows())
@@ -308,7 +310,8 @@ fn concurrent_serving_is_bit_identical_to_serial() {
         model.plan().clone(),
         task.train.clone(),
         task.relevant.clone(),
-    );
+    )
+    .expect("plan compiles");
     let reference: Vec<Vec<Option<f64>>> = keys
         .iter()
         .map(|k| reference_model.serve(k).unwrap())

@@ -105,7 +105,7 @@ fn warm_prepared_lookup_is_allocation_free() {
             q(AggFunc::Count, Predicate::ge("pprice", 15.0), &["cname"]),
         ],
     );
-    let model = AugModel::compile(plan, &train, &relevant);
+    let model = AugModel::compile(plan, &train, &relevant).expect("plan compiles");
     let handle = model.prepare().expect("prepare");
 
     // Keys built before counting starts: seen, partially seen, unseen, NULL
