@@ -47,13 +47,26 @@
 //! `serve_lookups_per_sec` drives the prepared [`feataug::ServingHandle`]
 //! warm: single-key lookups into a reused buffer, the zero-allocation
 //! online hot path.
+//!
+//! The schema section exercises the multi-hop front end on the generated
+//! Instacart schema (`users → orders → order_items → products`):
+//! `path_search_candidates` counts every join path enumerated to the hop
+//! cap, `paths_promoted` counts the strictly-fewer paths the proxy gate
+//! promoted to a full search, and `hop2_transform_rows_per_sec` drives a
+//! compiled 2-hop plan over a 10×-sized training table — the steady-state
+//! cost of serving through a composed gather-map view instead of a
+//! hand-maintained pre-joined table.
 
 use std::time::Instant;
 
 use feataug::exec::QueryEngine;
 use feataug::pipeline::AugModel;
-use feataug::{AugPlan, PlannedQuery, PredicateQuery, QueryCodec, QueryTemplate};
-use feataug_datagen::{tmall, GenConfig};
+use feataug::schema::{enumerate_paths, fit_schema, SchemaGraph, SchemaTask};
+use feataug::{
+    AugPlan, FeatAugConfig, PlanHop, PlannedQuery, PredicateQuery, QueryCodec, QueryTemplate,
+};
+use feataug_datagen::{instacart, tmall, GenConfig};
+use feataug_ml::{ModelKind, Task};
 use feataug_tabular::{AggFunc, Predicate, Table, Value};
 
 use rand::rngs::StdRng;
@@ -458,6 +471,110 @@ fn main() {
         "every append must have published an epoch"
     );
 
+    // ---- Schema path search (the multi-hop augmentation front end) --------
+    // The generated Instacart multi-hop schema plants its signal two hops
+    // away from the training table. Enumeration counts every candidate path
+    // to the hop cap; the proxy gate promotes only the budgeted top slice to
+    // a full TPE search — the FeatNavigator/ARDA-style accounting the
+    // `paths_promoted < path_search_candidates` assertion pins down.
+    let schema_gen = GenConfig {
+        n_entities: 400,
+        fanout: 8,
+        n_noise_cols: 1,
+        seed: 5,
+    };
+    let schema_ds = instacart::generate_schema(&schema_gen);
+    let mut graph = SchemaGraph::new();
+    graph
+        .register(schema_ds.train.clone())
+        .expect("register schema train");
+    for table in &schema_ds.tables {
+        graph
+            .register(table.clone())
+            .expect("register schema table");
+    }
+    for edge in &schema_ds.edges {
+        let left: Vec<&str> = edge.left_keys.iter().map(|s| s.as_str()).collect();
+        let right: Vec<&str> = edge.right_keys.iter().map(|s| s.as_str()).collect();
+        graph
+            .declare_edge(&edge.left, &edge.right, &left, &right)
+            .expect("declare schema edge");
+    }
+    const SCHEMA_MAX_HOPS: usize = 2;
+    const SCHEMA_PATH_BUDGET: usize = 1;
+    let path_search_candidates = enumerate_paths(&graph, schema_ds.train.name(), SCHEMA_MAX_HOPS)
+        .expect("enumerate join paths")
+        .len();
+    let mut schema_cfg = FeatAugConfig::fast(ModelKind::Linear).with_seed(5);
+    schema_cfg.n_templates = 2;
+    schema_cfg.queries_per_template = 2;
+    schema_cfg.template_id.n_templates = 2;
+    schema_cfg.template_id.pool_samples = 6;
+    schema_cfg.sqlgen.warmup_iters = 10;
+    schema_cfg.sqlgen.warmup_top_k = 3;
+    schema_cfg.sqlgen.search_iters = 4;
+    let schema_task = SchemaTask::new(
+        graph.clone(),
+        schema_ds.train.name(),
+        &schema_ds.label_column,
+        Task::BinaryClassification,
+    )
+    .with_max_hops(SCHEMA_MAX_HOPS)
+    .with_path_budget(SCHEMA_PATH_BUDGET)
+    .with_agg_columns(vec!["price".into(), "cart_position".into()])
+    .with_predicate_attrs(vec!["department".into(), "order_hour".into()]);
+    let schema_fitted = fit_schema(&schema_cfg, &schema_task).expect("fit_schema");
+    let paths_promoted = schema_fitted.stats().promoted;
+    assert!(
+        paths_promoted < path_search_candidates,
+        "the proxy budget must gate full fits ({paths_promoted} of {path_search_candidates})"
+    );
+
+    // A hand-built 2-hop plan through the composed gather-map view, driven
+    // at the same 10× table scale as the flat transform benchmark.
+    let hop = |table: &str, key: &str| PlanHop {
+        table: table.to_string(),
+        left_keys: vec![key.to_string()],
+        right_keys: vec![key.to_string()],
+    };
+    let mut hop2_planned: Vec<PlannedQuery> = Vec::new();
+    for &agg in AggFunc::basic() {
+        for col in ["price", "cart_position"] {
+            hop2_planned.push(PlannedQuery {
+                query: PredicateQuery {
+                    agg,
+                    agg_column: col.to_string(),
+                    predicate: Predicate::True,
+                    group_keys: schema_ds.key_columns.clone(),
+                },
+                loss: 0.0,
+            });
+        }
+    }
+    let n_hop2 = hop2_planned.len();
+    let hop2_plan =
+        AugPlan::new("orders", schema_ds.key_columns.clone(), hop2_planned).with_hops(vec![
+            hop("order_items", "order_id"),
+            hop("products", "product_id"),
+        ]);
+    let hop2_model = graph
+        .compile(schema_ds.train.name(), hop2_plan)
+        .expect("2-hop plan compiles");
+    let schema_train_rows = schema_ds.train.num_rows();
+    let hop2_indices: Vec<usize> = (0..schema_train_rows * 10)
+        .map(|i| i % schema_train_rows)
+        .collect();
+    let hop2_big = schema_ds.train.take(&hop2_indices);
+    let mut hop2_best = f64::INFINITY;
+    let mut hop2_cols = 0usize;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let out = hop2_model.transform(&hop2_big).expect("2-hop transform");
+        hop2_best = hop2_best.min(start.elapsed().as_secs_f64());
+        hop2_cols = out.num_columns();
+    }
+    let hop2_transform_rows_per_sec = hop2_big.num_rows() as f64 / hop2_best;
+
     let results = [
         time_pool("basic_aggs", &basic, &ds.train, &ds.relevant, workers),
         time_pool("all_aggs", &all, &ds.train, &ds.relevant, workers),
@@ -495,7 +612,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"ingest_rows_per_sec\": {:.0},\n  \"staleness_us\": {:.1},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"ingest\": {{ \"batches\": {}, \"batch_rows\": {}, \"epochs\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"ingest_rows_per_sec\": {:.0},\n  \"staleness_us\": {:.1},\n  \"path_search_candidates\": {},\n  \"paths_promoted\": {},\n  \"hop2_transform_rows_per_sec\": {:.0},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"ingest\": {{ \"batches\": {}, \"batch_rows\": {}, \"epochs\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"schema\": {{ \"dataset\": \"{}\", \"max_hops\": {}, \"path_budget\": {}, \"candidates\": {}, \"promoted\": {}, \"hop2_rows\": {}, \"hop2_queries\": {}, \"hop2_columns_out\": {}, \"hop2_best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -516,6 +633,9 @@ fn main() {
         shed_rate,
         ingest_rows_per_sec,
         staleness_us,
+        path_search_candidates,
+        paths_promoted,
+        hop2_transform_rows_per_sec,
         TIER_CLIENTS,
         TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
         feataug::TierConfig::default().workers,
@@ -528,12 +648,21 @@ fn main() {
         n_planned,
         transform_cols,
         transform_best,
+        schema_ds.name,
+        SCHEMA_MAX_HOPS,
+        SCHEMA_PATH_BUDGET,
+        path_search_candidates,
+        paths_promoted,
+        hop2_big.num_rows(),
+        n_hop2,
+        hop2_cols,
+        hop2_best,
         pools_json.join(",\n"),
     );
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4}; ingest {:.0} rows/s staleness {:.1}us)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4}; ingest {:.0} rows/s staleness {:.1}us; path search {path_search_candidates} candidates -> {paths_promoted} promoted, 2-hop transform {:.0} rows/s)",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
@@ -549,5 +678,6 @@ fn main() {
         shed_rate,
         ingest_rows_per_sec,
         staleness_us,
+        hop2_transform_rows_per_sec,
     );
 }

@@ -30,7 +30,9 @@ pub mod tmall;
 pub(crate) mod util;
 
 pub use scale::{widen_relevant, DatasetScale};
-pub use spec::{DatasetStats, GenConfig, SyntheticDataset, TaskKind};
+pub use spec::{
+    DatasetStats, GenConfig, SchemaEdgeSpec, SyntheticDataset, SyntheticSchema, TaskKind,
+};
 
 /// Generate one of the six named datasets (`tmall`, `instacart`, `student`, `merchant`,
 /// `covtype`, `household`) with the given configuration. Returns `None` for unknown names.

@@ -138,6 +138,51 @@ impl SyntheticDataset {
     }
 }
 
+/// One declared foreign-key edge of a [`SyntheticSchema`]:
+/// `left.left_keys[i] = right.right_keys[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaEdgeSpec {
+    /// Left table name.
+    pub left: String,
+    /// Right table name.
+    pub right: String,
+    /// Key columns on the left table.
+    pub left_keys: Vec<String>,
+    /// Key columns on the right table (same arity).
+    pub right_keys: Vec<String>,
+}
+
+/// A generated **multi-table** dataset: a training table plus a chain (or
+/// DAG) of relevant tables with declared foreign keys, for exercising
+/// join-path search. The single-relevant-table [`SyntheticDataset`] is the
+/// degenerate one-table case of this shape.
+#[derive(Debug, Clone)]
+pub struct SyntheticSchema {
+    /// Dataset name (lowercase, `-schema` suffixed).
+    pub name: &'static str,
+    /// Training table `D`: entity keys, base features, and a label column.
+    pub train: Table,
+    /// The relevant tables, in chain order (the first links to `train`).
+    pub tables: Vec<Table>,
+    /// Declared foreign-key edges (including the `train` ↔ first-table one).
+    pub edges: Vec<SchemaEdgeSpec>,
+    /// Foreign-key column names shared by `train` and the base table.
+    pub key_columns: Vec<String>,
+    /// Name of the label column in `train`.
+    pub label_column: String,
+    /// The learning task.
+    pub task: TaskKind,
+    /// Human-readable description of the planted multi-hop signal.
+    pub signal_description: &'static str,
+}
+
+impl SyntheticSchema {
+    /// The relevant table of this name, if generated.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+}
+
 /// Summary statistics of a generated dataset (paper Tables I, II, IV, V).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetStats {

@@ -43,6 +43,12 @@
 //! the SQL Query Generator, the DFS/Random baselines and each multi-source
 //! pipeline run ([`QueryEngine::stats`] shows the cross-component reuse).
 //!
+//! The engine is deliberately agnostic about where its relevant table came
+//! from: [`crate::schema`] materialises multi-hop join paths into a single
+//! virtual relevant view (composed gather maps, bit-identical to the eager
+//! pre-join) and hands it to this engine **unchanged** — no multi-hop
+//! special cases exist below this line.
+//!
 //! ## Copy-on-write epochs: live ingestion without blocking readers
 //!
 //! The compiled state above lives inside an [`EngineCore`] — one immutable

@@ -98,6 +98,25 @@
 //! results after an append are property-tested bit-identical to a full refit
 //! over the concatenated table.
 //!
+//! ## Multi-hop schemas: join-path search over a table graph
+//!
+//! Real warehouses rarely hand FeatAug its one relevant table; the signal
+//! may sit two joins away. [`schema::SchemaGraph`] is the catalog: register
+//! every table once, declare foreign-key edges (arity- and type-checked),
+//! or let [`schema::SchemaGraph::infer_edges`] propose joinability edges
+//! from key-name/type agreement plus value-containment sampling. From
+//! there, [`schema::enumerate_paths`] walks acyclic [`schema::JoinPath`]s
+//! to a hop cap, and [`schema::fit_schema`] runs the FeatNavigator/ARDA-
+//! style budget: every candidate path gets a low-cost proxy score, only
+//! the top `path_budget` paths are promoted to a full TPE search. A
+//! promoted path is compiled by composing per-hop gather maps into one
+//! virtual relevant view — bit-identical to the eagerly pre-joined table,
+//! property-tested — which the existing [`exec::QueryEngine`] consumes
+//! unchanged. [`multi::fit_multi`] is the degenerate depth-1 case. Fitted
+//! plans carry their hops through the versioned plan text (`AUGPLAN 2`)
+//! and recompile against a registered graph on the serving side via
+//! [`schema::SchemaGraph::compile`].
+//!
 //! ## Invariants as static analysis
 //!
 //! The conventions the serving stack relies on — no panics reachable from a
@@ -164,6 +183,33 @@
 //! let swapped_in = serving.prepare()?;
 //! tier.install(std::sync::Arc::new(swapped_in)); // atomic hot-swap; warm lookups never block
 //! std::thread::spawn(move || serving.serve(&[Value::Str("alice".into())])); // Send + 'static
+//!
+//! // Multi-hop: register the whole schema (declared foreign keys, plus
+//! // sampled joinability inference) and let budgeted path search decide
+//! // which join paths earn a full search. Promoted paths fit through a
+//! // composed gather-map view; their plans carry the hops and recompile
+//! // against a registered graph on the serving side.
+//! use feataug::schema::{SchemaGraph, SchemaTask};
+//! # fn get_more_tables() -> (feataug_tabular::Table, feataug_tabular::Table) { unimplemented!() }
+//! let (order_items, products) = get_more_tables();
+//! let mut graph = SchemaGraph::new();
+//! graph.register(task.train.clone())?; // the training table, named "train"
+//! graph.register(task.relevant.clone())?; // one hop away: "orders"
+//! graph.register(order_items)?; // two hops away
+//! graph.register(products)?; // three hops away
+//! graph.declare_edge("train", "orders", &["user_id"], &["user_id"])?;
+//! graph.declare_edge("orders", "order_items", &["order_id"], &["order_id"])?;
+//! graph.infer_edges(&Default::default())?; // e.g. order_items.product_id ⊆ products.product_id
+//! let schema_task = SchemaTask::new(graph, "train", "label", Task::BinaryClassification)
+//!     .with_max_hops(2)
+//!     .with_path_budget(2);
+//! let fitted = feataug::fit_schema(&FeatAugConfig::fast(ModelKind::Linear), &schema_task)?;
+//! println!("{} paths enumerated, {} promoted", fitted.stats().candidates, fitted.stats().promoted);
+//! let augmented = fitted.transform(&task.train)?; // union of every promoted path's features
+//! for plan in fitted.plans() {
+//!     let text = plan.to_plan_text(); // `AUGPLAN 2`, one `hop` line per join
+//!     let served = schema_task.graph.compile("train", AugPlan::from_plan_text(&text).unwrap())?;
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -179,6 +225,7 @@ pub mod pipeline;
 pub mod problem;
 pub mod proxy;
 pub mod query;
+pub mod schema;
 pub mod serving;
 pub mod template;
 pub mod template_id;
@@ -191,9 +238,10 @@ pub use pipeline::{AugModel, FeatAug, FeatAugConfig, FeatAugResult, OwnedAugMode
 pub use problem::{AugTask, AugTaskError};
 pub use proxy::LowCostProxy;
 pub use query::{
-    AugPlan, PlanAnalysisError, PlanParseError, PlanParseErrorKind, PlannedQuery, PredicateQuery,
-    QueryCodec,
+    AugPlan, PlanAnalysisError, PlanHop, PlanParseError, PlanParseErrorKind, PlannedQuery,
+    PredicateQuery, QueryCodec,
 };
+pub use schema::{fit_schema, JoinPath, SchemaAugModel, SchemaError, SchemaGraph, SchemaTask};
 pub use serving::tier::{ServingTier, TierConfig, TierError, TierStats};
 pub use serving::ServingHandle;
 pub use template::QueryTemplate;

@@ -9,6 +9,12 @@
 //!   orders → products → departments) — pre-join the chain into a single relevant table
 //!   ([`flatten_chain`]), exactly as the paper's Tmall / Instacart / Merchant preparation does.
 //!
+//! [`crate::schema::fit_schema`] generalises both reductions: it *discovers*
+//! the chains as join paths over a registered [`crate::schema::SchemaGraph`]
+//! (instead of taking a hand-flattened table), proxy-scores every candidate
+//! path, and fits only the budgeted best. [`fit_multi`] is its degenerate
+//! depth-1 case — every path exactly one declared edge long, no budget gate.
+//!
 //! Each source's pipeline run compiles **one** shared [`crate::exec::QueryEngine`] for its
 //! `(train, relevant)` pair — QTI and generation both evaluate through it — and reports the
 //! engine's cache counters in its [`FeatAugResult::engine_stats`]. Engines are per-pair by

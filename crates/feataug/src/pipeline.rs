@@ -243,7 +243,7 @@ impl<'a> AugModel<'a> {
         train: &'a Table,
         relevant: &'a Table,
     ) -> Result<AugModel<'a>, PlanAnalysisError> {
-        plan.analyze(relevant)?;
+        plan.analyze(train, relevant)?;
         Ok(AugModel::with_engine(
             plan,
             QueryEngine::new(train, relevant),
@@ -260,7 +260,7 @@ impl<'a> AugModel<'a> {
         train: Arc<Table>,
         relevant: Arc<Table>,
     ) -> Result<OwnedAugModel, PlanAnalysisError> {
-        plan.analyze(&relevant)?;
+        plan.analyze(&train, &relevant)?;
         Ok(AugModel::with_engine(
             plan,
             QueryEngine::new_shared(train, relevant),

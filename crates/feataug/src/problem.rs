@@ -99,6 +99,12 @@ impl std::error::Error for AugTaskError {}
 /// multi-source chain) can share them without further clones — cloning a task
 /// is a refcount bump. `&task.train` still derefs to `&Table` everywhere;
 /// mutate a table in place with [`Arc::make_mut`] (tests do).
+///
+/// An `AugTask` names its one relevant table explicitly. When the relevant
+/// data lives several joins away — or which table is even worth joining is
+/// itself the question — [`crate::schema::SchemaTask`] takes a registered
+/// [`crate::schema::SchemaGraph`] instead and discovers the per-path
+/// `AugTask`s by budgeted join-path search.
 #[derive(Debug, Clone)]
 pub struct AugTask {
     /// Training table `D` (contains the key columns and the label column).

@@ -185,12 +185,32 @@ impl PartialEq for PlannedQuery {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AugPlan {
     /// Name of the relevant table the queries run against (SQL rendering).
+    /// For a multi-hop plan this is the *base* table of the join path; the
+    /// queries run against the view built by applying [`AugPlan::hops`].
     pub relevant_name: String,
     /// The full foreign key `K` shared by the training and relevant tables;
     /// every query's `group_keys` is a subset of it.
     pub key_columns: Vec<String>,
+    /// Intermediate hops of a multi-hop join path, applied in order to
+    /// [`AugPlan::relevant_name`] before the queries run. Empty for the
+    /// classic single-table plan (text format version 1).
+    pub hops: Vec<PlanHop>,
     /// The selected queries, in materialisation order.
     pub queries: Vec<PlannedQuery>,
+}
+
+/// One hop of a multi-hop [`AugPlan`]: expand the view built so far with a
+/// SQL `LEFT JOIN` against `table` on `left_keys[i] = right_keys[i]`
+/// (all matches kept — see `feataug_tabular::join::left_join_expand`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanHop {
+    /// The relevant table joined in by this hop.
+    pub table: String,
+    /// Join key columns on the view built so far.
+    pub left_keys: Vec<String>,
+    /// Join key columns on `table` (same arity as `left_keys`; not copied
+    /// into the view).
+    pub right_keys: Vec<String>,
 }
 
 /// Recursively flatten a predicate into its leaves (dropping `True`s).
@@ -295,8 +315,17 @@ fn parse_value(field: &str, line: usize) -> Result<Value, PlanParseError> {
 }
 
 /// Magic first line of the plan text format; the trailing integer is the
-/// format version.
+/// format version. Version 1 is the single-table format; version 2 adds
+/// `hop` lines for multi-hop join paths. Plans without hops still serialize
+/// as version 1, so artifacts written by older builds round-trip byte-stable
+/// and older readers keep reading pathless plans from this build.
 const PLAN_HEADER: &str = "AUGPLAN 1";
+
+/// Header of the multi-hop plan format (emitted only when the plan has hops).
+const PLAN_HEADER_V2: &str = "AUGPLAN 2";
+
+/// Highest `AUGPLAN` version this build reads.
+const MAX_PLAN_VERSION: u32 = 2;
 
 /// Why a plan cannot compile against a relevant table. Produced by
 /// [`AugPlan::analyze`], which [`crate::pipeline::AugModel::compile`] runs
@@ -311,6 +340,18 @@ pub enum PlanAnalysisError {
     MissingKeyColumn {
         /// The missing column.
         column: String,
+    },
+    /// A plan key column has different types in the training and relevant
+    /// tables. Typed join keys never match across types, so every transform
+    /// row would silently come back NULL — especially easy to hit when a
+    /// multi-hop path chains heterogeneous tables.
+    KeyTypeMismatch {
+        /// The offending key column.
+        column: String,
+        /// Its type in the training table.
+        train: DataType,
+        /// Its type in the relevant table (or compiled view).
+        relevant: DataType,
     },
     /// A query groups by a column that is not one of the plan's key columns.
     UnknownGroupKey {
@@ -375,6 +416,11 @@ impl std::fmt::Display for PlanAnalysisError {
             PlanAnalysisError::MissingKeyColumn { column } => {
                 write!(f, "plan key column `{column}` not found in the relevant table")
             }
+            PlanAnalysisError::KeyTypeMismatch { column, train, relevant } => write!(
+                f,
+                "plan key column `{column}` is {train:?} in the training table but \
+                 {relevant:?} in the relevant table; its keys would never match"
+            ),
             PlanAnalysisError::UnknownGroupKey { query, column } => write!(
                 f,
                 "query {query} groups by `{column}`, which is not a plan key column"
@@ -417,6 +463,7 @@ impl AugPlan {
         AugPlan {
             relevant_name: relevant_name.into(),
             key_columns,
+            hops: Vec::new(),
             queries: queries
                 .into_iter()
                 .map(|mut p| {
@@ -428,6 +475,14 @@ impl AugPlan {
                 })
                 .collect(),
         }
+    }
+
+    /// Attach a multi-hop join path to the plan ([`AugPlan::relevant_name`]
+    /// becomes the path's base table). Plans with hops serialize with the
+    /// version-2 header.
+    pub fn with_hops(mut self, hops: Vec<PlanHop>) -> AugPlan {
+        self.hops = hops;
+        self
     }
 
     /// Number of planned queries.
@@ -448,8 +503,10 @@ impl AugPlan {
             .collect()
     }
 
-    /// Semantic pre-compile check of this plan against a relevant table:
-    /// every key column exists, every query groups by plan keys only, every
+    /// Semantic pre-compile check of this plan against the training and
+    /// relevant tables: every key column exists in the relevant table with
+    /// the type it has in the training table (typed join keys never match
+    /// across types), every query groups by plan keys only, every
     /// aggregated / predicated column exists, arithmetic aggregates are not
     /// applied to categorical columns, and no two queries collide on their
     /// output feature name. Returns the *first* problem in plan order.
@@ -458,15 +515,28 @@ impl AugPlan {
     /// [`crate::pipeline::AugModel::compile_shared`] run this before building
     /// an engine, so a stale or hand-edited plan fails at compile time with a
     /// typed [`PlanAnalysisError`] instead of deep inside transform/serve.
-    pub fn analyze(&self, relevant: &Table) -> Result<(), PlanAnalysisError> {
+    pub fn analyze(&self, train: &Table, relevant: &Table) -> Result<(), PlanAnalysisError> {
         if self.key_columns.is_empty() {
             return Err(PlanAnalysisError::NoKeyColumns);
         }
         for column in &self.key_columns {
-            if relevant.column(column).is_err() {
+            let Ok(rel_dtype) = relevant.dtype(column) else {
                 return Err(PlanAnalysisError::MissingKeyColumn {
                     column: column.clone(),
                 });
+            };
+            // Key presence in the training table is checked at transform
+            // time (the training side may be a projection); but when the
+            // column is there, a type mismatch is a guaranteed all-NULL
+            // join and must fail the compile.
+            if let Ok(train_dtype) = train.dtype(column) {
+                if train_dtype != rel_dtype {
+                    return Err(PlanAnalysisError::KeyTypeMismatch {
+                        column: column.clone(),
+                        train: train_dtype,
+                        relevant: rel_dtype,
+                    });
+                }
             }
         }
         let mut seen: Vec<(String, usize)> = Vec::with_capacity(self.queries.len());
@@ -556,10 +626,15 @@ impl AugPlan {
     /// [`AugPlan::from_plan_text`] (floats use shortest-round-trip
     /// formatting; NaN losses are canonical by construction).
     ///
+    /// Plans without hops serialize as version 1 — byte-stable with older
+    /// builds. A multi-hop plan writes the version-2 header and one `hop`
+    /// line per hop (table, key arity, left keys, right keys):
+    ///
     /// ```text
-    /// AUGPLAN 1
-    /// relevant<TAB>user_logs
+    /// AUGPLAN 2
+    /// relevant<TAB>orders
     /// keys<TAB>cname<TAB>mid
+    /// hop<TAB>order_items<TAB>1<TAB>order_id<TAB>order_id
     /// query<TAB>AVG<TAB>pprice<TAB>-0.731
     /// groupby<TAB>cname
     /// eq<TAB>department<TAB>s:Electronics
@@ -568,7 +643,11 @@ impl AugPlan {
     /// ```
     pub fn to_plan_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(PLAN_HEADER);
+        out.push_str(if self.hops.is_empty() {
+            PLAN_HEADER
+        } else {
+            PLAN_HEADER_V2
+        });
         out.push('\n');
         out.push_str(&format!(
             "relevant\t{}\n",
@@ -580,6 +659,18 @@ impl AugPlan {
             out.push_str(&escape_field(k));
         }
         out.push('\n');
+        for hop in &self.hops {
+            out.push_str(&format!(
+                "hop\t{}\t{}",
+                escape_field(&hop.table),
+                hop.left_keys.len()
+            ));
+            for k in hop.left_keys.iter().chain(&hop.right_keys) {
+                out.push('\t');
+                out.push_str(&escape_field(k));
+            }
+            out.push('\n');
+        }
         for planned in &self.queries {
             let q = &planned.query;
             out.push_str(&format!(
@@ -641,27 +732,32 @@ impl AugPlan {
             return Err(err(0, "empty plan text".into()));
         };
         let header = header.trim_end();
-        if header != PLAN_HEADER {
+        let version = match header
+            .strip_prefix("AUGPLAN ")
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            Some(v @ 1..=MAX_PLAN_VERSION) => v,
             // A well-formed `AUGPLAN <n>` header with the wrong version is a
             // distinct, typed failure: the plan came from a build speaking a
             // newer (or retired) format revision, not from corrupted text.
-            if let Some(found) = header
-                .strip_prefix("AUGPLAN ")
-                .and_then(|v| v.trim().parse::<u32>().ok())
-            {
+            Some(found) => {
                 return Err(PlanParseError {
                     line: 1,
                     message: format!(
-                        "unsupported plan version {found} (this build reads `{PLAN_HEADER}`)"
+                        "unsupported plan version {found} (this build reads \
+                         `{PLAN_HEADER}` through `{PLAN_HEADER_V2}`)"
                     ),
                     kind: PlanParseErrorKind::UnsupportedVersion { found },
                 });
             }
-            return Err(err(1, format!("expected `{PLAN_HEADER}`, got `{header}`")));
-        }
+            None => {
+                return Err(err(1, format!("expected `{PLAN_HEADER}`, got `{header}`")));
+            }
+        };
 
         let mut relevant_name: Option<String> = None;
         let mut key_columns: Option<Vec<String>> = None;
+        let mut hops: Vec<PlanHop> = Vec::new();
         let mut queries: Vec<PlannedQuery> = Vec::new();
         // The query currently being assembled: (agg, column, loss, keys, leaves).
         struct Partial {
@@ -704,6 +800,45 @@ impl AugPlan {
                         .map(|k| unescape_field(k, line_no))
                         .collect::<Result<Vec<_>, _>>()?;
                     key_columns = Some(keys);
+                }
+                "hop" => {
+                    if version < 2 {
+                        return Err(err(
+                            line_no,
+                            format!("`hop` requires an `{PLAN_HEADER_V2}` header"),
+                        ));
+                    }
+                    if current.is_some() {
+                        return Err(err(line_no, "`hop` inside a query".into()));
+                    }
+                    let [table, arity, keys @ ..] = rest.as_slice() else {
+                        return Err(err(line_no, "`hop` takes table, arity, keys".into()));
+                    };
+                    let arity = arity
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&a| a > 0)
+                        .ok_or_else(|| err(line_no, format!("bad hop key arity `{arity}`")))?;
+                    if keys.len() != 2 * arity {
+                        return Err(err(
+                            line_no,
+                            format!(
+                                "`hop` declares {arity} key pair(s) but carries {} key field(s)",
+                                keys.len()
+                            ),
+                        ));
+                    }
+                    let parse_keys = |fields: &[&str]| {
+                        fields
+                            .iter()
+                            .map(|k| unescape_field(k, line_no))
+                            .collect::<Result<Vec<_>, _>>()
+                    };
+                    hops.push(PlanHop {
+                        table: unescape_field(table, line_no)?,
+                        left_keys: parse_keys(&keys[..arity])?,
+                        right_keys: parse_keys(&keys[arity..])?,
+                    });
                 }
                 "query" => {
                     if current.is_some() {
@@ -806,7 +941,7 @@ impl AugPlan {
             relevant_name.ok_or_else(|| err(0, "plan is missing its `relevant` line".into()))?;
         let key_columns =
             key_columns.ok_or_else(|| err(0, "plan is missing its `keys` line".into()))?;
-        Ok(AugPlan::new(relevant_name, key_columns, queries))
+        Ok(AugPlan::new(relevant_name, key_columns, queries).with_hops(hops))
     }
 }
 
@@ -1057,6 +1192,16 @@ mod tests {
         t
     }
 
+    fn train() -> Table {
+        let mut t = Table::new("users");
+        t.add_column("cname", Column::from_strs(&["a", "b"]))
+            .unwrap();
+        t.add_column("mid", Column::from_strs(&["m1", "m2"]))
+            .unwrap();
+        t.add_column("label", Column::from_i64s(&[0, 1])).unwrap();
+        t
+    }
+
     fn template() -> QueryTemplate {
         QueryTemplate::new(
             vec![AggFunc::Sum, AggFunc::Avg],
@@ -1230,7 +1375,7 @@ mod tests {
 
     #[test]
     fn analyze_accepts_well_formed_plan() {
-        assert_eq!(sample_plan().analyze(&relevant()), Ok(()));
+        assert_eq!(sample_plan().analyze(&train(), &relevant()), Ok(()));
     }
 
     #[test]
@@ -1238,14 +1383,14 @@ mod tests {
         let mut plan = sample_plan();
         plan.key_columns.clear();
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::NoKeyColumns)
         );
 
         let mut plan = sample_plan();
         plan.key_columns.push("ghost".into());
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::MissingKeyColumn {
                 column: "ghost".into()
             })
@@ -1253,18 +1398,45 @@ mod tests {
     }
 
     #[test]
+    fn analyze_rejects_key_type_mismatch() {
+        // `mid` is categorical in the relevant table; retype it in the
+        // training table and every join key would silently never match.
+        let mut train = Table::new("users");
+        train
+            .add_column("cname", Column::from_strs(&["a", "b"]))
+            .unwrap();
+        train.add_column("mid", Column::from_i64s(&[1, 2])).unwrap();
+        assert_eq!(
+            sample_plan().analyze(&train, &relevant()),
+            Err(PlanAnalysisError::KeyTypeMismatch {
+                column: "mid".into(),
+                train: DataType::Int,
+                relevant: DataType::Categorical,
+            })
+        );
+        // A key column absent from the training table is not analyze's
+        // problem (the training side may be a projection) — transform
+        // reports it when the join actually runs.
+        let mut projection = Table::new("users");
+        projection
+            .add_column("cname", Column::from_strs(&["a", "b"]))
+            .unwrap();
+        assert_eq!(sample_plan().analyze(&projection, &relevant()), Ok(()));
+    }
+
+    #[test]
     fn analyze_rejects_bad_group_keys() {
         let mut plan = sample_plan();
         plan.queries[0].query.group_keys.clear();
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::NoGroupKeys { query: 0 })
         );
 
         let mut plan = sample_plan();
         plan.queries[1].query.group_keys = vec!["department".into()];
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::UnknownGroupKey {
                 query: 1,
                 column: "department".into()
@@ -1277,7 +1449,7 @@ mod tests {
         let mut plan = sample_plan();
         plan.queries[0].query.agg_column = "ghost".into();
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::MissingAggColumn {
                 query: 0,
                 column: "ghost".into()
@@ -1287,7 +1459,7 @@ mod tests {
         let mut plan = sample_plan();
         plan.queries[0].query.predicate = Predicate::eq("ghost", "E");
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::MissingPredicateColumn {
                 query: 0,
                 column: "ghost".into()
@@ -1301,7 +1473,7 @@ mod tests {
         let mut plan = sample_plan();
         plan.queries[0].query.agg_column = "department".into();
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::IncompatibleAggColumn {
                 query: 0,
                 agg: AggFunc::Avg,
@@ -1312,7 +1484,7 @@ mod tests {
         // …but frequency/order statistics over dictionary codes do (the
         // sample plan's second query is COUNT_DISTINCT(department)).
         plan.queries[0].query.agg = AggFunc::Mode;
-        assert_eq!(plan.analyze(&relevant()), Ok(()));
+        assert_eq!(plan.analyze(&train(), &relevant()), Ok(()));
     }
 
     #[test]
@@ -1321,7 +1493,7 @@ mod tests {
         let dup = plan.queries[0].clone();
         plan.queries.push(dup);
         assert_eq!(
-            plan.analyze(&relevant()),
+            plan.analyze(&train(), &relevant()),
             Err(PlanAnalysisError::DuplicateQuery {
                 first: 0,
                 second: 2,
@@ -1512,7 +1684,7 @@ mod tests {
         assert_err(half_line, "unknown directive", 2);
 
         // Unknown directives / aggregates / value type tags.
-        assert_err("AUGPLAN 2\n", "unsupported plan version 2", 1);
+        assert_err("AUGPLAN 3\n", "unsupported plan version 3", 1);
         assert_err(&format!("{text}frobnicate\tx\n"), "unknown directive", 2);
         assert_err(
             &text.replace("query\tAVG", "query\tFROBNICATE"),
@@ -1596,11 +1768,12 @@ mod tests {
     /// tell "newer format" from "broken text" without string matching.
     #[test]
     fn plan_version_mismatch_is_a_typed_kind() {
-        let e = AugPlan::from_plan_text("AUGPLAN 2\nrelevant\tlogs\n").unwrap_err();
+        let e = AugPlan::from_plan_text("AUGPLAN 3\nrelevant\tlogs\n").unwrap_err();
         assert_eq!(e.line, 1);
-        assert_eq!(e.kind, PlanParseErrorKind::UnsupportedVersion { found: 2 });
-        assert!(e.message.contains("unsupported plan version 2"));
+        assert_eq!(e.kind, PlanParseErrorKind::UnsupportedVersion { found: 3 });
+        assert!(e.message.contains("unsupported plan version 3"));
         assert!(e.message.contains("AUGPLAN 1"));
+        assert!(e.message.contains("AUGPLAN 2"));
 
         let e = AugPlan::from_plan_text("AUGPLAN 9999\n").unwrap_err();
         assert_eq!(
@@ -1614,6 +1787,68 @@ mod tests {
             let e = AugPlan::from_plan_text(bad).unwrap_err();
             assert_eq!(e.kind, PlanParseErrorKind::Malformed, "input {bad:?}");
         }
+    }
+
+    fn hop(table: &str, key: &str) -> PlanHop {
+        PlanHop {
+            table: table.into(),
+            left_keys: vec![key.into()],
+            right_keys: vec![key.into()],
+        }
+    }
+
+    /// A plan with hops round-trips through the version-2 text format; a plan
+    /// without hops keeps the version-1 header byte for byte, so artifacts
+    /// from older builds stay stable.
+    #[test]
+    fn multi_hop_plan_round_trips_as_version_2() {
+        let pathless = sample_plan();
+        assert!(pathless.to_plan_text().starts_with("AUGPLAN 1\n"));
+
+        let plan = sample_plan().with_hops(vec![
+            hop("order_items", "order_id"),
+            PlanHop {
+                table: "products".into(),
+                left_keys: vec!["product_id".into(), "region".into()],
+                right_keys: vec!["pid".into(), "region".into()],
+            },
+        ]);
+        let text = plan.to_plan_text();
+        assert!(text.starts_with("AUGPLAN 2\n"));
+        let parsed = AugPlan::from_plan_text(&text).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_plan_text(), text);
+    }
+
+    #[test]
+    fn hop_lines_reject_malformed_and_downgraded_input() {
+        let text = sample_plan()
+            .with_hops(vec![hop("items", "oid")])
+            .to_plan_text();
+        assert!(AugPlan::from_plan_text(&text).is_ok());
+
+        // A hop under a version-1 header is malformed, not silently ignored:
+        // an old-style plan must not smuggle a path the reader would drop.
+        let downgraded = text.replace("AUGPLAN 2", "AUGPLAN 1");
+        let e = AugPlan::from_plan_text(&downgraded).unwrap_err();
+        assert_eq!(e.kind, PlanParseErrorKind::Malformed);
+        assert!(e.message.contains("requires an `AUGPLAN 2` header"));
+
+        // Arity / field-count mismatches carry the hop line number.
+        let bad_arity = text.replace("hop\titems\t1", "hop\titems\t2");
+        let e = AugPlan::from_plan_text(&bad_arity).unwrap_err();
+        assert!(e.message.contains("key field"));
+        assert_eq!(e.line, 4);
+        let zero_arity = text.replace("hop\titems\t1\toid\toid", "hop\titems\t0");
+        assert!(AugPlan::from_plan_text(&zero_arity)
+            .unwrap_err()
+            .message
+            .contains("bad hop key arity"));
+        let no_fields = text.replace("hop\titems\t1\toid\toid", "hop\titems");
+        assert!(AugPlan::from_plan_text(&no_fields)
+            .unwrap_err()
+            .message
+            .contains("`hop` takes"));
     }
 
     /// Value-field parsing rejects malformed payloads of every tag.

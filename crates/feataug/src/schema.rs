@@ -1,0 +1,39 @@
+//! Schema-graph augmentation: multi-hop join paths with budgeted search.
+//!
+//! The paper's problem statement fixes **one** relevant table per task; this
+//! subsystem searches **join paths across a relational schema** — the shape
+//! FeatNavigator (budgeted path exploration: cheap proxy scores gate which
+//! paths get a full search) and ARDA (filter-then-validate over candidate
+//! joins) take — while reusing every existing layer unchanged:
+//!
+//! 1. **Catalog** ([`SchemaGraph`]): register `Arc<Table>`s, declare known
+//!    foreign keys, or let [`SchemaGraph::infer_edges`] discover joinable
+//!    pairs by key-name/dtype match plus deterministic containment sampling.
+//! 2. **Enumerate** ([`enumerate_paths`]): every acyclic [`JoinPath`]
+//!    `train ⋈ base ⋈ rel₁ ⋈ rel₂ …` up to `max_hops`, prefix-closed and
+//!    deterministic.
+//! 3. **Compile** ([`materialize_path`]): a path becomes one virtual
+//!    relevant view by composing per-hop gather maps — bit-identical to an
+//!    eager pre-join chain, and consumed by the existing
+//!    [`crate::exec::QueryEngine`] with all its memoized kernels.
+//! 4. **Explore under budget** ([`fit_schema`]): proxy-score every candidate
+//!    view with probe features, promote only the top [`SchemaTask`]
+//!    `path_budget` to full TPE searches. `multi::fit_multi` is the
+//!    degenerate `max_hops = 0`, unlimited-budget case.
+//! 5. **Round-trip** ([`SchemaAugModel::plans`] / [`SchemaGraph::compile`]):
+//!    multi-hop plans serialize as `AUGPLAN 2` text and recompile against a
+//!    registered schema on another process.
+//!
+//! This module tree is serving-reachable (`SchemaGraph::compile` runs in
+//! serving processes), so it is covered by the `panic-discipline` lint:
+//! no `unwrap`/`expect`/panicking macros outside `#[cfg(test)]`.
+
+mod compile;
+mod fit;
+mod graph;
+mod path;
+
+pub use compile::{compile_plan, materialize_path};
+pub use fit::{fit_schema, ExplorationStats, PathScore, SchemaAugModel, SchemaTask};
+pub use graph::{EdgeOrigin, InferOptions, SchemaEdge, SchemaError, SchemaGraph};
+pub use path::{enumerate_paths, JoinPath};

@@ -1,0 +1,288 @@
+//! Compiling a [`JoinPath`] into a single virtual relevant view.
+//!
+//! The materializer never eagerly chains table-sized intermediate joins.
+//! Each hop runs [`join_gather`] against a **probe table holding only the
+//! hop's key columns**, and the resulting expansion is composed into one
+//! gather map per source table (`Vec<Option<usize>>`, `None` = the hop
+//! found no match and the row reads NULL). Every payload column is then
+//! gathered **once**, straight from its original [`Table`], with the final
+//! composed map.
+//!
+//! The output is bit-identical to eagerly chaining
+//! [`feataug_tabular::join::left_join_expand`] hop by hop — same row order
+//! (left order, matches in right-row order), same `_r` clash-rename rule,
+//! same appearance-order categorical dictionary rebuilds — which the test
+//! suite asserts structurally. The existing [`crate::exec::QueryEngine`]
+//! then consumes the view unchanged: path features reuse the memoized
+//! kernels and group indexes exactly as single-table features do.
+
+use std::sync::Arc;
+
+use feataug_tabular::join::join_gather;
+use feataug_tabular::Table;
+
+use crate::pipeline::{AugModel, OwnedAugModel};
+use crate::query::AugPlan;
+
+use super::graph::{SchemaError, SchemaGraph};
+use super::path::JoinPath;
+
+/// Materialize the path's virtual relevant view. Depth-1 paths return the
+/// registered base table itself (zero copy); deeper paths compose per-hop
+/// gather maps and assemble the view in one pass.
+pub fn materialize_path(graph: &SchemaGraph, path: &JoinPath) -> Result<Arc<Table>, SchemaError> {
+    let base = graph.table(&path.base)?;
+    if path.hops.is_empty() {
+        return Ok(base.clone());
+    }
+
+    let mut tables: Vec<Arc<Table>> = vec![base.clone()];
+    let mut maps: Vec<Vec<Option<usize>>> = vec![(0..base.num_rows()).map(Some).collect()];
+    // (output column name, source table index, source column name)
+    let mut view_cols: Vec<(String, usize, String)> = base
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), 0usize, f.name.clone()))
+        .collect();
+
+    for hop in &path.hops {
+        let right = graph.table(&hop.table)?;
+        // Materialize only the probe key columns of the view built so far.
+        let mut probe = Table::new("probe");
+        for key in &hop.left_keys {
+            let Some((_, t, src)) = view_cols.iter().find(|(name, _, _)| name == key) else {
+                return Err(SchemaError::UnknownColumn {
+                    table: path.view_name(),
+                    column: key.clone(),
+                });
+            };
+            probe.add_column(key.clone(), tables[*t].column(src)?.take_opt(&maps[*t]))?;
+        }
+        let left_keys: Vec<&str> = hop.left_keys.iter().map(|s| s.as_str()).collect();
+        let right_keys: Vec<&str> = hop.right_keys.iter().map(|s| s.as_str()).collect();
+        let gather = join_gather(&probe, right, &left_keys, &right_keys)?;
+        // Re-gather every accumulated map through the hop's expansion, then
+        // append the new table's own map.
+        maps = maps
+            .iter()
+            .map(|m| gather.iter().map(|&(l, _)| m[l]).collect())
+            .collect();
+        maps.push(gather.iter().map(|&(_, r)| r).collect());
+        tables.push(right.clone());
+        let t_idx = tables.len() - 1;
+        for field in right.schema().fields() {
+            if hop.right_keys.contains(&field.name) {
+                continue;
+            }
+            let mut name = field.name.clone();
+            if view_cols.iter().any(|(n, _, _)| *n == name) {
+                name = format!("{name}_r");
+            }
+            view_cols.push((name, t_idx, field.name.clone()));
+        }
+    }
+
+    let mut out = Table::new(path.view_name());
+    for (name, t, src) in &view_cols {
+        out.add_column(name.clone(), tables[*t].column(src)?.take_opt(&maps[*t]))?;
+    }
+    Ok(Arc::new(out))
+}
+
+/// Recompile a (possibly multi-hop) [`AugPlan`] into a serving model against
+/// a registered schema: rebuild the plan's [`JoinPath`], materialize its
+/// view, and hand both tables to [`AugModel::compile_shared`]. The depth-1
+/// case degenerates to compiling directly against the registered base table.
+pub fn compile_plan(
+    graph: &SchemaGraph,
+    train: &str,
+    plan: AugPlan,
+) -> Result<OwnedAugModel, SchemaError> {
+    let train_table = graph.table(train)?.clone();
+    let path = JoinPath {
+        base: plan.relevant_name.clone(),
+        base_keys: plan.key_columns.clone(),
+        hops: plan.hops.clone(),
+    };
+    let view = materialize_path(graph, &path)?;
+    Ok(AugModel::compile_shared(plan, train_table, view)?)
+}
+
+impl SchemaGraph {
+    /// Method form of [`compile_plan`]: recompile a round-tripped plan into
+    /// a serving model against this graph's registered tables.
+    pub fn compile(&self, train: &str, plan: AugPlan) -> Result<OwnedAugModel, SchemaError> {
+        compile_plan(self, train, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{PlanHop, PlannedQuery, PredicateQuery};
+    use feataug_tabular::join::left_join_expand;
+    use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+
+    fn cat(values: &[&str]) -> Column {
+        Column::from_strs(values)
+    }
+
+    fn ints(values: &[i64]) -> Column {
+        Column::Int(values.iter().map(|v| Some(*v)).collect())
+    }
+
+    fn table(name: &str, cols: Vec<(&str, Column)>) -> Table {
+        let mut t = Table::new(name);
+        for (cname, col) in cols {
+            t.add_column(cname, col).unwrap();
+        }
+        t
+    }
+
+    /// users —uid→ orders —oid→ items, with a payload-name clash (`note`)
+    /// between orders and items to exercise the `_r` rule, an unmatched
+    /// order (oid 13) to exercise NULL expansion, and a one-to-many items
+    /// fan-out to exercise row multiplication.
+    fn graph() -> SchemaGraph {
+        let users = table(
+            "users",
+            vec![("uid", cat(&["a", "b"])), ("label", ints(&[0, 1]))],
+        );
+        let orders = table(
+            "orders",
+            vec![
+                ("uid", cat(&["a", "a", "b"])),
+                ("oid", ints(&[10, 11, 13])),
+                ("note", cat(&["x", "y", "z"])),
+            ],
+        );
+        let items = table(
+            "items",
+            vec![
+                ("oid", ints(&[11, 10, 11])),
+                ("qty", ints(&[5, 6, 7])),
+                ("note", cat(&["p", "q", "p"])),
+            ],
+        );
+        let mut g = SchemaGraph::new()
+            .with_table(users)
+            .unwrap()
+            .with_table(orders)
+            .unwrap()
+            .with_table(items)
+            .unwrap();
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        g.declare_edge("orders", "items", &["oid"], &["oid"])
+            .unwrap();
+        g
+    }
+
+    fn two_hop_path() -> JoinPath {
+        JoinPath {
+            base: "orders".to_string(),
+            base_keys: vec!["uid".to_string()],
+            hops: vec![PlanHop {
+                table: "items".to_string(),
+                left_keys: vec!["oid".to_string()],
+                right_keys: vec!["oid".to_string()],
+            }],
+        }
+    }
+
+    #[test]
+    fn depth_one_path_is_the_registered_table_itself() {
+        let g = graph();
+        let path = JoinPath {
+            base: "orders".to_string(),
+            base_keys: vec!["uid".to_string()],
+            hops: Vec::new(),
+        };
+        let view = materialize_path(&g, &path).unwrap();
+        assert!(Arc::ptr_eq(&view, g.table("orders").unwrap()));
+    }
+
+    #[test]
+    fn composed_view_is_bit_identical_to_eager_expand_chain() {
+        let g = graph();
+        let view = materialize_path(&g, &two_hop_path()).unwrap();
+        let eager = left_join_expand(
+            g.table("orders").unwrap(),
+            g.table("items").unwrap(),
+            &["oid"],
+            &["oid"],
+        )
+        .unwrap();
+        // Bit-identical content: same columns in the same order, same
+        // values, same categorical dictionaries (Table equality compares
+        // dictionaries and codes, not just rendered values).
+        assert_eq!(view.schema(), eager.schema());
+        for field in eager.schema().fields() {
+            assert_eq!(
+                view.column(&field.name).unwrap(),
+                eager.column(&field.name).unwrap(),
+                "column {} differs",
+                field.name
+            );
+        }
+        // Clash rule applied: items' `note` arrives as `note_r`.
+        assert!(view.column("note_r").is_ok());
+        // Fan-out + NULL expansion: 2 rows for oid 11, 1 for 10, NULL row for 13.
+        assert_eq!(view.num_rows(), 4);
+    }
+
+    #[test]
+    fn unknown_hop_key_is_reported_against_the_view_signature() {
+        let g = graph();
+        let mut path = two_hop_path();
+        path.hops[0].left_keys = vec!["ghost".to_string()];
+        let err = materialize_path(&g, &path).unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::UnknownColumn { table, column }
+                if table == "orders \u{22c8} items" && column == "ghost"
+        ));
+    }
+
+    #[test]
+    fn compile_plan_recompiles_a_multi_hop_plan_for_serving() {
+        let g = graph();
+        let query = PredicateQuery {
+            agg: AggFunc::Sum,
+            agg_column: "qty".to_string(),
+            predicate: Predicate::True,
+            group_keys: vec!["uid".to_string()],
+        };
+        let plan = AugPlan::new(
+            "orders",
+            vec!["uid".to_string()],
+            vec![PlannedQuery {
+                query: query.clone(),
+                loss: f64::NAN,
+            }],
+        )
+        .with_hops(two_hop_path().hops);
+        let model = g.compile("users", plan.clone()).unwrap();
+        let augmented = model.transform(g.table("users").unwrap()).unwrap();
+        // User a: orders 10 (qty 6) and 11 (qty 5 + 7) → 18.
+        assert_eq!(
+            augmented.value(0, &query.feature_name()).unwrap(),
+            Value::Float(18.0)
+        );
+        // And the whole transform matches a manual pre-join compile.
+        let eager = left_join_expand(
+            g.table("orders").unwrap(),
+            g.table("items").unwrap(),
+            &["oid"],
+            &["oid"],
+        )
+        .unwrap();
+        let manual_plan = AugPlan::new("orders_joined", plan.key_columns.clone(), plan.queries);
+        let manual = AugModel::compile(manual_plan, g.table("users").unwrap(), &eager).unwrap();
+        assert_eq!(
+            augmented,
+            manual.transform(g.table("users").unwrap()).unwrap()
+        );
+    }
+}

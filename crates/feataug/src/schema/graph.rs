@@ -1,0 +1,596 @@
+//! The schema graph: registered tables plus their joinability edges.
+//!
+//! A [`SchemaGraph`] is the catalog the path search walks. Tables register
+//! under their [`Table::name`]; edges come from two sources:
+//!
+//! * [`SchemaGraph::declare_edge`] — a trusted foreign key the caller knows
+//!   (validated for existence, arity and per-pair dtype equality);
+//! * [`SchemaGraph::infer_edges`] — ARDA-style discovery: for every ordered
+//!   table pair, every shared column name with an equal dtype is probed by
+//!   **containment sampling** (what fraction of the left table's first `N`
+//!   distinct key values appear in the right column), and pairs above the
+//!   threshold become [`EdgeOrigin::Inferred`] edges. Sampling is
+//!   deterministic — first-`N`-distinct in row order, no RNG — so repeated
+//!   runs build identical graphs.
+//!
+//! Edges are stored once per unordered table pair + key pair and are walked
+//! in **both directions** during enumeration ([`SchemaEdge::keys_from`]).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use feataug_tabular::groupby::{key_atom, KeyAtom};
+use feataug_tabular::join::KeyMapper;
+use feataug_tabular::{DataType, Table, TabularError};
+
+use crate::exec::EngineError;
+use crate::problem::AugTaskError;
+use crate::query::PlanAnalysisError;
+
+/// Why a schema-graph operation failed. Typed so callers can tell a catalog
+/// mistake (unknown table, mismatched key types) apart from a failure inside
+/// the layers the schema subsystem composes (tabular kernels, task
+/// validation, plan analysis, the query engine).
+#[derive(Debug)]
+pub enum SchemaError {
+    /// A table with this name is already registered.
+    DuplicateTable {
+        /// The clashing table name.
+        name: String,
+    },
+    /// No registered table has this name.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A referenced column is absent from a table (or from a path's view).
+    UnknownColumn {
+        /// The table (or view signature) probed.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// An edge declaration's key lists are empty or of unequal length.
+    KeyArityMismatch {
+        /// Left table of the declaration.
+        left_table: String,
+        /// Right table of the declaration.
+        right_table: String,
+        /// Number of left key columns.
+        left_arity: usize,
+        /// Number of right key columns.
+        right_arity: usize,
+    },
+    /// A declared key pair joins columns of different dtypes; such keys can
+    /// never match ([`KeyMapper`] treats the pair as incompatible).
+    KeyTypeMismatch {
+        /// Left table of the declaration.
+        left_table: String,
+        /// Left key column.
+        left_column: String,
+        /// Right table of the declaration.
+        right_table: String,
+        /// Right key column.
+        right_column: String,
+        /// The left column's dtype.
+        left: DataType,
+        /// The right column's dtype.
+        right: DataType,
+    },
+    /// Path enumeration found no walkable path out of the training table.
+    NoPaths {
+        /// The training table the search started from.
+        train: String,
+    },
+    /// A tabular-layer failure, passed through verbatim.
+    Tabular(TabularError),
+    /// Task validation rejected a promoted path's fit.
+    Task(AugTaskError),
+    /// Plan analysis rejected a recompile against the materialized view.
+    Analysis(PlanAnalysisError),
+    /// The query engine failed while proxy-scoring a candidate path.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateTable { name } => {
+                write!(f, "a table named `{name}` is already registered")
+            }
+            SchemaError::UnknownTable { name } => {
+                write!(f, "no registered table is named `{name}`")
+            }
+            SchemaError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            SchemaError::KeyArityMismatch {
+                left_table,
+                right_table,
+                left_arity,
+                right_arity,
+            } => write!(
+                f,
+                "edge `{left_table}` -> `{right_table}` needs equal, non-empty key lists \
+                 (got {left_arity} and {right_arity})"
+            ),
+            SchemaError::KeyTypeMismatch {
+                left_table,
+                left_column,
+                right_table,
+                right_column,
+                left,
+                right,
+            } => write!(
+                f,
+                "edge key `{left_table}.{left_column}` is {left:?} but \
+                 `{right_table}.{right_column}` is {right:?}; these keys would never match"
+            ),
+            SchemaError::NoPaths { train } => write!(
+                f,
+                "no join path leads out of training table `{train}` \
+                 (declare or infer an edge whose key names match on both sides)"
+            ),
+            SchemaError::Tabular(e) => write!(f, "tabular error: {e}"),
+            SchemaError::Task(e) => write!(f, "task error: {e}"),
+            SchemaError::Analysis(e) => write!(f, "plan analysis error: {e}"),
+            SchemaError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<TabularError> for SchemaError {
+    fn from(e: TabularError) -> Self {
+        SchemaError::Tabular(e)
+    }
+}
+
+impl From<AugTaskError> for SchemaError {
+    fn from(e: AugTaskError) -> Self {
+        SchemaError::Task(e)
+    }
+}
+
+impl From<PlanAnalysisError> for SchemaError {
+    fn from(e: PlanAnalysisError) -> Self {
+        SchemaError::Analysis(e)
+    }
+}
+
+impl From<EngineError> for SchemaError {
+    fn from(e: EngineError) -> Self {
+        SchemaError::Engine(e)
+    }
+}
+
+/// How an edge entered the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeOrigin {
+    /// Declared by the caller as a known foreign key.
+    Declared,
+    /// Inferred by name/type match plus containment sampling; carries the
+    /// observed containment fraction (in `[0, 1]`).
+    Inferred {
+        /// Fraction of sampled left-side keys found in the right column.
+        containment: f64,
+    },
+}
+
+/// A joinability edge between two registered tables:
+/// `left.left_keys[i] = right.right_keys[i]`. Undirected for enumeration —
+/// a path may traverse it from either endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaEdge {
+    /// One endpoint table.
+    pub left: String,
+    /// The other endpoint table.
+    pub right: String,
+    /// Key columns on `left`.
+    pub left_keys: Vec<String>,
+    /// Key columns on `right` (same arity as `left_keys`).
+    pub right_keys: Vec<String>,
+    /// Whether the edge was declared or inferred.
+    pub origin: EdgeOrigin,
+}
+
+impl SchemaEdge {
+    /// View the edge from `table`'s side: `(other_table, keys_on_table,
+    /// keys_on_other)`. `None` when the edge does not touch `table`.
+    pub fn keys_from(&self, table: &str) -> Option<(&str, &[String], &[String])> {
+        if self.left == table {
+            Some((&self.right, &self.left_keys, &self.right_keys))
+        } else if self.right == table {
+            Some((&self.left, &self.right_keys, &self.left_keys))
+        } else {
+            None
+        }
+    }
+
+    /// True if the edge connects the same unordered table pair on the same
+    /// key pair as `(a, b, a_keys, b_keys)` — in either orientation.
+    fn same_link(&self, a: &str, b: &str, a_keys: &[String], b_keys: &[String]) -> bool {
+        (self.left == a && self.right == b && self.left_keys == a_keys && self.right_keys == b_keys)
+            || (self.left == b
+                && self.right == a
+                && self.left_keys == b_keys
+                && self.right_keys == a_keys)
+    }
+}
+
+/// Knobs for [`SchemaGraph::infer_edges`].
+#[derive(Debug, Clone)]
+pub struct InferOptions {
+    /// How many distinct left-side key values to probe per candidate pair
+    /// (first `sample` distinct non-NULL values in row order).
+    pub sample: usize,
+    /// Minimum containment fraction for a candidate to become an edge.
+    pub min_containment: f64,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            sample: 64,
+            min_containment: 0.9,
+        }
+    }
+}
+
+/// The registered tables and joinability edges the path search walks.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaGraph {
+    tables: Vec<(String, Arc<Table>)>,
+    edges: Vec<SchemaEdge>,
+}
+
+impl SchemaGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        SchemaGraph::default()
+    }
+
+    /// Register a table under its own [`Table::name`]. Tables are shared
+    /// (`Arc`), so registration never copies data.
+    pub fn register(&mut self, table: impl Into<Arc<Table>>) -> Result<(), SchemaError> {
+        let table = table.into();
+        let name = table.name().to_string();
+        if self.tables.iter().any(|(n, _)| *n == name) {
+            return Err(SchemaError::DuplicateTable { name });
+        }
+        self.tables.push((name, table));
+        Ok(())
+    }
+
+    /// Builder-style [`SchemaGraph::register`].
+    pub fn with_table(mut self, table: impl Into<Arc<Table>>) -> Result<Self, SchemaError> {
+        self.register(table)?;
+        Ok(self)
+    }
+
+    /// The registered table of this name.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>, SchemaError> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .ok_or_else(|| SchemaError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Registered table names, in registration order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// All edges, in declaration/inference order.
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// Declare a trusted foreign-key edge `left.left_keys[i] =
+    /// right.right_keys[i]`. Both tables must be registered, every key
+    /// column must exist, and each key pair must share a dtype (mismatched
+    /// dtypes can never match under [`KeyMapper`], so declaring them is
+    /// certainly a mistake).
+    pub fn declare_edge(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_keys: &[&str],
+        right_keys: &[&str],
+    ) -> Result<(), SchemaError> {
+        if left_keys.is_empty() || left_keys.len() != right_keys.len() {
+            return Err(SchemaError::KeyArityMismatch {
+                left_table: left.to_string(),
+                right_table: right.to_string(),
+                left_arity: left_keys.len(),
+                right_arity: right_keys.len(),
+            });
+        }
+        let left_table = self.table(left)?.clone();
+        let right_table = self.table(right)?.clone();
+        for (lk, rk) in left_keys.iter().zip(right_keys) {
+            let lcol = column_of(&left_table, lk)?;
+            let rcol = column_of(&right_table, rk)?;
+            if lcol.dtype() != rcol.dtype() {
+                return Err(SchemaError::KeyTypeMismatch {
+                    left_table: left.to_string(),
+                    left_column: (*lk).to_string(),
+                    right_table: right.to_string(),
+                    right_column: (*rk).to_string(),
+                    left: lcol.dtype(),
+                    right: rcol.dtype(),
+                });
+            }
+        }
+        self.edges.push(SchemaEdge {
+            left: left.to_string(),
+            right: right.to_string(),
+            left_keys: left_keys.iter().map(|s| (*s).to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| (*s).to_string()).collect(),
+            origin: EdgeOrigin::Declared,
+        });
+        Ok(())
+    }
+
+    /// Infer joinability edges: for every ordered pair of registered tables
+    /// and every shared column name with an equal dtype that is not already
+    /// linked, sample containment of the left table's distinct key values in
+    /// the right column; candidates at or above `min_containment` become
+    /// [`EdgeOrigin::Inferred`] edges. Returns how many edges were added.
+    ///
+    /// Deterministic by construction: tables in registration order, columns
+    /// in schema order, the first `sample` distinct values in row order.
+    pub fn infer_edges(&mut self, opts: &InferOptions) -> Result<usize, SchemaError> {
+        let mut added = 0;
+        for (li, (left_name, left)) in self.tables.iter().enumerate() {
+            for (ri, (right_name, right)) in self.tables.iter().enumerate() {
+                if li == ri {
+                    continue;
+                }
+                for field in left.schema().fields() {
+                    let Some(rcol) = right.column(&field.name).ok() else {
+                        continue;
+                    };
+                    if rcol.dtype() != field.dtype {
+                        continue;
+                    }
+                    let keys = vec![field.name.clone()];
+                    if self
+                        .edges
+                        .iter()
+                        .any(|e| e.same_link(left_name, right_name, &keys, &keys))
+                    {
+                        continue;
+                    }
+                    let containment =
+                        containment(left, &field.name, right, &field.name, opts.sample)?;
+                    if containment >= opts.min_containment {
+                        self.edges.push(SchemaEdge {
+                            left: left_name.clone(),
+                            right: right_name.clone(),
+                            left_keys: keys.clone(),
+                            right_keys: keys,
+                            origin: EdgeOrigin::Inferred { containment },
+                        });
+                        added += 1;
+                    }
+                }
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// [`Table::column`] with the miss reported as [`SchemaError::UnknownColumn`]
+/// (names the table, which the tabular error does not).
+fn column_of<'t>(
+    table: &'t Table,
+    column: &str,
+) -> Result<&'t feataug_tabular::Column, SchemaError> {
+    table
+        .column(column)
+        .map_err(|_| SchemaError::UnknownColumn {
+            table: table.name().to_string(),
+            column: column.to_string(),
+        })
+}
+
+/// Fraction of `probe`'s first `sample` distinct non-NULL `probe_col` values
+/// present in `reference`'s `ref_col`. Categorical values are translated
+/// through [`KeyMapper`] (value-based, so differing dictionaries compare
+/// correctly); `0.0` when the probe column holds no non-NULL values.
+fn containment(
+    probe: &Table,
+    probe_col: &str,
+    reference: &Table,
+    ref_col: &str,
+    sample: usize,
+) -> Result<f64, TabularError> {
+    let mapper = KeyMapper::new(reference, probe, &[ref_col], &[probe_col])?;
+    let ref_column = reference.column(ref_col)?;
+    let mut present: HashSet<Vec<KeyAtom>> = HashSet::new();
+    for row in 0..reference.num_rows() {
+        match key_atom(ref_column, row) {
+            KeyAtom::Null => {}
+            atom => {
+                present.insert(vec![atom]);
+            }
+        }
+    }
+    let probe_column = probe.column(probe_col)?;
+    let mut seen: HashSet<KeyAtom> = HashSet::new();
+    let mut probed = 0usize;
+    let mut matched = 0usize;
+    for row in 0..probe.num_rows() {
+        if probed >= sample.max(1) {
+            break;
+        }
+        let own = key_atom(probe_column, row);
+        if own == KeyAtom::Null || !seen.insert(own) {
+            continue;
+        }
+        probed += 1;
+        if mapper.key(row).is_some_and(|k| present.contains(&k)) {
+            matched += 1;
+        }
+    }
+    if probed == 0 {
+        Ok(0.0)
+    } else {
+        Ok(matched as f64 / probed as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_tabular::Column;
+
+    fn table(name: &str, cols: &[(&str, Column)]) -> Table {
+        let mut t = Table::new(name);
+        for (cname, col) in cols {
+            t.add_column(*cname, col.clone()).unwrap();
+        }
+        t
+    }
+
+    fn cat(values: &[&str]) -> Column {
+        Column::from_strs(values)
+    }
+
+    fn ints(values: &[i64]) -> Column {
+        Column::Int(values.iter().map(|v| Some(*v)).collect())
+    }
+
+    fn two_table_graph() -> SchemaGraph {
+        let users = table(
+            "users",
+            &[("uid", cat(&["a", "b"])), ("label", ints(&[0, 1]))],
+        );
+        let orders = table(
+            "orders",
+            &[("uid", cat(&["a", "a", "b"])), ("amount", ints(&[3, 4, 5]))],
+        );
+        SchemaGraph::new()
+            .with_table(users)
+            .unwrap()
+            .with_table(orders)
+            .unwrap()
+    }
+
+    #[test]
+    fn register_rejects_duplicate_names() {
+        let mut g = two_table_graph();
+        let err = g
+            .register(table("users", &[("x", ints(&[1]))]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateTable { name } if name == "users"));
+    }
+
+    #[test]
+    fn declare_edge_validates_tables_columns_arity_and_types() {
+        let mut g = two_table_graph();
+        assert!(matches!(
+            g.declare_edge("users", "nope", &["uid"], &["uid"]),
+            Err(SchemaError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            g.declare_edge("users", "orders", &["ghost"], &["uid"]),
+            Err(SchemaError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            g.declare_edge("users", "orders", &[], &[]),
+            Err(SchemaError::KeyArityMismatch { .. })
+        ));
+        assert!(matches!(
+            g.declare_edge("users", "orders", &["uid"], &["uid", "amount"]),
+            Err(SchemaError::KeyArityMismatch { .. })
+        ));
+        let err = g
+            .declare_edge("users", "orders", &["label"], &["uid"])
+            .unwrap_err();
+        assert!(
+            matches!(err, SchemaError::KeyTypeMismatch { left, right, .. }
+            if left == DataType::Int && right == DataType::Categorical)
+        );
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.edges()[0].origin, EdgeOrigin::Declared);
+    }
+
+    #[test]
+    fn keys_from_walks_both_directions() {
+        let mut g = two_table_graph();
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        let edge = &g.edges()[0];
+        let (other, mine, theirs) = edge.keys_from("orders").unwrap();
+        assert_eq!(other, "users");
+        assert_eq!(mine, ["uid".to_string()]);
+        assert_eq!(theirs, ["uid".to_string()]);
+        assert!(edge.keys_from("elsewhere").is_none());
+    }
+
+    #[test]
+    fn infer_edges_uses_name_type_and_containment() {
+        // `uid` is fully contained users -> orders and orders -> users;
+        // `stray` shares a name but its values don't overlap; `label` /
+        // `amount` share no name.
+        let users = table(
+            "users",
+            &[
+                ("uid", cat(&["a", "b"])),
+                ("stray", ints(&[100, 200])),
+                ("label", ints(&[0, 1])),
+            ],
+        );
+        let orders = table(
+            "orders",
+            &[
+                ("uid", cat(&["a", "a", "b"])),
+                ("stray", ints(&[7, 8, 9])),
+                ("amount", ints(&[3, 4, 5])),
+            ],
+        );
+        let mut g = SchemaGraph::new()
+            .with_table(users)
+            .unwrap()
+            .with_table(orders)
+            .unwrap();
+        let added = g.infer_edges(&InferOptions::default()).unwrap();
+        // One `uid` edge (the reverse direction is deduplicated as the same
+        // unordered link); `stray` fails containment in both directions.
+        assert_eq!(added, 1);
+        let edge = &g.edges()[0];
+        assert_eq!(
+            (edge.left.as_str(), edge.right.as_str()),
+            ("users", "orders")
+        );
+        assert_eq!(edge.left_keys, ["uid".to_string()]);
+        assert!(matches!(edge.origin, EdgeOrigin::Inferred { containment } if containment == 1.0));
+    }
+
+    #[test]
+    fn infer_edges_skips_already_declared_links() {
+        let mut g = two_table_graph();
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        let added = g.infer_edges(&InferOptions::default()).unwrap();
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn containment_is_value_based_across_dictionaries() {
+        // Dictionaries intern in different orders; matching must go through
+        // value translation, not raw codes.
+        let left = table("l", &[("k", cat(&["x", "y", "z"]))]);
+        let right = table("r", &[("k", cat(&["z", "y"]))]);
+        let c = containment(&left, "k", &right, "k", 64).unwrap();
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

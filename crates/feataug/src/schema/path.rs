@@ -1,0 +1,323 @@
+//! Join-path enumeration over a [`SchemaGraph`].
+//!
+//! A [`JoinPath`] is `train ⋈ base ⋈ hop₁ ⋈ hop₂ …`: the **base** table
+//! links directly to the training table (its `base_keys` double as the
+//! train-side foreign key, so they must be named identically on both sides —
+//! the [`crate::query::AugPlan`] format carries a single key list), and each
+//! hop expands the view with another table via `left_join_expand` semantics.
+//!
+//! Enumeration is exhaustive and deterministic: edges in declaration order,
+//! depth-first, acyclic (a table appears at most once per path, and the
+//! training table never re-enters). Every prefix of a walk is itself
+//! emitted — depth-1 paths are exactly the [`crate::multi`] sources. While
+//! walking, the enumerator simulates the view's column naming (including the
+//! `_r` clash suffix) so that every returned path is guaranteed to
+//! materialize: an edge whose key columns got shadowed by a rename, or whose
+//! payload columns would clash twice, is simply not taken.
+
+use crate::query::PlanHop;
+
+use super::graph::{SchemaError, SchemaGraph};
+
+/// A multi-hop join path rooted at a base table directly joinable to the
+/// training table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPath {
+    /// The base relevant table (plan `relevant_name`).
+    pub base: String,
+    /// The foreign key shared by the training table and `base` (identical
+    /// column names on both sides; plan `key_columns`).
+    pub base_keys: Vec<String>,
+    /// Intermediate hops, applied in order (plan `hops`).
+    pub hops: Vec<PlanHop>,
+}
+
+impl JoinPath {
+    /// Number of relevant tables on the path (1 = the degenerate
+    /// single-table case).
+    pub fn depth(&self) -> usize {
+        1 + self.hops.len()
+    }
+
+    /// Stable display signature — also the materialized view's table name.
+    pub fn view_name(&self) -> String {
+        let mut name = self.base.clone();
+        for hop in &self.hops {
+            name.push_str(" \u{22c8} ");
+            name.push_str(&hop.table);
+        }
+        name
+    }
+}
+
+/// Enumerate every acyclic join path from `train` of up to `max_hops`
+/// intermediate hops past the base table (`max_hops = 0` restricts the
+/// search to the depth-1 degenerate case, i.e. [`crate::multi::fit_multi`]'s
+/// shape). Paths are returned in deterministic DFS order.
+pub fn enumerate_paths(
+    graph: &SchemaGraph,
+    train: &str,
+    max_hops: usize,
+) -> Result<Vec<JoinPath>, SchemaError> {
+    graph.table(train)?;
+    let mut out = Vec::new();
+    for edge in graph.edges() {
+        let Some((base, train_keys, base_keys)) = edge.keys_from(train) else {
+            continue;
+        };
+        // The plan format stores one shared key list for train ↔ base, so
+        // only identically-named first edges are walkable.
+        if train_keys != base_keys || base == train {
+            continue;
+        }
+        let Ok(base_table) = graph.table(base) else {
+            continue;
+        };
+        let path = JoinPath {
+            base: base.to_string(),
+            base_keys: base_keys.to_vec(),
+            hops: Vec::new(),
+        };
+        out.push(path.clone());
+        let mut visited = vec![train.to_string(), base.to_string()];
+        // (output column name, source table) — mirrors the materializer's
+        // naming so key resolution can be checked hop by hop.
+        let mut view_cols: Vec<(String, String)> = base_table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), base.to_string()))
+            .collect();
+        extend(
+            graph,
+            &path,
+            base,
+            &mut visited,
+            &mut view_cols,
+            max_hops,
+            &mut out,
+        );
+    }
+    Ok(out)
+}
+
+/// DFS continuation: try every edge out of `current`, simulating the view's
+/// column naming so only materializable hops are taken.
+fn extend(
+    graph: &SchemaGraph,
+    path: &JoinPath,
+    current: &str,
+    visited: &mut Vec<String>,
+    view_cols: &mut Vec<(String, String)>,
+    max_hops: usize,
+    out: &mut Vec<JoinPath>,
+) {
+    if path.hops.len() >= max_hops {
+        return;
+    }
+    for edge in graph.edges() {
+        let Some((next, left_keys, right_keys)) = edge.keys_from(current) else {
+            continue;
+        };
+        if visited.iter().any(|v| v == next) {
+            continue;
+        }
+        // The hop's left keys must still resolve — by the materializer's
+        // first-match-on-name rule — to columns that actually came from
+        // `current`. A key shadowed by a rename, or one whose name binds to
+        // an earlier table's column, would silently join on the wrong
+        // values, so the edge is not walkable.
+        let keys_bind_to_current = left_keys.iter().all(|k| {
+            view_cols
+                .iter()
+                .find(|(name, _)| name == k)
+                .is_some_and(|(_, source)| source == current)
+        });
+        if !keys_bind_to_current {
+            continue;
+        }
+        let Ok(next_table) = graph.table(next) else {
+            continue;
+        };
+        // Simulate the payload-column clash rule of view materialisation;
+        // a second-level clash (`name` and `name_r` both taken) would fail
+        // to materialize, so the edge is not walkable.
+        let taken = |added: &[(String, String)], name: &String| {
+            view_cols.iter().any(|(n, _)| n == name) || added.iter().any(|(n, _)| n == name)
+        };
+        let mut added: Vec<(String, String)> = Vec::new();
+        let mut ok = true;
+        for field in next_table.schema().fields() {
+            if right_keys.contains(&field.name) {
+                continue;
+            }
+            let mut name = field.name.clone();
+            if taken(&added, &name) {
+                name = format!("{name}_r");
+            }
+            if taken(&added, &name) {
+                ok = false;
+                break;
+            }
+            added.push((name, next.to_string()));
+        }
+        if !ok {
+            continue;
+        }
+        let mut deeper = path.clone();
+        deeper.hops.push(PlanHop {
+            table: next.to_string(),
+            left_keys: left_keys.to_vec(),
+            right_keys: right_keys.to_vec(),
+        });
+        out.push(deeper.clone());
+        visited.push(next.to_string());
+        let base_len = view_cols.len();
+        view_cols.extend(added);
+        extend(graph, &deeper, next, visited, view_cols, max_hops, out);
+        view_cols.truncate(base_len);
+        visited.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feataug_tabular::{Column, Table};
+
+    fn table(name: &str, cols: &[(&str, &[i64])]) -> Table {
+        let mut t = Table::new(name);
+        for (cname, values) in cols {
+            t.add_column(
+                *cname,
+                Column::Int(values.iter().map(|v| Some(*v)).collect()),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    /// users —uid→ orders —oid→ items —pid→ products
+    fn chain_graph() -> SchemaGraph {
+        let mut g = SchemaGraph::new()
+            .with_table(table("users", &[("uid", &[1, 2]), ("label", &[0, 1])]))
+            .unwrap()
+            .with_table(table(
+                "orders",
+                &[("uid", &[1, 1, 2]), ("oid", &[10, 11, 12])],
+            ))
+            .unwrap()
+            .with_table(table("items", &[("oid", &[10, 11]), ("pid", &[7, 8])]))
+            .unwrap()
+            .with_table(table(
+                "products",
+                &[("pid", &[7, 8]), ("price", &[100, 200])],
+            ))
+            .unwrap();
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        g.declare_edge("orders", "items", &["oid"], &["oid"])
+            .unwrap();
+        g.declare_edge("items", "products", &["pid"], &["pid"])
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn enumerates_prefix_closed_paths_up_to_max_hops() {
+        let g = chain_graph();
+        let paths = enumerate_paths(&g, "users", 2).unwrap();
+        let names: Vec<String> = paths.iter().map(|p| p.view_name()).collect();
+        assert_eq!(
+            names,
+            [
+                "orders",
+                "orders \u{22c8} items",
+                "orders \u{22c8} items \u{22c8} products"
+            ]
+        );
+        assert_eq!(paths[0].depth(), 1);
+        assert_eq!(paths[2].depth(), 3);
+        assert_eq!(paths[2].base_keys, ["uid".to_string()]);
+        assert_eq!(paths[2].hops[1].table, "products");
+    }
+
+    #[test]
+    fn max_hops_zero_is_the_degenerate_multi_case() {
+        let g = chain_graph();
+        let paths = enumerate_paths(&g, "users", 0).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].hops.is_empty());
+        assert_eq!(paths[0].base, "orders");
+    }
+
+    #[test]
+    fn paths_are_acyclic_and_never_reenter_train() {
+        let mut g = chain_graph();
+        // A back-edge products → users (same dtype) must not create cycles.
+        g.declare_edge("products", "users", &["pid"], &["uid"])
+            .unwrap();
+        let paths = enumerate_paths(&g, "users", 5).unwrap();
+        for p in &paths {
+            let mut seen = vec!["users".to_string(), p.base.clone()];
+            for hop in &p.hops {
+                assert!(!seen.contains(&hop.table), "cycle in {}", p.view_name());
+                seen.push(hop.table.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn first_edge_requires_identical_key_names() {
+        let mut g = SchemaGraph::new()
+            .with_table(table("users", &[("uid", &[1])]))
+            .unwrap()
+            .with_table(table("orders", &[("user_ref", &[1]), ("oid", &[10])]))
+            .unwrap();
+        g.declare_edge("users", "orders", &["uid"], &["user_ref"])
+            .unwrap();
+        assert!(enumerate_paths(&g, "users", 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_train_table_is_an_error() {
+        let g = chain_graph();
+        assert!(matches!(
+            enumerate_paths(&g, "ghost", 1),
+            Err(SchemaError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn hops_whose_keys_were_shadowed_are_not_taken() {
+        // Orders carries its own payload column named `pid`, so after the
+        // items hop the view holds `pid` (from orders) and `pid_r` (items'
+        // copy, renamed). The items→products edge keys on items' `pid`; by
+        // first-match name resolution that would silently bind to orders'
+        // column, so the products hop must not be taken.
+        let mut g = SchemaGraph::new()
+            .with_table(table("users", &[("uid", &[1]), ("label", &[0])]))
+            .unwrap()
+            .with_table(table(
+                "orders",
+                &[("uid", &[1]), ("oid", &[10]), ("pid", &[99])],
+            ))
+            .unwrap()
+            .with_table(table("items", &[("oid", &[10]), ("pid", &[7])]))
+            .unwrap()
+            .with_table(table("products", &[("pid", &[7]), ("price", &[100])]))
+            .unwrap();
+        g.declare_edge("users", "orders", &["uid"], &["uid"])
+            .unwrap();
+        g.declare_edge("orders", "items", &["oid"], &["oid"])
+            .unwrap();
+        g.declare_edge("items", "products", &["pid"], &["pid"])
+            .unwrap();
+        let names: Vec<String> = enumerate_paths(&g, "users", 3)
+            .unwrap()
+            .iter()
+            .map(|p| p.view_name())
+            .collect();
+        assert_eq!(names, ["orders", "orders \u{22c8} items"]);
+    }
+}

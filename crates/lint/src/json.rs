@@ -227,6 +227,9 @@ pub const REQUIRED_BENCH_FIELDS: &[&str] = &[
     "shed_rate",
     "ingest_rows_per_sec",
     "staleness_us",
+    "path_search_candidates",
+    "paths_promoted",
+    "hop2_transform_rows_per_sec",
 ];
 
 /// Pools that must appear (as `{"pool": <name>, ...}` entries with a numeric

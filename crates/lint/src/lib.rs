@@ -51,6 +51,11 @@ pub const SERVING_MODULES: &[&str] = &[
     "crates/feataug/src/serving/tier.rs",
     "crates/feataug/src/query.rs",
     "crates/feataug/src/multi.rs",
+    "crates/feataug/src/schema.rs",
+    "crates/feataug/src/schema/graph.rs",
+    "crates/feataug/src/schema/path.rs",
+    "crates/feataug/src/schema/compile.rs",
+    "crates/feataug/src/schema/fit.rs",
 ];
 
 /// Where the failpoint name registry lives, relative to the workspace root.
@@ -278,6 +283,8 @@ mod tests {
     fn classification_matches_paths() {
         assert!(classify("crates/feataug/src/exec.rs").serving_module);
         assert!(classify("crates/feataug/src/serving/tier.rs").serving_module);
+        assert!(classify("crates/feataug/src/schema.rs").serving_module);
+        assert!(classify("crates/feataug/src/schema/compile.rs").serving_module);
         assert!(!classify("crates/feataug/src/pipeline.rs").serving_module);
         assert!(classify("crates/feataug/src/pipeline.rs").feataug_src);
         assert!(classify("tests/chaos.rs").chaos_suite);

@@ -92,6 +92,16 @@ impl CatColumn {
         }
         out
     }
+
+    /// Like [`CatColumn::take`], with `None` indices producing NULL rows. The dictionary is
+    /// rebuilt in appearance order of the gathered rows.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> CatColumn {
+        let mut out = CatColumn::new();
+        for i in indices {
+            out.push(i.and_then(|i| self.get(i)));
+        }
+        out
+    }
 }
 
 /// A typed, nullable column of values.
@@ -272,6 +282,22 @@ impl Column {
         }
     }
 
+    /// Like [`Column::take`], with `None` indices producing NULL rows — the gather primitive
+    /// behind expanding left joins, where unmatched left rows carry NULLs on the right side.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
+            Column::Float(v) => {
+                Column::Float(indices.iter().map(|i| i.and_then(|i| v[i])).collect())
+            }
+            Column::Bool(v) => Column::Bool(indices.iter().map(|i| i.and_then(|i| v[i])).collect()),
+            Column::DateTime(v) => {
+                Column::DateTime(indices.iter().map(|i| i.and_then(|i| v[i])).collect())
+            }
+            Column::Cat(c) => Column::Cat(c.take_opt(indices)),
+        }
+    }
+
     /// Numeric view of the column: one `Option<f64>` per row. Strings map to `None`.
     /// Booleans become 0.0/1.0 and datetimes their epoch seconds.
     pub fn to_f64_vec(&self) -> Vec<Option<f64>> {
@@ -439,6 +465,21 @@ mod tests {
         assert_eq!(t.get(0), Value::Int(30));
         assert_eq!(t.get(1), Value::Int(10));
         assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn take_opt_inserts_nulls() {
+        let c = Column::from_strs(&["a", "b", "c"]);
+        let t = c.take_opt(&[Some(2), None, Some(2), Some(0)]);
+        assert_eq!(t.get(0), Value::Str("c".into()));
+        assert_eq!(t.get(1), Value::Null);
+        assert_eq!(t.get(2), Value::Str("c".into()));
+        assert_eq!(t.get(3), Value::Str("a".into()));
+        // Dictionary is rebuilt in appearance order of the gathered rows.
+        match t {
+            Column::Cat(c) => assert_eq!(c.dictionary(), &["c".to_string(), "a".to_string()]),
+            other => panic!("expected categorical, got {other:?}"),
+        }
     }
 
     #[test]

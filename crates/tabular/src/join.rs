@@ -166,6 +166,74 @@ pub fn left_join(
     Ok(out)
 }
 
+/// The row-level gather map of an *expanding* left join: one `(left_row, Some(right_row))` pair
+/// per match, in left-row order with matches in right-row order, and one `(left_row, None)` pair
+/// for each unmatched left row. A left row with `k > 1` matches contributes `k` pairs — this is
+/// the one-to-many shape [`left_join`] deliberately collapses, and the primitive multi-hop join
+/// paths compose hop by hop without materialising intermediate tables.
+pub fn join_gather(
+    left: &Table,
+    right: &Table,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Vec<(usize, Option<usize>)>> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(TabularError::InvalidArgument(
+            "join_gather requires equal, non-empty key lists".into(),
+        ));
+    }
+
+    // Index right rows by typed key, keeping every occurrence in row order.
+    let right_cols = key_columns(right, right_keys)?;
+    let mut index: HashMap<Vec<KeyAtom>, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for row in 0..right.num_rows() {
+        if let Some(key) = own_key(&right_cols, row) {
+            index.entry(key).or_default().push(row);
+        }
+    }
+
+    let mapper = KeyMapper::new(right, left, right_keys, left_keys)?;
+    let mut out = Vec::with_capacity(left.num_rows());
+    for row in 0..left.num_rows() {
+        match mapper.key(row).and_then(|key| index.get(&key)) {
+            Some(rows) => out.extend(rows.iter().map(|&r| (row, Some(r)))),
+            None => out.push((row, None)),
+        }
+    }
+    Ok(out)
+}
+
+/// Standard SQL `LEFT JOIN`: every match is preserved, so a left row with several matching right
+/// rows is repeated once per match (unlike [`left_join`], which keeps the first match only).
+/// Unmatched left rows appear once with NULLs in the right-hand columns. Right key columns are
+/// not duplicated; a non-key name clash is resolved by suffixing the right column with `_r`.
+pub fn left_join_expand(
+    left: &Table,
+    right: &Table,
+    left_keys: &[&str],
+    right_keys: &[&str],
+) -> Result<Table> {
+    let gather = join_gather(left, right, left_keys, right_keys)?;
+    let left_rows: Vec<usize> = gather.iter().map(|&(l, _)| l).collect();
+    let right_rows: Vec<Option<usize>> = gather.iter().map(|&(_, r)| r).collect();
+
+    let mut out = left
+        .take(&left_rows)
+        .with_name(format!("{}_joined", left.name()));
+    for field in right.schema().fields() {
+        if right_keys.contains(&field.name.as_str()) {
+            continue;
+        }
+        let src = right.column(&field.name)?;
+        let mut name = field.name.clone();
+        if out.schema().index_of(&name).is_some() {
+            name = format!("{name}_r");
+        }
+        out.add_column(name, src.take_opt(&right_rows))?;
+    }
+    Ok(out)
+}
+
 /// Convenience wrapper for the common FeatAug case: join an aggregated feature table onto the
 /// training table using the same key names on both sides, returning the augmented table.
 pub fn attach_features(training: &Table, features: &Table, keys: &[&str]) -> Result<Table> {
@@ -304,6 +372,46 @@ mod tests {
         let t = training();
         assert!(left_join(&t, &features(), &[], &[]).is_err());
         assert!(left_join(&t, &features(), &["cname"], &[]).is_err());
+    }
+
+    #[test]
+    fn expand_join_repeats_left_rows_per_match() {
+        let mut orders = Table::new("orders");
+        orders
+            .add_column("order_id", Column::from_i64s(&[1, 2, 3]))
+            .unwrap();
+        let mut items = Table::new("items");
+        items
+            .add_column("order_id", Column::from_i64s(&[2, 1, 2]))
+            .unwrap();
+        items
+            .add_column("product", Column::from_strs(&["p", "q", "r"]))
+            .unwrap();
+
+        let gather = join_gather(&orders, &items, &["order_id"], &["order_id"]).unwrap();
+        assert_eq!(
+            gather,
+            vec![(0, Some(1)), (1, Some(0)), (1, Some(2)), (2, None)]
+        );
+
+        let joined = left_join_expand(&orders, &items, &["order_id"], &["order_id"]).unwrap();
+        assert_eq!(joined.num_rows(), 4);
+        // Order 1 -> q; order 2 -> p then r (right-row order); order 3 unmatched -> NULL.
+        assert_eq!(joined.value(0, "product").unwrap(), Value::Str("q".into()));
+        assert_eq!(joined.value(1, "product").unwrap(), Value::Str("p".into()));
+        assert_eq!(joined.value(2, "product").unwrap(), Value::Str("r".into()));
+        assert_eq!(joined.value(3, "order_id").unwrap(), Value::Int(3));
+        assert_eq!(joined.value(3, "product").unwrap(), Value::Null);
+        // Right key column is not duplicated.
+        assert_eq!(joined.num_columns(), 2);
+    }
+
+    #[test]
+    fn expand_join_matches_first_match_join_on_unique_keys() {
+        // On a unique-keyed right side the two joins must agree bit for bit.
+        let collapsed = left_join(&training(), &features(), &["cname"], &["cname"]).unwrap();
+        let expanded = left_join_expand(&training(), &features(), &["cname"], &["cname"]).unwrap();
+        assert_eq!(collapsed, expanded);
     }
 
     #[test]

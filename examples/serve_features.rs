@@ -24,14 +24,20 @@
 //! 7. **ingest live**: append fresh relevant rows with
 //!    `AugModel::append_relevant` — one copy-on-write engine epoch, only the
 //!    touched groups recomputed — and watch the already-installed handle
-//!    serve the new epoch with no re-prepare and no hot-swap.
+//!    serve the new epoch with no re-prepare and no hot-swap;
+//! 8. go **multi-hop**: register a whole schema of tables in a
+//!    [`feataug::SchemaGraph`], let budgeted join-path search
+//!    ([`feataug::fit_schema`]) decide which paths earn a full search, and
+//!    serve a promoted multi-hop plan by recompiling its shipped text
+//!    against a freshly registered graph.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use feataug::pipeline::AugModel;
+use feataug::schema::{fit_schema, SchemaGraph, SchemaTask};
 use feataug::{AugPlan, FeatAug, FeatAugConfig, ServingTier, TierConfig};
-use feataug_ml::ModelKind;
+use feataug_ml::{ModelKind, Task};
 use feataug_repro::to_aug_task;
 use feataug_tabular::Value;
 
@@ -211,5 +217,73 @@ fn main() {
     println!(
         "tier serves the appended epoch live (engine epoch {}) with no re-prepare ✓",
         next.epoch()
+    );
+
+    // ---- 8. Multi-hop schemas: budgeted join-path search -----------------------------------
+    // The generated Instacart schema plants its signal two joins away from
+    // the training table (`users → orders → order_items → products`): no
+    // single relevant table sees both `order_hour` and `department`.
+    // Register the catalog once, then let path search enumerate every
+    // acyclic join path to the hop cap, proxy-score each, and promote only
+    // the budgeted best to a full search.
+    let schema = feataug_datagen::instacart::generate_schema(&feataug_datagen::GenConfig::tiny());
+    let mut graph = SchemaGraph::new();
+    graph
+        .register(schema.train.clone())
+        .expect("register train");
+    for table in &schema.tables {
+        graph.register(table.clone()).expect("register table");
+    }
+    for edge in &schema.edges {
+        let left: Vec<&str> = edge.left_keys.iter().map(|s| s.as_str()).collect();
+        let right: Vec<&str> = edge.right_keys.iter().map(|s| s.as_str()).collect();
+        graph
+            .declare_edge(&edge.left, &edge.right, &left, &right)
+            .expect("declare edge");
+    }
+    let schema_task = SchemaTask::new(
+        graph,
+        schema.train.name(),
+        schema.label_column.as_str(),
+        Task::BinaryClassification,
+    )
+    .with_max_hops(2)
+    .with_path_budget(1)
+    .with_agg_columns(vec!["price".into(), "cart_position".into()])
+    .with_predicate_attrs(vec!["department".into(), "order_hour".into()]);
+    let fitted = fit_schema(&FeatAugConfig::fast(ModelKind::Linear), &schema_task)
+        .expect("the generated schema task is well-formed");
+    let stats = fitted.stats();
+    println!(
+        "\npath search: {} candidate paths, {} promoted under the budget",
+        stats.candidates, stats.promoted
+    );
+    for (path, score) in stats.scores.iter().map(|s| (&s.path, s.score)) {
+        println!("  proxy {score:>8.4}  {}", path.view_name());
+    }
+
+    // A promoted plan carries its hop route in the plan text (`AUGPLAN 2`);
+    // a serving process recompiles it against its own registered graph and
+    // answers point lookups exactly like the single-table path above.
+    let plan = fitted.plans().into_iter().next().expect("a promoted plan");
+    let shipped = AugPlan::from_plan_text(&plan.to_plan_text()).expect("round trip");
+    let served = schema_task
+        .graph
+        .compile(schema.train.name(), shipped)
+        .expect("recompile against the registered schema");
+    let handle = served.prepare().expect("prepare schema serving handle");
+    let schema_key: Vec<Value> = schema
+        .key_columns
+        .iter()
+        .map(|k| schema.train.value(0, k).expect("key value"))
+        .collect();
+    let mut out = Vec::with_capacity(handle.num_features());
+    handle
+        .lookup(&schema_key, &mut out)
+        .expect("multi-hop lookup");
+    println!(
+        "recompiled multi-hop plan ({} hops) serves {} features for {schema_key:?} ✓",
+        fitted.paths()[0].hops.len(),
+        out.len()
     );
 }
