@@ -48,6 +48,14 @@
 //! warm: single-key lookups into a reused buffer, the zero-allocation
 //! online hot path.
 //!
+//! The sharded section drives the same workload through a 4-way
+//! [`feataug::ShardRouter`]: `shard_lookups_per_sec` is the warm routed
+//! hot path (hash + owning-shard probe on top of the prepared lookup),
+//! `shard_count` records the partition width, and `cancelled_rate` counts
+//! the closed-loop tier requests a `CancelToken` preempted *mid-lookup*
+//! under tight deadlines (0.0 when warm lookups beat the deadline — the
+//! field exists so the trajectory is visible once they don't).
+//!
 //! The schema section exercises the multi-hop front end on the generated
 //! Instacart schema (`users → orders → order_items → products`):
 //! `path_search_candidates` counts every join path enumerated to the hop
@@ -64,6 +72,7 @@ use feataug::pipeline::AugModel;
 use feataug::schema::{enumerate_paths, fit_schema, SchemaGraph, SchemaTask};
 use feataug::{
     AugPlan, FeatAugConfig, PlanHop, PlannedQuery, PredicateQuery, QueryCodec, QueryTemplate,
+    ShardRouter, ShardedServingHandle,
 };
 use feataug_datagen::{instacart, tmall, GenConfig};
 use feataug_ml::{ModelKind, Task};
@@ -293,13 +302,21 @@ fn main() {
             .expect("serial transform");
         serial_best = serial_best.min(start.elapsed().as_secs_f64());
 
+        // Release the serial output before timing the fanned run: holding it
+        // across the second call forces that call onto fresh (cold) pages
+        // while the first reuses the previous round's freed ones — an
+        // allocator artifact that read as a phantom parallel regression on
+        // single-CPU hosts where both calls take the identical serial path.
+        let serial_cols = serial_out.len();
+        drop(serial_out);
+
         let start = Instant::now();
         let parallel_out = model
             .engine()
             .transform_threads(&planned_queries, &big, transform_workers)
             .expect("parallel transform");
         parallel_best = parallel_best.min(start.elapsed().as_secs_f64());
-        assert_eq!(serial_out.len(), parallel_out.len());
+        assert_eq!(serial_cols, parallel_out.len());
     }
     let parallel_transform_speedup = serial_best / parallel_best;
 
@@ -471,6 +488,107 @@ fn main() {
         "every append must have published an epoch"
     );
 
+    // ---- Sharded serving (key-partitioned engines behind one router) ------
+    // A 4-way `ShardRouter` over the full-key trivial pool (every query
+    // groups by every key column, so the shard keys are the whole key).
+    // `shard_lookups_per_sec` measures what the routing hash + owning-shard
+    // probe add to the unsharded warm path; then a closed-loop tier drives
+    // the same sharded model with every 8th request under a tight deadline.
+    // `cancelled_rate` counts only the preemptions a `CancelToken` fired
+    // *mid-lookup* (as opposed to deadlines observed at a batch boundary,
+    // which degrade without cancelling) — 0.0 is a legitimate reading when
+    // warm lookups beat the deadline, but the field must exist and be finite
+    // so the trajectory is recorded once lookups get expensive enough to
+    // preempt.
+    const SHARD_COUNT: usize = 4;
+    let shard_planned: Vec<PlannedQuery> = dfs
+        .iter()
+        .take(12)
+        .map(|q| PlannedQuery {
+            query: q.clone(),
+            loss: 0.0,
+        })
+        .collect();
+    let n_shard_queries = shard_planned.len();
+    let shard_plan = AugPlan::new(ds.relevant.name(), ds.key_columns.clone(), shard_planned);
+    let shard_router = ShardRouter::build_for_plan(
+        std::sync::Arc::new(ds.train.clone()),
+        &ds.relevant,
+        &shard_plan,
+        SHARD_COUNT,
+    )
+    .expect("shard router builds");
+    let shard_handle = std::sync::Arc::new(
+        ShardedServingHandle::prepare(&shard_router, &shard_plan).expect("prepare sharded handle"),
+    );
+    let mut shard_out: Vec<Option<f64>> = Vec::with_capacity(shard_handle.num_features());
+    let mut shard_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for key in &serve_keys {
+            shard_handle
+                .lookup(key, &mut shard_out)
+                .expect("sharded lookup");
+            std::hint::black_box(&shard_out);
+        }
+        shard_best = shard_best.min(start.elapsed().as_secs_f64());
+    }
+    // Outside the timed region: routed lookups must actually hit features.
+    let shard_hits: usize = serve_keys
+        .iter()
+        .map(|key| {
+            shard_handle
+                .lookup(key, &mut shard_out)
+                .expect("sharded lookup");
+            shard_out.iter().filter(|v| v.is_some()).count()
+        })
+        .sum();
+    assert!(
+        shard_hits > 0,
+        "warm sharded lookups must hit some features"
+    );
+    let shard_lookups_per_sec = serve_keys.len() as f64 / shard_best;
+
+    let shard_tier = feataug::ServingTier::new(
+        std::sync::Arc::clone(&shard_handle),
+        feataug::TierConfig::default(),
+    );
+    const SHARD_DEADLINE_EVERY: usize = 8;
+    const SHARD_TIER_REQUESTS_PER_CLIENT: usize = 1_000;
+    std::thread::scope(|scope| {
+        for c in 0..TIER_CLIENTS {
+            let tier = &shard_tier;
+            let serve_keys = &serve_keys;
+            scope.spawn(move || {
+                for i in 0..SHARD_TIER_REQUESTS_PER_CLIENT {
+                    let key = &serve_keys[(c + i * TIER_CLIENTS) % serve_keys.len()];
+                    let result = if i % SHARD_DEADLINE_EVERY == 0 {
+                        tier.lookup_deadline(key, std::time::Duration::from_micros(50))
+                    } else {
+                        tier.lookup(key)
+                    };
+                    match result {
+                        Ok(row) => std::hint::black_box(&row),
+                        Err(feataug::TierError::Shed { .. }) => continue,
+                        Err(e) => panic!("sharded tier load generator hit {e}"),
+                    };
+                }
+            });
+        }
+    });
+    let shard_tier_stats = shard_tier.stats();
+    assert_eq!(
+        shard_tier_stats.submitted,
+        TIER_CLIENTS * SHARD_TIER_REQUESTS_PER_CLIENT,
+        "the sharded load generator must account for every request"
+    );
+    assert!(
+        shard_tier_stats.cancelled <= shard_tier_stats.degraded,
+        "mid-lookup preemptions are a subset of deadline degradations"
+    );
+    let cancelled_rate =
+        shard_tier_stats.cancelled as f64 / shard_tier_stats.answered.max(1) as f64;
+
     // ---- Schema path search (the multi-hop augmentation front end) --------
     // The generated Instacart multi-hop schema plants its signal two hops
     // away from the training table. Enumeration counts every candidate path
@@ -612,7 +730,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"ingest_rows_per_sec\": {:.0},\n  \"staleness_us\": {:.1},\n  \"path_search_candidates\": {},\n  \"paths_promoted\": {},\n  \"hop2_transform_rows_per_sec\": {:.0},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"ingest\": {{ \"batches\": {}, \"batch_rows\": {}, \"epochs\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"schema\": {{ \"dataset\": \"{}\", \"max_hops\": {}, \"path_budget\": {}, \"candidates\": {}, \"promoted\": {}, \"hop2_rows\": {}, \"hop2_queries\": {}, \"hop2_columns_out\": {}, \"hop2_best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec_tmall_micro\",\n  \"dataset\": {{ \"name\": \"tmall\", \"n_entities\": {}, \"fanout\": {}, \"train_rows\": {}, \"relevant_rows\": {} }},\n  \"n_queries\": {},\n  \"rounds\": {},\n  \"workers\": {},\n  \"headline_speedup\": {:.2},\n  \"headline_batch_speedup\": {:.2},\n  \"order_stat_speedup\": {:.2},\n  \"moment_speedup\": {:.2},\n  \"transform_rows_per_sec\": {:.0},\n  \"parallel_transform_speedup\": {:.2},\n  \"transform_workers\": {},\n  \"serve_lookups_per_sec\": {:.0},\n  \"p50_lookup_us\": {:.1},\n  \"p99_lookup_us\": {:.1},\n  \"shed_rate\": {:.4},\n  \"ingest_rows_per_sec\": {:.0},\n  \"staleness_us\": {:.1},\n  \"path_search_candidates\": {},\n  \"paths_promoted\": {},\n  \"hop2_transform_rows_per_sec\": {:.0},\n  \"shard_lookups_per_sec\": {:.0},\n  \"shard_count\": {},\n  \"cancelled_rate\": {:.4},\n  \"tier\": {{ \"clients\": {}, \"requests\": {}, \"workers\": {}, \"answered\": {}, \"shed\": {} }},\n  \"shard_tier\": {{ \"requests\": {}, \"deadline_every\": {}, \"queries\": {}, \"answered\": {}, \"degraded\": {}, \"cancelled\": {} }},\n  \"ingest\": {{ \"batches\": {}, \"batch_rows\": {}, \"epochs\": {} }},\n  \"transform\": {{ \"rows\": {}, \"planned_queries\": {}, \"columns_out\": {}, \"best_s\": {:.4} }},\n  \"schema\": {{ \"dataset\": \"{}\", \"max_hops\": {}, \"path_budget\": {}, \"candidates\": {}, \"promoted\": {}, \"hop2_rows\": {}, \"hop2_queries\": {}, \"hop2_columns_out\": {}, \"hop2_best_s\": {:.4} }},\n  \"pools\": [\n{}\n  ]\n}}\n",
         gen_cfg.n_entities,
         gen_cfg.fanout,
         ds.train.num_rows(),
@@ -636,11 +754,20 @@ fn main() {
         path_search_candidates,
         paths_promoted,
         hop2_transform_rows_per_sec,
+        shard_lookups_per_sec,
+        SHARD_COUNT,
+        cancelled_rate,
         TIER_CLIENTS,
         TIER_CLIENTS * TIER_REQUESTS_PER_CLIENT,
         feataug::TierConfig::default().workers,
         tier_stats.answered,
         tier_stats.shed,
+        TIER_CLIENTS * SHARD_TIER_REQUESTS_PER_CLIENT,
+        SHARD_DEADLINE_EVERY,
+        n_shard_queries,
+        shard_tier_stats.answered,
+        shard_tier_stats.degraded,
+        shard_tier_stats.cancelled,
         INGEST_BATCHES,
         INGEST_BATCH_ROWS,
         ingest_model.epoch(),
@@ -662,7 +789,7 @@ fn main() {
     std::fs::write("BENCH_exec.json", &json).expect("writing BENCH_exec.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4}; ingest {:.0} rows/s staleness {:.1}us; path search {path_search_candidates} candidates -> {paths_promoted} promoted, 2-hop transform {:.0} rows/s)",
+        "wrote BENCH_exec.json (workers {workers}; naive->engine basic {:.2}x, all {:.2}x, order-stat {:.2}x, moment {:.2}x, dfs {:.2}x, order-trivial {:.2}x; naive->batch basic {:.2}x; transform {:.0} rows/s over {n_planned} planned queries, parallel transform {:.2}x at {transform_workers} workers; prepared serving {:.0} lookups/s; tier p50 {:.1}us p99 {:.1}us shed_rate {:.4}; sharded serving {:.0} lookups/s over {SHARD_COUNT} shards, cancelled_rate {:.4}; ingest {:.0} rows/s staleness {:.1}us; path search {path_search_candidates} candidates -> {paths_promoted} promoted, 2-hop transform {:.0} rows/s)",
         results[0].speedup(),
         results[1].speedup(),
         results[2].speedup(),
@@ -676,6 +803,8 @@ fn main() {
         p50_lookup_us,
         p99_lookup_us,
         shed_rate,
+        shard_lookups_per_sec,
+        cancelled_rate,
         ingest_rows_per_sec,
         staleness_us,
         hop2_transform_rows_per_sec,

@@ -147,7 +147,7 @@ use feataug_tabular::kernels::{
     StreamDelta,
 };
 use feataug_tabular::selection::{fill_eq, fill_range_view, SelectionMask};
-use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
+use feataug_tabular::{AggFunc, CancelToken, Column, Predicate, Table, Value};
 
 use crate::query::PredicateQuery;
 
@@ -184,10 +184,49 @@ fn env_workers(raw: Option<&str>) -> Option<usize> {
 /// The machine-derived worker count: available parallelism capped at
 /// [`MAX_DEFAULT_WORKERS`].
 fn auto_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(MAX_DEFAULT_WORKERS)
+    hardware_parallelism().min(MAX_DEFAULT_WORKERS)
+}
+
+/// The machine's available parallelism, probed once and cached (the probe can
+/// involve a syscall, and [`fan_out`] consults it on every batch).
+fn hardware_parallelism() -> usize {
+    static HARDWARE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HARDWARE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count [`fan_out`] actually runs with: `requested` clamped to
+/// `1..=items_len`, collapsed to one — the inline, thread-free serial path —
+/// when the machine has a single hardware thread. On a 1-CPU host scoped
+/// workers cannot overlap, so spawning them only adds scheduling overhead
+/// (the `parallel_transform_speedup < 1` regression); the serial path is
+/// bit-identical, so the collapse is free.
+fn effective_fan_out_workers(requested: usize, items_len: usize, hardware: usize) -> usize {
+    if hardware <= 1 {
+        return 1;
+    }
+    requested.max(1).min(items_len.max(1))
+}
+
+/// Groups finalized between [`CancelToken`] polls inside the aggregation
+/// loops. Small enough that a deadline preempts a slow kernel mid-request,
+/// large enough that the relaxed-load poll is noise per group.
+pub(crate) const CANCEL_GROUP_STRIDE: usize = 64;
+
+/// Poll `cancel` at a kernel/gather checkpoint. A request without a token
+/// (every search-time evaluation, every deadline-less lookup) returns
+/// immediately — the `kernel.cancel` failpoint is only evaluated when a
+/// token is actually present, so arming it never perturbs plain traffic.
+#[inline]
+pub(crate) fn cancel_checkpoint(
+    cancel: Option<&CancelToken>,
+) -> Result<(), feataug_tabular::Cancelled> {
+    let Some(token) = cancel else { return Ok(()) };
+    crate::fail_point!("kernel.cancel");
+    token.check()
 }
 
 /// The worker count batch evaluation uses when none is given explicitly: the
@@ -286,6 +325,11 @@ pub enum EngineError {
         /// The panic payload, rendered.
         message: String,
     },
+    /// The request's [`CancelToken`](feataug_tabular::CancelToken) tripped —
+    /// a deadline fired or the caller cancelled — and the engine abandoned
+    /// the work mid-kernel. Distinct from a failure: the serving tier maps
+    /// it onto its graceful-degradation path (all-NULL features).
+    Cancelled,
 }
 
 /// Result alias of the engine / serving entry points.
@@ -306,6 +350,9 @@ impl std::fmt::Display for EngineError {
             EngineError::WorkerPanic { context, message } => {
                 write!(f, "worker panicked in {context}: {message}")
             }
+            EngineError::Cancelled => {
+                write!(f, "request cancelled by deadline or explicit cancellation")
+            }
         }
     }
 }
@@ -314,8 +361,14 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Tabular(e) => Some(e),
-            EngineError::WorkerPanic { .. } => None,
+            EngineError::WorkerPanic { .. } | EngineError::Cancelled => None,
         }
+    }
+}
+
+impl From<feataug_tabular::Cancelled> for EngineError {
+    fn from(_: feataug_tabular::Cancelled) -> EngineError {
+        EngineError::Cancelled
     }
 }
 
@@ -386,7 +439,7 @@ where
     T: Sync,
     R: Send,
 {
-    let workers = workers.max(1).min(items.len().max(1));
+    let workers = effective_fan_out_workers(workers, items.len(), hardware_parallelism());
     let guarded = |s: &mut S, item: &T| -> (EngineResult<R>, bool) {
         match catch_unwind(AssertUnwindSafe(|| work(s, item))) {
             Ok(result) => (result, false),
@@ -1110,9 +1163,31 @@ impl<'a> QueryEngine<'a> {
     /// table's rows (`None` = SQL NULL), exactly as the reference
     /// execute-then-left-join path would produce.
     pub fn evaluate(&self, query: &PredicateQuery) -> EngineResult<Vec<Option<f64>>> {
+        self.evaluate_with(query, None)
+    }
+
+    /// [`QueryEngine::evaluate`] under a [`CancelToken`]: the kernel and
+    /// gather loops poll the token at their checkpoints (every
+    /// [`CANCEL_GROUP_STRIDE`] groups and at phase boundaries) and abandon
+    /// the evaluation with [`EngineError::Cancelled`] the moment it trips —
+    /// mid-kernel, not at the next batch boundary. Cancelled evaluations are
+    /// never cached.
+    pub fn evaluate_cancel(
+        &self,
+        query: &PredicateQuery,
+        cancel: &CancelToken,
+    ) -> EngineResult<Vec<Option<f64>>> {
+        self.evaluate_with(query, Some(cancel))
+    }
+
+    fn evaluate_with(
+        &self,
+        query: &PredicateQuery,
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<Vec<Option<f64>>> {
         let core = self.core();
         let mut scratch = self.take_scratch();
-        let result = self.evaluate_cached(&core, &mut scratch, query);
+        let result = self.evaluate_cached(&core, &mut scratch, query, cancel);
         self.put_scratch(scratch);
         result.map(|values| (*values).clone())
     }
@@ -1205,7 +1280,7 @@ impl<'a> QueryEngine<'a> {
             "batch evaluation",
             || self.take_scratch(),
             |scratch| self.put_scratch(scratch),
-            |scratch, query| self.evaluate_cached(&core, scratch, query),
+            |scratch, query| self.evaluate_cached(&core, scratch, query, None),
         )
     }
 
@@ -1226,17 +1301,20 @@ impl<'a> QueryEngine<'a> {
         core: &EngineCore<'a>,
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
+        cancel: Option<&CancelToken>,
     ) -> EngineResult<Arc<Vec<Option<f64>>>> {
         self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
         if self.shared.cache_capacity.load(Ordering::Relaxed) == 0 {
-            return Ok(Arc::new(self.evaluate_uncached(core, scratch, query)?));
+            return Ok(Arc::new(
+                self.evaluate_uncached(core, scratch, query, cancel)?,
+            ));
         }
         let key = FeatureCache::key(query);
         if let Some(hit) = lock_recover(&core.features).get(&key) {
             self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
-        let values = Arc::new(self.evaluate_uncached(core, scratch, query)?);
+        let values = Arc::new(self.evaluate_uncached(core, scratch, query, cancel)?);
         lock_recover(&core.features).insert(key, values.clone());
         Ok(values)
     }
@@ -1249,9 +1327,10 @@ impl<'a> QueryEngine<'a> {
         core: &EngineCore<'a>,
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
-    ) -> feataug_tabular::Result<Vec<Option<f64>>> {
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<Vec<Option<f64>>> {
         let gi = core.group_index(&self.train, &query.group_keys)?;
-        core.aggregate_into_scratch(scratch, query, &gi)?;
+        core.aggregate_into_scratch(scratch, query, &gi, cancel)?;
 
         // O(train) gather through the precomputed train-row -> group map.
         // `sel_count > 0` guards against reading stale `group_out` slots of
@@ -1287,14 +1366,27 @@ impl<'a> QueryEngine<'a> {
         &self,
         core: &EngineCore<'a>,
         query: &PredicateQuery,
-    ) -> feataug_tabular::Result<SharedGroupFeature> {
+    ) -> EngineResult<SharedGroupFeature> {
+        self.group_feature_cancel(core, query, None)
+    }
+
+    /// [`QueryEngine::group_feature`] under an optional [`CancelToken`]: a
+    /// memo hit costs one probe and never polls; a miss runs the aggregation
+    /// with the token threaded through the kernel checkpoints, and a
+    /// preempted build is not memoized (the next request re-evaluates).
+    pub(crate) fn group_feature_cancel(
+        &self,
+        core: &EngineCore<'a>,
+        query: &PredicateQuery,
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<SharedGroupFeature> {
         let gi = core.group_index(&self.train, &query.group_keys)?;
         let key = FeatureCache::key(query);
         if let Some(hit) = read_recover(&core.group_feats).get(&key) {
             return Ok((gi, hit.values.clone()));
         }
         self.shared.evaluations.fetch_add(1, Ordering::Relaxed);
-        let built = self.materialize_group_feature(core, query, &gi)?;
+        let built = self.materialize_group_feature(core, query, &gi, cancel)?;
         let entry = Arc::new(GroupFeature {
             query: query.clone(),
             values: built,
@@ -1313,9 +1405,10 @@ impl<'a> QueryEngine<'a> {
         core: &EngineCore<'a>,
         query: &PredicateQuery,
         gi: &GroupIndex,
-    ) -> feataug_tabular::Result<Arc<Vec<Option<f64>>>> {
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<Arc<Vec<Option<f64>>>> {
         let mut scratch = self.take_scratch();
-        let result = core.aggregate_into_scratch(&mut scratch, query, gi);
+        let result = core.aggregate_into_scratch(&mut scratch, query, gi, cancel);
         if let Err(e) = result {
             self.put_scratch(scratch);
             return Err(e);
@@ -1386,6 +1479,34 @@ impl<'a> QueryEngine<'a> {
         table: &Table,
         workers: usize,
     ) -> EngineResult<Vec<Vec<Option<f64>>>> {
+        self.transform_threads_cancel(queries, table, workers, None)
+    }
+
+    /// [`QueryEngine::transform`] under a [`CancelToken`]: every query's
+    /// aggregation (on memo miss) and per-row gather poll the token at the
+    /// kernel/gather checkpoints, so one tripped deadline abandons the whole
+    /// transform with [`EngineError::Cancelled`] mid-work.
+    pub fn transform_cancel(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+        cancel: &CancelToken,
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
+        self.transform_threads_cancel(
+            queries,
+            table,
+            workers_for_pool(queries.len()),
+            Some(cancel),
+        )
+    }
+
+    fn transform_threads_cancel(
+        &self,
+        queries: &[PredicateQuery],
+        table: &Table,
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<Vec<Vec<Option<f64>>>> {
         // Pin one epoch for the whole transform: gather maps, group indexes
         // and per-group features all resolve against the same snapshot even
         // if appends land mid-call.
@@ -1393,6 +1514,7 @@ impl<'a> QueryEngine<'a> {
         let mut maps: HashMap<&[String], Arc<Vec<Option<u32>>>> = HashMap::new();
         for query in queries {
             if !maps.contains_key(query.group_keys.as_slice()) {
+                cancel_checkpoint(cancel)?;
                 let gi = core.group_index(&self.train, &query.group_keys)?;
                 let built = Arc::new(Self::gather_map(&core, table, &query.group_keys, &gi)?);
                 maps.insert(query.group_keys.as_slice(), built);
@@ -1409,8 +1531,9 @@ impl<'a> QueryEngine<'a> {
             |()| (),
             |_, query| -> EngineResult<Vec<Option<f64>>> {
                 crate::fail_point!("exec.gather");
-                let (_, feats) = self.group_feature(&core, query)?;
+                let (_, feats) = self.group_feature_cancel(&core, query, cancel)?;
                 let map = &maps[query.group_keys.as_slice()];
+                cancel_checkpoint(cancel)?;
                 Ok(map
                     .iter()
                     .map(|g| g.and_then(|g| feats[g as usize]))
@@ -1436,6 +1559,19 @@ impl<'a> QueryEngine<'a> {
         self.lookup_pinned(&self.core(), query, key_values)
     }
 
+    /// [`QueryEngine::lookup`] under a [`CancelToken`]: the first lookup of a
+    /// query pays its aggregation with the token threaded through the kernel
+    /// checkpoints, so a deadline preempts it mid-kernel with
+    /// [`EngineError::Cancelled`]; warm lookups stay two hash probes.
+    pub fn lookup_cancel(
+        &self,
+        query: &PredicateQuery,
+        key_values: &[Value],
+        cancel: &CancelToken,
+    ) -> EngineResult<Option<f64>> {
+        self.lookup_pinned_cancel(&self.core(), query, key_values, Some(cancel))
+    }
+
     /// [`QueryEngine::lookup`] against an explicitly pinned epoch — the form
     /// the serving layer and [`crate::pipeline::AugModel::serve`] use so a
     /// multi-query request observes one consistent snapshot.
@@ -1445,6 +1581,16 @@ impl<'a> QueryEngine<'a> {
         query: &PredicateQuery,
         key_values: &[Value],
     ) -> EngineResult<Option<f64>> {
+        self.lookup_pinned_cancel(core, query, key_values, None)
+    }
+
+    pub(crate) fn lookup_pinned_cancel(
+        &self,
+        core: &EngineCore<'a>,
+        query: &PredicateQuery,
+        key_values: &[Value],
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<Option<f64>> {
         if key_values.len() != query.group_keys.len() {
             return Err(feataug_tabular::TabularError::InvalidArgument(format!(
                 "lookup key has {} values for {} group-key columns",
@@ -1453,7 +1599,7 @@ impl<'a> QueryEngine<'a> {
             ))
             .into());
         }
-        let (gi, feats) = self.group_feature(core, query)?;
+        let (gi, feats) = self.group_feature_cancel(core, query, cancel)?;
         let mut key = Vec::with_capacity(key_values.len());
         for (column, value) in query.group_keys.iter().zip(key_values) {
             match core.serve_atom(column, value)? {
@@ -1511,7 +1657,11 @@ impl<'a> QueryEngine<'a> {
         crate::fail_point!("exec.ingest.build");
         let base = old.relevant.num_rows();
         let appended_rows = rows.num_rows();
-        let relevant = TableHandle::from(Arc::new(old.relevant.concat(rows)?));
+        // Absorb the batch's categorical dictionaries up front (identical to
+        // a plain concat for push-built batches): sharded ingestion cuts
+        // sub-batches with `take_with_dict`, and absorbing their full batch
+        // dictionary keeps every shard's code assignment globally aligned.
+        let relevant = TableHandle::from(Arc::new(old.relevant.concat_absorbing(rows)?));
         let total = relevant.num_rows();
         let core = EngineCore::fresh(
             relevant,
@@ -1683,7 +1833,7 @@ impl<'a> QueryEngine<'a> {
                     let gi = core.group_index(&self.train, &gf.query.group_keys)?;
                     Arc::new(GroupFeature {
                         query: gf.query.clone(),
-                        values: self.materialize_group_feature(&core, &gf.query, &gi)?,
+                        values: self.materialize_group_feature(&core, &gf.query, &gi, None)?,
                         state: FeatureState::None,
                     })
                 }
@@ -1737,7 +1887,7 @@ impl<'a> QueryEngine<'a> {
         let trivial = query.predicate.is_trivial();
 
         if !trivial && matches!(core.relevant.column(&query.agg_column)?, Column::Cat(_)) {
-            let values = self.materialize_group_feature(core, query, gi)?;
+            let values = self.materialize_group_feature(core, query, gi, None)?;
             return Ok(Arc::new(GroupFeature {
                 query: query.clone(),
                 values,
@@ -2305,8 +2455,10 @@ impl<'a> EngineCore<'a> {
         scratch: &mut EvalScratch,
         query: &PredicateQuery,
         gi: &GroupIndex,
-    ) -> feataug_tabular::Result<()> {
+        cancel: Option<&CancelToken>,
+    ) -> EngineResult<()> {
         crate::fail_point!("exec.kernel");
+        cancel_checkpoint(cancel)?;
         let view = self.view(&query.agg_column)?;
         let trivial = query.predicate.is_trivial();
         if !trivial {
@@ -2314,6 +2466,7 @@ impl<'a> EngineCore<'a> {
                 mask, scratch: tmp, ..
             } = scratch;
             self.predicate_mask(&query.predicate, mask, tmp)?;
+            cancel_checkpoint(cancel)?;
         }
 
         // The reference path materialises the filtered table, and
@@ -2336,8 +2489,11 @@ impl<'a> EngineCore<'a> {
                 // Re-interned codes are query-local, so the memoized order
                 // index does not apply; the dictionary-code frequency kernel
                 // (and a per-bucket sort for MEDIAN/MAD) covers this path.
-                aggregate_groups(scratch, gi, &cat_view, query.agg, trivial, None, true);
+                let result = aggregate_groups(
+                    scratch, gi, &cat_view, query.agg, trivial, None, true, cancel,
+                );
                 scratch.cat_view = cat_view;
+                result?;
             } else {
                 let order = self.agg_order_index(query, gi, &view, Some(&scratch.mask));
                 aggregate_groups(
@@ -2348,7 +2504,8 @@ impl<'a> EngineCore<'a> {
                     trivial,
                     order.as_deref(),
                     false,
-                );
+                    cancel,
+                )?;
             }
         } else {
             let order = self.agg_order_index(query, gi, &view, None);
@@ -2360,7 +2517,8 @@ impl<'a> EngineCore<'a> {
                 trivial,
                 order.as_deref(),
                 false,
-            );
+                cancel,
+            )?;
         }
         Ok(())
     }
@@ -2477,6 +2635,17 @@ fn remapped_cat_view(
 /// order (the order the reference's sort produces), so every kernel output
 /// matches `AggFunc::apply` over the same group bit for bit — the property
 /// suites enforce it.
+///
+/// `cancel` (if any) is polled between visit passes and every
+/// [`CANCEL_GROUP_STRIDE`] groups inside the finalize loops — the visit
+/// closures run under `for_each_set` and cannot early-exit, so phase
+/// boundaries plus per-group finalize strides are the preemption points. On
+/// `Err(Cancelled)` the scratch invariant (`sel_count` all-zero) is restored
+/// before returning, so a preempted worker's scratch can be pooled again.
+// The kernel dispatcher's natural signature: scratch + index + view + the
+// dispatch flags + the cancel token. Bundling them into a struct would be
+// built and torn down per query for no reader benefit.
+#[allow(clippy::too_many_arguments)]
 fn aggregate_groups(
     scratch: &mut EvalScratch,
     gi: &GroupIndex,
@@ -2485,7 +2654,31 @@ fn aggregate_groups(
     trivial: bool,
     order: Option<&OrderIndex>,
     codes: bool,
-) {
+    cancel: Option<&CancelToken>,
+) -> Result<(), feataug_tabular::Cancelled> {
+    let result = aggregate_groups_inner(scratch, gi, view, agg, trivial, order, codes, cancel);
+    if result.is_err() {
+        // A preempted aggregation abandoned its partial results; re-zero
+        // `sel_count` over the touched groups so the scratch invariant holds.
+        for &g in scratch.touched.iter() {
+            scratch.sel_count[g as usize] = 0;
+        }
+        scratch.touched.clear();
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aggregate_groups_inner(
+    scratch: &mut EvalScratch,
+    gi: &GroupIndex,
+    view: &[Option<f64>],
+    agg: AggFunc,
+    trivial: bool,
+    order: Option<&OrderIndex>,
+    codes: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<(), feataug_tabular::Cancelled> {
     let n_groups = gi.n_groups;
     let EvalScratch {
         mask,
@@ -2565,12 +2758,16 @@ fn aggregate_groups(
                     }
                 }
             };
+            cancel_checkpoint(cancel)?;
             if trivial {
                 (0..group_of_row.len()).for_each(&mut visit);
             } else {
                 mask.for_each_set(&mut visit);
             }
-            for &g in touched.iter() {
+            for (i, &g) in touched.iter().enumerate() {
+                if i % CANCEL_GROUP_STRIDE == 0 {
+                    cancel_checkpoint(cancel)?;
+                }
                 let g = g as usize;
                 let n = nonnull[g];
                 group_out[g] = match agg {
@@ -2601,6 +2798,7 @@ fn aggregate_groups(
                     acc[g] += v;
                 }
             };
+            cancel_checkpoint(cancel)?;
             if trivial {
                 (0..group_of_row.len()).for_each(&mut sum_visit);
             } else {
@@ -2617,6 +2815,7 @@ fn aggregate_groups(
                 m4[g] = 0.0;
             }
             // Pass 2: centred power sums, same row order.
+            cancel_checkpoint(cancel)?;
             let wants_m4 = agg == AggFunc::Kurtosis;
             let mut dev_visit = |row: usize| {
                 if let Some(v) = view[row] {
@@ -2632,7 +2831,10 @@ fn aggregate_groups(
             } else {
                 mask.for_each_set(&mut dev_visit);
             }
-            for &g in touched.iter() {
+            for (i, &g) in touched.iter().enumerate() {
+                if i % CANCEL_GROUP_STRIDE == 0 {
+                    cancel_checkpoint(cancel)?;
+                }
                 let g = g as usize;
                 group_out[g] = moment_finalize(agg, nonnull[g] as usize, m2[g], m4[g]);
             }
@@ -2650,6 +2852,7 @@ fn aggregate_groups(
                     nonnull[g] += 1;
                 }
             };
+            cancel_checkpoint(cancel)?;
             if trivial {
                 (0..group_of_row.len()).for_each(&mut presence_visit);
             } else {
@@ -2658,7 +2861,10 @@ fn aggregate_groups(
 
             if let Some(order) = order {
                 // Selection-aware merge over the pre-sorted group runs.
-                for &g in touched.iter() {
+                for (i, &g) in touched.iter().enumerate() {
+                    if i % CANCEL_GROUP_STRIDE == 0 {
+                        cancel_checkpoint(cancel)?;
+                    }
                     let g = g as usize;
                     let (rows, vals) = order.run(g, merge_rows, merge_vals);
                     let selected: &[f64] = if trivial {
@@ -2674,7 +2880,7 @@ fn aggregate_groups(
                     };
                     group_out[g] = order_stat_value(agg, selected, dev_buf);
                 }
-                return;
+                return Ok(());
             }
 
             // No precompiled runs (sparse selection, or query-local
@@ -2694,13 +2900,17 @@ fn aggregate_groups(
                     cursors[g] += 1;
                 }
             };
+            cancel_checkpoint(cancel)?;
             if trivial {
                 (0..group_of_row.len()).for_each(&mut scatter_visit);
             } else {
                 mask.for_each_set(&mut scatter_visit);
             }
             // cursors[g] now points one past group g's bucket.
-            for &g in touched.iter() {
+            for (i, &g) in touched.iter().enumerate() {
+                if i % CANCEL_GROUP_STRIDE == 0 {
+                    cancel_checkpoint(cancel)?;
+                }
                 let g = g as usize;
                 let end = cursors[g] as usize;
                 let bucket = &mut scatter[end - nonnull[g] as usize..end];
@@ -2729,6 +2939,7 @@ fn aggregate_groups(
             }
         }
     }
+    Ok(())
 }
 
 /// Evaluate an order-statistic aggregate over one group's selected values,
@@ -3432,6 +3643,66 @@ mod tests {
         assert_eq!(super::pool_workers(8, 1000), 8);
         assert_eq!(super::pool_workers(2, 1000), 2);
         assert_eq!(super::pool_workers(1, 9), 1);
+    }
+
+    #[test]
+    fn evaluate_cancel_preempts_and_untripped_token_is_bit_identical() {
+        let (train, relevant) = (train(), relevant());
+        let engine = QueryEngine::new(&train, &relevant);
+        let queries = [
+            query(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            query(AggFunc::Median, Predicate::ge("ts", 250), &["cname", "mid"]),
+            query(AggFunc::Var, Predicate::True, &["mid"]),
+        ];
+        for q in &queries {
+            // A tripped token preempts before any result; nothing is cached,
+            // so a later plain evaluate still works and matches an untripped
+            // cancel-aware evaluate bit for bit.
+            let tripped = CancelToken::new();
+            tripped.cancel();
+            assert!(matches!(
+                engine.evaluate_cancel(q, &tripped),
+                Err(EngineError::Cancelled)
+            ));
+            let live = CancelToken::new();
+            let with_token = engine.evaluate_cancel(q, &live).unwrap();
+            let plain = engine.evaluate(q).unwrap();
+            assert_eq!(with_token, plain, "{}", q.to_sql("R"));
+        }
+        // lookup_cancel: preempted cold, correct warm.
+        let q = &queries[0];
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let fresh = QueryEngine::new(&train, &relevant);
+        assert!(matches!(
+            fresh.lookup_cancel(q, &[Value::Str("a".into())], &tripped),
+            Err(EngineError::Cancelled)
+        ));
+        let live = CancelToken::new();
+        assert_eq!(
+            fresh
+                .lookup_cancel(q, &[Value::Str("a".into())], &live)
+                .unwrap(),
+            fresh.lookup(q, &[Value::Str("a".into())]).unwrap()
+        );
+        // transform_cancel matches transform on the same pinned epoch.
+        let live = CancelToken::new();
+        assert_eq!(
+            fresh.transform_cancel(&queries, &train, &live).unwrap(),
+            fresh.transform(&queries, &train).unwrap()
+        );
+    }
+
+    #[test]
+    fn effective_fan_out_workers_short_circuits_on_one_cpu() {
+        // A 1-CPU host collapses every request to the inline serial path.
+        assert_eq!(super::effective_fan_out_workers(2, 16, 1), 1);
+        assert_eq!(super::effective_fan_out_workers(8, 1000, 1), 1);
+        // Multi-CPU hosts keep the old clamp semantics.
+        assert_eq!(super::effective_fan_out_workers(2, 16, 4), 2);
+        assert_eq!(super::effective_fan_out_workers(1, 16, 8), 1);
+        assert_eq!(super::effective_fan_out_workers(4, 2, 8), 2);
+        assert_eq!(super::effective_fan_out_workers(0, 0, 8), 1);
     }
 
     #[test]

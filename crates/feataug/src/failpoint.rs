@@ -20,7 +20,15 @@
 //! |                     | inside the panic-contained region                 |
 //! | `exec.ingest.publish` | end of the epoch build, just before the swap    |
 //! |                     | publishes it (still panic-contained)              |
+//! | `kernel.cancel`     | every cancellation checkpoint (kernel strides,    |
+//! |                     | gather loops, serving probes) — but **only** when |
+//! |                     | the work runs under a `CancelToken`; plain        |
+//! |                     | traffic never evaluates it                        |
 //! | `serving.lookup`    | [`crate::serving::ServingHandle::lookup`]         |
+//! | `shard.route`       | the shard router's per-request owning-shard probe |
+//! |                     | and per-shard transform fan-out (panic-contained) |
+//! | `shard.append`      | start of a router-level sharded append, before    |
+//! |                     | any shard's sub-batch dispatches                  |
 //! | `tier.batch`        | the serving tier's worker loop, once per batch    |
 //!
 //! Failpoints are process-global; tests sharing a binary must serialize on a

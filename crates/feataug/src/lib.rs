@@ -184,6 +184,25 @@
 //! tier.install(std::sync::Arc::new(swapped_in)); // atomic hot-swap; warm lookups never block
 //! std::thread::spawn(move || serving.serve(&[Value::Str("alice".into())])); // Send + 'static
 //!
+//! // Key-sharded serving: partition the relevant table by a hash of the
+//! // task's key columns into N independent shard engines behind one router.
+//! // Routed lookups are bit-identical to the unsharded path; appends split
+//! // by the same hash, each shard publishing its own epochs under a single
+//! // router generation. The tier accepts the sharded handle unchanged, and
+//! // per-request deadlines preempt a slow lookup *mid-kernel* through
+//! // cancellation checkpoints (surfacing as the same all-NULL degradation
+//! // as a deadline observed at a batch boundary).
+//! use feataug::{ShardRouter, ShardedServingHandle};
+//! let plan = model.plan().clone();
+//! let router = ShardRouter::build_for_plan(task.train.clone(), &task.relevant, &plan, 4)?;
+//! let sharded = ShardedServingHandle::prepare(&router, &plan)?;
+//! let shard_tier = feataug::ServingTier::new(sharded, feataug::TierConfig::default());
+//! let row = shard_tier.lookup_deadline(
+//!     &[Value::Str("alice".into())],
+//!     std::time::Duration::from_micros(250),
+//! )?;
+//! router.append_relevant(&get_new_rows())?; // hash-split across shards; handles follow live
+//!
 //! // Multi-hop: register the whole schema (declared foreign keys, plus
 //! // sampled joinability inference) and let budgeted path search decide
 //! // which join paths earn a full search. Promoted paths fit through a
@@ -242,7 +261,8 @@ pub use query::{
     PredicateQuery, QueryCodec,
 };
 pub use schema::{fit_schema, JoinPath, SchemaAugModel, SchemaError, SchemaGraph, SchemaTask};
-pub use serving::tier::{ServingTier, TierConfig, TierError, TierStats};
+pub use serving::shard::{ShardEpoch, ShardRouter, ShardedServingHandle};
+pub use serving::tier::{ServingModel, ServingTier, TierConfig, TierError, TierStats};
 pub use serving::ServingHandle;
 pub use template::QueryTemplate;
 

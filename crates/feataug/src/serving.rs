@@ -46,6 +46,7 @@
 //! handle: an admission-controlled request queue with deadlines and load
 //! shedding, and an atomic model hot-swap cell.
 
+pub mod shard;
 pub mod tier;
 
 use std::collections::HashMap;
@@ -53,10 +54,11 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use feataug_tabular::groupby::KeyAtom;
-use feataug_tabular::{Column, Value};
+use feataug_tabular::{CancelToken, Column, Value};
 
 use crate::exec::{
-    fan_out, workers_for_pool, EngineCore, EngineResult, EpochCell, GroupIndex, QueryEngine,
+    cancel_checkpoint, fan_out, workers_for_pool, EngineCore, EngineResult, EpochCell, GroupIndex,
+    QueryEngine,
 };
 use crate::query::AugPlan;
 
@@ -369,6 +371,22 @@ impl<'a> ServingHandle<'a> {
         self.lookup_with(&state, key, out)
     }
 
+    /// [`ServingHandle::lookup`] under a [`CancelToken`]: the probe loop
+    /// polls the token before each key probe, so a request whose deadline has
+    /// already fired is preempted mid-lookup with
+    /// [`crate::exec::EngineError::Cancelled`] instead of finishing its
+    /// remaining probes — the hook [`tier::ServingTier`] deadlines use to
+    /// preempt in-flight work.
+    pub fn lookup_cancel(
+        &self,
+        key: &[Value],
+        out: &mut Vec<Option<f64>>,
+        cancel: &CancelToken,
+    ) -> EngineResult<()> {
+        let state = self.current_state()?;
+        self.lookup_with_cancel(&state, key, out, Some(cancel))
+    }
+
     /// [`ServingHandle::lookup`] against one already-pinned epoch state —
     /// the shared tail of the point and batch paths.
     // lint: hot-path
@@ -377,6 +395,20 @@ impl<'a> ServingHandle<'a> {
         state: &PreparedState,
         key: &[Value],
         out: &mut Vec<Option<f64>>,
+    ) -> EngineResult<()> {
+        self.lookup_with_cancel(state, key, out, None)
+    }
+
+    /// The shared probe loop. Without a token (`cancel` = `None` — every
+    /// search-time and deadline-less path) the checkpoint is a skipped
+    /// branch; with one, each probe boundary is a preemption point.
+    // lint: hot-path
+    fn lookup_with_cancel(
+        &self,
+        state: &PreparedState,
+        key: &[Value],
+        out: &mut Vec<Option<f64>>,
+        cancel: Option<&CancelToken>,
     ) -> EngineResult<()> {
         crate::fail_point!("serving.lookup");
         if key.len() != self.plan.key_columns.len() {
@@ -391,6 +423,7 @@ impl<'a> ServingHandle<'a> {
         out.clear();
         out.resize(state.slots.len(), None);
         for probe in &state.probes {
+            cancel_checkpoint(cancel)?;
             let group = probe.group_of(key);
             for slot in &state.slots[probe.slots.start..probe.slots.end] {
                 out[slot.out_pos] = group

@@ -1,6 +1,8 @@
 //! The admission-controlled serving tier: bounded queueing, per-request
 //! deadlines, load shedding, graceful degradation, and atomic model hot-swap
-//! over a [`ServingHandle`].
+//! over a [`ServingModel`] — one prepared [`ServingHandle`] or a key-sharded
+//! [`ShardedServingHandle`] (see [`crate::serving::shard`]); both plug in
+//! unchanged.
 //!
 //! A [`ServingHandle`] answers one lookup fast, but a production front door
 //! needs more than speed: under overload it must refuse work it cannot finish
@@ -10,6 +12,13 @@
 //! one poisoned request must fail that request alone. [`ServingTier`] wraps
 //! all three around a small pool of dedicated worker threads draining a
 //! bounded queue.
+//!
+//! Deadlines preempt, not just observe: a request submitted with a deadline
+//! runs its engine work under a [`CancelToken`] built from that instant, and
+//! the kernels, gathers and probe loops poll the token at fixed strides — a
+//! deadline that fires mid-kernel abandons the work right there (surfacing
+//! through the same degradation policy) instead of waiting for the batch
+//! boundary. [`TierStats::cancelled`] counts how often preemption fired.
 //!
 //! ## Hot-swap
 //!
@@ -38,9 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use feataug_tabular::Value;
+use feataug_tabular::{CancelToken, Value};
 
-use crate::exec::{lock_recover, panic_message, EngineError};
+use crate::exec::{lock_recover, panic_message, EngineError, EngineResult};
+use crate::serving::shard::ShardedServingHandle;
 use crate::serving::ServingHandle;
 
 /// Sizing and policy of a [`ServingTier`].
@@ -127,6 +137,93 @@ impl std::error::Error for TierError {
 // `serving::tier::EpochCell` users keep compiling.
 pub use crate::exec::EpochCell;
 
+/// What a tier serves: one prepared [`ServingHandle`], or a
+/// [`ShardedServingHandle`] routing each key to its owning shard. Both plug
+/// into the tier unchanged — [`ServingTier::new`] and
+/// [`ServingTier::install`] accept either via `Into<ServingModel>`, and the
+/// worker loop only needs the common lookup surface below.
+#[derive(Debug)]
+pub enum ServingModel {
+    /// A single prepared handle over one engine.
+    Single(Arc<ServingHandle<'static>>),
+    /// Hash-routed per-shard handles (see [`crate::serving::shard`]).
+    Sharded(Arc<ShardedServingHandle>),
+}
+
+impl From<Arc<ServingHandle<'static>>> for ServingModel {
+    fn from(handle: Arc<ServingHandle<'static>>) -> ServingModel {
+        ServingModel::Single(handle)
+    }
+}
+
+impl From<ServingHandle<'static>> for ServingModel {
+    fn from(handle: ServingHandle<'static>) -> ServingModel {
+        ServingModel::Single(Arc::new(handle))
+    }
+}
+
+impl From<Arc<ShardedServingHandle>> for ServingModel {
+    fn from(handle: Arc<ShardedServingHandle>) -> ServingModel {
+        ServingModel::Sharded(handle)
+    }
+}
+
+impl From<ShardedServingHandle> for ServingModel {
+    fn from(handle: ShardedServingHandle) -> ServingModel {
+        ServingModel::Sharded(Arc::new(handle))
+    }
+}
+
+impl ServingModel {
+    /// Number of features a lookup produces.
+    pub fn num_features(&self) -> usize {
+        match self {
+            ServingModel::Single(h) => h.num_features(),
+            ServingModel::Sharded(h) => h.num_features(),
+        }
+    }
+
+    /// Feature column names, in output order.
+    pub fn feature_names(&self) -> &[String] {
+        match self {
+            ServingModel::Single(h) => h.feature_names(),
+            ServingModel::Sharded(h) => h.feature_names(),
+        }
+    }
+
+    /// The key columns a request key aligns with.
+    pub fn key_columns(&self) -> &[String] {
+        match self {
+            ServingModel::Single(h) => h.key_columns(),
+            ServingModel::Sharded(h) => h.key_columns(),
+        }
+    }
+
+    /// Answer one request (`out` cleared and refilled in plan order).
+    pub fn lookup(&self, key: &[Value], out: &mut Vec<Option<f64>>) -> EngineResult<()> {
+        match self {
+            ServingModel::Single(h) => h.lookup(key, out),
+            ServingModel::Sharded(h) => h.lookup(key, out),
+        }
+    }
+
+    /// [`ServingModel::lookup`] under a [`CancelToken`]: cold aggregations
+    /// poll the token at the kernel checkpoints and warm probe loops poll it
+    /// per probe, so a fired deadline preempts the request mid-work with
+    /// [`EngineError::Cancelled`].
+    pub fn lookup_cancel(
+        &self,
+        key: &[Value],
+        out: &mut Vec<Option<f64>>,
+        cancel: &CancelToken,
+    ) -> EngineResult<()> {
+        match self {
+            ServingModel::Single(h) => h.lookup_cancel(key, out, cancel),
+            ServingModel::Sharded(h) => h.lookup_cancel(key, out, cancel),
+        }
+    }
+}
+
 /// One queued lookup: the key, the admission-stamped deadline, and the reply
 /// channel.
 struct Request {
@@ -140,12 +237,13 @@ struct TierShared {
     config: TierConfig,
     queue: Mutex<VecDeque<Request>>,
     available: Condvar,
-    model: EpochCell<ServingHandle<'static>>,
+    model: EpochCell<ServingModel>,
     shutdown: AtomicBool,
     submitted: AtomicUsize,
     answered: AtomicUsize,
     shed: AtomicUsize,
     degraded: AtomicUsize,
+    cancelled: AtomicUsize,
     worker_panics: AtomicUsize,
 }
 
@@ -161,6 +259,10 @@ pub struct TierStats {
     /// Requests answered with the all-NULL degraded row (or
     /// [`TierError::DeadlineExceeded`]) because their deadline fired.
     pub degraded: usize,
+    /// Requests whose deadline preempted in-flight engine work mid-kernel
+    /// or mid-probe ([`EngineError::Cancelled`]) — a subset of `degraded`
+    /// that measures how often preemption beat the batch boundary.
+    pub cancelled: usize,
     /// Worker panics contained into [`EngineError::WorkerPanic`] answers.
     pub worker_panics: usize,
     /// Requests queued right now.
@@ -201,19 +303,21 @@ impl std::fmt::Debug for ServingTier {
 }
 
 impl ServingTier {
-    /// Spawn the worker pool and start serving `handle`.
-    pub fn new(handle: Arc<ServingHandle<'static>>, config: TierConfig) -> ServingTier {
+    /// Spawn the worker pool and start serving `model` — a single prepared
+    /// handle or a sharded one, via `Into<ServingModel>`.
+    pub fn new(model: impl Into<ServingModel>, config: TierConfig) -> ServingTier {
         let workers = config.workers.max(1);
         let shared = Arc::new(TierShared {
             config,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            model: EpochCell::new(handle),
+            model: EpochCell::new(Arc::new(model.into())),
             shutdown: AtomicBool::new(false),
             submitted: AtomicUsize::new(0),
             answered: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
             degraded: AtomicUsize::new(0),
+            cancelled: AtomicUsize::new(0),
             worker_panics: AtomicUsize::new(0),
         });
         let workers = (0..workers)
@@ -287,12 +391,12 @@ impl ServingTier {
     /// to the old model finish against it, every later batch serves the new
     /// one, and no warm lookup blocks on the swap. Returns the new
     /// generation.
-    pub fn install(&self, handle: Arc<ServingHandle<'static>>) -> u64 {
-        self.shared.model.swap(handle)
+    pub fn install(&self, model: impl Into<ServingModel>) -> u64 {
+        self.shared.model.swap(Arc::new(model.into()))
     }
 
     /// Pin the currently-served model.
-    pub fn model(&self) -> Arc<ServingHandle<'static>> {
+    pub fn model(&self) -> Arc<ServingModel> {
         self.shared.model.load()
     }
 
@@ -308,6 +412,7 @@ impl ServingTier {
             answered: self.shared.answered.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             degraded: self.shared.degraded.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
             worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
             queue_depth: lock_recover(&self.shared.queue).len(),
             generation: self.shared.model.generation(),
@@ -360,18 +465,34 @@ fn worker_loop(shared: &TierShared) {
 /// Answer one request against the pinned model: skip the gather if the
 /// deadline already fired, contain any panic into a typed error, degrade (or
 /// error) if the deadline fired mid-gather.
-fn answer(shared: &TierShared, model: &ServingHandle<'_>, request: Request) {
+///
+/// A request carrying a deadline runs its lookup under a [`CancelToken`]
+/// built from that instant: the engine polls the token at the kernel and
+/// probe-loop checkpoints, so a deadline that fires *during* the work
+/// preempts it mid-kernel — surfacing as [`EngineError::Cancelled`], which
+/// degrades exactly like a deadline observed at a batch boundary (and is
+/// additionally counted in [`TierStats::cancelled`]).
+fn answer(shared: &TierShared, model: &ServingModel, request: Request) {
     let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() > d);
     let result = if expired(request.deadline) {
         past_deadline(shared, model)
     } else {
+        let cancel = request.deadline.map(CancelToken::with_deadline);
         let mut out = Vec::with_capacity(model.num_features());
         let lookup = catch_unwind(AssertUnwindSafe(|| {
-            model.lookup(&request.key, &mut out).map(|()| out)
+            match &cancel {
+                Some(token) => model.lookup_cancel(&request.key, &mut out, token),
+                None => model.lookup(&request.key, &mut out),
+            }
+            .map(|()| out)
         }));
         match lookup {
             Ok(Ok(_)) if expired(request.deadline) => past_deadline(shared, model),
             Ok(Ok(row)) => Ok(row),
+            Ok(Err(EngineError::Cancelled)) => {
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                past_deadline(shared, model)
+            }
             Ok(Err(e)) => Err(TierError::Engine(e)),
             Err(payload) => {
                 shared.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -389,10 +510,7 @@ fn answer(shared: &TierShared, model: &ServingHandle<'_>, request: Request) {
 
 /// The deadline-fired outcome: the documented unseen-key row (every feature
 /// NULL) under graceful degradation, a typed error otherwise.
-fn past_deadline(
-    shared: &TierShared,
-    model: &ServingHandle<'_>,
-) -> Result<Vec<Option<f64>>, TierError> {
+fn past_deadline(shared: &TierShared, model: &ServingModel) -> Result<Vec<Option<f64>>, TierError> {
     shared.degraded.fetch_add(1, Ordering::Relaxed);
     if shared.config.degrade_on_deadline {
         Ok(vec![None; model.num_features()])
@@ -471,6 +589,56 @@ mod tests {
         assert_eq!(stats.submitted, 4);
         assert_eq!(stats.answered, 4);
         assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn sharded_model_serves_through_the_tier_unchanged() {
+        use crate::serving::shard::{ShardRouter, ShardedServingHandle};
+        let mut train = Table::new("users");
+        train
+            .add_column("uid", Column::from_i64s(&[1, 2, 3]))
+            .unwrap();
+        let mut relevant = Table::new("logs");
+        relevant
+            .add_column("uid", Column::from_i64s(&[1, 1, 2, 2]))
+            .unwrap();
+        relevant
+            .add_column("pprice", Column::from_f64s(&[10.0, 20.0, 30.0, 40.0]))
+            .unwrap();
+        let plan = AugPlan::new(
+            "logs",
+            vec!["uid".into()],
+            vec![PlannedQuery {
+                query: PredicateQuery {
+                    agg: AggFunc::Sum,
+                    agg_column: "pprice".into(),
+                    predicate: Predicate::True,
+                    group_keys: vec!["uid".into()],
+                },
+                loss: 0.0,
+            }],
+        );
+        let router = ShardRouter::build_for_plan(Arc::new(train), &relevant, &plan, 3).unwrap();
+        let sharded = ShardedServingHandle::prepare(&router, &plan).unwrap();
+        let tier = ServingTier::new(sharded, TierConfig::default());
+        assert_eq!(tier.lookup(&[Value::Int(1)]).unwrap(), vec![Some(30.0)]);
+        assert_eq!(tier.lookup(&[Value::Int(2)]).unwrap(), vec![Some(70.0)]);
+        // Unseen key: the documented all-NULL row, regardless of which shard
+        // the hash probes.
+        assert_eq!(tier.lookup(&[Value::Int(99)]).unwrap(), vec![None]);
+        assert_eq!(tier.model().num_features(), 1);
+        assert_eq!(tier.model().key_columns(), ["uid".to_string()]);
+        // Live ingestion needs no tier swap: each shard handle follows its
+        // shard's epochs by itself.
+        let mut batch = Table::new("logs");
+        batch.add_column("uid", Column::from_i64s(&[1, 9])).unwrap();
+        batch
+            .add_column("pprice", Column::from_f64s(&[5.0, 8.0]))
+            .unwrap();
+        router.append_relevant(&batch).unwrap();
+        assert_eq!(tier.lookup(&[Value::Int(1)]).unwrap(), vec![Some(35.0)]);
+        assert_eq!(tier.lookup(&[Value::Int(9)]).unwrap(), vec![Some(8.0)]);
+        assert_eq!(tier.stats().cancelled, 0);
     }
 
     #[test]

@@ -230,6 +230,9 @@ pub const REQUIRED_BENCH_FIELDS: &[&str] = &[
     "path_search_candidates",
     "paths_promoted",
     "hop2_transform_rows_per_sec",
+    "shard_lookups_per_sec",
+    "shard_count",
+    "cancelled_rate",
 ];
 
 /// Pools that must appear (as `{"pool": <name>, ...}` entries with a numeric

@@ -48,6 +48,7 @@ impl fmt::Display for Diagnostic {
 pub const SERVING_MODULES: &[&str] = &[
     "crates/feataug/src/exec.rs",
     "crates/feataug/src/serving.rs",
+    "crates/feataug/src/serving/shard.rs",
     "crates/feataug/src/serving/tier.rs",
     "crates/feataug/src/query.rs",
     "crates/feataug/src/multi.rs",
@@ -283,6 +284,7 @@ mod tests {
     fn classification_matches_paths() {
         assert!(classify("crates/feataug/src/exec.rs").serving_module);
         assert!(classify("crates/feataug/src/serving/tier.rs").serving_module);
+        assert!(classify("crates/feataug/src/serving/shard.rs").serving_module);
         assert!(classify("crates/feataug/src/schema.rs").serving_module);
         assert!(classify("crates/feataug/src/schema/compile.rs").serving_module);
         assert!(!classify("crates/feataug/src/pipeline.rs").serving_module);

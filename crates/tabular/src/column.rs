@@ -102,6 +102,50 @@ impl CatColumn {
         }
         out
     }
+
+    /// Build a new column containing the rows at `indices`, keeping this column's *entire*
+    /// dictionary (codes included) instead of re-interning by gathered-row appearance order.
+    ///
+    /// [`CatColumn::take`] minimises the output dictionary, which renumbers codes; partitioned
+    /// engines need every partition to agree on the global code assignment so that
+    /// code-domain aggregates (`MODE`, `ENTROPY`, `COUNT_DISTINCT` over categoricals) and
+    /// dictionary probes stay bit-identical to the unpartitioned table. Values with no
+    /// surviving row simply keep an unused dictionary slot.
+    pub fn take_with_dict(&self, indices: &[usize]) -> CatColumn {
+        CatColumn {
+            dict: self.dict.clone(),
+            index: self.index.clone(),
+            codes: indices.iter().map(|&i| self.codes[i]).collect(),
+        }
+    }
+
+    /// Append every row of `other`, first absorbing `other`'s entire dictionary in `other`'s
+    /// dictionary order (interning novel values before any row is pushed).
+    ///
+    /// For columns whose dictionary order equals first-appearance row order — everything built
+    /// by [`CatColumn::push`] or [`CatColumn::take`] — this matches plain row-by-row pushing
+    /// bit for bit. The distinction matters when `other` was built by
+    /// [`CatColumn::take_with_dict`] and carries dictionary entries with no surviving rows:
+    /// absorbing the dictionary keeps the receiver's code assignment in sync with the
+    /// unpartitioned reference even when this partition saw none of a novel value's rows.
+    pub fn extend_absorbing_dict(&mut self, other: &CatColumn) {
+        for v in &other.dict {
+            if !self.index.contains_key(v) {
+                let c = self.dict.len() as u32;
+                self.dict.push(v.clone());
+                self.index.insert(v.clone(), c);
+            }
+        }
+        for code in &other.codes {
+            match code {
+                None => self.codes.push(None),
+                Some(c) => {
+                    let v = &other.dict[*c as usize];
+                    self.codes.push(Some(self.index[v]));
+                }
+            }
+        }
+    }
 }
 
 /// A typed, nullable column of values.
@@ -279,6 +323,16 @@ impl Column {
             Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
             Column::DateTime(v) => Column::DateTime(indices.iter().map(|&i| v[i]).collect()),
             Column::Cat(c) => Column::Cat(c.take(indices)),
+        }
+    }
+
+    /// Like [`Column::take`], but categorical columns keep their full dictionary and code
+    /// assignment (see [`CatColumn::take_with_dict`]); other types behave exactly like
+    /// [`Column::take`].
+    pub fn take_with_dict(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Cat(c) => Column::Cat(c.take_with_dict(indices)),
+            other => other.take(indices),
         }
     }
 
@@ -503,6 +557,61 @@ mod tests {
         let n = Column::from_i64s(&[5, 5, 7]);
         assert_eq!(n.n_distinct(), 2);
         assert_eq!(n.distinct_values(1).len(), 1);
+    }
+
+    #[test]
+    fn take_with_dict_preserves_codes_and_dictionary() {
+        let mut c = CatColumn::new();
+        for v in ["a", "b", "c", "b", None.unwrap_or("d")] {
+            c.push(Some(v));
+        }
+        // Keep only rows of "c" and "b": plain take would renumber, take_with_dict must not.
+        let t = c.take_with_dict(&[2, 3]);
+        assert_eq!(t.dictionary(), c.dictionary());
+        assert_eq!(t.codes(), &[Some(2), Some(1)]);
+        assert_eq!(t.code_of("d"), Some(3), "row-less values keep their code");
+        assert_eq!(t.get(0), Some("c"));
+
+        let col = Column::Cat(c.clone());
+        match col.take_with_dict(&[2, 3]) {
+            Column::Cat(tc) => assert_eq!(tc, t),
+            other => panic!("expected categorical, got {other:?}"),
+        }
+        // Non-categorical columns delegate to plain take.
+        let ints = Column::from_i64s(&[10, 20, 30]);
+        assert_eq!(ints.take_with_dict(&[2, 0]), ints.take(&[2, 0]));
+    }
+
+    #[test]
+    fn extend_absorbing_dict_matches_row_pushes_and_absorbs_rowless_values() {
+        // Push-built batch: absorbing must equal row-by-row pushing.
+        let mut base = CatColumn::new();
+        base.push(Some("a"));
+        base.push(Some("b"));
+        let mut batch = CatColumn::new();
+        for v in [Some("c"), Some("a"), None, Some("d")] {
+            batch.push(v);
+        }
+        let mut absorbed = base.clone();
+        absorbed.extend_absorbing_dict(&batch);
+        let mut pushed = base.clone();
+        for i in 0..batch.len() {
+            pushed.push(batch.get(i));
+        }
+        assert_eq!(absorbed.codes(), pushed.codes());
+        assert_eq!(absorbed.dictionary(), pushed.dictionary());
+
+        // take_with_dict-built batch: dictionary entries with no rows are still interned,
+        // in the batch's dictionary order.
+        let rowless = batch.take_with_dict(&[1]); // one "a" row, dict still [c, a, d]
+        let mut target = base.clone();
+        target.extend_absorbing_dict(&rowless);
+        assert_eq!(
+            target.dictionary(),
+            &["a", "b", "c", "d"].map(String::from),
+            "novel values interned in the batch's dictionary order, rows or not"
+        );
+        assert_eq!(target.codes(), &[Some(0), Some(1), Some(0)]);
     }
 
     #[test]

@@ -161,6 +161,21 @@ impl Table {
         out
     }
 
+    /// Like [`Table::take`], but categorical columns keep their full dictionary and code
+    /// assignment (see [`crate::column::CatColumn::take_with_dict`]). Partitioned engines use
+    /// this so every partition of a table agrees with the whole table on categorical codes.
+    pub fn take_with_dict(&self, indices: &[usize]) -> Table {
+        let mut out = Table::new(self.name.clone());
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            out.add_column(field.name.clone(), col.take_with_dict(indices))
+                .expect("take preserves schema invariants");
+        }
+        if self.columns.is_empty() {
+            out.num_rows = 0;
+        }
+        out
+    }
+
     /// Materialise a new table containing only the named columns, in the given order.
     pub fn select(&self, names: &[&str]) -> Result<Table> {
         let mut out = Table::new(self.name.clone());
@@ -197,6 +212,37 @@ impl Table {
             let other_col = other.column(&field.name)?;
             for i in 0..other.num_rows() {
                 out.columns[idx].push(other_col.get(i))?;
+            }
+        }
+        out.num_rows += other.num_rows();
+        Ok(out)
+    }
+
+    /// Like [`Table::concat`], but categorical columns absorb `other`'s *entire* dictionary
+    /// (in `other`'s dictionary order) before any row is appended — see
+    /// [`crate::column::CatColumn::extend_absorbing_dict`].
+    ///
+    /// For batches whose dictionary order equals row first-appearance order (anything built by
+    /// pushes or a plain `take`) this is bit-identical to [`Table::concat`]. Partitioned
+    /// ingestion relies on the difference: sub-batches cut with [`Table::take_with_dict`]
+    /// carry the full batch dictionary, so every partition interns the batch's novel values
+    /// in the same global order regardless of which rows it owns.
+    pub fn concat_absorbing(&self, other: &Table) -> Result<Table> {
+        if self.schema != *other.schema() {
+            return Err(TabularError::InvalidArgument(
+                "concat requires identical schemas".to_string(),
+            ));
+        }
+        let mut out = self.clone();
+        for (idx, field) in self.schema.fields().iter().enumerate() {
+            let other_col = other.column(&field.name)?;
+            match (&mut out.columns[idx], other_col) {
+                (Column::Cat(dst), Column::Cat(src)) => dst.extend_absorbing_dict(src),
+                _ => {
+                    for i in 0..other.num_rows() {
+                        out.columns[idx].push(other_col.get(i))?;
+                    }
+                }
             }
         }
         out.num_rows += other.num_rows();
@@ -315,6 +361,58 @@ mod tests {
             .with_column("id", Column::from_i64s(&[1]))
             .unwrap();
         assert!(t.concat(&other).is_err());
+    }
+
+    #[test]
+    fn take_with_dict_keeps_global_categorical_codes() {
+        let t = sample();
+        let part = t.take_with_dict(&[2, 3]); // only "b" rows survive
+        assert_eq!(part.num_rows(), 2);
+        match part.column("grp").unwrap() {
+            Column::Cat(c) => {
+                assert_eq!(c.dictionary(), &["a".to_string(), "b".to_string()]);
+                assert_eq!(c.codes(), &[Some(1), Some(1)]);
+            }
+            other => panic!("expected categorical, got {other:?}"),
+        }
+        // Non-categorical columns match plain take.
+        assert_eq!(
+            part.column("id").unwrap(),
+            t.take(&[2, 3]).column("id").unwrap()
+        );
+    }
+
+    #[test]
+    fn concat_absorbing_matches_concat_and_absorbs_rowless_dict_entries() {
+        let t = sample();
+        // Push-built other: bit-identical to plain concat.
+        let absorbed = t.concat_absorbing(&t).unwrap();
+        assert_eq!(absorbed, t.concat(&t).unwrap());
+
+        // A sub-batch cut with take_with_dict carries the full batch dictionary; absorbing
+        // interns the row-less novel value too.
+        let mut batch = Table::new("t");
+        batch.add_column("id", Column::from_i64s(&[9, 10])).unwrap();
+        batch
+            .add_column("grp", Column::from_strs(&["z", "q"]))
+            .unwrap();
+        batch
+            .add_column("x", Column::from_f64s(&[9.0, 10.0]))
+            .unwrap();
+        let sub = batch.take_with_dict(&[1]); // only the "q" row, dict still [z, q]
+        let merged = t.concat_absorbing(&sub).unwrap();
+        match merged.column("grp").unwrap() {
+            Column::Cat(c) => {
+                assert_eq!(
+                    c.dictionary(),
+                    &["a", "b", "z", "q"].map(String::from),
+                    "row-less 'z' interned before 'q', matching the unpartitioned order"
+                );
+                assert_eq!(c.codes().last().copied().flatten(), Some(3));
+            }
+            other => panic!("expected categorical, got {other:?}"),
+        }
+        assert!(t.concat_absorbing(&Table::new("empty")).is_err());
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //!    `AugModel::append_relevant` — one copy-on-write engine epoch, only the
 //!    touched groups recomputed — and watch the already-installed handle
 //!    serve the new epoch with no re-prepare and no hot-swap;
-//! 8. go **multi-hop**: register a whole schema of tables in a
+//! 8. **shard** the serving layer: hash-partition the relevant table by the
+//!    task's key columns into four engines behind a [`feataug::ShardRouter`]
+//!    — routed lookups stay bit-identical to the unsharded path, appends
+//!    split by the same hash with per-shard epochs under one router
+//!    generation, and per-request deadlines preempt slow work *mid-kernel*
+//!    through cancellation checkpoints;
+//! 9. go **multi-hop**: register a whole schema of tables in a
 //!    [`feataug::SchemaGraph`], let budgeted join-path search
 //!    ([`feataug::fit_schema`]) decide which paths earn a full search, and
 //!    serve a promoted multi-hop plan by recompiling its shipped text
@@ -36,10 +42,13 @@ use std::time::Duration;
 
 use feataug::pipeline::AugModel;
 use feataug::schema::{fit_schema, SchemaGraph, SchemaTask};
-use feataug::{AugPlan, FeatAug, FeatAugConfig, ServingTier, TierConfig};
+use feataug::{
+    AugPlan, FeatAug, FeatAugConfig, PlannedQuery, PredicateQuery, ServingTier, ShardRouter,
+    ShardedServingHandle, TierConfig,
+};
 use feataug_ml::{ModelKind, Task};
 use feataug_repro::to_aug_task;
-use feataug_tabular::Value;
+use feataug_tabular::{AggFunc, Predicate, Value};
 
 fn main() {
     // ---- 0. A generated Tmall-style task ---------------------------------------------------
@@ -219,7 +228,55 @@ fn main() {
         next.epoch()
     );
 
-    // ---- 8. Multi-hop schemas: budgeted join-path search -----------------------------------
+    // ---- 8. Key-sharded serving: partitioned engines, cancellation-aware deadlines ---------
+    // Hash-partition the relevant table by the task's key columns into four
+    // shard engines behind one router. Full-key queries co-locate every
+    // group on exactly one shard, so routed answers are bit-identical to the
+    // unsharded path; the tier accepts the sharded handle unchanged, and a
+    // per-request deadline preempts a slow lookup mid-kernel through the
+    // engine's cancellation checkpoints (degrading to the all-NULL row).
+    let shard_planned: Vec<PlannedQuery> = AggFunc::basic()
+        .iter()
+        .map(|&agg| PlannedQuery {
+            query: PredicateQuery {
+                agg,
+                agg_column: dataset.agg_columns[0].clone(),
+                predicate: Predicate::True,
+                group_keys: task.key_columns.clone(),
+            },
+            loss: 0.0,
+        })
+        .collect();
+    let shard_plan = AugPlan::new(
+        task.relevant.name(),
+        task.key_columns.clone(),
+        shard_planned,
+    );
+    let router = ShardRouter::build_for_plan(task.train.clone(), &task.relevant, &shard_plan, 4)
+        .expect("shard router builds");
+    let sharded = ShardedServingHandle::prepare(&router, &shard_plan).expect("prepare sharded");
+    let shard_tier = ServingTier::new(sharded, TierConfig::default());
+    let sharded_row = shard_tier
+        .lookup_deadline(&key, Duration::from_millis(50))
+        .expect("sharded tier lookup");
+    println!(
+        "\nsharded tier (4 shards) answered {} features under a 50ms deadline ✓",
+        sharded_row.len()
+    );
+    // Live append through the router: the batch splits by the same key hash,
+    // each shard publishes its own epoch, and the installed handle follows
+    // with no re-prepare.
+    router.append_relevant(&fresh_rows).expect("sharded append");
+    let after_append = shard_tier
+        .lookup(&key)
+        .expect("sharded lookup after append");
+    assert_eq!(after_append.len(), sharded_row.len());
+    println!(
+        "router generation {} after a hash-split append, served live ✓",
+        router.generation()
+    );
+
+    // ---- 9. Multi-hop schemas: budgeted join-path search -----------------------------------
     // The generated Instacart schema plants its signal two joins away from
     // the training table (`users → orders → order_items → products`): no
     // single relevant table sees both `order_hour` and `department`.

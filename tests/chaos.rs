@@ -661,3 +661,312 @@ fn hot_swap_under_concurrent_load_is_atomic() {
     assert_eq!(tier.generation(), installs);
     assert_eq!(tier.stats().generation, installs);
 }
+
+/// A routable query pool: like [`random_pool`], but every query groups by
+/// the first key column, so a [`ShardRouter`] has a non-empty shard-key
+/// intersection to route on.
+fn routable_pool(
+    ds: &feataug_datagen::SyntheticDataset,
+    seed: u64,
+    n: usize,
+) -> Vec<PredicateQuery> {
+    let anchor = &ds.key_columns[0];
+    random_pool(ds, seed, n)
+        .into_iter()
+        .map(|mut query| {
+            if !query.group_keys.contains(anchor) {
+                query.group_keys.insert(0, anchor.clone());
+            }
+            query
+        })
+        .collect()
+}
+
+/// A deadline that fires while a kernel checkpoint stalls preempts the work
+/// right there — mid-kernel, not at the batch boundary. Plain traffic (no
+/// token) never even evaluates the `kernel.cancel` failpoint, so an armed
+/// stall cannot perturb it. The tier maps the preemption into its existing
+/// degradation policy: all-NULL under degradation (counted in
+/// `TierStats::cancelled`), a typed error in strict mode.
+#[test]
+fn tripped_deadline_preempts_stalled_kernel_mid_work() {
+    use std::time::Instant;
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(73);
+    let task = to_aug_task(&ds);
+    let pool = random_pool(&ds, 0xce11, 3);
+
+    let clean = QueryEngine::new(&ds.train, &ds.relevant);
+    let reference = clean.evaluate(&pool[0]).unwrap();
+
+    // Engine level: every cancellation checkpoint stalls 30ms, so a 2ms
+    // deadline has tripped by the first poll — the aggregation abandons
+    // mid-kernel with a typed error.
+    failpoint::set("kernel.cancel", Action::Delay(Duration::from_millis(30)));
+    let engine = QueryEngine::new(&ds.train, &ds.relevant);
+    let token =
+        feataug_tabular::CancelToken::with_deadline(Instant::now() + Duration::from_millis(2));
+    let err = engine.evaluate_cancel(&pool[0], &token).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled), "got {err:?}");
+    assert!(failpoint::hits("kernel.cancel") > 0);
+
+    // Plain traffic is token-free: the checkpoint returns before evaluating
+    // the failpoint, so the armed stall neither delays nor perturbs it.
+    let hits_before = failpoint::hits("kernel.cancel");
+    assert_eq!(bits(&engine.evaluate(&pool[0]).unwrap()), bits(&reference));
+    assert_eq!(failpoint::hits("kernel.cancel"), hits_before);
+
+    // Disarmed, a generous deadline runs to completion bit-identically.
+    failpoint::clear("kernel.cancel");
+    let generous =
+        feataug_tabular::CancelToken::with_deadline(Instant::now() + Duration::from_secs(60));
+    assert_eq!(
+        bits(&engine.evaluate_cancel(&pool[0], &generous).unwrap()),
+        bits(&reference)
+    );
+
+    // Tier level: warm serving probes poll the same checkpoints. A 50ms
+    // stall against a 10ms deadline preempts the very first probe.
+    let plan = plan_from(&ds, &pool);
+    let model = AugModel::compile_shared(plan, task.train.clone(), task.relevant.clone())
+        .expect("plan compiles");
+    let handle = std::sync::Arc::new(model.prepare().unwrap());
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| task.train.value(0, k).unwrap())
+        .collect();
+    let mut want = Vec::new();
+    handle.lookup(&key, &mut want).unwrap();
+
+    failpoint::set("kernel.cancel", Action::Delay(Duration::from_millis(50)));
+    let tier = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 1,
+            max_batch: 1,
+            ..TierConfig::default()
+        },
+    );
+    let row = tier
+        .lookup_deadline(&key, Duration::from_millis(10))
+        .unwrap();
+    assert!(
+        row.iter().all(|v| v.is_none()),
+        "a preempted request degrades to the all-NULL row, got {row:?}"
+    );
+    let stats = tier.stats();
+    assert!(
+        stats.cancelled >= 1,
+        "preemption must be counted: {stats:?}"
+    );
+    assert!(stats.degraded >= stats.cancelled);
+    // A deadline-free request on the same tier is untouched by the stall.
+    assert_eq!(bits(&tier.lookup(&key).unwrap()), bits(&want));
+
+    // Strict mode surfaces the same preemption as a typed error.
+    let strict = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 1,
+            max_batch: 1,
+            degrade_on_deadline: false,
+            ..TierConfig::default()
+        },
+    );
+    let err = strict
+        .lookup_deadline(&key, Duration::from_millis(10))
+        .unwrap_err();
+    assert!(matches!(err, TierError::DeadlineExceeded), "got {err:?}");
+    assert!(strict.stats().cancelled >= 1);
+    failpoint::clear("kernel.cancel");
+    assert_eq!(
+        bits(
+            &strict
+                .lookup_deadline(&key, Duration::from_secs(60))
+                .unwrap()
+        ),
+        bits(&want)
+    );
+}
+
+/// A panicking shard fails only the requests it owns: under 8-thread tier
+/// load every armed `shard.route` panic surfaces as one typed per-request
+/// error, every survivor is bit-identical to the warm reference, and once
+/// the arm is exhausted every shard serves again. The router-level lookup
+/// contains the same panic without any tier around it.
+#[test]
+fn shard_route_panic_fails_only_owned_requests() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(67);
+    let task = to_aug_task(&ds);
+    let pool = routable_pool(&ds, 0xdddd, 4);
+    let plan = plan_from(&ds, &pool);
+    let router =
+        feataug::ShardRouter::build_for_plan(task.train.clone(), &ds.relevant, &plan, 3).unwrap();
+    let handle =
+        std::sync::Arc::new(feataug::ShardedServingHandle::prepare(&router, &plan).unwrap());
+
+    // Keys spanning every shard; warm reference answers before arming.
+    let keys: Vec<Vec<Value>> = (0..task.train.num_rows().min(12))
+        .map(|row| {
+            task.key_columns
+                .iter()
+                .map(|k| task.train.value(row, k).unwrap())
+                .collect()
+        })
+        .collect();
+    let reference: Vec<Vec<Option<f64>>> = keys
+        .iter()
+        .map(|k| {
+            let mut out = Vec::new();
+            handle.lookup(k, &mut out).unwrap();
+            out
+        })
+        .collect();
+
+    let tier = ServingTier::new(
+        std::sync::Arc::clone(&handle),
+        TierConfig {
+            workers: 4,
+            ..TierConfig::default()
+        },
+    );
+    failpoint::set_times("shard.route", Action::Panic, 6);
+
+    let panics = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let tier = &tier;
+            let keys = &keys;
+            let reference = &reference;
+            let panics = &panics;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for (i, key) in keys.iter().enumerate() {
+                        match tier.lookup(key) {
+                            Ok(row) => assert_eq!(
+                                bits(&row),
+                                bits(&reference[i]),
+                                "thread {t} round {round} key {i} diverged"
+                            ),
+                            Err(TierError::Engine(EngineError::WorkerPanic {
+                                message, ..
+                            })) => {
+                                assert!(message.contains("shard.route"), "got: {message}");
+                                panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected tier error: {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        panics.load(std::sync::atomic::Ordering::Relaxed),
+        6,
+        "every armed panic fails exactly one owned request"
+    );
+    assert_eq!(tier.stats().worker_panics, 6);
+
+    // Arm exhausted: every key — every shard — serves again, bit-identical.
+    for (i, key) in keys.iter().enumerate() {
+        assert_eq!(bits(&tier.lookup(key).unwrap()), bits(&reference[i]));
+    }
+
+    // Router-level containment, no tier in sight: the owning shard's panic
+    // becomes a typed error and the next request succeeds.
+    failpoint::set_times("shard.route", Action::Panic, 1);
+    let query = &pool[0];
+    let key: Vec<Value> = query
+        .group_keys
+        .iter()
+        .map(|k| task.train.value(0, k).unwrap())
+        .collect();
+    let err = router.lookup(query, &key).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::WorkerPanic {
+                context: "shard route",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    router.lookup(query, &key).unwrap();
+}
+
+/// A panicking sharded append aborts the whole batch before any shard's
+/// sub-batch dispatches: the router generation stays put, pre-append answers
+/// keep serving, and a plain retry applies the batch — after which the
+/// router is bit-identical to an unsharded engine fed the same batch.
+#[test]
+fn shard_append_panic_aborts_batch_and_retry_succeeds() {
+    let _guard = ChaosGuard::acquire();
+    let ds = dataset(71);
+    let task = to_aug_task(&ds);
+    let pool = routable_pool(&ds, 0xeeee, 3);
+    let plan = plan_from(&ds, &pool);
+
+    let n = ds.relevant.num_rows();
+    let split = (n * 2 / 3).max(1);
+    let base = ds.relevant.take(&(0..split).collect::<Vec<_>>());
+    let batch = ds.relevant.take(&(split..n).collect::<Vec<_>>());
+    assert!(batch.num_rows() > 0, "the tiny dataset must leave a batch");
+
+    let unsharded = QueryEngine::new(&ds.train, &base);
+    unsharded.append_relevant(&batch).unwrap();
+    let want = unsharded.transform(&pool, &ds.train).unwrap();
+
+    let router = feataug::ShardRouter::build_for_plan(task.train.clone(), &base, &plan, 3).unwrap();
+    let handle =
+        std::sync::Arc::new(feataug::ShardedServingHandle::prepare(&router, &plan).unwrap());
+    let key: Vec<Value> = task
+        .key_columns
+        .iter()
+        .map(|k| task.train.value(0, k).unwrap())
+        .collect();
+    let mut before = Vec::new();
+    handle.lookup(&key, &mut before).unwrap();
+    let before = before.clone();
+
+    failpoint::set_times("shard.append", Action::Panic, 1);
+    let err = router.append_relevant(&batch).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::WorkerPanic {
+                context: "shard append",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(
+        router.generation(),
+        0,
+        "a failed batch must not bump the generation"
+    );
+    let mut after = Vec::new();
+    handle.lookup(&key, &mut after).unwrap();
+    assert_eq!(
+        bits(&before),
+        bits(&after),
+        "pre-append answers keep serving"
+    );
+
+    // The arm is spent: a plain retry applies the whole batch.
+    let epoch = router.append_relevant(&batch).unwrap();
+    assert_eq!(epoch.generation, 1);
+    assert_eq!(epoch.appended_rows, batch.num_rows());
+    let got = router.transform(&pool, &ds.train).unwrap();
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(
+            bits(g),
+            bits(w),
+            "post-retry answers match the unsharded engine"
+        );
+    }
+}

@@ -1,44 +1,43 @@
 //! The acceptance gate of the prepared serving path:
-//! `ServingHandle::lookup` performs **zero heap allocations** — and therefore
-//! zero `Debug`/SQL rendering and zero `Value` clones, all of which allocate
-//! — on the warm path.
+//! `ServingHandle::lookup` — and the sharded router's
+//! `ShardedServingHandle::lookup` in front of it — perform **zero heap
+//! allocations** on the warm path, and therefore zero `Debug`/SQL rendering
+//! and zero `Value` clones, all of which allocate.
 //!
 //! Enforced with a counting global allocator. This file is its own test
-//! binary and holds exactly one `#[test]`, so no sibling test can allocate
-//! concurrently; counting is additionally gated per-thread (a
-//! const-initialized thread-local, which itself never allocates), so
-//! allocator traffic from the harness's other threads can never leak into
-//! the count.
+//! binary so no unrelated suite shares the allocator, and both the counter
+//! and its gate are const-initialized thread-locals (which themselves never
+//! allocate), so the two tests here and the harness's other threads can all
+//! run concurrently without leaking allocations into each other's counts.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use feataug::pipeline::AugModel;
-use feataug::{AugPlan, PlannedQuery, PredicateQuery};
+use feataug::{AugPlan, PlannedQuery, PredicateQuery, ShardRouter, ShardedServingHandle};
 use feataug_tabular::{AggFunc, Column, Predicate, Table, Value};
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
 }
 
 struct CountingAllocator;
 
-// SAFETY: defers entirely to `System`; the bookkeeping around it is an atomic
-// increment plus a const-initialized thread-local read (neither allocates).
+// SAFETY: defers entirely to `System`; the bookkeeping around it is a pair of
+// const-initialized thread-local reads (neither allocates).
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.try_with(Cell::get).unwrap_or(false) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         }
         System.alloc(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.try_with(Cell::get).unwrap_or(false) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -54,18 +53,17 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// Run `f` with this thread's allocations counted; returns how many the
 /// closure performed.
 fn count_allocations(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     COUNTING.with(|c| c.set(true));
     f();
     COUNTING.with(|c| c.set(false));
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    ALLOCATIONS.with(Cell::get) - before
 }
 
-#[test]
-fn warm_prepared_lookup_is_allocation_free() {
-    // A model mixing key subsets, predicate shapes and aggregate families —
-    // every hot-path branch of the handle (multi-column probes, categorical
-    // and integer atomizers, NULL slots) gets exercised.
+/// The shared fixture: two key columns, a float aggregate column, and a
+/// categorical predicate column — multi-column probes, categorical and
+/// integer atomizers, and NULL slots all get exercised.
+fn fixture() -> (Table, Table) {
     let mut train = Table::new("users");
     train
         .add_column("cname", Column::from_strs(&["a", "b", "c"]))
@@ -86,7 +84,11 @@ fn warm_prepared_lookup_is_allocation_free() {
     relevant
         .add_column("department", Column::from_strs(&["E", "H", "E", "E"]))
         .unwrap();
-    let q = |agg: AggFunc, predicate: Predicate, keys: &[&str]| PlannedQuery {
+    (train, relevant)
+}
+
+fn planned(agg: AggFunc, predicate: Predicate, keys: &[&str]) -> PlannedQuery {
+    PlannedQuery {
         query: PredicateQuery {
             agg,
             agg_column: "pprice".into(),
@@ -94,15 +96,23 @@ fn warm_prepared_lookup_is_allocation_free() {
             group_keys: keys.iter().map(|s| s.to_string()).collect(),
         },
         loss: 0.0,
-    };
+    }
+}
+
+#[test]
+fn warm_prepared_lookup_is_allocation_free() {
+    // A model mixing key subsets, predicate shapes and aggregate families —
+    // every hot-path branch of the handle (multi-column probes, categorical
+    // and integer atomizers, NULL slots) gets exercised.
+    let (train, relevant) = fixture();
     let plan = AugPlan::new(
         "logs",
         vec!["cname".into(), "uid".into()],
         vec![
-            q(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
-            q(AggFunc::Avg, Predicate::True, &["cname", "uid"]),
-            q(AggFunc::Median, Predicate::True, &["uid"]),
-            q(AggFunc::Count, Predicate::ge("pprice", 15.0), &["cname"]),
+            planned(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            planned(AggFunc::Avg, Predicate::True, &["cname", "uid"]),
+            planned(AggFunc::Median, Predicate::True, &["uid"]),
+            planned(AggFunc::Count, Predicate::ge("pprice", 15.0), &["cname"]),
         ],
     );
     let model = AugModel::compile(plan, &train, &relevant).expect("plan compiles");
@@ -156,4 +166,67 @@ fn warm_prepared_lookup_is_allocation_free() {
     assert_eq!(out, vec![Some(70.0), Some(35.0), Some(35.0), Some(2.0)]);
     handle.lookup(&keys[3], &mut out).unwrap();
     assert_eq!(out, vec![None, None, None, None]);
+}
+
+#[test]
+fn warm_sharded_lookup_is_allocation_free() {
+    // The sharded front door adds a routing hash plus a shard-handle probe to
+    // every request; both are `// lint: hot-path` fns in serving/shard.rs and
+    // this test is the runtime half of that promise. Every query groups by
+    // `cname` so the router shards on it (three shards — keys "a" and "b"
+    // genuinely land on different engines, so the loop below crosses shards).
+    let (train, relevant) = fixture();
+    let plan = AugPlan::new(
+        "logs",
+        vec!["cname".into(), "uid".into()],
+        vec![
+            planned(AggFunc::Sum, Predicate::eq("department", "E"), &["cname"]),
+            planned(AggFunc::Avg, Predicate::True, &["cname", "uid"]),
+            planned(AggFunc::Count, Predicate::ge("pprice", 15.0), &["cname"]),
+        ],
+    );
+    let router =
+        ShardRouter::build_for_plan(Arc::new(train), &relevant, &plan, 3).expect("router builds");
+    let handle = ShardedServingHandle::prepare(&router, &plan).expect("prepare");
+
+    // Seen keys on different shards, unseen, NULL-component and
+    // type-mismatched keys — routing a miss must not allocate either.
+    let keys: Vec<Vec<Value>> = vec![
+        vec![Value::Str("a".into()), Value::Int(1)],
+        vec![Value::Str("b".into()), Value::Int(2)],
+        vec![Value::Str("b".into()), Value::Int(777)],
+        vec![Value::Str("zz".into()), Value::Int(777)],
+        vec![Value::Null, Value::Int(2)],
+        vec![Value::Int(3), Value::Str("a".into())],
+    ];
+    let mut out: Vec<Option<f64>> = Vec::new();
+
+    // Warm-up proves the routed answers match the unsharded fixture's.
+    handle.lookup(&keys[0], &mut out).unwrap();
+    assert_eq!(out, vec![Some(10.0), Some(15.0), Some(1.0)]);
+    handle.lookup(&keys[1], &mut out).unwrap();
+    assert_eq!(out, vec![Some(70.0), Some(35.0), Some(2.0)]);
+    for key in &keys {
+        handle.lookup(key, &mut out).unwrap();
+    }
+
+    // The gate: thousands of warm routed lookups, zero allocations — the
+    // routing hash is a stack `DefaultHasher` and the probe reuses `out`.
+    let allocations = count_allocations(|| {
+        for _ in 0..2_000 {
+            for key in &keys {
+                handle.lookup(key, &mut out).unwrap();
+            }
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "ShardedServingHandle::lookup allocated on the warm path"
+    );
+
+    // Answers after the counted run are still right, misses included.
+    handle.lookup(&keys[0], &mut out).unwrap();
+    assert_eq!(out, vec![Some(10.0), Some(15.0), Some(1.0)]);
+    handle.lookup(&keys[3], &mut out).unwrap();
+    assert_eq!(out, vec![None, None, None]);
 }
